@@ -1,0 +1,151 @@
+//! Smith-Waterman local alignment.
+//!
+//! Included as one of the alternative alignment algorithms the paper cites
+//! (Smith & Waterman 1981, reference [15]); useful for finding the single
+//! best-matching *region* between two functions, e.g. when deciding whether
+//! partial outlining would beat whole-function merging.
+
+use crate::{Alignment, ScoringScheme, Step};
+
+/// A local alignment: the best-scoring pair of subsequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalAlignment {
+    /// Columns of the locally aligned region.
+    pub alignment: Alignment,
+    /// Start index of the region in the first sequence (inclusive).
+    pub a_start: usize,
+    /// End index in the first sequence (exclusive).
+    pub a_end: usize,
+    /// Start index of the region in the second sequence (inclusive).
+    pub b_start: usize,
+    /// End index in the second sequence (exclusive).
+    pub b_end: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Stop,
+    Diag,
+    Up,
+    Left,
+}
+
+/// Computes the best local alignment of `a` and `b` under `scheme`.
+///
+/// Gap and mismatch scores should be negative for the "local" behaviour to
+/// be meaningful; with all-positive scores this degenerates to global
+/// alignment.
+pub fn smith_waterman<T>(
+    a: &[T],
+    b: &[T],
+    eq: impl Fn(&T, &T) -> bool,
+    scheme: &ScoringScheme,
+) -> LocalAlignment {
+    let n = a.len();
+    let m = b.len();
+    let w = m + 1;
+    let mut score = vec![0i64; (n + 1) * w];
+    let mut dir = vec![Dir::Stop; (n + 1) * w];
+    let mut best = 0i64;
+    let mut best_cell = (0usize, 0usize);
+    for i in 1..=n {
+        for j in 1..=m {
+            let matched = eq(&a[i - 1], &b[j - 1]);
+            let sub = if matched { scheme.match_score } else { scheme.mismatch_score };
+            let diag = score[(i - 1) * w + (j - 1)] + sub;
+            let up = score[(i - 1) * w + j] + scheme.gap_score;
+            let left = score[i * w + (j - 1)] + scheme.gap_score;
+            let (s, d) = if diag >= up && diag >= left && diag > 0 {
+                (diag, Dir::Diag)
+            } else if up >= left && up > 0 {
+                (up, Dir::Up)
+            } else if left > 0 {
+                (left, Dir::Left)
+            } else {
+                (0, Dir::Stop)
+            };
+            score[i * w + j] = s;
+            dir[i * w + j] = d;
+            if s > best {
+                best = s;
+                best_cell = (i, j);
+            }
+        }
+    }
+    let (mut i, mut j) = best_cell;
+    let (a_end, b_end) = (i, j);
+    let mut steps = Vec::new();
+    while dir[i * w + j] != Dir::Stop {
+        match dir[i * w + j] {
+            Dir::Diag => {
+                let matched = eq(&a[i - 1], &b[j - 1]);
+                steps.push(Step::Both { i: i - 1, j: j - 1, matched });
+                i -= 1;
+                j -= 1;
+            }
+            Dir::Up => {
+                steps.push(Step::Left(i - 1));
+                i -= 1;
+            }
+            Dir::Left => {
+                steps.push(Step::Right(j - 1));
+                j -= 1;
+            }
+            Dir::Stop => unreachable!(),
+        }
+    }
+    steps.reverse();
+    LocalAlignment {
+        alignment: Alignment { steps, score: best },
+        a_start: i,
+        a_end,
+        b_start: j,
+        b_end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chars(s: &str) -> Vec<char> {
+        s.chars().collect()
+    }
+
+    #[test]
+    fn finds_embedded_common_region() {
+        let a = chars("xxxxcommonyyyy");
+        let b = chars("zzcommonww");
+        let l = smith_waterman(&a, &b, |x, y| x == y, &ScoringScheme::default());
+        assert_eq!(&a[l.a_start..l.a_end].iter().collect::<String>(), "common");
+        assert_eq!(&b[l.b_start..l.b_end].iter().collect::<String>(), "common");
+        assert_eq!(l.alignment.match_count(), 6);
+    }
+
+    #[test]
+    fn disjoint_sequences_give_short_alignment() {
+        let a = chars("aaaa");
+        let b = chars("bbbb");
+        let l = smith_waterman(&a, &b, |x, y| x == y, &ScoringScheme::default());
+        assert_eq!(l.alignment.score, 0);
+        assert!(l.alignment.is_empty());
+    }
+
+    #[test]
+    fn local_score_at_least_zero() {
+        let a = chars("abcd");
+        let b = chars("abxd");
+        let l = smith_waterman(&a, &b, |x, y| x == y, &ScoringScheme::default());
+        assert!(l.alignment.score >= 0);
+        assert!(l.alignment.match_count() >= 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a: Vec<char> = vec![];
+        let b = chars("abc");
+        let l = smith_waterman(&a, &b, |x, y| x == y, &ScoringScheme::default());
+        assert!(l.alignment.is_empty());
+        assert_eq!((l.a_start, l.a_end), (0, 0));
+    }
+}

@@ -1,0 +1,180 @@
+//! Needleman-Wunsch global alignment (full dynamic program).
+//!
+//! "Our work uses the Needleman-Wunsch algorithm to perform sequence
+//! alignment. This algorithm gives an alignment that is guaranteed to be
+//! optimal for a given scoring scheme." (§III-C). The algorithm is
+//! quadratic in both time and space in the lengths of the sequences —
+//! which is exactly why the paper's Fig. 13 shows alignment dominating the
+//! compile-time breakdown.
+
+use crate::{Alignment, ScoringScheme, Step};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Diag,
+    Up,   // consume a[i] against a gap
+    Left, // consume b[j] against a gap
+}
+
+/// Computes the optimal global alignment of `a` and `b` under `scheme`,
+/// using `eq` as the element-equivalence relation.
+///
+/// Tie-breaking is deterministic: diagonal moves are preferred over gaps in
+/// the first sequence, which are preferred over gaps in the second. This
+/// keeps merged-function code generation reproducible run to run.
+pub fn needleman_wunsch<T>(
+    a: &[T],
+    b: &[T],
+    eq: impl Fn(&T, &T) -> bool,
+    scheme: &ScoringScheme,
+) -> Alignment {
+    let n = a.len();
+    let m = b.len();
+    let w = m + 1;
+    // Score matrix, row-major, (n+1) x (m+1).
+    let mut score = vec![0i64; (n + 1) * w];
+    let mut dir = vec![Dir::Diag; (n + 1) * w];
+    for j in 1..=m {
+        score[j] = j as i64 * scheme.gap_score;
+        dir[j] = Dir::Left;
+    }
+    for i in 1..=n {
+        score[i * w] = i as i64 * scheme.gap_score;
+        dir[i * w] = Dir::Up;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let matched = eq(&a[i - 1], &b[j - 1]);
+            let sub = if matched { scheme.match_score } else { scheme.mismatch_score };
+            let diag = score[(i - 1) * w + (j - 1)] + sub;
+            let up = score[(i - 1) * w + j] + scheme.gap_score;
+            let left = score[i * w + (j - 1)] + scheme.gap_score;
+            // Deterministic preference: Diag >= Up >= Left.
+            let (best, d) = if diag >= up && diag >= left {
+                (diag, Dir::Diag)
+            } else if up >= left {
+                (up, Dir::Up)
+            } else {
+                (left, Dir::Left)
+            };
+            score[i * w + j] = best;
+            dir[i * w + j] = d;
+        }
+    }
+    // Traceback.
+    let mut steps = Vec::with_capacity(n.max(m));
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        match dir[i * w + j] {
+            Dir::Diag if i > 0 && j > 0 => {
+                let matched = eq(&a[i - 1], &b[j - 1]);
+                steps.push(Step::Both { i: i - 1, j: j - 1, matched });
+                i -= 1;
+                j -= 1;
+            }
+            Dir::Up | Dir::Diag if i > 0 => {
+                steps.push(Step::Left(i - 1));
+                i -= 1;
+            }
+            _ => {
+                steps.push(Step::Right(j - 1));
+                j -= 1;
+            }
+        }
+    }
+    steps.reverse();
+    Alignment { steps, score: score[n * w + m] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eq_char(a: &char, b: &char) -> bool {
+        a == b
+    }
+
+    fn align_str(a: &str, b: &str) -> Alignment {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        needleman_wunsch(&av, &bv, eq_char, &ScoringScheme::default())
+    }
+
+    #[test]
+    fn identical_sequences_align_perfectly() {
+        let al = align_str("gattaca", "gattaca");
+        assert_eq!(al.match_count(), 7);
+        assert_eq!(al.cigar(), "7M");
+        assert!(al.is_valid_for(7, 7));
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let al = align_str("", "");
+        assert!(al.is_empty());
+        assert_eq!(al.score, 0);
+        let al = align_str("abc", "");
+        assert_eq!(al.cigar(), "3D");
+        assert_eq!(al.score, -3 * 1);
+        let al = align_str("", "ab");
+        assert_eq!(al.cigar(), "2I");
+    }
+
+    #[test]
+    fn classic_gattaca_example() {
+        // A standard NW textbook pair.
+        let al = align_str("gcatgcg", "gattaca");
+        assert!(al.is_valid_for(7, 7));
+        assert_eq!(al.score, al.rescore(&ScoringScheme::default()));
+    }
+
+    #[test]
+    fn insertion_detected() {
+        let al = align_str("abcdef", "abcxdef");
+        assert_eq!(al.match_count(), 6);
+        assert_eq!(al.cigar(), "3M1I3M");
+    }
+
+    #[test]
+    fn deletion_detected() {
+        let al = align_str("abcxdef", "abcdef");
+        assert_eq!(al.match_count(), 6);
+        assert_eq!(al.cigar(), "3M1D3M");
+    }
+
+    #[test]
+    fn substitution_prefers_mismatch_column() {
+        let al = align_str("abc", "axc");
+        assert_eq!(al.cigar(), "1M1X1M");
+    }
+
+    #[test]
+    fn score_is_optimal_for_simple_cases() {
+        let scheme = ScoringScheme::default();
+        let al = align_str("aaaa", "aaa");
+        // 3 matches + 1 gap.
+        assert_eq!(al.score, 3 * scheme.match_score + scheme.gap_score);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let a = align_str("abacabadabacaba", "abadacabacabaab");
+        let b = align_str("abacabadabacaba", "abadacabacabaab");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn custom_equivalence_relation() {
+        // Case-insensitive equivalence: a non-trivial relation, like the
+        // paper's instruction equivalence.
+        let a: Vec<char> = "AbC".chars().collect();
+        let b: Vec<char> = "abc".chars().collect();
+        let al = needleman_wunsch(
+            &a,
+            &b,
+            |x, y| x.eq_ignore_ascii_case(y),
+            &ScoringScheme::default(),
+        );
+        assert_eq!(al.match_count(), 3);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the alignment algorithms.
+
+use fmsa_align::{hirschberg, needleman_wunsch, smith_waterman, Alignment, ScoringScheme};
+use proptest::prelude::*;
+
+/// Brute-force optimal global alignment score by exhaustive recursion.
+/// Only feasible for tiny sequences; used as the ground-truth oracle.
+fn brute_force_score(a: &[u8], b: &[u8], scheme: &ScoringScheme) -> i64 {
+    fn go(a: &[u8], b: &[u8], s: &ScoringScheme) -> i64 {
+        match (a.split_first(), b.split_first()) {
+            (None, None) => 0,
+            (Some((_, ra)), None) => s.gap_score + go(ra, b, s),
+            (None, Some((_, rb))) => s.gap_score + go(a, rb, s),
+            (Some((x, ra)), Some((y, rb))) => {
+                let sub = if x == y { s.match_score } else { s.mismatch_score };
+                let diag = sub + go(ra, rb, s);
+                let up = s.gap_score + go(ra, b, s);
+                let left = s.gap_score + go(a, rb, s);
+                diag.max(up).max(left)
+            }
+        }
+    }
+    go(a, b, scheme)
+}
+
+fn small_seq() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..4, 0..8)
+}
+
+fn medium_seq() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..6, 0..64)
+}
+
+proptest! {
+    #[test]
+    fn nw_alignment_is_structurally_valid(a in medium_seq(), b in medium_seq()) {
+        let al = needleman_wunsch(&a, &b, |x, y| x == y, &ScoringScheme::default());
+        prop_assert!(al.is_valid_for(a.len(), b.len()));
+        prop_assert!(al.len() >= a.len().max(b.len()));
+        prop_assert!(al.len() <= a.len() + b.len());
+    }
+
+    #[test]
+    fn nw_reported_score_matches_rescore(a in medium_seq(), b in medium_seq()) {
+        let scheme = ScoringScheme::default();
+        let al = needleman_wunsch(&a, &b, |x, y| x == y, &scheme);
+        prop_assert_eq!(al.score, al.rescore(&scheme));
+    }
+
+    #[test]
+    fn nw_score_is_optimal(a in small_seq(), b in small_seq()) {
+        let scheme = ScoringScheme::default();
+        let al = needleman_wunsch(&a, &b, |x, y| x == y, &scheme);
+        let oracle = brute_force_score(&a, &b, &scheme);
+        prop_assert_eq!(al.score, oracle);
+    }
+
+    #[test]
+    fn hirschberg_matches_nw_score(a in medium_seq(), b in medium_seq()) {
+        let scheme = ScoringScheme::default();
+        let h = hirschberg(&a, &b, |x, y| x == y, &scheme);
+        let n = needleman_wunsch(&a, &b, |x, y| x == y, &scheme);
+        prop_assert_eq!(h.score, n.score);
+        prop_assert!(h.is_valid_for(a.len(), b.len()));
+    }
+
+    #[test]
+    fn identical_inputs_align_all_matches(a in medium_seq()) {
+        let al = needleman_wunsch(&a, &a, |x, y| x == y, &ScoringScheme::default());
+        prop_assert_eq!(al.match_count(), a.len());
+    }
+
+    #[test]
+    fn alignment_is_symmetric_in_score(a in medium_seq(), b in medium_seq()) {
+        let scheme = ScoringScheme::default();
+        let ab = needleman_wunsch(&a, &b, |x, y| x == y, &scheme);
+        let ba = needleman_wunsch(&b, &a, |x, y| x == y, &scheme);
+        prop_assert_eq!(ab.score, ba.score);
+    }
+
+    #[test]
+    fn local_never_scores_below_zero(a in medium_seq(), b in medium_seq()) {
+        let l = smith_waterman(&a, &b, |x, y| x == y, &ScoringScheme::default());
+        prop_assert!(l.alignment.score >= 0);
+        prop_assert!(l.a_start <= l.a_end && l.a_end <= a.len());
+        prop_assert!(l.b_start <= l.b_end && l.b_end <= b.len());
+    }
+
+    #[test]
+    fn local_score_at_most_global_matches(a in medium_seq(), b in medium_seq()) {
+        // The local score can't exceed match_score * min(len).
+        let scheme = ScoringScheme::default();
+        let l = smith_waterman(&a, &b, |x, y| x == y, &scheme);
+        let bound = scheme.match_score * a.len().min(b.len()) as i64;
+        prop_assert!(l.alignment.score <= bound);
+    }
+}
+
+#[test]
+fn nw_handles_degenerate_equivalence() {
+    // Everything equivalent to everything: all columns should be matches.
+    let a = [1u8, 2, 3];
+    let b = [9u8, 9, 9];
+    let al = needleman_wunsch(&a, &b, |_, _| true, &ScoringScheme::default());
+    assert_eq!(al.match_count(), 3);
+    // Nothing equivalent: score should be max(gap-only, mismatch mix).
+    let al: Alignment = needleman_wunsch(&a, &b, |_, _| false, &ScoringScheme::default());
+    assert_eq!(al.match_count(), 0);
+}

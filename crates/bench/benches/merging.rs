@@ -1,0 +1,82 @@
+//! Criterion microbenchmarks for the merge pipeline pieces: fingerprinting,
+//! ranking, linearization, and whole-pair merging (paper Fig. 13's step
+//! breakdown, measured microscopically).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmsa_core::fingerprint::Fingerprint;
+use fmsa_core::linearize::linearize;
+use fmsa_core::merge::{merge_pair, MergeConfig};
+use fmsa_core::ranking::rank_candidates;
+use fmsa_ir::Module;
+use fmsa_workloads::{generate_function, GenConfig, Variant};
+
+fn module_with(n: usize, size: usize) -> Module {
+    let mut m = Module::new("bench");
+    let cfg = GenConfig { target_size: size, ..GenConfig::default() };
+    for k in 0..n {
+        generate_function(&mut m, &format!("f{k}"), 1000 + k as u64, &cfg, &Variant::exact());
+    }
+    m
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let m = module_with(1, 200);
+    let f = m.func_ids()[0];
+    c.bench_function("fingerprint/200-inst-function", |b| {
+        b.iter(|| Fingerprint::of(&m, f));
+    });
+    let fp1 = Fingerprint::of(&m, f);
+    let fp2 = fp1.clone();
+    c.bench_function("fingerprint/similarity", |b| {
+        b.iter(|| fp1.similarity(&fp2));
+    });
+}
+
+fn bench_ranking(c: &mut Criterion) {
+    let m = module_with(200, 40);
+    let ids = m.func_ids();
+    let pool: Vec<_> = ids.iter().map(|&f| (f, Fingerprint::of(&m, f))).collect();
+    let subject = ids[0];
+    let sfp = Fingerprint::of(&m, subject);
+    c.bench_function("ranking/top-10-of-200", |b| {
+        b.iter(|| rank_candidates(subject, &sfp, &pool, 10, 0.0));
+    });
+}
+
+fn bench_linearize(c: &mut Criterion) {
+    let m = module_with(1, 300);
+    let f = m.func_ids()[0];
+    c.bench_function("linearize/300-inst-function", |b| {
+        b.iter(|| linearize(m.func(f)));
+    });
+}
+
+fn bench_merge_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge-pair");
+    for (label, variant) in [
+        ("exact", Variant::exact()),
+        ("body", Variant::body(3)),
+        ("typed", Variant::typed(false, true)),
+        ("cfg", Variant::cfg(2)),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut m = Module::new("pair");
+                    let cfg = GenConfig { target_size: 80, ..GenConfig::default() };
+                    let fa = generate_function(&mut m, "a", 77, &cfg, &Variant::exact());
+                    let fb = generate_function(&mut m, "b", 77, &cfg, &variant);
+                    (m, fa, fb)
+                },
+                |(mut m, fa, fb)| {
+                    merge_pair(&mut m, fa, fb, &MergeConfig::default()).expect("merges")
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fingerprint, bench_ranking, bench_linearize, bench_merge_pair);
+criterion_main!(benches);

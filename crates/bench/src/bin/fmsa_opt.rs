@@ -1,0 +1,143 @@
+//! `fmsa-opt` — run function-merging techniques on a textual IR module.
+//!
+//! ```text
+//! fmsa_opt <input.fir> [--technique identical|soa|fmsa] [--threshold N]
+//!          [--oracle] [--arch x86-64|arm-thumb] [--canonicalize]
+//!          [--exclude name,name] [--stats] [-o <output.fir>]
+//! ```
+//!
+//! The input format is the printer/parser syntax of `fmsa-ir` (see
+//! `fmsa_ir::printer`); `cargo run --example quickstart` prints modules in
+//! this form. Without `-o` the optimized module goes to stdout; `--stats`
+//! sends a summary to stderr.
+
+use fmsa_core::baselines::{run_identical, run_soa};
+use fmsa_core::pass::{run_fmsa, FmsaOptions};
+use fmsa_ir::{parser, printer};
+use fmsa_target::{reduction_percent, CostModel, TargetArch};
+use std::collections::HashSet;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: fmsa_opt <input.fir> [--technique identical|soa|fmsa] \
+             [--threshold N] [--oracle] [--arch x86-64|arm-thumb] \
+             [--canonicalize] [--exclude a,b] [--stats] [-o out.fir]"
+        );
+        return ExitCode::from(2);
+    }
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut technique = "fmsa".to_owned();
+    let mut threshold = 1usize;
+    let mut oracle = false;
+    let mut arch = TargetArch::X86_64;
+    let mut canonicalize = false;
+    let mut exclude: HashSet<String> = HashSet::new();
+    let mut stats = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--technique" => technique = it.next().unwrap_or_default(),
+            "--threshold" => {
+                threshold = it.next().and_then(|s| s.parse().ok()).unwrap_or(1)
+            }
+            "--oracle" => oracle = true,
+            "--arch" => {
+                arch = match it.next().as_deref() {
+                    Some("arm-thumb") => TargetArch::ArmThumb,
+                    _ => TargetArch::X86_64,
+                }
+            }
+            "--canonicalize" => canonicalize = true,
+            "--exclude" => {
+                for n in it.next().unwrap_or_default().split(',') {
+                    if !n.is_empty() {
+                        exclude.insert(n.to_owned());
+                    }
+                }
+            }
+            "--stats" => stats = true,
+            "-o" => output = it.next(),
+            other if !other.starts_with('-') && input.is_none() => {
+                input = Some(other.to_owned())
+            }
+            other => {
+                eprintln!("fmsa_opt: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("fmsa_opt: no input file");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fmsa_opt: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut module = match parser::parse_module(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("fmsa_opt: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let errs = fmsa_ir::verify_module(&module);
+    if !errs.is_empty() {
+        eprintln!("fmsa_opt: input module invalid: {}", errs[0]);
+        return ExitCode::FAILURE;
+    }
+    let cm = CostModel::new(arch);
+    let before = cm.module_size(&module);
+    let merges = match technique.as_str() {
+        "identical" => run_identical(&mut module, arch).merges,
+        "soa" => {
+            run_identical(&mut module, arch);
+            run_soa(&mut module, arch).merges
+        }
+        "fmsa" => {
+            run_identical(&mut module, arch);
+            let mut opts = FmsaOptions::with_threshold(threshold);
+            opts.oracle = oracle;
+            opts.arch = arch;
+            opts.canonicalize = canonicalize;
+            opts.exclude = exclude;
+            run_fmsa(&mut module, &opts).merges
+        }
+        other => {
+            eprintln!("fmsa_opt: unknown technique {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+    let errs = fmsa_ir::verify_module(&module);
+    if !errs.is_empty() {
+        eprintln!("fmsa_opt: internal error — output module invalid: {}", errs[0]);
+        return ExitCode::FAILURE;
+    }
+    let after = cm.module_size(&module);
+    if stats {
+        eprintln!(
+            "fmsa_opt: {technique}: {merges} merges, {before} -> {after} bytes \
+             ({:.2}% reduction, {})",
+            reduction_percent(before, after),
+            arch.name()
+        );
+    }
+    let rendered = printer::print_module(&module);
+    match output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, rendered) {
+                eprintln!("fmsa_opt: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{rendered}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,5 @@
+//! # fmsa-bench — experiment harness (see the `experiments` binary)
+//!
+//! Library shell for the benchmark harness; the logic lives in
+//! `src/bin/experiments.rs` and the Criterion benches under `benches/`.
+pub mod harness;

@@ -1,0 +1,344 @@
+//! Identical function merging — the LLVM `MergeFunctions` baseline.
+//!
+//! "This optimization is only flexible enough to accommodate simple type
+//! mismatches provided they can be bitcast in a lossless way. Its
+//! simplicity allows for an efficient exploration approach based on
+//! computing the hash of the functions and then using a tree structure to
+//! group equivalent functions based on their hash values." (§VI-A)
+//!
+//! This implementation hashes a structural summary of every defined
+//! function, groups by hash, confirms equality pairwise within each
+//! bucket, and folds duplicates onto a representative (deleting them or
+//! leaving thunks, like the FMSA commit machinery).
+
+use crate::linearize::{linearize, Entry};
+use crate::thunks::{can_delete, make_thunk, rewrite_call_sites, CallRewrite};
+use fmsa_ir::{ExtraData, FuncId, Module, Value};
+use fmsa_target::{CostModel, TargetArch};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Statistics of one identical-merging run.
+#[derive(Debug, Clone, Default)]
+pub struct IdenticalStats {
+    /// Number of functions folded onto a representative (the paper's
+    /// "merge operations" count for Identical).
+    pub merges: usize,
+    /// Module size before, in cost-model bytes.
+    pub size_before: u64,
+    /// Module size after.
+    pub size_after: u64,
+}
+
+impl IdenticalStats {
+    /// Code-size reduction achieved, in percent.
+    pub fn reduction_percent(&self) -> f64 {
+        fmsa_target::reduction_percent(self.size_before, self.size_after)
+    }
+}
+
+/// Runs identical-function merging over `module` for `arch`.
+pub fn run_identical(module: &mut Module, arch: TargetArch) -> IdenticalStats {
+    let cm = CostModel::new(arch);
+    let mut stats =
+        IdenticalStats { size_before: cm.module_size(module), ..IdenticalStats::default() };
+    // Bucket by structural hash.
+    let mut buckets: HashMap<u64, Vec<FuncId>> = HashMap::new();
+    for f in module.func_ids() {
+        if module.func(f).is_declaration() {
+            continue;
+        }
+        buckets.entry(structural_hash(module, f)).or_default().push(f);
+    }
+    let mut hashes: Vec<u64> = buckets.keys().copied().collect();
+    hashes.sort_unstable();
+    for h in hashes {
+        let group = &buckets[&h];
+        if group.len() < 2 {
+            continue;
+        }
+        // Fold equal members onto the first (hash collisions are verified
+        // away by the exact comparison).
+        let mut representatives: Vec<FuncId> = Vec::new();
+        for &f in group {
+            match representatives
+                .iter()
+                .find(|&&r| structurally_equal(module, r, f))
+            {
+                Some(&rep) => {
+                    fold(module, f, rep);
+                    stats.merges += 1;
+                }
+                None => representatives.push(f),
+            }
+        }
+    }
+    stats.size_after = cm.module_size(module);
+    stats
+}
+
+/// Folds duplicate `dup` onto `rep`: rewrites call sites, then deletes the
+/// duplicate or leaves a thunk.
+fn fold(module: &mut Module, dup: FuncId, rep: FuncId) {
+    let nparams = module.func(dup).params().len();
+    let ret = module.func(dup).ret_ty(&module.types);
+    let rw = CallRewrite {
+        target: rep,
+        merged_param_tys: module.func(rep).params().iter().map(|p| p.ty).collect(),
+        map: (0..nparams).collect(),
+        func_id: None,
+        ret_base: ret,
+        ret_orig: ret,
+    };
+    if can_delete(module, dup) {
+        rewrite_call_sites(module, dup, &rw).expect("identity rewrite cannot fail");
+        module.remove_function(dup);
+    } else {
+        make_thunk(module, dup, &rw).expect("identity thunk cannot fail");
+    }
+}
+
+/// A structural hash that is invariant to names and arena numbering but
+/// sensitive to everything the equality check compares.
+pub fn structural_hash(module: &Module, f: FuncId) -> u64 {
+    let func = module.func(f);
+    let mut h = DefaultHasher::new();
+    func.fn_ty().hash(&mut h);
+    let seq = linearize(func);
+    let index = position_index(&seq);
+    for e in &seq {
+        match e {
+            Entry::Label(_) => 0u8.hash(&mut h),
+            Entry::Inst(i) => {
+                let inst = func.inst(*i);
+                1u8.hash(&mut h);
+                inst.opcode.hash(&mut h);
+                inst.ty.hash(&mut h);
+                hash_extra(&inst.extra, &mut h);
+                for op in &inst.operands {
+                    hash_operand(*op, &index, &mut h);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+fn position_index(seq: &[Entry]) -> HashMap<Entry, usize> {
+    seq.iter().enumerate().map(|(k, &e)| (e, k)).collect()
+}
+
+fn hash_extra(extra: &ExtraData, h: &mut DefaultHasher) {
+    match extra {
+        ExtraData::None => 0u8.hash(h),
+        ExtraData::ICmp(p) => {
+            1u8.hash(h);
+            p.hash(h);
+        }
+        ExtraData::FCmp(p) => {
+            2u8.hash(h);
+            p.hash(h);
+        }
+        ExtraData::Alloca { allocated } => {
+            3u8.hash(h);
+            allocated.hash(h);
+        }
+        ExtraData::Gep { source_elem } => {
+            4u8.hash(h);
+            source_elem.hash(h);
+        }
+        ExtraData::Phi { incoming } => {
+            5u8.hash(h);
+            incoming.len().hash(h);
+        }
+        ExtraData::LandingPad { clauses, cleanup } => {
+            6u8.hash(h);
+            cleanup.hash(h);
+            clauses.hash(h);
+        }
+        ExtraData::AggIndices(ix) => {
+            7u8.hash(h);
+            ix.hash(h);
+        }
+    }
+}
+
+fn hash_operand(op: Value, index: &HashMap<Entry, usize>, h: &mut DefaultHasher) {
+    match op {
+        Value::Inst(i) => {
+            0u8.hash(h);
+            index.get(&Entry::Inst(i)).hash(h);
+        }
+        Value::Block(b) => {
+            1u8.hash(h);
+            index.get(&Entry::Label(b)).hash(h);
+        }
+        Value::Param(p) => {
+            2u8.hash(h);
+            p.hash(h);
+        }
+        Value::Func(f) => {
+            3u8.hash(h);
+            f.hash(h);
+        }
+        other => {
+            4u8.hash(h);
+            other.hash(h);
+        }
+    }
+}
+
+/// Exact structural equality: same signature and the same linearized
+/// sequence with congruent operands (positions instead of arena ids).
+pub fn structurally_equal(module: &Module, a: FuncId, b: FuncId) -> bool {
+    let fa = module.func(a);
+    let fb = module.func(b);
+    if fa.fn_ty() != fb.fn_ty() {
+        return false;
+    }
+    let sa = linearize(fa);
+    let sb = linearize(fb);
+    if sa.len() != sb.len() {
+        return false;
+    }
+    let ia = position_index(&sa);
+    let ib = position_index(&sb);
+    for (ea, eb) in sa.iter().zip(&sb) {
+        match (ea, eb) {
+            (Entry::Label(_), Entry::Label(_)) => {}
+            (Entry::Inst(x), Entry::Inst(y)) => {
+                let ix = fa.inst(*x);
+                let iy = fb.inst(*y);
+                if ix.opcode != iy.opcode
+                    || ix.ty != iy.ty
+                    || ix.operands.len() != iy.operands.len()
+                {
+                    return false;
+                }
+                // Extras must match modulo φ incoming-block renumbering.
+                match (&ix.extra, &iy.extra) {
+                    (ExtraData::Phi { incoming: pa }, ExtraData::Phi { incoming: pb }) => {
+                        if pa.len() != pb.len() {
+                            return false;
+                        }
+                        for (&ba, &bb) in pa.iter().zip(pb) {
+                            if ia.get(&Entry::Label(ba)) != ib.get(&Entry::Label(bb)) {
+                                return false;
+                            }
+                        }
+                    }
+                    (xa, xb) => {
+                        if xa != xb {
+                            return false;
+                        }
+                    }
+                }
+                for (&oa, &ob) in ix.operands.iter().zip(&iy.operands) {
+                    let congruent = match (oa, ob) {
+                        (Value::Inst(p), Value::Inst(q)) => {
+                            ia.get(&Entry::Inst(p)) == ib.get(&Entry::Inst(q))
+                        }
+                        (Value::Block(p), Value::Block(q)) => {
+                            ia.get(&Entry::Label(p)) == ib.get(&Entry::Label(q))
+                        }
+                        (x, y) => x == y,
+                    };
+                    if !congruent {
+                        return false;
+                    }
+                }
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmsa_ir::{FuncBuilder, Opcode};
+
+    fn add_clone(m: &mut Module, name: &str, constant: i32) -> FuncId {
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![i32t]);
+        let f = m.create_function(name, fn_ty);
+        let mut b = FuncBuilder::new(m, f);
+        let e = b.block("entry");
+        b.switch_to(e);
+        let v = b.add(Value::Param(0), b.const_i32(constant));
+        let w = b.mul(v, Value::Param(0));
+        b.ret(Some(w));
+        f
+    }
+
+    #[test]
+    fn exact_clones_fold() {
+        let mut m = Module::new("m");
+        let a = add_clone(&mut m, "a", 1);
+        let b = add_clone(&mut m, "b", 1);
+        let c = add_clone(&mut m, "c", 1);
+        assert!(structurally_equal(&m, a, b));
+        assert_eq!(structural_hash(&m, a), structural_hash(&m, b));
+        let stats = run_identical(&mut m, TargetArch::X86_64);
+        assert_eq!(stats.merges, 2);
+        assert!(stats.size_after < stats.size_before);
+        // Only one of the three bodies survives.
+        let alive = [a, b, c].iter().filter(|&&f| m.is_live(f)).count();
+        assert_eq!(alive, 1);
+        assert!(fmsa_ir::verify_module(&m).is_empty());
+    }
+
+    #[test]
+    fn different_constants_do_not_fold() {
+        let mut m = Module::new("m");
+        let a = add_clone(&mut m, "a", 1);
+        let b = add_clone(&mut m, "b", 2);
+        assert!(!structurally_equal(&m, a, b));
+        let stats = run_identical(&mut m, TargetArch::X86_64);
+        assert_eq!(stats.merges, 0);
+        assert_eq!(stats.size_before, stats.size_after);
+    }
+
+    #[test]
+    fn call_sites_are_redirected() {
+        let mut m = Module::new("m");
+        let a = add_clone(&mut m, "a", 1);
+        let b = add_clone(&mut m, "b", 1);
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![]);
+        let caller = m.create_function("caller", fn_ty);
+        {
+            let mut bb = FuncBuilder::new(&mut m, caller);
+            let e = bb.block("entry");
+            bb.switch_to(e);
+            let x = bb.call(b, vec![bb.const_i32(5)]);
+            bb.ret(Some(x));
+        }
+        run_identical(&mut m, TargetArch::X86_64);
+        // b was folded onto a; caller must now call a.
+        let cf = m.func(caller);
+        let call = cf
+            .inst_ids()
+            .into_iter()
+            .find(|&i| cf.inst(i).opcode == Opcode::Call)
+            .expect("call");
+        assert_eq!(cf.inst(call).operands[0], Value::Func(a));
+        assert!(!m.is_live(b));
+    }
+
+    #[test]
+    fn external_duplicates_become_thunks() {
+        let mut m = Module::new("m");
+        let _a = add_clone(&mut m, "a", 1);
+        let b = add_clone(&mut m, "b", 1);
+        m.func_mut(b).linkage = fmsa_ir::Linkage::External;
+        let stats = run_identical(&mut m, TargetArch::X86_64);
+        assert_eq!(stats.merges, 1);
+        assert!(m.is_live(b), "external function kept as thunk");
+        let bf = m.func(b);
+        assert_eq!(bf.inst_count(), 2, "thunk = call + ret");
+        assert!(fmsa_ir::verify_module(&m).is_empty());
+    }
+}

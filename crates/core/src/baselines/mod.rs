@@ -1,0 +1,13 @@
+//! The two baselines the paper evaluates FMSA against (§V-A):
+//!
+//! * [`identical`] — LLVM's `MergeFunctions`-style identical-function
+//!   merging ("Identical" in the figures);
+//! * [`structural`] — the state-of-the-art of von Koch et al., LCTES'14:
+//!   merging functions with identical signatures and isomorphic CFGs
+//!   ("SOA" in the figures).
+
+pub mod identical;
+pub mod structural;
+
+pub use identical::{run_identical, IdenticalStats};
+pub use structural::{run_soa, SoaStats};

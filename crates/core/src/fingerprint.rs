@@ -1,0 +1,191 @@
+//! Function fingerprints and the similarity estimate (paper §IV).
+//!
+//! "The fingerprint consists of: (1) a map of instruction opcodes to their
+//! frequency in the function; (2) the set of types manipulated by the
+//! function." Similarity is the minimum of two optimistic upper bounds:
+//!
+//! ```text
+//! UB(f1,f2,K) = Σ_k min(freq(k,f1), freq(k,f2))
+//!             / Σ_k freq(k,f1) + freq(k,f2)
+//!
+//! s(f1,f2)    = min(UB(Opcodes), UB(Types))   ∈ [0, 0.5]
+//! ```
+//!
+//! Identical functions score exactly 0.5.
+
+use fmsa_ir::{FuncId, Module, Opcode, TyId};
+use std::collections::HashMap;
+
+/// A lightweight summary of one function used to rank merge candidates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    opcode_freq: [u32; Opcode::COUNT],
+    type_freq: HashMap<TyId, u32>,
+    size: u32,
+}
+
+impl Fingerprint {
+    /// Computes the fingerprint of `func`.
+    pub fn of(module: &Module, func: FuncId) -> Fingerprint {
+        let f = module.func(func);
+        let mut opcode_freq = [0u32; Opcode::COUNT];
+        let mut type_freq: HashMap<TyId, u32> = HashMap::new();
+        for iid in f.inst_ids() {
+            let inst = f.inst(iid);
+            opcode_freq[inst.opcode.index()] += 1;
+            *type_freq.entry(inst.ty).or_insert(0) += 1;
+            for &op in &inst.operands {
+                match op {
+                    fmsa_ir::Value::Block(_) | fmsa_ir::Value::Func(_) => {}
+                    _ => {
+                        let ty = f.value_ty(op, &module.types);
+                        *type_freq.entry(ty).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        Fingerprint { opcode_freq, type_freq, size: f.inst_count() as u32 }
+    }
+
+    /// Number of instructions summarized.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Frequency of one opcode.
+    pub fn opcode_count(&self, op: Opcode) -> u32 {
+        self.opcode_freq[op.index()]
+    }
+
+    /// The opcode-frequency upper bound `UB(f1, f2, Opcodes)`.
+    pub fn opcode_upper_bound(&self, other: &Fingerprint) -> f64 {
+        let mut inter = 0u64;
+        let mut total = 0u64;
+        for k in 0..Opcode::COUNT {
+            let (a, b) = (self.opcode_freq[k] as u64, other.opcode_freq[k] as u64);
+            inter += a.min(b);
+            total += a + b;
+        }
+        ratio(inter, total)
+    }
+
+    /// The type-frequency upper bound `UB(f1, f2, Types)`.
+    pub fn type_upper_bound(&self, other: &Fingerprint) -> f64 {
+        let mut inter = 0u64;
+        let mut total: u64 = self.type_freq.values().map(|&v| v as u64).sum::<u64>()
+            + other.type_freq.values().map(|&v| v as u64).sum::<u64>();
+        for (ty, &a) in &self.type_freq {
+            if let Some(&b) = other.type_freq.get(ty) {
+                inter += (a as u64).min(b as u64);
+            }
+        }
+        if total == 0 {
+            total = 1;
+        }
+        inter as f64 / total as f64
+    }
+
+    /// The paper's similarity estimate
+    /// `s(f1,f2) = min(UB(Opcodes), UB(Types))`, in `[0, 0.5]`.
+    pub fn similarity(&self, other: &Fingerprint) -> f64 {
+        self.opcode_upper_bound(other).min(self.type_upper_bound(other))
+    }
+}
+
+fn ratio(inter: u64, total: u64) -> f64 {
+    if total == 0 {
+        // Two empty functions are trivially identical.
+        return 0.5;
+    }
+    inter as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmsa_ir::{FuncBuilder, Value};
+
+    fn simple_fn(m: &mut Module, name: &str, float: bool) -> FuncId {
+        let ty = if float { m.types.f64() } else { m.types.i32() };
+        let fn_ty = m.types.func(ty, vec![ty, ty]);
+        let f = m.create_function(name, fn_ty);
+        let mut b = FuncBuilder::new(m, f);
+        let entry = b.block("entry");
+        b.switch_to(entry);
+        let v = if float {
+            b.fadd(Value::Param(0), Value::Param(1))
+        } else {
+            b.add(Value::Param(0), Value::Param(1))
+        };
+        let w = if float { b.fmul(v, Value::Param(0)) } else { b.mul(v, Value::Param(0)) };
+        b.ret(Some(w));
+        f
+    }
+
+    #[test]
+    fn identical_functions_score_half() {
+        let mut m = Module::new("m");
+        let a = simple_fn(&mut m, "a", false);
+        let b = simple_fn(&mut m, "b", false);
+        let fa = Fingerprint::of(&m, a);
+        let fb = Fingerprint::of(&m, b);
+        assert!((fa.similarity(&fb) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let mut m = Module::new("m");
+        let a = simple_fn(&mut m, "a", false);
+        let b = simple_fn(&mut m, "b", true);
+        let fa = Fingerprint::of(&m, a);
+        let fb = Fingerprint::of(&m, b);
+        let s_ab = fa.similarity(&fb);
+        let s_ba = fb.similarity(&fa);
+        assert!((s_ab - s_ba).abs() < 1e-12);
+        assert!((0.0..=0.5).contains(&s_ab));
+    }
+
+    #[test]
+    fn type_bound_separates_int_from_float_twins() {
+        // Same opcode shape would be misleading; the type bound must pull
+        // the similarity down (this is why the estimate takes the min).
+        let mut m = Module::new("m");
+        let a = simple_fn(&mut m, "a", false);
+        let b = simple_fn(&mut m, "b", true);
+        let fa = Fingerprint::of(&m, a);
+        let fb = Fingerprint::of(&m, b);
+        // add/mul vs fadd/fmul also differ in opcodes; check both bounds.
+        assert!(fa.opcode_upper_bound(&fb) < 0.5);
+        assert!(fa.type_upper_bound(&fb) < 0.5);
+        assert!(fa.similarity(&fb) < 0.25);
+    }
+
+    #[test]
+    fn disjoint_functions_score_low() {
+        let mut m = Module::new("m");
+        let a = simple_fn(&mut m, "a", false);
+        let void = m.types.void();
+        let fn_ty = m.types.func(void, vec![]);
+        let g = m.create_function("g", fn_ty);
+        let mut b = FuncBuilder::new(&mut m, g);
+        let entry = b.block("entry");
+        b.switch_to(entry);
+        b.ret(None);
+        let fa = Fingerprint::of(&m, a);
+        let fg = Fingerprint::of(&m, g);
+        // Only `ret` is shared, and type sets barely overlap.
+        assert!(fa.similarity(&fg) < 0.2);
+    }
+
+    #[test]
+    fn fingerprint_counts_opcodes() {
+        let mut m = Module::new("m");
+        let a = simple_fn(&mut m, "a", false);
+        let fa = Fingerprint::of(&m, a);
+        assert_eq!(fa.opcode_count(fmsa_ir::Opcode::Add), 1);
+        assert_eq!(fa.opcode_count(fmsa_ir::Opcode::Mul), 1);
+        assert_eq!(fa.opcode_count(fmsa_ir::Opcode::Ret), 1);
+        assert_eq!(fa.opcode_count(fmsa_ir::Opcode::FAdd), 0);
+        assert_eq!(fa.size(), 3);
+    }
+}

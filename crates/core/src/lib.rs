@@ -1,0 +1,63 @@
+//! # fmsa-core — Function Merging by Sequence Alignment
+//!
+//! The reproduction of the core contribution of Rocha et al., *Function
+//! Merging by Sequence Alignment* (CGO 2019): merging arbitrary pairs of
+//! functions — different bodies, CFGs, signatures and return types — by
+//! aligning their linearized instruction sequences, plus the exploration
+//! framework (fingerprints, ranking, profitability) that makes the
+//! optimization practical, and the two baselines the paper evaluates
+//! against.
+//!
+//! Module map (paper section in parentheses):
+//!
+//! * [`mod@linearize`] — CFG → sequence (§III-B)
+//! * [`equivalence`] — instruction/label equivalence (§III-D)
+//! * [`merge`] — parameter/return merging and two-pass code generation
+//!   (§III-E)
+//! * [`fingerprint`] — opcode/type fingerprints and the similarity upper
+//!   bound (§IV)
+//! * [`ranking`] — priority-queue candidate ranking with exploration
+//!   threshold (§IV)
+//! * [`profitability`] — the Δ cost model over the target TTI (§IV-A)
+//! * [`thunks`] — call-graph update: thunks, call-site rewriting, deletion
+//! * [`pass`] — the optimization driver with per-step timers (§IV, Fig. 7)
+//! * [`baselines`] — LLVM-style identical merging and the SOA structural
+//!   merging of von Koch et al. (§V-A)
+//!
+//! # Examples
+//!
+//! ```
+//! use fmsa_ir::{Module, FuncBuilder, Value};
+//! use fmsa_core::pass::{run_fmsa, FmsaOptions};
+//!
+//! let mut m = Module::new("demo");
+//! let i32t = m.types.i32();
+//! let fn_ty = m.types.func(i32t, vec![i32t]);
+//! for name in ["inc_a", "inc_b"] {
+//!     let f = m.create_function(name, fn_ty);
+//!     let mut b = FuncBuilder::new(&mut m, f);
+//!     let entry = b.block("entry");
+//!     b.switch_to(entry);
+//!     let one = b.const_i32(1);
+//!     let r = b.add(Value::Param(0), one);
+//!     b.ret(Some(r));
+//! }
+//! let stats = run_fmsa(&mut m, &FmsaOptions::default());
+//! assert_eq!(stats.merges, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod equivalence;
+pub mod fingerprint;
+pub mod linearize;
+pub mod merge;
+pub mod pass;
+pub mod profitability;
+pub mod ranking;
+pub mod thunks;
+
+pub use equivalence::EquivCtx;
+pub use linearize::{linearize, Entry};
+pub use merge::{merge_pair, MergeConfig, MergeError, MergeInfo};

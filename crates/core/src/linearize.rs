@@ -1,0 +1,125 @@
+//! Linearization of CFGs into sequences (paper §III-B).
+//!
+//! "It takes the CFG of the function, specifies a traversal order of the
+//! basic blocks, and for each block outputs its label and its instructions.
+//! ... We empirically chose a reverse post-order traversal with a canonical
+//! ordering of successor basic blocks."
+
+use fmsa_ir::{cfg, BlockId, Function, InstId};
+
+/// One element of a linearized function: the alphabet of the sequence
+/// alignment is "all possible typed instructions and labels" (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Entry {
+    /// A basic-block label.
+    Label(BlockId),
+    /// An instruction.
+    Inst(InstId),
+}
+
+impl Entry {
+    /// The block id, if this is a label.
+    pub fn as_label(&self) -> Option<BlockId> {
+        match self {
+            Entry::Label(b) => Some(*b),
+            Entry::Inst(_) => None,
+        }
+    }
+
+    /// The instruction id, if this is an instruction.
+    pub fn as_inst(&self) -> Option<InstId> {
+        match self {
+            Entry::Inst(i) => Some(*i),
+            Entry::Label(_) => None,
+        }
+    }
+}
+
+/// Linearizes `f`: reverse post-order over reachable blocks, emitting each
+/// block's label followed by its instructions in block order. Instruction
+/// order inside blocks is preserved, and CFG edges stay implicit in branch
+/// operands, exactly as in the paper's Fig. 4.
+pub fn linearize(f: &Function) -> Vec<Entry> {
+    let mut out = Vec::with_capacity(f.inst_count() + f.block_count());
+    for b in cfg::reverse_post_order(f) {
+        out.push(Entry::Label(b));
+        out.extend(f.block(b).insts.iter().map(|&i| Entry::Inst(i)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmsa_ir::{FuncBuilder, IntPredicate, Module, Value};
+
+    fn diamond_module() -> (Module, fmsa_ir::FuncId) {
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![i32t]);
+        let f = m.create_function("f", fn_ty);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        let t = b.block("t");
+        let e = b.block("e");
+        let join = b.block("join");
+        b.switch_to(entry);
+        let c = b.icmp(IntPredicate::Sgt, Value::Param(0), b.const_i32(0));
+        b.condbr(c, t, e);
+        b.switch_to(t);
+        b.br(join);
+        b.switch_to(e);
+        b.br(join);
+        b.switch_to(join);
+        b.ret(Some(Value::Param(0)));
+        (m, f)
+    }
+
+    #[test]
+    fn label_then_instructions() {
+        let (m, f) = diamond_module();
+        let seq = linearize(m.func(f));
+        // 4 labels + 5 instructions.
+        assert_eq!(seq.len(), 9);
+        assert!(matches!(seq[0], Entry::Label(_)));
+        assert!(matches!(seq[1], Entry::Inst(_))); // icmp
+        assert!(matches!(seq[2], Entry::Inst(_))); // condbr
+        assert!(matches!(seq[3], Entry::Label(_))); // then
+        let labels = seq.iter().filter(|e| e.as_label().is_some()).count();
+        assert_eq!(labels, 4);
+    }
+
+    #[test]
+    fn instruction_order_within_blocks_preserved() {
+        let (m, f) = diamond_module();
+        let seq = linearize(m.func(f));
+        let func = m.func(f);
+        // For each block, the instruction subsequence after its label must
+        // equal the block's instruction list.
+        let mut idx = 0;
+        while idx < seq.len() {
+            let Entry::Label(b) = seq[idx] else {
+                panic!("expected label at {idx}")
+            };
+            let insts = &func.block(b).insts;
+            for (k, &expect) in insts.iter().enumerate() {
+                assert_eq!(seq[idx + 1 + k], Entry::Inst(expect));
+            }
+            idx += 1 + insts.len();
+        }
+    }
+
+    #[test]
+    fn deterministic_linearization() {
+        let (m, f) = diamond_module();
+        assert_eq!(linearize(m.func(f)), linearize(m.func(f)));
+    }
+
+    #[test]
+    fn declarations_linearize_empty() {
+        let mut m = Module::new("m");
+        let fn_ty = m.types.func(m.types.void(), vec![]);
+        let f = m.create_function("decl", fn_ty);
+        assert!(linearize(m.func(f)).is_empty());
+    }
+}

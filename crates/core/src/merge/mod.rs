@@ -1,0 +1,361 @@
+//! Merging two arbitrary functions by sequence alignment (paper §III).
+//!
+//! [`merge_pair`] is the whole §III pipeline for one pair: linearize both
+//! functions, align the sequences, merge parameter lists and return types,
+//! then generate the merged body in two passes. The merged function is
+//! *added* to the module; committing it (thunks, call-graph update,
+//! deleting the originals) is the pass driver's job so that unprofitable
+//! merges can simply be discarded.
+
+pub mod codegen;
+pub mod params;
+
+pub use params::{merge_params, ParamMerge};
+
+use crate::equivalence::EquivCtx;
+use crate::linearize::{linearize, Entry};
+use fmsa_align::{hirschberg, needleman_wunsch, Alignment, ScoringScheme, Step};
+use fmsa_ir::{FuncId, Module, TyId, Type};
+use std::error::Error;
+use std::fmt;
+
+/// Which global-alignment algorithm drives the merge. The paper uses
+/// Needleman-Wunsch but notes "other algorithms could also be used with
+/// different performance and memory usage trade-offs" (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlignAlgo {
+    /// Full-matrix Needleman-Wunsch: `O(nm)` time *and* space.
+    #[default]
+    NeedlemanWunsch,
+    /// Hirschberg's divide-and-conquer: `O(nm)` time, `O(n+m)` space —
+    /// relevant for the multi-thousand-instruction functions of Table I.
+    Hirschberg,
+}
+
+/// Tunables for one merge.
+#[derive(Debug, Clone)]
+pub struct MergeConfig {
+    /// Alignment scoring scheme (§III-C: "rewards matches and equally
+    /// penalizes mismatches and gaps").
+    pub scoring: ScoringScheme,
+    /// Alignment algorithm.
+    pub algorithm: AlignAlgo,
+    /// Reuse parameters between the two functions (§III-E; the ablation
+    /// knob behind the paper's "up to 7%" claim).
+    pub reuse_params: bool,
+    /// Reorder operands of commutative instructions to reduce selects.
+    pub reorder_commutative: bool,
+    /// Base name for the merged function symbol.
+    pub name_hint: Option<String>,
+}
+
+impl Default for MergeConfig {
+    fn default() -> Self {
+        MergeConfig {
+            scoring: ScoringScheme::default(),
+            algorithm: AlignAlgo::default(),
+            reuse_params: true,
+            reorder_commutative: true,
+            name_hint: None,
+        }
+    }
+}
+
+/// Why a pair could not be merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// One of the functions is a declaration.
+    Declaration,
+    /// Attempted to merge a function with itself.
+    SameFunction,
+    /// Return types cannot be merged (differing aggregate returns).
+    IncompatibleReturns,
+    /// Code generation produced IR that failed verification (returned
+    /// rather than panicking so the pass can skip the pair; this indicates
+    /// a bug and is asserted against in tests).
+    InvalidCodegen(String),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Declaration => write!(f, "cannot merge declarations"),
+            MergeError::SameFunction => write!(f, "cannot merge a function with itself"),
+            MergeError::IncompatibleReturns => {
+                write!(f, "return types cannot be merged")
+            }
+            MergeError::InvalidCodegen(msg) => write!(f, "merged function invalid: {msg}"),
+        }
+    }
+}
+
+impl Error for MergeError {}
+
+/// How the merged return type relates to the originals (§III-E: "we select
+/// the largest one as the base type ... If one of them is void, then ... we
+/// just return the non-void type").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetInfo {
+    /// Return type of the merged function.
+    pub base: TyId,
+    /// Original return type of the first function.
+    pub ty1: TyId,
+    /// Original return type of the second function.
+    pub ty2: TyId,
+}
+
+impl RetInfo {
+    /// Whether side `first`'s return values need conversion to the base.
+    pub fn needs_cast(&self, first: bool) -> bool {
+        let ty = if first { self.ty1 } else { self.ty2 };
+        ty != self.base
+    }
+}
+
+/// Everything the pass needs to commit (or discard) a completed merge.
+#[derive(Debug, Clone)]
+pub struct MergeInfo {
+    /// The merged function (already added to the module).
+    pub merged: FuncId,
+    /// First original.
+    pub f1: FuncId,
+    /// Second original.
+    pub f2: FuncId,
+    /// Whether the merged function takes the leading `i1` identifier
+    /// (false when the two functions were effectively identical).
+    pub has_func_id: bool,
+    /// Parameter mapping.
+    pub params: ParamMerge,
+    /// Return-type merging.
+    pub ret: RetInfo,
+    /// Number of match columns in the alignment (diagnostics).
+    pub matches: usize,
+    /// Total alignment length (diagnostics).
+    pub alignment_len: usize,
+}
+
+/// Computes the merged return type.
+///
+/// # Errors
+///
+/// [`MergeError::IncompatibleReturns`] when both types are distinct
+/// aggregates (the paper's aggregate-return path is out of scope; see
+/// DESIGN.md).
+pub fn compute_ret_info(
+    types: &fmsa_ir::TypeStore,
+    r1: TyId,
+    r2: TyId,
+) -> Result<RetInfo, MergeError> {
+    if r1 == r2 {
+        return Ok(RetInfo { base: r1, ty1: r1, ty2: r2 });
+    }
+    let void1 = matches!(types.get(r1), Type::Void);
+    let void2 = matches!(types.get(r2), Type::Void);
+    if void1 {
+        return Ok(RetInfo { base: r2, ty1: r1, ty2: r2 });
+    }
+    if void2 {
+        return Ok(RetInfo { base: r1, ty1: r1, ty2: r2 });
+    }
+    if types.is_aggregate(r1) || types.is_aggregate(r2) {
+        return Err(MergeError::IncompatibleReturns);
+    }
+    let s1 = types.bit_size(r1).unwrap_or(0);
+    let s2 = types.bit_size(r2).unwrap_or(0);
+    let base = if s1 >= s2 { r1 } else { r2 };
+    Ok(RetInfo { base, ty1: r1, ty2: r2 })
+}
+
+/// Runs the full §III pipeline on `(f1, f2)`, adding the merged function to
+/// `module` and returning the mapping information. On error the module is
+/// left unchanged.
+///
+/// # Errors
+///
+/// See [`MergeError`].
+pub fn merge_pair(
+    module: &mut Module,
+    f1: FuncId,
+    f2: FuncId,
+    config: &MergeConfig,
+) -> Result<MergeInfo, MergeError> {
+    if f1 == f2 {
+        return Err(MergeError::SameFunction);
+    }
+    if module.func(f1).is_declaration() || module.func(f2).is_declaration() {
+        return Err(MergeError::Declaration);
+    }
+    // Step 1: linearization (§III-B).
+    let seq1 = linearize(module.func(f1));
+    let seq2 = linearize(module.func(f2));
+    // Step 2: sequence alignment (§III-C).
+    let alignment =
+        align_with(module, f1, f2, &seq1, &seq2, &config.scoring, config.algorithm);
+    merge_pair_aligned(module, f1, f2, seq1, seq2, alignment, config)
+}
+
+/// Computes the alignment of two already-linearized functions with
+/// Needleman-Wunsch. Exposed for the pass driver, which times this step
+/// separately (paper Fig. 13).
+pub fn align(
+    module: &Module,
+    f1: FuncId,
+    f2: FuncId,
+    seq1: &[Entry],
+    seq2: &[Entry],
+    scoring: &ScoringScheme,
+) -> Alignment {
+    align_with(module, f1, f2, seq1, seq2, scoring, AlignAlgo::NeedlemanWunsch)
+}
+
+/// [`align`] with an explicit algorithm choice.
+pub fn align_with(
+    module: &Module,
+    f1: FuncId,
+    f2: FuncId,
+    seq1: &[Entry],
+    seq2: &[Entry],
+    scoring: &ScoringScheme,
+    algorithm: AlignAlgo,
+) -> Alignment {
+    let ctx = EquivCtx::new(module, module.func(f1), module.func(f2));
+    match algorithm {
+        AlignAlgo::NeedlemanWunsch => {
+            needleman_wunsch(seq1, seq2, |a, b| ctx.entries_equivalent(a, b), scoring)
+        }
+        AlignAlgo::Hirschberg => {
+            hirschberg(seq1, seq2, |a, b| ctx.entries_equivalent(a, b), scoring)
+        }
+    }
+}
+
+/// The code-generation half of [`merge_pair`], taking a precomputed
+/// alignment (used by the pass driver for fine-grained timing, and by the
+/// SOA baseline which builds its lock-step alignment directly).
+///
+/// # Errors
+///
+/// See [`MergeError`].
+pub fn merge_pair_aligned(
+    module: &mut Module,
+    f1: FuncId,
+    f2: FuncId,
+    seq1: Vec<Entry>,
+    seq2: Vec<Entry>,
+    alignment: Alignment,
+    config: &MergeConfig,
+) -> Result<MergeInfo, MergeError> {
+    let ret = compute_ret_info(
+        &module.types,
+        module.func(f1).ret_ty(&module.types),
+        module.func(f2).ret_ty(&module.types),
+    )?;
+    // "In the special case where we merge identical functions, the output
+    // is also identical ... we can remove the extra parameter" (§III-E).
+    let has_func_id = !functions_identical(module, f1, f2, &seq1, &seq2, &alignment);
+    let i1 = module.types.i1();
+    let pm = params::merge_params(
+        module.func(f1),
+        module.func(f2),
+        has_func_id,
+        i1,
+        Some((&alignment, &seq1, &seq2)),
+        config.reuse_params,
+    );
+    let matches = alignment.match_count();
+    let alignment_len = alignment.len();
+    let name = unique_name(module, config, f1, f2);
+    let merged = codegen::generate(
+        module,
+        codegen::CodegenInput {
+            f1,
+            f2,
+            seq1,
+            seq2,
+            alignment,
+            params: pm.clone(),
+            ret,
+            name,
+            reorder_commutative: config.reorder_commutative,
+        },
+    )?;
+    Ok(MergeInfo { merged, f1, f2, has_func_id, params: pm, ret, matches, alignment_len })
+}
+
+fn unique_name(module: &Module, config: &MergeConfig, f1: FuncId, f2: FuncId) -> String {
+    let base = match &config.name_hint {
+        Some(h) => h.clone(),
+        None => format!("__merged.{}.{}", module.func(f1).name, module.func(f2).name),
+    };
+    if module.func_by_name(&base).is_none() {
+        return base;
+    }
+    let mut k = 1;
+    loop {
+        let cand = format!("{base}.{k}");
+        if module.func_by_name(&cand).is_none() {
+            return cand;
+        }
+        k += 1;
+    }
+}
+
+/// Whether the alignment shows the two functions to be operand-level
+/// identical, so no `func_id`, selects, or guard branches will be needed.
+fn functions_identical(
+    module: &Module,
+    f1: FuncId,
+    f2: FuncId,
+    seq1: &[Entry],
+    seq2: &[Entry],
+    alignment: &Alignment,
+) -> bool {
+    if module.func(f1).fn_ty() != module.func(f2).fn_ty() {
+        return false;
+    }
+    if !alignment.steps.iter().all(Step::is_match) {
+        return false;
+    }
+    // Build positional correspondences and check operands are congruent.
+    let fa = module.func(f1);
+    let fb = module.func(f2);
+    let mut inst_pairs: std::collections::HashMap<fmsa_ir::InstId, fmsa_ir::InstId> =
+        std::collections::HashMap::new();
+    let mut block_pairs: std::collections::HashMap<fmsa_ir::BlockId, fmsa_ir::BlockId> =
+        std::collections::HashMap::new();
+    for step in &alignment.steps {
+        let Step::Both { i, j, .. } = *step else { return false };
+        match (seq1[i], seq2[j]) {
+            (Entry::Inst(a), Entry::Inst(b)) => {
+                inst_pairs.insert(a, b);
+            }
+            (Entry::Label(a), Entry::Label(b)) => {
+                block_pairs.insert(a, b);
+            }
+            _ => return false,
+        }
+    }
+    for (&a, &b) in &inst_pairs {
+        let ia = fa.inst(a);
+        let ib = fb.inst(b);
+        if ia.ty != ib.ty || ia.operands.len() != ib.operands.len() {
+            return false;
+        }
+        for (&oa, &ob) in ia.operands.iter().zip(&ib.operands) {
+            let congruent = match (oa, ob) {
+                (fmsa_ir::Value::Inst(x), fmsa_ir::Value::Inst(y)) => {
+                    inst_pairs.get(&x) == Some(&y)
+                }
+                (fmsa_ir::Value::Block(x), fmsa_ir::Value::Block(y)) => {
+                    block_pairs.get(&x) == Some(&y)
+                }
+                (fmsa_ir::Value::Param(x), fmsa_ir::Value::Param(y)) => x == y,
+                (x, y) => x == y,
+            };
+            if !congruent {
+                return false;
+            }
+        }
+    }
+    true
+}

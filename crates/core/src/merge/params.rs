@@ -1,0 +1,268 @@
+//! Merging parameter lists (paper §III-E, Fig. 6).
+//!
+//! "First, we create the binary parameter that represents the function
+//! identifier ... We then add all the parameters of one of the functions to
+//! the new list of parameters. Finally, for each parameter of the second
+//! function, we either reuse an existing and available parameter of
+//! identical type from the first function or we add a new parameter."
+//!
+//! When several reuse pairings are possible, the paper "select\[s\] parameter
+//! pairs that minimize the number of select instructions ... by analyzing
+//! all pairs of equivalent instructions that use the parameters as
+//! operands" — implemented here as a vote matrix over aligned instruction
+//! pairs.
+
+use fmsa_align::{Alignment, Step};
+use fmsa_ir::{Function, TyId, Value};
+use std::collections::HashMap;
+
+use crate::linearize::Entry;
+
+/// Result of merging two parameter lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamMerge {
+    /// Types of the merged parameter list, in order. When
+    /// [`ParamMerge::has_func_id`] is true, index 0 is the `i1` function
+    /// identifier.
+    pub merged_tys: Vec<TyId>,
+    /// Whether the merged list begins with the function identifier.
+    pub has_func_id: bool,
+    /// `map1[k]` = merged index carrying the first function's parameter `k`.
+    pub map1: Vec<usize>,
+    /// `map2[k]` = merged index carrying the second function's parameter `k`.
+    pub map2: Vec<usize>,
+}
+
+impl ParamMerge {
+    /// Number of merged parameters (including the identifier).
+    pub fn len(&self) -> usize {
+        self.merged_tys.len()
+    }
+
+    /// Whether the merged list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.merged_tys.is_empty()
+    }
+
+    /// How many of the second function's parameters were fused onto first
+    /// function parameters.
+    pub fn reused(&self) -> usize {
+        self.map2.iter().filter(|&&m| self.map1.contains(&m)).count()
+    }
+}
+
+/// Computes the merged parameter list.
+///
+/// * `with_func_id` — include the leading `i1` identifier (omitted when
+///   merging identical functions, §III-E).
+/// * `alignment` — when provided together with the two linearized
+///   sequences, matched instruction pairs vote for `(param_i, param_j)`
+///   pairings that would remove `select`s; the vote matrix drives reuse.
+/// * `reuse` — when `false`, no parameters are shared (the ablation knob
+///   for the paper's "up to 7%" claim).
+pub fn merge_params(
+    f1: &Function,
+    f2: &Function,
+    with_func_id: bool,
+    i1_ty: TyId,
+    alignment: Option<(&Alignment, &[Entry], &[Entry])>,
+    reuse: bool,
+) -> ParamMerge {
+    let n1 = f1.params().len();
+    let n2 = f2.params().len();
+    let mut merged_tys: Vec<TyId> = Vec::with_capacity(1 + n1 + n2);
+    if with_func_id {
+        merged_tys.push(i1_ty);
+    }
+    let base = merged_tys.len();
+    // All of f1's parameters, in order.
+    let mut map1 = Vec::with_capacity(n1);
+    for p in f1.params() {
+        map1.push(merged_tys.len());
+        merged_tys.push(p.ty);
+    }
+    // Votes: (p1, p2) pairs appearing at the same operand position of
+    // matched instruction pairs.
+    let mut votes: HashMap<(u32, u32), usize> = HashMap::new();
+    if let Some((al, seq1, seq2)) = alignment {
+        for step in &al.steps {
+            let Step::Both { i, j, matched: true } = *step else { continue };
+            let (Entry::Inst(i1), Entry::Inst(i2)) = (seq1[i], seq2[j]) else { continue };
+            let in1 = f1.inst(i1);
+            let in2 = f2.inst(i2);
+            for (&o1, &o2) in in1.operands.iter().zip(&in2.operands) {
+                if let (Value::Param(p1), Value::Param(p2)) = (o1, o2) {
+                    *votes.entry((p1, p2)).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    // Assign f2 parameters: highest-vote identical-type pairings first.
+    let mut map2 = vec![usize::MAX; n2];
+    let mut taken = vec![false; n1]; // f1 params already fused
+    if reuse {
+        let mut ranked: Vec<((u32, u32), usize)> = votes.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        for ((p1, p2), _) in ranked {
+            let (p1u, p2u) = (p1 as usize, p2 as usize);
+            if p1u >= n1 || p2u >= n2 || taken[p1u] || map2[p2u] != usize::MAX {
+                continue;
+            }
+            if f1.params()[p1u].ty != f2.params()[p2u].ty {
+                continue;
+            }
+            taken[p1u] = true;
+            map2[p2u] = base + p1u;
+        }
+        // Remaining f2 params: first free identical-typed f1 param.
+        for (k, slot) in map2.iter_mut().enumerate() {
+            if *slot != usize::MAX {
+                continue;
+            }
+            let want = f2.params()[k].ty;
+            if let Some(p1u) =
+                (0..n1).find(|&p| !taken[p] && f1.params()[p].ty == want)
+            {
+                taken[p1u] = true;
+                *slot = base + p1u;
+            }
+        }
+    }
+    // Anything still unassigned becomes a fresh parameter.
+    for (k, slot) in map2.iter_mut().enumerate() {
+        if *slot == usize::MAX {
+            *slot = merged_tys.len();
+            merged_tys.push(f2.params()[k].ty);
+        }
+    }
+    ParamMerge { merged_tys, has_func_id: with_func_id, map1, map2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmsa_ir::{Module, TypeStore};
+
+    fn mk_fn(m: &mut Module, name: &str, params: Vec<TyId>) -> fmsa_ir::FuncId {
+        let void = m.types.void();
+        let fn_ty = m.types.func(void, params);
+        m.create_function(name, fn_ty)
+    }
+
+    #[test]
+    fn fig6_example_shape() {
+        // Fig. 6: f1(i32, i32*, float) + f2(double, float, float)
+        // -> (i1, i32, i32*, float, double, float): the two float params
+        // fuse one pair, double and the second float are fresh.
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let p32 = m.types.ptr(i32t);
+        let f32t = m.types.f32();
+        let f64t = m.types.f64();
+        let f1 = mk_fn(&mut m, "f1", vec![i32t, p32, f32t]);
+        let f2 = mk_fn(&mut m, "f2", vec![f64t, f32t, f32t]);
+        let pm = merge_params(m.func(f1), m.func(f2), true, m.types.i1(), None, true);
+        assert!(pm.has_func_id);
+        assert_eq!(pm.merged_tys.len(), 6);
+        assert_eq!(pm.merged_tys[0], m.types.i1());
+        // f1 params occupy slots 1..=3 in order.
+        assert_eq!(pm.map1, vec![1, 2, 3]);
+        // One of f2's float params reuses slot 3 (f1's float).
+        let reuse_count = pm.map2.iter().filter(|&&x| x == 3).count();
+        assert_eq!(reuse_count, 1);
+        assert_eq!(pm.reused(), 1);
+    }
+
+    #[test]
+    fn no_reuse_mode_concatenates() {
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let f1 = mk_fn(&mut m, "f1", vec![i32t, i32t]);
+        let f2 = mk_fn(&mut m, "f2", vec![i32t]);
+        let pm = merge_params(m.func(f1), m.func(f2), true, m.types.i1(), None, false);
+        assert_eq!(pm.merged_tys.len(), 1 + 2 + 1);
+        assert_eq!(pm.reused(), 0);
+    }
+
+    #[test]
+    fn without_func_id() {
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let f1 = mk_fn(&mut m, "f1", vec![i32t]);
+        let f2 = mk_fn(&mut m, "f2", vec![i32t]);
+        let pm = merge_params(m.func(f1), m.func(f2), false, m.types.i1(), None, true);
+        assert!(!pm.has_func_id);
+        assert_eq!(pm.merged_tys.len(), 1);
+        assert_eq!(pm.map1, vec![0]);
+        assert_eq!(pm.map2, vec![0]);
+    }
+
+    #[test]
+    fn maps_are_total_and_well_typed() {
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let f64t = m.types.f64();
+        let f1 = mk_fn(&mut m, "f1", vec![i32t, f64t, i32t]);
+        let f2 = mk_fn(&mut m, "f2", vec![f64t, f64t, i32t, i32t]);
+        let pm = merge_params(m.func(f1), m.func(f2), true, m.types.i1(), None, true);
+        for (k, &slot) in pm.map1.iter().enumerate() {
+            assert_eq!(pm.merged_tys[slot], m.func(f1).params()[k].ty);
+        }
+        for (k, &slot) in pm.map2.iter().enumerate() {
+            assert_eq!(pm.merged_tys[slot], m.func(f2).params()[k].ty);
+        }
+        // No two f2 params share a slot; no two f1 params share a slot.
+        let mut s1 = pm.map1.clone();
+        s1.sort_unstable();
+        s1.dedup();
+        assert_eq!(s1.len(), pm.map1.len());
+        let mut s2 = pm.map2.clone();
+        s2.sort_unstable();
+        s2.dedup();
+        assert_eq!(s2.len(), pm.map2.len());
+    }
+
+    #[test]
+    fn vote_matrix_prefers_matching_pairs() {
+        // f1(a: i32, b: i32), f2(x: i32, y: i32). An aligned `add a, c` vs
+        // `add y, c` votes (0, 1): f2's y should land on f1's a slot.
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let void = m.types.void();
+        let fn_ty = m.types.func(void, vec![i32t, i32t]);
+        let f1 = m.create_function("f1", fn_ty);
+        let f2 = m.create_function("f2", fn_ty);
+        for (f, pick) in [(f1, 0u32), (f2, 1u32)] {
+            let mut b = fmsa_ir::FuncBuilder::new(&mut m, f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let v = b.add(Value::Param(pick), b.const_i32(3));
+            let s = b.alloca(i32t);
+            b.store(v, s);
+            b.ret(None);
+        }
+        let seq1 = crate::linearize::linearize(m.func(f1));
+        let seq2 = crate::linearize::linearize(m.func(f2));
+        let ctx = crate::equivalence::EquivCtx::new(&m, m.func(f1), m.func(f2));
+        let al = fmsa_align::needleman_wunsch(
+            &seq1,
+            &seq2,
+            |a, b| ctx.entries_equivalent(a, b),
+            &fmsa_align::ScoringScheme::default(),
+        );
+        let pm = merge_params(
+            m.func(f1),
+            m.func(f2),
+            true,
+            m.types.i1(),
+            Some((&al, &seq1, &seq2)),
+            true,
+        );
+        // f2's param 1 (y) should map onto f1's param 0 slot (merged idx 1).
+        assert_eq!(pm.map2[1], 1, "vote should fuse f2.y with f1.a: {pm:?}");
+    }
+
+    // Silence unused-import warning in non-test builds of this module.
+    #[allow(unused)]
+    fn _touch(_: &TypeStore) {}
+}

@@ -1,0 +1,383 @@
+//! The FMSA optimization driver (paper §IV, Fig. 7).
+//!
+//! "It starts by precomputing and caching fingerprints for all functions
+//! ... For each function f1, we use a priority queue to rank the topmost
+//! similar candidates ... We then perform this candidate exploration in a
+//! greedy fashion, terminating after finding the first candidate that
+//! results in a profitable merge and committing that merge operation. ...
+//! the new function is added to the optimization working list. Because of
+//! this feedback loop, merge operations can also be performed on functions
+//! that resulted from previous merge operations."
+//!
+//! The driver instruments each step with a timer so the harness can
+//! regenerate the paper's compile-time breakdown (Fig. 13).
+
+use crate::fingerprint::Fingerprint;
+use crate::linearize::linearize;
+use crate::merge::{align_with, merge_pair_aligned, MergeConfig, MergeInfo};
+use crate::profitability::{evaluate, ProfitReport};
+use crate::ranking::rank_candidates;
+use crate::thunks::commit_merge;
+use fmsa_ir::{FuncId, Module};
+use fmsa_target::{CostModel, TargetArch};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Options controlling one run of the FMSA pass.
+#[derive(Debug, Clone)]
+pub struct FmsaOptions {
+    /// Exploration threshold `t`: how many top-ranked candidates to try per
+    /// function (paper evaluates t = 1, 5, 10).
+    pub threshold: usize,
+    /// Oracle mode: evaluate *every* candidate and commit the most
+    /// profitable one — the paper's unrealistic quadratic upper bound.
+    pub oracle: bool,
+    /// Target whose TTI-like cost model drives profitability.
+    pub arch: TargetArch,
+    /// Per-pair merge configuration.
+    pub merge: MergeConfig,
+    /// Function names excluded from merging (the paper's profile-guided
+    /// hot-function exclusion, §V-D).
+    pub exclude: HashSet<String>,
+    /// Candidates below this similarity are never attempted.
+    pub min_similarity: f64,
+    /// Canonicalize intra-block instruction order before merging — the
+    /// paper's future-work extension ("allowing instruction reordering to
+    /// maximize the number of matches"). Semantics-preserving; makes
+    /// reordered clones align.
+    pub canonicalize: bool,
+}
+
+impl Default for FmsaOptions {
+    fn default() -> Self {
+        FmsaOptions {
+            threshold: 1,
+            oracle: false,
+            arch: TargetArch::X86_64,
+            merge: MergeConfig::default(),
+            exclude: HashSet::new(),
+            min_similarity: 0.0,
+            canonicalize: false,
+        }
+    }
+}
+
+impl FmsaOptions {
+    /// Convenience: options with a given exploration threshold.
+    pub fn with_threshold(t: usize) -> FmsaOptions {
+        FmsaOptions { threshold: t, ..FmsaOptions::default() }
+    }
+
+    /// Convenience: oracle (exhaustive) exploration.
+    pub fn oracle() -> FmsaOptions {
+        FmsaOptions { oracle: true, ..FmsaOptions::default() }
+    }
+}
+
+/// Wall-clock spent in each step of the optimization — the rows of the
+/// paper's Fig. 13 breakdown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepTimers {
+    /// Computing and refreshing fingerprints.
+    pub fingerprinting: Duration,
+    /// Ranking candidates (quadratic in the number of functions).
+    pub ranking: Duration,
+    /// Linearizing functions.
+    pub linearization: Duration,
+    /// Needleman-Wunsch alignment (dominant in the paper).
+    pub alignment: Duration,
+    /// Code generation, parameter merging, and profitability evaluation.
+    pub codegen: Duration,
+    /// Thunks, call-site rewriting, call-graph update.
+    pub update_calls: Duration,
+}
+
+impl StepTimers {
+    /// Total time across all steps.
+    pub fn total(&self) -> Duration {
+        self.fingerprinting
+            + self.ranking
+            + self.linearization
+            + self.alignment
+            + self.codegen
+            + self.update_calls
+    }
+
+    /// `(name, seconds)` rows for reporting.
+    pub fn rows(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("fingerprinting", self.fingerprinting.as_secs_f64()),
+            ("ranking", self.ranking.as_secs_f64()),
+            ("linearization", self.linearization.as_secs_f64()),
+            ("alignment", self.alignment.as_secs_f64()),
+            ("codegen", self.codegen.as_secs_f64()),
+            ("updating-calls", self.update_calls.as_secs_f64()),
+        ]
+    }
+}
+
+/// Statistics of one FMSA run.
+#[derive(Debug, Clone, Default)]
+pub struct FmsaStats {
+    /// Committed merge operations.
+    pub merges: usize,
+    /// Merge attempts (including unprofitable ones that were discarded).
+    pub attempted: usize,
+    /// For each committed merge, the 1-based rank position of the partner
+    /// that won — the data behind the paper's Fig. 8 CDF.
+    pub rank_positions: Vec<usize>,
+    /// Per-step timers (Fig. 13).
+    pub timers: StepTimers,
+    /// Module size before the pass, in cost-model bytes.
+    pub size_before: u64,
+    /// Module size after the pass.
+    pub size_after: u64,
+    /// Originals deleted outright.
+    pub deleted: usize,
+    /// Originals kept as thunks.
+    pub thunks: usize,
+}
+
+impl FmsaStats {
+    /// Code-size reduction achieved, in percent.
+    pub fn reduction_percent(&self) -> f64 {
+        fmsa_target::reduction_percent(self.size_before, self.size_after)
+    }
+}
+
+/// Runs the FMSA optimization over `module`.
+pub fn run_fmsa(module: &mut Module, opts: &FmsaOptions) -> FmsaStats {
+    let cm = CostModel::new(opts.arch);
+    let mut stats = FmsaStats { size_before: cm.module_size(module), ..FmsaStats::default() };
+
+    // Optional future-work extension: canonical intra-block instruction
+    // order, so reordered clones linearize identically.
+    if opts.canonicalize {
+        let t0 = Instant::now();
+        for f in module.func_ids() {
+            if eligible(module, f, opts) {
+                fmsa_ir::passes::canonicalize_block_order(module.func_mut(f));
+            }
+        }
+        stats.timers.linearization += t0.elapsed();
+    }
+    // Fingerprint every eligible function (cached; §IV).
+    let t0 = Instant::now();
+    let mut fingerprints: HashMap<FuncId, Fingerprint> = HashMap::new();
+    let mut available: Vec<FuncId> = Vec::new();
+    for f in module.func_ids() {
+        if eligible(module, f, opts) {
+            fingerprints.insert(f, Fingerprint::of(module, f));
+            available.push(f);
+        }
+    }
+    stats.timers.fingerprinting += t0.elapsed();
+    let mut worklist: VecDeque<FuncId> = available.iter().copied().collect();
+    let mut live: HashSet<FuncId> = available.into_iter().collect();
+
+    while let Some(f1) = worklist.pop_front() {
+        if !live.contains(&f1) || !module.is_live(f1) {
+            continue;
+        }
+        // Rank the top candidates for f1.
+        let t0 = Instant::now();
+        let pool: Vec<(FuncId, Fingerprint)> = live
+            .iter()
+            .filter(|&&f| f != f1)
+            .map(|&f| (f, fingerprints[&f].clone()))
+            .collect();
+        let threshold = if opts.oracle { usize::MAX } else { opts.threshold };
+        let candidates =
+            rank_candidates(f1, &fingerprints[&f1], &pool, threshold, opts.min_similarity);
+        stats.timers.ranking += t0.elapsed();
+
+        let mut best: Option<(usize, MergeInfo, ProfitReport)> = None;
+        for (pos, cand) in candidates.iter().enumerate() {
+            stats.attempted += 1;
+            let t0 = Instant::now();
+            let seq1 = linearize(module.func(f1));
+            let seq2 = linearize(module.func(cand.func));
+            stats.timers.linearization += t0.elapsed();
+            let t0 = Instant::now();
+            let alignment = align_with(
+                module,
+                f1,
+                cand.func,
+                &seq1,
+                &seq2,
+                &opts.merge.scoring,
+                opts.merge.algorithm,
+            );
+            stats.timers.alignment += t0.elapsed();
+            let t0 = Instant::now();
+            let merged =
+                merge_pair_aligned(module, f1, cand.func, seq1, seq2, alignment, &opts.merge);
+            let outcome = match merged {
+                Ok(info) => {
+                    let report = evaluate(module, &cm, &info);
+                    Some((info, report))
+                }
+                Err(_) => None,
+            };
+            stats.timers.codegen += t0.elapsed();
+            match outcome {
+                Some((info, report)) if report.is_profitable() => {
+                    if opts.oracle {
+                        // Keep only the best profitable candidate.
+                        let better = best
+                            .as_ref()
+                            .map(|(_, _, b)| report.delta > b.delta)
+                            .unwrap_or(true);
+                        if better {
+                            if let Some((_, old, _)) = best.take() {
+                                module.remove_function(old.merged);
+                            }
+                            best = Some((pos + 1, info, report));
+                        } else {
+                            module.remove_function(info.merged);
+                        }
+                    } else {
+                        best = Some((pos + 1, info, report));
+                        break; // greedy: first profitable candidate wins
+                    }
+                }
+                Some((info, _)) => module.remove_function(info.merged),
+                None => {}
+            }
+        }
+
+        let Some((pos, info, _)) = best else { continue };
+        // Commit: thunks / call-graph update (§III-A).
+        let t0 = Instant::now();
+        let commit = match commit_merge(module, &info) {
+            Ok(c) => c,
+            Err(_) => {
+                // Should not happen (guarded by tests); drop the merge.
+                module.remove_function(info.merged);
+                continue;
+            }
+        };
+        stats.timers.update_calls += t0.elapsed();
+        stats.merges += 1;
+        stats.rank_positions.push(pos);
+        for d in [commit.first, commit.second] {
+            match d {
+                crate::thunks::Disposition::Deleted => stats.deleted += 1,
+                crate::thunks::Disposition::Thunk => stats.thunks += 1,
+            }
+        }
+        // Maintain the pool: originals leave, the merged function joins the
+        // working list (feedback loop), rewritten callers get fresh
+        // fingerprints.
+        live.remove(&f1);
+        live.remove(&info.f2);
+        fingerprints.remove(&f1);
+        fingerprints.remove(&info.f2);
+        let t0 = Instant::now();
+        for g in commit.touched {
+            if live.contains(&g) && module.is_live(g) {
+                fingerprints.insert(g, Fingerprint::of(module, g));
+            }
+        }
+        fingerprints.insert(info.merged, Fingerprint::of(module, info.merged));
+        stats.timers.fingerprinting += t0.elapsed();
+        live.insert(info.merged);
+        worklist.push_back(info.merged);
+    }
+
+    stats.size_after = cm.module_size(module);
+    stats
+}
+
+fn eligible(module: &Module, f: FuncId, opts: &FmsaOptions) -> bool {
+    let func = module.func(f);
+    !func.is_declaration() && !opts.exclude.contains(&func.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmsa_ir::{FuncBuilder, Value};
+
+    fn clone_family(m: &mut Module, count: usize, body_len: usize) -> Vec<FuncId> {
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![i32t, i32t]);
+        let mut out = Vec::new();
+        for k in 0..count {
+            let f = m.create_function(format!("fam{k}"), fn_ty);
+            let mut b = FuncBuilder::new(m, f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let mut v = Value::Param(0);
+            for j in 0..body_len {
+                v = b.add(v, b.const_i32(j as i32));
+                v = b.mul(v, Value::Param(1));
+            }
+            // One differing constant per clone.
+            v = b.xor(v, b.const_i32(k as i32 + 100));
+            b.ret(Some(v));
+            out.push(f);
+        }
+        out
+    }
+
+    #[test]
+    fn merges_a_clone_family_and_shrinks_module() {
+        let mut m = Module::new("m");
+        clone_family(&mut m, 4, 12);
+        let stats = run_fmsa(&mut m, &FmsaOptions::default());
+        assert!(stats.merges >= 2, "{stats:?}");
+        assert!(stats.size_after < stats.size_before, "{stats:?}");
+        assert!(fmsa_ir::verify_module(&m).is_empty(), "{:?}", fmsa_ir::verify_module(&m));
+    }
+
+    #[test]
+    fn feedback_loop_merges_merged_functions() {
+        // 4 clones: pairwise merges produce 2 merged functions that are
+        // themselves similar and merge again -> 3 total merges.
+        let mut m = Module::new("m");
+        clone_family(&mut m, 4, 12);
+        let stats = run_fmsa(&mut m, &FmsaOptions::with_threshold(10));
+        assert_eq!(stats.merges, 3, "{stats:?}");
+    }
+
+    #[test]
+    fn exclusion_prevents_merging() {
+        let mut m = Module::new("m");
+        clone_family(&mut m, 2, 12);
+        let mut opts = FmsaOptions::default();
+        opts.exclude.insert("fam0".to_owned());
+        let stats = run_fmsa(&mut m, &opts);
+        assert_eq!(stats.merges, 0);
+        assert_eq!(stats.size_before, stats.size_after);
+    }
+
+    #[test]
+    fn oracle_finds_at_least_as_much_as_greedy() {
+        let mut m1 = Module::new("m1");
+        clone_family(&mut m1, 5, 10);
+        let greedy = run_fmsa(&mut m1, &FmsaOptions::default());
+        let mut m2 = Module::new("m2");
+        clone_family(&mut m2, 5, 10);
+        let oracle = run_fmsa(&mut m2, &FmsaOptions::oracle());
+        assert!(oracle.size_after <= greedy.size_after, "greedy={greedy:?} oracle={oracle:?}");
+    }
+
+    #[test]
+    fn rank_positions_recorded() {
+        let mut m = Module::new("m");
+        clone_family(&mut m, 4, 12);
+        let stats = run_fmsa(&mut m, &FmsaOptions::with_threshold(5));
+        assert_eq!(stats.rank_positions.len(), stats.merges);
+        assert!(stats.rank_positions.iter().all(|&p| p >= 1 && p <= 5));
+    }
+
+    #[test]
+    fn timers_accumulate() {
+        let mut m = Module::new("m");
+        clone_family(&mut m, 4, 20);
+        let stats = run_fmsa(&mut m, &FmsaOptions::default());
+        assert!(stats.timers.total() > Duration::ZERO);
+        assert!(stats.timers.alignment > Duration::ZERO);
+    }
+}

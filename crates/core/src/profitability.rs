@@ -1,0 +1,175 @@
+//! The profitability cost model (paper §IV-A).
+//!
+//! ```text
+//! Δ({f1,f2}, f1,2) = (c(f1) + c(f2)) − (c(f1,2) + ε)
+//! ε = δ(f1, f1,2) + δ(f2, f1,2)
+//! ```
+//!
+//! where `c` is the target-specific code-size cost (our TTI stand-in,
+//! [`fmsa_target::CostModel`]) and `δ` covers "(1) the cases where we need
+//! to keep the original functions with a call to the merged function; and
+//! (2) for the cases where we update the call graph, there might be an
+//! extra cost with a call to the merged function due to the increased
+//! number of arguments."
+
+use crate::merge::MergeInfo;
+use crate::thunks::{can_delete, count_call_sites};
+use fmsa_ir::{FuncId, Module, Type};
+use fmsa_target::CostModel;
+
+/// Detailed outcome of the Δ computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfitReport {
+    /// `c(f1)` in bytes.
+    pub size_f1: u64,
+    /// `c(f2)` in bytes.
+    pub size_f2: u64,
+    /// `c(f1,2)` in bytes.
+    pub size_merged: u64,
+    /// The ε extra-cost term in bytes.
+    pub epsilon: u64,
+    /// The Δ profit; positive means merging shrinks the program.
+    pub delta: i64,
+}
+
+impl ProfitReport {
+    /// "We consider that the merge operation is profitable if Δ > 0."
+    pub fn is_profitable(&self) -> bool {
+        self.delta > 0
+    }
+}
+
+/// Evaluates Δ for a completed (but not yet committed) merge.
+///
+/// Like the paper, `c(f)` sums per-instruction TTI code-size costs — the
+/// fixed prologue/epilogue overhead of the symbol is *not* credited, which
+/// keeps merges of dissimilar functions (whose merged body exceeds the sum
+/// of the originals) unprofitable.
+pub fn evaluate(module: &Module, cm: &CostModel, info: &MergeInfo) -> ProfitReport {
+    let size_f1 = cm.body_size(module, info.f1);
+    let size_f2 = cm.body_size(module, info.f2);
+    let size_merged = cm.body_size(module, info.merged);
+    let epsilon = delta_cost(module, cm, info, true) + delta_cost(module, cm, info, false);
+    let delta = (size_f1 + size_f2) as i64 - (size_merged + epsilon) as i64;
+    ProfitReport { size_f1, size_f2, size_merged, epsilon, delta }
+}
+
+/// The δ(f_i, f1,2) term for one side.
+fn delta_cost(module: &Module, cm: &CostModel, info: &MergeInfo, first: bool) -> u64 {
+    let func: FuncId = if first { info.f1 } else { info.f2 };
+    let orig_params = module.func(func).params().len() as u64;
+    let merged_params = info.params.merged_tys.len() as u64;
+    let extra_args = merged_params.saturating_sub(orig_params);
+    let ret_orig = if first { info.ret.ty1 } else { info.ret.ty2 };
+    let ret_cast = if ret_orig == info.ret.base
+        || matches!(module.types.get(ret_orig), Type::Void)
+    {
+        0
+    } else {
+        // A short bitcast/trunc chain at each use of the result.
+        4
+    };
+    if can_delete(module, func) {
+        // Call-graph update: every call site passes extra arguments and may
+        // convert the result.
+        let sites = count_call_sites(module, func) as u64;
+        sites * (extra_args * cm.per_arg_call_cost() + ret_cast)
+    } else {
+        // Thunk body left in the original symbol: a call forwarding every
+        // merged argument plus the return.
+        cm.call_cost() + merged_params * cm.per_arg_call_cost() + ret_cast + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::{merge_pair, MergeConfig};
+    use fmsa_ir::{FuncBuilder, Linkage, Value};
+    use fmsa_target::TargetArch;
+
+    /// A pair of near-identical medium functions; merging should win.
+    fn similar_pair(m: &mut fmsa_ir::Module) -> (FuncId, FuncId) {
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![i32t, i32t]);
+        let mut out = Vec::new();
+        for (name, c) in [("fa", 3), ("fb", 4)] {
+            let f = m.create_function(name, fn_ty);
+            let mut b = FuncBuilder::new(m, f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let mut v = Value::Param(0);
+            for k in 0..10 {
+                v = b.add(v, b.const_i32(k));
+                v = b.mul(v, Value::Param(1));
+            }
+            v = b.add(v, b.const_i32(c)); // the single difference
+            b.ret(Some(v));
+            out.push(f);
+        }
+        (out[0], out[1])
+    }
+
+    #[test]
+    fn near_identical_pair_is_profitable() {
+        let mut m = fmsa_ir::Module::new("m");
+        let (fa, fb) = similar_pair(&mut m);
+        let info = merge_pair(&mut m, fa, fb, &MergeConfig::default()).expect("merges");
+        let cm = CostModel::new(TargetArch::X86_64);
+        let report = evaluate(&m, &cm, &info);
+        assert!(report.is_profitable(), "{report:?}");
+        assert!(report.size_merged < report.size_f1 + report.size_f2);
+    }
+
+    #[test]
+    fn dissimilar_pair_is_unprofitable() {
+        let mut m = fmsa_ir::Module::new("m");
+        let i32t = m.types.i32();
+        let f64t = m.types.f64();
+        let fn1 = m.types.func(i32t, vec![i32t]);
+        let fn2 = m.types.func(f64t, vec![f64t]);
+        let fa = m.create_function("fa", fn1);
+        {
+            let mut b = FuncBuilder::new(&mut m, fa);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let mut v = Value::Param(0);
+            for k in 0..8 {
+                v = b.xor(v, b.const_i32(k));
+            }
+            b.ret(Some(v));
+        }
+        let fb = m.create_function("fb", fn2);
+        {
+            let mut b = FuncBuilder::new(&mut m, fb);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let mut v = Value::Param(0);
+            for _ in 0..8 {
+                v = b.fdiv(v, b.const_f64(1.5));
+            }
+            b.ret(Some(v));
+        }
+        let info = merge_pair(&mut m, fa, fb, &MergeConfig::default()).expect("merge builds");
+        let cm = CostModel::new(TargetArch::X86_64);
+        let report = evaluate(&m, &cm, &info);
+        assert!(!report.is_profitable(), "{report:?}");
+    }
+
+    #[test]
+    fn external_linkage_pays_thunk_costs() {
+        let mut m = fmsa_ir::Module::new("m");
+        let (fa, fb) = similar_pair(&mut m);
+        let info = merge_pair(&mut m, fa, fb, &MergeConfig::default()).expect("merges");
+        let cm = CostModel::new(TargetArch::X86_64);
+        let deletable = evaluate(&m, &cm, &info);
+        m.func_mut(fa).linkage = Linkage::External;
+        m.func_mut(fb).linkage = Linkage::External;
+        let thunked = evaluate(&m, &cm, &info);
+        assert!(
+            thunked.epsilon > deletable.epsilon,
+            "thunks cost more than call-graph updates with no callers"
+        );
+        assert!(thunked.delta < deletable.delta);
+    }
+}

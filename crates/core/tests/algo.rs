@@ -1,0 +1,84 @@
+//! Alignment-algorithm interchangeability (§III-C: "Different alignments
+//! would produce different but valid merged functions"): merging with
+//! Hirschberg instead of Needleman-Wunsch must still produce valid,
+//! behaviour-preserving code of comparable quality.
+
+use fmsa_core::merge::{merge_pair, AlignAlgo, MergeConfig};
+use fmsa_core::thunks::commit_merge;
+use fmsa_ir::{Linkage, Module};
+use fmsa_interp::{Interpreter, Val};
+use fmsa_workloads::{generate_function, GenConfig, Variant};
+
+fn build_pair(seed: u64, variant: &Variant) -> (Module, fmsa_ir::FuncId, fmsa_ir::FuncId) {
+    let mut m = Module::new("algo");
+    let cfg = GenConfig { target_size: 60, ..GenConfig::default() };
+    let fa = generate_function(&mut m, "fa", seed, &cfg, &Variant::exact());
+    let fb = generate_function(&mut m, "fb", seed, &cfg, variant);
+    m.func_mut(fa).linkage = Linkage::External;
+    m.func_mut(fb).linkage = Linkage::External;
+    (m, fa, fb)
+}
+
+fn args_for(m: &Module, name: &str) -> Vec<Val> {
+    let f = m.func_by_name(name).expect("exists");
+    m.func(f)
+        .params()
+        .iter()
+        .map(|p| {
+            if m.types.is_float(p.ty) {
+                if m.types.display(p.ty) == "float" {
+                    Val::F32(2.5)
+                } else {
+                    Val::F64(2.5)
+                }
+            } else if m.types.int_width(p.ty) == Some(64) {
+                Val::i64(6)
+            } else {
+                Val::i32(6)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn hirschberg_merge_is_valid_and_equivalent() {
+    for seed in [3u64, 17, 99] {
+        for variant in [Variant::body(7), Variant::cfg(2)] {
+            let (m, fa, fb) = build_pair(seed, &variant);
+            let before_a = Interpreter::new(&m).run("fa", args_for(&m, "fa")).expect("runs");
+            let before_b = Interpreter::new(&m).run("fb", args_for(&m, "fb")).expect("runs");
+            let mut merged = m.clone();
+            let config =
+                MergeConfig { algorithm: AlignAlgo::Hirschberg, ..MergeConfig::default() };
+            let info = merge_pair(&mut merged, fa, fb, &config).expect("hirschberg merges");
+            commit_merge(&mut merged, &info).expect("commit");
+            let errs = fmsa_ir::verify_module(&merged);
+            assert!(errs.is_empty(), "seed {seed}: {errs:?}");
+            let after_a =
+                Interpreter::new(&merged).run("fa", args_for(&merged, "fa")).expect("runs");
+            let after_b =
+                Interpreter::new(&merged).run("fb", args_for(&merged, "fb")).expect("runs");
+            assert_eq!(before_a.value, after_a.value, "seed {seed} fa");
+            assert_eq!(before_b.value, after_b.value, "seed {seed} fb");
+        }
+    }
+}
+
+#[test]
+fn algorithms_find_comparable_similarity() {
+    // Hirschberg's alignment is co-optimal with Needleman-Wunsch, so the
+    // match counts must be close (identical scores, possibly different
+    // tie-breaking).
+    let (mut m, fa, fb) = build_pair(42, &Variant::body(11));
+    let nw = merge_pair(&mut m, fa, fb, &MergeConfig::default()).expect("nw merges");
+    let nw_matches = nw.matches;
+    m.remove_function(nw.merged);
+    let config = MergeConfig { algorithm: AlignAlgo::Hirschberg, ..MergeConfig::default() };
+    let h = merge_pair(&mut m, fa, fb, &config).expect("hirschberg merges");
+    let diff = (nw_matches as i64 - h.matches as i64).abs();
+    assert!(
+        diff <= nw_matches as i64 / 10 + 2,
+        "match counts should be comparable: nw={nw_matches} hirschberg={}",
+        h.matches
+    );
+}

@@ -1,0 +1,246 @@
+//! Exception-handling merge tests (§III-D/§III-E landing-pad rules):
+//! merging functions with `invoke`/`landingpad`, including the
+//! landing-pad *hoisting* path where matched invokes target different
+//! landing blocks and the selector block must become a landing pad
+//! itself.
+
+use fmsa_core::merge::{merge_pair, MergeConfig};
+use fmsa_core::thunks::commit_merge;
+use fmsa_ir::{FuncBuilder, IntPredicate, LandingPadClause, Linkage, Module, Opcode, Value};
+use fmsa_interp::{execute, Val};
+
+/// Module with a host `thrower(i64)` that unwinds when its argument is
+/// non-zero (wired to the default `throw_exn` host by name aliasing).
+fn module_with_thrower() -> (Module, fmsa_ir::FuncId) {
+    let mut m = Module::new("eh");
+    let i64t = m.types.i64();
+    let void = m.types.void();
+    let throw_ty = m.types.func(void, vec![i64t]);
+    let thrower = m.create_function("throw_exn", throw_ty);
+    (m, thrower)
+}
+
+#[test]
+fn identical_eh_functions_merge_and_behave() {
+    let (mut m, thrower) = module_with_thrower();
+    let i32t = m.types.i32();
+    let i64t = m.types.i64();
+    for name in ["try_a", "try_b"] {
+        let fn_ty = m.types.func(i32t, vec![i64t]);
+        let f = m.create_function(name, fn_ty);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        let normal = b.block("normal");
+        let lpad = b.block("lpad");
+        b.switch_to(entry);
+        b.invoke(thrower, vec![Value::Param(0)], normal, lpad);
+        b.switch_to(normal);
+        b.ret(Some(b.const_i32(0)));
+        b.switch_to(lpad);
+        b.landingpad(vec![LandingPadClause::Catch("any".into())], false);
+        b.ret(Some(b.const_i32(1)));
+    }
+    assert!(fmsa_ir::verify_module(&m).is_empty());
+    let f1 = m.func_by_name("try_a").expect("exists");
+    let f2 = m.func_by_name("try_b").expect("exists");
+    m.func_mut(f1).linkage = Linkage::External;
+    m.func_mut(f2).linkage = Linkage::External;
+    let before: Vec<_> = [0i64, 5]
+        .iter()
+        .map(|&x| execute(&m, "try_a", vec![Val::i64(x)]).expect("runs").value)
+        .collect();
+    let info = merge_pair(&mut m, f1, f2, &MergeConfig::default()).expect("merges");
+    assert!(!info.has_func_id, "identical functions need no identifier");
+    commit_merge(&mut m, &info).expect("commit");
+    assert!(fmsa_ir::verify_module(&m).is_empty(), "{:?}", fmsa_ir::verify_module(&m));
+    for (k, &x) in [0i64, 5].iter().enumerate() {
+        for name in ["try_a", "try_b"] {
+            let got = execute(&m, name, vec![Val::i64(x)]).expect("runs").value;
+            assert_eq!(got, before[k], "{name}({x})");
+        }
+    }
+}
+
+#[test]
+fn eh_functions_with_different_handlers_merge() {
+    // Same invoke shape, but the landing blocks do different things
+    // (return -1 vs return -2): pads are identical (required), handler
+    // code diverges.
+    let (mut m, thrower) = module_with_thrower();
+    let i32t = m.types.i32();
+    let i64t = m.types.i64();
+    for (name, code) in [("h_a", -1), ("h_b", -2)] {
+        let fn_ty = m.types.func(i32t, vec![i64t]);
+        let f = m.create_function(name, fn_ty);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        let normal = b.block("normal");
+        let lpad = b.block("lpad");
+        b.switch_to(entry);
+        b.invoke(thrower, vec![Value::Param(0)], normal, lpad);
+        b.switch_to(normal);
+        b.ret(Some(b.const_i32(0)));
+        b.switch_to(lpad);
+        b.landingpad(vec![LandingPadClause::Catch("any".into())], false);
+        // Handler bodies differ beyond a single constant.
+        if code == -1 {
+            b.ret(Some(b.const_i32(code)));
+        } else {
+            let v = b.add(b.const_i32(code), b.const_i32(0));
+            let w = b.mul(v, b.const_i32(3));
+            b.ret(Some(w));
+        }
+    }
+    let f1 = m.func_by_name("h_a").expect("exists");
+    let f2 = m.func_by_name("h_b").expect("exists");
+    m.func_mut(f1).linkage = Linkage::External;
+    m.func_mut(f2).linkage = Linkage::External;
+    let expect: Vec<_> = ["h_a", "h_b"]
+        .iter()
+        .flat_map(|name| {
+            [0i64, 7].map(|x| {
+                ((name.to_string(), x), execute(&m, name, vec![Val::i64(x)]).expect("runs").value)
+            })
+        })
+        .collect();
+    let info = merge_pair(&mut m, f1, f2, &MergeConfig::default()).expect("merges");
+    commit_merge(&mut m, &info).expect("commit");
+    let errs = fmsa_ir::verify_module(&m);
+    assert!(errs.is_empty(), "{errs:?}");
+    for ((name, x), want) in expect {
+        let got = execute(&m, &name, vec![Val::i64(x)]).expect("runs").value;
+        assert_eq!(got, want, "{name}({x})");
+    }
+}
+
+#[test]
+fn mismatched_pads_do_not_merge_invokes() {
+    // Different clause lists: the invokes must not be treated as
+    // equivalent (§III-D), so they end up in divergent regions.
+    let (mut m, thrower) = module_with_thrower();
+    let i32t = m.types.i32();
+    let i64t = m.types.i64();
+    for (name, clause) in [("ca", "TypeA"), ("cb", "TypeB")] {
+        let fn_ty = m.types.func(i32t, vec![i64t]);
+        let f = m.create_function(name, fn_ty);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        let normal = b.block("normal");
+        let lpad = b.block("lpad");
+        b.switch_to(entry);
+        b.invoke(thrower, vec![Value::Param(0)], normal, lpad);
+        b.switch_to(normal);
+        b.ret(Some(b.const_i32(0)));
+        b.switch_to(lpad);
+        b.landingpad(vec![LandingPadClause::Catch(clause.into())], false);
+        b.ret(Some(b.const_i32(1)));
+    }
+    let f1 = m.func_by_name("ca").expect("exists");
+    let f2 = m.func_by_name("cb").expect("exists");
+    let info = merge_pair(&mut m, f1, f2, &MergeConfig::default()).expect("merge builds");
+    // The merged function exists, but the invokes were not matched.
+    let mf = m.func(info.merged);
+    let invokes = mf
+        .inst_ids()
+        .iter()
+        .filter(|&&i| mf.inst(i).opcode == Opcode::Invoke)
+        .count();
+    assert_eq!(invokes, 2, "each side keeps its own invoke");
+    assert!(fmsa_ir::verify_function(&m, info.merged).is_empty());
+}
+
+#[test]
+fn resume_propagates_through_merged_function() {
+    // Handlers that clean up and re-raise: `resume` in merged code.
+    let (mut m, thrower) = module_with_thrower();
+    let i32t = m.types.i32();
+    let i64t = m.types.i64();
+    for (name, k) in [("ra", 2), ("rb", 3)] {
+        let fn_ty = m.types.func(i32t, vec![i64t]);
+        let f = m.create_function(name, fn_ty);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        let normal = b.block("normal");
+        let lpad = b.block("lpad");
+        b.switch_to(entry);
+        b.invoke(thrower, vec![Value::Param(0)], normal, lpad);
+        b.switch_to(normal);
+        b.ret(Some(b.const_i32(k)));
+        b.switch_to(lpad);
+        let pad = b.landingpad(vec![], true);
+        b.resume(pad);
+    }
+    let f1 = m.func_by_name("ra").expect("exists");
+    let f2 = m.func_by_name("rb").expect("exists");
+    m.func_mut(f1).linkage = Linkage::External;
+    m.func_mut(f2).linkage = Linkage::External;
+    let info = merge_pair(&mut m, f1, f2, &MergeConfig::default()).expect("merges");
+    commit_merge(&mut m, &info).expect("commit");
+    assert!(fmsa_ir::verify_module(&m).is_empty());
+    // Normal path returns the per-function constant; throwing path
+    // propagates as an uncaught exception.
+    assert_eq!(execute(&m, "ra", vec![Val::i64(0)]).expect("runs").value, Some(Val::i32(2)));
+    assert_eq!(execute(&m, "rb", vec![Val::i64(0)]).expect("runs").value, Some(Val::i32(3)));
+    assert!(execute(&m, "ra", vec![Val::i64(9)]).is_err(), "exception re-raised");
+}
+
+#[test]
+fn guarded_eh_region_only_in_one_function() {
+    // One function body is EH-free; the other wraps the same computation
+    // in a try block. FMSA must still merge the shared tail.
+    let (mut m, thrower) = module_with_thrower();
+    let i32t = m.types.i32();
+    let i64t = m.types.i64();
+    let shared_tail = |b: &mut FuncBuilder<'_>| {
+        let mut v = Value::Param(1);
+        for k in 0..8 {
+            v = b.add(v, b.const_i32(k));
+            v = b.xor(v, b.const_i32(5));
+        }
+        v
+    };
+    {
+        let fn_ty = m.types.func(i32t, vec![i64t, i32t]);
+        let f = m.create_function("plain", fn_ty);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        b.switch_to(entry);
+        let v = shared_tail(&mut b);
+        b.ret(Some(v));
+    }
+    {
+        let fn_ty = m.types.func(i32t, vec![i64t, i32t]);
+        let f = m.create_function("guarded", fn_ty);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        let do_try = b.block("do_try");
+        let normal = b.block("normal");
+        let lpad = b.block("lpad");
+        b.switch_to(entry);
+        let nz = b.icmp(IntPredicate::Ne, Value::Param(0), b.const_i64(0));
+        b.condbr(nz, do_try, normal);
+        b.switch_to(do_try);
+        b.invoke(thrower, vec![Value::Param(0)], normal, lpad);
+        b.switch_to(lpad);
+        b.landingpad(vec![LandingPadClause::Catch("any".into())], false);
+        b.ret(Some(b.const_i32(-99)));
+        b.switch_to(normal);
+        let v = shared_tail(&mut b);
+        b.ret(Some(v));
+    }
+    let f1 = m.func_by_name("plain").expect("exists");
+    let f2 = m.func_by_name("guarded").expect("exists");
+    m.func_mut(f1).linkage = Linkage::External;
+    m.func_mut(f2).linkage = Linkage::External;
+    let info = merge_pair(&mut m, f1, f2, &MergeConfig::default()).expect("merges");
+    assert!(info.matches >= 10, "shared tail must align: {info:?}");
+    commit_merge(&mut m, &info).expect("commit");
+    assert!(fmsa_ir::verify_module(&m).is_empty());
+    // plain(_, x) computes the tail; guarded(0, x) takes the normal path.
+    let p = execute(&m, "plain", vec![Val::i64(0), Val::i32(10)]).expect("runs").value;
+    let g = execute(&m, "guarded", vec![Val::i64(0), Val::i32(10)]).expect("runs").value;
+    assert_eq!(p, g, "same tail computation");
+    // guarded(9, x) throws and lands in the handler.
+    let h = execute(&m, "guarded", vec![Val::i64(9), Val::i32(10)]).expect("runs").value;
+    assert_eq!(h, Some(Val::i32(-99)));
+}

@@ -1,0 +1,217 @@
+//! Host (external) functions.
+//!
+//! Declarations — functions without a body — are dispatched by name to a
+//! [`HostRegistry`]. The default registry provides the small libc/libm-like
+//! surface the synthetic workloads use (allocation, math, output, and an
+//! exception-throwing helper for exercising the `invoke`/`landingpad`
+//! merging paths).
+
+use crate::memory::Memory;
+use crate::value::Val;
+use crate::Trap;
+use std::collections::HashMap;
+
+/// Mutable machine state visible to host functions.
+#[derive(Debug)]
+pub struct HostCtx<'a> {
+    /// The machine memory (hosts may allocate).
+    pub mem: &'a mut Memory,
+    /// Captured program output (`print_*` hosts append here).
+    pub output: &'a mut Vec<String>,
+}
+
+/// What a host call did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostResult {
+    /// Normal return with a value (`Val::Int{bits:0,width:1}`-like dummies
+    /// are fine for `void` hosts; the machine ignores the value then).
+    Return(Val),
+    /// Begin unwinding with the given exception payload.
+    Unwind(u64),
+}
+
+type HostFn = Box<dyn Fn(&mut HostCtx<'_>, &[Val]) -> Result<HostResult, Trap>>;
+
+/// Named host functions callable from IR declarations.
+#[derive(Default)]
+pub struct HostRegistry {
+    fns: HashMap<String, HostFn>,
+}
+
+impl std::fmt::Debug for HostRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&String> = self.fns.keys().collect();
+        names.sort();
+        f.debug_struct("HostRegistry").field("fns", &names).finish()
+    }
+}
+
+impl HostRegistry {
+    /// An empty registry.
+    pub fn empty() -> HostRegistry {
+        HostRegistry::default()
+    }
+
+    /// Registry pre-populated with the default host surface:
+    ///
+    /// | name | behaviour |
+    /// |---|---|
+    /// | `malloc`, `mymalloc` | heap allocation, returns pointer |
+    /// | `free` | no-op |
+    /// | `sqrt`, `sin`, `cos`, `exp`, `log` | f64 math |
+    /// | `sqrtf` | f32 math |
+    /// | `print_i32`, `print_i64`, `print_f32`, `print_f64` | append to output |
+    /// | `host_id` | returns its first argument (opaque identity) |
+    /// | `throw_exn` | unwinds with its argument as payload when non-zero; returns otherwise |
+    pub fn with_defaults() -> HostRegistry {
+        let mut reg = HostRegistry::empty();
+        reg.register("malloc", |ctx, args| {
+            let size = args.first().and_then(Val::as_u64).ok_or(Trap::TypeMismatch)?;
+            Ok(HostResult::Return(Val::Ptr(ctx.mem.malloc(size))))
+        });
+        reg.register("mymalloc", |ctx, args| {
+            let size = args.first().and_then(Val::as_u64).ok_or(Trap::TypeMismatch)?;
+            Ok(HostResult::Return(Val::Ptr(ctx.mem.malloc(size))))
+        });
+        reg.register("free", |_, _| Ok(HostResult::Return(Val::bool(false))));
+        for (name, f) in [
+            ("sqrt", f64::sqrt as fn(f64) -> f64),
+            ("sin", f64::sin),
+            ("cos", f64::cos),
+            ("exp", f64::exp),
+            ("log", f64::ln),
+        ] {
+            reg.register(name, move |_, args| {
+                let x = args.first().and_then(Val::as_f64).ok_or(Trap::TypeMismatch)?;
+                Ok(HostResult::Return(Val::F64(f(x))))
+            });
+        }
+        reg.register("sqrtf", |_, args| {
+            let x = args.first().and_then(Val::as_f64).ok_or(Trap::TypeMismatch)?;
+            Ok(HostResult::Return(Val::F32((x as f32).sqrt())))
+        });
+        reg.register("print_i32", |ctx, args| {
+            let x = args.first().and_then(Val::as_i64).ok_or(Trap::TypeMismatch)?;
+            ctx.output.push(format!("{}", x as i32));
+            Ok(HostResult::Return(Val::bool(false)))
+        });
+        reg.register("print_i64", |ctx, args| {
+            let x = args.first().and_then(Val::as_i64).ok_or(Trap::TypeMismatch)?;
+            ctx.output.push(format!("{x}"));
+            Ok(HostResult::Return(Val::bool(false)))
+        });
+        reg.register("print_f32", |ctx, args| {
+            let x = args.first().and_then(Val::as_f64).ok_or(Trap::TypeMismatch)?;
+            ctx.output.push(format!("{:?}", x as f32));
+            Ok(HostResult::Return(Val::bool(false)))
+        });
+        reg.register("print_f64", |ctx, args| {
+            let x = args.first().and_then(Val::as_f64).ok_or(Trap::TypeMismatch)?;
+            ctx.output.push(format!("{x:?}"));
+            Ok(HostResult::Return(Val::bool(false)))
+        });
+        reg.register("host_id", |_, args| {
+            Ok(HostResult::Return(args.first().cloned().unwrap_or(Val::bool(false))))
+        });
+        reg.register("throw_exn", |_, args| {
+            // Throws when the payload is non-zero; returns normally
+            // otherwise, so tests can drive both paths from an argument.
+            let payload = args.first().and_then(Val::as_u64).unwrap_or(1);
+            if payload == 0 {
+                Ok(HostResult::Return(Val::bool(false)))
+            } else {
+                Ok(HostResult::Unwind(payload))
+            }
+        });
+        reg
+    }
+
+    /// Registers (or replaces) a host function.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&mut HostCtx<'_>, &[Val]) -> Result<HostResult, Trap> + 'static,
+    ) {
+        self.fns.insert(name.into(), Box::new(f));
+    }
+
+    /// Calls host function `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnknownHost`] if no such host is registered; otherwise
+    /// whatever the host returns.
+    pub fn call(
+        &self,
+        name: &str,
+        ctx: &mut HostCtx<'_>,
+        args: &[Val],
+    ) -> Result<HostResult, Trap> {
+        match self.fns.get(name) {
+            Some(f) => f(ctx, args),
+            None => Err(Trap::UnknownHost(name.to_owned())),
+        }
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fns.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_parts() -> (Memory, Vec<String>) {
+        (Memory::new(), Vec::new())
+    }
+
+    #[test]
+    fn default_registry_has_core_surface() {
+        let reg = HostRegistry::with_defaults();
+        for name in ["malloc", "mymalloc", "free", "sqrt", "print_i32", "throw_exn"] {
+            assert!(reg.contains(name), "{name} missing");
+        }
+        assert!(!reg.contains("nonexistent"));
+    }
+
+    #[test]
+    fn malloc_returns_valid_pointer() {
+        let reg = HostRegistry::with_defaults();
+        let (mut mem, mut out) = ctx_parts();
+        let mut ctx = HostCtx { mem: &mut mem, output: &mut out };
+        let r = reg.call("malloc", &mut ctx, &[Val::i64(16)]).expect("ok");
+        let HostResult::Return(Val::Ptr(p)) = r else { panic!("expected ptr") };
+        assert_ne!(p, 0);
+    }
+
+    #[test]
+    fn print_appends_output() {
+        let reg = HostRegistry::with_defaults();
+        let (mut mem, mut out) = ctx_parts();
+        let mut ctx = HostCtx { mem: &mut mem, output: &mut out };
+        reg.call("print_i32", &mut ctx, &[Val::i32(-5)]).expect("ok");
+        assert_eq!(out, vec!["-5".to_owned()]);
+    }
+
+    #[test]
+    fn throw_unwinds() {
+        let reg = HostRegistry::with_defaults();
+        let (mut mem, mut out) = ctx_parts();
+        let mut ctx = HostCtx { mem: &mut mem, output: &mut out };
+        let r = reg.call("throw_exn", &mut ctx, &[Val::i64(42)]).expect("ok");
+        assert_eq!(r, HostResult::Unwind(42));
+    }
+
+    #[test]
+    fn unknown_host_traps() {
+        let reg = HostRegistry::empty();
+        let (mut mem, mut out) = ctx_parts();
+        let mut ctx = HostCtx { mem: &mut mem, output: &mut out };
+        assert!(matches!(
+            reg.call("nope", &mut ctx, &[]),
+            Err(Trap::UnknownHost(_))
+        ));
+    }
+}

@@ -1,0 +1,115 @@
+//! # fmsa-interp — an interpreter for the FMSA IR
+//!
+//! Executes [`fmsa_ir`] modules directly. In the reproduction of *Function
+//! Merging by Sequence Alignment* (CGO 2019) the interpreter plays two
+//! roles:
+//!
+//! 1. **Correctness oracle** — differential tests run original and merged
+//!    modules on the same inputs and require bit-identical observable
+//!    behaviour (return values and `print_*` output).
+//! 2. **Runtime-overhead measurement** (paper Fig. 14) — dynamic
+//!    instruction counts expose exactly the extra `func_id` branches and
+//!    `select`s merged code executes; the per-function/per-block
+//!    [`Profile`] doubles as the profiling information used to exclude hot
+//!    functions from merging (§V-D).
+//!
+//! The machine model: flat little-endian memory with stack/heap regions,
+//! direct calls only, Itanium-style unwinding (`invoke`/`landingpad`/
+//! `resume`), and a host registry for external functions.
+
+#![warn(missing_docs)]
+
+mod host;
+mod machine;
+mod memory;
+mod profile;
+mod value;
+
+pub use host::{HostCtx, HostRegistry, HostResult};
+pub use machine::{Interpreter, RunResult};
+pub use memory::Memory;
+pub use profile::Profile;
+pub use value::{sign_extend, truncate, Val};
+
+use std::error::Error;
+use std::fmt;
+
+/// A runtime error that aborts execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trap {
+    /// The dynamic instruction budget was exhausted.
+    OutOfFuel,
+    /// Call depth exceeded the limit.
+    StackOverflow,
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// Load/store through the null pointer.
+    NullDeref,
+    /// Memory access outside any allocation.
+    OutOfBounds {
+        /// Faulting address.
+        addr: u64,
+        /// Access size in bytes.
+        len: usize,
+    },
+    /// A value's runtime shape did not match the expected type.
+    TypeMismatch,
+    /// Access to a type without a size (`void`, `label`, function).
+    UnsizedAccess,
+    /// An `unreachable` instruction was executed.
+    UnreachableExecuted,
+    /// An instruction result was read before being computed.
+    UseBeforeDef,
+    /// Structurally malformed IR reached the interpreter.
+    Malformed,
+    /// Execution ran past the end of a block without a terminator.
+    FellOffBlock,
+    /// Indirect calls are not supported by this machine.
+    IndirectCallUnsupported,
+    /// A call to an unknown function name.
+    UnknownFunction(String),
+    /// A declaration had no registered host implementation.
+    UnknownHost(String),
+    /// An exception unwound out of the top-level call (payload attached).
+    UncaughtException(u64),
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::OutOfFuel => write!(f, "out of fuel"),
+            Trap::StackOverflow => write!(f, "stack overflow"),
+            Trap::DivisionByZero => write!(f, "division by zero"),
+            Trap::NullDeref => write!(f, "null pointer dereference"),
+            Trap::OutOfBounds { addr, len } => {
+                write!(f, "out-of-bounds access of {len} bytes at {addr:#x}")
+            }
+            Trap::TypeMismatch => write!(f, "runtime type mismatch"),
+            Trap::UnsizedAccess => write!(f, "access to unsized type"),
+            Trap::UnreachableExecuted => write!(f, "unreachable executed"),
+            Trap::UseBeforeDef => write!(f, "use of undefined instruction result"),
+            Trap::Malformed => write!(f, "malformed IR"),
+            Trap::FellOffBlock => write!(f, "control fell off the end of a block"),
+            Trap::IndirectCallUnsupported => write!(f, "indirect calls unsupported"),
+            Trap::UnknownFunction(n) => write!(f, "unknown function @{n}"),
+            Trap::UnknownHost(n) => write!(f, "no host implementation for @{n}"),
+            Trap::UncaughtException(p) => write!(f, "uncaught exception (payload {p})"),
+        }
+    }
+}
+
+impl Error for Trap {}
+
+/// One-shot convenience: interpret `name` in `module` with `args` using
+/// default hosts and fuel.
+///
+/// # Errors
+///
+/// Propagates any [`Trap`].
+pub fn execute(
+    module: &fmsa_ir::Module,
+    name: &str,
+    args: Vec<Val>,
+) -> Result<RunResult, Trap> {
+    Interpreter::new(module).run(name, args)
+}

@@ -1,0 +1,682 @@
+//! The execution engine.
+
+use crate::host::{HostCtx, HostRegistry, HostResult};
+use crate::memory::Memory;
+use crate::profile::Profile;
+use crate::value::{sign_extend, truncate, Val};
+use crate::Trap;
+use fmsa_ir::{
+    BlockId, ExtraData, FloatPredicate, FuncId, Inst, IntPredicate, Module, Opcode, Type, Value,
+};
+use std::collections::HashMap;
+
+/// Maximum call depth before [`Trap::StackOverflow`].
+const MAX_DEPTH: usize = 256;
+
+/// What a function invocation did.
+#[derive(Debug, Clone, PartialEq)]
+enum CallOutcome {
+    Return(Option<Val>),
+    Unwind(u64),
+}
+
+/// Result of a completed top-level run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// The function's return value (`None` for `void`).
+    pub value: Option<Val>,
+    /// Output captured from `print_*` host calls, in order.
+    pub output: Vec<String>,
+    /// Dynamic instructions executed during this run.
+    pub steps: u64,
+}
+
+/// An IR interpreter over one module.
+///
+/// # Examples
+///
+/// ```
+/// use fmsa_ir::{Module, FuncBuilder, Value};
+/// use fmsa_interp::{Interpreter, Val};
+///
+/// let mut m = Module::new("demo");
+/// let i32t = m.types.i32();
+/// let fn_ty = m.types.func(i32t, vec![i32t]);
+/// let f = m.create_function("double", fn_ty);
+/// let mut b = FuncBuilder::new(&mut m, f);
+/// let entry = b.block("entry");
+/// b.switch_to(entry);
+/// let two = b.const_i32(2);
+/// let r = b.mul(Value::Param(0), two);
+/// b.ret(Some(r));
+///
+/// let mut interp = Interpreter::new(&m);
+/// let out = interp.run("double", vec![Val::i32(21)]).unwrap();
+/// assert_eq!(out.value, Some(Val::i32(42)));
+/// ```
+#[derive(Debug)]
+pub struct Interpreter<'m> {
+    module: &'m Module,
+    mem: Memory,
+    host: HostRegistry,
+    profile: Profile,
+    fuel: u64,
+    steps: u64,
+    output: Vec<String>,
+}
+
+impl<'m> Interpreter<'m> {
+    /// Creates an interpreter with the default host registry and a fuel
+    /// budget of 10 million instructions.
+    pub fn new(module: &'m Module) -> Interpreter<'m> {
+        Interpreter {
+            module,
+            mem: Memory::new(),
+            host: HostRegistry::with_defaults(),
+            profile: Profile::new(),
+            fuel: 10_000_000,
+            steps: 0,
+            output: Vec::new(),
+        }
+    }
+
+    /// Replaces the host registry.
+    pub fn with_host(mut self, host: HostRegistry) -> Interpreter<'m> {
+        self.host = host;
+        self
+    }
+
+    /// Sets the fuel budget (dynamic instruction limit per interpreter).
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// The profile accumulated over all runs of this interpreter.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Runs function `name` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on any runtime error, including an uncaught
+    /// exception ([`Trap::UncaughtException`]).
+    pub fn run(&mut self, name: &str, args: Vec<Val>) -> Result<RunResult, Trap> {
+        let f = self
+            .module
+            .func_by_name(name)
+            .ok_or_else(|| Trap::UnknownFunction(name.to_owned()))?;
+        self.run_func(f, args)
+    }
+
+    /// Runs function `f` with `args`. See [`Interpreter::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on any runtime error.
+    pub fn run_func(&mut self, f: FuncId, args: Vec<Val>) -> Result<RunResult, Trap> {
+        let start_steps = self.steps;
+        let start_out = self.output.len();
+        match self.call(f, args, 0)? {
+            CallOutcome::Return(v) => Ok(RunResult {
+                value: v,
+                output: self.output[start_out..].to_vec(),
+                steps: self.steps - start_steps,
+            }),
+            CallOutcome::Unwind(payload) => Err(Trap::UncaughtException(payload)),
+        }
+    }
+
+    fn call(&mut self, fid: FuncId, args: Vec<Val>, depth: usize) -> Result<CallOutcome, Trap> {
+        if depth >= MAX_DEPTH {
+            return Err(Trap::StackOverflow);
+        }
+        let f = self.module.func(fid);
+        let fname = f.name.clone();
+        self.profile.record_call(&fname);
+        if f.is_declaration() {
+            let mut ctx = HostCtx { mem: &mut self.mem, output: &mut self.output };
+            return match self.host.call(&fname, &mut ctx, &args)? {
+                HostResult::Return(v) => Ok(CallOutcome::Return(Some(v))),
+                HostResult::Unwind(p) => Ok(CallOutcome::Unwind(p)),
+            };
+        }
+        let stack_mark = self.mem.stack_mark();
+        let result = self.exec_body(fid, &fname, args, depth);
+        self.mem.pop_to(stack_mark);
+        result
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_body(
+        &mut self,
+        fid: FuncId,
+        fname: &str,
+        args: Vec<Val>,
+        depth: usize,
+    ) -> Result<CallOutcome, Trap> {
+        let module = self.module;
+        let ts = &module.types;
+        let f = module.func(fid);
+        let mut locals: HashMap<fmsa_ir::InstId, Val> = HashMap::new();
+        let mut block = f.entry();
+        let mut idx = 0usize;
+        let mut pending_exn: Option<u64> = None;
+        self.profile.record_block(fname, block.index());
+
+        'outer: loop {
+            let insts = &f.block(block).insts;
+            if idx >= insts.len() {
+                return Err(Trap::FellOffBlock);
+            }
+            let iid = insts[idx];
+            let inst = f.inst(iid);
+            self.steps += 1;
+            if self.steps > self.fuel {
+                return Err(Trap::OutOfFuel);
+            }
+            self.profile.record_step(fname);
+
+            macro_rules! eval {
+                ($v:expr) => {
+                    self.eval_value(f, &locals, &args, $v)?
+                };
+            }
+
+            match inst.opcode {
+                Opcode::Ret => {
+                    let v = match inst.operands.first() {
+                        Some(&op) => Some(eval!(op)),
+                        None => None,
+                    };
+                    return Ok(CallOutcome::Return(v));
+                }
+                Opcode::Br => {
+                    let target = inst.operands[0].as_block().ok_or(Trap::Malformed)?;
+                    self.enter_block(f, fname, &mut locals, &args, block, target)?;
+                    block = target;
+                    idx = 0;
+                    continue 'outer;
+                }
+                Opcode::CondBr => {
+                    let c = eval!(inst.operands[0]).as_bool().ok_or(Trap::TypeMismatch)?;
+                    let target = inst.operands[if c { 1 } else { 2 }]
+                        .as_block()
+                        .ok_or(Trap::Malformed)?;
+                    self.enter_block(f, fname, &mut locals, &args, block, target)?;
+                    block = target;
+                    idx = 0;
+                    continue 'outer;
+                }
+                Opcode::Switch => {
+                    let c = eval!(inst.operands[0]).as_u64().ok_or(Trap::TypeMismatch)?;
+                    let mut target = inst.operands[1].as_block().ok_or(Trap::Malformed)?;
+                    for pair in inst.operands[2..].chunks(2) {
+                        let Value::ConstInt { bits, .. } = pair[0] else {
+                            return Err(Trap::Malformed);
+                        };
+                        if bits == c {
+                            target = pair[1].as_block().ok_or(Trap::Malformed)?;
+                            break;
+                        }
+                    }
+                    self.enter_block(f, fname, &mut locals, &args, block, target)?;
+                    block = target;
+                    idx = 0;
+                    continue 'outer;
+                }
+                Opcode::Unreachable => return Err(Trap::UnreachableExecuted),
+                Opcode::Resume => {
+                    let p = eval!(inst.operands[0]);
+                    let payload = match p {
+                        Val::Agg(items) => {
+                            items.first().and_then(Val::as_u64).unwrap_or(0)
+                        }
+                        other => other.as_u64().unwrap_or(0),
+                    };
+                    return Ok(CallOutcome::Unwind(payload));
+                }
+                Opcode::Call | Opcode::Invoke => {
+                    let is_invoke = inst.opcode == Opcode::Invoke;
+                    let arg_end = if is_invoke {
+                        inst.operands.len() - 2
+                    } else {
+                        inst.operands.len()
+                    };
+                    let callee = match inst.operands[0] {
+                        Value::Func(g) => g,
+                        _ => return Err(Trap::IndirectCallUnsupported),
+                    };
+                    let mut call_args = Vec::with_capacity(arg_end - 1);
+                    for &a in &inst.operands[1..arg_end] {
+                        call_args.push(eval!(a));
+                    }
+                    match self.call(callee, call_args, depth + 1)? {
+                        CallOutcome::Return(v) => {
+                            if let Some(v) = v {
+                                locals.insert(iid, v);
+                            }
+                            if is_invoke {
+                                let normal = inst.operands[inst.operands.len() - 2]
+                                    .as_block()
+                                    .ok_or(Trap::Malformed)?;
+                                self.enter_block(f, fname, &mut locals, &args, block, normal)?;
+                                block = normal;
+                                idx = 0;
+                                continue 'outer;
+                            }
+                        }
+                        CallOutcome::Unwind(payload) => {
+                            if is_invoke {
+                                let unwind = inst.operands[inst.operands.len() - 1]
+                                    .as_block()
+                                    .ok_or(Trap::Malformed)?;
+                                pending_exn = Some(payload);
+                                self.enter_block(f, fname, &mut locals, &args, block, unwind)?;
+                                block = unwind;
+                                idx = 0;
+                                continue 'outer;
+                            }
+                            // Plain call: propagate unwinding to our caller.
+                            return Ok(CallOutcome::Unwind(payload));
+                        }
+                    }
+                }
+                Opcode::LandingPad => {
+                    let payload = pending_exn.take().unwrap_or(0);
+                    locals.insert(
+                        iid,
+                        Val::Agg(vec![Val::Ptr(payload), Val::i32(1)]),
+                    );
+                }
+                Opcode::Phi => {
+                    // Leading φs are resolved by enter_block; if control
+                    // reaches one directly (entry block), zero it.
+                    locals.entry(iid).or_insert_with(|| Val::zero_of(inst.ty, ts));
+                }
+                Opcode::Alloca => {
+                    let ExtraData::Alloca { allocated } = inst.extra else {
+                        return Err(Trap::Malformed);
+                    };
+                    let unit = ts.byte_size(allocated).ok_or(Trap::UnsizedAccess)?;
+                    let count = match inst.operands.first() {
+                        Some(&c) => eval!(c).as_u64().ok_or(Trap::TypeMismatch)?,
+                        None => 1,
+                    };
+                    let addr = self.mem.alloca(unit * count.max(1));
+                    locals.insert(iid, Val::Ptr(addr));
+                }
+                Opcode::Load => {
+                    let addr = eval!(inst.operands[0]).as_u64().ok_or(Trap::TypeMismatch)?;
+                    let v = self.mem.load(addr, inst.ty, ts)?;
+                    locals.insert(iid, v);
+                }
+                Opcode::Store => {
+                    let v = eval!(inst.operands[0]);
+                    let addr = eval!(inst.operands[1]).as_u64().ok_or(Trap::TypeMismatch)?;
+                    let vty = f.value_ty(inst.operands[0], ts);
+                    self.mem.store(addr, &v, vty, ts)?;
+                }
+                Opcode::Gep => {
+                    let ExtraData::Gep { source_elem } = inst.extra else {
+                        return Err(Trap::Malformed);
+                    };
+                    let base = eval!(inst.operands[0]).as_u64().ok_or(Trap::TypeMismatch)?;
+                    let addr = self.eval_gep(f, &locals, &args, base, source_elem, inst)?;
+                    locals.insert(iid, Val::Ptr(addr));
+                }
+                Opcode::Select => {
+                    let c = eval!(inst.operands[0]).as_bool().ok_or(Trap::TypeMismatch)?;
+                    let v = if c { eval!(inst.operands[1]) } else { eval!(inst.operands[2]) };
+                    locals.insert(iid, v);
+                }
+                Opcode::ExtractValue => {
+                    let ExtraData::AggIndices(ref idxs) = inst.extra else {
+                        return Err(Trap::Malformed);
+                    };
+                    let mut v = eval!(inst.operands[0]);
+                    for &k in idxs {
+                        let Val::Agg(items) = v else { return Err(Trap::TypeMismatch) };
+                        v = items.get(k as usize).cloned().ok_or(Trap::TypeMismatch)?;
+                    }
+                    locals.insert(iid, v);
+                }
+                Opcode::InsertValue => {
+                    let ExtraData::AggIndices(ref idxs) = inst.extra else {
+                        return Err(Trap::Malformed);
+                    };
+                    let mut agg = eval!(inst.operands[0]);
+                    let v = eval!(inst.operands[1]);
+                    insert_into(&mut agg, idxs, v)?;
+                    locals.insert(iid, agg);
+                }
+                Opcode::ICmp => {
+                    let p = inst.int_predicate().ok_or(Trap::Malformed)?;
+                    let a = eval!(inst.operands[0]);
+                    let b = eval!(inst.operands[1]);
+                    locals.insert(iid, Val::bool(icmp(p, &a, &b)?));
+                }
+                Opcode::FCmp => {
+                    let p = inst.float_predicate().ok_or(Trap::Malformed)?;
+                    let a = eval!(inst.operands[0]).as_f64().ok_or(Trap::TypeMismatch)?;
+                    let b = eval!(inst.operands[1]).as_f64().ok_or(Trap::TypeMismatch)?;
+                    locals.insert(iid, Val::bool(fcmp(p, a, b)));
+                }
+                op if op.is_binary() => {
+                    let a = eval!(inst.operands[0]);
+                    let b = eval!(inst.operands[1]);
+                    let v = binary(op, &a, &b, inst, ts)?;
+                    locals.insert(iid, v);
+                }
+                op if op.is_cast() => {
+                    let v = eval!(inst.operands[0]);
+                    let out = cast(op, &v, inst.ty, ts)?;
+                    locals.insert(iid, out);
+                }
+                _ => return Err(Trap::Malformed),
+            }
+            idx += 1;
+        }
+    }
+
+    /// Evaluates leading φ-nodes of `target` given the edge `from → target`
+    /// (batch semantics: all φs read pre-transfer values).
+    fn enter_block(
+        &mut self,
+        f: &fmsa_ir::Function,
+        fname: &str,
+        locals: &mut HashMap<fmsa_ir::InstId, Val>,
+        args: &[Val],
+        from: BlockId,
+        target: BlockId,
+    ) -> Result<(), Trap> {
+        self.profile.record_block(fname, target.index());
+        let mut updates: Vec<(fmsa_ir::InstId, Val)> = Vec::new();
+        for &iid in &f.block(target).insts {
+            let inst = f.inst(iid);
+            if inst.opcode != Opcode::Phi {
+                break;
+            }
+            let ExtraData::Phi { ref incoming } = inst.extra else {
+                return Err(Trap::Malformed);
+            };
+            let pos = incoming.iter().position(|&b| b == from).ok_or(Trap::Malformed)?;
+            let v = self.eval_value(f, locals, args, inst.operands[pos])?;
+            updates.push((iid, v));
+        }
+        for (iid, v) in updates {
+            locals.insert(iid, v);
+        }
+        Ok(())
+    }
+
+    fn eval_value(
+        &self,
+        _f: &fmsa_ir::Function,
+        locals: &HashMap<fmsa_ir::InstId, Val>,
+        args: &[Val],
+        v: Value,
+    ) -> Result<Val, Trap> {
+        let ts = &self.module.types;
+        match v {
+            Value::Inst(i) => locals.get(&i).cloned().ok_or(Trap::UseBeforeDef),
+            Value::Param(p) => args.get(p as usize).cloned().ok_or(Trap::TypeMismatch),
+            Value::ConstInt { ty, bits } => {
+                let w = ts.int_width(ty).unwrap_or(64).min(64);
+                Ok(Val::Int { bits: truncate(bits, w), width: w })
+            }
+            Value::ConstFloat { ty, bits } => {
+                if matches!(ts.get(ty), Type::Double) {
+                    Ok(Val::F64(f64::from_bits(bits)))
+                } else {
+                    Ok(Val::F32(f32::from_bits(bits as u32)))
+                }
+            }
+            Value::ConstNull(_) => Ok(Val::Ptr(0)),
+            Value::Undef(ty) => Ok(Val::zero_of(ty, ts)),
+            Value::Block(_) => Err(Trap::Malformed),
+            Value::Func(_) => Err(Trap::IndirectCallUnsupported),
+        }
+    }
+
+    fn eval_gep(
+        &self,
+        f: &fmsa_ir::Function,
+        locals: &HashMap<fmsa_ir::InstId, Val>,
+        args: &[Val],
+        base: u64,
+        source_elem: fmsa_ir::TyId,
+        inst: &Inst,
+    ) -> Result<u64, Trap> {
+        let ts = &self.module.types;
+        let mut addr = base as i64;
+        // First index scales the source element type.
+        let first = self
+            .eval_value(f, locals, args, inst.operands[1])?
+            .as_i64()
+            .ok_or(Trap::TypeMismatch)?;
+        let esz = ts.byte_size(source_elem).ok_or(Trap::UnsizedAccess)? as i64;
+        addr += first * esz;
+        let mut cur = source_elem;
+        for &op in &inst.operands[2..] {
+            let k = self.eval_value(f, locals, args, op)?.as_i64().ok_or(Trap::TypeMismatch)?;
+            match ts.get(cur) {
+                Type::Array { elem, .. } => {
+                    let sz = ts.byte_size(*elem).ok_or(Trap::UnsizedAccess)? as i64;
+                    addr += k * sz;
+                    cur = *elem;
+                }
+                Type::Struct { fields, .. } => {
+                    let idx = k as usize;
+                    let off = ts
+                        .struct_field_offset(cur, idx)
+                        .ok_or(Trap::TypeMismatch)? as i64;
+                    addr += off;
+                    cur = *fields.get(idx).ok_or(Trap::TypeMismatch)?;
+                }
+                _ => return Err(Trap::TypeMismatch),
+            }
+        }
+        Ok(addr as u64)
+    }
+}
+
+fn insert_into(agg: &mut Val, idxs: &[u32], v: Val) -> Result<(), Trap> {
+    let mut cur = agg;
+    for &k in &idxs[..idxs.len() - 1] {
+        let Val::Agg(items) = cur else { return Err(Trap::TypeMismatch) };
+        cur = items.get_mut(k as usize).ok_or(Trap::TypeMismatch)?;
+    }
+    let last = *idxs.last().ok_or(Trap::Malformed)? as usize;
+    let Val::Agg(items) = cur else { return Err(Trap::TypeMismatch) };
+    *items.get_mut(last).ok_or(Trap::TypeMismatch)? = v;
+    Ok(())
+}
+
+fn icmp(p: IntPredicate, a: &Val, b: &Val) -> Result<bool, Trap> {
+    let (ub, vb) = (a.as_u64().ok_or(Trap::TypeMismatch)?, b.as_u64().ok_or(Trap::TypeMismatch)?);
+    let (is_, js) = match (a, b) {
+        (Val::Int { width, .. }, Val::Int { width: w2, .. }) => {
+            (sign_extend(ub, *width), sign_extend(vb, *w2))
+        }
+        _ => (ub as i64, vb as i64),
+    };
+    Ok(match p {
+        IntPredicate::Eq => ub == vb,
+        IntPredicate::Ne => ub != vb,
+        IntPredicate::Ugt => ub > vb,
+        IntPredicate::Uge => ub >= vb,
+        IntPredicate::Ult => ub < vb,
+        IntPredicate::Ule => ub <= vb,
+        IntPredicate::Sgt => is_ > js,
+        IntPredicate::Sge => is_ >= js,
+        IntPredicate::Slt => is_ < js,
+        IntPredicate::Sle => is_ <= js,
+    })
+}
+
+fn fcmp(p: FloatPredicate, a: f64, b: f64) -> bool {
+    let ord = !a.is_nan() && !b.is_nan();
+    match p {
+        FloatPredicate::Oeq => ord && a == b,
+        FloatPredicate::One => ord && a != b,
+        FloatPredicate::Ogt => ord && a > b,
+        FloatPredicate::Oge => ord && a >= b,
+        FloatPredicate::Olt => ord && a < b,
+        FloatPredicate::Ole => ord && a <= b,
+        FloatPredicate::Ord => ord,
+        FloatPredicate::Uno => !ord,
+        FloatPredicate::Ueq => !ord || a == b,
+        FloatPredicate::Une => !ord || a != b,
+    }
+}
+
+fn binary(
+    op: Opcode,
+    a: &Val,
+    b: &Val,
+    inst: &Inst,
+    ts: &fmsa_ir::TypeStore,
+) -> Result<Val, Trap> {
+    // Float ops.
+    if matches!(op, Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv | Opcode::FRem) {
+        let is_f32 = matches!(ts.get(inst.ty), Type::Half | Type::Float);
+        let (x, y) = (a.as_f64().ok_or(Trap::TypeMismatch)?, b.as_f64().ok_or(Trap::TypeMismatch)?);
+        let r = match op {
+            Opcode::FAdd => x + y,
+            Opcode::FSub => x - y,
+            Opcode::FMul => x * y,
+            Opcode::FDiv => x / y,
+            Opcode::FRem => x % y,
+            _ => unreachable!(),
+        };
+        return Ok(if is_f32 {
+            // Re-round through f32 for single precision semantics.
+            let (xf, yf) = (x as f32, y as f32);
+            let rf = match op {
+                Opcode::FAdd => xf + yf,
+                Opcode::FSub => xf - yf,
+                Opcode::FMul => xf * yf,
+                Opcode::FDiv => xf / yf,
+                Opcode::FRem => xf % yf,
+                _ => unreachable!(),
+            };
+            Val::F32(rf)
+        } else {
+            Val::F64(r)
+        });
+    }
+    let w = ts.int_width(inst.ty).unwrap_or(64).min(64);
+    let x = a.as_u64().ok_or(Trap::TypeMismatch)?;
+    let y = b.as_u64().ok_or(Trap::TypeMismatch)?;
+    let xs = sign_extend(x, w);
+    let ys = sign_extend(y, w);
+    let r: u64 = match op {
+        Opcode::Add => x.wrapping_add(y),
+        Opcode::Sub => x.wrapping_sub(y),
+        Opcode::Mul => x.wrapping_mul(y),
+        Opcode::UDiv => {
+            if y == 0 {
+                return Err(Trap::DivisionByZero);
+            }
+            x / y
+        }
+        Opcode::SDiv => {
+            if ys == 0 {
+                return Err(Trap::DivisionByZero);
+            }
+            xs.wrapping_div(ys) as u64
+        }
+        Opcode::URem => {
+            if y == 0 {
+                return Err(Trap::DivisionByZero);
+            }
+            x % y
+        }
+        Opcode::SRem => {
+            if ys == 0 {
+                return Err(Trap::DivisionByZero);
+            }
+            xs.wrapping_rem(ys) as u64
+        }
+        Opcode::Shl => x.wrapping_shl((y % w as u64) as u32),
+        Opcode::LShr => truncate(x, w).wrapping_shr((y % w as u64) as u32),
+        Opcode::AShr => (sign_extend(x, w) >> (y % w as u64)) as u64,
+        Opcode::And => x & y,
+        Opcode::Or => x | y,
+        Opcode::Xor => x ^ y,
+        _ => return Err(Trap::Malformed),
+    };
+    Ok(Val::Int { bits: truncate(r, w), width: w })
+}
+
+fn cast(op: Opcode, v: &Val, to: fmsa_ir::TyId, ts: &fmsa_ir::TypeStore) -> Result<Val, Trap> {
+    let w_to = ts.int_width(to).unwrap_or(64).min(64);
+    let is_f32_to = matches!(ts.get(to), Type::Half | Type::Float);
+    Ok(match op {
+        Opcode::Trunc => {
+            let x = v.as_u64().ok_or(Trap::TypeMismatch)?;
+            Val::Int { bits: truncate(x, w_to), width: w_to }
+        }
+        Opcode::ZExt => {
+            let x = v.as_u64().ok_or(Trap::TypeMismatch)?;
+            Val::Int { bits: x, width: w_to }
+        }
+        Opcode::SExt => {
+            let Val::Int { bits, width } = *v else { return Err(Trap::TypeMismatch) };
+            Val::Int { bits: truncate(sign_extend(bits, width) as u64, w_to), width: w_to }
+        }
+        Opcode::FPTrunc => Val::F32(v.as_f64().ok_or(Trap::TypeMismatch)? as f32),
+        Opcode::FPExt => Val::F64(v.as_f64().ok_or(Trap::TypeMismatch)?),
+        Opcode::FPToUI => {
+            let x = v.as_f64().ok_or(Trap::TypeMismatch)?;
+            Val::Int { bits: truncate(x as u64, w_to), width: w_to }
+        }
+        Opcode::FPToSI => {
+            let x = v.as_f64().ok_or(Trap::TypeMismatch)?;
+            Val::Int { bits: truncate(x as i64 as u64, w_to), width: w_to }
+        }
+        Opcode::UIToFP => {
+            let x = v.as_u64().ok_or(Trap::TypeMismatch)?;
+            if is_f32_to {
+                Val::F32(x as f32)
+            } else {
+                Val::F64(x as f64)
+            }
+        }
+        Opcode::SIToFP => {
+            let Val::Int { bits, width } = *v else { return Err(Trap::TypeMismatch) };
+            let x = sign_extend(bits, width);
+            if is_f32_to {
+                Val::F32(x as f32)
+            } else {
+                Val::F64(x as f64)
+            }
+        }
+        Opcode::PtrToInt => {
+            let x = v.as_u64().ok_or(Trap::TypeMismatch)?;
+            Val::Int { bits: truncate(x, w_to), width: w_to }
+        }
+        Opcode::IntToPtr => Val::Ptr(v.as_u64().ok_or(Trap::TypeMismatch)?),
+        Opcode::BitCast => bitcast(v, to, ts)?,
+        _ => return Err(Trap::Malformed),
+    })
+}
+
+fn bitcast(v: &Val, to: fmsa_ir::TyId, ts: &fmsa_ir::TypeStore) -> Result<Val, Trap> {
+    let bits = match *v {
+        Val::Int { bits, .. } => bits,
+        Val::F32(x) => x.to_bits() as u64,
+        Val::F64(x) => x.to_bits(),
+        Val::Ptr(p) => p,
+        Val::Agg(_) => return Err(Trap::TypeMismatch),
+    };
+    Ok(match ts.get(to) {
+        Type::Int(w) => Val::Int { bits: truncate(bits, (*w).min(64)), width: (*w).min(64) },
+        Type::Half | Type::Float => Val::F32(f32::from_bits(bits as u32)),
+        Type::Double => Val::F64(f64::from_bits(bits)),
+        Type::Ptr { .. } => Val::Ptr(bits),
+        _ => return Err(Trap::TypeMismatch),
+    })
+}

@@ -1,0 +1,260 @@
+//! Flat little-endian memory for the interpreter.
+//!
+//! Two disjoint regions share one 64-bit address space:
+//!
+//! * **stack** — `alloca` storage, bump-allocated and rolled back when the
+//!   owning frame returns;
+//! * **heap** — `malloc`-style storage, bump-allocated, never freed (the
+//!   interpreter runs bounded workloads).
+//!
+//! Address 0 is the null pointer; dereferencing it traps.
+
+use crate::value::{truncate, Val};
+use crate::Trap;
+use fmsa_ir::{TyId, Type, TypeStore};
+
+const STACK_BASE: u64 = 0x1000;
+const HEAP_BASE: u64 = 0x8000_0000;
+
+/// Byte-addressable memory with stack and heap regions.
+#[derive(Debug, Default)]
+pub struct Memory {
+    stack: Vec<u8>,
+    heap: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Current stack watermark (pass to [`Memory::pop_to`] on frame exit).
+    pub fn stack_mark(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Rolls the stack back to a previous watermark.
+    pub fn pop_to(&mut self, mark: usize) {
+        self.stack.truncate(mark);
+    }
+
+    /// Allocates `size` bytes on the stack, 8-byte aligned; returns the
+    /// address.
+    pub fn alloca(&mut self, size: u64) -> u64 {
+        let aligned = self.stack.len().div_ceil(8) * 8;
+        self.stack.resize(aligned + size as usize, 0);
+        STACK_BASE + aligned as u64
+    }
+
+    /// Allocates `size` bytes on the heap; returns the address.
+    pub fn malloc(&mut self, size: u64) -> u64 {
+        let aligned = self.heap.len().div_ceil(8) * 8;
+        self.heap.resize(aligned + size as usize, 0);
+        HEAP_BASE + aligned as u64
+    }
+
+    fn slice_mut(&mut self, addr: u64, len: usize) -> Result<&mut [u8], Trap> {
+        if addr == 0 {
+            return Err(Trap::NullDeref);
+        }
+        if addr >= HEAP_BASE {
+            let off = (addr - HEAP_BASE) as usize;
+            if off + len > self.heap.len() {
+                return Err(Trap::OutOfBounds { addr, len });
+            }
+            Ok(&mut self.heap[off..off + len])
+        } else if addr >= STACK_BASE {
+            let off = (addr - STACK_BASE) as usize;
+            if off + len > self.stack.len() {
+                return Err(Trap::OutOfBounds { addr, len });
+            }
+            Ok(&mut self.stack[off..off + len])
+        } else {
+            Err(Trap::OutOfBounds { addr, len })
+        }
+    }
+
+    fn slice(&self, addr: u64, len: usize) -> Result<&[u8], Trap> {
+        if addr == 0 {
+            return Err(Trap::NullDeref);
+        }
+        if addr >= HEAP_BASE {
+            let off = (addr - HEAP_BASE) as usize;
+            if off + len > self.heap.len() {
+                return Err(Trap::OutOfBounds { addr, len });
+            }
+            Ok(&self.heap[off..off + len])
+        } else if addr >= STACK_BASE {
+            let off = (addr - STACK_BASE) as usize;
+            if off + len > self.stack.len() {
+                return Err(Trap::OutOfBounds { addr, len });
+            }
+            Ok(&self.stack[off..off + len])
+        } else {
+            Err(Trap::OutOfBounds { addr, len })
+        }
+    }
+
+    /// Reads raw little-endian bytes as a u64 (len ≤ 8).
+    pub fn read_uint(&self, addr: u64, len: usize) -> Result<u64, Trap> {
+        let bytes = self.slice(addr, len)?;
+        let mut buf = [0u8; 8];
+        buf[..len].copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes the low `len` bytes of `v` little-endian.
+    pub fn write_uint(&mut self, addr: u64, v: u64, len: usize) -> Result<(), Trap> {
+        let bytes = self.slice_mut(addr, len)?;
+        bytes.copy_from_slice(&v.to_le_bytes()[..len]);
+        Ok(())
+    }
+
+    /// Loads a typed value from `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Traps on null/out-of-bounds access or unsized types.
+    pub fn load(&self, addr: u64, ty: TyId, ts: &TypeStore) -> Result<Val, Trap> {
+        match ts.get(ty) {
+            Type::Int(w) => {
+                let len = ts.byte_size(ty).expect("sized") as usize;
+                let bits = self.read_uint(addr, len.min(8))?;
+                Ok(Val::Int { bits: truncate(bits, (*w).min(64)), width: (*w).min(64) })
+            }
+            Type::Half | Type::Float => {
+                let bits = self.read_uint(addr, 4)?;
+                Ok(Val::F32(f32::from_bits(bits as u32)))
+            }
+            Type::Double => {
+                let bits = self.read_uint(addr, 8)?;
+                Ok(Val::F64(f64::from_bits(bits)))
+            }
+            Type::Ptr { .. } => Ok(Val::Ptr(self.read_uint(addr, 8)?)),
+            Type::Array { elem, len } => {
+                let esz = ts.byte_size(*elem).ok_or(Trap::UnsizedAccess)?;
+                let mut out = Vec::with_capacity(*len as usize);
+                for i in 0..*len {
+                    out.push(self.load(addr + i * esz, *elem, ts)?);
+                }
+                Ok(Val::Agg(out))
+            }
+            Type::Struct { fields, .. } => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (i, &f) in fields.iter().enumerate() {
+                    let off = ts.struct_field_offset(ty, i).ok_or(Trap::UnsizedAccess)?;
+                    out.push(self.load(addr + off, f, ts)?);
+                }
+                Ok(Val::Agg(out))
+            }
+            _ => Err(Trap::UnsizedAccess),
+        }
+    }
+
+    /// Stores a typed value to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Traps on null/out-of-bounds access, unsized types, or a value whose
+    /// shape does not match `ty`.
+    pub fn store(&mut self, addr: u64, v: &Val, ty: TyId, ts: &TypeStore) -> Result<(), Trap> {
+        match (ts.get(ty), v) {
+            (Type::Int(_), Val::Int { bits, .. }) => {
+                let len = ts.byte_size(ty).expect("sized") as usize;
+                self.write_uint(addr, *bits, len.min(8))
+            }
+            (Type::Half | Type::Float, Val::F32(x)) => {
+                self.write_uint(addr, x.to_bits() as u64, 4)
+            }
+            (Type::Double, Val::F64(x)) => self.write_uint(addr, x.to_bits(), 8),
+            (Type::Ptr { .. }, Val::Ptr(p)) => self.write_uint(addr, *p, 8),
+            // Tolerate int<->ptr shape mismatches that arise from bitcasts.
+            (Type::Ptr { .. }, Val::Int { bits, .. }) => self.write_uint(addr, *bits, 8),
+            (Type::Int(_), Val::Ptr(p)) => {
+                let len = ts.byte_size(ty).expect("sized") as usize;
+                self.write_uint(addr, *p, len.min(8))
+            }
+            (Type::Array { elem, .. }, Val::Agg(items)) => {
+                let esz = ts.byte_size(*elem).ok_or(Trap::UnsizedAccess)?;
+                for (i, item) in items.iter().enumerate() {
+                    self.store(addr + i as u64 * esz, item, *elem, ts)?;
+                }
+                Ok(())
+            }
+            (Type::Struct { fields, .. }, Val::Agg(items)) => {
+                let fields = fields.clone();
+                for (i, (item, &f)) in items.iter().zip(fields.iter()).enumerate() {
+                    let off = ts.struct_field_offset(ty, i).ok_or(Trap::UnsizedAccess)?;
+                    self.store(addr + off, item, f, ts)?;
+                }
+                Ok(())
+            }
+            _ => Err(Trap::TypeMismatch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let ts = TypeStore::new();
+        let mut mem = Memory::new();
+        let a = mem.alloca(8);
+        mem.store(a, &Val::i32(-7), ts.i32(), &ts).expect("store");
+        assert_eq!(mem.load(a, ts.i32(), &ts).expect("load"), Val::i32(-7));
+        mem.store(a, &Val::F64(3.25), ts.f64(), &ts).expect("store");
+        assert_eq!(mem.load(a, ts.f64(), &ts).expect("load"), Val::F64(3.25));
+    }
+
+    #[test]
+    fn roundtrip_struct() {
+        let mut ts = TypeStore::new();
+        let s = ts.struct_(vec![ts.i8(), ts.i32()]);
+        let mut mem = Memory::new();
+        let a = mem.alloca(ts.byte_size(s).expect("sized"));
+        let v = Val::Agg(vec![Val::Int { bits: 0xab, width: 8 }, Val::i32(123)]);
+        mem.store(a, &v, s, &ts).expect("store");
+        assert!(mem.load(a, s, &ts).expect("load").bit_eq(&v));
+    }
+
+    #[test]
+    fn null_deref_traps() {
+        let ts = TypeStore::new();
+        let mem = Memory::new();
+        assert_eq!(mem.load(0, ts.i32(), &ts).unwrap_err(), Trap::NullDeref);
+    }
+
+    #[test]
+    fn out_of_bounds_traps() {
+        let ts = TypeStore::new();
+        let mut mem = Memory::new();
+        let a = mem.alloca(4);
+        assert!(matches!(
+            mem.load(a + 1024, ts.i32(), &ts),
+            Err(Trap::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn stack_rollback() {
+        let mut mem = Memory::new();
+        let mark = mem.stack_mark();
+        let a1 = mem.alloca(64);
+        mem.pop_to(mark);
+        let a2 = mem.alloca(64);
+        assert_eq!(a1, a2, "rolled-back stack reuses addresses");
+    }
+
+    #[test]
+    fn heap_is_separate_from_stack() {
+        let mut mem = Memory::new();
+        let s = mem.alloca(16);
+        let h = mem.malloc(16);
+        assert!(h > s);
+        assert!(h >= HEAP_BASE);
+    }
+}

@@ -1,0 +1,155 @@
+//! Execution profiles.
+//!
+//! The paper's §V-D case study relies on "profiling information to identify
+//! blocks of hot code": preventing hot functions from merging removes all
+//! runtime overhead. The interpreter collects exactly that information —
+//! per-function dynamic instruction counts, call counts, and per-block
+//! execution counts — keyed by *function name* so profiles remain valid
+//! across merging transformations.
+
+use std::collections::HashMap;
+
+/// Execution counters accumulated over one or more runs.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Total dynamic instructions executed.
+    pub total_steps: u64,
+    fn_steps: HashMap<String, u64>,
+    fn_calls: HashMap<String, u64>,
+    block_counts: HashMap<(String, usize), u64>,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    pub fn new() -> Profile {
+        Profile::default()
+    }
+
+    pub(crate) fn record_step(&mut self, func: &str) {
+        self.total_steps += 1;
+        *self.fn_steps.entry(func.to_owned()).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_call(&mut self, func: &str) {
+        *self.fn_calls.entry(func.to_owned()).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_block(&mut self, func: &str, block: usize) {
+        *self.block_counts.entry((func.to_owned(), block)).or_insert(0) += 1;
+    }
+
+    /// Dynamic instructions attributed to `func`.
+    pub fn steps_of(&self, func: &str) -> u64 {
+        self.fn_steps.get(func).copied().unwrap_or(0)
+    }
+
+    /// Number of times `func` was entered.
+    pub fn calls_of(&self, func: &str) -> u64 {
+        self.fn_calls.get(func).copied().unwrap_or(0)
+    }
+
+    /// Execution count of a block (by arena index) inside `func`.
+    pub fn block_count(&self, func: &str, block: usize) -> u64 {
+        self.block_counts.get(&(func.to_owned(), block)).copied().unwrap_or(0)
+    }
+
+    /// Functions sorted hottest-first by dynamic instruction count.
+    pub fn hottest(&self) -> Vec<(&str, u64)> {
+        let mut v: Vec<(&str, u64)> =
+            self.fn_steps.iter().map(|(k, &n)| (k.as_str(), n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        v
+    }
+
+    /// Names of functions whose dynamic instruction share exceeds
+    /// `fraction` of the total — the "hot functions" the paper excludes
+    /// from merging to remove runtime overhead (§V-D).
+    pub fn hot_functions(&self, fraction: f64) -> Vec<String> {
+        if self.total_steps == 0 {
+            return Vec::new();
+        }
+        let cutoff = self.total_steps as f64 * fraction;
+        let mut v: Vec<String> = self
+            .fn_steps
+            .iter()
+            .filter(|(_, &n)| n as f64 >= cutoff)
+            .map(|(k, _)| k.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Merges another profile into this one (for aggregating runs).
+    pub fn merge(&mut self, other: &Profile) {
+        self.total_steps += other.total_steps;
+        for (k, v) in &other.fn_steps {
+            *self.fn_steps.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.fn_calls {
+            *self.fn_calls.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.block_counts {
+            *self.block_counts.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut p = Profile::new();
+        p.record_call("f");
+        p.record_step("f");
+        p.record_step("f");
+        p.record_step("g");
+        p.record_block("f", 0);
+        p.record_block("f", 0);
+        assert_eq!(p.total_steps, 3);
+        assert_eq!(p.steps_of("f"), 2);
+        assert_eq!(p.calls_of("f"), 1);
+        assert_eq!(p.block_count("f", 0), 2);
+        assert_eq!(p.steps_of("missing"), 0);
+    }
+
+    #[test]
+    fn hottest_is_sorted() {
+        let mut p = Profile::new();
+        for _ in 0..10 {
+            p.record_step("hot");
+        }
+        p.record_step("cold");
+        let h = p.hottest();
+        assert_eq!(h[0].0, "hot");
+        assert_eq!(h[1].0, "cold");
+    }
+
+    #[test]
+    fn hot_function_threshold() {
+        let mut p = Profile::new();
+        for _ in 0..90 {
+            p.record_step("hot");
+        }
+        for _ in 0..10 {
+            p.record_step("cold");
+        }
+        assert_eq!(p.hot_functions(0.5), vec!["hot".to_owned()]);
+        assert!(p.hot_functions(0.05).contains(&"cold".to_owned()));
+        assert!(Profile::new().hot_functions(0.5).is_empty());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Profile::new();
+        a.record_step("f");
+        let mut b = Profile::new();
+        b.record_step("f");
+        b.record_step("g");
+        a.merge(&b);
+        assert_eq!(a.total_steps, 3);
+        assert_eq!(a.steps_of("f"), 2);
+        assert_eq!(a.steps_of("g"), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Runtime values of the interpreter.
+
+use fmsa_ir::{TyId, Type, TypeStore};
+
+/// A dynamic value produced during interpretation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Val {
+    /// An integer of the given bit width; `bits` is zero-extended.
+    Int {
+        /// Raw bits, truncated to `width` and zero-extended to 64.
+        bits: u64,
+        /// Bit width (1..=64).
+        width: u32,
+    },
+    /// 32-bit float.
+    F32(f32),
+    /// 64-bit float.
+    F64(f64),
+    /// A pointer (numeric address in the machine's address space; 0 = null).
+    Ptr(u64),
+    /// An aggregate (struct or array) of field values.
+    Agg(Vec<Val>),
+}
+
+impl Val {
+    /// Boolean constructor (`i1`).
+    pub fn bool(v: bool) -> Val {
+        Val::Int { bits: v as u64, width: 1 }
+    }
+
+    /// `i32` constructor.
+    pub fn i32(v: i32) -> Val {
+        Val::Int { bits: v as u32 as u64, width: 32 }
+    }
+
+    /// `i64` constructor.
+    pub fn i64(v: i64) -> Val {
+        Val::Int { bits: v as u64, width: 64 }
+    }
+
+    /// Truthiness of an `i1`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Val::Int { bits, width: 1 } => Some(*bits != 0),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer interpretation.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Val::Int { bits, .. } => Some(*bits),
+            Val::Ptr(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// Signed integer interpretation (sign-extended from its width).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Val::Int { bits, width } => Some(sign_extend(*bits, *width)),
+            _ => None,
+        }
+    }
+
+    /// Floating interpretation (f32 widened).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Val::F32(x) => Some(*x as f64),
+            Val::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The zero/default value of `ty` (used for `undef`, which the
+    /// interpreter makes deterministic by zeroing).
+    pub fn zero_of(ty: TyId, ts: &TypeStore) -> Val {
+        match ts.get(ty) {
+            Type::Int(w) => Val::Int { bits: 0, width: (*w).min(64) },
+            Type::Half | Type::Float => Val::F32(0.0),
+            Type::Double => Val::F64(0.0),
+            Type::Ptr { .. } => Val::Ptr(0),
+            Type::Array { elem, len } => {
+                Val::Agg((0..*len).map(|_| Val::zero_of(*elem, ts)).collect())
+            }
+            Type::Struct { fields, .. } => {
+                Val::Agg(fields.iter().map(|&f| Val::zero_of(f, ts)).collect())
+            }
+            // void/label/function values never materialize; default to null.
+            _ => Val::Ptr(0),
+        }
+    }
+
+    /// Semantic equality used by differential tests: floats compare by
+    /// bit pattern so NaNs are equal to themselves.
+    pub fn bit_eq(&self, other: &Val) -> bool {
+        match (self, other) {
+            (Val::F32(a), Val::F32(b)) => a.to_bits() == b.to_bits(),
+            (Val::F64(a), Val::F64(b)) => a.to_bits() == b.to_bits(),
+            (Val::Agg(a), Val::Agg(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.bit_eq(y))
+            }
+            _ => self == other,
+        }
+    }
+}
+
+/// Sign-extends the low `width` bits of `bits` to 64 bits.
+pub fn sign_extend(bits: u64, width: u32) -> i64 {
+    if width == 0 || width >= 64 {
+        return bits as i64;
+    }
+    let shift = 64 - width;
+    ((bits << shift) as i64) >> shift
+}
+
+/// Truncates `bits` to `width` bits.
+pub fn truncate(bits: u64, width: u32) -> u64 {
+    if width >= 64 {
+        bits
+    } else {
+        bits & ((1u64 << width) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sign_extend(0xff, 8), -1);
+        assert_eq!(sign_extend(0x7f, 8), 127);
+        assert_eq!(sign_extend(1, 1), -1);
+        assert_eq!(sign_extend(0x8000_0000, 32), i32::MIN as i64);
+        assert_eq!(sign_extend(5, 64), 5);
+    }
+
+    #[test]
+    fn truncation() {
+        assert_eq!(truncate(0x1ff, 8), 0xff);
+        assert_eq!(truncate(u64::MAX, 32), 0xffff_ffff);
+        assert_eq!(truncate(7, 64), 7);
+    }
+
+    #[test]
+    fn bool_roundtrip() {
+        assert_eq!(Val::bool(true).as_bool(), Some(true));
+        assert_eq!(Val::bool(false).as_bool(), Some(false));
+        assert_eq!(Val::i32(1).as_bool(), None, "i32 is not i1");
+    }
+
+    #[test]
+    fn bit_eq_handles_nan() {
+        let nan1 = Val::F64(f64::NAN);
+        let nan2 = Val::F64(f64::NAN);
+        assert!(nan1.bit_eq(&nan2));
+        assert!(nan1 != nan2, "PartialEq keeps IEEE semantics");
+    }
+
+    #[test]
+    fn zero_of_aggregate() {
+        let mut ts = TypeStore::new();
+        let s = ts.struct_(vec![ts.i32(), ts.f64()]);
+        let z = Val::zero_of(s, &ts);
+        assert_eq!(z, Val::Agg(vec![Val::i32(0), Val::F64(0.0)]));
+    }
+}

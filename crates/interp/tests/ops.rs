@@ -1,0 +1,147 @@
+//! Instruction-level semantics tests: aggregates, casts, shifts, and the
+//! bit-exact behaviours the differential tests rely on.
+
+use fmsa_interp::{execute, Val};
+use fmsa_ir::{FuncBuilder, Module, Opcode, Value};
+
+#[test]
+fn extract_and_insert_value() {
+    let mut m = Module::new("m");
+    let i32t = m.types.i32();
+    let f64t = m.types.f64();
+    let pair = m.types.struct_(vec![i32t, f64t]);
+    let fn_ty = m.types.func(i32t, vec![]);
+    let f = m.create_function("f", fn_ty);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.block("entry");
+    b.switch_to(e);
+    let agg0 = Value::Undef(pair);
+    let agg1 = b.insert_value(agg0, b.const_i32(41), vec![0]);
+    let agg2 = b.insert_value(agg1, b.const_f64(2.5), vec![1]);
+    let x = b.extract_value(agg2, vec![0], i32t);
+    let y = b.extract_value(agg2, vec![1], f64t);
+    let yi = b.fptosi(y, i32t);
+    let s = b.add(x, yi);
+    b.ret(Some(s));
+    let out = execute(&m, "f", vec![]).expect("runs");
+    assert_eq!(out.value, Some(Val::i32(43)));
+}
+
+#[test]
+fn nested_aggregate_memory_roundtrip() {
+    let mut m = Module::new("m");
+    let i32t = m.types.i32();
+    let inner = m.types.array(i32t, 2);
+    let outer = m.types.struct_(vec![i32t, inner]);
+    let fn_ty = m.types.func(i32t, vec![]);
+    let f = m.create_function("f", fn_ty);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.block("entry");
+    b.switch_to(e);
+    let slot = b.alloca(outer);
+    let a0 = Value::Undef(outer);
+    let a1 = b.insert_value(a0, b.const_i32(7), vec![0]);
+    let a2 = b.insert_value(a1, b.const_i32(10), vec![1, 0]);
+    let a3 = b.insert_value(a2, b.const_i32(20), vec![1, 1]);
+    b.store(a3, slot);
+    let back = b.load(slot);
+    let x = b.extract_value(back, vec![0], i32t);
+    let y = b.extract_value(back, vec![1, 1], i32t);
+    let s = b.add(x, y);
+    b.ret(Some(s));
+    let out = execute(&m, "f", vec![]).expect("runs");
+    assert_eq!(out.value, Some(Val::i32(27)));
+}
+
+#[test]
+fn cast_semantics() {
+    let mut m = Module::new("m");
+    let i8t = m.types.i8();
+    let i32t = m.types.i32();
+    let i64t = m.types.i64();
+    let f32t = m.types.f32();
+    let fn_ty = m.types.func(i64t, vec![i32t]);
+    let f = m.create_function("f", fn_ty);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.block("entry");
+    b.switch_to(e);
+    // trunc -128 -> i8, sext back: sign preserved.
+    let t = b.trunc(Value::Param(0), i8t);
+    let s = b.sext(t, i64t);
+    b.ret(Some(s));
+    let out = execute(&m, "f", vec![Val::i32(-128)]).expect("runs");
+    assert_eq!(out.value, Some(Val::i64(-128)));
+    let out = execute(&m, "f", vec![Val::i32(0x17f)]).expect("runs");
+    assert_eq!(out.value, Some(Val::i64(127)), "trunc keeps low bits");
+    let _ = f32t;
+}
+
+#[test]
+fn bitcast_float_int_roundtrip() {
+    let mut m = Module::new("m");
+    let i32t = m.types.i32();
+    let f32t = m.types.f32();
+    let fn_ty = m.types.func(f32t, vec![f32t]);
+    let f = m.create_function("f", fn_ty);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.block("entry");
+    b.switch_to(e);
+    let as_int = b.bitcast(Value::Param(0), i32t);
+    let back = b.bitcast(as_int, f32t);
+    b.ret(Some(back));
+    for v in [1.5f32, -0.0, f32::INFINITY] {
+        let out = execute(&m, "f", vec![Val::F32(v)]).expect("runs");
+        let Some(Val::F32(r)) = out.value else { panic!("f32 out") };
+        assert_eq!(r.to_bits(), v.to_bits());
+    }
+}
+
+#[test]
+fn shift_semantics_mask_by_width() {
+    let mut m = Module::new("m");
+    let i32t = m.types.i32();
+    let fn_ty = m.types.func(i32t, vec![i32t, i32t]);
+    let f = m.create_function("f", fn_ty);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.block("entry");
+    b.switch_to(e);
+    let v = b.ashr(Value::Param(0), Value::Param(1));
+    b.ret(Some(v));
+    let out = execute(&m, "f", vec![Val::i32(-16), Val::i32(2)]).expect("runs");
+    assert_eq!(out.value, Some(Val::i32(-4)), "ashr is arithmetic");
+}
+
+#[test]
+fn unsigned_vs_signed_division() {
+    let mut m = Module::new("m");
+    let i32t = m.types.i32();
+    let fn_ty = m.types.func(i32t, vec![i32t, i32t]);
+    for (name, op) in [("sdiv", Opcode::SDiv), ("udiv", Opcode::UDiv)] {
+        let f = m.create_function(name, fn_ty);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.block("entry");
+        b.switch_to(e);
+        let v = b.binary(op, Value::Param(0), Value::Param(1));
+        b.ret(Some(v));
+    }
+    let s = execute(&m, "sdiv", vec![Val::i32(-8), Val::i32(2)]).expect("runs");
+    assert_eq!(s.value, Some(Val::i32(-4)));
+    let u = execute(&m, "udiv", vec![Val::i32(-8), Val::i32(2)]).expect("runs");
+    assert_eq!(u.value, Some(Val::i32(((-8i32 as u32) / 2) as i32)));
+}
+
+#[test]
+fn f32_arithmetic_rounds_through_single_precision() {
+    let mut m = Module::new("m");
+    let f32t = m.types.f32();
+    let fn_ty = m.types.func(f32t, vec![f32t, f32t]);
+    let f = m.create_function("f", fn_ty);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.block("entry");
+    b.switch_to(e);
+    let v = b.fadd(Value::Param(0), Value::Param(1));
+    b.ret(Some(v));
+    let a = 16_777_216.0f32; // 2^24: adding 1.0 is lost in f32
+    let out = execute(&m, "f", vec![Val::F32(a), Val::F32(1.0)]).expect("runs");
+    assert_eq!(out.value, Some(Val::F32(a)), "single-precision rounding");
+}

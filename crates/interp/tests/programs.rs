@@ -1,0 +1,300 @@
+//! End-to-end interpreter tests on small programs built with the IR
+//! builder: loops, recursion, memory, switches, φ-nodes, and exception
+//! handling — every machine feature the merger's differential tests rely
+//! on.
+
+use fmsa_interp::{execute, Interpreter, Trap, Val};
+use fmsa_ir::{FuncBuilder, IntPredicate, LandingPadClause, Module, Value};
+
+/// Builds `fact(n)` with an explicit loop and memory-based accumulator.
+fn build_fact(m: &mut Module) {
+    let i32t = m.types.i32();
+    let fn_ty = m.types.func(i32t, vec![i32t]);
+    let f = m.create_function("fact", fn_ty);
+    let mut b = FuncBuilder::new(m, f);
+    let entry = b.block("entry");
+    let header = b.block("header");
+    let body = b.block("body");
+    let exit = b.block("exit");
+    b.switch_to(entry);
+    let acc = b.alloca(i32t);
+    let i = b.alloca(i32t);
+    b.store(b.const_i32(1), acc);
+    b.store(b.const_i32(1), i);
+    b.br(header);
+    b.switch_to(header);
+    let iv = b.load(i);
+    let c = b.icmp(IntPredicate::Sle, iv, Value::Param(0));
+    b.condbr(c, body, exit);
+    b.switch_to(body);
+    let av = b.load(acc);
+    let prod = b.mul(av, iv);
+    b.store(prod, acc);
+    let inc = b.add(iv, b.const_i32(1));
+    b.store(inc, i);
+    b.br(header);
+    b.switch_to(exit);
+    let r = b.load(acc);
+    b.ret(Some(r));
+}
+
+#[test]
+fn factorial_loop() {
+    let mut m = Module::new("m");
+    build_fact(&mut m);
+    assert!(fmsa_ir::verify_module(&m).is_empty());
+    let out = execute(&m, "fact", vec![Val::i32(6)]).expect("runs");
+    assert_eq!(out.value, Some(Val::i32(720)));
+    assert!(out.steps > 20, "loop actually iterated");
+}
+
+#[test]
+fn recursive_fibonacci() {
+    let mut m = Module::new("m");
+    let i32t = m.types.i32();
+    let fn_ty = m.types.func(i32t, vec![i32t]);
+    let f = m.create_function("fib", fn_ty);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let entry = b.block("entry");
+    let base = b.block("base");
+    let rec = b.block("rec");
+    b.switch_to(entry);
+    let c = b.icmp(IntPredicate::Slt, Value::Param(0), b.const_i32(2));
+    b.condbr(c, base, rec);
+    b.switch_to(base);
+    b.ret(Some(Value::Param(0)));
+    b.switch_to(rec);
+    let n1 = b.sub(Value::Param(0), b.const_i32(1));
+    let n2 = b.sub(Value::Param(0), b.const_i32(2));
+    let f1 = b.call(f, vec![n1]);
+    let f2 = b.call(f, vec![n2]);
+    let s = b.add(f1, f2);
+    b.ret(Some(s));
+    let out = execute(&m, "fib", vec![Val::i32(10)]).expect("runs");
+    assert_eq!(out.value, Some(Val::i32(55)));
+}
+
+#[test]
+fn switch_dispatch() {
+    let mut m = Module::new("m");
+    let i32t = m.types.i32();
+    let fn_ty = m.types.func(i32t, vec![i32t]);
+    let f = m.create_function("classify", fn_ty);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let entry = b.block("entry");
+    let one = b.block("one");
+    let two = b.block("two");
+    let other = b.block("other");
+    b.switch_to(entry);
+    b.switch(
+        Value::Param(0),
+        other,
+        vec![(b.const_i32(1), one), (b.const_i32(2), two)],
+    );
+    b.switch_to(one);
+    b.ret(Some(b.const_i32(100)));
+    b.switch_to(two);
+    b.ret(Some(b.const_i32(200)));
+    b.switch_to(other);
+    b.ret(Some(b.const_i32(-1)));
+    assert_eq!(execute(&m, "classify", vec![Val::i32(1)]).unwrap().value, Some(Val::i32(100)));
+    assert_eq!(execute(&m, "classify", vec![Val::i32(2)]).unwrap().value, Some(Val::i32(200)));
+    assert_eq!(execute(&m, "classify", vec![Val::i32(9)]).unwrap().value, Some(Val::i32(-1)));
+}
+
+#[test]
+fn phi_merge_of_branches() {
+    let mut m = Module::new("m");
+    let i32t = m.types.i32();
+    let i1t = m.types.i1();
+    let fn_ty = m.types.func(i32t, vec![i1t]);
+    let f = m.create_function("pick", fn_ty);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let entry = b.block("entry");
+    let a = b.block("a");
+    let c = b.block("c");
+    let join = b.block("join");
+    b.switch_to(entry);
+    b.condbr(Value::Param(0), a, c);
+    b.switch_to(a);
+    b.br(join);
+    b.switch_to(c);
+    b.br(join);
+    b.switch_to(join);
+    let phi = b.phi(i32t, vec![(b.const_i32(10), a), (b.const_i32(20), c)]);
+    b.ret(Some(phi));
+    assert_eq!(execute(&m, "pick", vec![Val::bool(true)]).unwrap().value, Some(Val::i32(10)));
+    assert_eq!(execute(&m, "pick", vec![Val::bool(false)]).unwrap().value, Some(Val::i32(20)));
+}
+
+#[test]
+fn heap_allocation_via_host_malloc() {
+    let mut m = Module::new("m");
+    let i64t = m.types.i64();
+    let i32t = m.types.i32();
+    let p32 = m.types.ptr(i32t);
+    let p8 = m.types.ptr(m.types.i8());
+    let malloc_ty = m.types.func(p8, vec![i64t]);
+    let malloc = m.create_function("malloc", malloc_ty); // declaration
+    let fn_ty = m.types.func(i32t, vec![]);
+    let f = m.create_function("use_heap", fn_ty);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let entry = b.block("entry");
+    b.switch_to(entry);
+    let raw = b.call(malloc, vec![b.const_i64(4)]);
+    let typed = b.bitcast(raw, p32);
+    b.store(b.const_i32(77), typed);
+    let v = b.load(typed);
+    b.ret(Some(v));
+    let out = execute(&m, "use_heap", vec![]).expect("runs");
+    assert_eq!(out.value, Some(Val::i32(77)));
+}
+
+#[test]
+fn exception_caught_by_invoke() {
+    let mut m = Module::new("m");
+    let i64t = m.types.i64();
+    let void = m.types.void();
+    let i32t = m.types.i32();
+    let throw_ty = m.types.func(void, vec![i64t]);
+    let thrower = m.create_function("throw_exn", throw_ty); // host that unwinds
+    let fn_ty = m.types.func(i32t, vec![m.types.i1()]);
+    let f = m.create_function("try_it", fn_ty);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let entry = b.block("entry");
+    let do_throw = b.block("do_throw");
+    let normal = b.block("normal");
+    let lpad = b.block("lpad");
+    b.switch_to(entry);
+    b.condbr(Value::Param(0), do_throw, normal);
+    b.switch_to(do_throw);
+    b.invoke(thrower, vec![b.const_i64(7)], normal, lpad);
+    b.switch_to(normal);
+    b.ret(Some(b.const_i32(0)));
+    b.switch_to(lpad);
+    b.landingpad(vec![LandingPadClause::Catch("any".into())], false);
+    b.ret(Some(b.const_i32(1)));
+    assert!(fmsa_ir::verify_module(&m).is_empty(), "{:?}", fmsa_ir::verify_module(&m));
+    assert_eq!(execute(&m, "try_it", vec![Val::bool(true)]).unwrap().value, Some(Val::i32(1)));
+    assert_eq!(execute(&m, "try_it", vec![Val::bool(false)]).unwrap().value, Some(Val::i32(0)));
+}
+
+#[test]
+fn uncaught_exception_traps() {
+    let mut m = Module::new("m");
+    let i64t = m.types.i64();
+    let void = m.types.void();
+    let throw_ty = m.types.func(void, vec![i64t]);
+    let thrower = m.create_function("throw_exn", throw_ty);
+    let fn_ty = m.types.func(void, vec![]);
+    let f = m.create_function("boom", fn_ty);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let entry = b.block("entry");
+    b.switch_to(entry);
+    b.call(thrower, vec![b.const_i64(9)]);
+    b.ret(None);
+    let err = execute(&m, "boom", vec![]).unwrap_err();
+    assert_eq!(err, Trap::UncaughtException(9));
+}
+
+#[test]
+fn division_by_zero_traps() {
+    let mut m = Module::new("m");
+    let i32t = m.types.i32();
+    let fn_ty = m.types.func(i32t, vec![i32t]);
+    let f = m.create_function("div", fn_ty);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let entry = b.block("entry");
+    b.switch_to(entry);
+    let q = b.sdiv(b.const_i32(10), Value::Param(0));
+    b.ret(Some(q));
+    assert_eq!(execute(&m, "div", vec![Val::i32(0)]).unwrap_err(), Trap::DivisionByZero);
+    assert_eq!(execute(&m, "div", vec![Val::i32(2)]).unwrap().value, Some(Val::i32(5)));
+}
+
+#[test]
+fn fuel_limit_stops_infinite_loop() {
+    let mut m = Module::new("m");
+    let void = m.types.void();
+    let fn_ty = m.types.func(void, vec![]);
+    let f = m.create_function("spin", fn_ty);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let entry = b.block("entry");
+    let looping = b.block("looping");
+    b.switch_to(entry);
+    b.br(looping);
+    b.switch_to(looping);
+    b.br(looping);
+    let mut interp = Interpreter::new(&m);
+    interp.set_fuel(1000);
+    assert_eq!(interp.run("spin", vec![]).unwrap_err(), Trap::OutOfFuel);
+}
+
+#[test]
+fn profile_counts_calls_and_hotness() {
+    let mut m = Module::new("m");
+    build_fact(&mut m);
+    let mut interp = Interpreter::new(&m);
+    for n in 1..=8 {
+        interp.run("fact", vec![Val::i32(n)]).expect("runs");
+    }
+    let p = interp.profile();
+    assert_eq!(p.calls_of("fact"), 8);
+    assert!(p.steps_of("fact") > 100);
+    assert_eq!(p.hottest()[0].0, "fact");
+    assert_eq!(p.hot_functions(0.9), vec!["fact".to_owned()]);
+}
+
+#[test]
+fn gep_struct_and_array_addressing() {
+    let mut m = Module::new("m");
+    let i32t = m.types.i32();
+    let i64t = m.types.i64();
+    // struct Node { i32 head; [3 x i32] tail; }
+    let arr = m.types.array(i32t, 3);
+    let node = m.types.struct_(vec![i32t, arr]);
+    let fn_ty = m.types.func(i32t, vec![]);
+    let f = m.create_function("f", fn_ty);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let entry = b.block("entry");
+    b.switch_to(entry);
+    let slot = b.alloca(node);
+    // &slot->tail[2]
+    let zero = b.const_i64(0);
+    let one = Value::ConstInt { ty: i32t, bits: 1 };
+    let two = Value::ConstInt { ty: i32t, bits: 2 };
+    let p = b.gep(node, slot, vec![zero, one, two], i32t);
+    b.store(b.const_i32(42), p);
+    // &slot->head
+    let zero2 = b.const_i64(0);
+    let zero3 = Value::ConstInt { ty: i32t, bits: 0 };
+    let ph = b.gep(node, slot, vec![zero2, zero3], i32t);
+    b.store(b.const_i32(7), ph);
+    let v1 = b.load(p);
+    let v2 = b.load(ph);
+    let s = b.add(v1, v2);
+    b.ret(Some(s));
+    let _ = i64t;
+    let out = execute(&m, "f", vec![]).expect("runs");
+    assert_eq!(out.value, Some(Val::i32(49)));
+}
+
+#[test]
+fn output_capture_in_order() {
+    let mut m = Module::new("m");
+    let i32t = m.types.i32();
+    let void = m.types.void();
+    let print_ty = m.types.func(void, vec![i32t]);
+    let print = m.create_function("print_i32", print_ty);
+    let fn_ty = m.types.func(void, vec![]);
+    let f = m.create_function("main", fn_ty);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let entry = b.block("entry");
+    b.switch_to(entry);
+    for k in [3, 1, 2] {
+        b.call(print, vec![b.const_i32(k)]);
+    }
+    b.ret(None);
+    let out = execute(&m, "main", vec![]).expect("runs");
+    assert_eq!(out.output, vec!["3", "1", "2"]);
+}

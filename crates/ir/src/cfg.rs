@@ -1,0 +1,309 @@
+//! Control-flow-graph utilities: predecessors, reachability, and the
+//! reverse post-order traversal used by FMSA's linearization (§III-B).
+
+use crate::function::Function;
+use crate::value::BlockId;
+use std::collections::HashMap;
+
+/// Predecessor map of a function's CFG.
+#[derive(Debug, Clone, Default)]
+pub struct Predecessors {
+    map: HashMap<BlockId, Vec<BlockId>>,
+}
+
+impl Predecessors {
+    /// Computes predecessors of every live block of `f`.
+    pub fn compute(f: &Function) -> Predecessors {
+        let mut map: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for b in f.block_ids() {
+            map.entry(b).or_default();
+        }
+        for b in f.block_ids() {
+            for s in f.successors(b) {
+                map.entry(s).or_default().push(b);
+            }
+        }
+        Predecessors { map }
+    }
+
+    /// Predecessors of `b` (empty slice if it has none).
+    pub fn of(&self, b: BlockId) -> &[BlockId] {
+        self.map.get(&b).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of predecessors of `b`.
+    pub fn count(&self, b: BlockId) -> usize {
+        self.of(b).len()
+    }
+}
+
+/// Computes the reverse post-order of the blocks reachable from the entry.
+///
+/// Successors are visited in a canonical order (the operand order of the
+/// terminator) so the traversal — and therefore the linearization the
+/// merger aligns — is deterministic, as required by §III-B of the paper
+/// ("a reverse post-order traversal with a canonical ordering of successor
+/// basic blocks").
+pub fn reverse_post_order(f: &Function) -> Vec<BlockId> {
+    if f.is_declaration() {
+        return Vec::new();
+    }
+    let entry = f.entry();
+    let mut visited: Vec<bool> = Vec::new();
+    let mut post: Vec<BlockId> = Vec::new();
+    // Iterative DFS with an explicit stack of (block, next-successor-index).
+    let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+    mark(&mut visited, entry);
+    while let Some(&mut (b, ref mut idx)) = stack.last_mut() {
+        let succs = f.successors(b);
+        if *idx < succs.len() {
+            // Visit successors in reverse operand order so the *first*
+            // successor ends up first in the final reverse post-order.
+            let s = succs[succs.len() - 1 - *idx];
+            *idx += 1;
+            if f.is_live_block(s) && !is_marked(&visited, s) {
+                mark(&mut visited, s);
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Immediate-dominator tree of a function's CFG (Cooper-Harvey-Kennedy
+/// iterative algorithm over the reverse post-order).
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    rpo_index: HashMap<BlockId, usize>,
+    idom: HashMap<BlockId, BlockId>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes dominators for the reachable blocks of `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on declarations.
+    pub fn compute(f: &Function) -> Dominators {
+        let rpo = reverse_post_order(f);
+        let entry = f.entry();
+        let mut rpo_index = HashMap::new();
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index.insert(b, i);
+        }
+        let preds = Predecessors::compute(f);
+        let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+        idom.insert(entry, entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in preds.of(b) {
+                    if !idom.contains_key(&p) {
+                        continue; // predecessor not yet processed/unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&b) != Some(&ni) {
+                        idom.insert(b, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { rpo_index, idom, entry }
+    }
+
+    /// Whether block `a` dominates block `b` (reflexive). Unreachable
+    /// blocks dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.rpo_index.contains_key(&a) || !self.rpo_index.contains_key(&b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            match self.idom.get(&cur) {
+                Some(&d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            return None;
+        }
+        self.idom.get(&b).copied()
+    }
+}
+
+fn intersect(
+    idom: &HashMap<BlockId, BlockId>,
+    rpo_index: &HashMap<BlockId, usize>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[&a] > rpo_index[&b] {
+            a = idom[&a];
+        }
+        while rpo_index[&b] > rpo_index[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+/// Blocks unreachable from the entry, in layout order.
+pub fn unreachable_blocks(f: &Function) -> Vec<BlockId> {
+    let reachable: std::collections::HashSet<BlockId> =
+        reverse_post_order(f).into_iter().collect();
+    f.block_ids().filter(|b| !reachable.contains(b)).collect()
+}
+
+fn mark(visited: &mut Vec<bool>, b: BlockId) {
+    let i = b.index();
+    if visited.len() <= i {
+        visited.resize(i + 1, false);
+    }
+    visited[i] = true;
+}
+
+fn is_marked(visited: &[bool], b: BlockId) -> bool {
+    visited.get(b.index()).copied().unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::module::Module;
+    use crate::value::Value;
+
+    /// entry -> (then, else) -> join ; plus one unreachable block.
+    fn diamond() -> (Module, crate::value::FuncId, Vec<BlockId>) {
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![m.types.i1()]);
+        let f = m.create_function("f", fn_ty);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        let then_b = b.block("then");
+        let else_b = b.block("else");
+        let join = b.block("join");
+        let dead = b.block("dead");
+        b.switch_to(entry);
+        b.condbr(Value::Param(0), then_b, else_b);
+        b.switch_to(then_b);
+        b.br(join);
+        b.switch_to(else_b);
+        b.br(join);
+        b.switch_to(join);
+        b.ret(Some(b.const_i32(0)));
+        b.switch_to(dead);
+        b.ret(Some(b.const_i32(1)));
+        (m, f, vec![entry, then_b, else_b, join, dead])
+    }
+
+    #[test]
+    fn rpo_of_diamond() {
+        let (m, f, blocks) = diamond();
+        let rpo = reverse_post_order(m.func(f));
+        let [entry, then_b, else_b, join, dead] = blocks[..] else { unreachable!() };
+        assert_eq!(rpo.first(), Some(&entry));
+        assert!(!rpo.contains(&dead), "unreachable block excluded");
+        // join comes after both branches.
+        let pos = |b| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(join) > pos(then_b));
+        assert!(pos(join) > pos(else_b));
+        // Canonical order: then before else (operand order).
+        assert!(pos(then_b) < pos(else_b));
+    }
+
+    #[test]
+    fn rpo_is_deterministic() {
+        let (m, f, _) = diamond();
+        let a = reverse_post_order(m.func(f));
+        let b = reverse_post_order(m.func(f));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predecessors_of_join() {
+        let (m, f, blocks) = diamond();
+        let preds = Predecessors::compute(m.func(f));
+        let [entry, then_b, else_b, join, _] = blocks[..] else { unreachable!() };
+        assert_eq!(preds.count(entry), 0);
+        let mut pj = preds.of(join).to_vec();
+        pj.sort();
+        let mut expect = vec![then_b, else_b];
+        expect.sort();
+        assert_eq!(pj, expect);
+    }
+
+    #[test]
+    fn unreachable_detection() {
+        let (m, f, blocks) = diamond();
+        let dead = blocks[4];
+        assert_eq!(unreachable_blocks(m.func(f)), vec![dead]);
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let (m, f, blocks) = diamond();
+        let dom = Dominators::compute(m.func(f));
+        let [entry, then_b, else_b, join, dead] = blocks[..] else { unreachable!() };
+        assert!(dom.dominates(entry, join));
+        assert!(dom.dominates(entry, then_b));
+        assert!(!dom.dominates(then_b, join), "one branch arm does not dominate the join");
+        assert!(!dom.dominates(else_b, join));
+        assert!(dom.dominates(join, join), "reflexive");
+        assert_eq!(dom.idom(join), Some(entry));
+        assert_eq!(dom.idom(entry), None);
+        assert!(!dom.dominates(entry, dead), "unreachable blocks are not dominated");
+    }
+
+    #[test]
+    fn rpo_handles_loops() {
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![m.types.i1()]);
+        let f = m.create_function("loopy", fn_ty);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.br(header);
+        b.switch_to(header);
+        b.condbr(Value::Param(0), body, exit);
+        b.switch_to(body);
+        b.br(header); // back edge
+        b.switch_to(exit);
+        b.ret(Some(b.const_i32(0)));
+        let rpo = reverse_post_order(m.func(f));
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], entry);
+        let pos = |x| rpo.iter().position(|&y| y == x).unwrap();
+        assert!(pos(header) < pos(body));
+    }
+}

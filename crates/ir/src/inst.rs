@@ -1,0 +1,623 @@
+//! Instructions and opcodes.
+//!
+//! The opcode set mirrors LLVM v8's instruction set closely enough that the
+//! FMSA algorithms (fingerprinting, equivalence, cost modelling) behave like
+//! their LLVM counterparts. Operand conventions are documented per opcode on
+//! [`Opcode`].
+
+use crate::types::TyId;
+use crate::value::{BlockId, Value};
+
+/// Instruction opcodes.
+///
+/// Operand conventions (`operands` field of [`Inst`]):
+///
+/// | Opcode | Operands |
+/// |---|---|
+/// | `Ret` | `[]` (void) or `[value]` |
+/// | `Br` | `[Block(target)]` |
+/// | `CondBr` | `[cond, Block(then), Block(else)]` |
+/// | `Switch` | `[cond, Block(default), c1, Block(b1), c2, Block(b2), ...]` |
+/// | `Invoke` | `[callee, args..., Block(normal), Block(unwind)]` |
+/// | `Resume` | `[exn_value]` |
+/// | `Unreachable` | `[]` |
+/// | binary ops | `[lhs, rhs]` |
+/// | `Alloca` | `[]` or `[count]`; allocated type in `ExtraData::Alloca` |
+/// | `Load` | `[ptr]` |
+/// | `Store` | `[value, ptr]` |
+/// | `Gep` | `[ptr, idx...]`; source element type in `ExtraData::Gep` |
+/// | cast ops | `[value]` |
+/// | `ICmp`/`FCmp` | `[lhs, rhs]`; predicate in `ExtraData` |
+/// | `Phi` | `[v1, v2, ...]`; incoming blocks in `ExtraData::Phi` |
+/// | `Call` | `[callee, args...]` |
+/// | `Select` | `[cond, if_true, if_false]` |
+/// | `LandingPad` | `[]`; clauses in `ExtraData::LandingPad` |
+/// | `ExtractValue` | `[agg]`; indices in `ExtraData::AggIndices` |
+/// | `InsertValue` | `[agg, value]`; indices in `ExtraData::AggIndices` |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Opcode {
+    // Terminators.
+    Ret,
+    Br,
+    CondBr,
+    Switch,
+    Invoke,
+    Resume,
+    Unreachable,
+    // Integer binary.
+    Add,
+    Sub,
+    Mul,
+    UDiv,
+    SDiv,
+    URem,
+    SRem,
+    // Float binary.
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FRem,
+    // Bitwise.
+    Shl,
+    LShr,
+    AShr,
+    And,
+    Or,
+    Xor,
+    // Memory.
+    Alloca,
+    Load,
+    Store,
+    Gep,
+    // Casts.
+    Trunc,
+    ZExt,
+    SExt,
+    FPTrunc,
+    FPExt,
+    FPToUI,
+    FPToSI,
+    UIToFP,
+    SIToFP,
+    PtrToInt,
+    IntToPtr,
+    BitCast,
+    // Other.
+    ICmp,
+    FCmp,
+    Phi,
+    Call,
+    Select,
+    LandingPad,
+    ExtractValue,
+    InsertValue,
+}
+
+impl Opcode {
+    /// All opcodes, in declaration order. The fingerprint vector (§IV of the
+    /// paper) is indexed by this ordering.
+    pub const ALL: [Opcode; 49] = [
+        Opcode::Ret,
+        Opcode::Br,
+        Opcode::CondBr,
+        Opcode::Switch,
+        Opcode::Invoke,
+        Opcode::Resume,
+        Opcode::Unreachable,
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::UDiv,
+        Opcode::SDiv,
+        Opcode::URem,
+        Opcode::SRem,
+        Opcode::FAdd,
+        Opcode::FSub,
+        Opcode::FMul,
+        Opcode::FDiv,
+        Opcode::FRem,
+        Opcode::Shl,
+        Opcode::LShr,
+        Opcode::AShr,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Alloca,
+        Opcode::Load,
+        Opcode::Store,
+        Opcode::Gep,
+        Opcode::Trunc,
+        Opcode::ZExt,
+        Opcode::SExt,
+        Opcode::FPTrunc,
+        Opcode::FPExt,
+        Opcode::FPToUI,
+        Opcode::FPToSI,
+        Opcode::UIToFP,
+        Opcode::SIToFP,
+        Opcode::PtrToInt,
+        Opcode::IntToPtr,
+        Opcode::BitCast,
+        Opcode::ICmp,
+        Opcode::FCmp,
+        Opcode::Phi,
+        Opcode::Call,
+        Opcode::Select,
+        Opcode::LandingPad,
+        Opcode::ExtractValue,
+        Opcode::InsertValue,
+    ];
+
+    /// Number of distinct opcodes (the fingerprint vector length).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index of this opcode in [`Opcode::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&o| o == self).expect("opcode listed in ALL")
+    }
+
+    /// Whether this opcode terminates a basic block.
+    pub fn is_terminator(self) -> bool {
+        matches!(
+            self,
+            Opcode::Ret
+                | Opcode::Br
+                | Opcode::CondBr
+                | Opcode::Switch
+                | Opcode::Invoke
+                | Opcode::Resume
+                | Opcode::Unreachable
+        )
+    }
+
+    /// Whether the operation is commutative, i.e. operand order can be
+    /// swapped without changing the result. Used by merged-function code
+    /// generation to reorder operands and minimize `select`s (§III-E).
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            Opcode::Add
+                | Opcode::Mul
+                | Opcode::FAdd
+                | Opcode::FMul
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+        )
+    }
+
+    /// Whether the instruction may read or write memory or have other
+    /// observable side effects (and therefore must not be removed by DCE
+    /// even if its result is unused).
+    pub fn has_side_effects(self) -> bool {
+        matches!(
+            self,
+            Opcode::Store
+                | Opcode::Call
+                | Opcode::Invoke
+                | Opcode::Resume
+                | Opcode::Unreachable
+                | Opcode::LandingPad
+        ) || self.is_terminator()
+    }
+
+    /// Whether this is an integer or float binary arithmetic/bitwise op.
+    pub fn is_binary(self) -> bool {
+        matches!(
+            self,
+            Opcode::Add
+                | Opcode::Sub
+                | Opcode::Mul
+                | Opcode::UDiv
+                | Opcode::SDiv
+                | Opcode::URem
+                | Opcode::SRem
+                | Opcode::FAdd
+                | Opcode::FSub
+                | Opcode::FMul
+                | Opcode::FDiv
+                | Opcode::FRem
+                | Opcode::Shl
+                | Opcode::LShr
+                | Opcode::AShr
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+        )
+    }
+
+    /// Whether this is one of the cast opcodes.
+    pub fn is_cast(self) -> bool {
+        matches!(
+            self,
+            Opcode::Trunc
+                | Opcode::ZExt
+                | Opcode::SExt
+                | Opcode::FPTrunc
+                | Opcode::FPExt
+                | Opcode::FPToUI
+                | Opcode::FPToSI
+                | Opcode::UIToFP
+                | Opcode::SIToFP
+                | Opcode::PtrToInt
+                | Opcode::IntToPtr
+                | Opcode::BitCast
+        )
+    }
+
+    /// Lower-case LLVM-style mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Ret => "ret",
+            Opcode::Br => "br",
+            Opcode::CondBr => "condbr",
+            Opcode::Switch => "switch",
+            Opcode::Invoke => "invoke",
+            Opcode::Resume => "resume",
+            Opcode::Unreachable => "unreachable",
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::UDiv => "udiv",
+            Opcode::SDiv => "sdiv",
+            Opcode::URem => "urem",
+            Opcode::SRem => "srem",
+            Opcode::FAdd => "fadd",
+            Opcode::FSub => "fsub",
+            Opcode::FMul => "fmul",
+            Opcode::FDiv => "fdiv",
+            Opcode::FRem => "frem",
+            Opcode::Shl => "shl",
+            Opcode::LShr => "lshr",
+            Opcode::AShr => "ashr",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Alloca => "alloca",
+            Opcode::Load => "load",
+            Opcode::Store => "store",
+            Opcode::Gep => "getelementptr",
+            Opcode::Trunc => "trunc",
+            Opcode::ZExt => "zext",
+            Opcode::SExt => "sext",
+            Opcode::FPTrunc => "fptrunc",
+            Opcode::FPExt => "fpext",
+            Opcode::FPToUI => "fptoui",
+            Opcode::FPToSI => "fptosi",
+            Opcode::UIToFP => "uitofp",
+            Opcode::SIToFP => "sitofp",
+            Opcode::PtrToInt => "ptrtoint",
+            Opcode::IntToPtr => "inttoptr",
+            Opcode::BitCast => "bitcast",
+            Opcode::ICmp => "icmp",
+            Opcode::FCmp => "fcmp",
+            Opcode::Phi => "phi",
+            Opcode::Call => "call",
+            Opcode::Select => "select",
+            Opcode::LandingPad => "landingpad",
+            Opcode::ExtractValue => "extractvalue",
+            Opcode::InsertValue => "insertvalue",
+        }
+    }
+
+    /// Parses a mnemonic back into an opcode.
+    pub fn from_mnemonic(s: &str) -> Option<Opcode> {
+        Self::ALL.iter().copied().find(|o| o.mnemonic() == s)
+    }
+}
+
+/// Integer comparison predicates (subset of LLVM's `icmp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum IntPredicate {
+    Eq,
+    Ne,
+    Ugt,
+    Uge,
+    Ult,
+    Ule,
+    Sgt,
+    Sge,
+    Slt,
+    Sle,
+}
+
+impl IntPredicate {
+    /// All predicates.
+    pub const ALL: [IntPredicate; 10] = [
+        IntPredicate::Eq,
+        IntPredicate::Ne,
+        IntPredicate::Ugt,
+        IntPredicate::Uge,
+        IntPredicate::Ult,
+        IntPredicate::Ule,
+        IntPredicate::Sgt,
+        IntPredicate::Sge,
+        IntPredicate::Slt,
+        IntPredicate::Sle,
+    ];
+
+    /// The predicate with swapped operands (`a < b` ⇔ `b > a`).
+    pub fn swapped(self) -> IntPredicate {
+        match self {
+            IntPredicate::Eq => IntPredicate::Eq,
+            IntPredicate::Ne => IntPredicate::Ne,
+            IntPredicate::Ugt => IntPredicate::Ult,
+            IntPredicate::Uge => IntPredicate::Ule,
+            IntPredicate::Ult => IntPredicate::Ugt,
+            IntPredicate::Ule => IntPredicate::Uge,
+            IntPredicate::Sgt => IntPredicate::Slt,
+            IntPredicate::Sge => IntPredicate::Sle,
+            IntPredicate::Slt => IntPredicate::Sgt,
+            IntPredicate::Sle => IntPredicate::Sge,
+        }
+    }
+
+    /// Whether swapping the operands leaves the result unchanged.
+    pub fn is_commutative(self) -> bool {
+        matches!(self, IntPredicate::Eq | IntPredicate::Ne)
+    }
+
+    /// LLVM-style mnemonic (`eq`, `slt`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IntPredicate::Eq => "eq",
+            IntPredicate::Ne => "ne",
+            IntPredicate::Ugt => "ugt",
+            IntPredicate::Uge => "uge",
+            IntPredicate::Ult => "ult",
+            IntPredicate::Ule => "ule",
+            IntPredicate::Sgt => "sgt",
+            IntPredicate::Sge => "sge",
+            IntPredicate::Slt => "slt",
+            IntPredicate::Sle => "sle",
+        }
+    }
+
+    /// Parses a mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<IntPredicate> {
+        Self::ALL.iter().copied().find(|p| p.mnemonic() == s)
+    }
+}
+
+/// Floating-point comparison predicates (ordered subset plus `uno`/`ord`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FloatPredicate {
+    Oeq,
+    One,
+    Ogt,
+    Oge,
+    Olt,
+    Ole,
+    Ord,
+    Uno,
+    Ueq,
+    Une,
+}
+
+impl FloatPredicate {
+    /// All predicates.
+    pub const ALL: [FloatPredicate; 10] = [
+        FloatPredicate::Oeq,
+        FloatPredicate::One,
+        FloatPredicate::Ogt,
+        FloatPredicate::Oge,
+        FloatPredicate::Olt,
+        FloatPredicate::Ole,
+        FloatPredicate::Ord,
+        FloatPredicate::Uno,
+        FloatPredicate::Ueq,
+        FloatPredicate::Une,
+    ];
+
+    /// LLVM-style mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FloatPredicate::Oeq => "oeq",
+            FloatPredicate::One => "one",
+            FloatPredicate::Ogt => "ogt",
+            FloatPredicate::Oge => "oge",
+            FloatPredicate::Olt => "olt",
+            FloatPredicate::Ole => "ole",
+            FloatPredicate::Ord => "ord",
+            FloatPredicate::Uno => "uno",
+            FloatPredicate::Ueq => "ueq",
+            FloatPredicate::Une => "une",
+        }
+    }
+
+    /// Parses a mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<FloatPredicate> {
+        Self::ALL.iter().copied().find(|p| p.mnemonic() == s)
+    }
+}
+
+/// A clause of a `landingpad` instruction: which exceptions it catches.
+///
+/// We model clauses symbolically: a catch clause names a type-info symbol,
+/// a filter clause lists the allowed symbols. Equivalence of landing pads
+/// (§III-D) requires *identical* clause lists.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LandingPadClause {
+    /// `catch` of a specific exception type-info symbol.
+    Catch(String),
+    /// `filter` restricting thrown types to the listed symbols.
+    Filter(Vec<String>),
+}
+
+/// Opcode-specific payload that does not fit the homogeneous operand list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub enum ExtraData {
+    /// No extra payload.
+    #[default]
+    None,
+    /// `icmp` predicate.
+    ICmp(IntPredicate),
+    /// `fcmp` predicate.
+    FCmp(FloatPredicate),
+    /// `alloca`: the allocated (pointee) type.
+    Alloca {
+        /// Type being allocated; the result type is a pointer to it.
+        allocated: TyId,
+    },
+    /// `getelementptr`: the source element type indices step through.
+    Gep {
+        /// Type of the element the base pointer addresses.
+        source_elem: TyId,
+    },
+    /// `phi`: incoming blocks, parallel to the operand list.
+    Phi {
+        /// `incoming[i]` is the predecessor supplying operand `i`.
+        incoming: Vec<BlockId>,
+    },
+    /// `landingpad`: catch/filter clauses and the cleanup flag.
+    LandingPad {
+        /// Clause list; order matters for equivalence.
+        clauses: Vec<LandingPadClause>,
+        /// Whether the pad is a cleanup pad.
+        cleanup: bool,
+    },
+    /// `extractvalue` / `insertvalue`: constant aggregate indices.
+    AggIndices(Vec<u32>),
+}
+
+/// A single IR instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inst {
+    /// The operation.
+    pub opcode: Opcode,
+    /// Result type (`void` for instructions without a result).
+    pub ty: TyId,
+    /// Operand list; see [`Opcode`] for per-opcode conventions.
+    pub operands: Vec<Value>,
+    /// Opcode-specific payload.
+    pub extra: ExtraData,
+    /// Owning block (maintained by [`crate::Function`] mutators).
+    pub parent: BlockId,
+}
+
+impl Inst {
+    /// Creates an instruction with no extra payload.
+    pub fn new(opcode: Opcode, ty: TyId, operands: Vec<Value>) -> Inst {
+        Inst { opcode, ty, operands, extra: ExtraData::None, parent: BlockId(u32::MAX) }
+    }
+
+    /// Creates an instruction with an extra payload.
+    pub fn with_extra(opcode: Opcode, ty: TyId, operands: Vec<Value>, extra: ExtraData) -> Inst {
+        Inst { opcode, ty, operands, extra, parent: BlockId(u32::MAX) }
+    }
+
+    /// Whether this instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        self.opcode.is_terminator()
+    }
+
+    /// Successor blocks if this is a terminator (empty otherwise).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self.opcode {
+            Opcode::Br => self.operands.iter().filter_map(Value::as_block).collect(),
+            Opcode::CondBr => self.operands.iter().filter_map(Value::as_block).collect(),
+            Opcode::Switch => self.operands.iter().filter_map(Value::as_block).collect(),
+            Opcode::Invoke => {
+                // Last two operands are the normal and unwind destinations.
+                let n = self.operands.len();
+                self.operands[n.saturating_sub(2)..]
+                    .iter()
+                    .filter_map(Value::as_block)
+                    .collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// The icmp predicate, if any.
+    pub fn int_predicate(&self) -> Option<IntPredicate> {
+        match &self.extra {
+            ExtraData::ICmp(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// The fcmp predicate, if any.
+    pub fn float_predicate(&self) -> Option<FloatPredicate> {
+        match &self.extra {
+            ExtraData::FCmp(p) => Some(*p),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeStore;
+    use crate::value::BlockId;
+
+    #[test]
+    fn all_opcodes_have_unique_mnemonics() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Opcode::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(Opcode::COUNT, 49);
+    }
+
+    #[test]
+    fn opcode_index_is_dense() {
+        for (i, op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+        }
+    }
+
+    #[test]
+    fn terminator_classification() {
+        assert!(Opcode::Ret.is_terminator());
+        assert!(Opcode::Invoke.is_terminator());
+        assert!(!Opcode::Call.is_terminator());
+        assert!(!Opcode::Add.is_terminator());
+    }
+
+    #[test]
+    fn commutativity() {
+        assert!(Opcode::Add.is_commutative());
+        assert!(Opcode::FMul.is_commutative());
+        assert!(!Opcode::Sub.is_commutative());
+        assert!(!Opcode::SDiv.is_commutative());
+        assert!(IntPredicate::Eq.is_commutative());
+        assert!(!IntPredicate::Slt.is_commutative());
+    }
+
+    #[test]
+    fn predicate_swapping() {
+        assert_eq!(IntPredicate::Slt.swapped(), IntPredicate::Sgt);
+        assert_eq!(IntPredicate::Eq.swapped(), IntPredicate::Eq);
+        for p in IntPredicate::ALL {
+            assert_eq!(p.swapped().swapped(), p);
+            assert_eq!(IntPredicate::from_mnemonic(p.mnemonic()), Some(p));
+        }
+        for p in FloatPredicate::ALL {
+            assert_eq!(FloatPredicate::from_mnemonic(p.mnemonic()), Some(p));
+        }
+    }
+
+    #[test]
+    fn successor_extraction() {
+        let ts = TypeStore::new();
+        let b0 = BlockId(0);
+        let b1 = BlockId(1);
+        let br = Inst::new(Opcode::Br, ts.void(), vec![Value::Block(b0)]);
+        assert_eq!(br.successors(), vec![b0]);
+        let cb = Inst::new(
+            Opcode::CondBr,
+            ts.void(),
+            vec![Value::ConstInt { ty: ts.i1(), bits: 1 }, Value::Block(b0), Value::Block(b1)],
+        );
+        assert_eq!(cb.successors(), vec![b0, b1]);
+        let add = Inst::new(Opcode::Add, ts.i32(), vec![]);
+        assert!(add.successors().is_empty());
+    }
+}

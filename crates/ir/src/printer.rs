@@ -1,0 +1,251 @@
+//! Textual printer producing an LLVM-flavoured dump of modules and
+//! functions. The output is deterministic and accepted back by
+//! [`crate::parser`].
+
+use crate::function::{Function, Linkage};
+use crate::inst::{ExtraData, Inst, LandingPadClause, Opcode};
+use crate::module::Module;
+use crate::value::{BlockId, InstId, Value};
+use std::fmt::Write as _;
+
+/// Prints the whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; module {}", m.name);
+    for id in m.func_ids() {
+        out.push('\n');
+        out.push_str(&print_function(m, m.func(id)));
+    }
+    out
+}
+
+/// Prints one function.
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let ts = &m.types;
+    let mut out = String::new();
+    let ret = ts.display(f.ret_ty(ts));
+    let params = f
+        .params()
+        .iter()
+        .map(|p| format!("{} %{}", ts.display(p.ty), p.name))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let linkage = match f.linkage {
+        Linkage::Internal => "internal ",
+        Linkage::External => "",
+    };
+    if f.is_declaration() {
+        let _ = writeln!(out, "declare {linkage}{ret} @{}({params})", f.name);
+        return out;
+    }
+    let _ = writeln!(out, "define {linkage}{ret} @{}({params}) {{", f.name);
+    for b in f.block_ids() {
+        let _ = writeln!(out, "{}:", block_name(f, b));
+        for &i in &f.block(b).insts {
+            let _ = writeln!(out, "  {}", print_inst(m, f, i));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn block_name(f: &Function, b: BlockId) -> String {
+    let name = &f.block(b).name;
+    if name.is_empty() {
+        format!("bb{}", b.index())
+    } else {
+        format!("{name}.{}", b.index())
+    }
+}
+
+/// Prints a value operand with its type prefix.
+pub fn print_value(m: &Module, f: &Function, v: Value) -> String {
+    let ts = &m.types;
+    match v {
+        Value::Inst(i) => format!("{} %v{}", ts.display(f.inst(i).ty), i.index()),
+        Value::Param(p) => {
+            let param = &f.params()[p as usize];
+            format!("{} %{}", ts.display(param.ty), param.name)
+        }
+        Value::Block(b) => format!("label %{}", block_name(f, b)),
+        Value::Func(fid) => format!("@{}", m.func(fid).name),
+        Value::ConstInt { ty, bits } => format!("{} {}", ts.display(ty), bits as i64),
+        Value::ConstFloat { ty, bits } => {
+            if ts.display(ty) == "float" {
+                format!("float {:?}", f32::from_bits(bits as u32))
+            } else {
+                format!("{} {:?}", ts.display(ty), f64::from_bits(bits))
+            }
+        }
+        Value::ConstNull(ty) => format!("{} null", ts.display(ty)),
+        Value::Undef(ty) => format!("{} undef", ts.display(ty)),
+    }
+}
+
+/// Prints one instruction.
+pub fn print_inst(m: &Module, f: &Function, id: InstId) -> String {
+    let ts = &m.types;
+    let inst: &Inst = f.inst(id);
+    let ops =
+        |r: std::ops::Range<usize>| -> String {
+            inst.operands[r]
+                .iter()
+                .map(|&v| print_value(m, f, v))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+    let lhs = if matches!(ts.get(inst.ty), crate::types::Type::Void)
+        || inst.opcode == Opcode::Store
+    {
+        String::new()
+    } else {
+        format!("%v{} = ", id.index())
+    };
+    let body = match inst.opcode {
+        Opcode::ICmp => {
+            let p = inst.int_predicate().expect("icmp predicate");
+            format!("icmp {} {}", p.mnemonic(), ops(0..inst.operands.len()))
+        }
+        Opcode::FCmp => {
+            let p = inst.float_predicate().expect("fcmp predicate");
+            format!("fcmp {} {}", p.mnemonic(), ops(0..inst.operands.len()))
+        }
+        Opcode::Alloca => {
+            let ExtraData::Alloca { allocated } = &inst.extra else { unreachable!() };
+            format!("alloca {}", ts.display(*allocated))
+        }
+        Opcode::Gep => {
+            let ExtraData::Gep { source_elem } = &inst.extra else { unreachable!() };
+            format!(
+                "getelementptr {} -> {}, {}",
+                ts.display(*source_elem),
+                ts.display(inst.ty),
+                ops(0..inst.operands.len())
+            )
+        }
+        Opcode::Phi => {
+            let ExtraData::Phi { incoming } = &inst.extra else { unreachable!() };
+            let pairs = inst
+                .operands
+                .iter()
+                .zip(incoming)
+                .map(|(&v, &b)| format!("[ {}, %{} ]", print_value(m, f, v), block_name(f, b)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("phi {} {}", ts.display(inst.ty), pairs)
+        }
+        Opcode::LandingPad => {
+            let ExtraData::LandingPad { clauses, cleanup } = &inst.extra else { unreachable!() };
+            let mut s = format!("landingpad {}", ts.display(inst.ty));
+            if *cleanup {
+                s.push_str(" cleanup");
+            }
+            for c in clauses {
+                match c {
+                    LandingPadClause::Catch(sym) => {
+                        let _ = write!(s, " catch @{sym}");
+                    }
+                    LandingPadClause::Filter(syms) => {
+                        let _ = write!(s, " filter [{}]", syms.join(", "));
+                    }
+                }
+            }
+            s
+        }
+        Opcode::ExtractValue | Opcode::InsertValue => {
+            let ExtraData::AggIndices(idx) = &inst.extra else { unreachable!() };
+            let idxs = idx.iter().map(u32::to_string).collect::<Vec<_>>().join(", ");
+            format!("{} {}, [{}]", inst.opcode.mnemonic(), ops(0..inst.operands.len()), idxs)
+        }
+        Opcode::Call => {
+            format!(
+                "call {} {}({})",
+                ts.display(inst.ty),
+                print_value(m, f, inst.operands[0]),
+                ops(1..inst.operands.len())
+            )
+        }
+        Opcode::Invoke => {
+            let n = inst.operands.len();
+            format!(
+                "invoke {} {}({}) to {} unwind {}",
+                ts.display(inst.ty),
+                print_value(m, f, inst.operands[0]),
+                ops(1..n - 2),
+                print_value(m, f, inst.operands[n - 2]),
+                print_value(m, f, inst.operands[n - 1]),
+            )
+        }
+        Opcode::Ret if inst.operands.is_empty() => "ret void".to_owned(),
+        op if op.is_cast() => {
+            format!(
+                "{} {} to {}",
+                op.mnemonic(),
+                ops(0..inst.operands.len()),
+                ts.display(inst.ty)
+            )
+        }
+        op => format!("{} {}", op.mnemonic(), ops(0..inst.operands.len())),
+    };
+    format!("{lhs}{body}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::inst::IntPredicate;
+    use crate::module::Module;
+
+    #[test]
+    fn prints_a_function() {
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![i32t, i32t]);
+        let f = m.create_function("max", fn_ty);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        let t = b.block("then");
+        let e = b.block("else");
+        b.switch_to(entry);
+        let c = b.icmp(IntPredicate::Sgt, Value::Param(0), Value::Param(1));
+        b.condbr(c, t, e);
+        b.switch_to(t);
+        b.ret(Some(Value::Param(0)));
+        b.switch_to(e);
+        b.ret(Some(Value::Param(1)));
+        let text = print_module(&m);
+        assert!(text.contains("define internal i32 @max(i32 %a0, i32 %a1)"), "{text}");
+        assert!(text.contains("icmp sgt i32 %a0, i32 %a1"), "{text}");
+        assert!(text.contains("condbr"), "{text}");
+        assert!(text.contains("ret i32 %a0"), "{text}");
+    }
+
+    #[test]
+    fn prints_declarations() {
+        let mut m = Module::new("m");
+        let fn_ty = m.types.func(m.types.void(), vec![m.types.f64()]);
+        m.create_function("ext", fn_ty);
+        let text = print_module(&m);
+        assert!(text.contains("declare internal void @ext(double %a0)"), "{text}");
+    }
+
+    #[test]
+    fn prints_memory_ops() {
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![]);
+        let f = m.create_function("f", fn_ty);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        b.switch_to(entry);
+        let slot = b.alloca(i32t);
+        b.store(b.const_i32(7), slot);
+        let v = b.load(slot);
+        b.ret(Some(v));
+        let text = print_module(&m);
+        assert!(text.contains("alloca i32"), "{text}");
+        assert!(text.contains("store i32 7, i32* %v0"), "{text}");
+        assert!(text.contains("load i32* %v0"), "{text}");
+    }
+}

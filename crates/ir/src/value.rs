@@ -1,0 +1,175 @@
+//! Values: the operands of instructions.
+//!
+//! A [`Value`] is a small `Copy` enum. Instruction results and block labels
+//! are referenced by id and are only meaningful within their owning
+//! [`crate::Function`]; constants and function references are
+//! self-contained.
+
+use crate::types::TyId;
+use std::fmt;
+
+/// Identifies a function within a [`crate::Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub(crate) u32);
+
+/// Identifies a basic block within a [`crate::Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub(crate) u32);
+
+/// Identifies an instruction within a [`crate::Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub(crate) u32);
+
+impl FuncId {
+    /// Raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+    /// Builds an id from a raw arena index.
+    pub fn from_index(i: usize) -> Self {
+        FuncId(i as u32)
+    }
+}
+
+impl BlockId {
+    /// Raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+    /// Builds an id from a raw arena index.
+    pub fn from_index(i: usize) -> Self {
+        BlockId(i as u32)
+    }
+}
+
+impl InstId {
+    /// Raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+    /// Builds an id from a raw arena index.
+    pub fn from_index(i: usize) -> Self {
+        InstId(i as u32)
+    }
+}
+
+/// An SSA value usable as an instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// Result of an instruction in the same function.
+    Inst(InstId),
+    /// The `n`-th formal parameter of the containing function.
+    Param(u32),
+    /// A basic-block label (branch target) in the same function.
+    Block(BlockId),
+    /// A reference to a function in the same module (callee or address).
+    Func(FuncId),
+    /// An integer constant; `bits` holds the zero-extended two's-complement
+    /// representation truncated to the type's width.
+    ConstInt {
+        /// Integer type of the constant.
+        ty: TyId,
+        /// Raw bits, zero-extended to 64.
+        bits: u64,
+    },
+    /// A floating-point constant stored as raw IEEE-754 bits.
+    ConstFloat {
+        /// Floating-point type of the constant.
+        ty: TyId,
+        /// Raw bits (f32 bits are zero-extended).
+        bits: u64,
+    },
+    /// The null pointer of the given pointer type.
+    ConstNull(TyId),
+    /// An undefined value of the given type.
+    Undef(TyId),
+}
+
+impl Value {
+    /// Convenience constructor for boolean constants (`i1`).
+    pub fn bool_const(i1: TyId, v: bool) -> Value {
+        Value::ConstInt { ty: i1, bits: v as u64 }
+    }
+
+    /// Whether this value is any kind of constant (including `undef`).
+    pub fn is_const(&self) -> bool {
+        matches!(
+            self,
+            Value::ConstInt { .. }
+                | Value::ConstFloat { .. }
+                | Value::ConstNull(_)
+                | Value::Undef(_)
+                | Value::Func(_)
+        )
+    }
+
+    /// The instruction id, if this is an instruction result.
+    pub fn as_inst(&self) -> Option<InstId> {
+        match self {
+            Value::Inst(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The block id, if this is a label.
+    pub fn as_block(&self) -> Option<BlockId> {
+        match self {
+            Value::Block(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The function id, if this is a function reference.
+    pub fn as_func(&self) -> Option<FuncId> {
+        match self {
+            Value::Func(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeStore;
+
+    #[test]
+    fn value_classification() {
+        let ts = TypeStore::new();
+        assert!(Value::ConstInt { ty: ts.i32(), bits: 7 }.is_const());
+        assert!(Value::Undef(ts.i32()).is_const());
+        assert!(!Value::Inst(InstId(0)).is_const());
+        assert!(!Value::Param(0).is_const());
+        assert_eq!(Value::Inst(InstId(3)).as_inst(), Some(InstId(3)));
+        assert_eq!(Value::Block(BlockId(2)).as_block(), Some(BlockId(2)));
+        assert_eq!(Value::Func(FuncId(1)).as_func(), Some(FuncId(1)));
+        assert_eq!(Value::Param(0).as_inst(), None);
+    }
+
+    #[test]
+    fn bool_const_roundtrip() {
+        let ts = TypeStore::new();
+        match Value::bool_const(ts.i1(), true) {
+            Value::ConstInt { bits, .. } => assert_eq!(bits, 1),
+            _ => panic!("expected const int"),
+        }
+    }
+}

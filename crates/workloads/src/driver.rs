@@ -1,0 +1,188 @@
+//! Synthesizes a `__driver` function that exercises a module's functions
+//! with a skewed call profile — the workload side of the paper's Fig. 14
+//! runtime-overhead experiment and §V-D hot-function case study.
+
+use fmsa_ir::{FuncBuilder, FuncId, IntPredicate, Module, TyId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How the driver weights its callees.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Seed for callee selection.
+    pub seed: u64,
+    /// Fraction (0..=1) of functions that are *hot*.
+    pub hot_fraction: f64,
+    /// Loop trip count for hot callees.
+    pub hot_calls: u64,
+    /// Loop trip count for cold callees.
+    pub cold_calls: u64,
+    /// At most this many callees are exercised (keeps interpretation
+    /// affordable for the big modules).
+    pub max_callees: usize,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig { seed: 0xd21e, hot_fraction: 0.1, hot_calls: 40, cold_calls: 2, max_callees: 60 }
+    }
+}
+
+/// Adds a `void __driver()` to `module` that calls a sample of the defined
+/// functions in bounded loops; hot callees get [`DriverConfig::hot_calls`]
+/// iterations. Returns the driver id and the names of the hot functions
+/// (the set the §V-D case study excludes from merging).
+pub fn add_driver(module: &mut Module, config: &DriverConfig) -> (FuncId, Vec<String>) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut callees: Vec<FuncId> = module
+        .func_ids()
+        .into_iter()
+        .filter(|&f| {
+            let func = module.func(f);
+            !func.is_declaration() && driver_callable(module, f)
+        })
+        .collect();
+    if callees.len() > config.max_callees {
+        // Deterministic sample.
+        for k in (1..callees.len()).rev() {
+            let j = rng.gen_range(0..=k);
+            callees.swap(k, j);
+        }
+        callees.truncate(config.max_callees);
+        callees.sort();
+    }
+    let mut hot_names = Vec::new();
+    let void = module.types.void();
+    let fn_ty = module.types.func(void, vec![]);
+    let driver = module.create_function("__driver", fn_ty);
+    let i32t = module.types.i32();
+    let mut b = FuncBuilder::new(module, driver);
+    let entry = b.block("entry");
+    b.switch_to(entry);
+    for (k, &callee) in callees.iter().enumerate() {
+        let hot = rng.gen_bool(config.hot_fraction);
+        if hot {
+            hot_names.push(b.module().func(callee).name.clone());
+        }
+        let trips = if hot { config.hot_calls } else { config.cold_calls };
+        // for (i = 0; i < trips; i++) callee(args...)
+        let counter = b.alloca(i32t);
+        b.store(b.const_i32(0), counter);
+        let header = b.block(format!("h{k}"));
+        let body = b.block(format!("b{k}"));
+        let exit = b.block(format!("x{k}"));
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.load(counter);
+        let bound = Value::ConstInt { ty: i32t, bits: trips };
+        let c = b.icmp(IntPredicate::Slt, iv, bound);
+        b.condbr(c, body, exit);
+        b.switch_to(body);
+        let args = arg_values(b.module_mut(), callee, k as u64);
+        b.call(callee, args);
+        let inc = b.add(iv, b.const_i32(1));
+        b.store(inc, counter);
+        b.br(header);
+        b.switch_to(exit);
+    }
+    b.ret(None);
+    hot_names.sort();
+    (driver, hot_names)
+}
+
+/// A function is driver-callable when every parameter can be synthesized
+/// from a constant (int/float).
+fn driver_callable(module: &Module, f: FuncId) -> bool {
+    module
+        .func(f)
+        .params()
+        .iter()
+        .all(|p| module.types.is_int(p.ty) || module.types.is_float(p.ty))
+}
+
+fn arg_values(module: &mut Module, callee: FuncId, salt: u64) -> Vec<Value> {
+    let param_tys: Vec<TyId> = module.func(callee).params().iter().map(|p| p.ty).collect();
+    param_tys
+        .into_iter()
+        .enumerate()
+        .map(|(k, ty)| {
+            let v = 3 + ((salt + k as u64) % 11);
+            if module.types.is_float(ty) {
+                if module.types.display(ty) == "float" {
+                    Value::ConstFloat { ty, bits: ((v as f32) * 0.5).to_bits() as u64 }
+                } else {
+                    Value::ConstFloat { ty, bits: (v as f64 * 0.5).to_bits() }
+                }
+            } else {
+                Value::ConstInt { ty, bits: v }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_function, GenConfig, Variant};
+    use fmsa_interp::Interpreter;
+
+    fn module_with_functions(n: usize) -> Module {
+        let mut m = Module::new("m");
+        for k in 0..n {
+            generate_function(
+                &mut m,
+                &format!("g{k}"),
+                k as u64 + 100,
+                &GenConfig::default(),
+                &Variant::exact(),
+            );
+        }
+        m
+    }
+
+    #[test]
+    fn driver_builds_and_verifies() {
+        let mut m = module_with_functions(10);
+        let (driver, _hot) = add_driver(&mut m, &DriverConfig::default());
+        assert!(fmsa_ir::verify_module(&m).is_empty(), "{:?}", fmsa_ir::verify_module(&m));
+        assert!(m.func(driver).inst_count() > 10);
+    }
+
+    #[test]
+    fn driver_executes_and_profiles() {
+        let mut m = module_with_functions(8);
+        let config = DriverConfig { hot_fraction: 0.5, ..DriverConfig::default() };
+        let (_, hot) = add_driver(&mut m, &config);
+        let mut interp = Interpreter::new(&m);
+        interp.set_fuel(5_000_000);
+        interp.run("__driver", vec![]).expect("driver runs");
+        let profile = interp.profile();
+        assert!(profile.total_steps > 100);
+        // Hot functions should dominate the profile.
+        if let Some(hot_name) = hot.first() {
+            let cold_steps: u64 = (0..8)
+                .map(|k| format!("g{k}"))
+                .filter(|n| !hot.contains(n))
+                .map(|n| profile.steps_of(&n))
+                .max()
+                .unwrap_or(0);
+            assert!(
+                profile.steps_of(hot_name) > cold_steps,
+                "hot {} should out-execute every cold function",
+                hot_name
+            );
+        }
+    }
+
+    #[test]
+    fn driver_is_deterministic() {
+        let mut m1 = module_with_functions(6);
+        add_driver(&mut m1, &DriverConfig::default());
+        let mut m2 = module_with_functions(6);
+        add_driver(&mut m2, &DriverConfig::default());
+        assert_eq!(
+            fmsa_ir::printer::print_module(&m1),
+            fmsa_ir::printer::print_module(&m2)
+        );
+    }
+}

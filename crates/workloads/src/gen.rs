@@ -1,0 +1,714 @@
+//! Seeded random function generation.
+//!
+//! The generator builds verifier-valid, terminating functions with
+//! realistic shape: arithmetic over typed value pools, locals through
+//! `alloca`/`load`/`store`, if-diamonds, bounded loops, early returns, and
+//! calls to previously generated functions.
+//!
+//! Reproducible *clone families* come from the [`Variant`] mechanism: all
+//! structural decisions are driven by fixed-width draws from the seeded
+//! RNG (every decision consumes exactly one `u32`, so variants never
+//! desynchronize the stream), while a variant perturbs the emitted code
+//! deterministically — different type themes, constants, opcodes, an extra
+//! guard block, or a shuffled signature. Two variants of one seed are
+//! therefore alignable near-clones: exactly the template-instantiation
+//! phenomenon the FMSA paper exploits.
+
+use fmsa_ir::{FuncBuilder, FuncId, IntPredicate, Module, Opcode, TyId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Type theme: which concrete types the function's "flexible" slots use.
+/// Cloning a function under a different theme yields the paper's Fig. 1
+/// situation (float32 vs float64 specializations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TypeTheme {
+    /// Use `i64` instead of `i32` for flexible integer slots.
+    pub wide_int: bool,
+    /// Use `double` instead of `float` for flexible float slots.
+    pub wide_float: bool,
+}
+
+/// A deterministic perturbation of a generated function. The default
+/// variant of the same seed is an exact clone.
+#[derive(Debug, Clone, Default)]
+pub struct Variant {
+    /// Type theme for flexible slots.
+    pub theme: TypeTheme,
+    /// Added to constants at sites selected by `const_mask`.
+    pub const_delta: i64,
+    /// Bitmask over constant sites (site index mod 64).
+    pub const_mask: u64,
+    /// Swap add/sub (and and/or/xor) at sites selected by this mask.
+    pub opcode_mask: u64,
+    /// Insert an extra early-exit guard block at the function entry
+    /// (the paper's Fig. 2 libquantum situation — a CFG difference).
+    pub extra_guard: bool,
+    /// Rotate the parameter list by this amount (signature difference).
+    pub param_rotation: usize,
+    /// Append this many extra unused `i32` parameters (signature
+    /// difference).
+    pub extra_params: usize,
+}
+
+impl Variant {
+    /// An exact-clone variant.
+    pub fn exact() -> Variant {
+        Variant::default()
+    }
+
+    /// A small body mutation with the same CFG and signature —
+    /// SOA-mergeable.
+    pub fn body(salt: u64) -> Variant {
+        Variant {
+            const_delta: (salt % 23) as i64 + 1,
+            const_mask: 0x5555_5555_5555_5555u64.rotate_left((salt % 17) as u32),
+            opcode_mask: 0x1111_1111_1111_1111u64.rotate_left((salt % 13) as u32),
+            ..Variant::default()
+        }
+    }
+
+    /// A type-theme mutation (FMSA-only: operand widths differ).
+    pub fn typed(wide_int: bool, wide_float: bool) -> Variant {
+        Variant { theme: TypeTheme { wide_int, wide_float }, ..Variant::default() }
+    }
+
+    /// A CFG mutation: extra guarded early-exit block (FMSA-only).
+    pub fn cfg(salt: u64) -> Variant {
+        Variant {
+            extra_guard: true,
+            const_delta: (salt % 7) as i64,
+            const_mask: 0x8080_8080_8080_8080u64.rotate_left((salt % 11) as u32),
+            ..Variant::default()
+        }
+    }
+
+    /// A signature mutation: rotated parameters and extras (FMSA-only).
+    pub fn sig(salt: u64) -> Variant {
+        Variant {
+            param_rotation: (salt as usize % 3) + 1,
+            extra_params: salt as usize % 2,
+            ..Variant::default()
+        }
+    }
+}
+
+/// Shape knobs for one generated function.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Approximate number of instructions to emit.
+    pub target_size: usize,
+    /// Maximum number of parameters.
+    pub max_params: usize,
+    /// Probability of emitting control-flow regions vs straight-line code
+    /// (0..=100).
+    pub branchiness: u32,
+    /// Percent of value slots using the flexible integer type (the part a
+    /// type-theme clone changes).
+    pub flex_weight: u32,
+    /// Percent of value slots using the flexible float type.
+    pub flexf_weight: u32,
+    /// Functions this one may call (must exist already).
+    pub callables: Vec<FuncId>,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            target_size: 40,
+            max_params: 4,
+            branchiness: 30,
+            flex_weight: 25,
+            flexf_weight: 15,
+            callables: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    I32,
+    Flex,
+    FlexFloat,
+}
+
+/// Generates one function named `name` into `module`, deterministic in
+/// `seed`, perturbed by `variant`. Returns the new function's id.
+pub fn generate_function(
+    module: &mut Module,
+    name: &str,
+    seed: u64,
+    config: &GenConfig,
+    variant: &Variant,
+) -> FuncId {
+    let fixed_i32 = module.types.i32();
+    let flex_ty = if variant.theme.wide_int { module.types.i64() } else { module.types.i32() };
+    let flexf_ty =
+        if variant.theme.wide_float { module.types.f64() } else { module.types.f32() };
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(seed),
+        config: config.clone(),
+        variant: variant.clone(),
+        const_site: 0,
+        op_site: 0,
+        int_pool: Vec::new(),
+        long_pool: Vec::new(),
+        float_pool: Vec::new(),
+        fixed_i32,
+        flex_ty,
+        flexf_ty,
+        emitted: 0,
+    };
+    g.run(module, name)
+}
+
+struct Gen {
+    rng: StdRng,
+    config: GenConfig,
+    variant: Variant,
+    const_site: u64,
+    op_site: u64,
+    int_pool: Vec<Value>,
+    long_pool: Vec<Value>,
+    float_pool: Vec<Value>,
+    fixed_i32: TyId,
+    flex_ty: TyId,
+    flexf_ty: TyId,
+    emitted: usize,
+}
+
+impl Gen {
+    /// Every structural decision consumes exactly one `u32` so variants
+    /// cannot desynchronize the stream.
+    fn draw(&mut self, modulus: u32) -> u32 {
+        let r: u32 = self.rng.gen();
+        r % modulus.max(1)
+    }
+
+    fn run(&mut self, module: &mut Module, name: &str) -> FuncId {
+        // Signature: structural decisions first; the variant rotates or
+        // extends afterwards without touching the RNG.
+        let n_params = 1 + self.draw(self.config.max_params as u32) as usize;
+        let mut slots: Vec<Slot> = (0..n_params)
+            .map(|_| match self.draw(3) {
+                0 => Slot::I32,
+                1 => Slot::Flex,
+                _ => Slot::FlexFloat,
+            })
+            .collect();
+        let ret_slot = match self.draw(4) {
+            0 => None,
+            1 => Some(Slot::I32),
+            2 => Some(Slot::Flex),
+            _ => Some(Slot::FlexFloat),
+        };
+        let rot = self.variant.param_rotation % slots.len().max(1);
+        slots.rotate_left(rot);
+        for _ in 0..self.variant.extra_params {
+            slots.push(Slot::I32);
+        }
+        let param_tys: Vec<TyId> = slots.iter().map(|&s| self.slot_ty(s)).collect();
+        let ret_ty = match ret_slot {
+            None => module.types.void(),
+            Some(s) => self.slot_ty(s),
+        };
+        let fn_ty = module.types.func(ret_ty, param_tys);
+        let f = module.create_function(name, fn_ty);
+        let mut b = FuncBuilder::new(module, f);
+        let entry = b.block("entry");
+        b.switch_to(entry);
+
+        // Seed the pools: parameters plus one constant each.
+        for (k, &s) in slots.iter().enumerate() {
+            self.pool_mut(s).push(Value::Param(k as u32));
+        }
+        let c0 = self.next_const(Slot::I32);
+        self.int_pool.push(c0);
+        let c1 = self.next_const(Slot::Flex);
+        self.long_pool.push(c1);
+        let c2 = self.next_const(Slot::FlexFloat);
+        self.float_pool.push(c2);
+
+        // Optional CFG mutation: RNG-free so the stream stays aligned with
+        // the unguarded variants.
+        if self.variant.extra_guard {
+            let exit = b.block("guard_exit");
+            let cont = b.block("guard_cont");
+            let probe = self.int_pool[0];
+            let sentinel = Value::ConstInt { ty: self.fixed_i32, bits: 0x7fff_fff1 };
+            let c = b.icmp(IntPredicate::Eq, probe, sentinel);
+            b.condbr(c, exit, cont);
+            b.switch_to(exit);
+            self.emit_ret_fixed(&mut b, ret_slot);
+            b.switch_to(cont);
+            self.emitted += 3;
+        }
+
+        while self.emitted < self.config.target_size {
+            let roll = self.draw(100);
+            if roll < self.config.branchiness {
+                match self.draw(3) {
+                    0 => self.emit_diamond(&mut b),
+                    1 => self.emit_loop(&mut b),
+                    _ => self.emit_early_return(&mut b, ret_slot),
+                }
+            } else if roll < self.config.branchiness + 12 && !self.config.callables.is_empty() {
+                self.emit_call(&mut b);
+            } else if roll < self.config.branchiness + 25 {
+                self.emit_memory(&mut b);
+            } else {
+                self.emit_straight(&mut b);
+            }
+        }
+        self.emit_ret(&mut b, ret_slot);
+        f
+    }
+
+    fn slot_ty(&self, s: Slot) -> TyId {
+        match s {
+            Slot::I32 => self.fixed_i32,
+            Slot::Flex => self.flex_ty,
+            Slot::FlexFloat => self.flexf_ty,
+        }
+    }
+
+    fn pool_mut(&mut self, s: Slot) -> &mut Vec<Value> {
+        match s {
+            Slot::I32 => &mut self.int_pool,
+            Slot::Flex => &mut self.long_pool,
+            Slot::FlexFloat => &mut self.float_pool,
+        }
+    }
+
+    /// Picks a pool value; consumes exactly one draw.
+    fn pick(&mut self, s: Slot) -> Value {
+        let r: u32 = self.rng.gen();
+        let pool = match s {
+            Slot::I32 => &self.int_pool,
+            Slot::Flex => &self.long_pool,
+            Slot::FlexFloat => &self.float_pool,
+        };
+        pool[r as usize % pool.len()]
+    }
+
+    /// A constant of slot `s`; the variant's mask may perturb its value.
+    fn next_const(&mut self, s: Slot) -> Value {
+        let site = self.const_site;
+        self.const_site += 1;
+        let base = 1 + self.draw(49) as i64;
+        let delta = if self.variant.const_mask & (1u64 << (site % 64)) != 0 {
+            self.variant.const_delta
+        } else {
+            0
+        };
+        let v = (base + delta) as u64;
+        match s {
+            Slot::I32 => Value::ConstInt { ty: self.fixed_i32, bits: v },
+            Slot::Flex => Value::ConstInt { ty: self.flex_ty, bits: v },
+            Slot::FlexFloat => {
+                if self.variant.theme.wide_float {
+                    Value::ConstFloat { ty: self.flexf_ty, bits: (v as f64 * 0.5).to_bits() }
+                } else {
+                    Value::ConstFloat {
+                        ty: self.flexf_ty,
+                        bits: ((v as f32) * 0.5).to_bits() as u64,
+                    }
+                }
+            }
+        }
+    }
+
+    /// A binary opcode for slot `s`; the variant may swap it.
+    fn next_binop(&mut self, s: Slot) -> Opcode {
+        let site = self.op_site;
+        self.op_site += 1;
+        let swap = self.variant.opcode_mask & (1u64 << (site % 64)) != 0;
+        match s {
+            Slot::I32 | Slot::Flex => {
+                let base = match self.draw(6) {
+                    0 => Opcode::Add,
+                    1 => Opcode::Sub,
+                    2 => Opcode::Mul,
+                    3 => Opcode::And,
+                    4 => Opcode::Or,
+                    _ => Opcode::Xor,
+                };
+                if swap {
+                    match base {
+                        Opcode::Add => Opcode::Sub,
+                        Opcode::Sub => Opcode::Add,
+                        Opcode::And => Opcode::Or,
+                        Opcode::Or => Opcode::Xor,
+                        Opcode::Xor => Opcode::And,
+                        other => other,
+                    }
+                } else {
+                    base
+                }
+            }
+            Slot::FlexFloat => {
+                let base = match self.draw(3) {
+                    0 => Opcode::FAdd,
+                    1 => Opcode::FSub,
+                    _ => Opcode::FMul,
+                };
+                if swap && base == Opcode::FAdd {
+                    Opcode::FSub
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    fn random_slot(&mut self) -> Slot {
+        // Weighted: most code is plain i32; flexible slots are the
+        // minority so type-theme clones differ in a narrow slice, like the
+        // paper's Fig. 1 example where a single store differs.
+        let r = self.draw(100);
+        if r < 100 - self.config.flex_weight - self.config.flexf_weight {
+            Slot::I32
+        } else if r < 100 - self.config.flexf_weight {
+            Slot::Flex
+        } else {
+            Slot::FlexFloat
+        }
+    }
+
+    fn emit_straight(&mut self, b: &mut FuncBuilder<'_>) {
+        let n = 2 + self.draw(5);
+        for _ in 0..n {
+            let s = self.random_slot();
+            let op = self.next_binop(s);
+            let lhs = self.pick(s);
+            let use_const = self.draw(10) < 4;
+            let rhs = if use_const { self.next_const(s) } else { self.pick(s) };
+            let v = b.binary(op, lhs, rhs);
+            self.pool_mut(s).push(v);
+            self.emitted += 1;
+        }
+    }
+
+    fn emit_memory(&mut self, b: &mut FuncBuilder<'_>) {
+        let s = self.random_slot();
+        let ty = self.slot_ty(s);
+        let slot = b.alloca(ty);
+        let v = self.pick(s);
+        b.store(v, slot);
+        let loaded = b.load(slot);
+        self.pool_mut(s).push(loaded);
+        self.emitted += 3;
+    }
+
+    fn emit_call(&mut self, b: &mut FuncBuilder<'_>) {
+        let idx = self.draw(self.config.callables.len() as u32) as usize;
+        let callee = self.config.callables[idx];
+        let (param_tys, ret_ty) = {
+            let m = b.module();
+            let fn_ty = m.func(callee).fn_ty();
+            (
+                m.types.fn_params(fn_ty).expect("callable").to_vec(),
+                m.types.fn_ret(fn_ty).expect("callable"),
+            )
+        };
+        let mut args = Vec::with_capacity(param_tys.len());
+        for ty in param_tys {
+            args.push(self.value_of_type(b, ty));
+        }
+        let r = b.call(callee, args);
+        if ret_ty == self.fixed_i32 {
+            self.int_pool.push(r);
+        } else if ret_ty == self.flex_ty {
+            self.long_pool.push(r);
+        } else if ret_ty == self.flexf_ty {
+            self.float_pool.push(r);
+        }
+        self.emitted += 1;
+    }
+
+    /// Produces a value of exactly `ty`. Consumes exactly one draw
+    /// regardless of the path taken, keeping variants aligned.
+    fn value_of_type(&mut self, b: &mut FuncBuilder<'_>, ty: TyId) -> Value {
+        let r: u32 = self.rng.gen();
+        let pool = if ty == self.fixed_i32 {
+            Some(&self.int_pool)
+        } else if ty == self.flex_ty {
+            Some(&self.long_pool)
+        } else if ty == self.flexf_ty {
+            Some(&self.float_pool)
+        } else {
+            None
+        };
+        if let Some(pool) = pool {
+            return pool[r as usize % pool.len()];
+        }
+        let m = b.module();
+        if m.types.is_int(ty) {
+            return Value::ConstInt { ty, bits: (r % 50) as u64 };
+        }
+        if m.types.is_float(ty) {
+            let x = (r % 50) as f64 * 0.25;
+            let bits = if m.types.display(ty) == "float" {
+                (x as f32).to_bits() as u64
+            } else {
+                x.to_bits()
+            };
+            return Value::ConstFloat { ty, bits };
+        }
+        Value::Undef(ty)
+    }
+
+    fn emit_diamond(&mut self, b: &mut FuncBuilder<'_>) {
+        // The communicated value crosses the join through a memory cell so
+        // SSA dominance holds by construction.
+        let comm_s = self.random_slot();
+        let comm_ty = self.slot_ty(comm_s);
+        let cell = b.alloca(comm_ty);
+        let init = self.pick(comm_s);
+        b.store(init, cell);
+        let then_b = b.block("then");
+        let else_b = b.block("else");
+        let join = b.block("join");
+        let x = self.pick(Slot::I32);
+        let c0 = self.next_const(Slot::I32);
+        let pred = match self.draw(4) {
+            0 => IntPredicate::Slt,
+            1 => IntPredicate::Sgt,
+            2 => IntPredicate::Eq,
+            _ => IntPredicate::Ne,
+        };
+        let c = b.icmp(pred, x, c0);
+        b.condbr(c, then_b, else_b);
+        let snapshot = self.pools_snapshot();
+        b.switch_to(then_b);
+        self.emit_straight(b);
+        let tv = self.pick(comm_s);
+        b.store(tv, cell);
+        b.br(join);
+        self.pools_restore(snapshot);
+        b.switch_to(else_b);
+        self.emit_straight(b);
+        let ev = self.pick(comm_s);
+        b.store(ev, cell);
+        b.br(join);
+        self.pools_restore(snapshot);
+        b.switch_to(join);
+        let merged = b.load(cell);
+        self.pool_mut(comm_s).push(merged);
+        self.emitted += 9;
+    }
+
+    fn emit_loop(&mut self, b: &mut FuncBuilder<'_>) {
+        let i32t = self.fixed_i32;
+        let counter = b.alloca(i32t);
+        let acc_s = self.random_slot();
+        let acc_ty = self.slot_ty(acc_s);
+        let acc = b.alloca(acc_ty);
+        let zero = Value::ConstInt { ty: i32t, bits: 0 };
+        b.store(zero, counter);
+        let init = self.pick(acc_s);
+        b.store(init, acc);
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        let trip = 2 + self.draw(7) as u64;
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.load(counter);
+        let bound = Value::ConstInt { ty: i32t, bits: trip };
+        let c = b.icmp(IntPredicate::Slt, iv, bound);
+        b.condbr(c, body, exit);
+        let snapshot = self.pools_snapshot();
+        b.switch_to(body);
+        let av = b.load(acc);
+        self.pool_mut(acc_s).push(av);
+        let op = self.next_binop(acc_s);
+        let rhs = self.next_const(acc_s);
+        let av2 = b.binary(op, av, rhs);
+        b.store(av2, acc);
+        let one = Value::ConstInt { ty: i32t, bits: 1 };
+        let inc = b.add(iv, one);
+        b.store(inc, counter);
+        b.br(header);
+        self.pools_restore(snapshot);
+        b.switch_to(exit);
+        let out = b.load(acc);
+        self.pool_mut(acc_s).push(out);
+        self.emitted += 12;
+    }
+
+    fn emit_early_return(&mut self, b: &mut FuncBuilder<'_>, ret: Option<Slot>) {
+        let leave = b.block("leave");
+        let cont = b.block("cont");
+        let x = self.pick(Slot::I32);
+        let c0 = self.next_const(Slot::I32);
+        let c = b.icmp(IntPredicate::Eq, x, c0);
+        b.condbr(c, leave, cont);
+        b.switch_to(leave);
+        self.emit_ret(b, ret);
+        b.switch_to(cont);
+        self.emitted += 3;
+    }
+
+    fn emit_ret(&mut self, b: &mut FuncBuilder<'_>, ret: Option<Slot>) {
+        match ret {
+            None => b.ret(None),
+            Some(s) => {
+                let v = self.pick(s);
+                b.ret(Some(v));
+            }
+        }
+        self.emitted += 1;
+    }
+
+    /// RNG-free return for variant-only paths (the guard block).
+    fn emit_ret_fixed(&mut self, b: &mut FuncBuilder<'_>, ret: Option<Slot>) {
+        match ret {
+            None => b.ret(None),
+            Some(s) => {
+                let pool = match s {
+                    Slot::I32 => &self.int_pool,
+                    Slot::Flex => &self.long_pool,
+                    Slot::FlexFloat => &self.float_pool,
+                };
+                let v = pool[0];
+                b.ret(Some(v));
+            }
+        }
+        self.emitted += 1;
+    }
+
+    fn pools_snapshot(&self) -> (usize, usize, usize) {
+        (self.int_pool.len(), self.long_pool.len(), self.float_pool.len())
+    }
+
+    fn pools_restore(&mut self, snap: (usize, usize, usize)) {
+        self.int_pool.truncate(snap.0);
+        self.long_pool.truncate(snap.1);
+        self.float_pool.truncate(snap.2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmsa_ir::verify_module;
+
+    #[test]
+    fn generated_functions_verify() {
+        let mut m = Module::new("m");
+        for seed in 0..40u64 {
+            generate_function(
+                &mut m,
+                &format!("g{seed}"),
+                seed,
+                &GenConfig::default(),
+                &Variant::exact(),
+            );
+        }
+        let errs = verify_module(&m);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut m1 = Module::new("a");
+        let f1 = generate_function(&mut m1, "g", 7, &GenConfig::default(), &Variant::exact());
+        let mut m2 = Module::new("b");
+        let f2 = generate_function(&mut m2, "g", 7, &GenConfig::default(), &Variant::exact());
+        assert_eq!(
+            fmsa_ir::printer::print_function(&m1, m1.func(f1)),
+            fmsa_ir::printer::print_function(&m2, m2.func(f2))
+        );
+    }
+
+    #[test]
+    fn exact_variant_produces_identical_clone() {
+        let mut m = Module::new("m");
+        let a = generate_function(&mut m, "a", 11, &GenConfig::default(), &Variant::exact());
+        let b = generate_function(&mut m, "b", 11, &GenConfig::default(), &Variant::exact());
+        let pa = fmsa_ir::printer::print_function(&m, m.func(a)).replace("@a", "@f");
+        let pb = fmsa_ir::printer::print_function(&m, m.func(b)).replace("@b", "@f");
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn body_variant_same_cfg_different_body() {
+        let mut m = Module::new("m");
+        let a = generate_function(&mut m, "a", 13, &GenConfig::default(), &Variant::exact());
+        let b = generate_function(&mut m, "b", 13, &GenConfig::default(), &Variant::body(5));
+        assert_eq!(m.func(a).block_count(), m.func(b).block_count());
+        assert_eq!(m.func(a).inst_count(), m.func(b).inst_count());
+        assert_eq!(m.func(a).fn_ty(), m.func(b).fn_ty());
+        let pa = fmsa_ir::printer::print_function(&m, m.func(a)).replace("@a", "@f");
+        let pb = fmsa_ir::printer::print_function(&m, m.func(b)).replace("@b", "@f");
+        assert_ne!(pa, pb, "body variant must differ");
+    }
+
+    #[test]
+    fn typed_variant_differs_in_types_only_structurally() {
+        let mut m = Module::new("m");
+        let a = generate_function(&mut m, "a", 17, &GenConfig::default(), &Variant::exact());
+        let b =
+            generate_function(&mut m, "b", 17, &GenConfig::default(), &Variant::typed(true, true));
+        assert_eq!(m.func(a).block_count(), m.func(b).block_count());
+        assert_eq!(m.func(a).inst_count(), m.func(b).inst_count());
+        assert!(fmsa_ir::verify_module(&m).is_empty());
+    }
+
+    #[test]
+    fn cfg_variant_adds_blocks() {
+        let mut m = Module::new("m");
+        let a = generate_function(&mut m, "a", 19, &GenConfig::default(), &Variant::exact());
+        let b = generate_function(&mut m, "b", 19, &GenConfig::default(), &Variant::cfg(3));
+        assert_eq!(m.func(a).block_count() + 2, m.func(b).block_count());
+        assert!(fmsa_ir::verify_module(&m).is_empty());
+    }
+
+    #[test]
+    fn sig_variant_changes_signature() {
+        let mut m = Module::new("m");
+        let a = generate_function(&mut m, "a", 23, &GenConfig::default(), &Variant::exact());
+        let b = generate_function(&mut m, "b", 23, &GenConfig::default(), &Variant::sig(4));
+        // Same number of body instructions, but possibly different type.
+        assert_eq!(m.func(a).inst_count(), m.func(b).inst_count());
+        assert!(fmsa_ir::verify_module(&m).is_empty());
+    }
+
+    #[test]
+    fn generated_functions_execute() {
+        use fmsa_interp::{Interpreter, Val};
+        let mut m = Module::new("m");
+        let cfg = GenConfig::default();
+        for seed in 0..20u64 {
+            generate_function(&mut m, &format!("g{seed}"), seed, &cfg, &Variant::exact());
+        }
+        for seed in 0..20u64 {
+            let name = format!("g{seed}");
+            let f = m.func_by_name(&name).expect("exists");
+            let args: Vec<Val> = m
+                .func(f)
+                .params()
+                .iter()
+                .map(|p| {
+                    if m.types.is_float(p.ty) {
+                        if m.types.display(p.ty) == "float" {
+                            Val::F32(1.5)
+                        } else {
+                            Val::F64(1.5)
+                        }
+                    } else if m.types.int_width(p.ty) == Some(64) {
+                        Val::i64(7)
+                    } else {
+                        Val::i32(7)
+                    }
+                })
+                .collect();
+            let mut interp = Interpreter::new(&m);
+            interp.set_fuel(1_000_000);
+            interp
+                .run(&name, args)
+                .unwrap_or_else(|e| panic!("{name} trapped: {e}"));
+        }
+    }
+}

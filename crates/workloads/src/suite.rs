@@ -1,0 +1,393 @@
+//! Benchmark-suite descriptors calibrated to Tables I and II of the paper.
+//!
+//! Each descriptor records the paper's per-benchmark statistics (function
+//! count, size distribution, and how many merge operations each technique
+//! found) and derives a *clone-family mix* from them: exact clones for what
+//! Identical can fold, same-CFG body mutations for what SOA additionally
+//! catches, and type/CFG/signature mutations for the FMSA-only remainder.
+//!
+//! Function counts are scaled down by [`SCALE`] (default 10×) so that the
+//! full experiment sweep — including the quadratic oracle — runs on a
+//! laptop; the scaling preserves the *proportions* that drive every
+//! qualitative result. EXPERIMENTS.md discusses the scaling.
+
+use crate::gen::{generate_function, GenConfig, Variant};
+use fmsa_ir::{FuncId, Module};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Function-count scale factor relative to the paper's benchmarks.
+pub const SCALE: usize = 10;
+
+/// The paper's per-benchmark row (Tables I and II).
+#[derive(Debug, Clone)]
+pub struct BenchDesc {
+    /// Benchmark name as printed in the paper.
+    pub name: &'static str,
+    /// Which suite it belongs to.
+    pub suite: Suite,
+    /// Paper's function count (#Fns column).
+    pub paper_fns: usize,
+    /// Paper's average function size in IR instructions.
+    pub avg_size: usize,
+    /// Paper's merge-operation counts: (Identical, SOA, FMSA[t=1],
+    /// FMSA[t=10]).
+    pub paper_merges: (usize, usize, usize, usize),
+    /// Whether the benchmark is C++-template-heavy (drives the share of
+    /// exact clones, like dealII/xalancbmk).
+    pub cpp_like: bool,
+    /// Deterministic seed for module generation.
+    pub seed: u64,
+}
+
+/// Benchmark suite tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// SPEC CPU2006 (Table I).
+    Spec,
+    /// MiBench (Table II).
+    MiBench,
+}
+
+/// How many clone families of each kind a generated module contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FamilyMix {
+    /// Exact clone pairs (Identical-mergeable).
+    pub exact: usize,
+    /// Same-CFG body-mutated pairs (SOA-mergeable).
+    pub body: usize,
+    /// Type-theme pairs (FMSA-only; Fig. 1 situation).
+    pub typed: usize,
+    /// Extra-block pairs (FMSA-only; Fig. 2 situation).
+    pub cfg: usize,
+    /// Signature-mutated pairs (FMSA-only).
+    pub sig: usize,
+}
+
+impl FamilyMix {
+    /// Total number of 2-function families.
+    pub fn families(&self) -> usize {
+        self.exact + self.body + self.typed + self.cfg + self.sig
+    }
+}
+
+impl BenchDesc {
+    /// Scaled function count for generation.
+    pub fn scaled_fns(&self) -> usize {
+        (self.paper_fns / SCALE).max(10)
+    }
+
+    /// Derives the family mix from the paper's merge counts.
+    ///
+    /// `Identical` merges ⇒ exact clones; `SOA − Identical` ⇒ body
+    /// mutations; `FMSA[t=10] − SOA` ⇒ FMSA-only mutations, split evenly
+    /// between type, CFG and signature variants.
+    pub fn family_mix(&self) -> FamilyMix {
+        let scale = |x: usize| x / SCALE;
+        let (ident, soa, _t1, t10) = self.paper_merges;
+        let exact = scale(ident);
+        let body = scale(soa.saturating_sub(ident));
+        let fmsa_only = scale(t10.saturating_sub(soa));
+        // Small benchmarks where the paper still found a handful of FMSA
+        // merges keep at least one family so the qualitative result (only
+        // FMSA finds anything) is preserved.
+        let fmsa_only = if fmsa_only == 0 && t10 > soa { 1 } else { fmsa_only };
+        let body = if body == 0 && soa > ident { 1 } else { body };
+        let typed = fmsa_only / 3 + usize::from(fmsa_only % 3 > 0);
+        let cfg = fmsa_only / 3 + usize::from(fmsa_only % 3 > 1);
+        let sig = fmsa_only / 3;
+        FamilyMix { exact, body, typed, cfg, sig }
+    }
+
+    /// Builds the synthetic module for this benchmark.
+    pub fn build(&self) -> Module {
+        build_module(self)
+    }
+}
+
+/// The 19 C/C++ SPEC CPU2006 benchmarks of Table I.
+pub fn spec_suite() -> Vec<BenchDesc> {
+    let rows: Vec<(&'static str, usize, usize, (usize, usize, usize, usize), bool)> = vec![
+        ("400.perlbench", 1699, 125, (12, 103, 175, 200), false),
+        ("401.bzip2", 74, 206, (0, 0, 7, 7), false),
+        ("403.gcc", 4541, 128, (136, 341, 614, 710), false),
+        ("429.mcf", 24, 87, (0, 1, 1, 1), false),
+        ("433.milc", 235, 68, (0, 6, 26, 34), false),
+        ("444.namd", 99, 571, (1, 1, 5, 5), true),
+        ("445.gobmk", 2511, 43, (183, 485, 436, 605), false),
+        ("447.dealII", 7380, 61, (1835, 2785, 2974, 3315), true),
+        ("450.soplex", 1035, 73, (27, 125, 156, 163), true),
+        ("453.povray", 1585, 98, (60, 112, 193, 212), true),
+        ("456.hmmer", 487, 100, (3, 16, 45, 47), false),
+        ("458.sjeng", 134, 145, (0, 5, 11, 11), false),
+        ("462.libquantum", 95, 57, (0, 1, 9, 9), false),
+        ("464.h264ref", 523, 171, (3, 22, 50, 52), false),
+        ("470.lbm", 17, 123, (0, 0, 0, 0), false),
+        ("471.omnetpp", 1406, 27, (45, 69, 227, 270), true),
+        ("473.astar", 101, 67, (0, 2, 4, 4), true),
+        ("482.sphinx3", 326, 80, (2, 6, 24, 26), false),
+        ("483.xalancbmk", 14191, 39, (3057, 4573, 4342, 4887), true),
+    ];
+    rows.into_iter()
+        .enumerate()
+        .map(|(k, (name, fns, avg, merges, cpp))| BenchDesc {
+            name,
+            suite: Suite::Spec,
+            paper_fns: fns,
+            avg_size: avg,
+            paper_merges: merges,
+            cpp_like: cpp,
+            seed: 0x5bec_0000 + k as u64,
+        })
+        .collect()
+}
+
+/// The 23 MiBench benchmarks of Table II.
+pub fn mibench_suite() -> Vec<BenchDesc> {
+    let rows: Vec<(&'static str, usize, usize, (usize, usize, usize, usize))> = vec![
+        ("CRC32", 4, 25, (0, 0, 0, 0)),
+        ("FFT", 7, 50, (0, 0, 0, 0)),
+        ("adpcm_c", 3, 73, (0, 0, 0, 0)),
+        ("adpcm_d", 3, 73, (0, 0, 0, 0)),
+        ("basicmath", 5, 71, (0, 0, 0, 0)),
+        ("bitcount", 19, 22, (0, 1, 3, 3)),
+        ("blowfish_d", 8, 245, (0, 0, 0, 0)),
+        ("blowfish_e", 8, 245, (0, 0, 0, 0)),
+        ("jpeg_c", 322, 101, (2, 6, 8, 11)),
+        ("dijkstra", 6, 33, (0, 0, 0, 0)),
+        ("jpeg_d", 310, 99, (3, 6, 10, 10)),
+        ("ghostscript", 3446, 54, (53, 53, 234, 250)),
+        ("gsm", 69, 97, (0, 3, 8, 8)),
+        ("ispell", 84, 106, (0, 2, 5, 5)),
+        ("patricia", 5, 77, (0, 0, 0, 0)),
+        ("pgp", 310, 89, (0, 1, 10, 10)),
+        ("qsort", 2, 50, (0, 0, 0, 0)),
+        ("rijndael", 7, 472, (0, 0, 1, 1)),
+        ("rsynth", 46, 97, (0, 0, 0, 0)),
+        ("sha", 7, 53, (0, 0, 0, 0)),
+        ("stringsearch", 10, 48, (0, 0, 1, 1)),
+        ("susan", 19, 292, (0, 0, 1, 1)),
+        ("typeset", 362, 354, (1, 4, 31, 35)),
+    ];
+    rows.into_iter()
+        .enumerate()
+        .map(|(k, (name, fns, avg, merges))| BenchDesc {
+            name,
+            suite: Suite::MiBench,
+            paper_fns: fns,
+            avg_size: avg,
+            paper_merges: merges,
+            cpp_like: false,
+            seed: 0x31be_0000 + k as u64,
+        })
+        .collect()
+}
+
+/// MiBench keeps its real (tiny) function counts: the point of Table II is
+/// that these programs are too small for trivial duplicate detection.
+fn effective_fns(desc: &BenchDesc) -> usize {
+    match desc.suite {
+        Suite::Spec => desc.scaled_fns(),
+        Suite::MiBench => {
+            if desc.paper_fns > 200 {
+                desc.scaled_fns()
+            } else {
+                desc.paper_fns.max(2)
+            }
+        }
+    }
+}
+
+fn family_mix_for(desc: &BenchDesc) -> FamilyMix {
+    match desc.suite {
+        Suite::Spec => desc.family_mix(),
+        Suite::MiBench => {
+            // Small benchmarks: use the paper counts directly (they are
+            // already tiny), scaled only for the big ones.
+            if desc.paper_fns > 200 {
+                desc.family_mix()
+            } else {
+                let (ident, soa, _t1, t10) = desc.paper_merges;
+                let body = soa.saturating_sub(ident);
+                let fmsa_only = t10.saturating_sub(soa);
+                FamilyMix {
+                    exact: ident,
+                    body,
+                    typed: fmsa_only / 3 + usize::from(fmsa_only % 3 > 0),
+                    cfg: fmsa_only / 3 + usize::from(fmsa_only % 3 > 1),
+                    sig: fmsa_only / 3,
+                }
+            }
+        }
+    }
+}
+
+/// Generates the module for `desc`: singleton functions first (usable as
+/// callees), then the clone families.
+pub fn build_module(desc: &BenchDesc) -> Module {
+    let mut module = Module::new(desc.name);
+    let mut rng = StdRng::seed_from_u64(desc.seed);
+    let total = effective_fns(desc);
+    let mix = family_mix_for(desc);
+    let family_fns = mix.families() * 2;
+    let singles = total.saturating_sub(family_fns).max(2);
+
+    // Rijndael special case: the paper's encrypt/decrypt giants hold over
+    // 70% of the program's instructions; the rest of the functions are
+    // comparatively small.
+    let big_pair = desc.name == "rijndael";
+
+    let mut singleton_ids: Vec<FuncId> = Vec::new();
+    let single_avg = if big_pair { (desc.avg_size / 2).max(12) } else { desc.avg_size };
+    for k in 0..singles {
+        let size = sample_size(&mut rng, single_avg);
+        let cfg = GenConfig {
+            target_size: size,
+            callables: pick_callables(&mut rng, &singleton_ids),
+            ..GenConfig::default()
+        };
+        let seed = rng.gen();
+        let f = generate_function(&mut module, &format!("single_{k}"), seed, &cfg, &Variant::exact());
+        singleton_ids.push(f);
+    }
+
+    let mut fam = 0usize;
+    let mut emit_family = |module: &mut Module,
+                           rng: &mut StdRng,
+                           kind: &str,
+                           variant: Variant,
+                           size_override: Option<usize>| {
+        let size = size_override
+            .unwrap_or_else(|| sample_size(rng, desc.avg_size) * 3 / 4)
+            .max(16);
+        // Type-theme clones differ only where flexible slots occur, so
+        // keep those rare — real template specializations differ in a few
+        // operations, not a quarter of the body (Fig. 1).
+        let (flex_weight, flexf_weight) =
+            if kind == "typed" { (6, 6) } else { (25, 15) };
+        let cfg = GenConfig {
+            target_size: size,
+            flex_weight,
+            flexf_weight,
+            callables: pick_callables(rng, &singleton_ids),
+            ..GenConfig::default()
+        };
+        let seed: u64 = rng.gen();
+        generate_function(module, &format!("{kind}_{fam}_a"), seed, &cfg, &Variant::exact());
+        generate_function(module, &format!("{kind}_{fam}_b"), seed, &cfg, &variant);
+        fam += 1;
+    };
+
+    for _ in 0..mix.exact {
+        // "All the functions merged by LLVM's identical technique are tiny
+        // functions relative to the overall size of the program" (§V-B):
+        // exact clones are small template-like bodies.
+        let tiny = (desc.avg_size / 4).max(8);
+        emit_family(&mut module, &mut rng, "exact", Variant::exact(), Some(tiny));
+    }
+    for k in 0..mix.body {
+        emit_family(&mut module, &mut rng, "body", Variant::body(k as u64 + 1), None);
+    }
+    for k in 0..mix.typed {
+        let v = match k % 3 {
+            0 => Variant::typed(true, false),
+            1 => Variant::typed(false, true),
+            _ => Variant::typed(true, true),
+        };
+        let boost = if big_pair { Some(desc.avg_size * 2) } else { None };
+        emit_family(&mut module, &mut rng, "typed", v, boost);
+    }
+    for k in 0..mix.cfg {
+        let boost = if big_pair { Some(desc.avg_size * 2) } else { None };
+        emit_family(&mut module, &mut rng, "cfg", Variant::cfg(k as u64 + 1), boost);
+    }
+    for k in 0..mix.sig {
+        emit_family(&mut module, &mut rng, "sig", Variant::sig(k as u64 + 1), None);
+    }
+    if big_pair && mix.families() == 0 {
+        // rijndael in the paper: FMSA merges the two giant functions that
+        // dominate the program even though no other technique finds
+        // anything.
+        emit_family(
+            &mut module,
+            &mut rng,
+            "giant",
+            Variant::body(7),
+            Some(desc.avg_size * 2),
+        );
+    }
+    module
+}
+
+fn sample_size(rng: &mut StdRng, avg: usize) -> usize {
+    // Right-skewed around the average, clamped to something alignable.
+    let lo = (avg / 2).max(8);
+    let hi = (avg * 3 / 2).max(lo + 8);
+    rng.gen_range(lo..hi)
+}
+
+fn pick_callables(rng: &mut StdRng, pool: &[FuncId]) -> Vec<FuncId> {
+    if pool.is_empty() {
+        return Vec::new();
+    }
+    let n = rng.gen_range(0..4.min(pool.len() + 1));
+    (0..n).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_paper_benchmark_counts() {
+        assert_eq!(spec_suite().len(), 19);
+        assert_eq!(mibench_suite().len(), 23);
+    }
+
+    #[test]
+    fn family_mix_matches_paper_proportions() {
+        let dealii = spec_suite()
+            .into_iter()
+            .find(|d| d.name == "447.dealII")
+            .expect("dealII present");
+        let mix = dealii.family_mix();
+        assert_eq!(mix.exact, 183, "Identical merges / SCALE");
+        assert_eq!(mix.body, 95, "(SOA - Identical) / SCALE");
+        assert_eq!(mix.typed + mix.cfg + mix.sig, 53, "(FMSA[t10] - SOA) / SCALE");
+    }
+
+    #[test]
+    fn lbm_has_no_families() {
+        let lbm = spec_suite().into_iter().find(|d| d.name == "470.lbm").expect("lbm");
+        assert_eq!(lbm.family_mix().families(), 0);
+    }
+
+    #[test]
+    fn built_modules_verify() {
+        for desc in spec_suite() {
+            if desc.paper_fns > 500 {
+                continue; // keep the unit test fast; big ones are covered
+                          // by integration tests and the harness
+            }
+            let m = desc.build();
+            let errs = fmsa_ir::verify_module(&m);
+            assert!(errs.is_empty(), "{}: {errs:?}", desc.name);
+            assert!(m.func_count() >= 4, "{}", desc.name);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let desc = spec_suite().into_iter().find(|d| d.name == "429.mcf").expect("mcf");
+        let a = fmsa_ir::printer::print_module(&desc.build());
+        let b = fmsa_ir::printer::print_module(&desc.build());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mibench_small_benchmarks_keep_real_counts() {
+        let crc = mibench_suite().into_iter().find(|d| d.name == "CRC32").expect("CRC32");
+        let m = crc.build();
+        assert!(m.func_count() <= 6, "CRC32 is tiny in the paper too");
+    }
+}

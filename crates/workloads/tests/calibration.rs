@@ -1,0 +1,113 @@
+//! Calibration checks: generated modules should match the statistical
+//! envelope the descriptors promise (function counts, size bands, family
+//! structure), since the experiment harness depends on it.
+
+use fmsa_workloads::{mibench_suite, spec_suite, Suite};
+
+#[test]
+fn spec_counts_scale_with_paper() {
+    for desc in spec_suite() {
+        let m = desc.build();
+        let scaled = desc.scaled_fns();
+        let n = m.func_count();
+        // Families may add a handful of functions beyond the singleton
+        // budget; the total should stay in the right ballpark.
+        assert!(
+            n >= scaled.min(4) && n <= scaled * 2 + 8,
+            "{}: {} functions vs scaled {}",
+            desc.name,
+            n,
+            scaled
+        );
+    }
+}
+
+#[test]
+fn average_sizes_track_descriptors() {
+    for desc in spec_suite() {
+        if desc.paper_fns > 2000 {
+            continue; // keep the test fast
+        }
+        let m = desc.build();
+        let (_, avg, _) = m.size_stats();
+        let target = desc.avg_size as f64;
+        assert!(
+            avg > target * 0.3 && avg < target * 2.0,
+            "{}: measured avg {avg:.1} vs paper {target}",
+            desc.name
+        );
+    }
+}
+
+#[test]
+fn family_functions_come_in_pairs() {
+    let desc = spec_suite().into_iter().find(|d| d.name == "433.milc").expect("milc");
+    let m = desc.build();
+    let names: Vec<String> = m
+        .func_ids()
+        .iter()
+        .map(|&f| m.func(f).name.clone())
+        .filter(|n| !n.starts_with("single"))
+        .collect();
+    for n in &names {
+        assert!(
+            n.ends_with("_a") || n.ends_with("_b"),
+            "family member naming: {n}"
+        );
+    }
+    let a_count = names.iter().filter(|n| n.ends_with("_a")).count();
+    let b_count = names.iter().filter(|n| n.ends_with("_b")).count();
+    assert_eq!(a_count, b_count, "families are pairs");
+    assert_eq!(a_count, desc.family_mix().families());
+}
+
+#[test]
+fn mibench_suite_structure() {
+    let suite = mibench_suite();
+    assert!(suite.iter().all(|d| d.suite == Suite::MiBench));
+    // The tiny benchmarks from Table II really are tiny.
+    for name in ["CRC32", "qsort", "patricia"] {
+        let d = suite.iter().find(|d| d.name == name).expect("present");
+        assert!(d.build().func_count() <= 10, "{name} must stay small");
+    }
+    // ghostscript is the big one.
+    let gs = suite.iter().find(|d| d.name == "ghostscript").expect("present");
+    assert!(gs.build().func_count() > 100);
+}
+
+#[test]
+fn modules_are_interpreter_clean() {
+    // Every defined function of a small benchmark can run to completion on
+    // synthesized constants — no traps, no unbounded loops.
+    use fmsa_interp::{Interpreter, Val};
+    let desc = spec_suite().into_iter().find(|d| d.name == "429.mcf").expect("mcf");
+    let m = desc.build();
+    for f in m.func_ids() {
+        let func = m.func(f);
+        if func.is_declaration() {
+            continue;
+        }
+        let args: Vec<Val> = func
+            .params()
+            .iter()
+            .map(|p| {
+                if m.types.is_float(p.ty) {
+                    if m.types.display(p.ty) == "float" {
+                        Val::F32(3.0)
+                    } else {
+                        Val::F64(3.0)
+                    }
+                } else if m.types.int_width(p.ty) == Some(64) {
+                    Val::i64(5)
+                } else {
+                    Val::i32(5)
+                }
+            })
+            .collect();
+        let mut interp = Interpreter::new(&m);
+        interp.set_fuel(5_000_000);
+        interp
+            .run_func(f, args)
+            .unwrap_or_else(|e| panic!("{} trapped: {e}", func.name));
+    }
+}

@@ -1,0 +1,43 @@
+//! # fmsa — Function Merging by Sequence Alignment
+//!
+//! Meta-crate re-exporting the whole reproduction of Rocha et al.,
+//! *Function Merging by Sequence Alignment* (CGO 2019). See the individual
+//! crates for details:
+//!
+//! * [`ir`] — the LLVM-like IR substrate
+//! * [`align`] — Needleman-Wunsch / Hirschberg / Smith-Waterman
+//! * [`target`] — TTI-style code-size cost models (x86-64, ARM Thumb)
+//! * [`interp`] — IR interpreter (correctness oracle + Fig. 14 runtime)
+//! * [`core`] — the FMSA merger, exploration framework, and baselines
+//! * [`workloads`] — SPEC/MiBench-calibrated synthetic benchmarks
+//!
+//! # Examples
+//!
+//! ```
+//! use fmsa::ir::{Module, FuncBuilder, Value};
+//! use fmsa::core::pass::{run_fmsa, FmsaOptions};
+//!
+//! let mut m = Module::new("demo");
+//! let i32t = m.types.i32();
+//! let fn_ty = m.types.func(i32t, vec![i32t]);
+//! for name in ["a", "b"] {
+//!     let f = m.create_function(name, fn_ty);
+//!     let mut bl = FuncBuilder::new(&mut m, f);
+//!     let e = bl.block("entry");
+//!     bl.switch_to(e);
+//!     let mut v = Value::Param(0);
+//!     for k in 0..10 {
+//!         v = bl.add(v, bl.const_i32(k));
+//!     }
+//!     bl.ret(Some(v));
+//! }
+//! let stats = run_fmsa(&mut m, &FmsaOptions::default());
+//! assert_eq!(stats.merges, 1);
+//! ```
+
+pub use fmsa_align as align;
+pub use fmsa_core as core;
+pub use fmsa_interp as interp;
+pub use fmsa_ir as ir;
+pub use fmsa_target as target;
+pub use fmsa_workloads as workloads;
