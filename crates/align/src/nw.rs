@@ -115,7 +115,7 @@ mod tests {
         assert_eq!(al.score, 0);
         let al = align_str("abc", "");
         assert_eq!(al.cigar(), "3D");
-        assert_eq!(al.score, -3 * 1);
+        assert_eq!(al.score, -3);
         let al = align_str("", "ab");
         assert_eq!(al.cigar(), "2I");
     }
@@ -169,12 +169,8 @@ mod tests {
         // paper's instruction equivalence.
         let a: Vec<char> = "AbC".chars().collect();
         let b: Vec<char> = "abc".chars().collect();
-        let al = needleman_wunsch(
-            &a,
-            &b,
-            |x, y| x.eq_ignore_ascii_case(y),
-            &ScoringScheme::default(),
-        );
+        let al =
+            needleman_wunsch(&a, &b, |x, y| x.eq_ignore_ascii_case(y), &ScoringScheme::default());
         assert_eq!(al.match_count(), 3);
     }
 }

@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 
 fn random_seq(seed: u64, len: usize, alphabet: u8) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| rng.gen_range(0..alphabet)) .collect()
+    (0..len).map(|_| rng.gen_range(0..alphabet)).collect()
 }
 
 fn bench_alignment(c: &mut Criterion) {

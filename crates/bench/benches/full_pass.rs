@@ -17,11 +17,7 @@ fn libquantum_module() -> fmsa_ir::Module {
 }
 
 fn milc_module() -> fmsa_ir::Module {
-    spec_suite()
-        .into_iter()
-        .find(|d| d.name == "433.milc")
-        .expect("milc in suite")
-        .build()
+    spec_suite().into_iter().find(|d| d.name == "433.milc").expect("milc in suite").build()
 }
 
 fn bench_techniques(c: &mut Criterion) {

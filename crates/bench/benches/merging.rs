@@ -39,7 +39,7 @@ fn bench_ranking(c: &mut Criterion) {
     let subject = ids[0];
     let sfp = Fingerprint::of(&m, subject);
     c.bench_function("ranking/top-10-of-200", |b| {
-        b.iter(|| rank_candidates(subject, &sfp, &pool, 10, 0.0));
+        b.iter(|| rank_candidates(subject, &sfp, pool.iter().map(|(f, fp)| (*f, fp)), 10, 0.0));
     });
 }
 

@@ -10,6 +10,7 @@
 //! experiments fig13             Compile-time breakdown (t=1)
 //! experiments fig14             Runtime overhead + §V-D case study
 //! experiments ablation-params   §III-E parameter-reuse ablation
+//! experiments search            Exact vs LSH candidate search at scale
 //! experiments all               everything above
 //! ```
 //!
@@ -29,11 +30,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let oracle = args.iter().any(|a| a == "--oracle");
     let fast = args.iter().any(|a| a == "--fast");
-    let cmd = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_owned());
+    let cmd =
+        args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_owned());
     let spec = filtered(spec_suite(), fast);
     let mibench = filtered(mibench_suite(), fast);
     match cmd.as_str() {
@@ -46,6 +44,7 @@ fn main() {
         "fig13" => fig13(&spec),
         "fig14" => fig14(&spec),
         "ablation-params" => ablation_params(&spec),
+        "search" => search_scalability(fast),
         "all" => {
             table(&spec, "Table I (SPEC CPU2006)");
             table(&mibench, "Table II (MiBench)");
@@ -56,6 +55,7 @@ fn main() {
             fig13(&spec);
             fig14(&spec);
             ablation_params(&spec);
+            search_scalability(fast);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
@@ -195,12 +195,7 @@ fn reduction_table(results: &[BenchResult], oracle: bool) {
 fn fig10(suite: &[BenchDesc], oracle: bool) {
     for arch in TargetArch::ALL {
         println!("\n== Fig. 10: object size reduction (%) on {} ==", arch.name());
-        let plan = RunPlan {
-            arch,
-            thresholds: vec![1, 5, 10],
-            oracle,
-            ..RunPlan::default()
-        };
+        let plan = RunPlan { arch, thresholds: vec![1, 5, 10], oracle, ..RunPlan::default() };
         let results = run_suite(suite, &plan);
         reduction_table(&results, oracle);
     }
@@ -230,14 +225,9 @@ fn fig12(suite: &[BenchDesc]) {
         let base = r.baseline_compile.as_secs_f64().max(1e-9);
         let norm = |d: std::time::Duration| 1.0 + d.as_secs_f64() / base;
         let pick = |t: usize| {
-            r.fmsa
-                .iter()
-                .find(|(x, _)| *x == t)
-                .map(|(_, v)| norm(v.time))
-                .unwrap_or(f64::NAN)
+            r.fmsa.iter().find(|(x, _)| *x == t).map(|(_, v)| norm(v.time)).unwrap_or(f64::NAN)
         };
-        let row =
-            [norm(r.identical.time), norm(r.soa.time), pick(1), pick(5), pick(10)];
+        let row = [norm(r.identical.time), norm(r.soa.time), pick(1), pick(5), pick(10)];
         for (c, v) in cols.iter_mut().zip(row) {
             c.push(v);
         }
@@ -325,13 +315,50 @@ fn fig14(suite: &[BenchDesc]) {
             r.reduction_hot_excluded
         );
     }
-    println!(
-        "{:<16} {:>9.3} {:>14.3}",
-        "MEAN",
-        mean(&norms),
-        mean(&norms_excl)
-    );
+    println!("{:<16} {:>9.3} {:>14.3}", "MEAN", mean(&norms), mean(&norms_excl));
     println!("(paper: ≈1.03 mean; hot-function exclusion removes the overhead, §V-D)");
+}
+
+// ---------------------------------------------------------------- search
+
+fn search_scalability(fast: bool) {
+    use fmsa_core::SearchStrategy;
+    use fmsa_workloads::{clone_swarm_module, SwarmConfig};
+    println!("\n== Candidate search at scale: exact pairwise vs MinHash/LSH (t=5) ==");
+    println!(
+        "{:>6} {:<7} {:>8} {:>12} {:>12} {:>12} {:>9}",
+        "#fns", "search", "merges", "reduction%", "rank+search", "total", "speedup"
+    );
+    let sizes: &[usize] = if fast { &[100, 1000] } else { &[100, 1000, 5000] };
+    for &n in sizes {
+        let base = clone_swarm_module(&SwarmConfig::with_functions(n));
+        let mut rank_times = Vec::new();
+        for (label, strategy) in [("exact", SearchStrategy::Exact), ("lsh", SearchStrategy::lsh())]
+        {
+            let mut m = base.clone();
+            let opts = FmsaOptions { threshold: 5, search: strategy, ..FmsaOptions::default() };
+            let t0 = std::time::Instant::now();
+            let stats = run_fmsa(&mut m, &opts);
+            let total = t0.elapsed();
+            rank_times.push(stats.timers.ranking.as_secs_f64());
+            let speedup = if rank_times.len() == 2 {
+                format!("{:8.1}x", rank_times[0] / rank_times[1].max(1e-12))
+            } else {
+                String::new()
+            };
+            println!(
+                "{:>6} {:<7} {:>8} {:>12.2} {:>12.2?} {:>12.2?} {:>9}",
+                n,
+                label,
+                stats.merges,
+                stats.reduction_percent(),
+                stats.timers.ranking,
+                total,
+                speedup
+            );
+        }
+    }
+    println!("(rank+search = index seeding + per-iteration candidate queries)");
 }
 
 // ---------------------------------------------------------------- ablation

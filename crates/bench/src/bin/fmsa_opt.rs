@@ -3,7 +3,8 @@
 //! ```text
 //! fmsa_opt <input.fir> [--technique identical|soa|fmsa] [--threshold N]
 //!          [--oracle] [--arch x86-64|arm-thumb] [--canonicalize]
-//!          [--exclude name,name] [--stats] [-o <output.fir>]
+//!          [--search exact|lsh] [--exclude name,name] [--stats]
+//!          [-o <output.fir>]
 //! ```
 //!
 //! The input format is the printer/parser syntax of `fmsa-ir` (see
@@ -13,6 +14,7 @@
 
 use fmsa_core::baselines::{run_identical, run_soa};
 use fmsa_core::pass::{run_fmsa, FmsaOptions};
+use fmsa_core::SearchStrategy;
 use fmsa_ir::{parser, printer};
 use fmsa_target::{reduction_percent, CostModel, TargetArch};
 use std::collections::HashSet;
@@ -24,7 +26,8 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: fmsa_opt <input.fir> [--technique identical|soa|fmsa] \
              [--threshold N] [--oracle] [--arch x86-64|arm-thumb] \
-             [--canonicalize] [--exclude a,b] [--stats] [-o out.fir]"
+             [--canonicalize] [--search exact|lsh] [--exclude a,b] \
+             [--stats] [-o out.fir]"
         );
         return ExitCode::from(2);
     }
@@ -35,15 +38,14 @@ fn main() -> ExitCode {
     let mut oracle = false;
     let mut arch = TargetArch::X86_64;
     let mut canonicalize = false;
+    let mut search = SearchStrategy::Exact;
     let mut exclude: HashSet<String> = HashSet::new();
     let mut stats = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--technique" => technique = it.next().unwrap_or_default(),
-            "--threshold" => {
-                threshold = it.next().and_then(|s| s.parse().ok()).unwrap_or(1)
-            }
+            "--threshold" => threshold = it.next().and_then(|s| s.parse().ok()).unwrap_or(1),
             "--oracle" => oracle = true,
             "--arch" => {
                 arch = match it.next().as_deref() {
@@ -52,6 +54,12 @@ fn main() -> ExitCode {
                 }
             }
             "--canonicalize" => canonicalize = true,
+            "--search" => {
+                search = match it.next().as_deref() {
+                    Some("lsh") => SearchStrategy::lsh(),
+                    _ => SearchStrategy::Exact,
+                }
+            }
             "--exclude" => {
                 for n in it.next().unwrap_or_default().split(',') {
                     if !n.is_empty() {
@@ -61,9 +69,7 @@ fn main() -> ExitCode {
             }
             "--stats" => stats = true,
             "-o" => output = it.next(),
-            other if !other.starts_with('-') && input.is_none() => {
-                input = Some(other.to_owned())
-            }
+            other if !other.starts_with('-') && input.is_none() => input = Some(other.to_owned()),
             other => {
                 eprintln!("fmsa_opt: unknown argument {other:?}");
                 return ExitCode::from(2);
@@ -107,6 +113,7 @@ fn main() -> ExitCode {
             opts.oracle = oracle;
             opts.arch = arch;
             opts.canonicalize = canonicalize;
+            opts.search = search;
             opts.exclude = exclude;
             run_fmsa(&mut module, &opts).merges
         }

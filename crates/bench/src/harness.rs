@@ -278,9 +278,7 @@ pub fn mean(xs: &[f64]) -> f64 {
 /// fraction of merges whose winning candidate was at position ≤ k+1.
 pub fn rank_cdf(positions: &[usize], max_rank: usize) -> Vec<f64> {
     let total = positions.len().max(1) as f64;
-    (1..=max_rank)
-        .map(|k| positions.iter().filter(|&&p| p <= k).count() as f64 / total)
-        .collect()
+    (1..=max_rank).map(|k| positions.iter().filter(|&&p| p <= k).count() as f64 / total).collect()
 }
 
 #[cfg(test)]

@@ -62,10 +62,7 @@ pub fn run_identical(module: &mut Module, arch: TargetArch) -> IdenticalStats {
         // away by the exact comparison).
         let mut representatives: Vec<FuncId> = Vec::new();
         for &f in group {
-            match representatives
-                .iter()
-                .find(|&&r| structurally_equal(module, r, f))
-            {
+            match representatives.iter().find(|&&r| structurally_equal(module, r, f)) {
                 Some(&rep) => {
                     fold(module, f, rep);
                     stats.merges += 1;
@@ -319,11 +316,8 @@ mod tests {
         run_identical(&mut m, TargetArch::X86_64);
         // b was folded onto a; caller must now call a.
         let cf = m.func(caller);
-        let call = cf
-            .inst_ids()
-            .into_iter()
-            .find(|&i| cf.inst(i).opcode == Opcode::Call)
-            .expect("call");
+        let call =
+            cf.inst_ids().into_iter().find(|&i| cf.inst(i).opcode == Opcode::Call).expect("call");
         assert_eq!(cf.inst(call).operands[0], Value::Func(a));
         assert!(!m.is_live(b));
     }

@@ -125,10 +125,7 @@ fn lockstep_alignment(
 pub fn run_soa(module: &mut Module, arch: TargetArch) -> SoaStats {
     let cm = CostModel::new(arch);
     let mut stats = SoaStats { size_before: cm.module_size(module), ..SoaStats::default() };
-    let config = MergeConfig {
-        name_hint: None,
-        ..MergeConfig::default()
-    };
+    let config = MergeConfig { name_hint: None, ..MergeConfig::default() };
     loop {
         // (Re)bucket by shape; merged functions change shape, so the loop
         // reaches a fixed point quickly.
@@ -157,8 +154,7 @@ pub fn run_soa(module: &mut Module, arch: TargetArch) -> SoaStats {
                     let Some(al) = lockstep_alignment(module, a, b, &seq1, &seq2) else {
                         continue;
                     };
-                    let Ok(info) = merge_pair_aligned(module, a, b, seq1, seq2, al, &config)
-                    else {
+                    let Ok(info) = merge_pair_aligned(module, a, b, seq1, seq2, al, &config) else {
                         continue;
                     };
                     let report = evaluate(module, &cm, &info);

@@ -233,7 +233,9 @@ mod tests {
 
     /// Builds two functions with a few instructions each and returns the
     /// module for ad-hoc equivalence probing.
-    fn two_fns(build: impl Fn(&mut FuncBuilder<'_>, bool)) -> (Module, fmsa_ir::FuncId, fmsa_ir::FuncId) {
+    fn two_fns(
+        build: impl Fn(&mut FuncBuilder<'_>, bool),
+    ) -> (Module, fmsa_ir::FuncId, fmsa_ir::FuncId) {
         let mut m = Module::new("m");
         let i32t = m.types.i32();
         let f64t = m.types.f64();

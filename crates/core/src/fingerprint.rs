@@ -21,6 +21,10 @@ use std::collections::HashMap;
 pub struct Fingerprint {
     opcode_freq: [u32; Opcode::COUNT],
     type_freq: HashMap<TyId, u32>,
+    /// Precomputed `Σ type_freq` so [`Fingerprint::type_upper_bound`] does
+    /// not re-sum both maps on every comparison (the ranking hot path
+    /// evaluates it O(n·t) times per pass).
+    type_total: u64,
     size: u32,
 }
 
@@ -44,7 +48,8 @@ impl Fingerprint {
                 }
             }
         }
-        Fingerprint { opcode_freq, type_freq, size: f.inst_count() as u32 }
+        let type_total = type_freq.values().map(|&v| v as u64).sum();
+        Fingerprint { opcode_freq, type_freq, type_total, size: f.inst_count() as u32 }
     }
 
     /// Number of instructions summarized.
@@ -55,6 +60,21 @@ impl Fingerprint {
     /// Frequency of one opcode.
     pub fn opcode_count(&self, op: Opcode) -> u32 {
         self.opcode_freq[op.index()]
+    }
+
+    /// The opcode-frequency vector, indexed by [`Opcode::index`].
+    pub fn opcode_freqs(&self) -> &[u32; Opcode::COUNT] {
+        &self.opcode_freq
+    }
+
+    /// The type-frequency multiset (iteration order is unspecified).
+    pub fn type_freqs(&self) -> impl Iterator<Item = (TyId, u32)> + '_ {
+        self.type_freq.iter().map(|(&ty, &n)| (ty, n))
+    }
+
+    /// Total number of type occurrences (`Σ type_freq`), precomputed.
+    pub fn type_total(&self) -> u64 {
+        self.type_total
     }
 
     /// The opcode-frequency upper bound `UB(f1, f2, Opcodes)`.
@@ -72,17 +92,19 @@ impl Fingerprint {
     /// The type-frequency upper bound `UB(f1, f2, Types)`.
     pub fn type_upper_bound(&self, other: &Fingerprint) -> f64 {
         let mut inter = 0u64;
-        let mut total: u64 = self.type_freq.values().map(|&v| v as u64).sum::<u64>()
-            + other.type_freq.values().map(|&v| v as u64).sum::<u64>();
-        for (ty, &a) in &self.type_freq {
-            if let Some(&b) = other.type_freq.get(ty) {
+        let total = self.type_total + other.type_total;
+        // Iterate the smaller map; intersection only needs shared keys.
+        let (small, big) = if self.type_freq.len() <= other.type_freq.len() {
+            (&self.type_freq, &other.type_freq)
+        } else {
+            (&other.type_freq, &self.type_freq)
+        };
+        for (ty, &a) in small {
+            if let Some(&b) = big.get(ty) {
                 inter += (a as u64).min(b as u64);
             }
         }
-        if total == 0 {
-            total = 1;
-        }
-        inter as f64 / total as f64
+        ratio(inter, total)
     }
 
     /// The paper's similarity estimate
@@ -92,9 +114,13 @@ impl Fingerprint {
     }
 }
 
+/// Shared by both upper bounds so they agree on the degenerate case: two
+/// empty multisets are trivially identical and score the maximum 0.5.
+/// (Previously `type_upper_bound` forced `total = 1` and returned 0.0 for
+/// the same inputs `opcode_upper_bound` scored 0.5, so the similarity of
+/// two empty functions depended on which bound the `min` picked.)
 fn ratio(inter: u64, total: u64) -> f64 {
     if total == 0 {
-        // Two empty functions are trivially identical.
         return 0.5;
     }
     inter as f64 / total as f64
@@ -175,6 +201,33 @@ mod tests {
         let fg = Fingerprint::of(&m, g);
         // Only `ret` is shared, and type sets barely overlap.
         assert!(fa.similarity(&fg) < 0.2);
+    }
+
+    #[test]
+    fn empty_functions_agree_on_both_bounds() {
+        // Regression: two declarations (empty bodies) must score 0.5 from
+        // *both* upper bounds — the type bound used to return 0.0 while the
+        // opcode bound returned 0.5.
+        let mut m = Module::new("m");
+        let void = m.types.void();
+        let fn_ty = m.types.func(void, vec![]);
+        let a = m.create_function("a", fn_ty);
+        let b = m.create_function("b", fn_ty);
+        let fa = Fingerprint::of(&m, a);
+        let fb = Fingerprint::of(&m, b);
+        assert_eq!(fa.opcode_upper_bound(&fb), 0.5);
+        assert_eq!(fa.type_upper_bound(&fb), 0.5);
+        assert_eq!(fa.similarity(&fb), 0.5);
+    }
+
+    #[test]
+    fn type_total_matches_freshly_summed_map() {
+        let mut m = Module::new("m");
+        let a = simple_fn(&mut m, "a", false);
+        let fa = Fingerprint::of(&m, a);
+        let summed: u64 = fa.type_freqs().map(|(_, n)| n as u64).sum();
+        assert_eq!(fa.type_total(), summed);
+        assert!(fa.type_total() > 0);
     }
 
     #[test]

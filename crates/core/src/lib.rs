@@ -18,6 +18,8 @@
 //!   bound (§IV)
 //! * [`ranking`] — priority-queue candidate ranking with exploration
 //!   threshold (§IV)
+//! * [`search`] — pluggable candidate search: exact pairwise scan or
+//!   near-linear MinHash/LSH shortlisting
 //! * [`profitability`] — the Δ cost model over the target TTI (§IV-A)
 //! * [`thunks`] — call-graph update: thunks, call-site rewriting, deletion
 //! * [`pass`] — the optimization driver with per-step timers (§IV, Fig. 7)
@@ -56,8 +58,10 @@ pub mod merge;
 pub mod pass;
 pub mod profitability;
 pub mod ranking;
+pub mod search;
 pub mod thunks;
 
 pub use equivalence::EquivCtx;
 pub use linearize::{linearize, Entry};
 pub use merge::{merge_pair, MergeConfig, MergeError, MergeInfo};
+pub use search::{CandidateSearch, ExactSearch, LshConfig, LshSearch, SearchStrategy};

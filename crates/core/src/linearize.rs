@@ -98,9 +98,7 @@ mod tests {
         // equal the block's instruction list.
         let mut idx = 0;
         while idx < seq.len() {
-            let Entry::Label(b) = seq[idx] else {
-                panic!("expected label at {idx}")
-            };
+            let Entry::Label(b) = seq[idx] else { panic!("expected label at {idx}") };
             let insts = &func.block(b).insts;
             for (k, &expect) in insts.iter().enumerate() {
                 assert_eq!(seq[idx + 1 + k], Entry::Inst(expect));

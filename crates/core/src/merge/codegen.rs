@@ -85,10 +85,7 @@ fn push_diverge(segs: &mut Vec<Seg>, l: Option<Entry>, r: Option<Entry>) {
         right.extend(r);
         return;
     }
-    segs.push(Seg::Diverge {
-        left: l.into_iter().collect(),
-        right: r.into_iter().collect(),
-    });
+    segs.push(Seg::Diverge { left: l.into_iter().collect(), right: r.into_iter().collect() });
 }
 
 /// Record of one cloned instruction for the operand pass.
@@ -145,20 +142,17 @@ pub fn generate(module: &mut Module, input: CodegenInput) -> Result<FuncId, Merg
         select_cache: HashMap::new(),
     };
     let segs = build_segments(&input.alignment, &input.seq1, &input.seq2);
-    let result = cg
-        .pass1(module, &segs)
-        .and_then(|()| cg.pass2(module))
-        .and_then(|()| {
-            fix_dominance(module, mf);
-            passes::thread_trivial_blocks(module.func_mut(mf));
-            passes::remove_unreachable_blocks(module.func_mut(mf));
-            let errs = fmsa_ir::verify_function(module, mf);
-            if errs.is_empty() {
-                Ok(())
-            } else {
-                Err(MergeError::InvalidCodegen(format!("{}", errs[0])))
-            }
-        });
+    let result = cg.pass1(module, &segs).and_then(|()| cg.pass2(module)).and_then(|()| {
+        fix_dominance(module, mf);
+        passes::thread_trivial_blocks(module.func_mut(mf));
+        passes::remove_unreachable_blocks(module.func_mut(mf));
+        let errs = fmsa_ir::verify_function(module, mf);
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(MergeError::InvalidCodegen(format!("{}", errs[0])))
+        }
+    });
     match result {
         Ok(()) => Ok(mf),
         Err(e) => {
@@ -262,9 +256,7 @@ impl Codegen {
         }
         for b in pending {
             let void = module.types.void();
-            module
-                .func_mut(self.mf)
-                .append_inst(b, Inst::new(Opcode::Unreachable, void, vec![]));
+            module.func_mut(self.mf).append_inst(b, Inst::new(Opcode::Unreachable, void, vec![]));
         }
         Ok(())
     }
@@ -287,9 +279,10 @@ impl Codegen {
                     if let Some(p) = cb {
                         if !self.terminated(module, p) {
                             let void = module.types.void();
-                            module
-                                .func_mut(self.mf)
-                                .append_inst(p, Inst::new(Opcode::Br, void, vec![Value::Block(nb)]));
+                            module.func_mut(self.mf).append_inst(
+                                p,
+                                Inst::new(Opcode::Br, void, vec![Value::Block(nb)]),
+                            );
                         }
                     }
                     let map = if first_side { &mut self.map1 } else { &mut self.map2 };
@@ -383,9 +376,9 @@ impl Codegen {
             (&self.map2, &self.params.map2)
         };
         Ok(match v {
-            Value::Inst(_) | Value::Block(_) => *map.get(&v).ok_or_else(|| {
-                MergeError::InvalidCodegen(format!("unmapped operand {v:?}"))
-            })?,
+            Value::Inst(_) | Value::Block(_) => *map
+                .get(&v)
+                .ok_or_else(|| MergeError::InvalidCodegen(format!("unmapped operand {v:?}")))?,
             Value::Param(p) => Value::Param(pmap[p as usize] as u32),
             other => other,
         })
@@ -428,9 +421,8 @@ impl Codegen {
                 module.types.display(want)
             )));
         }
-        let cast = module
-            .func_mut(self.mf)
-            .insert_before(user, Inst::new(Opcode::BitCast, want, vec![v]));
+        let cast =
+            module.func_mut(self.mf).insert_before(user, Inst::new(Opcode::BitCast, want, vec![v]));
         Ok(Value::Inst(cast))
     }
 
@@ -531,10 +523,9 @@ impl Codegen {
                 let sel = match self.select_cache.get(&key) {
                     Some(&v) => v,
                     None => {
-                        let sel = module.func_mut(self.mf).insert_before(
-                            cid,
-                            Inst::new(Opcode::Select, want, vec![fid, a1, a2]),
-                        );
+                        let sel = module
+                            .func_mut(self.mf)
+                            .insert_before(cid, Inst::new(Opcode::Select, want, vec![fid, a1, a2]));
                         self.select_cache.insert(key, Value::Inst(sel));
                         Value::Inst(sel)
                     }
@@ -568,9 +559,9 @@ impl Codegen {
                 Ok(vec![Value::Undef(base)])
             }
             Some(&v) => {
-                let have = self.merged_ty(module, v).ok_or_else(|| {
-                    MergeError::InvalidCodegen("untyped return value".into())
-                })?;
+                let have = self
+                    .merged_ty(module, v)
+                    .ok_or_else(|| MergeError::InvalidCodegen("untyped return value".into()))?;
                 let casted = cast_chain(module, self.mf, cid, v, have, base)?;
                 let _ = first_side;
                 Ok(vec![casted])
@@ -640,38 +631,30 @@ fn cast_chain(
     }
     let ts_bitcastable = module.types.can_lossless_bitcast(have, want);
     if ts_bitcastable {
-        let c = module
-            .func_mut(mf)
-            .insert_before(user, Inst::new(Opcode::BitCast, want, vec![v]));
+        let c = module.func_mut(mf).insert_before(user, Inst::new(Opcode::BitCast, want, vec![v]));
         return Ok(Value::Inst(c));
     }
     let (Some(sh), Some(sw)) = (module.types.bit_size(have), module.types.bit_size(want)) else {
         return Err(MergeError::InvalidCodegen("unsized return cast".into()));
     };
     if sh > sw {
-        return Err(MergeError::InvalidCodegen(
-            "return cast must widen, not narrow".into(),
-        ));
+        return Err(MergeError::InvalidCodegen("return cast must widen, not narrow".into()));
     }
     let int_h = module.types.int(sh as u32);
     let int_w = module.types.int(sw as u32);
     let mut cur = v;
     if have != int_h {
-        let c = module
-            .func_mut(mf)
-            .insert_before(user, Inst::new(Opcode::BitCast, int_h, vec![cur]));
+        let c =
+            module.func_mut(mf).insert_before(user, Inst::new(Opcode::BitCast, int_h, vec![cur]));
         cur = Value::Inst(c);
     }
     if sh != sw {
-        let c = module
-            .func_mut(mf)
-            .insert_before(user, Inst::new(Opcode::ZExt, int_w, vec![cur]));
+        let c = module.func_mut(mf).insert_before(user, Inst::new(Opcode::ZExt, int_w, vec![cur]));
         cur = Value::Inst(c);
     }
     if want != int_w {
-        let c = module
-            .func_mut(mf)
-            .insert_before(user, Inst::new(Opcode::BitCast, want, vec![cur]));
+        let c =
+            module.func_mut(mf).insert_before(user, Inst::new(Opcode::BitCast, want, vec![cur]));
         cur = Value::Inst(c);
     }
     Ok(cur)
@@ -691,38 +674,32 @@ pub(crate) fn cast_back(
         return Ok(v);
     }
     if module.types.can_lossless_bitcast(base, want) {
-        let c = module
-            .func_mut(func)
-            .insert_before(user, Inst::new(Opcode::BitCast, want, vec![v]));
+        let c =
+            module.func_mut(func).insert_before(user, Inst::new(Opcode::BitCast, want, vec![v]));
         return Ok(Value::Inst(c));
     }
     let (Some(sb), Some(sw)) = (module.types.bit_size(base), module.types.bit_size(want)) else {
         return Err(MergeError::InvalidCodegen("unsized return cast".into()));
     };
     if sb < sw {
-        return Err(MergeError::InvalidCodegen(
-            "call-site cast must narrow, not widen".into(),
-        ));
+        return Err(MergeError::InvalidCodegen("call-site cast must narrow, not widen".into()));
     }
     let int_b = module.types.int(sb as u32);
     let int_w = module.types.int(sw as u32);
     let mut cur = v;
     if base != int_b {
-        let c = module
-            .func_mut(func)
-            .insert_before(user, Inst::new(Opcode::BitCast, int_b, vec![cur]));
+        let c =
+            module.func_mut(func).insert_before(user, Inst::new(Opcode::BitCast, int_b, vec![cur]));
         cur = Value::Inst(c);
     }
     if sb != sw {
-        let c = module
-            .func_mut(func)
-            .insert_before(user, Inst::new(Opcode::Trunc, int_w, vec![cur]));
+        let c =
+            module.func_mut(func).insert_before(user, Inst::new(Opcode::Trunc, int_w, vec![cur]));
         cur = Value::Inst(c);
     }
     if want != int_w {
-        let c = module
-            .func_mut(func)
-            .insert_before(user, Inst::new(Opcode::BitCast, want, vec![cur]));
+        let c =
+            module.func_mut(func).insert_before(user, Inst::new(Opcode::BitCast, want, vec![cur]));
         cur = Value::Inst(c);
     }
     Ok(cur)
@@ -757,8 +734,7 @@ fn fix_dominance(module: &mut Module, mf: FuncId) {
     let void = module.types.void();
     let mut slots: HashMap<InstId, InstId> = HashMap::new();
     // Create slots and stores per unique demoted def.
-    let defs: std::collections::BTreeSet<InstId> =
-        violations.iter().map(|&(_, _, d)| d).collect();
+    let defs: std::collections::BTreeSet<InstId> = violations.iter().map(|&(_, _, d)| d).collect();
     for d in defs {
         let ty = module.func(mf).inst(d).ty;
         let ptr_ty = module.types.ptr(ty);
@@ -781,12 +757,7 @@ fn fix_dominance(module: &mut Module, mf: FuncId) {
             );
         } else {
             let parent = d_inst.parent;
-            let pos = f
-                .block(parent)
-                .insts
-                .iter()
-                .position(|&i| i == d)
-                .expect("def in its block");
+            let pos = f.block(parent).insts.iter().position(|&i| i == d).expect("def in its block");
             module.func_mut(mf).insert_inst(
                 parent,
                 pos + 1,

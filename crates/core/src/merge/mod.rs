@@ -189,8 +189,7 @@ pub fn merge_pair(
     let seq1 = linearize(module.func(f1));
     let seq2 = linearize(module.func(f2));
     // Step 2: sequence alignment (§III-C).
-    let alignment =
-        align_with(module, f1, f2, &seq1, &seq2, &config.scoring, config.algorithm);
+    let alignment = align_with(module, f1, f2, &seq1, &seq2, &config.scoring, config.algorithm);
     merge_pair_aligned(module, f1, f2, seq1, seq2, alignment, config)
 }
 

@@ -120,9 +120,7 @@ pub fn merge_params(
                 continue;
             }
             let want = f2.params()[k].ty;
-            if let Some(p1u) =
-                (0..n1).find(|&p| !taken[p] && f1.params()[p].ty == want)
-            {
+            if let Some(p1u) = (0..n1).find(|&p| !taken[p] && f1.params()[p].ty == want) {
                 taken[p1u] = true;
                 *slot = base + p1u;
             }

@@ -16,7 +16,7 @@ use crate::fingerprint::Fingerprint;
 use crate::linearize::linearize;
 use crate::merge::{align_with, merge_pair_aligned, MergeConfig, MergeInfo};
 use crate::profitability::{evaluate, ProfitReport};
-use crate::ranking::rank_candidates;
+use crate::search::SearchStrategy;
 use crate::thunks::commit_merge;
 use fmsa_ir::{FuncId, Module};
 use fmsa_target::{CostModel, TargetArch};
@@ -31,6 +31,8 @@ pub struct FmsaOptions {
     pub threshold: usize,
     /// Oracle mode: evaluate *every* candidate and commit the most
     /// profitable one — the paper's unrealistic quadratic upper bound.
+    /// Forces [`SearchStrategy::Exact`] regardless of [`FmsaOptions::search`]
+    /// (a shortlist would invalidate the upper-bound claim).
     pub oracle: bool,
     /// Target whose TTI-like cost model drives profitability.
     pub arch: TargetArch,
@@ -46,6 +48,9 @@ pub struct FmsaOptions {
     /// maximize the number of matches"). Semantics-preserving; makes
     /// reordered clones align.
     pub canonicalize: bool,
+    /// How merge candidates are searched: the paper's exact pairwise scan,
+    /// or near-linear MinHash/LSH shortlisting (see [`crate::search`]).
+    pub search: SearchStrategy,
 }
 
 impl Default for FmsaOptions {
@@ -58,6 +63,7 @@ impl Default for FmsaOptions {
             exclude: HashSet::new(),
             min_similarity: 0.0,
             canonicalize: false,
+            search: SearchStrategy::Exact,
         }
     }
 }
@@ -71,6 +77,11 @@ impl FmsaOptions {
     /// Convenience: oracle (exhaustive) exploration.
     pub fn oracle() -> FmsaOptions {
         FmsaOptions { oracle: true, ..FmsaOptions::default() }
+    }
+
+    /// Convenience: LSH candidate search with default parameters.
+    pub fn with_lsh(t: usize) -> FmsaOptions {
+        FmsaOptions { threshold: t, search: SearchStrategy::lsh(), ..FmsaOptions::default() }
     }
 }
 
@@ -161,7 +172,9 @@ pub fn run_fmsa(module: &mut Module, opts: &FmsaOptions) -> FmsaStats {
         }
         stats.timers.linearization += t0.elapsed();
     }
-    // Fingerprint every eligible function (cached; §IV).
+    // Fingerprint every eligible function (cached; §IV) and seed the
+    // candidate-search index. The index is maintained incrementally through
+    // the feedback loop — no per-iteration pool is ever rebuilt.
     let t0 = Instant::now();
     let mut fingerprints: HashMap<FuncId, Fingerprint> = HashMap::new();
     let mut available: Vec<FuncId> = Vec::new();
@@ -172,6 +185,16 @@ pub fn run_fmsa(module: &mut Module, opts: &FmsaOptions) -> FmsaStats {
         }
     }
     stats.timers.fingerprinting += t0.elapsed();
+    let t0 = Instant::now();
+    // The oracle's "best possible candidate" claim requires an exhaustive
+    // scan: shortlisting would silently turn its upper bound into a guess,
+    // so oracle mode always searches exactly regardless of `opts.search`.
+    let strategy = if opts.oracle { SearchStrategy::Exact } else { opts.search };
+    let mut index = strategy.build();
+    for &f in &available {
+        index.insert(f, &fingerprints[&f]);
+    }
+    stats.timers.ranking += t0.elapsed();
     let mut worklist: VecDeque<FuncId> = available.iter().copied().collect();
     let mut live: HashSet<FuncId> = available.into_iter().collect();
 
@@ -179,16 +202,12 @@ pub fn run_fmsa(module: &mut Module, opts: &FmsaOptions) -> FmsaStats {
         if !live.contains(&f1) || !module.is_live(f1) {
             continue;
         }
-        // Rank the top candidates for f1.
+        // Query the index for f1's top candidates, scoring borrowed
+        // fingerprints straight out of the live map.
         let t0 = Instant::now();
-        let pool: Vec<(FuncId, Fingerprint)> = live
-            .iter()
-            .filter(|&&f| f != f1)
-            .map(|&f| (f, fingerprints[&f].clone()))
-            .collect();
         let threshold = if opts.oracle { usize::MAX } else { opts.threshold };
         let candidates =
-            rank_candidates(f1, &fingerprints[&f1], &pool, threshold, opts.min_similarity);
+            index.candidates(f1, &fingerprints[&f1], &fingerprints, threshold, opts.min_similarity);
         stats.timers.ranking += t0.elapsed();
 
         let mut best: Option<(usize, MergeInfo, ProfitReport)> = None;
@@ -224,10 +243,8 @@ pub fn run_fmsa(module: &mut Module, opts: &FmsaOptions) -> FmsaStats {
                 Some((info, report)) if report.is_profitable() => {
                     if opts.oracle {
                         // Keep only the best profitable candidate.
-                        let better = best
-                            .as_ref()
-                            .map(|(_, _, b)| report.delta > b.delta)
-                            .unwrap_or(true);
+                        let better =
+                            best.as_ref().map(|(_, _, b)| report.delta > b.delta).unwrap_or(true);
                         if better {
                             if let Some((_, old, _)) = best.take() {
                                 module.remove_function(old.merged);
@@ -266,20 +283,26 @@ pub fn run_fmsa(module: &mut Module, opts: &FmsaOptions) -> FmsaStats {
                 crate::thunks::Disposition::Thunk => stats.thunks += 1,
             }
         }
-        // Maintain the pool: originals leave, the merged function joins the
-        // working list (feedback loop), rewritten callers get fresh
-        // fingerprints.
+        // Maintain the pool and index: originals leave, the merged function
+        // joins the working list (feedback loop), rewritten callers get
+        // fresh fingerprints and index entries.
         live.remove(&f1);
         live.remove(&info.f2);
         fingerprints.remove(&f1);
         fingerprints.remove(&info.f2);
+        index.remove(f1);
+        index.remove(info.f2);
         let t0 = Instant::now();
         for g in commit.touched {
             if live.contains(&g) && module.is_live(g) {
-                fingerprints.insert(g, Fingerprint::of(module, g));
+                let fp = Fingerprint::of(module, g);
+                index.insert(g, &fp); // refresh: insert replaces the entry
+                fingerprints.insert(g, fp);
             }
         }
-        fingerprints.insert(info.merged, Fingerprint::of(module, info.merged));
+        let merged_fp = Fingerprint::of(module, info.merged);
+        index.insert(info.merged, &merged_fp);
+        fingerprints.insert(info.merged, merged_fp);
         stats.timers.fingerprinting += t0.elapsed();
         live.insert(info.merged);
         worklist.push_back(info.merged);
@@ -369,7 +392,56 @@ mod tests {
         clone_family(&mut m, 4, 12);
         let stats = run_fmsa(&mut m, &FmsaOptions::with_threshold(5));
         assert_eq!(stats.rank_positions.len(), stats.merges);
-        assert!(stats.rank_positions.iter().all(|&p| p >= 1 && p <= 5));
+        assert!(stats.rank_positions.iter().all(|&p| (1..=5).contains(&p)));
+    }
+
+    #[test]
+    fn lsh_search_merges_clone_families_too() {
+        let mut m = Module::new("m");
+        clone_family(&mut m, 4, 12);
+        let stats = run_fmsa(&mut m, &FmsaOptions::with_lsh(10));
+        assert!(stats.merges >= 2, "{stats:?}");
+        assert!(stats.size_after < stats.size_before, "{stats:?}");
+        assert!(fmsa_ir::verify_module(&m).is_empty());
+    }
+
+    #[test]
+    fn lsh_feedback_loop_reaches_merged_functions() {
+        // The incremental index must contain functions created mid-pass:
+        // 4 clones merge pairwise, and the two merged functions must find
+        // each other through the index for the third merge.
+        let mut m = Module::new("m");
+        clone_family(&mut m, 4, 12);
+        let stats = run_fmsa(&mut m, &FmsaOptions::with_lsh(10));
+        assert_eq!(stats.merges, 3, "{stats:?}");
+    }
+
+    #[test]
+    fn exact_and_lsh_agree_on_small_families() {
+        let mut m1 = Module::new("m1");
+        clone_family(&mut m1, 6, 10);
+        let exact = run_fmsa(&mut m1, &FmsaOptions::with_threshold(5));
+        let mut m2 = Module::new("m2");
+        clone_family(&mut m2, 6, 10);
+        let lsh = run_fmsa(&mut m2, &FmsaOptions::with_lsh(5));
+        assert_eq!(exact.merges, lsh.merges, "exact={exact:?} lsh={lsh:?}");
+        assert_eq!(exact.size_after, lsh.size_after);
+    }
+
+    #[test]
+    fn oracle_overrides_lsh_shortlisting() {
+        // oracle + Lsh must behave exactly like oracle + Exact: the upper
+        // bound is only meaningful over an exhaustive scan.
+        let mut m1 = Module::new("m1");
+        clone_family(&mut m1, 5, 10);
+        let exact = run_fmsa(&mut m1, &FmsaOptions::oracle());
+        let mut m2 = Module::new("m2");
+        clone_family(&mut m2, 5, 10);
+        let opts = FmsaOptions { search: crate::SearchStrategy::lsh(), ..FmsaOptions::oracle() };
+        let lsh = run_fmsa(&mut m2, &opts);
+        assert_eq!(exact.merges, lsh.merges);
+        assert_eq!(exact.size_after, lsh.size_after);
+        assert_eq!(exact.rank_positions, lsh.rank_positions);
     }
 
     #[test]

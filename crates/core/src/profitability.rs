@@ -61,8 +61,7 @@ fn delta_cost(module: &Module, cm: &CostModel, info: &MergeInfo, first: bool) ->
     let merged_params = info.params.merged_tys.len() as u64;
     let extra_args = merged_params.saturating_sub(orig_params);
     let ret_orig = if first { info.ret.ty1 } else { info.ret.ty2 };
-    let ret_cast = if ret_orig == info.ret.base
-        || matches!(module.types.get(ret_orig), Type::Void)
+    let ret_cast = if ret_orig == info.ret.base || matches!(module.types.get(ret_orig), Type::Void)
     {
         0
     } else {

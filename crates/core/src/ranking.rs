@@ -4,10 +4,16 @@
 //! similar candidates based on their similarity, defined by s(f1, f2), for
 //! all other functions f2. We use an exploration threshold to limit how
 //! many top candidates we will evaluate for any given function."
+//!
+//! The ranking hot path is zero-clone and allocation-bounded: candidates
+//! are scored through *borrowed* fingerprints and kept in a min-heap of at
+//! most `threshold` entries, so ranking n candidates costs O(n log t) with
+//! O(t) transient memory instead of the O(n log n)/O(n) of heapifying the
+//! whole pool.
 
 use crate::fingerprint::Fingerprint;
 use fmsa_ir::FuncId;
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 /// A ranked merge candidate.
@@ -42,33 +48,48 @@ impl PartialOrd for Candidate {
 /// `subject`'s fingerprint and returns the top `threshold` candidates,
 /// most similar first.
 ///
+/// `pool` yields *borrowed* fingerprints — callers rank straight over
+/// their live fingerprint map without cloning an entry.
+///
 /// `min_similarity` prunes hopeless candidates early (a similarity of 0
 /// means no opcode or no type overlap at all).
-pub fn rank_candidates(
+pub fn rank_candidates<'a, I>(
     subject: FuncId,
     subject_fp: &Fingerprint,
-    pool: &[(FuncId, Fingerprint)],
+    pool: I,
     threshold: usize,
     min_similarity: f64,
-) -> Vec<Candidate> {
-    let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(pool.len());
+) -> Vec<Candidate>
+where
+    I: IntoIterator<Item = (FuncId, &'a Fingerprint)>,
+{
+    if threshold == 0 {
+        return Vec::new();
+    }
+    // Min-heap of the best `threshold` seen so far; the root is the current
+    // worst keeper, evicted whenever a better candidate arrives.
+    let mut keep: BinaryHeap<Reverse<Candidate>> =
+        BinaryHeap::with_capacity(threshold.min(64).saturating_add(1));
     for (func, fp) in pool {
-        if *func == subject {
+        if func == subject {
             continue;
         }
         let s = subject_fp.similarity(fp);
         if s < min_similarity {
             continue;
         }
-        heap.push(Candidate { func: *func, similarity: s });
-    }
-    let mut out = Vec::with_capacity(threshold.min(heap.len()));
-    for _ in 0..threshold {
-        match heap.pop() {
-            Some(c) => out.push(c),
-            None => break,
+        let cand = Candidate { func, similarity: s };
+        if keep.len() < threshold {
+            keep.push(Reverse(cand));
+        } else if let Some(worst) = keep.peek() {
+            if cand > worst.0 {
+                keep.pop();
+                keep.push(Reverse(cand));
+            }
         }
     }
+    let mut out: Vec<Candidate> = keep.into_iter().map(|Reverse(c)| c).collect();
+    out.sort_by(|a, b| b.cmp(a));
     out
 }
 
@@ -92,6 +113,22 @@ mod tests {
         f
     }
 
+    fn ranked(
+        subject: FuncId,
+        sfp: &Fingerprint,
+        pool: &[(FuncId, Fingerprint)],
+        threshold: usize,
+        min_similarity: f64,
+    ) -> Vec<Candidate> {
+        rank_candidates(
+            subject,
+            sfp,
+            pool.iter().map(|(f, fp)| (*f, fp)),
+            threshold,
+            min_similarity,
+        )
+    }
+
     #[test]
     fn most_similar_first_and_threshold_respected() {
         let mut m = Module::new("m");
@@ -99,17 +136,15 @@ mod tests {
         let twin = fn_with_adds(&mut m, "twin", 10);
         let close = fn_with_adds(&mut m, "close", 8);
         let far = fn_with_adds(&mut m, "far", 1);
-        let pool: Vec<(FuncId, Fingerprint)> = [subject, twin, close, far]
-            .into_iter()
-            .map(|f| (f, Fingerprint::of(&m, f)))
-            .collect();
+        let pool: Vec<(FuncId, Fingerprint)> =
+            [subject, twin, close, far].into_iter().map(|f| (f, Fingerprint::of(&m, f))).collect();
         let sfp = Fingerprint::of(&m, subject);
-        let top = rank_candidates(subject, &sfp, &pool, 2, 0.0);
+        let top = ranked(subject, &sfp, &pool, 2, 0.0);
         assert_eq!(top.len(), 2);
         assert_eq!(top[0].func, twin);
         assert_eq!(top[1].func, close);
         assert!(top[0].similarity >= top[1].similarity);
-        let all = rank_candidates(subject, &sfp, &pool, 10, 0.0);
+        let all = ranked(subject, &sfp, &pool, 10, 0.0);
         assert_eq!(all.len(), 3, "subject itself excluded");
     }
 
@@ -121,7 +156,7 @@ mod tests {
         let pool: Vec<(FuncId, Fingerprint)> =
             [subject, far].into_iter().map(|f| (f, Fingerprint::of(&m, f))).collect();
         let sfp = Fingerprint::of(&m, subject);
-        let top = rank_candidates(subject, &sfp, &pool, 10, 0.49);
+        let top = ranked(subject, &sfp, &pool, 10, 0.49);
         assert!(top.is_empty(), "far twin pruned by min similarity: {top:?}");
     }
 
@@ -134,9 +169,30 @@ mod tests {
         let pool: Vec<(FuncId, Fingerprint)> =
             [subject, t1, t2].into_iter().map(|f| (f, Fingerprint::of(&m, f))).collect();
         let sfp = Fingerprint::of(&m, subject);
-        let a = rank_candidates(subject, &sfp, &pool, 2, 0.0);
-        let b = rank_candidates(subject, &sfp, &pool, 2, 0.0);
+        let a = ranked(subject, &sfp, &pool, 2, 0.0);
+        let b = ranked(subject, &sfp, &pool, 2, 0.0);
         assert_eq!(a, b);
         assert_eq!(a[0].func, t1, "lower id wins ties");
+    }
+
+    #[test]
+    fn bounded_heap_matches_full_sort() {
+        // The top-t of the bounded heap must equal the first t entries of a
+        // full descending sort, for every t.
+        let mut m = Module::new("m");
+        let subject = fn_with_adds(&mut m, "subject", 12);
+        let pool: Vec<(FuncId, Fingerprint)> = (0..20)
+            .map(|k| {
+                let f = fn_with_adds(&mut m, &format!("c{k}"), 1 + k % 13);
+                (f, Fingerprint::of(&m, f))
+            })
+            .collect();
+        let sfp = Fingerprint::of(&m, subject);
+        let full = ranked(subject, &sfp, &pool, usize::MAX, 0.0);
+        for t in [1usize, 3, 7, 20, 50] {
+            let top = ranked(subject, &sfp, &pool, t, 0.0);
+            assert_eq!(top, full[..t.min(full.len())], "t={t}");
+        }
+        assert!(ranked(subject, &sfp, &pool, 0, 0.0).is_empty());
     }
 }

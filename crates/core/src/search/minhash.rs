@@ -1,0 +1,160 @@
+//! MinHash signatures over fingerprint feature multisets.
+//!
+//! A function's fingerprint (opcode frequencies + type frequencies, §IV)
+//! is viewed as a *multiset of features*: one feature per occurrence of an
+//! opcode or type, capped per key so one hot loop cannot dominate the
+//! signature. The MinHash of that multiset estimates the Jaccard
+//! similarity between two functions' feature multisets — an unbiased,
+//! constant-size proxy for the paper's similarity estimate, cheap enough
+//! to bucket (see [`super::lsh`]).
+//!
+//! Each permutation is simulated by re-mixing a per-feature base hash with
+//! a per-permutation seed (the standard "one hash function, k seeds"
+//! construction), so a signature costs `O(features × hashes)` multiplies
+//! and no allocation beyond the signature itself.
+
+use crate::fingerprint::Fingerprint;
+
+/// Signature builder: `hashes` permutations, occurrences capped at
+/// `occurrence_cap` per feature key. Per-permutation seeds are precomputed
+/// once here — they depend only on the slot index, and recomputing them
+/// per feature occurrence would double the hashing work of every
+/// signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinHasher {
+    /// Number of hash permutations (signature length).
+    pub hashes: usize,
+    /// Per-key occurrence cap when expanding the multiset.
+    pub occurrence_cap: u32,
+    seeds: Vec<u64>,
+}
+
+/// splitmix64-style finalizer: the avalanche stage used to both derive
+/// per-permutation seeds and mix features.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Feature-id tags keeping opcode and type features disjoint.
+const TAG_OPCODE: u64 = 0x01 << 56;
+const TAG_TYPE: u64 = 0x02 << 56;
+
+impl MinHasher {
+    /// Builder with the given signature length and occurrence cap.
+    pub fn new(hashes: usize, occurrence_cap: u32) -> MinHasher {
+        assert!(hashes > 0, "signature needs at least one hash");
+        assert!(occurrence_cap > 0, "occurrence cap must be positive");
+        let seeds =
+            (0..hashes as u64).map(|i| mix(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i + 1))).collect();
+        MinHasher { hashes, occurrence_cap, seeds }
+    }
+
+    /// Computes the MinHash signature of `fp`'s feature multiset.
+    pub fn signature(&self, fp: &Fingerprint) -> Vec<u64> {
+        let mut sig = vec![u64::MAX; self.hashes];
+        let absorb = |feature: u64, count: u32, sig: &mut Vec<u64>| {
+            for occ in 0..count.min(self.occurrence_cap) as u64 {
+                let base = mix(feature | (occ << 40));
+                for (slot, &seed) in sig.iter_mut().zip(&self.seeds) {
+                    let h = mix(base ^ seed);
+                    if h < *slot {
+                        *slot = h;
+                    }
+                }
+            }
+        };
+        for (k, &count) in fp.opcode_freqs().iter().enumerate() {
+            if count > 0 {
+                absorb(TAG_OPCODE | k as u64, count, &mut sig);
+            }
+        }
+        for (ty, count) in fp.type_freqs() {
+            absorb(TAG_TYPE | ty.index() as u64, count, &mut sig);
+        }
+        sig
+    }
+}
+
+/// Fraction of positions on which two signatures agree — the MinHash
+/// estimate of the underlying feature-multiset Jaccard similarity.
+pub fn estimated_jaccard(a: &[u64], b: &[u64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "signatures must have equal length");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let agree = a.iter().zip(b).filter(|(x, y)| x == y).count();
+    agree as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmsa_ir::{FuncBuilder, Module, Value};
+
+    fn chain_fn(m: &mut Module, name: &str, adds: usize, muls: usize) -> Fingerprint {
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![i32t]);
+        let f = m.create_function(name, fn_ty);
+        let mut b = FuncBuilder::new(m, f);
+        let e = b.block("entry");
+        b.switch_to(e);
+        let mut v = Value::Param(0);
+        for _ in 0..adds {
+            v = b.add(v, b.const_i32(1));
+        }
+        for _ in 0..muls {
+            v = b.mul(v, b.const_i32(3));
+        }
+        b.ret(Some(v));
+        Fingerprint::of(m, f)
+    }
+
+    #[test]
+    fn identical_fingerprints_identical_signatures() {
+        let mut m = Module::new("m");
+        let fa = chain_fn(&mut m, "a", 6, 2);
+        let fb = chain_fn(&mut m, "b", 6, 2);
+        let h = MinHasher::new(32, 8);
+        assert_eq!(h.signature(&fa), h.signature(&fb));
+        assert_eq!(estimated_jaccard(&h.signature(&fa), &h.signature(&fb)), 1.0);
+    }
+
+    #[test]
+    fn similar_beats_dissimilar() {
+        let mut m = Module::new("m");
+        let subject = chain_fn(&mut m, "s", 10, 2);
+        let near = chain_fn(&mut m, "near", 9, 2);
+        let far = chain_fn(&mut m, "far", 1, 12);
+        let h = MinHasher::new(64, 8);
+        let ss = h.signature(&subject);
+        let sn = h.signature(&near);
+        let sf = h.signature(&far);
+        assert!(
+            estimated_jaccard(&ss, &sn) > estimated_jaccard(&ss, &sf),
+            "near {} vs far {}",
+            estimated_jaccard(&ss, &sn),
+            estimated_jaccard(&ss, &sf)
+        );
+    }
+
+    #[test]
+    fn signatures_are_deterministic() {
+        let mut m = Module::new("m");
+        let fa = chain_fn(&mut m, "a", 5, 5);
+        let h = MinHasher::new(16, 4);
+        assert_eq!(h.signature(&fa), h.signature(&fa));
+    }
+
+    #[test]
+    fn empty_fingerprint_is_all_max() {
+        let mut m = Module::new("m");
+        let fn_ty = m.types.func(m.types.void(), vec![]);
+        let f = m.create_function("decl", fn_ty);
+        let fp = Fingerprint::of(&m, f);
+        let h = MinHasher::new(8, 4);
+        assert!(h.signature(&fp).iter().all(|&x| x == u64::MAX));
+    }
+}

@@ -143,11 +143,7 @@ fn rewrite_one_call(
         let inst = module.func(g).inst(c);
         let is_invoke = inst.opcode == Opcode::Invoke;
         let arg_end = if is_invoke { inst.operands.len() - 2 } else { inst.operands.len() };
-        (
-            is_invoke,
-            inst.operands[1..arg_end].to_vec(),
-            inst.operands[arg_end..].to_vec(),
-        )
+        (is_invoke, inst.operands[1..arg_end].to_vec(), inst.operands[arg_end..].to_vec())
     };
     let mut ops = vec![Value::Func(rw.target)];
     ops.extend(rw.build_args(module, &orig_args));
@@ -193,8 +189,7 @@ fn rewrite_one_call(
                 .expect("call in its block");
             module.func(g).block(parent).insts[pos + 1]
         };
-        let casted =
-            cast_back(module, g, insert_point, Value::Inst(c), rw.ret_base, rw.ret_orig)?;
+        let casted = cast_back(module, g, insert_point, Value::Inst(c), rw.ret_base, rw.ret_orig)?;
         // Point the pre-existing users at the converted value.
         let gf = module.func_mut(g);
         for u in users {
@@ -222,9 +217,7 @@ pub fn make_thunk(module: &mut Module, orig: FuncId, rw: &CallRewrite) -> Result
     let param_vals: Vec<Value> = (0..n_params).map(|k| Value::Param(k as u32)).collect();
     let mut ops = vec![Value::Func(rw.target)];
     ops.extend(rw.build_args(module, &param_vals));
-    let call = module
-        .func_mut(orig)
-        .append_inst(entry, Inst::new(Opcode::Call, rw.ret_base, ops));
+    let call = module.func_mut(orig).append_inst(entry, Inst::new(Opcode::Call, rw.ret_base, ops));
     let void = module.types.void();
     let orig_is_void = matches!(module.types.get(ret_orig), Type::Void);
     let ret = if orig_is_void {

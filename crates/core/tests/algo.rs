@@ -5,8 +5,8 @@
 
 use fmsa_core::merge::{merge_pair, AlignAlgo, MergeConfig};
 use fmsa_core::thunks::commit_merge;
-use fmsa_ir::{Linkage, Module};
 use fmsa_interp::{Interpreter, Val};
+use fmsa_ir::{Linkage, Module};
 use fmsa_workloads::{generate_function, GenConfig, Variant};
 
 fn build_pair(seed: u64, variant: &Variant) -> (Module, fmsa_ir::FuncId, fmsa_ir::FuncId) {
@@ -48,8 +48,7 @@ fn hirschberg_merge_is_valid_and_equivalent() {
             let before_a = Interpreter::new(&m).run("fa", args_for(&m, "fa")).expect("runs");
             let before_b = Interpreter::new(&m).run("fb", args_for(&m, "fb")).expect("runs");
             let mut merged = m.clone();
-            let config =
-                MergeConfig { algorithm: AlignAlgo::Hirschberg, ..MergeConfig::default() };
+            let config = MergeConfig { algorithm: AlignAlgo::Hirschberg, ..MergeConfig::default() };
             let info = merge_pair(&mut merged, fa, fb, &config).expect("hirschberg merges");
             commit_merge(&mut merged, &info).expect("commit");
             let errs = fmsa_ir::verify_module(&merged);

@@ -7,8 +7,8 @@
 
 use fmsa_core::merge::{merge_pair, MergeConfig};
 use fmsa_core::thunks::commit_merge;
-use fmsa_ir::{FuncBuilder, FuncId, IntPredicate, Linkage, Module, Value};
 use fmsa_interp::{execute, Val};
+use fmsa_ir::{FuncBuilder, FuncId, IntPredicate, Linkage, Module, Value};
 
 /// Merges `f1`/`f2` in a clone of `module`, commits with thunks (external
 /// linkage so both originals stay callable), and compares `name(args)`
@@ -20,8 +20,8 @@ fn assert_equivalent_after_merge(module: &Module, names: [&str; 2], inputs: &[Ve
     // Keep the originals callable as thunks.
     merged_mod.func_mut(f1).linkage = Linkage::External;
     merged_mod.func_mut(f2).linkage = Linkage::External;
-    let info = merge_pair(&mut merged_mod, f1, f2, &MergeConfig::default())
-        .expect("pair should merge");
+    let info =
+        merge_pair(&mut merged_mod, f1, f2, &MergeConfig::default()).expect("pair should merge");
     commit_merge(&mut merged_mod, &info).expect("commit succeeds");
     let errs = fmsa_ir::verify_module(&merged_mod);
     assert!(errs.is_empty(), "merged module invalid: {errs:?}");
@@ -142,9 +142,7 @@ fn sphinx_style_type_variants() {
     assert!(info.has_func_id, "bodies store through different widths");
     commit_merge(&mut merged_mod, &info).expect("commit succeeds");
     assert!(fmsa_ir::verify_module(&merged_mod).is_empty());
-    for (name, inputs) in
-        [("glist_add_float32", &inputs32), ("glist_add_float64", &inputs64)]
-    {
+    for (name, inputs) in [("glist_add_float32", &inputs32), ("glist_add_float64", &inputs64)] {
         for args in inputs {
             let before = execute(&m, name, args.clone()).expect("original runs");
             let after = execute(&merged_mod, name, args.clone()).expect("merged runs");
@@ -382,10 +380,8 @@ fn call_sites_rewritten_when_deletable() {
         let y = b.call(wb, vec![x]);
         b.ret(Some(y));
     }
-    let before: Vec<_> = i32_inputs()
-        .iter()
-        .map(|args| execute(&m, "main", args.clone()).expect("runs"))
-        .collect();
+    let before: Vec<_> =
+        i32_inputs().iter().map(|args| execute(&m, "main", args.clone()).expect("runs")).collect();
     let wa = m.func_by_name("wa").expect("exists");
     let wb = m.func_by_name("wb").expect("exists");
     let info = merge_pair(&mut m, wa, wb, &MergeConfig::default()).expect("pair should merge");
@@ -427,14 +423,10 @@ fn recursive_functions_merge() {
     // so those call instructions land in divergent chains; after deletion
     // the chains call the merged function via rewritten call sites.
     let inputs: Vec<Vec<Val>> = [0, 1, 2, 5, 9].iter().map(|&x| vec![Val::i32(x)]).collect();
-    let before_a: Vec<_> = inputs
-        .iter()
-        .map(|a| execute(&m, "reca", a.clone()).expect("runs").value)
-        .collect();
-    let before_b: Vec<_> = inputs
-        .iter()
-        .map(|a| execute(&m, "recb", a.clone()).expect("runs").value)
-        .collect();
+    let before_a: Vec<_> =
+        inputs.iter().map(|a| execute(&m, "reca", a.clone()).expect("runs").value).collect();
+    let before_b: Vec<_> =
+        inputs.iter().map(|a| execute(&m, "recb", a.clone()).expect("runs").value).collect();
     let fa = m.func_by_name("reca").expect("exists");
     let fb = m.func_by_name("recb").expect("exists");
     let info = merge_pair(&mut m, fa, fb, &MergeConfig::default()).expect("pair should merge");
@@ -451,9 +443,8 @@ fn recursive_functions_merge() {
             while full.len() < nparams {
                 full.push(Val::i32(0));
             }
-            let got = fmsa_interp::Interpreter::new(&m)
-                .run_func(merged, full)
-                .expect("merged runs");
+            let got =
+                fmsa_interp::Interpreter::new(&m).run_func(merged, full).expect("merged runs");
             assert_eq!(&got.value, expect, "side={first} args={args:?}");
         }
     }
@@ -497,10 +488,8 @@ fn fmsa_options_end_to_end_equivalence() {
         b.ret(Some(z));
     }
     let inputs = i32_inputs();
-    let before: Vec<_> = inputs
-        .iter()
-        .map(|a| execute(&m, "main", a.clone()).expect("runs").value)
-        .collect();
+    let before: Vec<_> =
+        inputs.iter().map(|a| execute(&m, "main", a.clone()).expect("runs").value).collect();
     let mut opts = FmsaOptions::with_threshold(10);
     opts.exclude.insert("main".to_owned());
     let stats = run_fmsa(&mut m, &opts);

@@ -6,8 +6,8 @@
 
 use fmsa_core::merge::{merge_pair, MergeConfig};
 use fmsa_core::thunks::commit_merge;
-use fmsa_ir::{FuncBuilder, IntPredicate, LandingPadClause, Linkage, Module, Opcode, Value};
 use fmsa_interp::{execute, Val};
+use fmsa_ir::{FuncBuilder, IntPredicate, LandingPadClause, Linkage, Module, Opcode, Value};
 
 /// Module with a host `thrower(i64)` that unwinds when its argument is
 /// non-zero (wired to the default `throw_exn` host by name aliasing).
@@ -140,11 +140,7 @@ fn mismatched_pads_do_not_merge_invokes() {
     let info = merge_pair(&mut m, f1, f2, &MergeConfig::default()).expect("merge builds");
     // The merged function exists, but the invokes were not matched.
     let mf = m.func(info.merged);
-    let invokes = mf
-        .inst_ids()
-        .iter()
-        .filter(|&&i| mf.inst(i).opcode == Opcode::Invoke)
-        .count();
+    let invokes = mf.inst_ids().iter().filter(|&&i| mf.inst(i).opcode == Opcode::Invoke).count();
     assert_eq!(invokes, 2, "each side keeps its own invoke");
     assert!(fmsa_ir::verify_function(&m, info.merged).is_empty());
 }

@@ -5,8 +5,8 @@
 
 use fmsa_core::merge::{merge_pair, MergeConfig};
 use fmsa_core::pass::{run_fmsa, FmsaOptions};
-use fmsa_ir::{passes, Linkage, Module};
 use fmsa_interp::{Interpreter, Val};
+use fmsa_ir::{passes, Linkage, Module};
 use fmsa_workloads::{generate_function, GenConfig, Variant};
 
 /// Builds an exact clone pair, then legally permutes one side's
@@ -62,14 +62,12 @@ fn canonicalization_recovers_matches() {
     let (m, fa, fb) = reordered_pair();
     // Without canonicalization: the reordered body costs matches.
     let mut plain = m.clone();
-    let info_plain =
-        merge_pair(&mut plain, fa, fb, &MergeConfig::default()).expect("plain merges");
+    let info_plain = merge_pair(&mut plain, fa, fb, &MergeConfig::default()).expect("plain merges");
     // With canonicalization applied to both sides first.
     let mut canon = m.clone();
     passes::canonicalize_block_order(canon.func_mut(fa));
     passes::canonicalize_block_order(canon.func_mut(fb));
-    let info_canon =
-        merge_pair(&mut canon, fa, fb, &MergeConfig::default()).expect("canon merges");
+    let info_canon = merge_pair(&mut canon, fa, fb, &MergeConfig::default()).expect("canon merges");
     assert!(
         info_canon.matches > info_plain.matches,
         "canonicalization should recover matches: {} vs {}",

@@ -209,9 +209,6 @@ mod tests {
         let reg = HostRegistry::empty();
         let (mut mem, mut out) = ctx_parts();
         let mut ctx = HostCtx { mem: &mut mem, output: &mut out };
-        assert!(matches!(
-            reg.call("nope", &mut ctx, &[]),
-            Err(Trap::UnknownHost(_))
-        ));
+        assert!(matches!(reg.call("nope", &mut ctx, &[]), Err(Trap::UnknownHost(_))));
     }
 }

@@ -106,10 +106,6 @@ impl Error for Trap {}
 /// # Errors
 ///
 /// Propagates any [`Trap`].
-pub fn execute(
-    module: &fmsa_ir::Module,
-    name: &str,
-    args: Vec<Val>,
-) -> Result<RunResult, Trap> {
+pub fn execute(module: &fmsa_ir::Module, name: &str, args: Vec<Val>) -> Result<RunResult, Trap> {
     Interpreter::new(module).run(name, args)
 }

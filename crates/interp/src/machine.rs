@@ -103,10 +103,8 @@ impl<'m> Interpreter<'m> {
     /// Returns a [`Trap`] on any runtime error, including an uncaught
     /// exception ([`Trap::UncaughtException`]).
     pub fn run(&mut self, name: &str, args: Vec<Val>) -> Result<RunResult, Trap> {
-        let f = self
-            .module
-            .func_by_name(name)
-            .ok_or_else(|| Trap::UnknownFunction(name.to_owned()))?;
+        let f =
+            self.module.func_by_name(name).ok_or_else(|| Trap::UnknownFunction(name.to_owned()))?;
         self.run_func(f, args)
     }
 
@@ -201,9 +199,8 @@ impl<'m> Interpreter<'m> {
                 }
                 Opcode::CondBr => {
                     let c = eval!(inst.operands[0]).as_bool().ok_or(Trap::TypeMismatch)?;
-                    let target = inst.operands[if c { 1 } else { 2 }]
-                        .as_block()
-                        .ok_or(Trap::Malformed)?;
+                    let target =
+                        inst.operands[if c { 1 } else { 2 }].as_block().ok_or(Trap::Malformed)?;
                     self.enter_block(f, fname, &mut locals, &args, block, target)?;
                     block = target;
                     idx = 0;
@@ -230,20 +227,15 @@ impl<'m> Interpreter<'m> {
                 Opcode::Resume => {
                     let p = eval!(inst.operands[0]);
                     let payload = match p {
-                        Val::Agg(items) => {
-                            items.first().and_then(Val::as_u64).unwrap_or(0)
-                        }
+                        Val::Agg(items) => items.first().and_then(Val::as_u64).unwrap_or(0),
                         other => other.as_u64().unwrap_or(0),
                     };
                     return Ok(CallOutcome::Unwind(payload));
                 }
                 Opcode::Call | Opcode::Invoke => {
                     let is_invoke = inst.opcode == Opcode::Invoke;
-                    let arg_end = if is_invoke {
-                        inst.operands.len() - 2
-                    } else {
-                        inst.operands.len()
-                    };
+                    let arg_end =
+                        if is_invoke { inst.operands.len() - 2 } else { inst.operands.len() };
                     let callee = match inst.operands[0] {
                         Value::Func(g) => g,
                         _ => return Err(Trap::IndirectCallUnsupported),
@@ -285,10 +277,7 @@ impl<'m> Interpreter<'m> {
                 }
                 Opcode::LandingPad => {
                     let payload = pending_exn.take().unwrap_or(0);
-                    locals.insert(
-                        iid,
-                        Val::Agg(vec![Val::Ptr(payload), Val::i32(1)]),
-                    );
+                    locals.insert(iid, Val::Agg(vec![Val::Ptr(payload), Val::i32(1)]));
                 }
                 Opcode::Phi => {
                     // Leading φs are resolved by enter_block; if control
@@ -469,9 +458,7 @@ impl<'m> Interpreter<'m> {
                 }
                 Type::Struct { fields, .. } => {
                     let idx = k as usize;
-                    let off = ts
-                        .struct_field_offset(cur, idx)
-                        .ok_or(Trap::TypeMismatch)? as i64;
+                    let off = ts.struct_field_offset(cur, idx).ok_or(Trap::TypeMismatch)? as i64;
                     addr += off;
                     cur = *fields.get(idx).ok_or(Trap::TypeMismatch)?;
                 }
@@ -532,13 +519,7 @@ fn fcmp(p: FloatPredicate, a: f64, b: f64) -> bool {
     }
 }
 
-fn binary(
-    op: Opcode,
-    a: &Val,
-    b: &Val,
-    inst: &Inst,
-    ts: &fmsa_ir::TypeStore,
-) -> Result<Val, Trap> {
+fn binary(op: Opcode, a: &Val, b: &Val, inst: &Inst, ts: &fmsa_ir::TypeStore) -> Result<Val, Trap> {
     // Float ops.
     if matches!(op, Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv | Opcode::FRem) {
         let is_f32 = matches!(ts.get(inst.ty), Type::Half | Type::Float);

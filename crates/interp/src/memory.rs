@@ -164,9 +164,7 @@ impl Memory {
                 let len = ts.byte_size(ty).expect("sized") as usize;
                 self.write_uint(addr, *bits, len.min(8))
             }
-            (Type::Half | Type::Float, Val::F32(x)) => {
-                self.write_uint(addr, x.to_bits() as u64, 4)
-            }
+            (Type::Half | Type::Float, Val::F32(x)) => self.write_uint(addr, x.to_bits() as u64, 4),
             (Type::Double, Val::F64(x)) => self.write_uint(addr, x.to_bits(), 8),
             (Type::Ptr { .. }, Val::Ptr(p)) => self.write_uint(addr, *p, 8),
             // Tolerate int<->ptr shape mismatches that arise from bitcasts.
@@ -233,10 +231,7 @@ mod tests {
         let ts = TypeStore::new();
         let mut mem = Memory::new();
         let a = mem.alloca(4);
-        assert!(matches!(
-            mem.load(a + 1024, ts.i32(), &ts),
-            Err(Trap::OutOfBounds { .. })
-        ));
+        assert!(matches!(mem.load(a + 1024, ts.i32(), &ts), Err(Trap::OutOfBounds { .. })));
     }
 
     #[test]

@@ -55,8 +55,7 @@ impl Profile {
 
     /// Functions sorted hottest-first by dynamic instruction count.
     pub fn hottest(&self) -> Vec<(&str, u64)> {
-        let mut v: Vec<(&str, u64)> =
-            self.fn_steps.iter().map(|(k, &n)| (k.as_str(), n)).collect();
+        let mut v: Vec<(&str, u64)> = self.fn_steps.iter().map(|(k, &n)| (k.as_str(), n)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
         v
     }

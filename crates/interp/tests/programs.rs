@@ -86,11 +86,7 @@ fn switch_dispatch() {
     let two = b.block("two");
     let other = b.block("other");
     b.switch_to(entry);
-    b.switch(
-        Value::Param(0),
-        other,
-        vec![(b.const_i32(1), one), (b.const_i32(2), two)],
-    );
+    b.switch(Value::Param(0), other, vec![(b.const_i32(1), one), (b.const_i32(2), two)]);
     b.switch_to(one);
     b.ret(Some(b.const_i32(100)));
     b.switch_to(two);

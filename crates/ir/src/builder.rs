@@ -379,12 +379,7 @@ impl<'m> FuncBuilder<'m> {
     /// φ-node; `incoming` pairs values with their predecessor blocks.
     pub fn phi(&mut self, ty: TyId, incoming: Vec<(Value, BlockId)>) -> Value {
         let (vals, blocks): (Vec<_>, Vec<_>) = incoming.into_iter().unzip();
-        self.push_val(Inst::with_extra(
-            Opcode::Phi,
-            ty,
-            vals,
-            ExtraData::Phi { incoming: blocks },
-        ))
+        self.push_val(Inst::with_extra(Opcode::Phi, ty, vals, ExtraData::Phi { incoming: blocks }))
     }
 
     /// `landingpad` with the given clauses; must be the first instruction

@@ -174,8 +174,7 @@ fn intersect(
 
 /// Blocks unreachable from the entry, in layout order.
 pub fn unreachable_blocks(f: &Function) -> Vec<BlockId> {
-    let reachable: std::collections::HashSet<BlockId> =
-        reverse_post_order(f).into_iter().collect();
+    let reachable: std::collections::HashSet<BlockId> = reverse_post_order(f).into_iter().collect();
     f.block_ids().filter(|b| !reachable.contains(b)).collect()
 }
 

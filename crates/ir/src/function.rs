@@ -320,10 +320,7 @@ impl Function {
 
     /// Whether `block` is a landing block (starts with `landingpad`).
     pub fn is_landing_block(&self, block: BlockId) -> bool {
-        self.block(block)
-            .insts
-            .first()
-            .is_some_and(|&i| self.inst(i).opcode == Opcode::LandingPad)
+        self.block(block).insts.first().is_some_and(|&i| self.inst(i).opcode == Opcode::LandingPad)
     }
 
     /// Moves `block` to the end of the layout order (used by codegen to

@@ -524,10 +524,7 @@ impl Inst {
             Opcode::Invoke => {
                 // Last two operands are the normal and unwind destinations.
                 let n = self.operands.len();
-                self.operands[n.saturating_sub(2)..]
-                    .iter()
-                    .filter_map(Value::as_block)
-                    .collect()
+                self.operands[n.saturating_sub(2)..].iter().filter_map(Value::as_block).collect()
             }
             _ => Vec::new(),
         }

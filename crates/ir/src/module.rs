@@ -35,11 +35,7 @@ impl Module {
     ///
     /// Panics if a live function with the same name already exists.
     pub fn add_function(&mut self, func: Function) -> FuncId {
-        assert!(
-            !self.by_name.contains_key(&func.name),
-            "duplicate function name {:?}",
-            func.name
-        );
+        assert!(!self.by_name.contains_key(&func.name), "duplicate function name {:?}", func.name);
         let id = FuncId::from_index(self.functions.len());
         self.by_name.insert(func.name.clone(), id);
         self.functions.push(Some(func));
@@ -78,10 +74,7 @@ impl Module {
 
     /// Ids of all live functions, in insertion order.
     pub fn func_ids(&self) -> Vec<FuncId> {
-        (0..self.functions.len())
-            .map(FuncId::from_index)
-            .filter(|&id| self.is_live(id))
-            .collect()
+        (0..self.functions.len()).map(FuncId::from_index).filter(|&id| self.is_live(id)).collect()
     }
 
     /// Number of live functions.
@@ -176,8 +169,7 @@ mod tests {
         let callee2 = m.create_function("callee2", fn_ty);
         let caller = m.create_function("caller", fn_ty);
         let b = m.func_mut(caller).add_block("entry");
-        m.func_mut(caller)
-            .append_inst(b, Inst::new(Opcode::Call, void, vec![Value::Func(callee)]));
+        m.func_mut(caller).append_inst(b, Inst::new(Opcode::Call, void, vec![Value::Func(callee)]));
         m.func_mut(caller).append_inst(b, Inst::new(Opcode::Ret, void, vec![]));
         m.replace_fn_uses(callee, callee2);
         let f = m.func(caller);

@@ -291,10 +291,7 @@ fn parse_type(module: &mut Module, cur: &mut Cursor<'_>) -> Result<TyId> {
         cur.expect("}")?;
         module.types.struct_(fields)
     } else if cur.eat("[") {
-        let n: u64 = cur
-            .word()
-            .parse()
-            .map_err(|_| err(cur.line, "array length"))?;
+        let n: u64 = cur.word().parse().map_err(|_| err(cur.line, "array length"))?;
         cur.expect("x")?;
         let elem = parse_type(module, cur)?;
         cur.expect("]")?;
@@ -308,9 +305,8 @@ fn parse_type(module: &mut Module, cur: &mut Cursor<'_>) -> Result<TyId> {
             "float" => module.types.f32(),
             "double" => module.types.f64(),
             _ if w.starts_with('i') => {
-                let bits: u32 = w[1..]
-                    .parse()
-                    .map_err(|_| err(cur.line, format!("bad type {w:?}")))?;
+                let bits: u32 =
+                    w[1..].parse().map_err(|_| err(cur.line, format!("bad type {w:?}")))?;
                 module.types.int(bits)
             }
             _ => return Err(err(cur.line, format!("unknown type {w:?}"))),
@@ -381,7 +377,12 @@ fn parse_value(module: &mut Module, ctx: &NameCtx, cur: &mut Cursor<'_>) -> Resu
     Ok(Value::ConstInt { ty, bits })
 }
 
-fn parse_values_csv(module: &mut Module, ctx: &NameCtx, s: &str, line: usize) -> Result<Vec<Value>> {
+fn parse_values_csv(
+    module: &mut Module,
+    ctx: &NameCtx,
+    s: &str,
+    line: usize,
+) -> Result<Vec<Value>> {
     let mut out = Vec::new();
     for part in split_top_level(s) {
         let part = part.trim();
@@ -420,7 +421,11 @@ fn parse_inst(
                 Inst::new(Opcode::Ret, void, vec![v])
             }
         }
-        Opcode::Br | Opcode::CondBr | Opcode::Switch | Opcode::Store | Opcode::Select
+        Opcode::Br
+        | Opcode::CondBr
+        | Opcode::Switch
+        | Opcode::Store
+        | Opcode::Select
         | Opcode::Resume => {
             let vals = parse_values_csv(module, ctx, cur.rest(), ln)?;
             let ty = match op {
@@ -495,10 +500,7 @@ fn parse_inst(
                     clauses.push(LandingPadClause::Catch(cur.word().to_owned()));
                 } else if cur.eat("filter") {
                     cur.expect("[")?;
-                    let close = cur
-                        .rest()
-                        .find(']')
-                        .ok_or_else(|| err(ln, "filter missing ]"))?;
+                    let close = cur.rest().find(']').ok_or_else(|| err(ln, "filter missing ]"))?;
                     let syms = cur.rest()[..close]
                         .split(',')
                         .map(|s| s.trim().to_owned())
@@ -520,8 +522,7 @@ fn parse_inst(
                 .split(',')
                 .map(|s| s.trim().parse().map_err(|_| err(ln, "bad index")))
                 .collect::<Result<_>>()?;
-            let vals =
-                parse_values_csv(module, ctx, rest[..bracket].trim_end_matches(", "), ln)?;
+            let vals = parse_values_csv(module, ctx, rest[..bracket].trim_end_matches(", "), ln)?;
             // Result type: for extractvalue we can't know without walking
             // the aggregate; printer includes it implicitly via load-like
             // usage. We recompute from the aggregate type.
@@ -548,8 +549,7 @@ fn parse_inst(
             if op == Opcode::Invoke {
                 let tail = &rest[close + 1..];
                 let to = tail.find("to").ok_or_else(|| err(ln, "invoke missing to"))?;
-                let unwind =
-                    tail.find("unwind").ok_or_else(|| err(ln, "invoke missing unwind"))?;
+                let unwind = tail.find("unwind").ok_or_else(|| err(ln, "invoke missing unwind"))?;
                 let mut nc = Cursor::new(tail[to + 2..unwind].trim(), ln);
                 operands.push(parse_value(module, ctx, &mut nc)?);
                 let mut uc = Cursor::new(tail[unwind + 6..].trim(), ln);

@@ -83,12 +83,8 @@ pub fn remove_unreachable_blocks(func: &mut Function) -> usize {
             if !incoming.contains(b) {
                 continue;
             }
-            let keep: Vec<usize> = incoming
-                .iter()
-                .enumerate()
-                .filter(|(_, bb)| *bb != b)
-                .map(|(k, _)| k)
-                .collect();
+            let keep: Vec<usize> =
+                incoming.iter().enumerate().filter(|(_, bb)| *bb != b).map(|(k, _)| k).collect();
             let inst = func.inst_mut(i);
             let ExtraData::Phi { incoming } = &mut inst.extra else { continue };
             let new_ops: Vec<Value> = keep.iter().map(|&k| inst.operands[k]).collect();
@@ -263,8 +259,8 @@ pub fn canonicalize_block_order(func: &mut Function) -> usize {
             (inst.opcode.index(), inst.ty.index(), k)
         };
         let mut heap: BinaryHeap<Reverse<(usize, usize, usize, usize)>> = BinaryHeap::new();
-        for k in 0..n {
-            if indegree[k] == 0 {
+        for (k, &deg) in indegree.iter().enumerate() {
+            if deg == 0 {
                 let (o, t, p) = key(k);
                 heap.push(Reverse((o, t, p, k)));
             }
@@ -292,11 +288,7 @@ pub fn canonicalize_block_order(func: &mut Function) -> usize {
 
 /// Runs [`canonicalize_block_order`] on every function of the module.
 pub fn canonicalize_module(module: &mut Module) -> usize {
-    module
-        .func_ids()
-        .into_iter()
-        .map(|f| canonicalize_block_order(module.func_mut(f)))
-        .sum()
+    module.func_ids().into_iter().map(|f| canonicalize_block_order(module.func_mut(f))).sum()
 }
 
 /// Runs [`remove_unreachable_blocks`] then [`dce`] on every function.
@@ -349,9 +341,8 @@ mod tests {
         let func = m.func(f);
         assert!(func.inst_ids().iter().all(|&i| func.inst(i).opcode != Opcode::Phi));
         // alloca + 2 stores + 1 load replaced 1 phi.
-        let count = |op: Opcode| {
-            func.inst_ids().iter().filter(|&&i| func.inst(i).opcode == op).count()
-        };
+        let count =
+            |op: Opcode| func.inst_ids().iter().filter(|&&i| func.inst(i).opcode == op).count();
         assert_eq!(count(Opcode::Alloca), 1);
         assert_eq!(count(Opcode::Store), 2);
         assert_eq!(count(Opcode::Load), 1);
@@ -482,8 +473,8 @@ mod tests {
 mod reorder_tests {
     use super::*;
     use crate::builder::FuncBuilder;
-    use crate::verifier::verify_module;
     use crate::value::Value;
+    use crate::verifier::verify_module;
 
     /// Two blocks computing the same thing with swapped independent
     /// instruction order canonicalize to the same order.

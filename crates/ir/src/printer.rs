@@ -86,16 +86,10 @@ pub fn print_value(m: &Module, f: &Function, v: Value) -> String {
 pub fn print_inst(m: &Module, f: &Function, id: InstId) -> String {
     let ts = &m.types;
     let inst: &Inst = f.inst(id);
-    let ops =
-        |r: std::ops::Range<usize>| -> String {
-            inst.operands[r]
-                .iter()
-                .map(|&v| print_value(m, f, v))
-                .collect::<Vec<_>>()
-                .join(", ")
-        };
-    let lhs = if matches!(ts.get(inst.ty), crate::types::Type::Void)
-        || inst.opcode == Opcode::Store
+    let ops = |r: std::ops::Range<usize>| -> String {
+        inst.operands[r].iter().map(|&v| print_value(m, f, v)).collect::<Vec<_>>().join(", ")
+    };
+    let lhs = if matches!(ts.get(inst.ty), crate::types::Type::Void) || inst.opcode == Opcode::Store
     {
         String::new()
     } else {
@@ -178,12 +172,7 @@ pub fn print_inst(m: &Module, f: &Function, id: InstId) -> String {
         }
         Opcode::Ret if inst.operands.is_empty() => "ret void".to_owned(),
         op if op.is_cast() => {
-            format!(
-                "{} {} to {}",
-                op.mnemonic(),
-                ops(0..inst.operands.len()),
-                ts.display(inst.ty)
-            )
+            format!("{} {} to {}", op.mnemonic(), ops(0..inst.operands.len()), ts.display(inst.ty))
         }
         op => format!("{} {}", op.mnemonic(), ops(0..inst.operands.len())),
     };

@@ -548,7 +548,8 @@ mod tests {
         assert!(!ts.can_lossless_bitcast(f32t, f64t));
         assert!(ts.can_lossless_bitcast(p8, p32), "pointers are interchangeable");
         assert!(!ts.can_lossless_bitcast(p8, i64t), "ptr<->int is not a bitcast");
-        assert!(!ts.can_lossless_bitcast(ts.void(), ts.void()) || true);
+        // void<->void is unspecified; only require that the query is safe.
+        let _ = ts.can_lossless_bitcast(ts.void(), ts.void());
     }
 
     #[test]

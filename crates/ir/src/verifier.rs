@@ -134,22 +134,18 @@ impl<'a> Verifier<'a> {
     fn check_operands(&mut self, b: BlockId, iid: InstId, inst: &Inst) {
         for op in &inst.operands {
             match *op {
-                Value::Inst(i)
-                    if !self.f.is_live_inst(i) => {
-                        self.err(Some(b), Some(iid), format!("operand {i} was removed"));
-                    }
-                Value::Param(p)
-                    if p as usize >= self.f.params().len() => {
-                        self.err(Some(b), Some(iid), format!("parameter index {p} out of range"));
-                    }
-                Value::Block(t)
-                    if !self.f.is_live_block(t) => {
-                        self.err(Some(b), Some(iid), format!("branch target {t} was removed"));
-                    }
-                Value::Func(fid)
-                    if !self.module.is_live(fid) => {
-                        self.err(Some(b), Some(iid), format!("function operand {fid} was removed"));
-                    }
+                Value::Inst(i) if !self.f.is_live_inst(i) => {
+                    self.err(Some(b), Some(iid), format!("operand {i} was removed"));
+                }
+                Value::Param(p) if p as usize >= self.f.params().len() => {
+                    self.err(Some(b), Some(iid), format!("parameter index {p} out of range"));
+                }
+                Value::Block(t) if !self.f.is_live_block(t) => {
+                    self.err(Some(b), Some(iid), format!("branch target {t} was removed"));
+                }
+                Value::Func(fid) if !self.module.is_live(fid) => {
+                    self.err(Some(b), Some(iid), format!("function operand {fid} was removed"));
+                }
                 _ => {}
             }
         }
@@ -204,7 +200,9 @@ impl<'a> Verifier<'a> {
                 if ts.int_width(inst.ty) != Some(1) {
                     fail(self, "icmp must produce i1".into());
                 }
-                if let (Some(a), Some(c)) = (tys.first().copied().flatten(), tys.get(1).copied().flatten()) {
+                if let (Some(a), Some(c)) =
+                    (tys.first().copied().flatten(), tys.get(1).copied().flatten())
+                {
                     if a != c || !(ts.is_int(a) || ts.is_ptr(a)) {
                         fail(self, "icmp operands must be matching int/ptr types".into());
                     }
@@ -214,22 +212,22 @@ impl<'a> Verifier<'a> {
                 if !matches!(inst.extra, ExtraData::FCmp(_)) {
                     fail(self, "fcmp without predicate".into());
                 }
-                if let (Some(a), Some(c)) = (tys.first().copied().flatten(), tys.get(1).copied().flatten()) {
+                if let (Some(a), Some(c)) =
+                    (tys.first().copied().flatten(), tys.get(1).copied().flatten())
+                {
                     if a != c || !ts.is_float(a) {
                         fail(self, "fcmp operands must be matching float types".into());
                     }
                 }
             }
-            Opcode::Alloca => {
-                match &inst.extra {
-                    ExtraData::Alloca { allocated } => {
-                        if ts.pointee(inst.ty) != Some(*allocated) {
-                            fail(self, "alloca result must be pointer to allocated type".into());
-                        }
+            Opcode::Alloca => match &inst.extra {
+                ExtraData::Alloca { allocated } => {
+                    if ts.pointee(inst.ty) != Some(*allocated) {
+                        fail(self, "alloca result must be pointer to allocated type".into());
                     }
-                    _ => fail(self, "alloca without allocated type".into()),
                 }
-            }
+                _ => fail(self, "alloca without allocated type".into()),
+            },
             Opcode::Load => {
                 if nops != 1 {
                     fail(self, "load expects 1 operand".into());
@@ -284,7 +282,10 @@ impl<'a> Verifier<'a> {
                         (Some(fw), Some(tw)) => {
                             let ok = if op == Opcode::Trunc { fw > tw } else { fw < tw };
                             if !ok {
-                                fail(self, format!("{}: invalid widths {fw} -> {tw}", op.mnemonic()));
+                                fail(
+                                    self,
+                                    format!("{}: invalid widths {fw} -> {tw}", op.mnemonic()),
+                                );
                             }
                         }
                         _ => fail(self, format!("{} requires integer types", op.mnemonic())),
@@ -314,10 +315,9 @@ impl<'a> Verifier<'a> {
                     }
                 }
             }
-            Opcode::Br
-                if (nops != 1 || inst.operands[0].as_block().is_none()) => {
-                    fail(self, "br expects a single label operand".into());
-                }
+            Opcode::Br if (nops != 1 || inst.operands[0].as_block().is_none()) => {
+                fail(self, "br expects a single label operand".into());
+            }
             Opcode::CondBr => {
                 let ok = nops == 3
                     && tys[0].map(|t| ts.int_width(t) == Some(1)).unwrap_or(false)
@@ -411,27 +411,24 @@ impl<'a> Verifier<'a> {
                     fail(self, "select expects (i1, T, T) -> T".into());
                 }
             }
-            Opcode::Phi => {
-                match &inst.extra {
-                    ExtraData::Phi { incoming } => {
-                        if incoming.len() != nops {
-                            fail(self, "phi incoming blocks do not match operand count".into());
-                        }
-                        for (k, ty) in tys.iter().enumerate() {
-                            if let Some(t) = ty {
-                                if *t != inst.ty {
-                                    fail(self, format!("phi operand {k} type mismatch"));
-                                }
+            Opcode::Phi => match &inst.extra {
+                ExtraData::Phi { incoming } => {
+                    if incoming.len() != nops {
+                        fail(self, "phi incoming blocks do not match operand count".into());
+                    }
+                    for (k, ty) in tys.iter().enumerate() {
+                        if let Some(t) = ty {
+                            if *t != inst.ty {
+                                fail(self, format!("phi operand {k} type mismatch"));
                             }
                         }
                     }
-                    _ => fail(self, "phi without incoming block list".into()),
                 }
+                _ => fail(self, "phi without incoming block list".into()),
+            },
+            Opcode::LandingPad if !matches!(inst.extra, ExtraData::LandingPad { .. }) => {
+                fail(self, "landingpad without clause data".into());
             }
-            Opcode::LandingPad
-                if !matches!(inst.extra, ExtraData::LandingPad { .. }) => {
-                    fail(self, "landingpad without clause data".into());
-                }
             _ => {}
         }
     }
@@ -479,10 +476,11 @@ mod tests {
         let b = m.func_mut(f).add_block("entry");
         m.func_mut(f).append_inst(
             b,
-            Inst::new(Opcode::Add, i32t, vec![
-                Value::ConstInt { ty: i32t, bits: 1 },
-                Value::ConstInt { ty: i32t, bits: 2 },
-            ]),
+            Inst::new(
+                Opcode::Add,
+                i32t,
+                vec![Value::ConstInt { ty: i32t, bits: 1 }, Value::ConstInt { ty: i32t, bits: 2 }],
+            ),
         );
         let errs = verify_module(&m);
         assert!(errs.iter().any(|e| e.message.contains("terminator")), "{errs:?}");
@@ -515,10 +513,11 @@ mod tests {
         let b = m.func_mut(f).add_block("entry");
         let bad = m.func_mut(f).append_inst(
             b,
-            Inst::new(Opcode::Add, i32t, vec![
-                Value::ConstInt { ty: i32t, bits: 1 },
-                Value::ConstInt { ty: i64t, bits: 2 },
-            ]),
+            Inst::new(
+                Opcode::Add,
+                i32t,
+                vec![Value::ConstInt { ty: i32t, bits: 1 }, Value::ConstInt { ty: i64t, bits: 2 }],
+            ),
         );
         let void = m.types.void();
         m.func_mut(f).append_inst(b, Inst::new(Opcode::Ret, void, vec![Value::Inst(bad)]));
@@ -536,8 +535,7 @@ mod tests {
         let fn_ty = m.types.func(void, vec![]);
         let f = m.create_function("f", fn_ty);
         let b = m.func_mut(f).add_block("entry");
-        m.func_mut(f)
-            .append_inst(b, Inst::new(Opcode::Call, i32t, vec![Value::Func(callee)]));
+        m.func_mut(f).append_inst(b, Inst::new(Opcode::Call, i32t, vec![Value::Func(callee)]));
         m.func_mut(f).append_inst(b, Inst::new(Opcode::Ret, void, vec![]));
         let errs = verify_module(&m);
         assert!(errs.iter().any(|e| e.message.contains("args")), "{errs:?}");
@@ -565,9 +563,8 @@ mod tests {
         let f = m.create_function("f", fn_ty);
         let b = m.func_mut(f).add_block("entry");
         let c32 = Value::ConstInt { ty: i32t, bits: 1 };
-        let sel = m
-            .func_mut(f)
-            .append_inst(b, Inst::new(Opcode::Select, i32t, vec![c32, c32, c32]));
+        let sel =
+            m.func_mut(f).append_inst(b, Inst::new(Opcode::Select, i32t, vec![c32, c32, c32]));
         let void = m.types.void();
         m.func_mut(f).append_inst(b, Inst::new(Opcode::Ret, void, vec![Value::Inst(sel)]));
         let errs = verify_module(&m);

@@ -24,7 +24,13 @@ pub struct DriverConfig {
 
 impl Default for DriverConfig {
     fn default() -> Self {
-        DriverConfig { seed: 0xd21e, hot_fraction: 0.1, hot_calls: 40, cold_calls: 2, max_callees: 60 }
+        DriverConfig {
+            seed: 0xd21e,
+            hot_fraction: 0.1,
+            hot_calls: 40,
+            cold_calls: 2,
+            max_callees: 60,
+        }
     }
 }
 
@@ -93,11 +99,7 @@ pub fn add_driver(module: &mut Module, config: &DriverConfig) -> (FuncId, Vec<St
 /// A function is driver-callable when every parameter can be synthesized
 /// from a constant (int/float).
 fn driver_callable(module: &Module, f: FuncId) -> bool {
-    module
-        .func(f)
-        .params()
-        .iter()
-        .all(|p| module.types.is_int(p.ty) || module.types.is_float(p.ty))
+    module.func(f).params().iter().all(|p| module.types.is_int(p.ty) || module.types.is_float(p.ty))
 }
 
 fn arg_values(module: &mut Module, callee: FuncId, salt: u64) -> Vec<Value> {
@@ -180,9 +182,6 @@ mod tests {
         add_driver(&mut m1, &DriverConfig::default());
         let mut m2 = module_with_functions(6);
         add_driver(&mut m2, &DriverConfig::default());
-        assert_eq!(
-            fmsa_ir::printer::print_module(&m1),
-            fmsa_ir::printer::print_module(&m2)
-        );
+        assert_eq!(fmsa_ir::printer::print_module(&m1), fmsa_ir::printer::print_module(&m2));
     }
 }

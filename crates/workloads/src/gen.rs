@@ -143,8 +143,7 @@ pub fn generate_function(
 ) -> FuncId {
     let fixed_i32 = module.types.i32();
     let flex_ty = if variant.theme.wide_int { module.types.i64() } else { module.types.i32() };
-    let flexf_ty =
-        if variant.theme.wide_float { module.types.f64() } else { module.types.f32() };
+    let flexf_ty = if variant.theme.wide_float { module.types.f64() } else { module.types.f32() };
     let mut g = Gen {
         rng: StdRng::seed_from_u64(seed),
         config: config.clone(),
@@ -706,9 +705,7 @@ mod tests {
                 .collect();
             let mut interp = Interpreter::new(&m);
             interp.set_fuel(1_000_000);
-            interp
-                .run(&name, args)
-                .unwrap_or_else(|e| panic!("{name} trapped: {e}"));
+            interp.run(&name, args).unwrap_or_else(|e| panic!("{name} trapped: {e}"));
         }
     }
 }

@@ -25,7 +25,9 @@ pub mod driver;
 pub mod gen;
 pub mod motivating;
 pub mod suite;
+pub mod swarm;
 
 pub use driver::{add_driver, DriverConfig};
 pub use gen::{generate_function, GenConfig, TypeTheme, Variant};
 pub use suite::{build_module, mibench_suite, spec_suite, BenchDesc, FamilyMix, Suite, SCALE};
+pub use swarm::{clone_swarm_module, SwarmConfig};

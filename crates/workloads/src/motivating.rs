@@ -160,9 +160,6 @@ mod tests {
         let f2 = mf.func_by_name("quantum_cond_phase").expect("exists");
         let info = merge_pair(&mut mf, f1, f2, &MergeConfig::default()).expect("FMSA merges");
         assert!(info.has_func_id);
-        assert!(
-            info.matches * 2 > info.alignment_len,
-            "the loop bodies align: {info:?}"
-        );
+        assert!(info.matches * 2 > info.alignment_len, "the loop bodies align: {info:?}");
     }
 }

@@ -105,9 +105,15 @@ impl BenchDesc {
     }
 }
 
+/// One descriptor row: `(name, #fns, avg size, merge counts, cpp_like)`.
+type SpecRow = (&'static str, usize, usize, (usize, usize, usize, usize), bool);
+
+/// One descriptor row: `(name, #fns, avg size, merge counts)`.
+type MiBenchRow = (&'static str, usize, usize, (usize, usize, usize, usize));
+
 /// The 19 C/C++ SPEC CPU2006 benchmarks of Table I.
 pub fn spec_suite() -> Vec<BenchDesc> {
-    let rows: Vec<(&'static str, usize, usize, (usize, usize, usize, usize), bool)> = vec![
+    let rows: Vec<SpecRow> = vec![
         ("400.perlbench", 1699, 125, (12, 103, 175, 200), false),
         ("401.bzip2", 74, 206, (0, 0, 7, 7), false),
         ("403.gcc", 4541, 128, (136, 341, 614, 710), false),
@@ -144,7 +150,7 @@ pub fn spec_suite() -> Vec<BenchDesc> {
 
 /// The 23 MiBench benchmarks of Table II.
 pub fn mibench_suite() -> Vec<BenchDesc> {
-    let rows: Vec<(&'static str, usize, usize, (usize, usize, usize, usize))> = vec![
+    let rows: Vec<MiBenchRow> = vec![
         ("CRC32", 4, 25, (0, 0, 0, 0)),
         ("FFT", 7, 50, (0, 0, 0, 0)),
         ("adpcm_c", 3, 73, (0, 0, 0, 0)),
@@ -247,7 +253,8 @@ pub fn build_module(desc: &BenchDesc) -> Module {
             ..GenConfig::default()
         };
         let seed = rng.gen();
-        let f = generate_function(&mut module, &format!("single_{k}"), seed, &cfg, &Variant::exact());
+        let f =
+            generate_function(&mut module, &format!("single_{k}"), seed, &cfg, &Variant::exact());
         singleton_ids.push(f);
     }
 
@@ -257,14 +264,11 @@ pub fn build_module(desc: &BenchDesc) -> Module {
                            kind: &str,
                            variant: Variant,
                            size_override: Option<usize>| {
-        let size = size_override
-            .unwrap_or_else(|| sample_size(rng, desc.avg_size) * 3 / 4)
-            .max(16);
+        let size = size_override.unwrap_or_else(|| sample_size(rng, desc.avg_size) * 3 / 4).max(16);
         // Type-theme clones differ only where flexible slots occur, so
         // keep those rare — real template specializations differ in a few
         // operations, not a quarter of the body (Fig. 1).
-        let (flex_weight, flexf_weight) =
-            if kind == "typed" { (6, 6) } else { (25, 15) };
+        let (flex_weight, flexf_weight) = if kind == "typed" { (6, 6) } else { (25, 15) };
         let cfg = GenConfig {
             target_size: size,
             flex_weight,
@@ -308,13 +312,7 @@ pub fn build_module(desc: &BenchDesc) -> Module {
         // rijndael in the paper: FMSA merges the two giant functions that
         // dominate the program even though no other technique finds
         // anything.
-        emit_family(
-            &mut module,
-            &mut rng,
-            "giant",
-            Variant::body(7),
-            Some(desc.avg_size * 2),
-        );
+        emit_family(&mut module, &mut rng, "giant", Variant::body(7), Some(desc.avg_size * 2));
     }
     module
 }
@@ -346,10 +344,8 @@ mod tests {
 
     #[test]
     fn family_mix_matches_paper_proportions() {
-        let dealii = spec_suite()
-            .into_iter()
-            .find(|d| d.name == "447.dealII")
-            .expect("dealII present");
+        let dealii =
+            spec_suite().into_iter().find(|d| d.name == "447.dealII").expect("dealII present");
         let mix = dealii.family_mix();
         assert_eq!(mix.exact, 183, "Identical merges / SCALE");
         assert_eq!(mix.body, 95, "(SOA - Identical) / SCALE");

@@ -1,0 +1,148 @@
+//! Large-module "clone swarm" generator for search-scalability work.
+//!
+//! The suite descriptors ([`crate::suite`]) are calibrated to the paper's
+//! benchmarks and therefore top out at a few thousand functions. The
+//! candidate-search subsystem targets modules one to two orders of
+//! magnitude larger, so this generator builds modules with a controlled
+//! shape at arbitrary scale: many small *clone families* (members of one
+//! family share a seed and differ by body-mutation variants, so FMSA can
+//! merge them) buried in *noise* functions with unique seeds (mergeable
+//! only by accident). That makes the quadratic→near-linear crossover of
+//! `ExactSearch` vs `LshSearch` measurable while keeping a realistic mix
+//! of productive and unproductive candidates.
+
+use crate::gen::{generate_function, GenConfig, Variant};
+use fmsa_ir::Module;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a generated clone-swarm module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwarmConfig {
+    /// Total number of functions to generate.
+    pub functions: usize,
+    /// Members per clone family.
+    pub family_size: usize,
+    /// Fraction of `functions` that belong to clone families (the rest is
+    /// noise), in `[0, 1]`.
+    pub clone_fraction: f64,
+    /// Approximate instructions per function.
+    pub target_size: usize,
+    /// Master seed; everything else derives from it deterministically.
+    pub seed: u64,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        SwarmConfig {
+            functions: 1000,
+            family_size: 2,
+            clone_fraction: 0.5,
+            target_size: 40,
+            seed: 0x5aa5_0001,
+        }
+    }
+}
+
+impl SwarmConfig {
+    /// Convenience: a swarm of `functions` functions with the default mix.
+    pub fn with_functions(functions: usize) -> SwarmConfig {
+        SwarmConfig { functions, ..SwarmConfig::default() }
+    }
+
+    /// Number of complete clone families this configuration yields.
+    pub fn families(&self) -> usize {
+        let clones = (self.functions as f64 * self.clone_fraction) as usize;
+        clones / self.family_size.max(2)
+    }
+}
+
+/// Builds the module described by `cfg`.
+pub fn clone_swarm_module(cfg: &SwarmConfig) -> Module {
+    let mut module = Module::new(format!("swarm-{}", cfg.functions));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let family_size = cfg.family_size.max(2);
+    let families = cfg.families();
+    let family_fns = families * family_size;
+    let noise = cfg.functions.saturating_sub(family_fns);
+
+    let gen_cfg = |size: usize| GenConfig { target_size: size, ..GenConfig::default() };
+    // Family members share one seed; non-exact members get body variants so
+    // the family is FMSA-mergeable but not byte-identical.
+    for fam in 0..families {
+        let fam_seed: u64 = rng.gen();
+        let size = cfg.target_size / 2 + (fam_seed as usize % cfg.target_size.max(1));
+        for member in 0..family_size {
+            let variant = if member == 0 { Variant::exact() } else { Variant::body(member as u64) };
+            generate_function(
+                &mut module,
+                &format!("fam{fam}_m{member}"),
+                fam_seed,
+                &gen_cfg(size),
+                &variant,
+            );
+        }
+    }
+    for k in 0..noise {
+        let seed: u64 = rng.gen();
+        let size = cfg.target_size / 2 + (seed as usize % cfg.target_size.max(1));
+        generate_function(
+            &mut module,
+            &format!("noise{k}"),
+            seed,
+            &gen_cfg(size),
+            &Variant::exact(),
+        );
+    }
+    module
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swarm_has_requested_count_and_verifies() {
+        let cfg = SwarmConfig { functions: 60, ..SwarmConfig::default() };
+        let m = clone_swarm_module(&cfg);
+        assert_eq!(m.func_count(), 60);
+        let errs = fmsa_ir::verify_module(&m);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn swarm_is_deterministic() {
+        let cfg = SwarmConfig { functions: 40, ..SwarmConfig::default() };
+        let a = fmsa_ir::printer::print_module(&clone_swarm_module(&cfg));
+        let b = fmsa_ir::printer::print_module(&clone_swarm_module(&cfg));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn family_count_matches_config() {
+        let cfg = SwarmConfig {
+            functions: 100,
+            family_size: 2,
+            clone_fraction: 0.5,
+            ..SwarmConfig::default()
+        };
+        assert_eq!(cfg.families(), 25);
+        let m = clone_swarm_module(&cfg);
+        let fam_members =
+            m.func_ids().iter().filter(|&&f| m.func(f).name.starts_with("fam")).count();
+        assert_eq!(fam_members, 50);
+    }
+
+    #[test]
+    fn larger_family_sizes_supported() {
+        let cfg = SwarmConfig {
+            functions: 30,
+            family_size: 3,
+            clone_fraction: 0.6,
+            ..SwarmConfig::default()
+        };
+        let m = clone_swarm_module(&cfg);
+        assert_eq!(m.func_count(), 30);
+        assert!(fmsa_ir::verify_module(&m).is_empty());
+    }
+}

@@ -50,10 +50,7 @@ fn family_functions_come_in_pairs() {
         .filter(|n| !n.starts_with("single"))
         .collect();
     for n in &names {
-        assert!(
-            n.ends_with("_a") || n.ends_with("_b"),
-            "family member naming: {n}"
-        );
+        assert!(n.ends_with("_a") || n.ends_with("_b"), "family member naming: {n}");
     }
     let a_count = names.iter().filter(|n| n.ends_with("_a")).count();
     let b_count = names.iter().filter(|n| n.ends_with("_b")).count();
@@ -106,8 +103,6 @@ fn modules_are_interpreter_clean() {
             .collect();
         let mut interp = Interpreter::new(&m);
         interp.set_fuel(5_000_000);
-        interp
-            .run_func(f, args)
-            .unwrap_or_else(|e| panic!("{} trapped: {e}", func.name));
+        interp.run_func(f, args).unwrap_or_else(|e| panic!("{} trapped: {e}", func.name));
     }
 }

@@ -55,13 +55,9 @@ fn main() {
         .find(|n| n.starts_with("__merged"))
         .expect("merged function exists");
     let run = |fid: bool| {
-        execute(
-            &module,
-            &merged_name,
-            vec![Val::bool(fid), Val::i32(2), Val::i32(3)],
-        )
-        .expect("merged function runs")
-        .value
+        execute(&module, &merged_name, vec![Val::bool(fid), Val::i32(2), Val::i32(3)])
+            .expect("merged function runs")
+            .value
     };
     assert_eq!(run(true), before_a.value, "func_id=1 behaves like poly_a");
     assert_eq!(run(false), before_b.value, "func_id=0 behaves like poly_b");

@@ -16,7 +16,8 @@ use fmsa::workloads::{generate_function, GenConfig, Variant};
 
 fn build_instantiations() -> Module {
     let mut m = Module::new("templates");
-    let cfg = GenConfig { target_size: 60, flex_weight: 8, flexf_weight: 6, ..GenConfig::default() };
+    let cfg =
+        GenConfig { target_size: 60, flex_weight: 8, flexf_weight: 6, ..GenConfig::default() };
     // One "template" stamped out six times: two identical i32 copies, two
     // identical i64 copies, one float and one double instantiation.
     let seed = 4242;

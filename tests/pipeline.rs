@@ -130,11 +130,7 @@ fn mibench_tiny_benchmarks_find_nothing() {
         let i = run_identical(&mut m, TargetArch::X86_64);
         let s = run_soa(&mut m, TargetArch::X86_64);
         let f = run_fmsa(&mut m, &FmsaOptions::with_threshold(10));
-        assert_eq!(
-            (i.merges, s.merges, f.merges),
-            (0, 0, 0),
-            "{name} should have no merges"
-        );
+        assert_eq!((i.merges, s.merges, f.merges), (0, 0, 0), "{name} should have no merges");
     }
 }
 
@@ -151,10 +147,7 @@ fn rijndael_giant_pair_dominates() {
     let stats = run_fmsa(&mut m, &FmsaOptions::default());
     assert_eq!(stats.merges, 1);
     let red = fmsa::target::reduction_percent(before, cm.module_size(&m));
-    assert!(
-        (15.0..30.0).contains(&red),
-        "rijndael reduction should be paper-sized (20.6%): {red}"
-    );
+    assert!((15.0..30.0).contains(&red), "rijndael reduction should be paper-sized (20.6%): {red}");
 }
 
 #[test]

@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The registry is unreachable in this build environment, so this vendored
+//! crate implements the API subset the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups, `BenchmarkId`, `Bencher::{iter, iter_batched}` — as a
+//! plain wall-clock harness: it calibrates an iteration count to a small
+//! time budget, measures, and prints `name: median time/iter`. No
+//! statistics beyond min/median, no plots, no baselines; enough to compare
+//! implementations on one machine, which is what the benches are for.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The stand-in runs one setup per
+/// measured call either way, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: many iterations per batch in real criterion.
+    SmallInput,
+    /// Large input: one iteration per batch in real criterion.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark (`group/function/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    /// Target measurement time for this benchmark.
+    budget: Duration,
+    /// Collected per-iteration times, filled by `iter`/`iter_batched`.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Bencher {
+        Bencher { budget, samples: Vec::new() }
+    }
+
+    /// Measures `routine` repeatedly until the time budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, also used to scale the iteration count.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let reps = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        for _ in 0..reps {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let reps = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        for _ in 0..reps {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<48} (no samples)");
+            return;
+        }
+        let mut xs = self.samples.clone();
+        xs.sort();
+        let median = xs[xs.len() / 2];
+        let min = xs[0];
+        println!("{name:<48} median {:>12?}  min {:>12?}  ({} iters)", median, min, xs.len());
+    }
+}
+
+/// Top-level benchmark registry handle.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep whole suites fast; the stand-in is for relative comparison.
+        let ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(200u64);
+        Criterion { budget: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        b.report(&id.to_string());
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into() }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher::new(self.parent.budget);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.parent.budget);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.name));
+    }
+
+    /// Ends the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { budget: Duration::from_millis(5) };
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_fresh_inputs() {
+        let mut c = Criterion { budget: Duration::from_millis(5) };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        });
+    }
+}

@@ -1,0 +1,203 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the exact API subset the workspace uses: `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::{gen, gen_range, gen_bool}` over the
+//! integer types the generators draw. The generator is a fixed xoshiro256++
+//! so every workload module is deterministic across runs and platforms —
+//! which is all the callers rely on (they never ask for cryptographic or
+//! statistical guarantees).
+
+#![warn(missing_docs)]
+
+pub mod rngs {
+    //! Concrete RNG types (`StdRng` only).
+
+    /// A deterministic xoshiro256++ generator, seeded via SplitMix64 like
+    /// the real `rand::rngs::StdRng::seed_from_u64` path.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+/// Seeding interface: only `seed_from_u64` is used in this workspace.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // SplitMix64 expansion of the seed into the full state.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        StdRng { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types that can be produced by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types usable as [`Rng::gen_range`] bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a value in `[lo, hi)`. `hi > lo` must hold.
+    fn sample_range(rng: &mut StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut StdRng, lo: $t, hi: $t) -> $t {
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                debug_assert!(span > 0, "gen_range requires a non-empty range");
+                // Multiply-shift bounded sampling (Lemire); the tiny bias is
+                // irrelevant for workload generation.
+                let r = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                ((lo as $wide).wrapping_add(r as $wide)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl SampleRange<usize> for std::ops::RangeInclusive<usize> {
+    fn sample(self, rng: &mut StdRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        if lo == hi {
+            return lo;
+        }
+        usize::sample_range(rng, lo, hi + 1)
+    }
+}
+
+impl SampleRange<u64> for std::ops::RangeInclusive<u64> {
+    fn sample(self, rng: &mut StdRng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        if lo == hi {
+            return lo;
+        }
+        u64::sample_range(rng, lo, hi + 1)
+    }
+}
+
+/// The user-facing random-value interface.
+pub trait Rng {
+    /// Draws a value of an inferred primitive type.
+    fn gen<T: Standard>(&mut self) -> T;
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // 53-bit uniform in [0,1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x: u64 = a.gen();
+            let y: u64 = b.gen();
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(0u64..=5);
+            assert!(w <= 5);
+            let z = rng.gen_range(-4i32..9);
+            assert!((-4..9).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!((0..64).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..64).all(|_| rng.gen_bool(1.0)));
+    }
+}
