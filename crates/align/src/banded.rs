@@ -1,0 +1,184 @@
+//! Banded Needleman-Wunsch: global alignment restricted to a diagonal
+//! band.
+//!
+//! The full dynamic program fills `(n+1) × (m+1)` cells; for the highly
+//! similar function pairs FMSA merges profitably, the optimal path hugs
+//! the main diagonal, so restricting the program to cells with
+//! `j - i ∈ [-(w + max(0, n-m)), w + max(0, m-n)]` (half-width `w`,
+//! widened by the length difference so the corner cells stay reachable)
+//! costs `O((n+m)·w)` time and space instead of `O(nm)`. The result is a
+//! valid global alignment that is optimal *within the band*: for pairs
+//! whose true path leaves the band the score is a lower bound on the
+//! full-matrix score, which makes the fallback conservative for
+//! profitability — a banded merge can only look worse, never better,
+//! than the exact alignment would.
+
+use crate::{Alignment, ScoringScheme, Step};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Diag,
+    Up,
+    Left,
+    None,
+}
+
+const NEG: i64 = i64::MIN / 4;
+
+/// Computes a banded global alignment of `a` and `b` with half-width
+/// `band` (a `band` of 0 still covers the length-difference diagonals).
+/// Tie-breaking matches [`crate::needleman_wunsch`]: Diag ≥ Up ≥ Left.
+pub fn banded_needleman_wunsch<T>(
+    a: &[T],
+    b: &[T],
+    eq: impl Fn(&T, &T) -> bool,
+    scheme: &ScoringScheme,
+    band: usize,
+) -> Alignment {
+    let n = a.len();
+    let m = b.len();
+    // Offsets d = j - i covered by the band.
+    let lo = -((band + n.saturating_sub(m)) as i64);
+    let hi = (band + m.saturating_sub(n)) as i64;
+    let width = (hi - lo + 1) as usize;
+    // score[i * width + k] is cell (i, j) with k = j - i - lo.
+    let mut score = vec![NEG; (n + 1) * width];
+    let mut dir = vec![Dir::None; (n + 1) * width];
+    let cell = |i: usize, j: usize| -> Option<usize> {
+        let d = j as i64 - i as i64;
+        (d >= lo && d <= hi).then(|| i * width + (d - lo) as usize)
+    };
+    for j in 0..=m {
+        let Some(c) = cell(0, j) else { break };
+        score[c] = j as i64 * scheme.gap_score;
+        dir[c] = if j == 0 { Dir::None } else { Dir::Left };
+    }
+    for i in 1..=n {
+        if let Some(c) = cell(i, 0) {
+            score[c] = i as i64 * scheme.gap_score;
+            dir[c] = Dir::Up;
+        }
+        let j_min = 1.max(i as i64 + lo) as usize;
+        let j_max = (m as i64).min(i as i64 + hi) as usize;
+        for j in j_min..=j_max {
+            let c = cell(i, j).expect("in band");
+            let matched = eq(&a[i - 1], &b[j - 1]);
+            let sub = if matched { scheme.match_score } else { scheme.mismatch_score };
+            let diag = cell(i - 1, j - 1).map_or(NEG, |p| score[p]).saturating_add(sub);
+            let up = cell(i - 1, j).map_or(NEG, |p| score[p]).saturating_add(scheme.gap_score);
+            let left = cell(i, j - 1).map_or(NEG, |p| score[p]).saturating_add(scheme.gap_score);
+            let (best, d) = if diag >= up && diag >= left {
+                (diag, Dir::Diag)
+            } else if up >= left {
+                (up, Dir::Up)
+            } else {
+                (left, Dir::Left)
+            };
+            score[c] = best;
+            dir[c] = d;
+        }
+    }
+    // Traceback from (n, m); the corner is always in the band because the
+    // band is widened by the length difference.
+    let end = cell(n, m).expect("corner in band");
+    let mut steps = Vec::with_capacity(n.max(m));
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        let c = cell(i, j).expect("traceback stays in band");
+        match dir[c] {
+            Dir::Diag if i > 0 && j > 0 => {
+                let matched = eq(&a[i - 1], &b[j - 1]);
+                steps.push(Step::Both { i: i - 1, j: j - 1, matched });
+                i -= 1;
+                j -= 1;
+            }
+            Dir::Up | Dir::Diag if i > 0 => {
+                steps.push(Step::Left(i - 1));
+                i -= 1;
+            }
+            _ => {
+                steps.push(Step::Right(j - 1));
+                j -= 1;
+            }
+        }
+    }
+    steps.reverse();
+    Alignment { steps, score: score[end] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::needleman_wunsch;
+
+    fn chars(s: &str) -> Vec<char> {
+        s.chars().collect()
+    }
+
+    #[test]
+    fn wide_band_matches_full_nw() {
+        let scheme = ScoringScheme::default();
+        let cases =
+            [("gattaca", "gcatgcg"), ("abcdef", "abcxdef"), ("", "abc"), ("abc", ""), ("x", "yyy")];
+        for (a, b) in cases {
+            let (av, bv) = (chars(a), chars(b));
+            let full = needleman_wunsch(&av, &bv, |x, y| x == y, &scheme);
+            let banded =
+                banded_needleman_wunsch(&av, &bv, |x, y| x == y, &scheme, av.len() + bv.len());
+            assert_eq!(banded.score, full.score, "{a:?} vs {b:?}");
+            assert_eq!(banded.steps, full.steps, "tie-breaking must match NW for {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn narrow_band_still_produces_valid_alignment() {
+        let a: Vec<u32> = (0..500).collect();
+        let b: Vec<u32> = (0..500).map(|x| if x % 97 == 0 { 1_000_000 } else { x }).collect();
+        let scheme = ScoringScheme::default();
+        let al = banded_needleman_wunsch(&a, &b, |x, y| x == y, &scheme, 8);
+        assert!(al.is_valid_for(a.len(), b.len()));
+        assert_eq!(al.score, al.rescore(&scheme));
+    }
+
+    #[test]
+    fn band_score_is_lower_bound_of_full_score() {
+        let scheme = ScoringScheme::default();
+        // Shifted copies: the optimal path sits `shift` off the diagonal.
+        for shift in [0usize, 3, 10, 40] {
+            let a: Vec<u32> = (0..200).collect();
+            let b: Vec<u32> = (shift as u32..200 + shift as u32).collect();
+            let full = needleman_wunsch(&a, &b, |x, y| x == y, &scheme);
+            for band in [0usize, 2, 8, 64] {
+                let banded = banded_needleman_wunsch(&a, &b, |x, y| x == y, &scheme, band);
+                assert!(banded.is_valid_for(a.len(), b.len()));
+                assert!(
+                    banded.score <= full.score,
+                    "banded beats optimal? shift={shift} band={band}"
+                );
+                if band >= 2 * shift {
+                    assert_eq!(banded.score, full.score, "shift={shift} band={band}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unequal_lengths_are_covered_by_widened_band() {
+        let scheme = ScoringScheme::default();
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (0..17).collect();
+        let al = banded_needleman_wunsch(&a, &b, |x, y| x == y, &scheme, 0);
+        assert!(al.is_valid_for(a.len(), b.len()));
+        let al = banded_needleman_wunsch(&b, &a, |x, y| x == y, &scheme, 0);
+        assert!(al.is_valid_for(b.len(), a.len()));
+    }
+
+    #[test]
+    fn identical_sequences_band_zero() {
+        let a: Vec<u32> = (0..1000).collect();
+        let scheme = ScoringScheme::default();
+        let al = banded_needleman_wunsch(&a, &a, |x, y| x == y, &scheme, 0);
+        assert_eq!(al.match_count(), 1000);
+        assert_eq!(al.score, 1000 * scheme.match_score);
+    }
+}

@@ -1,0 +1,192 @@
+//! Alignment budgets: keeping one pathological pair from stalling the
+//! merge pipeline.
+//!
+//! The full Needleman-Wunsch program is quadratic in time *and* space, so
+//! one pair of multi-thousand-entry functions can dominate a whole pass
+//! (and, in the parallel pipeline, pin a worker while its whole
+//! generation waits on the commit barrier). An [`AlignmentBudget`] bounds
+//! the per-pair cost up front, from the sequence lengths alone:
+//!
+//! * pairs whose DP matrix fits in [`AlignmentBudget::full_matrix_cells`]
+//!   are aligned exactly with the caller's preferred algorithm;
+//! * larger pairs use the [`BudgetFallback`]: Hirschberg (same optimal
+//!   score, linear space, ~2× time) or banded NW (linear-ish time and
+//!   space, possibly suboptimal — see [`crate::banded_needleman_wunsch`]
+//!   for why suboptimality is conservative for merge profitability);
+//! * pairs where either side exceeds [`AlignmentBudget::max_len`] are
+//!   skipped outright ([`AlignPlan::Skip`]) and the candidate is treated
+//!   as unprofitable.
+
+use crate::{banded_needleman_wunsch, hirschberg, needleman_wunsch, Alignment, ScoringScheme};
+
+/// What to do with a pair whose full DP matrix exceeds the cell budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetFallback {
+    /// Banded NW with the given half-width: bounded time and space, score
+    /// may be below the full-matrix optimum.
+    Banded(usize),
+    /// Hirschberg: optimal score in linear space, but still `O(nm)` time.
+    /// Protects memory, not wall-clock.
+    Hirschberg,
+    /// Give up on the pair.
+    Skip,
+}
+
+/// Per-pair cost bounds for one alignment, decided from lengths alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlignmentBudget {
+    /// Maximum `(n+1)·(m+1)` DP cells for a full-matrix alignment.
+    pub full_matrix_cells: usize,
+    /// Strategy for pairs over the cell budget.
+    pub fallback: BudgetFallback,
+    /// Hard cap: if either sequence is longer than this, the pair is
+    /// skipped regardless of the fallback.
+    pub max_len: usize,
+}
+
+impl Default for AlignmentBudget {
+    /// The default budget never triggers on paper-scale functions (the
+    /// suite tops out well below 5 000 linearized entries), so pipeline
+    /// output stays bit-identical to the unbudgeted sequential pass;
+    /// adversarial inputs beyond that fall back to a 64-wide band.
+    fn default() -> Self {
+        AlignmentBudget {
+            full_matrix_cells: 25_000_000,
+            fallback: BudgetFallback::Banded(64),
+            max_len: 200_000,
+        }
+    }
+}
+
+/// The algorithm an [`AlignmentBudget`] selected for one pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignPlan {
+    /// Full-matrix alignment with the caller's preferred algorithm.
+    Full,
+    /// Hirschberg divide-and-conquer.
+    Hirschberg,
+    /// Banded NW with the given half-width.
+    Banded(usize),
+    /// Do not align this pair.
+    Skip,
+}
+
+impl AlignmentBudget {
+    /// A budget that always selects [`AlignPlan::Full`] — the exact
+    /// behaviour of the pass before budgets existed.
+    pub fn unlimited() -> AlignmentBudget {
+        AlignmentBudget {
+            full_matrix_cells: usize::MAX,
+            fallback: BudgetFallback::Hirschberg,
+            max_len: usize::MAX,
+        }
+    }
+
+    /// Decides how to align a pair of sequences of lengths `n` and `m`.
+    pub fn plan(&self, n: usize, m: usize) -> AlignPlan {
+        if n > self.max_len || m > self.max_len {
+            return AlignPlan::Skip;
+        }
+        let cells = (n + 1).saturating_mul(m + 1);
+        if cells <= self.full_matrix_cells {
+            return AlignPlan::Full;
+        }
+        match self.fallback {
+            BudgetFallback::Banded(w) => AlignPlan::Banded(w),
+            BudgetFallback::Hirschberg => AlignPlan::Hirschberg,
+            BudgetFallback::Skip => AlignPlan::Skip,
+        }
+    }
+}
+
+/// Aligns `a` and `b` according to `plan`. `Full` uses plain NW when
+/// `prefer_hirschberg` is false and Hirschberg otherwise (the caller's
+/// base algorithm choice). Returns `None` for [`AlignPlan::Skip`].
+pub fn align_with_plan<T>(
+    a: &[T],
+    b: &[T],
+    eq: impl Fn(&T, &T) -> bool + Copy,
+    scheme: &ScoringScheme,
+    plan: AlignPlan,
+    prefer_hirschberg: bool,
+) -> Option<Alignment> {
+    match plan {
+        AlignPlan::Full if prefer_hirschberg => Some(hirschberg(a, b, eq, scheme)),
+        AlignPlan::Full => Some(needleman_wunsch(a, b, eq, scheme)),
+        AlignPlan::Hirschberg => Some(hirschberg(a, b, eq, scheme)),
+        AlignPlan::Banded(w) => Some(banded_needleman_wunsch(a, b, eq, scheme, w)),
+        AlignPlan::Skip => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_never_triggers_at_paper_scale() {
+        let budget = AlignmentBudget::default();
+        for (n, m) in [(0, 0), (10, 2000), (4000, 4000), (4999, 4999)] {
+            assert_eq!(budget.plan(n, m), AlignPlan::Full, "({n}, {m})");
+        }
+    }
+
+    #[test]
+    fn cell_cap_selects_fallback() {
+        let budget = AlignmentBudget {
+            full_matrix_cells: 10_000,
+            fallback: BudgetFallback::Banded(16),
+            max_len: 1_000_000,
+        };
+        assert_eq!(budget.plan(99, 99), AlignPlan::Full);
+        assert_eq!(budget.plan(200, 200), AlignPlan::Banded(16));
+        let budget = AlignmentBudget { fallback: BudgetFallback::Hirschberg, ..budget };
+        assert_eq!(budget.plan(200, 200), AlignPlan::Hirschberg);
+        let budget = AlignmentBudget { fallback: BudgetFallback::Skip, ..budget };
+        assert_eq!(budget.plan(200, 200), AlignPlan::Skip);
+    }
+
+    #[test]
+    fn length_cap_wins_over_fallback() {
+        let budget = AlignmentBudget {
+            full_matrix_cells: usize::MAX,
+            fallback: BudgetFallback::Banded(64),
+            max_len: 500,
+        };
+        assert_eq!(budget.plan(501, 10), AlignPlan::Skip);
+        assert_eq!(budget.plan(10, 501), AlignPlan::Skip);
+        assert_eq!(budget.plan(500, 500), AlignPlan::Full);
+    }
+
+    #[test]
+    fn unlimited_budget_is_always_full() {
+        let budget = AlignmentBudget::unlimited();
+        assert_eq!(budget.plan(1_000_000, 1_000_000), AlignPlan::Full);
+    }
+
+    #[test]
+    fn cell_product_does_not_overflow() {
+        let budget = AlignmentBudget {
+            full_matrix_cells: usize::MAX - 1,
+            fallback: BudgetFallback::Skip,
+            max_len: usize::MAX,
+        };
+        assert_eq!(budget.plan(usize::MAX - 1, usize::MAX - 1), AlignPlan::Skip);
+    }
+
+    #[test]
+    fn align_with_plan_dispatches() {
+        let a: Vec<u32> = (0..40).collect();
+        let b: Vec<u32> = (1..41).collect();
+        let scheme = ScoringScheme::default();
+        let full = align_with_plan(&a, &b, |x, y| x == y, &scheme, AlignPlan::Full, false)
+            .expect("full plan aligns");
+        let hir = align_with_plan(&a, &b, |x, y| x == y, &scheme, AlignPlan::Hirschberg, false)
+            .expect("hirschberg plan aligns");
+        let banded = align_with_plan(&a, &b, |x, y| x == y, &scheme, AlignPlan::Banded(8), false)
+            .expect("banded plan aligns");
+        assert_eq!(full.score, hir.score);
+        assert_eq!(full.score, banded.score, "shift of 1 is inside an 8-wide band");
+        assert!(align_with_plan(&a, &b, |x, y| x == y, &scheme, AlignPlan::Skip, false).is_none());
+    }
+}

@@ -27,10 +27,14 @@
 
 #![warn(missing_docs)]
 
+mod banded;
+mod budget;
 mod hirschberg;
 mod local;
 mod nw;
 
+pub use banded::banded_needleman_wunsch;
+pub use budget::{align_with_plan, AlignPlan, AlignmentBudget, BudgetFallback};
 pub use hirschberg::hirschberg;
 pub use local::{smith_waterman, LocalAlignment};
 pub use nw::needleman_wunsch;

@@ -1,6 +1,9 @@
 //! Property-based tests for the alignment algorithms.
 
-use fmsa_align::{hirschberg, needleman_wunsch, smith_waterman, Alignment, ScoringScheme};
+use fmsa_align::{
+    banded_needleman_wunsch, hirschberg, needleman_wunsch, smith_waterman, AlignPlan, Alignment,
+    AlignmentBudget, BudgetFallback, ScoringScheme,
+};
 use proptest::prelude::*;
 
 /// Brute-force optimal global alignment score by exhaustive recursion.
@@ -93,6 +96,53 @@ proptest! {
         let l = smith_waterman(&a, &b, |x, y| x == y, &scheme);
         let bound = scheme.match_score * a.len().min(b.len()) as i64;
         prop_assert!(l.alignment.score <= bound);
+    }
+
+    #[test]
+    fn banded_is_valid_and_bounded_by_nw(
+        a in medium_seq(),
+        b in medium_seq(),
+        band in 0usize..16,
+    ) {
+        let scheme = ScoringScheme::default();
+        let banded = banded_needleman_wunsch(&a, &b, |x, y| x == y, &scheme, band);
+        prop_assert!(banded.is_valid_for(a.len(), b.len()));
+        prop_assert_eq!(banded.score, banded.rescore(&scheme));
+        let full = needleman_wunsch(&a, &b, |x, y| x == y, &scheme);
+        prop_assert!(banded.score <= full.score, "band restricts the path set");
+    }
+
+    #[test]
+    fn banded_with_covering_band_equals_nw(a in medium_seq(), b in medium_seq()) {
+        // A band covering the whole matrix must reproduce NW exactly,
+        // including tie-breaking.
+        let scheme = ScoringScheme::default();
+        let banded =
+            banded_needleman_wunsch(&a, &b, |x, y| x == y, &scheme, a.len() + b.len());
+        let full = needleman_wunsch(&a, &b, |x, y| x == y, &scheme);
+        prop_assert_eq!(banded.steps, full.steps);
+        prop_assert_eq!(banded.score, full.score);
+    }
+
+    #[test]
+    fn budget_plan_is_total_and_consistent(n in 0usize..10_000, m in 0usize..10_000) {
+        // Every length pair gets exactly one plan, and shrinking a budget
+        // never upgrades a pair from fallback to full.
+        let tight = AlignmentBudget {
+            full_matrix_cells: 100_000,
+            fallback: BudgetFallback::Banded(8),
+            max_len: 5_000,
+        };
+        let loose = AlignmentBudget { full_matrix_cells: 10_000_000, ..tight };
+        let pt = tight.plan(n, m);
+        let pl = loose.plan(n, m);
+        if pt == AlignPlan::Full {
+            prop_assert_eq!(pl, AlignPlan::Full);
+        }
+        if n > tight.max_len || m > tight.max_len {
+            prop_assert_eq!(pt, AlignPlan::Skip);
+            prop_assert_eq!(pl, AlignPlan::Skip);
+        }
     }
 }
 

@@ -11,27 +11,57 @@
 //! experiments fig14             Runtime overhead + §V-D case study
 //! experiments ablation-params   §III-E parameter-reuse ablation
 //! experiments search            Exact vs LSH candidate search at scale
+//! experiments merge-parallel    Pipeline vs sequential driver at scale
 //! experiments all               everything above
 //! ```
 //!
 //! Add `--oracle` to include the quadratic oracle where feasible, and
 //! `--fast` to restrict to the smaller half of each suite (used by CI).
+//! `--json <path>` appends one self-describing JSON line per measured
+//! configuration (the `BENCH_ci.json` artifact), and `--check` turns
+//! parity-budget violations (LSH vs exact, pipeline vs sequential) into
+//! a non-zero exit for the CI gate.
 
 use fmsa_bench::harness::{
-    mean, rank_cdf, run_benchmark, run_runtime_experiment, BenchResult, RunPlan,
+    mean, rank_cdf, run_benchmark, run_runtime_experiment, BenchResult, Json, Report, RunPlan,
 };
 use fmsa_core::baselines::run_identical;
 use fmsa_core::merge::MergeConfig;
 use fmsa_core::pass::{run_fmsa, FmsaOptions};
+use fmsa_core::pipeline::{run_fmsa_pipeline, PipelineOptions};
 use fmsa_target::{reduction_percent, CostModel, TargetArch};
 use fmsa_workloads::{mibench_suite, spec_suite, BenchDesc};
+
+/// Relative drift allowed between an optimized configuration and its
+/// exact/sequential baseline before the CI gate trips.
+const PARITY_BUDGET: f64 = 0.10;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let oracle = args.iter().any(|a| a == "--oracle");
     let fast = args.iter().any(|a| a == "--fast");
-    let cmd =
-        args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_owned());
+    let check = args.iter().any(|a| a == "--check");
+    let json_path = args.iter().position(|a| a == "--json").and_then(|k| args.get(k + 1)).cloned();
+    let cmd = args
+        .iter()
+        .enumerate()
+        .find(|(k, a)| {
+            !a.starts_with("--")
+                && args.get(k.wrapping_sub(1)).map(String::as_str) != Some("--json")
+        })
+        .map(|(_, a)| a.clone())
+        .unwrap_or_else(|| "all".to_owned());
+    // Result header: make every run self-describing. The search strategy
+    // varies per experiment, so it is stated in each section title and
+    // repeated per record in the bench JSON lines.
+    println!(
+        "experiments {cmd}: threads={} available, alignment=needleman-wunsch, \
+         search per section header / JSON record{}{}",
+        PipelineOptions::default().resolved_threads(),
+        if fast { ", --fast" } else { "" },
+        if oracle { ", --oracle" } else { "" },
+    );
+    let mut report = Report::new(json_path);
     let spec = filtered(spec_suite(), fast);
     let mibench = filtered(mibench_suite(), fast);
     match cmd.as_str() {
@@ -44,7 +74,8 @@ fn main() {
         "fig13" => fig13(&spec),
         "fig14" => fig14(&spec),
         "ablation-params" => ablation_params(&spec),
-        "search" => search_scalability(fast),
+        "search" => search_scalability(fast, &mut report),
+        "merge-parallel" => merge_parallel(fast, &mut report),
         "all" => {
             table(&spec, "Table I (SPEC CPU2006)");
             table(&mibench, "Table II (MiBench)");
@@ -55,12 +86,21 @@ fn main() {
             fig13(&spec);
             fig14(&spec);
             ablation_params(&spec);
-            search_scalability(fast);
+            search_scalability(fast, &mut report);
+            merge_parallel(fast, &mut report);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             std::process::exit(2);
         }
+    }
+    if let Err(e) = report.flush() {
+        eprintln!("experiments: cannot write bench JSON: {e}");
+        std::process::exit(1);
+    }
+    if check && !report.failures().is_empty() {
+        eprintln!("experiments: {} parity budget violation(s)", report.failures().len());
+        std::process::exit(1);
     }
 }
 
@@ -321,7 +361,7 @@ fn fig14(suite: &[BenchDesc]) {
 
 // ---------------------------------------------------------------- search
 
-fn search_scalability(fast: bool) {
+fn search_scalability(fast: bool, report: &mut Report) {
     use fmsa_core::SearchStrategy;
     use fmsa_workloads::{clone_swarm_module, SwarmConfig};
     println!("\n== Candidate search at scale: exact pairwise vs MinHash/LSH (t=5) ==");
@@ -333,6 +373,7 @@ fn search_scalability(fast: bool) {
     for &n in sizes {
         let base = clone_swarm_module(&SwarmConfig::with_functions(n));
         let mut rank_times = Vec::new();
+        let mut reductions = Vec::new();
         for (label, strategy) in [("exact", SearchStrategy::Exact), ("lsh", SearchStrategy::lsh())]
         {
             let mut m = base.clone();
@@ -341,6 +382,7 @@ fn search_scalability(fast: bool) {
             let stats = run_fmsa(&mut m, &opts);
             let total = t0.elapsed();
             rank_times.push(stats.timers.ranking.as_secs_f64());
+            reductions.push(stats.reduction_percent());
             let speedup = if rank_times.len() == 2 {
                 format!("{:8.1}x", rank_times[0] / rank_times[1].max(1e-12))
             } else {
@@ -356,9 +398,138 @@ fn search_scalability(fast: bool) {
                 total,
                 speedup
             );
+            report.record(&[
+                ("experiment", Json::S("search".into())),
+                ("functions", Json::I(n as i64)),
+                ("search", Json::S(label.into())),
+                ("threads", Json::I(1)),
+                ("alignment", Json::S("needleman-wunsch".into())),
+                ("merges", Json::I(stats.merges as i64)),
+                ("reduction_percent", Json::F(stats.reduction_percent())),
+                ("rank_search_s", Json::F(stats.timers.ranking.as_secs_f64())),
+                ("wall_s", Json::F(total.as_secs_f64())),
+            ]);
+        }
+        // CI gate: LSH shortlisting must stay within the reduction-parity
+        // budget of the exact scan.
+        let (exact, lsh) = (reductions[0], reductions[1]);
+        if (exact - lsh).abs() > PARITY_BUDGET * exact.abs().max(1e-9) {
+            report.fail(format!(
+                "search n={n}: LSH reduction {lsh:.3}% drifts >{:.0}% from exact {exact:.3}%",
+                PARITY_BUDGET * 100.0
+            ));
         }
     }
     println!("(rank+search = index seeding + per-iteration candidate queries)");
+}
+
+// ---------------------------------------------------------------- pipeline
+
+fn merge_parallel(fast: bool, report: &mut Report) {
+    use fmsa_core::SearchStrategy;
+    use fmsa_ir::printer::print_module;
+    use fmsa_workloads::{clone_swarm_module, SwarmConfig};
+    let auto = PipelineOptions::default().resolved_threads();
+    println!("\n== Parallel merge pipeline vs sequential driver (t=5, lsh search) ==");
+    println!(
+        "{:>6} {:<11} {:>7} {:>10} {:>8} {:>11} {:>10} {:>8}",
+        "#fns", "driver", "threads", "wall", "merges", "reduction%", "identical", "speedup"
+    );
+    let sizes: &[usize] = if fast { &[100, 1000] } else { &[100, 1000, 5000] };
+    for &n in sizes {
+        let base = clone_swarm_module(&SwarmConfig::with_functions(n));
+        let opts =
+            FmsaOptions { threshold: 5, search: SearchStrategy::lsh(), ..FmsaOptions::default() };
+        let mut m_seq = base.clone();
+        let t0 = std::time::Instant::now();
+        let seq = run_fmsa(&mut m_seq, &opts);
+        let t_seq = t0.elapsed();
+        let seq_text = print_module(&m_seq);
+        println!(
+            "{:>6} {:<11} {:>7} {:>9.2?} {:>8} {:>11.2} {:>10} {:>8}",
+            n,
+            "sequential",
+            1,
+            t_seq,
+            seq.merges,
+            seq.reduction_percent(),
+            "-",
+            "-"
+        );
+        report.record(&[
+            ("experiment", Json::S("merge-parallel".into())),
+            ("functions", Json::I(n as i64)),
+            ("driver", Json::S("sequential".into())),
+            ("search", Json::S("lsh".into())),
+            ("alignment", Json::S("needleman-wunsch".into())),
+            ("threads", Json::I(1)),
+            ("merges", Json::I(seq.merges as i64)),
+            ("reduction_percent", Json::F(seq.reduction_percent())),
+            ("wall_s", Json::F(t_seq.as_secs_f64())),
+        ]);
+        let mut thread_counts = vec![1usize];
+        if auto > 1 {
+            thread_counts.push(auto);
+        }
+        for threads in thread_counts {
+            let mut m_par = base.clone();
+            let pipe = PipelineOptions::with_threads(threads);
+            let t0 = std::time::Instant::now();
+            let par = run_fmsa_pipeline(&mut m_par, &opts, &pipe);
+            let t_par = t0.elapsed();
+            let identical = print_module(&m_par) == seq_text;
+            let speedup = t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9);
+            println!(
+                "{:>6} {:<11} {:>7} {:>9.2?} {:>8} {:>11.2} {:>10} {:>7.1}x",
+                n,
+                "pipeline",
+                threads,
+                t_par,
+                par.merges,
+                par.reduction_percent(),
+                if identical { "yes" } else { "NO" },
+                speedup
+            );
+            let p = par.pipeline.unwrap_or_default();
+            report.record(&[
+                ("experiment", Json::S("merge-parallel".into())),
+                ("functions", Json::I(n as i64)),
+                ("driver", Json::S("pipeline".into())),
+                ("search", Json::S("lsh".into())),
+                ("alignment", Json::S("needleman-wunsch".into())),
+                ("threads", Json::I(threads as i64)),
+                ("merges", Json::I(par.merges as i64)),
+                ("reduction_percent", Json::F(par.reduction_percent())),
+                ("wall_s", Json::F(t_par.as_secs_f64())),
+                ("speedup_vs_sequential", Json::F(speedup)),
+                ("identical_to_sequential", Json::B(identical)),
+                ("generations", Json::I(p.generations as i64)),
+                ("prepared", Json::I(p.prepared as i64)),
+                ("reused", Json::I(p.reused as i64)),
+                ("recomputed", Json::I(p.recomputed as i64)),
+                ("gate_skipped", Json::I(p.gate_skipped as i64)),
+                ("budget_skipped", Json::I(p.budget_skipped as i64)),
+            ]);
+            if !identical {
+                report.fail(format!(
+                    "merge-parallel n={n} threads={threads}: pipeline output diverges \
+                     from the sequential pass"
+                ));
+            }
+            let (rs, rp) = (seq.reduction_percent(), par.reduction_percent());
+            if (rs - rp).abs() > PARITY_BUDGET * rs.abs().max(1e-9) {
+                report.fail(format!(
+                    "merge-parallel n={n} threads={threads}: reduction {rp:.3}% drifts \
+                     >{:.0}% from sequential {rs:.3}%",
+                    PARITY_BUDGET * 100.0
+                ));
+            }
+        }
+    }
+    println!(
+        "(pipeline threads=1 disables speculation; its win over the sequential driver is \
+         the linearization cache, the call-site index, and the pre-codegen Δ gate)"
+    );
 }
 
 // ---------------------------------------------------------------- ablation

@@ -3,9 +3,14 @@
 //! ```text
 //! fmsa_opt <input.fir> [--technique identical|soa|fmsa] [--threshold N]
 //!          [--oracle] [--arch x86-64|arm-thumb] [--canonicalize]
-//!          [--search exact|lsh] [--exclude name,name] [--stats]
-//!          [-o <output.fir>]
+//!          [--search exact|lsh] [--threads N] [--exclude name,name]
+//!          [--stats] [-o <output.fir>]
 //! ```
+//!
+//! `--threads N` selects the parallel merge pipeline with `N` workers
+//! (`0` = available parallelism); without it the paper's sequential
+//! driver runs. Both produce bit-identical output (see
+//! `fmsa_core::pipeline`).
 //!
 //! The input format is the printer/parser syntax of `fmsa-ir` (see
 //! `fmsa_ir::printer`); `cargo run --example quickstart` prints modules in
@@ -14,6 +19,7 @@
 
 use fmsa_core::baselines::{run_identical, run_soa};
 use fmsa_core::pass::{run_fmsa, FmsaOptions};
+use fmsa_core::pipeline::{run_fmsa_pipeline, PipelineOptions};
 use fmsa_core::SearchStrategy;
 use fmsa_ir::{parser, printer};
 use fmsa_target::{reduction_percent, CostModel, TargetArch};
@@ -26,8 +32,8 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: fmsa_opt <input.fir> [--technique identical|soa|fmsa] \
              [--threshold N] [--oracle] [--arch x86-64|arm-thumb] \
-             [--canonicalize] [--search exact|lsh] [--exclude a,b] \
-             [--stats] [-o out.fir]"
+             [--canonicalize] [--search exact|lsh] [--threads N] \
+             [--exclude a,b] [--stats] [-o out.fir]"
         );
         return ExitCode::from(2);
     }
@@ -39,6 +45,7 @@ fn main() -> ExitCode {
     let mut arch = TargetArch::X86_64;
     let mut canonicalize = false;
     let mut search = SearchStrategy::Exact;
+    let mut threads: Option<usize> = None;
     let mut exclude: HashSet<String> = HashSet::new();
     let mut stats = false;
     let mut it = args.into_iter();
@@ -60,6 +67,13 @@ fn main() -> ExitCode {
                     _ => SearchStrategy::Exact,
                 }
             }
+            "--threads" => match it.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => threads = Some(n),
+                _ => {
+                    eprintln!("fmsa_opt: --threads needs a number (0 = available parallelism)");
+                    return ExitCode::from(2);
+                }
+            },
             "--exclude" => {
                 for n in it.next().unwrap_or_default().split(',') {
                     if !n.is_empty() {
@@ -115,7 +129,12 @@ fn main() -> ExitCode {
             opts.canonicalize = canonicalize;
             opts.search = search;
             opts.exclude = exclude;
-            run_fmsa(&mut module, &opts).merges
+            match threads {
+                Some(t) => {
+                    run_fmsa_pipeline(&mut module, &opts, &PipelineOptions::with_threads(t)).merges
+                }
+                None => run_fmsa(&mut module, &opts).merges,
+            }
         }
         other => {
             eprintln!("fmsa_opt: unknown technique {other:?}");
@@ -129,6 +148,27 @@ fn main() -> ExitCode {
     }
     let after = cm.module_size(&module);
     if stats {
+        // Self-describing result header: driver, thread count, and the
+        // selected search/alignment strategies. Only the fmsa technique
+        // uses the pipeline or a search strategy; the baselines always
+        // run sequentially.
+        let (driver, nthreads, search_name) = if technique == "fmsa" {
+            let resolved = threads.map(|t| PipelineOptions::with_threads(t).resolved_threads());
+            (
+                if resolved.is_some() { "pipeline" } else { "sequential" },
+                resolved.unwrap_or(1),
+                match search {
+                    SearchStrategy::Exact => "exact",
+                    SearchStrategy::Lsh(_) => "lsh",
+                },
+            )
+        } else {
+            ("sequential", 1, "n/a")
+        };
+        eprintln!(
+            "fmsa_opt: {technique}: driver={driver} threads={nthreads} search={search_name} \
+             alignment=needleman-wunsch"
+        );
         eprintln!(
             "fmsa_opt: {technique}: {merges} merges, {before} -> {after} bytes \
              ({:.2}% reduction, {})",

@@ -266,6 +266,100 @@ pub fn run_runtime_experiment(desc: &BenchDesc, threshold: usize) -> RuntimeResu
     }
 }
 
+/// A JSON scalar for `BENCH_ci.json` lines (hand-rolled: the workspace
+/// is offline and the records are flat).
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A string value.
+    S(String),
+    /// A float value (NaN/infinite rendered as `null`).
+    F(f64),
+    /// An integer value.
+    I(i64),
+    /// A boolean value.
+    B(bool),
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one flat JSON object from field/value pairs.
+pub fn json_object(fields: &[(&str, Json)]) -> String {
+    let mut out = String::from("{");
+    for (k, (name, v)) in fields.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":", json_escape(name)));
+        match v {
+            Json::S(s) => out.push_str(&format!("\"{}\"", json_escape(s))),
+            Json::F(f) if f.is_finite() => out.push_str(&format!("{f:.6}")),
+            Json::F(_) => out.push_str("null"),
+            Json::I(i) => out.push_str(&i.to_string()),
+            Json::B(b) => out.push_str(&b.to_string()),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Collects benchmark result lines (JSON-lines file) and parity-budget
+/// violations for the CI gate.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Target path for JSON lines (`--json`); buffered until [`Report::flush`].
+    pub json_path: Option<String>,
+    lines: Vec<String>,
+    failures: Vec<String>,
+}
+
+impl Report {
+    /// A report writing JSON lines to `path` (or discarding them).
+    pub fn new(json_path: Option<String>) -> Report {
+        Report { json_path, ..Report::default() }
+    }
+
+    /// Records one result line.
+    pub fn record(&mut self, fields: &[(&str, Json)]) {
+        self.lines.push(json_object(fields));
+    }
+
+    /// Records a budget violation (reported and, under `--check`, fatal).
+    pub fn fail(&mut self, msg: impl Into<String>) {
+        let msg = msg.into();
+        eprintln!("BUDGET VIOLATION: {msg}");
+        self.failures.push(msg);
+    }
+
+    /// Budget violations recorded so far.
+    pub fn failures(&self) -> &[String] {
+        &self.failures
+    }
+
+    /// Writes the JSON lines out (append: several subcommands can share
+    /// one artifact file across processes).
+    pub fn flush(&self) -> std::io::Result<()> {
+        let Some(path) = &self.json_path else { return Ok(()) };
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        for l in &self.lines {
+            writeln!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Arithmetic mean, used for the summary rows of Figs. 10-12.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {

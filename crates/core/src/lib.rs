@@ -51,17 +51,21 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod callsites;
 pub mod equivalence;
 pub mod fingerprint;
 pub mod linearize;
 pub mod merge;
 pub mod pass;
+pub mod pipeline;
 pub mod profitability;
 pub mod ranking;
 pub mod search;
 pub mod thunks;
 
+pub use callsites::CallSiteIndex;
 pub use equivalence::EquivCtx;
-pub use linearize::{linearize, Entry};
+pub use linearize::{linearize, Entry, LinearizationCache};
 pub use merge::{merge_pair, MergeConfig, MergeError, MergeInfo};
+pub use pipeline::{run_fmsa_pipeline, PipelineOptions};
 pub use search::{CandidateSearch, ExactSearch, LshConfig, LshSearch, SearchStrategy};

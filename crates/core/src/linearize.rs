@@ -5,7 +5,9 @@
 //! ... We empirically chose a reverse post-order traversal with a canonical
 //! ordering of successor basic blocks."
 
-use fmsa_ir::{cfg, BlockId, Function, InstId};
+use fmsa_ir::{cfg, BlockId, FuncId, Function, InstId, Module};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One element of a linearized function: the alphabet of the sequence
 /// alignment is "all possible typed instructions and labels" (§III-C).
@@ -46,6 +48,61 @@ pub fn linearize(f: &Function) -> Vec<Entry> {
         out.extend(f.block(b).insts.iter().map(|&i| Entry::Inst(i)));
     }
     out
+}
+
+/// A cache of linearizations keyed by function id.
+///
+/// The sequential pass linearizes both functions of every merge attempt,
+/// so a function that appears as a candidate of many subjects is
+/// re-linearized once per attempt. The pipeline keeps one
+/// [`LinearizationCache`] for the whole pass and invalidates entries only
+/// when a commit mutates the function (thunked originals, rewritten
+/// callers), so each function is linearized once per *generation* instead.
+///
+/// Entries are `Arc<[Entry]>` so the read-only parallel prepare stage can
+/// share them across workers without cloning; the cache itself is filled
+/// sequentially (it hands out shared references once populated).
+#[derive(Debug, Clone, Default)]
+pub struct LinearizationCache {
+    map: HashMap<FuncId, Arc<[Entry]>>,
+}
+
+impl LinearizationCache {
+    /// An empty cache.
+    pub fn new() -> LinearizationCache {
+        LinearizationCache::default()
+    }
+
+    /// The linearization of `f`, computing and caching it on a miss.
+    pub fn get(&mut self, module: &Module, f: FuncId) -> Arc<[Entry]> {
+        Arc::clone(
+            self.map
+                .entry(f)
+                .or_insert_with(|| Arc::from(linearize(module.func(f)).into_boxed_slice())),
+        )
+    }
+
+    /// The cached linearization of `f`, if present (lock-free read path
+    /// for workers; the scheduler pre-fills entries before a generation).
+    pub fn cached(&self, f: FuncId) -> Option<Arc<[Entry]>> {
+        self.map.get(&f).map(Arc::clone)
+    }
+
+    /// Drops the entry for `f` (call when the function body changed or the
+    /// function was removed).
+    pub fn invalidate(&mut self, f: FuncId) {
+        self.map.remove(&f);
+    }
+
+    /// Number of cached functions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -119,5 +176,22 @@ mod tests {
         let fn_ty = m.types.func(m.types.void(), vec![]);
         let f = m.create_function("decl", fn_ty);
         assert!(linearize(m.func(f)).is_empty());
+    }
+
+    #[test]
+    fn cache_returns_same_sequence_and_invalidates() {
+        let (m, f) = diamond_module();
+        let mut cache = LinearizationCache::new();
+        assert!(cache.cached(f).is_none());
+        let a = cache.get(&m, f);
+        assert_eq!(&a[..], &linearize(m.func(f))[..]);
+        // Second fetch shares the same allocation.
+        let b = cache.get(&m, f);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.cached(f).is_some());
+        cache.invalidate(f);
+        assert!(cache.cached(f).is_none());
+        assert!(cache.is_empty());
     }
 }

@@ -51,6 +51,12 @@ pub struct FmsaOptions {
     /// How merge candidates are searched: the paper's exact pairwise scan,
     /// or near-linear MinHash/LSH shortlisting (see [`crate::search`]).
     pub search: SearchStrategy,
+    /// Per-pair alignment cost bounds, honoured by the pipeline driver
+    /// ([`crate::pipeline`]). The sequential driver ignores it — the
+    /// paper's reference behaviour aligns every candidate pair in full —
+    /// and the default budget never triggers at paper scale, so the two
+    /// drivers stay bit-identical on the evaluated workloads.
+    pub budget: fmsa_align::AlignmentBudget,
 }
 
 impl Default for FmsaOptions {
@@ -64,6 +70,7 @@ impl Default for FmsaOptions {
             min_similarity: 0.0,
             canonicalize: false,
             search: SearchStrategy::Exact,
+            budget: fmsa_align::AlignmentBudget::default(),
         }
     }
 }
@@ -147,6 +154,8 @@ pub struct FmsaStats {
     pub deleted: usize,
     /// Originals kept as thunks.
     pub thunks: usize,
+    /// Pipeline-only telemetry; `None` for the sequential driver.
+    pub pipeline: Option<crate::pipeline::PipelineStats>,
 }
 
 impl FmsaStats {
@@ -161,42 +170,8 @@ pub fn run_fmsa(module: &mut Module, opts: &FmsaOptions) -> FmsaStats {
     let cm = CostModel::new(opts.arch);
     let mut stats = FmsaStats { size_before: cm.module_size(module), ..FmsaStats::default() };
 
-    // Optional future-work extension: canonical intra-block instruction
-    // order, so reordered clones linearize identically.
-    if opts.canonicalize {
-        let t0 = Instant::now();
-        for f in module.func_ids() {
-            if eligible(module, f, opts) {
-                fmsa_ir::passes::canonicalize_block_order(module.func_mut(f));
-            }
-        }
-        stats.timers.linearization += t0.elapsed();
-    }
-    // Fingerprint every eligible function (cached; §IV) and seed the
-    // candidate-search index. The index is maintained incrementally through
-    // the feedback loop — no per-iteration pool is ever rebuilt.
-    let t0 = Instant::now();
-    let mut fingerprints: HashMap<FuncId, Fingerprint> = HashMap::new();
-    let mut available: Vec<FuncId> = Vec::new();
-    for f in module.func_ids() {
-        if eligible(module, f, opts) {
-            fingerprints.insert(f, Fingerprint::of(module, f));
-            available.push(f);
-        }
-    }
-    stats.timers.fingerprinting += t0.elapsed();
-    let t0 = Instant::now();
-    // The oracle's "best possible candidate" claim requires an exhaustive
-    // scan: shortlisting would silently turn its upper bound into a guess,
-    // so oracle mode always searches exactly regardless of `opts.search`.
-    let strategy = if opts.oracle { SearchStrategy::Exact } else { opts.search };
-    let mut index = strategy.build();
-    for &f in &available {
-        index.insert(f, &fingerprints[&f]);
-    }
-    stats.timers.ranking += t0.elapsed();
-    let mut worklist: VecDeque<FuncId> = available.iter().copied().collect();
-    let mut live: HashSet<FuncId> = available.into_iter().collect();
+    let SeededPass { mut fingerprints, mut index, mut worklist, mut live } =
+        seed_pass(module, opts, &mut stats.timers);
 
     while let Some(f1) = worklist.pop_front() {
         if !live.contains(&f1) || !module.is_live(f1) {
@@ -312,9 +287,65 @@ pub fn run_fmsa(module: &mut Module, opts: &FmsaOptions) -> FmsaStats {
     stats
 }
 
-fn eligible(module: &Module, f: FuncId, opts: &FmsaOptions) -> bool {
+pub(crate) fn eligible(module: &Module, f: FuncId, opts: &FmsaOptions) -> bool {
     let func = module.func(f);
     !func.is_declaration() && !opts.exclude.contains(&func.name)
+}
+
+/// The state both drivers start from: fingerprints, the seeded search
+/// index, and the initial worklist/live set.
+pub(crate) struct SeededPass {
+    pub fingerprints: HashMap<FuncId, Fingerprint>,
+    pub index: Box<dyn crate::search::CandidateSearch>,
+    pub worklist: VecDeque<FuncId>,
+    pub live: HashSet<FuncId>,
+}
+
+/// Shared setup of the sequential and pipeline drivers. Keeping this in
+/// one place is part of the pipeline's bit-identity guarantee: both
+/// drivers must start from exactly the same seeded state.
+pub(crate) fn seed_pass(
+    module: &mut Module,
+    opts: &FmsaOptions,
+    timers: &mut StepTimers,
+) -> SeededPass {
+    // Optional future-work extension: canonical intra-block instruction
+    // order, so reordered clones linearize identically.
+    if opts.canonicalize {
+        let t0 = Instant::now();
+        for f in module.func_ids() {
+            if eligible(module, f, opts) {
+                fmsa_ir::passes::canonicalize_block_order(module.func_mut(f));
+            }
+        }
+        timers.linearization += t0.elapsed();
+    }
+    // Fingerprint every eligible function (cached; §IV) and seed the
+    // candidate-search index. The index is maintained incrementally through
+    // the feedback loop — no per-iteration pool is ever rebuilt.
+    let t0 = Instant::now();
+    let mut fingerprints: HashMap<FuncId, Fingerprint> = HashMap::new();
+    let mut available: Vec<FuncId> = Vec::new();
+    for f in module.func_ids() {
+        if eligible(module, f, opts) {
+            fingerprints.insert(f, Fingerprint::of(module, f));
+            available.push(f);
+        }
+    }
+    timers.fingerprinting += t0.elapsed();
+    let t0 = Instant::now();
+    // The oracle's "best possible candidate" claim requires an exhaustive
+    // scan: shortlisting would silently turn its upper bound into a guess,
+    // so oracle mode always searches exactly regardless of `opts.search`.
+    let strategy = if opts.oracle { SearchStrategy::Exact } else { opts.search };
+    let mut index = strategy.build();
+    for &f in &available {
+        index.insert(f, &fingerprints[&f]);
+    }
+    timers.ranking += t0.elapsed();
+    let worklist: VecDeque<FuncId> = available.iter().copied().collect();
+    let live: HashSet<FuncId> = available.into_iter().collect();
+    SeededPass { fingerprints, index, worklist, live }
 }
 
 #[cfg(test)]

@@ -1,0 +1,555 @@
+//! The parallel merge pipeline: a schedule/prepare/commit restructuring
+//! of the sequential FMSA driver ([`crate::pass::run_fmsa`]).
+//!
+//! The sequential driver interleaves cheap bookkeeping with the two
+//! expensive per-attempt steps (sequence alignment and merge code
+//! generation), leaving every core but one idle. This driver splits each
+//! worklist *generation* into three stages (see `docs/pipeline.md` for
+//! the architecture sketch):
+//!
+//! 1. **Schedule** (sequential): pop a batch of live subjects, query the
+//!    [`crate::search::CandidateSearch`] index for each one's top
+//!    candidates, snapshot the per-function mutation generation of every
+//!    pair, and pre-fill the [`LinearizationCache`].
+//! 2. **Prepare** (parallel): for every distinct `(subject, candidate)`
+//!    pair, a worker computes the alignment (under the
+//!    [`fmsa_align::AlignmentBudget`] of [`FmsaOptions::budget`]) and the
+//!    pre-codegen profitability gate
+//!    ([`crate::profitability::optimistic_delta`]). Workers only read the
+//!    module; all results are speculative.
+//! 3. **Commit** (sequential): subjects are visited in the exact order
+//!    the sequential driver would visit them. Each prepared attempt is
+//!    re-validated — if either function mutated since it was scheduled,
+//!    or an earlier commit dirtied the candidate index, the stale part is
+//!    recomputed inline. Code generation, exact profitability
+//!    ([`crate::profitability::evaluate_indexed`]) and the §III-A commit
+//!    run here, feeding accepted merges back into the search index, the
+//!    linearization cache, the call-site index, and the next generation's
+//!    worklist.
+//!
+//! Because the commit stage replays the sequential driver's decision
+//! procedure exactly — same candidate order, same greedy
+//! first-profitable rule, same profitability values — the optimized
+//! module is **bit-identical to the sequential pass at any thread
+//! count** (as long as the alignment budget never triggers, which the
+//! default budget guarantees at paper scale). Parallelism only moves
+//! *where* alignments are computed; staleness is handled by
+//! re-validation, never by accepting a speculative result blindly.
+//!
+//! The oracle mode explores every candidate of every subject and commits
+//! the global best per subject; its upper-bound claim depends on
+//! evaluating against the exact module state, so [`run_fmsa_pipeline`]
+//! delegates oracle runs to the sequential driver.
+
+use crate::callsites::CallSiteIndex;
+use crate::equivalence::EquivCtx;
+use crate::fingerprint::Fingerprint;
+use crate::linearize::{Entry, LinearizationCache};
+use crate::merge::{merge_pair_aligned, AlignAlgo};
+use crate::pass::{run_fmsa, seed_pass, FmsaOptions, FmsaStats, SeededPass};
+use crate::profitability::{evaluate_indexed, optimistic_delta};
+use crate::ranking::Candidate;
+use crate::thunks::{commit_merge, Disposition};
+use fmsa_align::{align_with_plan, Alignment};
+use fmsa_ir::{FuncId, Module};
+use fmsa_target::CostModel;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Options of the pipeline driver, on top of [`FmsaOptions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineOptions {
+    /// Worker threads for the prepare stage; `0` selects the machine's
+    /// available parallelism. `1` disables speculation entirely (no
+    /// prepare stage, no wasted attempts) and runs the commit stage
+    /// inline — the fastest configuration on a single core.
+    pub threads: usize,
+    /// Subjects scheduled per generation; `0` means the whole current
+    /// frontier. Smaller batches waste less speculative work when
+    /// commits invalidate scheduled attempts, at the cost of more
+    /// prepare/commit barriers.
+    pub batch: usize,
+}
+
+impl PipelineOptions {
+    /// Convenience: a pipeline with a fixed thread count.
+    pub fn with_threads(threads: usize) -> PipelineOptions {
+        PipelineOptions { threads, ..PipelineOptions::default() }
+    }
+
+    /// The worker count this configuration resolves to on this machine
+    /// (`threads == 0` means available parallelism).
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Telemetry of one pipeline run (reported by the bench harness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Worker threads used by the prepare stage.
+    pub threads: usize,
+    /// Schedule/prepare/commit generations executed.
+    pub generations: usize,
+    /// Attempts aligned speculatively by the prepare stage.
+    pub prepared: usize,
+    /// Prepared alignments consumed unchanged by the commit stage.
+    pub reused: usize,
+    /// Attempts whose prepared state was stale (function mutated since
+    /// scheduling) and was recomputed inline.
+    pub recomputed: usize,
+    /// Attempts skipped by the sound pre-codegen profitability gate.
+    pub gate_skipped: usize,
+    /// Attempts abandoned by the alignment budget's length cap.
+    pub budget_skipped: usize,
+}
+
+/// One speculative attempt out of the prepare stage.
+struct Prepared {
+    /// `None` when the alignment budget skipped the pair.
+    alignment: Option<Alignment>,
+    /// Whether the optimistic-Δ gate left the pair in play.
+    promising: bool,
+    /// Mutation generations of `(f1, f2)` at schedule time.
+    gens: (u64, u64),
+    /// Global invalidation epoch at schedule time (bumped when a failed
+    /// commit leaves the module in a state the per-function generations
+    /// cannot describe).
+    epoch: u64,
+}
+
+/// Aligns one pair under the options' alignment budget. Returns `None`
+/// when the budget refuses the pair.
+fn align_budgeted(
+    module: &Module,
+    f1: FuncId,
+    f2: FuncId,
+    seq1: &[Entry],
+    seq2: &[Entry],
+    opts: &FmsaOptions,
+) -> Option<Alignment> {
+    let plan = opts.budget.plan(seq1.len(), seq2.len());
+    let ctx = EquivCtx::new(module, module.func(f1), module.func(f2));
+    align_with_plan(
+        seq1,
+        seq2,
+        |a, b| ctx.entries_equivalent(a, b),
+        &opts.merge.scoring,
+        plan,
+        opts.merge.algorithm == AlignAlgo::Hirschberg,
+    )
+}
+
+/// Runs the FMSA optimization over `module` with the parallel merge
+/// pipeline. Produces a module bit-identical to [`run_fmsa`] for any
+/// `pipe.threads` (see the module docs for why), in substantially less
+/// wall-clock: alignments are computed speculatively on a worker pool,
+/// functions are linearized once per generation instead of once per
+/// attempt, and profitability queries hit an incremental call-site index
+/// instead of rescanning the module.
+///
+/// Oracle runs ([`FmsaOptions::oracle`]) delegate to the sequential
+/// driver.
+pub fn run_fmsa_pipeline(
+    module: &mut Module,
+    opts: &FmsaOptions,
+    pipe: &PipelineOptions,
+) -> FmsaStats {
+    if opts.oracle {
+        return run_fmsa(module, opts);
+    }
+    let threads = pipe.resolved_threads();
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool");
+    let cm = CostModel::new(opts.arch);
+    let mut stats = FmsaStats { size_before: cm.module_size(module), ..FmsaStats::default() };
+    let mut pstats = PipelineStats { threads, ..PipelineStats::default() };
+
+    // Seed fingerprints and the candidate-search index with the exact
+    // same helper as the sequential driver (part of the bit-identity
+    // guarantee).
+    let SeededPass { mut fingerprints, mut index, mut worklist, mut live } =
+        seed_pass(module, opts, &mut stats.timers);
+
+    // Pipeline-only state: the linearization cache, the incremental
+    // call-site index, and per-function mutation generations used to
+    // re-validate speculative work.
+    let mut lin_cache = LinearizationCache::new();
+    let mut call_sites = CallSiteIndex::build(module);
+    let mut gens: HashMap<FuncId, u64> = HashMap::new();
+    let mut epoch: u64 = 0;
+    let gen_of = |gens: &HashMap<FuncId, u64>, f: FuncId| gens.get(&f).copied().unwrap_or(0);
+
+    while !worklist.is_empty() {
+        pstats.generations += 1;
+        // ---------------------------------------------------- schedule
+        let take = if pipe.batch == 0 { worklist.len() } else { pipe.batch.min(worklist.len()) };
+        let mut subjects = Vec::with_capacity(take);
+        for _ in 0..take {
+            let f = worklist.pop_front().expect("worklist non-empty");
+            if live.contains(&f) && module.is_live(f) {
+                subjects.push(f);
+            }
+        }
+        if subjects.is_empty() {
+            continue;
+        }
+        let t0 = Instant::now();
+        let scheduled: Vec<(FuncId, Vec<Candidate>)> = subjects
+            .iter()
+            .map(|&f| {
+                let cands = index.candidates(
+                    f,
+                    &fingerprints[&f],
+                    &fingerprints,
+                    opts.threshold,
+                    opts.min_similarity,
+                );
+                (f, cands)
+            })
+            .collect();
+        stats.timers.ranking += t0.elapsed();
+
+        // ----------------------------------------------------- prepare
+        let mut prepared: HashMap<(FuncId, FuncId), Prepared> = HashMap::new();
+        if threads > 1 {
+            let mut jobs: Vec<(FuncId, FuncId)> = Vec::new();
+            let mut seen: HashSet<(FuncId, FuncId)> = HashSet::new();
+            for (f1, cands) in &scheduled {
+                for c in cands {
+                    if seen.insert((*f1, c.func)) {
+                        jobs.push((*f1, c.func));
+                    }
+                }
+            }
+            let t0 = Instant::now();
+            for &(f1, f2) in &jobs {
+                lin_cache.get(module, f1);
+                lin_cache.get(module, f2);
+            }
+            stats.timers.linearization += t0.elapsed();
+            let t0 = Instant::now();
+            let frozen: &Module = module;
+            let cache: &LinearizationCache = &lin_cache;
+            let results = pool.par_map(&jobs, |_, &(f1, f2)| {
+                let seq1 = cache.cached(f1).expect("pre-filled");
+                let seq2 = cache.cached(f2).expect("pre-filled");
+                let alignment = align_budgeted(frozen, f1, f2, &seq1, &seq2, opts);
+                let promising = alignment
+                    .as_ref()
+                    .is_some_and(|al| optimistic_delta(frozen, &cm, f1, f2, &seq1, &seq2, al) > 0);
+                (alignment, promising)
+            });
+            stats.timers.alignment += t0.elapsed();
+            pstats.prepared += jobs.len();
+            for ((f1, f2), (alignment, promising)) in jobs.into_iter().zip(results) {
+                let gens_pair = (gen_of(&gens, f1), gen_of(&gens, f2));
+                prepared
+                    .insert((f1, f2), Prepared { alignment, promising, gens: gens_pair, epoch });
+            }
+        }
+
+        // ------------------------------------------------------ commit
+        // `dirty` flips on the first commit of the generation: from then
+        // on the index may answer differently than it did at schedule
+        // time, so candidate lists are re-queried (exactly what the
+        // sequential driver would see at this point of the worklist).
+        let mut dirty = false;
+        for (f1, scheduled_cands) in scheduled {
+            if !live.contains(&f1) || !module.is_live(f1) {
+                continue;
+            }
+            let cands = if dirty {
+                let t0 = Instant::now();
+                let c = index.candidates(
+                    f1,
+                    &fingerprints[&f1],
+                    &fingerprints,
+                    opts.threshold,
+                    opts.min_similarity,
+                );
+                stats.timers.ranking += t0.elapsed();
+                c
+            } else {
+                scheduled_cands
+            };
+
+            for (pos, cand) in cands.iter().enumerate() {
+                stats.attempted += 1;
+                let t0 = Instant::now();
+                let seq1 = lin_cache.get(module, f1);
+                let seq2 = lin_cache.get(module, cand.func);
+                stats.timers.linearization += t0.elapsed();
+                let gens_now = (gen_of(&gens, f1), gen_of(&gens, cand.func));
+                let fresh = prepared
+                    .get(&(f1, cand.func))
+                    .filter(|p| p.gens == gens_now && p.epoch == epoch);
+                let (alignment, promising) = match fresh {
+                    Some(p) => {
+                        pstats.reused += 1;
+                        (p.alignment.clone(), p.promising)
+                    }
+                    None => {
+                        if threads > 1 {
+                            pstats.recomputed += 1;
+                        }
+                        let t0 = Instant::now();
+                        let al = align_budgeted(module, f1, cand.func, &seq1, &seq2, opts);
+                        stats.timers.alignment += t0.elapsed();
+                        let promising = al.as_ref().is_some_and(|al| {
+                            optimistic_delta(module, &cm, f1, cand.func, &seq1, &seq2, al) > 0
+                        });
+                        (al, promising)
+                    }
+                };
+                let Some(alignment) = alignment else {
+                    pstats.budget_skipped += 1;
+                    continue;
+                };
+                if !promising {
+                    // Sound gate: the optimistic Δ bound proves the real Δ
+                    // would be ≤ 0, so the sequential driver would have
+                    // generated and discarded this merge. Skip codegen.
+                    pstats.gate_skipped += 1;
+                    continue;
+                }
+                let t0 = Instant::now();
+                let merged = merge_pair_aligned(
+                    module,
+                    f1,
+                    cand.func,
+                    seq1.to_vec(),
+                    seq2.to_vec(),
+                    alignment,
+                    &opts.merge,
+                );
+                let outcome = match merged {
+                    Ok(info) => {
+                        let report = evaluate_indexed(module, &cm, &info, &call_sites);
+                        Some((info, report))
+                    }
+                    Err(_) => None,
+                };
+                stats.timers.codegen += t0.elapsed();
+                match outcome {
+                    Some((info, report)) if report.is_profitable() => {
+                        let t0 = Instant::now();
+                        let commit = match commit_merge(module, &info) {
+                            Ok(c) => c,
+                            Err(_) => {
+                                // Should not happen (guarded by tests). Mirror
+                                // the sequential driver: drop the merge and
+                                // abandon this subject. The failed commit may
+                                // have partially rewritten call sites, a state
+                                // the per-function generations cannot describe,
+                                // so resynchronize the caches with the module
+                                // and invalidate all speculative work.
+                                module.remove_function(info.merged);
+                                call_sites = CallSiteIndex::build(module);
+                                lin_cache = LinearizationCache::new();
+                                epoch += 1;
+                                dirty = true;
+                                break;
+                            }
+                        };
+                        stats.timers.update_calls += t0.elapsed();
+                        stats.merges += 1;
+                        stats.rank_positions.push(pos + 1);
+                        for d in [commit.first, commit.second] {
+                            match d {
+                                Disposition::Deleted => stats.deleted += 1,
+                                Disposition::Thunk => stats.thunks += 1,
+                            }
+                        }
+                        // Retire the originals from the merge pool.
+                        live.remove(&f1);
+                        live.remove(&info.f2);
+                        fingerprints.remove(&f1);
+                        fingerprints.remove(&info.f2);
+                        index.remove(f1);
+                        index.remove(info.f2);
+                        // Maintain the pipeline caches: mutated functions
+                        // get new generations and fresh call-site entries,
+                        // deleted ones leave every structure.
+                        for (func, disposition) in [(f1, commit.first), (info.f2, commit.second)] {
+                            lin_cache.invalidate(func);
+                            match disposition {
+                                Disposition::Deleted => {
+                                    call_sites.remove(func);
+                                    gens.remove(&func);
+                                }
+                                Disposition::Thunk => {
+                                    call_sites.refresh(module, func);
+                                    *gens.entry(func).or_insert(0) += 1;
+                                }
+                            }
+                        }
+                        for &g in &commit.touched {
+                            lin_cache.invalidate(g);
+                            *gens.entry(g).or_insert(0) += 1;
+                            if module.is_live(g) {
+                                call_sites.refresh(module, g);
+                            } else {
+                                call_sites.remove(g);
+                            }
+                        }
+                        call_sites.refresh(module, info.merged);
+                        // Feedback loop: rewritten callers re-enter the
+                        // index with fresh fingerprints, the merged
+                        // function joins the next generation's worklist.
+                        let t0 = Instant::now();
+                        for g in commit.touched {
+                            if live.contains(&g) && module.is_live(g) {
+                                let fp = Fingerprint::of(module, g);
+                                index.insert(g, &fp);
+                                fingerprints.insert(g, fp);
+                            }
+                        }
+                        let merged_fp = Fingerprint::of(module, info.merged);
+                        index.insert(info.merged, &merged_fp);
+                        fingerprints.insert(info.merged, merged_fp);
+                        stats.timers.fingerprinting += t0.elapsed();
+                        live.insert(info.merged);
+                        worklist.push_back(info.merged);
+                        dirty = true;
+                        break; // greedy: first profitable candidate wins
+                    }
+                    Some((info, _)) => module.remove_function(info.merged),
+                    None => {}
+                }
+            }
+        }
+    }
+
+    stats.size_after = cm.module_size(module);
+    stats.pipeline = Some(pstats);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmsa_ir::printer::print_module;
+    use fmsa_ir::{FuncBuilder, Value};
+
+    fn clone_family(m: &mut Module, count: usize, body_len: usize) -> Vec<FuncId> {
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![i32t, i32t]);
+        let mut out = Vec::new();
+        for k in 0..count {
+            let f = m.create_function(format!("fam{k}"), fn_ty);
+            let mut b = FuncBuilder::new(m, f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let mut v = Value::Param(0);
+            for j in 0..body_len {
+                v = b.add(v, b.const_i32(j as i32));
+                v = b.mul(v, Value::Param(1));
+            }
+            v = b.xor(v, b.const_i32(k as i32 + 100));
+            b.ret(Some(v));
+            out.push(f);
+        }
+        out
+    }
+
+    fn assert_matches_sequential(opts: &FmsaOptions, pipe: &PipelineOptions) {
+        let mut m1 = Module::new("m");
+        clone_family(&mut m1, 6, 12);
+        let seq = run_fmsa(&mut m1, opts);
+        let mut m2 = Module::new("m");
+        clone_family(&mut m2, 6, 12);
+        let par = run_fmsa_pipeline(&mut m2, opts, pipe);
+        assert_eq!(print_module(&m1), print_module(&m2), "module text must be bit-identical");
+        assert_eq!(seq.merges, par.merges);
+        assert_eq!(seq.attempted, par.attempted);
+        assert_eq!(seq.rank_positions, par.rank_positions);
+        assert_eq!(seq.size_after, par.size_after);
+        assert_eq!((seq.deleted, seq.thunks), (par.deleted, par.thunks));
+    }
+
+    #[test]
+    fn single_thread_matches_sequential() {
+        assert_matches_sequential(
+            &FmsaOptions::with_threshold(5),
+            &PipelineOptions::with_threads(1),
+        );
+    }
+
+    #[test]
+    fn multi_thread_matches_sequential() {
+        for threads in [2, 4, 8] {
+            assert_matches_sequential(
+                &FmsaOptions::with_threshold(5),
+                &PipelineOptions::with_threads(threads),
+            );
+        }
+    }
+
+    #[test]
+    fn small_batches_match_sequential() {
+        for batch in [1, 2, 3] {
+            assert_matches_sequential(
+                &FmsaOptions::with_threshold(5),
+                &PipelineOptions { threads: 4, batch },
+            );
+        }
+    }
+
+    #[test]
+    fn lsh_pipeline_matches_lsh_sequential() {
+        assert_matches_sequential(&FmsaOptions::with_lsh(5), &PipelineOptions::with_threads(4));
+    }
+
+    #[test]
+    fn oracle_delegates_to_sequential() {
+        let mut m1 = Module::new("m");
+        clone_family(&mut m1, 5, 10);
+        let seq = run_fmsa(&mut m1, &FmsaOptions::oracle());
+        let mut m2 = Module::new("m");
+        clone_family(&mut m2, 5, 10);
+        let par =
+            run_fmsa_pipeline(&mut m2, &FmsaOptions::oracle(), &PipelineOptions::with_threads(4));
+        assert_eq!(print_module(&m1), print_module(&m2));
+        assert!(par.pipeline.is_none(), "oracle runs report sequential stats");
+        assert_eq!(seq.merges, par.merges);
+    }
+
+    #[test]
+    fn pipeline_reports_telemetry() {
+        let mut m = Module::new("m");
+        clone_family(&mut m, 6, 12);
+        let stats = run_fmsa_pipeline(
+            &mut m,
+            &FmsaOptions::with_threshold(5),
+            &PipelineOptions::with_threads(4),
+        );
+        let p = stats.pipeline.expect("pipeline stats");
+        assert_eq!(p.threads, 4);
+        assert!(p.generations >= 1);
+        assert!(p.prepared > 0);
+        assert!(p.reused > 0);
+        assert!(fmsa_ir::verify_module(&m).is_empty());
+    }
+
+    #[test]
+    fn budget_skip_abandons_pairs() {
+        use fmsa_align::{AlignmentBudget, BudgetFallback};
+        let mut m = Module::new("m");
+        clone_family(&mut m, 4, 12);
+        let opts = FmsaOptions {
+            budget: AlignmentBudget {
+                full_matrix_cells: usize::MAX,
+                fallback: BudgetFallback::Skip,
+                max_len: 4, // every family member is longer than this
+            },
+            ..FmsaOptions::with_threshold(5)
+        };
+        let stats = run_fmsa_pipeline(&mut m, &opts, &PipelineOptions::with_threads(2));
+        assert_eq!(stats.merges, 0);
+        assert!(stats.pipeline.expect("stats").budget_skipped > 0);
+    }
+}

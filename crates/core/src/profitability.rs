@@ -12,8 +12,11 @@
 //! extra cost with a call to the merged function due to the increased
 //! number of arguments."
 
+use crate::callsites::{outgoing_calls, CallSiteIndex};
+use crate::linearize::Entry;
 use crate::merge::MergeInfo;
 use crate::thunks::{can_delete, count_call_sites};
+use fmsa_align::{Alignment, Step};
 use fmsa_ir::{FuncId, Module, Type};
 use fmsa_target::CostModel;
 
@@ -46,16 +49,51 @@ impl ProfitReport {
 /// keeps merges of dissimilar functions (whose merged body exceeds the sum
 /// of the originals) unprofitable.
 pub fn evaluate(module: &Module, cm: &CostModel, info: &MergeInfo) -> ProfitReport {
+    evaluate_counted(module, cm, info, &|f| count_call_sites(module, f))
+}
+
+/// [`evaluate`] with call sites answered by a [`CallSiteIndex`] instead of
+/// a whole-module scan — `O(f1 + f2 + merged)` instead of `O(module)`.
+///
+/// `sites` must reflect the *committed* module (it does not know the
+/// still-uncommitted merged function); the merged function's own direct
+/// calls are counted here from its body, so the result equals what
+/// [`evaluate`] would compute over the same module state.
+pub fn evaluate_indexed(
+    module: &Module,
+    cm: &CostModel,
+    info: &MergeInfo,
+    sites: &CallSiteIndex,
+) -> ProfitReport {
+    let merged_out = outgoing_calls(module.func(info.merged));
+    evaluate_counted(module, cm, info, &|f| {
+        sites.count(f) + merged_out.get(&f).copied().unwrap_or(0)
+    })
+}
+
+fn evaluate_counted(
+    module: &Module,
+    cm: &CostModel,
+    info: &MergeInfo,
+    sites_of: &dyn Fn(FuncId) -> usize,
+) -> ProfitReport {
     let size_f1 = cm.body_size(module, info.f1);
     let size_f2 = cm.body_size(module, info.f2);
     let size_merged = cm.body_size(module, info.merged);
-    let epsilon = delta_cost(module, cm, info, true) + delta_cost(module, cm, info, false);
+    let epsilon = delta_cost(module, cm, info, true, sites_of)
+        + delta_cost(module, cm, info, false, sites_of);
     let delta = (size_f1 + size_f2) as i64 - (size_merged + epsilon) as i64;
     ProfitReport { size_f1, size_f2, size_merged, epsilon, delta }
 }
 
 /// The δ(f_i, f1,2) term for one side.
-fn delta_cost(module: &Module, cm: &CostModel, info: &MergeInfo, first: bool) -> u64 {
+fn delta_cost(
+    module: &Module,
+    cm: &CostModel,
+    info: &MergeInfo,
+    first: bool,
+    sites_of: &dyn Fn(FuncId) -> usize,
+) -> u64 {
     let func: FuncId = if first { info.f1 } else { info.f2 };
     let orig_params = module.func(func).params().len() as u64;
     let merged_params = info.params.merged_tys.len() as u64;
@@ -71,13 +109,61 @@ fn delta_cost(module: &Module, cm: &CostModel, info: &MergeInfo, first: bool) ->
     if can_delete(module, func) {
         // Call-graph update: every call site passes extra arguments and may
         // convert the result.
-        let sites = count_call_sites(module, func) as u64;
+        let sites = sites_of(func) as u64;
         sites * (extra_args * cm.per_arg_call_cost() + ret_cast)
     } else {
         // Thunk body left in the original symbol: a call forwarding every
         // merged argument plus the return.
         cm.call_cost() + merged_params * cm.per_arg_call_cost() + ret_cast + 1
     }
+}
+
+/// An *optimistic* upper bound on the Δ a merge of `f1` and `f2` under
+/// `alignment` could achieve, computable before code generation.
+///
+/// The bound underestimates `c(f1,2)`: every match column emits at least
+/// one shared clone (costed at the cheaper side) and every gap/mismatch
+/// column clones its instructions into a divergent region, while all of
+/// codegen's additions — guard branches, operand selects, demotion
+/// slots — and the entire ε term are optimistically taken as zero. So if
+/// this bound is ≤ 0, the real Δ of [`evaluate`] is guaranteed ≤ 0 and
+/// code generation can be skipped without changing any merge decision;
+/// the pipeline uses it as a sound pre-codegen gate.
+pub fn optimistic_delta(
+    module: &Module,
+    cm: &CostModel,
+    f1: FuncId,
+    f2: FuncId,
+    seq1: &[Entry],
+    seq2: &[Entry],
+    alignment: &Alignment,
+) -> i64 {
+    let fa = module.func(f1);
+    let fb = module.func(f2);
+    let cost1 = |e: &Entry| match e {
+        Entry::Inst(i) => cm.inst_cost(fa.inst(*i)),
+        Entry::Label(_) => 0,
+    };
+    let cost2 = |e: &Entry| match e {
+        Entry::Inst(i) => cm.inst_cost(fb.inst(*i)),
+        Entry::Label(_) => 0,
+    };
+    let mut lower_bound_merged = 0u64;
+    for step in &alignment.steps {
+        match *step {
+            Step::Both { i, j, matched: true } => {
+                lower_bound_merged += cost1(&seq1[i]).min(cost2(&seq2[j]));
+            }
+            Step::Both { i, j, matched: false } => {
+                lower_bound_merged += cost1(&seq1[i]) + cost2(&seq2[j]);
+            }
+            Step::Left(i) => lower_bound_merged += cost1(&seq1[i]),
+            Step::Right(j) => lower_bound_merged += cost2(&seq2[j]),
+        }
+    }
+    let size_f1 = cm.body_size(module, f1);
+    let size_f2 = cm.body_size(module, f2);
+    (size_f1 + size_f2) as i64 - lower_bound_merged as i64
 }
 
 #[cfg(test)]
@@ -153,6 +239,52 @@ mod tests {
         let cm = CostModel::new(TargetArch::X86_64);
         let report = evaluate(&m, &cm, &info);
         assert!(!report.is_profitable(), "{report:?}");
+    }
+
+    #[test]
+    fn evaluate_indexed_matches_direct_scan() {
+        let mut m = fmsa_ir::Module::new("m");
+        let (fa, fb) = similar_pair(&mut m);
+        // A caller of fa so the call-site count is non-trivial.
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![i32t]);
+        let caller = m.create_function("caller", fn_ty);
+        {
+            let mut b = FuncBuilder::new(&mut m, caller);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let r = b.call(fa, vec![Value::Param(0), Value::Param(0)]);
+            b.ret(Some(r));
+        }
+        let idx = crate::callsites::CallSiteIndex::build(&m);
+        let info = merge_pair(&mut m, fa, fb, &MergeConfig::default()).expect("merges");
+        let cm = CostModel::new(TargetArch::X86_64);
+        // The index was built before the (uncommitted) merged function was
+        // added; evaluate_indexed must still agree with the direct scan.
+        assert_eq!(evaluate_indexed(&m, &cm, &info, &idx), evaluate(&m, &cm, &info));
+    }
+
+    #[test]
+    fn optimistic_delta_bounds_real_delta() {
+        use crate::linearize::linearize;
+        use crate::merge::align_with;
+        let mut m = fmsa_ir::Module::new("m");
+        let (fa, fb) = similar_pair(&mut m);
+        let cfg = MergeConfig::default();
+        let cm = CostModel::new(TargetArch::X86_64);
+        let seq1 = linearize(m.func(fa));
+        let seq2 = linearize(m.func(fb));
+        let al = align_with(&m, fa, fb, &seq1, &seq2, &cfg.scoring, cfg.algorithm);
+        let optimistic = optimistic_delta(&m, &cm, fa, fb, &seq1, &seq2, &al);
+        let info = merge_pair(&mut m, fa, fb, &cfg).expect("merges");
+        let report = evaluate(&m, &cm, &info);
+        assert!(
+            optimistic >= report.delta,
+            "optimistic {optimistic} must bound real {}",
+            report.delta
+        );
+        // A near-identical pair must look promising to the gate.
+        assert!(optimistic > 0);
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Cross-crate tests of the parallel merge pipeline: bit-identity with
+//! the sequential driver, determinism, commit-stage conflict
+//! re-validation under heavy candidate sharing, and the alignment
+//! budget's behaviour on paper-scale and adversarial inputs.
+
+use fmsa::align::{AlignmentBudget, BudgetFallback};
+use fmsa::core::pass::{run_fmsa, FmsaOptions};
+use fmsa::core::pipeline::{run_fmsa_pipeline, PipelineOptions};
+use fmsa::core::SearchStrategy;
+use fmsa::ir::printer::print_module;
+use fmsa::ir::Module;
+use fmsa::workloads::{clone_swarm_module, spec_suite, SwarmConfig};
+use proptest::prelude::*;
+
+fn run_both(base: &Module, opts: &FmsaOptions, pipe: &PipelineOptions) -> (String, String) {
+    let mut m_seq = base.clone();
+    run_fmsa(&mut m_seq, opts);
+    let mut m_par = base.clone();
+    run_fmsa_pipeline(&mut m_par, opts, pipe);
+    (print_module(&m_seq), print_module(&m_par))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The pipeline replays the sequential decision procedure exactly:
+    /// for any swarm shape and any thread count, the optimized module is
+    /// bit-identical to the sequential pass.
+    #[test]
+    fn pipeline_is_bit_identical_to_sequential(
+        functions in 20usize..70,
+        family_size in 2usize..5,
+        clone_percent in 20usize..90,
+        target_size in 10usize..30,
+        seed in 0u64..1_000,
+        threads in 1usize..5,
+    ) {
+        let clone_fraction = clone_percent as f64 / 100.0;
+        let cfg = SwarmConfig { functions, family_size, clone_fraction, target_size, seed };
+        let base = clone_swarm_module(&cfg);
+        let opts = FmsaOptions { threshold: 5, search: SearchStrategy::lsh(), ..FmsaOptions::default() };
+        let (seq, par) = run_both(&base, &opts, &PipelineOptions::with_threads(threads));
+        prop_assert_eq!(seq, par);
+    }
+
+    /// Fixed seed in, fixed module out: the pipeline is deterministic
+    /// regardless of worker scheduling.
+    #[test]
+    fn pipeline_is_deterministic_for_fixed_seed(seed in 0u64..1_000) {
+        let cfg = SwarmConfig { functions: 40, seed, ..SwarmConfig::default() };
+        let base = clone_swarm_module(&cfg);
+        let opts = FmsaOptions { threshold: 5, search: SearchStrategy::lsh(), ..FmsaOptions::default() };
+        let pipe = PipelineOptions::with_threads(4);
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut m = base.clone();
+            run_fmsa_pipeline(&mut m, &opts, &pipe);
+            runs.push(print_module(&m));
+        }
+        prop_assert_eq!(&runs[0], &runs[1]);
+    }
+}
+
+/// Large clone families make many scheduled attempts share functions:
+/// when one member merges, every other scheduled attempt touching it is
+/// stale and must be re-validated by the commit stage.
+#[test]
+fn stress_shared_candidates_exercise_conflict_revalidation() {
+    let cfg = SwarmConfig {
+        functions: 160,
+        family_size: 8,
+        clone_fraction: 0.8,
+        target_size: 20,
+        seed: 0xfeed_beef,
+    };
+    let base = clone_swarm_module(&cfg);
+    let opts =
+        FmsaOptions { threshold: 8, search: SearchStrategy::lsh(), ..FmsaOptions::default() };
+    let mut m_seq = base.clone();
+    let seq = run_fmsa(&mut m_seq, &opts);
+    assert!(seq.merges > 10, "stress module must merge heavily: {}", seq.merges);
+    let mut m_par = base.clone();
+    let par = run_fmsa_pipeline(&mut m_par, &opts, &PipelineOptions::with_threads(4));
+    assert_eq!(print_module(&m_seq), print_module(&m_par));
+    let p = par.pipeline.expect("pipeline stats");
+    assert!(p.recomputed > 0, "shared candidates must invalidate speculative attempts: {p:?}");
+    assert!(p.reused > 0, "independent attempts must still be reused: {p:?}");
+    assert!(fmsa::ir::verify_module(&m_par).is_empty());
+}
+
+/// The pipeline also replays the sequential pass on the calibrated suite
+/// modules (exact search, the paper's configuration).
+#[test]
+fn pipeline_matches_sequential_on_suite_modules() {
+    for d in spec_suite().into_iter().filter(|d| d.paper_fns <= 400) {
+        let base = d.build();
+        let opts = FmsaOptions::with_threshold(5);
+        let (seq, par) = run_both(&base, &opts, &PipelineOptions::with_threads(3));
+        assert_eq!(seq, par, "{} diverged", d.name);
+    }
+}
+
+/// The default budget must never trigger at paper scale — that is what
+/// keeps the pipeline bit-identical to the (budget-less) sequential
+/// driver on every evaluated workload.
+#[test]
+fn default_budget_is_invisible_on_suite_modules() {
+    use fmsa::core::linearize;
+    let budget = AlignmentBudget::default();
+    for d in spec_suite() {
+        let m = d.build();
+        for f in m.func_ids() {
+            let n = linearize(m.func(f)).len();
+            assert_eq!(
+                budget.plan(n, n),
+                fmsa::align::AlignPlan::Full,
+                "{}: function of {n} entries hit the default budget",
+                d.name
+            );
+        }
+    }
+}
+
+/// Adversarially long functions trip the length cap: the pair is
+/// abandoned instead of stalling a worker on a huge DP matrix.
+#[test]
+fn length_cap_triggers_on_adversarially_long_functions() {
+    use fmsa::ir::{FuncBuilder, Value};
+    let mut m = Module::new("adversarial");
+    let i32t = m.types.i32();
+    let fn_ty = m.types.func(i32t, vec![i32t]);
+    for name in ["huge_a", "huge_b"] {
+        let f = m.create_function(name, fn_ty);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.block("entry");
+        b.switch_to(e);
+        let mut v = Value::Param(0);
+        for k in 0..3_000 {
+            v = b.add(v, b.const_i32(k % 7));
+        }
+        b.ret(Some(v));
+    }
+    let opts = FmsaOptions {
+        budget: AlignmentBudget {
+            full_matrix_cells: usize::MAX,
+            fallback: BudgetFallback::Banded(16),
+            max_len: 1_000, // both functions exceed this
+        },
+        ..FmsaOptions::with_threshold(5)
+    };
+    let mut merged = m.clone();
+    let stats = run_fmsa_pipeline(&mut merged, &opts, &PipelineOptions::with_threads(2));
+    assert_eq!(stats.merges, 0, "capped pairs must not merge");
+    assert!(stats.pipeline.expect("stats").budget_skipped > 0);
+    // Without the cap the same pair merges fine.
+    let opts = FmsaOptions::with_threshold(5);
+    let mut merged = m.clone();
+    let stats = run_fmsa_pipeline(&mut merged, &opts, &PipelineOptions::with_threads(2));
+    assert_eq!(stats.merges, 1);
+}
+
+/// Over the cell budget, the banded fallback still merges near-identical
+/// clones: their alignment hugs the diagonal, so the band loses nothing.
+#[test]
+fn banded_fallback_still_merges_clone_families() {
+    let cfg = SwarmConfig {
+        functions: 12,
+        family_size: 2,
+        clone_fraction: 1.0,
+        target_size: 120,
+        seed: 0x0dd_ba11,
+    };
+    let base = clone_swarm_module(&cfg);
+    let opts = FmsaOptions {
+        budget: AlignmentBudget {
+            full_matrix_cells: 2_000, // far below the ~100²+ matrices here
+            fallback: BudgetFallback::Banded(32),
+            max_len: usize::MAX,
+        },
+        threshold: 5,
+        ..FmsaOptions::default()
+    };
+    let mut m_banded = base.clone();
+    let banded = run_fmsa_pipeline(&mut m_banded, &opts, &PipelineOptions::with_threads(2));
+    let mut m_full = base.clone();
+    let full = run_fmsa(&mut m_full, &FmsaOptions::with_threshold(5));
+    assert!(banded.merges > 0);
+    assert_eq!(banded.merges, full.merges, "banded must not lose clone-family merges");
+    assert!(fmsa::ir::verify_module(&m_banded).is_empty());
+    // The banded run's reduction stays within the CI parity budget (10%)
+    // of the exact run.
+    let (rb, rf) = (banded.reduction_percent(), full.reduction_percent());
+    assert!((rf - rb).abs() <= 0.10 * rf.abs().max(1e-9), "banded {rb:.3}% vs full {rf:.3}%");
+}
+
+/// On the seed suite modules, the profitability estimate computed from a
+/// banded(64) alignment stays within the CI parity budget of the one
+/// computed from the full-matrix alignment, for exactly the pairs the
+/// pass would explore (each subject's top-ranked candidate).
+#[test]
+fn banded_estimate_within_error_bound_on_suite_modules() {
+    use fmsa::core::fingerprint::Fingerprint;
+    use fmsa::core::linearize::linearize;
+    use fmsa::core::profitability::optimistic_delta;
+    use fmsa::core::ranking::rank_candidates;
+    use fmsa::core::EquivCtx;
+    use fmsa::target::CostModel;
+    use fmsa_align::{banded_needleman_wunsch, needleman_wunsch, ScoringScheme};
+    let cm = CostModel::new(fmsa::target::TargetArch::X86_64);
+    let scheme = ScoringScheme::default();
+    let mut pairs_checked = 0;
+    for d in spec_suite().into_iter().filter(|d| d.paper_fns <= 300) {
+        let m = d.build();
+        let ids = m.func_ids();
+        let fps: Vec<(fmsa::ir::FuncId, Fingerprint)> =
+            ids.iter().map(|&f| (f, Fingerprint::of(&m, f))).collect();
+        for (k, &(f1, ref fp1)) in fps.iter().enumerate().take(20) {
+            let others =
+                fps.iter().enumerate().filter(|&(j, _)| j != k).map(|(_, (f, fp))| (*f, fp));
+            let Some(best) = rank_candidates(f1, fp1, others, 1, 0.0).into_iter().next() else {
+                continue;
+            };
+            let f2 = best.func;
+            let seq1 = linearize(m.func(f1));
+            let seq2 = linearize(m.func(f2));
+            if seq1.is_empty() || seq2.is_empty() {
+                continue;
+            }
+            let ctx = EquivCtx::new(&m, m.func(f1), m.func(f2));
+            let eq = |a: &fmsa::core::Entry, b: &fmsa::core::Entry| ctx.entries_equivalent(a, b);
+            let full = needleman_wunsch(&seq1, &seq2, eq, &scheme);
+            let banded = banded_needleman_wunsch(&seq1, &seq2, eq, &scheme, 64);
+            let est_full = optimistic_delta(&m, &cm, f1, f2, &seq1, &seq2, &full);
+            let est_banded = optimistic_delta(&m, &cm, f1, f2, &seq1, &seq2, &banded);
+            let slack = (0.10 * est_full.abs() as f64).max(8.0);
+            assert!(
+                (est_full - est_banded).abs() as f64 <= slack,
+                "{}: pair {:?}/{:?} full-est {est_full} vs banded-est {est_banded}",
+                d.name,
+                m.func(f1).name,
+                m.func(f2).name
+            );
+            pairs_checked += 1;
+        }
+    }
+    assert!(pairs_checked > 30, "suite sample too small: {pairs_checked}");
+}

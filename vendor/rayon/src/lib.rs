@@ -1,0 +1,339 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the subset of the rayon API this workspace uses: a
+//! fixed-size [`ThreadPool`] built by [`ThreadPoolBuilder`], rayon-style
+//! [`scope`]s whose tasks may borrow from the enclosing stack frame and
+//! may spawn further tasks, and a [`ThreadPool::par_map`] convenience
+//! (the stand-in's replacement for `par_iter().map().collect()`).
+//!
+//! Tasks are queued behind a mutex and drained by `num_threads` OS
+//! threads created per scope via [`std::thread::scope`] (the calling
+//! thread participates as one of the workers, so a pool of one thread
+//! runs everything inline without spawning). That favours simplicity
+//! over work-stealing throughput, which is the right trade for this
+//! workspace: tasks are coarse (one sequence alignment each), so queue
+//! contention is negligible. No `unsafe` is used; borrow soundness comes
+//! entirely from `std::thread::scope`.
+//!
+//! A panicking task poisons the scope and the panic is propagated to the
+//! caller when the scope joins, like rayon.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Number of threads the machine can usefully run, rayon's default pool
+/// size (`available_parallelism`, or 1 when unknown).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Builds a [`ThreadPool`], mirroring rayon's builder API.
+#[derive(Debug, Default, Clone)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default configuration.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads; `0` (the default) means
+    /// [`current_num_threads`].
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible in the stand-in; the `Result` mirrors
+    /// rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 { current_num_threads() } else { self.num_threads };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Pool construction error. The stand-in never produces one; the type
+/// exists so callers can keep rayon's `build()?` shape.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A fixed-size task pool.
+///
+/// Unlike real rayon the stand-in keeps no persistent worker threads:
+/// each [`ThreadPool::scope`] call spawns its workers scoped to that
+/// call. Spawn cost is tens of microseconds per thread, irrelevant next
+/// to the coarse task batches this workspace schedules.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Number of worker threads (including the calling thread).
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with a [`Scope`] on which tasks can be spawned; returns
+    /// when every spawned task (including transitively spawned ones) has
+    /// completed.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+        R: Send,
+    {
+        let sc = Scope {
+            state: Mutex::new(ScopeState { queue: VecDeque::new(), running: 0, closed: false }),
+            cv: Condvar::new(),
+        };
+        std::thread::scope(|ts| {
+            let mut workers = Vec::new();
+            for _ in 1..self.threads {
+                workers.push(ts.spawn(|| sc.work()));
+            }
+            let result = op(&sc);
+            sc.close();
+            // The calling thread drains the queue alongside the workers.
+            sc.work();
+            for w in workers {
+                // Propagate worker panics like rayon does at join.
+                if let Err(p) = w.join() {
+                    std::panic::resume_unwind(p);
+                }
+            }
+            result
+        })
+    }
+
+    /// Applies `f` to every element of `items` on the pool and collects
+    /// the results in input order. Stand-in convenience standing in for
+    /// `items.par_iter().enumerate().map(f).collect()`.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(k, it)| f(k, it)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let buckets: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+        self.scope(|s| {
+            for _ in 0..self.threads.min(items.len()) {
+                s.spawn(|_| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= items.len() {
+                            break;
+                        }
+                        local.push((k, f(k, &items[k])));
+                    }
+                    buckets.lock().expect("par_map buckets").extend(local);
+                });
+            }
+        });
+        let mut pairs = buckets.into_inner().expect("par_map buckets");
+        pairs.sort_by_key(|&(k, _)| k);
+        debug_assert_eq!(pairs.len(), items.len());
+        pairs.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Runs `op` with a scope on a default-size pool ([`current_num_threads`]
+/// workers), mirroring `rayon::scope`.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+    R: Send,
+{
+    ThreadPool { threads: current_num_threads() }.scope(op)
+}
+
+type Task<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+struct ScopeState<'scope> {
+    queue: VecDeque<Task<'scope>>,
+    /// Tasks currently executing on some worker.
+    running: usize,
+    /// Whether the scope closure has returned (no more external spawns).
+    closed: bool,
+}
+
+/// A scope handle on which tasks borrowing `'scope` data can be spawned.
+pub struct Scope<'scope> {
+    state: Mutex<ScopeState<'scope>>,
+    cv: Condvar,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Enqueues `body` to run on the pool. The task receives the scope
+    /// and may spawn further tasks.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let mut st = self.state.lock().expect("scope state");
+        st.queue.push_back(Box::new(body));
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("scope state").closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Worker loop: pop and run tasks until the scope is closed and idle.
+    fn work(&self) {
+        loop {
+            let task = {
+                let mut st = self.state.lock().expect("scope state");
+                loop {
+                    if let Some(t) = st.queue.pop_front() {
+                        st.running += 1;
+                        break Some(t);
+                    }
+                    if st.closed && st.running == 0 {
+                        break None;
+                    }
+                    st = self.cv.wait(st).expect("scope state");
+                }
+            };
+            let Some(task) = task else {
+                // Wake any sibling still waiting so it can observe idle.
+                self.cv.notify_all();
+                return;
+            };
+            task(self);
+            let mut st = self.state.lock().expect("scope state");
+            st.running -= 1;
+            let idle = st.running == 0 && st.queue.is_empty();
+            drop(st);
+            if idle {
+                self.cv.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn builder_defaults_to_available_parallelism() {
+        let pool = ThreadPoolBuilder::new().build().expect("pool");
+        assert_eq!(pool.current_num_threads(), current_num_threads());
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().expect("pool");
+        assert_eq!(pool.current_num_threads(), 3);
+    }
+
+    #[test]
+    fn scope_runs_all_tasks_and_returns_value() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().expect("pool");
+        let hits = AtomicU64::new(0);
+        let out = pool.scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            "done"
+        });
+        assert_eq!(out, "done");
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn tasks_can_spawn_tasks() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().expect("pool");
+        let hits = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|s| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    s.spawn(|_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn tasks_borrow_stack_data() {
+        let data: Vec<u64> = (0..1000).collect();
+        let sum = AtomicU64::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().expect("pool");
+        pool.scope(|s| {
+            for chunk in data.chunks(64) {
+                s.spawn(|_| {
+                    sum.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1, 2, 5] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+            let items: Vec<usize> = (0..257).collect();
+            let out = pool.par_map(&items, |k, &x| {
+                assert_eq!(k, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().expect("pool");
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(pool.par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().expect("pool");
+        let tid = std::thread::current().id();
+        pool.scope(|s| {
+            s.spawn(move |_| {
+                assert_eq!(std::thread::current().id(), tid);
+            });
+        });
+    }
+
+    #[test]
+    fn free_scope_function_works() {
+        let hits = AtomicU64::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+}
