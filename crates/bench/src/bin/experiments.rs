@@ -467,8 +467,12 @@ fn merge_parallel(fast: bool, report: &mut Report) {
             ("reduction_percent", Json::F(seq.reduction_percent())),
             ("wall_s", Json::F(t_seq.as_secs_f64())),
         ]);
-        let mut thread_counts = vec![1usize];
-        if auto > 1 {
+        // threads=1 is the PR 2-style no-speculation baseline; threads=2
+        // exercises speculative codegen + transplant even on a single
+        // core (CI runs `--check` over both); `auto` adds the machine's
+        // real parallelism when it offers more.
+        let mut thread_counts = vec![1usize, 2];
+        if auto > 2 {
             thread_counts.push(auto);
         }
         for threads in thread_counts {
@@ -491,6 +495,21 @@ fn merge_parallel(fast: bool, report: &mut Report) {
                 speedup
             );
             let p = par.pipeline.unwrap_or_default();
+            println!(
+                "       stages: schedule {:.2?}, prepare {:.2?} (spec codegen {:.2?}), \
+                 commit {:.2?} (codegen {:.2?}, transplant {:.2?}); \
+                 spec bodies built {} / used {} (committed {}) / fallback {}",
+                p.schedule,
+                p.prepare,
+                p.spec_codegen,
+                p.commit,
+                p.commit_codegen,
+                p.transplant,
+                p.spec_built,
+                p.spec_used,
+                p.spec_committed,
+                p.spec_fallback,
+            );
             report.record(&[
                 ("experiment", Json::S("merge-parallel".into())),
                 ("functions", Json::I(n as i64)),
@@ -509,6 +528,19 @@ fn merge_parallel(fast: bool, report: &mut Report) {
                 ("recomputed", Json::I(p.recomputed as i64)),
                 ("gate_skipped", Json::I(p.gate_skipped as i64)),
                 ("budget_skipped", Json::I(p.budget_skipped as i64)),
+                // Per-stage wall-clock (schedule/prepare/codegen/commit)
+                // plus the speculative-codegen telemetry behind it.
+                ("schedule_s", Json::F(p.schedule.as_secs_f64())),
+                ("prepare_s", Json::F(p.prepare.as_secs_f64())),
+                ("spec_codegen_s", Json::F(p.spec_codegen.as_secs_f64())),
+                ("commit_s", Json::F(p.commit.as_secs_f64())),
+                ("commit_codegen_s", Json::F(p.commit_codegen.as_secs_f64())),
+                ("transplant_s", Json::F(p.transplant.as_secs_f64())),
+                ("spec_built", Json::I(p.spec_built as i64)),
+                ("spec_used", Json::I(p.spec_used as i64)),
+                ("spec_committed", Json::I(p.spec_committed as i64)),
+                ("spec_fallback", Json::I(p.spec_fallback as i64)),
+                ("spec_hit_rate", Json::F(p.spec_hit_rate().unwrap_or(f64::NAN))),
             ]);
             if !identical {
                 report.fail(format!(

@@ -3,7 +3,7 @@
 //! ```text
 //! fmsa_opt <input.fir> [--technique identical|soa|fmsa] [--threshold N]
 //!          [--oracle] [--arch x86-64|arm-thumb] [--canonicalize]
-//!          [--search exact|lsh] [--threads N] [--exclude name,name]
+//!          [--search exact|lsh|auto] [--threads N] [--exclude name,name]
 //!          [--stats] [-o <output.fir>]
 //! ```
 //!
@@ -32,7 +32,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: fmsa_opt <input.fir> [--technique identical|soa|fmsa] \
              [--threshold N] [--oracle] [--arch x86-64|arm-thumb] \
-             [--canonicalize] [--search exact|lsh] [--threads N] \
+             [--canonicalize] [--search exact|lsh|auto] [--threads N] \
              [--exclude a,b] [--stats] [-o out.fir]"
         );
         return ExitCode::from(2);
@@ -44,7 +44,7 @@ fn main() -> ExitCode {
     let mut oracle = false;
     let mut arch = TargetArch::X86_64;
     let mut canonicalize = false;
-    let mut search = SearchStrategy::Exact;
+    let mut search = SearchStrategy::Auto;
     let mut threads: Option<usize> = None;
     let mut exclude: HashSet<String> = HashSet::new();
     let mut stats = false;
@@ -64,7 +64,8 @@ fn main() -> ExitCode {
             "--search" => {
                 search = match it.next().as_deref() {
                     Some("lsh") => SearchStrategy::lsh(),
-                    _ => SearchStrategy::Exact,
+                    Some("exact") => SearchStrategy::Exact,
+                    _ => SearchStrategy::Auto,
                 }
             }
             "--threads" => match it.next().as_deref().map(str::parse) {
@@ -160,6 +161,7 @@ fn main() -> ExitCode {
                 match search {
                     SearchStrategy::Exact => "exact",
                     SearchStrategy::Lsh(_) => "lsh",
+                    SearchStrategy::Auto => "auto (by module size)",
                 },
             )
         } else {

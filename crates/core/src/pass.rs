@@ -48,8 +48,10 @@ pub struct FmsaOptions {
     /// maximize the number of matches"). Semantics-preserving; makes
     /// reordered clones align.
     pub canonicalize: bool,
-    /// How merge candidates are searched: the paper's exact pairwise scan,
-    /// or near-linear MinHash/LSH shortlisting (see [`crate::search`]).
+    /// How merge candidates are searched: the paper's exact pairwise
+    /// scan, near-linear MinHash/LSH shortlisting, or (the default)
+    /// automatic selection by module size (see [`crate::search`] and
+    /// [`crate::search::AUTO_SEARCH_CROSSOVER`]).
     pub search: SearchStrategy,
     /// Per-pair alignment cost bounds, honoured by the pipeline driver
     /// ([`crate::pipeline`]). The sequential driver ignores it — the
@@ -69,7 +71,7 @@ impl Default for FmsaOptions {
             exclude: HashSet::new(),
             min_similarity: 0.0,
             canonicalize: false,
-            search: SearchStrategy::Exact,
+            search: SearchStrategy::Auto,
             budget: fmsa_align::AlignmentBudget::default(),
         }
     }
@@ -337,7 +339,10 @@ pub(crate) fn seed_pass(
     // The oracle's "best possible candidate" claim requires an exhaustive
     // scan: shortlisting would silently turn its upper bound into a guess,
     // so oracle mode always searches exactly regardless of `opts.search`.
-    let strategy = if opts.oracle { SearchStrategy::Exact } else { opts.search };
+    // `Auto` resolves here, against the eligible-function count, so both
+    // drivers (sequential and pipeline) pick the same implementation.
+    let strategy =
+        if opts.oracle { SearchStrategy::Exact } else { opts.search.resolve(available.len()) };
     let mut index = strategy.build();
     for &f in &available {
         index.insert(f, &fingerprints[&f]);

@@ -15,17 +15,24 @@
 //!    pair, a worker computes the alignment (under the
 //!    [`fmsa_align::AlignmentBudget`] of [`FmsaOptions::budget`]) and the
 //!    pre-codegen profitability gate
-//!    ([`crate::profitability::optimistic_delta`]). Workers only read the
-//!    module; all results are speculative.
+//!    ([`crate::profitability::optimistic_delta`]). A second parallel
+//!    wave then runs **speculative merge codegen**
+//!    ([`crate::merge::speculate_merge`]) for each subject's first
+//!    promising candidate, building the merged body in a per-worker
+//!    scratch module. Workers only read the main module; all results are
+//!    speculative.
 //! 3. **Commit** (sequential): subjects are visited in the exact order
 //!    the sequential driver would visit them. Each prepared attempt is
 //!    re-validated — if either function mutated since it was scheduled,
 //!    or an earlier commit dirtied the candidate index, the stale part is
-//!    recomputed inline. Code generation, exact profitability
-//!    ([`crate::profitability::evaluate_indexed`]) and the §III-A commit
-//!    run here, feeding accepted merges back into the search index, the
-//!    linearization cache, the call-site index, and the next generation's
-//!    worklist.
+//!    recomputed inline. A fresh speculative body is **transplanted**
+//!    into the main module ([`crate::merge::commit_speculative`]); a
+//!    conflict (either input mutated since scheduling) discards the
+//!    scratch body and falls back to direct sequential codegen. Exact
+//!    profitability ([`crate::profitability::evaluate_indexed`]) and the
+//!    §III-A commit run here, feeding accepted merges back into the
+//!    search index, the linearization cache, the call-site index, and
+//!    the next generation's worklist.
 //!
 //! Because the commit stage replays the sequential driver's decision
 //! procedure exactly — same candidate order, same greedy
@@ -45,19 +52,22 @@ use crate::callsites::CallSiteIndex;
 use crate::equivalence::EquivCtx;
 use crate::fingerprint::Fingerprint;
 use crate::linearize::{Entry, LinearizationCache};
-use crate::merge::{merge_pair_aligned, AlignAlgo};
+use crate::merge::{
+    commit_speculative, evaluate_speculative, merge_pair_aligned, speculate_merge, AlignAlgo,
+    MergeInfo, SpeculativeMerge,
+};
 use crate::pass::{run_fmsa, seed_pass, FmsaOptions, FmsaStats, SeededPass};
-use crate::profitability::{evaluate_indexed, optimistic_delta};
+use crate::profitability::{evaluate_indexed, optimistic_delta, ProfitReport};
 use crate::ranking::Candidate;
 use crate::thunks::{commit_merge, Disposition};
 use fmsa_align::{align_with_plan, Alignment};
 use fmsa_ir::{FuncId, Module};
 use fmsa_target::CostModel;
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Options of the pipeline driver, on top of [`FmsaOptions`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineOptions {
     /// Worker threads for the prepare stage; `0` selects the machine's
     /// available parallelism. `1` disables speculation entirely (no
@@ -69,6 +79,21 @@ pub struct PipelineOptions {
     /// commits invalidate scheduled attempts, at the cost of more
     /// prepare/commit barriers.
     pub batch: usize,
+    /// How many of each subject's promising candidates get speculative
+    /// merge codegen in the prepare stage (scratch-module build,
+    /// transplanted at commit). `0` disables speculation entirely (PR 2
+    /// behaviour: commit regenerates every merged body inline);
+    /// `usize::MAX` covers every prepared pair. Defaults to `usize::MAX`:
+    /// the greedy commit stage code-generates every candidate until the
+    /// first profitable one, so on merge-sparse workloads most prepared
+    /// pairs really do reach codegen. No effect with one thread.
+    pub spec_depth: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions { threads: 0, batch: 0, spec_depth: usize::MAX }
+    }
 }
 
 impl PipelineOptions {
@@ -106,6 +131,46 @@ pub struct PipelineStats {
     pub gate_skipped: usize,
     /// Attempts abandoned by the alignment budget's length cap.
     pub budget_skipped: usize,
+    /// Merged bodies built speculatively by the prepare stage.
+    pub spec_built: usize,
+    /// Speculative bodies consumed unmodified by the commit stage:
+    /// profitability was decided on the scratch build, and profitable
+    /// bodies were transplanted. Replaces one sequential codegen each.
+    pub spec_used: usize,
+    /// Of [`PipelineStats::spec_used`], merges committed from a
+    /// transplanted speculative body (the rest evaluated unprofitable
+    /// and were discarded without ever touching the main module).
+    pub spec_committed: usize,
+    /// Speculative bodies discarded by a conflict (input mutated since
+    /// scheduling, or the transplant could not resolve a reference); the
+    /// commit stage fell back to direct sequential codegen.
+    pub spec_fallback: usize,
+    /// Wall-clock of the sequential schedule stage (candidate queries and
+    /// linearization-cache pre-fill).
+    pub schedule: Duration,
+    /// Wall-clock of the parallel prepare stage (alignment + speculative
+    /// codegen waves).
+    pub prepare: Duration,
+    /// Of [`PipelineStats::prepare`], the speculative-codegen wave.
+    pub spec_codegen: Duration,
+    /// Wall-clock of the sequential commit stage.
+    pub commit: Duration,
+    /// Of [`PipelineStats::commit`], time spent producing merged bodies
+    /// (transplants plus fallback codegen plus profitability). This is the
+    /// serial-codegen cost the speculative path exists to shrink.
+    pub commit_codegen: Duration,
+    /// Of [`PipelineStats::commit_codegen`], the transplant splices alone.
+    pub transplant: Duration,
+}
+
+impl PipelineStats {
+    /// Fraction of commit-stage merge bodies that consumed a speculative
+    /// build unmodified (`spec_used / (spec_used + spec_fallback)`);
+    /// `None` when no speculative body reached commit.
+    pub fn spec_hit_rate(&self) -> Option<f64> {
+        let total = self.spec_used + self.spec_fallback;
+        (total > 0).then(|| self.spec_used as f64 / total as f64)
+    }
 }
 
 /// One speculative attempt out of the prepare stage.
@@ -114,6 +179,10 @@ struct Prepared {
     alignment: Option<Alignment>,
     /// Whether the optimistic-Δ gate left the pair in play.
     promising: bool,
+    /// Speculatively generated merged body (scratch module), present for
+    /// the subject's top [`PipelineOptions::spec_depth`] promising
+    /// candidates.
+    spec: Option<SpeculativeMerge>,
     /// Mutation generations of `(f1, f2)` at schedule time.
     gens: (u64, u64),
     /// Global invalidation epoch at schedule time (bumped when a failed
@@ -183,10 +252,23 @@ pub fn run_fmsa_pipeline(
     let mut epoch: u64 = 0;
     let gen_of = |gens: &HashMap<FuncId, u64>, f: FuncId| gens.get(&f).copied().unwrap_or(0);
 
+    // Speculative codegen holds one scratch module per prepared promising
+    // pair until the commit stage consumes (or discards) it; an unbounded
+    // generation over a multi-thousand-subject frontier would pin tens of
+    // thousands of them at once. When the user leaves `batch` at 0, bound
+    // the generation while speculating — batching is decision-neutral
+    // (property-tested), it only trades barrier count for peak memory.
+    const SPEC_DEFAULT_BATCH: usize = 256;
+    let batch = if pipe.batch == 0 && threads > 1 && pipe.spec_depth > 0 {
+        SPEC_DEFAULT_BATCH
+    } else {
+        pipe.batch
+    };
+
     while !worklist.is_empty() {
         pstats.generations += 1;
         // ---------------------------------------------------- schedule
-        let take = if pipe.batch == 0 { worklist.len() } else { pipe.batch.min(worklist.len()) };
+        let take = if batch == 0 { worklist.len() } else { batch.min(worklist.len()) };
         let mut subjects = Vec::with_capacity(take);
         for _ in 0..take {
             let f = worklist.pop_front().expect("worklist non-empty");
@@ -212,6 +294,7 @@ pub fn run_fmsa_pipeline(
             })
             .collect();
         stats.timers.ranking += t0.elapsed();
+        pstats.schedule += t0.elapsed();
 
         // ----------------------------------------------------- prepare
         let mut prepared: HashMap<(FuncId, FuncId), Prepared> = HashMap::new();
@@ -231,6 +314,7 @@ pub fn run_fmsa_pipeline(
                 lin_cache.get(module, f2);
             }
             stats.timers.linearization += t0.elapsed();
+            pstats.schedule += t0.elapsed();
             let t0 = Instant::now();
             let frozen: &Module = module;
             let cache: &LinearizationCache = &lin_cache;
@@ -244,11 +328,61 @@ pub fn run_fmsa_pipeline(
                 (alignment, promising)
             });
             stats.timers.alignment += t0.elapsed();
+            pstats.prepare += t0.elapsed();
             pstats.prepared += jobs.len();
             for ((f1, f2), (alignment, promising)) in jobs.into_iter().zip(results) {
                 let gens_pair = (gen_of(&gens, f1), gen_of(&gens, f2));
-                prepared
-                    .insert((f1, f2), Prepared { alignment, promising, gens: gens_pair, epoch });
+                prepared.insert(
+                    (f1, f2),
+                    Prepared { alignment, promising, spec: None, gens: gens_pair, epoch },
+                );
+            }
+
+            // Second wave: speculative merge codegen into per-worker
+            // scratch modules, for each subject's top `spec_depth`
+            // promising candidates in rank order. The greedy commit stage
+            // code-generates candidates until the first profitable one, so
+            // every body built here for a pair the commit actually reaches
+            // replaces one sequential codegen with a cheap transplant.
+            if pipe.spec_depth > 0 {
+                let mut spec_jobs: Vec<(FuncId, FuncId)> = Vec::new();
+                let mut seen: HashSet<(FuncId, FuncId)> = HashSet::new();
+                for (f1, cands) in &scheduled {
+                    let mut picked = 0usize;
+                    for c in cands {
+                        if picked >= pipe.spec_depth {
+                            break;
+                        }
+                        let key = (*f1, c.func);
+                        let Some(p) = prepared.get(&key) else { continue };
+                        if p.promising && p.alignment.is_some() && seen.insert(key) {
+                            spec_jobs.push(key);
+                            picked += 1;
+                        }
+                    }
+                }
+                let t0 = Instant::now();
+                let frozen: &Module = module;
+                let cache: &LinearizationCache = &lin_cache;
+                let snapshot: &HashMap<(FuncId, FuncId), Prepared> = &prepared;
+                let bodies = pool.par_map(&spec_jobs, |_, &(f1, f2)| {
+                    let seq1 = cache.cached(f1).expect("pre-filled");
+                    let seq2 = cache.cached(f2).expect("pre-filled");
+                    let alignment = snapshot[&(f1, f2)]
+                        .alignment
+                        .clone()
+                        .expect("speculation only targets aligned pairs");
+                    speculate_merge(frozen, f1, f2, &seq1, &seq2, alignment, &opts.merge).ok()
+                });
+                stats.timers.codegen += t0.elapsed();
+                pstats.prepare += t0.elapsed();
+                pstats.spec_codegen += t0.elapsed();
+                for (key, body) in spec_jobs.into_iter().zip(bodies) {
+                    pstats.spec_built += body.is_some() as usize;
+                    // A build error is left as `None`: commit will replay
+                    // the identical failure through direct codegen.
+                    prepared.get_mut(&key).expect("prepared above").spec = body;
+                }
             }
         }
 
@@ -257,6 +391,7 @@ pub fn run_fmsa_pipeline(
         // on the index may answer differently than it did at schedule
         // time, so candidate lists are re-queried (exactly what the
         // sequential driver would see at this point of the worklist).
+        let t_commit = Instant::now();
         let mut dirty = false;
         for (f1, scheduled_cands) in scheduled {
             if !live.contains(&f1) || !module.is_live(f1) {
@@ -284,17 +419,25 @@ pub fn run_fmsa_pipeline(
                 let seq2 = lin_cache.get(module, cand.func);
                 stats.timers.linearization += t0.elapsed();
                 let gens_now = (gen_of(&gens, f1), gen_of(&gens, cand.func));
-                let fresh = prepared
-                    .get(&(f1, cand.func))
-                    .filter(|p| p.gens == gens_now && p.epoch == epoch);
-                let (alignment, promising) = match fresh {
-                    Some(p) => {
+                let mut spec_body: Option<SpeculativeMerge> = None;
+                let (alignment, promising) = match prepared.get_mut(&(f1, cand.func)) {
+                    Some(p) if p.gens == gens_now && p.epoch == epoch => {
                         pstats.reused += 1;
+                        spec_body = p.spec.take();
                         (p.alignment.clone(), p.promising)
                     }
-                    None => {
+                    stale => {
                         if threads > 1 {
                             pstats.recomputed += 1;
+                        }
+                        // Conflict rule: an input mutated since scheduling
+                        // (or the epoch advanced), so the scratch body was
+                        // built against a state the module no longer has.
+                        // Discard and count it here — the recomputed pair
+                        // may be budget- or gate-skipped before reaching
+                        // the codegen point below.
+                        if let Some(p) = stale {
+                            pstats.spec_fallback += p.spec.take().is_some() as usize;
                         }
                         let t0 = Instant::now();
                         let al = align_budgeted(module, f1, cand.func, &seq1, &seq2, opts);
@@ -317,23 +460,64 @@ pub fn run_fmsa_pipeline(
                     continue;
                 }
                 let t0 = Instant::now();
-                let merged = merge_pair_aligned(
-                    module,
-                    f1,
-                    cand.func,
-                    seq1.to_vec(),
-                    seq2.to_vec(),
-                    alignment,
-                    &opts.merge,
-                );
-                let outcome = match merged {
-                    Ok(info) => {
-                        let report = evaluate_indexed(module, &cm, &info, &call_sites);
-                        Some((info, report))
+                // `outcome`: a merged function present in the module plus
+                // its profitability, or `None` when the attempt is over
+                // (codegen failure, or a speculative body that evaluated
+                // unprofitable and was discarded without a transplant).
+                let outcome: Option<(MergeInfo, ProfitReport)> = 'attempt: {
+                    if let Some(spec) = spec_body {
+                        // Profitability is decided on the scratch body;
+                        // only profitable merges pay for a transplant.
+                        let report = evaluate_speculative(module, &cm, &spec, &call_sites);
+                        if !report.is_profitable() {
+                            // The sequential driver would have generated
+                            // this body and discarded it; replay its type
+                            // interning and reject the attempt.
+                            spec.discard_into(module);
+                            pstats.spec_used += 1;
+                            break 'attempt None;
+                        }
+                        let t_tr = Instant::now();
+                        match commit_speculative(module, spec, &opts.merge) {
+                            Ok(info) => {
+                                pstats.transplant += t_tr.elapsed();
+                                pstats.spec_used += 1;
+                                pstats.spec_committed += 1;
+                                if cfg!(debug_assertions) {
+                                    let errs = fmsa_ir::verify_function(module, info.merged);
+                                    assert!(
+                                        errs.is_empty(),
+                                        "transplanted merge invalid: {}",
+                                        errs[0]
+                                    );
+                                }
+                                break 'attempt Some((info, report));
+                            }
+                            Err(_) => {
+                                // Unresolvable cross-module reference:
+                                // regenerate inline below.
+                                pstats.spec_fallback += 1;
+                            }
+                        }
                     }
-                    Err(_) => None,
+                    match merge_pair_aligned(
+                        module,
+                        f1,
+                        cand.func,
+                        seq1.to_vec(),
+                        seq2.to_vec(),
+                        alignment,
+                        &opts.merge,
+                    ) {
+                        Ok(info) => {
+                            let report = evaluate_indexed(module, &cm, &info, &call_sites);
+                            Some((info, report))
+                        }
+                        Err(_) => None,
+                    }
                 };
                 stats.timers.codegen += t0.elapsed();
+                pstats.commit_codegen += t0.elapsed();
                 match outcome {
                     Some((info, report)) if report.is_profitable() => {
                         let t0 = Instant::now();
@@ -422,6 +606,7 @@ pub fn run_fmsa_pipeline(
                 }
             }
         }
+        pstats.commit += t_commit.elapsed();
     }
 
     stats.size_after = cm.module_size(module);
@@ -494,7 +679,7 @@ mod tests {
         for batch in [1, 2, 3] {
             assert_matches_sequential(
                 &FmsaOptions::with_threshold(5),
-                &PipelineOptions { threads: 4, batch },
+                &PipelineOptions { threads: 4, batch, ..PipelineOptions::default() },
             );
         }
     }
@@ -533,6 +718,45 @@ mod tests {
         assert!(p.prepared > 0);
         assert!(p.reused > 0);
         assert!(fmsa_ir::verify_module(&m).is_empty());
+    }
+
+    #[test]
+    fn speculative_codegen_depths_match_sequential() {
+        // 0 = PR 2 behaviour (no speculation), 1 = top candidate only,
+        // MAX = every prepared pair; all must be decision-invisible.
+        for spec_depth in [0, 1, usize::MAX] {
+            assert_matches_sequential(
+                &FmsaOptions::with_threshold(5),
+                &PipelineOptions { threads: 4, spec_depth, ..PipelineOptions::default() },
+            );
+        }
+    }
+
+    #[test]
+    fn speculative_bodies_are_built_and_committed() {
+        let mut m = Module::new("m");
+        clone_family(&mut m, 6, 12);
+        let stats = run_fmsa_pipeline(
+            &mut m,
+            &FmsaOptions::with_threshold(5),
+            &PipelineOptions::with_threads(4),
+        );
+        let p = stats.pipeline.expect("pipeline stats");
+        assert!(p.spec_built > 0, "prepare must build speculative bodies: {p:?}");
+        assert!(p.spec_committed > 0, "commit must transplant fresh bodies: {p:?}");
+        assert!(p.spec_committed <= p.spec_used, "transplants are a subset of used: {p:?}");
+        assert!(
+            p.spec_used + p.spec_fallback <= p.spec_built + p.recomputed,
+            "accounting sanity: {p:?}"
+        );
+        assert!(fmsa_ir::verify_module(&m).is_empty());
+    }
+
+    #[test]
+    fn spec_hit_rate_reported() {
+        let p = PipelineStats { spec_used: 3, spec_fallback: 1, ..PipelineStats::default() };
+        assert_eq!(p.spec_hit_rate(), Some(0.75));
+        assert_eq!(PipelineStats::default().spec_hit_rate(), None);
     }
 
     #[test]

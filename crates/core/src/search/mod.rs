@@ -138,14 +138,32 @@ impl CandidateSearch for ExactSearch {
     }
 }
 
+/// Module size (eligible functions) at which [`SearchStrategy::Auto`]
+/// switches from the exact pairwise scan to LSH shortlisting.
+///
+/// Calibrated from the `candidate_search` bench crossover: at 100
+/// functions the exact scan still wins (the MinHash index build
+/// dominates), by 1 000 functions LSH is ~5.6× faster end-to-end, with
+/// the break-even shortly past 100. The default sits just above the
+/// measured break-even so small suite modules keep the precision
+/// baseline.
+pub const AUTO_SEARCH_CROSSOVER: usize = 150;
+
 /// Which candidate-search implementation `run_fmsa` uses.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum SearchStrategy {
     /// Full pairwise ranking (the paper's algorithm; precision baseline).
-    #[default]
     Exact,
     /// Banded MinHash LSH shortlisting with the given parameters.
     Lsh(LshConfig),
+    /// Selected per pass by module size: [`SearchStrategy::Exact`] below
+    /// [`AUTO_SEARCH_CROSSOVER`] eligible functions,
+    /// [`SearchStrategy::Lsh`] (default parameters) at or above it. The
+    /// drivers resolve this before seeding the index, so the sequential
+    /// and pipeline drivers always resolve identically (part of the
+    /// bit-identity guarantee). Overridable via `fmsa_opt --search`.
+    #[default]
+    Auto,
 }
 
 impl SearchStrategy {
@@ -154,10 +172,27 @@ impl SearchStrategy {
         SearchStrategy::Lsh(LshConfig::default())
     }
 
-    /// Instantiates the index for this strategy.
+    /// Resolves [`SearchStrategy::Auto`] against the number of eligible
+    /// functions in the module; concrete strategies pass through.
+    pub fn resolve(self, eligible_functions: usize) -> SearchStrategy {
+        match self {
+            SearchStrategy::Auto => {
+                if eligible_functions >= AUTO_SEARCH_CROSSOVER {
+                    SearchStrategy::lsh()
+                } else {
+                    SearchStrategy::Exact
+                }
+            }
+            concrete => concrete,
+        }
+    }
+
+    /// Instantiates the index for this strategy. Callers resolve
+    /// [`SearchStrategy::Auto`] first (see [`SearchStrategy::resolve`]);
+    /// an unresolved `Auto` conservatively builds the exact baseline.
     pub fn build(&self) -> Box<dyn CandidateSearch> {
         match self {
-            SearchStrategy::Exact => Box::new(ExactSearch::new()),
+            SearchStrategy::Exact | SearchStrategy::Auto => Box::new(ExactSearch::new()),
             SearchStrategy::Lsh(cfg) => Box::new(LshSearch::new(*cfg)),
         }
     }
@@ -204,8 +239,17 @@ mod tests {
     }
 
     #[test]
+    fn auto_resolves_by_module_size() {
+        assert_eq!(SearchStrategy::Auto.resolve(AUTO_SEARCH_CROSSOVER - 1), SearchStrategy::Exact);
+        assert_eq!(SearchStrategy::Auto.resolve(AUTO_SEARCH_CROSSOVER), SearchStrategy::lsh());
+        // Concrete strategies never flip, whatever the module size.
+        assert_eq!(SearchStrategy::Exact.resolve(1_000_000), SearchStrategy::Exact);
+        assert_eq!(SearchStrategy::lsh().resolve(0), SearchStrategy::lsh());
+    }
+
+    #[test]
     fn strategy_builds_matching_impl() {
-        assert_eq!(SearchStrategy::default(), SearchStrategy::Exact);
+        assert_eq!(SearchStrategy::default(), SearchStrategy::Auto);
         let mut m = Module::new("m");
         let a = fn_with_adds(&mut m, "a", 5);
         let fp = Fingerprint::of(&m, a);

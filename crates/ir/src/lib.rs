@@ -42,6 +42,7 @@ pub mod module;
 pub mod parser;
 pub mod passes;
 pub mod printer;
+pub mod transplant;
 pub mod types;
 pub mod value;
 pub mod verifier;
@@ -50,6 +51,7 @@ pub use builder::FuncBuilder;
 pub use function::{Block, Function, Linkage, Param};
 pub use inst::{ExtraData, FloatPredicate, Inst, IntPredicate, LandingPadClause, Opcode};
 pub use module::Module;
+pub use transplant::{transplant_function, ScratchModule, TransplantError, Transplanted, TypeMap};
 pub use types::{TyId, Type, TypeStore};
 pub use value::{BlockId, FuncId, InstId, Value};
 pub use verifier::{ensure_valid, verify_function, verify_module, VerifyError};

@@ -1,0 +1,546 @@
+//! Cross-module function transplant: building functions detached from the
+//! main [`Module`] and splicing them back in.
+//!
+//! The parallel merge pipeline generates merged functions speculatively on
+//! worker threads. Workers cannot mutate the main module, so each builds
+//! its function inside a private [`ScratchModule`] — a throwaway module
+//! whose [`TypeStore`] starts as a clone of the donor's and whose function
+//! table holds imported stand-ins for the donor functions the build
+//! references. At commit time [`transplant_function`] splices the finished
+//! body into the main module, remapping every id class that crosses the
+//! module boundary:
+//!
+//! * **[`TyId`]** — scratch types are re-interned into the destination
+//!   store by [`migrate_types`]. Migration walks the scratch store *in
+//!   interning order*, which reproduces exactly the sequence of types an
+//!   in-place build would have interned (the cloned prefix maps to itself
+//!   by canonical interning; types created during the scratch build were
+//!   appended in build order). Keeping the destination store's evolution
+//!   identical to an in-place build matters because type-id *values* feed
+//!   the MinHash candidate index — divergent interning order would break
+//!   the pipeline's bit-identity guarantee.
+//! * **[`FuncId`]** — operands referencing scratch stand-ins are resolved
+//!   back to the donor functions through the scratch module's import map.
+//!   An operand with no mapping is a hard error, never a silent dangle.
+//! * **[`crate::InstId`]/[`crate::BlockId`]** — *not* renumbered. The transplanted
+//!   [`Function`] keeps its arenas verbatim, tombstones included, because
+//!   the printer renders raw arena indices: compacting them would make a
+//!   transplanted function print differently from the identical function
+//!   built in place, breaking bit-identity.
+
+use crate::function::Function;
+use crate::inst::ExtraData;
+use crate::module::Module;
+use crate::types::{TyId, Type, TypeStore};
+use crate::value::{FuncId, Value};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Why a transplant could not be completed. The module is left unchanged
+/// except for types already migrated into its store (benign: an in-place
+/// build would have interned the same types).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransplantError {
+    /// The function references a scratch [`FuncId`] with no donor mapping.
+    UnmappedFunction(FuncId),
+    /// The destination already defines a function with the chosen name.
+    DuplicateName(String),
+}
+
+impl fmt::Display for TransplantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransplantError::UnmappedFunction(id) => {
+                write!(f, "function operand {id} has no mapping into the destination module")
+            }
+            TransplantError::DuplicateName(name) => {
+                write!(f, "destination module already defines @{name}")
+            }
+        }
+    }
+}
+
+impl Error for TransplantError {}
+
+/// A [`TyId`] translation table from one store into another, produced by
+/// [`migrate_types`] / [`migrate_types_suffix`]. Total over the source
+/// store: ids below the shared prefix map to themselves, ids in the
+/// migrated suffix through the table.
+#[derive(Debug, Clone)]
+pub struct TypeMap {
+    /// Length of the shared prefix that maps by identity.
+    prefix: usize,
+    /// Destination ids for source ids `prefix..`.
+    suffix: Vec<TyId>,
+}
+
+impl TypeMap {
+    /// The destination id for source type `ty`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` did not come from the migrated source store.
+    pub fn get(&self, ty: TyId) -> TyId {
+        if ty.index() < self.prefix {
+            ty
+        } else {
+            self.suffix[ty.index() - self.prefix]
+        }
+    }
+}
+
+/// Re-interns every type of `src` into `dst`, in `src`'s interning order,
+/// and returns the translation table.
+///
+/// Composite types always reference lower-indexed component types (a type
+/// can only be built from already-interned ids), so a single forward pass
+/// can remap nested references through the table built so far. Types
+/// already present in `dst` dedupe to their existing id — in particular,
+/// when `src` began as a clone of `dst`, the shared prefix maps to itself
+/// and only the suffix appends, in the same order a build running directly
+/// against `dst` would have appended it.
+pub fn migrate_types(src: &TypeStore, dst: &mut TypeStore) -> TypeMap {
+    migrate_types_suffix(src, dst, 0)
+}
+
+/// [`migrate_types`] for a `src` store that was cloned from `dst` when
+/// `dst` held `shared_prefix` types: the prefix maps by identity without
+/// being re-interned (type stores are append-only, so those ids are still
+/// valid in `dst` with unchanged structure), and only the suffix `src`
+/// appended since the clone is interned — `O(new types)` per call instead
+/// of `O(store)`, which is what keeps transplants cheap late in a pass
+/// when the store has grown large.
+pub fn migrate_types_suffix(src: &TypeStore, dst: &mut TypeStore, shared_prefix: usize) -> TypeMap {
+    debug_assert!(shared_prefix <= src.len() && shared_prefix <= dst.len());
+    #[cfg(debug_assertions)]
+    for i in 0..shared_prefix {
+        debug_assert_eq!(
+            src.get(TyId(i as u32)),
+            dst.get(TyId(i as u32)),
+            "shared prefix must be structurally identical (append-only stores)"
+        );
+    }
+    let mut suffix: Vec<TyId> = Vec::with_capacity(src.len() - shared_prefix);
+    for i in shared_prefix..src.len() {
+        let at = |id: TyId| {
+            if id.index() < shared_prefix {
+                id
+            } else {
+                suffix[id.index() - shared_prefix]
+            }
+        };
+        let remapped = match src.get(TyId(i as u32)) {
+            Type::Ptr { pointee } => Type::Ptr { pointee: at(*pointee) },
+            Type::Array { elem, len } => Type::Array { elem: at(*elem), len: *len },
+            Type::Struct { fields, packed } => {
+                Type::Struct { fields: fields.iter().map(|&f| at(f)).collect(), packed: *packed }
+            }
+            Type::Func { ret, params, varargs } => Type::Func {
+                ret: at(*ret),
+                params: params.iter().map(|&p| at(p)).collect(),
+                varargs: *varargs,
+            },
+            leaf => leaf.clone(),
+        };
+        suffix.push(dst.intern(remapped));
+    }
+    TypeMap { prefix: shared_prefix, suffix }
+}
+
+/// A private module for building one function detached from a donor
+/// [`Module`].
+///
+/// The type store starts as a clone of the donor's, so every donor
+/// [`TyId`] is valid here with the same value and new types append after
+/// the shared prefix. Donor functions enter through
+/// [`ScratchModule::import_function`] (full body clones for the functions
+/// the build reads) or as signature-only declarations (for callees, so the
+/// verifier can type-check call sites); both keep their donor name and are
+/// recorded in the scratch→donor map that [`transplant_function`] later
+/// uses to resolve cross-module references.
+#[derive(Debug)]
+pub struct ScratchModule {
+    /// The detached module. Build into it freely; only functions that are
+    /// explicitly transplanted ever reach the donor.
+    pub module: Module,
+    /// Donor store size at clone time: the shared type prefix maps by
+    /// identity on transplant, only later types are re-interned.
+    snapshot_types: usize,
+    /// scratch id → donor id, for every imported function.
+    to_donor: HashMap<FuncId, FuncId>,
+    /// donor id → scratch id (import memo).
+    from_donor: HashMap<FuncId, FuncId>,
+}
+
+impl ScratchModule {
+    /// A scratch module seeded with a clone of the donor's type store.
+    pub fn new(donor: &Module) -> ScratchModule {
+        let mut module = Module::new(format!("{}.scratch", donor.name));
+        module.types = donor.types.clone();
+        ScratchModule {
+            snapshot_types: module.types.len(),
+            module,
+            to_donor: HashMap::new(),
+            from_donor: HashMap::new(),
+        }
+    }
+
+    /// Transplants `func` back into a module descended from the donor
+    /// (same append-only type store this scratch was cloned from),
+    /// resolving function references through the import map and skipping
+    /// re-interning of the shared type prefix. See [`transplant_function`]
+    /// for the remapping rules and errors.
+    ///
+    /// # Errors
+    ///
+    /// See [`transplant_function`].
+    pub fn transplant_into(
+        &self,
+        dst: &mut Module,
+        func: FuncId,
+        name: impl Into<String>,
+    ) -> Result<Transplanted, TransplantError> {
+        transplant_with_prefix(dst, &self.module, func, name, &self.to_donor, self.snapshot_types)
+    }
+
+    /// Interns into `dst` the types this scratch build created, without
+    /// transplanting any function. An in-place build interns its types
+    /// even when the built function is later discarded; callers that
+    /// discard a scratch build replay that side effect with this (type-id
+    /// values are observable through the MinHash candidate index).
+    pub fn migrate_types_into(&self, dst: &mut Module) -> TypeMap {
+        migrate_types_suffix(&self.module.types, &mut dst.types, self.snapshot_types)
+    }
+
+    /// The scratch→donor function map, in the shape
+    /// [`transplant_function`] consumes.
+    pub fn func_map(&self) -> &HashMap<FuncId, FuncId> {
+        &self.to_donor
+    }
+
+    /// The donor function a scratch id stands for, if imported.
+    pub fn donor_of(&self, scratch: FuncId) -> Option<FuncId> {
+        self.to_donor.get(&scratch).copied()
+    }
+
+    /// Imports donor function `f` as a full body clone, rewriting its
+    /// function-reference operands to scratch ids (callees it mentions are
+    /// imported as declarations on the fly). Re-importing upgrades an
+    /// earlier declaration-only import in place; ids are stable.
+    pub fn import_function(&mut self, donor: &Module, f: FuncId) -> FuncId {
+        let sid = self.import_declaration(donor, f);
+        if !self.module.func(sid).is_declaration() || donor.func(f).is_declaration() {
+            return sid; // already a definition (or nothing more to copy)
+        }
+        let mut clone = donor.func(f).clone();
+        // Collect the callees first: rewriting needs `&mut self` for
+        // declaration imports, so it cannot overlap a borrow of `clone`.
+        let mut callees: Vec<FuncId> = Vec::new();
+        for iid in clone.inst_ids() {
+            for op in &clone.inst(iid).operands {
+                if let Value::Func(g) = *op {
+                    callees.push(g);
+                }
+            }
+        }
+        callees.sort_unstable();
+        callees.dedup();
+        let remap: HashMap<FuncId, FuncId> =
+            callees.into_iter().map(|g| (g, self.import_declaration(donor, g))).collect();
+        for iid in clone.inst_ids() {
+            for op in &mut clone.inst_mut(iid).operands {
+                if let Value::Func(g) = *op {
+                    *op = Value::Func(remap[&g]);
+                }
+            }
+        }
+        *self.module.func_mut(sid) = clone;
+        sid
+    }
+
+    /// Imports donor function `f` as a signature-only declaration (enough
+    /// for call-site type checking) and records the id mapping.
+    pub fn import_declaration(&mut self, donor: &Module, f: FuncId) -> FuncId {
+        if let Some(&sid) = self.from_donor.get(&f) {
+            return sid;
+        }
+        let df = donor.func(f);
+        let mut decl = Function::new(df.name.clone(), df.fn_ty(), &self.module.types);
+        decl.linkage = df.linkage;
+        decl.address_taken = df.address_taken;
+        let sid = self.module.add_function(decl);
+        self.from_donor.insert(f, sid);
+        self.to_donor.insert(sid, f);
+        sid
+    }
+}
+
+/// The result of a successful [`transplant_function`].
+#[derive(Debug)]
+pub struct Transplanted {
+    /// The new function's id in the destination module.
+    pub func: FuncId,
+    /// The type translation applied (source store → destination store);
+    /// callers remap any [`TyId`]s they recorded alongside the scratch
+    /// build through this.
+    pub types: TypeMap,
+}
+
+/// Splices `func` from `src` into `dst` under `name`.
+///
+/// Types are migrated with [`migrate_types`]; function-reference operands
+/// are resolved through `func_map` (scratch id → destination id);
+/// instruction and block ids are preserved verbatim, tombstones included,
+/// so the transplanted function prints identically to the same function
+/// built directly in `dst`.
+///
+/// # Errors
+///
+/// [`TransplantError::UnmappedFunction`] for a function operand absent
+/// from `func_map`; [`TransplantError::DuplicateName`] when `dst` already
+/// defines `name`. In both cases no function is added to `dst` (types
+/// already migrated stay interned, which is harmless).
+pub fn transplant_function(
+    dst: &mut Module,
+    src: &Module,
+    func: FuncId,
+    name: impl Into<String>,
+    func_map: &HashMap<FuncId, FuncId>,
+) -> Result<Transplanted, TransplantError> {
+    transplant_with_prefix(dst, src, func, name, func_map, 0)
+}
+
+fn transplant_with_prefix(
+    dst: &mut Module,
+    src: &Module,
+    func: FuncId,
+    name: impl Into<String>,
+    func_map: &HashMap<FuncId, FuncId>,
+    shared_prefix: usize,
+) -> Result<Transplanted, TransplantError> {
+    let name = name.into();
+    if dst.func_by_name(&name).is_some() {
+        return Err(TransplantError::DuplicateName(name));
+    }
+    let tmap = migrate_types_suffix(&src.types, &mut dst.types, shared_prefix);
+    let mut f = src.func(func).clone();
+    f.name = name;
+    f.set_fn_ty(tmap.get(f.fn_ty()));
+    for p in f.params_mut() {
+        p.ty = tmap.get(p.ty);
+    }
+    // `f` is a local clone and `dst` is untouched until `add_function`,
+    // so remapping in place is safe: an unmapped-function error mid-walk
+    // just drops the clone.
+    for iid in f.inst_ids() {
+        let inst = f.inst_mut(iid);
+        for op in &mut inst.operands {
+            *op = match *op {
+                Value::Func(g) => {
+                    Value::Func(*func_map.get(&g).ok_or(TransplantError::UnmappedFunction(g))?)
+                }
+                Value::ConstInt { ty, bits } => Value::ConstInt { ty: tmap.get(ty), bits },
+                Value::ConstFloat { ty, bits } => Value::ConstFloat { ty: tmap.get(ty), bits },
+                Value::ConstNull(ty) => Value::ConstNull(tmap.get(ty)),
+                Value::Undef(ty) => Value::Undef(tmap.get(ty)),
+                other => other,
+            };
+        }
+        inst.ty = tmap.get(inst.ty);
+        match &mut inst.extra {
+            ExtraData::Alloca { allocated } => *allocated = tmap.get(*allocated),
+            ExtraData::Gep { source_elem } => *source_elem = tmap.get(*source_elem),
+            _ => {}
+        }
+    }
+    let id = dst.add_function(f);
+    Ok(Transplanted { func: id, types: tmap })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::printer::print_module;
+    use crate::verifier::verify_module;
+
+    fn donor_with_callee() -> (Module, FuncId, FuncId) {
+        let mut m = Module::new("donor");
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![i32t]);
+        let callee = m.create_function("callee", fn_ty);
+        {
+            let mut b = FuncBuilder::new(&mut m, callee);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let v = b.add(Value::Param(0), b.const_i32(1));
+            b.ret(Some(v));
+        }
+        let f = m.create_function("f", fn_ty);
+        {
+            let mut b = FuncBuilder::new(&mut m, f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let v = b.call(callee, vec![Value::Param(0)]);
+            let w = b.mul(v, b.const_i32(3));
+            b.ret(Some(w));
+        }
+        (m, f, callee)
+    }
+
+    #[test]
+    fn migrate_into_clone_is_identity() {
+        let (m, _, _) = donor_with_callee();
+        let mut dst = m.types.clone();
+        let map = migrate_types(&m.types, &mut dst);
+        assert_eq!(dst.len(), m.types.len(), "no new types appended");
+        for i in 0..m.types.len() {
+            assert_eq!(map.get(TyId(i as u32)), TyId(i as u32));
+        }
+    }
+
+    #[test]
+    fn migrate_appends_suffix_in_order() {
+        let (m, _, _) = donor_with_callee();
+        let mut scratch = m.types.clone();
+        let p1 = scratch.ptr(scratch.i64());
+        let p2 = scratch.ptr(p1);
+        let mut dst = m.types.clone();
+        let map = migrate_types(&scratch, &mut dst);
+        // Suffix types land at the same indices a direct build would use.
+        assert_eq!(map.get(p1), p1);
+        assert_eq!(map.get(p2), p2);
+        assert_eq!(dst.len(), scratch.len());
+        assert_eq!(dst.display(map.get(p2)), "i64**");
+    }
+
+    #[test]
+    fn import_and_transplant_round_trips() {
+        let (m, f, callee) = donor_with_callee();
+        let mut scratch = ScratchModule::new(&m);
+        let sf = scratch.import_function(&m, f);
+        assert_eq!(scratch.donor_of(sf), Some(f));
+        // The callee came along as a declaration with its signature.
+        let scallee = scratch.module.func_by_name("callee").expect("callee imported");
+        assert!(scratch.module.func(scallee).is_declaration());
+        assert_eq!(scratch.donor_of(scallee), Some(callee));
+        assert!(verify_module(&scratch.module).is_empty(), "{:?}", verify_module(&scratch.module));
+        // Transplant back into the donor under a fresh name: the body must
+        // print identically (modulo the define line) and verify.
+        let mut dst = m.clone();
+        let t = transplant_function(&mut dst, &scratch.module, sf, "f.copy", scratch.func_map())
+            .expect("transplants");
+        assert!(verify_module(&dst).is_empty(), "{:?}", verify_module(&dst));
+        let orig = crate::printer::print_function(&m, m.func(f));
+        let copy = crate::printer::print_function(&dst, dst.func(t.func));
+        assert_eq!(orig.replace("@f(", "@f.copy("), copy);
+    }
+
+    #[test]
+    fn reimport_upgrades_declaration_in_place() {
+        let (m, f, callee) = donor_with_callee();
+        let mut scratch = ScratchModule::new(&m);
+        let sf = scratch.import_function(&m, f); // pulls callee as a decl
+        let sc = scratch.module.func_by_name("callee").expect("decl");
+        let upgraded = scratch.import_function(&m, callee);
+        assert_eq!(upgraded, sc, "upgrade keeps the id");
+        assert!(!scratch.module.func(sc).is_declaration());
+        assert!(verify_module(&scratch.module).is_empty());
+        let _ = sf;
+    }
+
+    #[test]
+    fn self_recursion_maps_through_the_scratch_clone() {
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![i32t]);
+        let f = m.create_function("rec", fn_ty);
+        {
+            let mut b = FuncBuilder::new(&mut m, f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let v = b.call(f, vec![Value::Param(0)]);
+            b.ret(Some(v));
+        }
+        let mut scratch = ScratchModule::new(&m);
+        let sf = scratch.import_function(&m, f);
+        // The self-call references the scratch clone, not the donor id.
+        let body = scratch.module.func(sf);
+        let call = body.block(body.entry()).insts[0];
+        assert_eq!(body.inst(call).operands[0], Value::Func(sf));
+        let mut dst = m.clone();
+        let t = transplant_function(&mut dst, &scratch.module, sf, "rec.copy", scratch.func_map())
+            .expect("transplants");
+        // ... and resolves back to the donor function on transplant.
+        let out = dst.func(t.func);
+        let call = out.block(out.entry()).insts[0];
+        assert_eq!(out.inst(call).operands[0], Value::Func(f));
+    }
+
+    #[test]
+    fn unmapped_function_reference_is_an_error() {
+        let (m, f, _) = donor_with_callee();
+        let mut scratch = ScratchModule::new(&m);
+        let sf = scratch.import_function(&m, f);
+        let mut dst = m.clone();
+        let empty = HashMap::new();
+        let err = transplant_function(&mut dst, &scratch.module, sf, "f.copy", &empty);
+        assert!(matches!(err, Err(TransplantError::UnmappedFunction(_))), "{err:?}");
+        assert!(dst.func_by_name("f.copy").is_none(), "nothing was added");
+    }
+
+    #[test]
+    fn duplicate_name_is_an_error() {
+        let (m, f, _) = donor_with_callee();
+        let mut scratch = ScratchModule::new(&m);
+        let sf = scratch.import_function(&m, f);
+        let mut dst = m.clone();
+        let err = transplant_function(&mut dst, &scratch.module, sf, "f", scratch.func_map());
+        assert!(matches!(err, Err(TransplantError::DuplicateName(_))), "{err:?}");
+    }
+
+    #[test]
+    fn transplant_preserves_tombstoned_arena_indices() {
+        // Build a function, remove an instruction (leaving a gap), and
+        // check the transplanted copy prints the same raw value numbers.
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![i32t]);
+        let f = m.create_function("gappy", fn_ty);
+        let b = m.func_mut(f).add_block("entry");
+        let dead = m.func_mut(f).append_inst(
+            b,
+            crate::inst::Inst::new(
+                crate::inst::Opcode::Add,
+                i32t,
+                vec![Value::Param(0), Value::Param(0)],
+            ),
+        );
+        let live = m.func_mut(f).append_inst(
+            b,
+            crate::inst::Inst::new(
+                crate::inst::Opcode::Mul,
+                i32t,
+                vec![Value::Param(0), Value::Param(0)],
+            ),
+        );
+        let void = m.types.void();
+        m.func_mut(f).append_inst(
+            b,
+            crate::inst::Inst::new(crate::inst::Opcode::Ret, void, vec![Value::Inst(live)]),
+        );
+        m.func_mut(f).remove_inst(dead);
+        let mut scratch = ScratchModule::new(&m);
+        let sf = scratch.import_function(&m, f);
+        let mut dst = Module::new("dst");
+        let t = transplant_function(&mut dst, &scratch.module, sf, "gappy", scratch.func_map())
+            .expect("transplants");
+        assert_eq!(
+            print_module(&m).replace("; module m", "; module dst"),
+            print_module(&dst),
+            "raw ids (including the gap left by the removed inst) must survive"
+        );
+        assert!(dst.func(t.func).is_live_inst(live));
+    }
+}

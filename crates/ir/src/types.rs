@@ -158,6 +158,14 @@ impl TypeStore {
         self.types.len()
     }
 
+    /// Whether `id` refers to a type interned in *this* store. Ids from a
+    /// different store with a larger type table are out of range here;
+    /// [`TypeStore::get`] would panic on them. The verifier uses this to
+    /// report cross-module type ids instead of crashing.
+    pub fn contains(&self, id: TyId) -> bool {
+        (id.0 as usize) < self.types.len()
+    }
+
     /// Whether the store contains only the pre-interned primitives.
     pub fn is_empty(&self) -> bool {
         false // primitives are always present

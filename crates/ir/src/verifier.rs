@@ -84,7 +84,25 @@ impl<'a> Verifier<'a> {
     }
 
     fn run(&mut self) {
-        if self.f.is_declaration() {
+        // Signature types must come from this module's store before
+        // anything else: the per-instruction checks read the return and
+        // parameter types, and a foreign id (e.g. a transplant that never
+        // remapped fn_ty) would panic the store lookup.
+        let ts = &self.module.types;
+        let mut sig_tys = vec![self.f.fn_ty()];
+        sig_tys.extend(self.f.params().iter().map(|p| p.ty));
+        let mut sig_ok = true;
+        for ty in sig_tys {
+            if !ts.contains(ty) {
+                self.err(
+                    None,
+                    None,
+                    format!("signature type id {ty} is not in this module's store"),
+                );
+                sig_ok = false;
+            }
+        }
+        if !sig_ok || self.f.is_declaration() {
             return;
         }
         let entry = self.f.entry();
@@ -126,9 +144,45 @@ impl<'a> Verifier<'a> {
                     "landingpad must be the first instruction of its block".into(),
                 );
             }
+            if !self.check_tyids_in_range(b, iid, inst) {
+                // Out-of-range type ids (a botched cross-module transplant)
+                // would make the typing checks index past the store.
+                continue;
+            }
             self.check_operands(b, iid, inst);
             self.check_typing(b, iid, inst);
         }
+    }
+
+    /// Every [`crate::TyId`] an instruction carries must come from this
+    /// module's store; ids from a foreign (e.g. scratch) store are reported
+    /// instead of panicking deeper in the typing checks. Returns whether
+    /// all ids were in range.
+    fn check_tyids_in_range(&mut self, b: BlockId, iid: InstId, inst: &Inst) -> bool {
+        let ts = &self.module.types;
+        let mut tys = vec![inst.ty];
+        for op in &inst.operands {
+            match *op {
+                Value::ConstInt { ty, .. }
+                | Value::ConstFloat { ty, .. }
+                | Value::ConstNull(ty)
+                | Value::Undef(ty) => tys.push(ty),
+                _ => {}
+            }
+        }
+        match &inst.extra {
+            ExtraData::Alloca { allocated } => tys.push(*allocated),
+            ExtraData::Gep { source_elem } => tys.push(*source_elem),
+            _ => {}
+        }
+        let mut ok = true;
+        for ty in tys {
+            if !ts.contains(ty) {
+                self.err(Some(b), Some(iid), format!("type id {ty} is not in this module's store"));
+                ok = false;
+            }
+        }
+        ok
     }
 
     fn check_operands(&mut self, b: BlockId, iid: InstId, inst: &Inst) {
@@ -153,6 +207,11 @@ impl<'a> Verifier<'a> {
 
     fn value_ty(&self, v: Value) -> Option<crate::types::TyId> {
         match v {
+            // A dangling function reference (removed, or a cross-module id
+            // that was never remapped) must degrade to "unknown type":
+            // `check_operands` already reported it, and indexing the
+            // function table here would panic.
+            Value::Func(fid) if !self.module.is_live(fid) => None,
             Value::Func(fid) => Some(self.module.func(fid).fn_ty()),
             Value::Inst(i) if !self.f.is_live_inst(i) => None,
             Value::Param(p) if p as usize >= self.f.params().len() => None,
@@ -416,6 +475,11 @@ impl<'a> Verifier<'a> {
                     if incoming.len() != nops {
                         fail(self, "phi incoming blocks do not match operand count".into());
                     }
+                    for &ib in incoming {
+                        if !self.f.is_live_block(ib) {
+                            fail(self, format!("phi incoming block {ib} was removed"));
+                        }
+                    }
                     for (k, ty) in tys.iter().enumerate() {
                         if let Some(t) = ty {
                             if *t != inst.ty {
@@ -553,6 +617,81 @@ mod tests {
         b.br(entry); // self-loop into entry
         let errs = verify_module(&m);
         assert!(errs.iter().any(|e| e.message.contains("entry block")), "{errs:?}");
+    }
+
+    #[test]
+    fn dangling_function_reference_reported_not_panicking() {
+        // A call whose callee id points past the function table (e.g. a
+        // cross-module FuncId that was never remapped by a transplant)
+        // must produce a verify error, not an index panic.
+        let mut m = Module::new("m");
+        let void = m.types.void();
+        let fn_ty = m.types.func(void, vec![]);
+        let f = m.create_function("f", fn_ty);
+        let b = m.func_mut(f).add_block("entry");
+        let bogus = FuncId::from_index(999);
+        m.func_mut(f).append_inst(b, Inst::new(Opcode::Call, void, vec![Value::Func(bogus)]));
+        m.func_mut(f).append_inst(b, Inst::new(Opcode::Ret, void, vec![]));
+        let errs = verify_module(&m);
+        assert!(errs.iter().any(|e| e.message.contains("was removed")), "{errs:?}");
+    }
+
+    #[test]
+    fn foreign_type_id_reported_not_panicking() {
+        // A TyId from a bigger (scratch) store is out of range here; the
+        // verifier must report it instead of indexing past the store.
+        let mut m = Module::new("m");
+        let void = m.types.void();
+        let fn_ty = m.types.func(void, vec![]);
+        let f = m.create_function("f", fn_ty);
+        let b = m.func_mut(f).add_block("entry");
+        let mut foreign = m.types.clone();
+        let inner = foreign.ptr(foreign.i64());
+        let alien = foreign.ptr(inner);
+        assert!(!m.types.contains(alien));
+        m.func_mut(f).append_inst(b, Inst::new(Opcode::Ret, void, vec![Value::Undef(alien)]));
+        let errs = verify_module(&m);
+        assert!(errs.iter().any(|e| e.message.contains("not in this module's store")), "{errs:?}");
+    }
+
+    #[test]
+    fn foreign_signature_type_reported_not_panicking() {
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![i32t]);
+        let f = m.create_function("f", fn_ty);
+        let b = m.func_mut(f).add_block("entry");
+        let void = m.types.void();
+        m.func_mut(f).append_inst(b, Inst::new(Opcode::Ret, void, vec![Value::Param(0)]));
+        // Point a parameter type at an id only a bigger store knows.
+        let mut foreign = m.types.clone();
+        let alien = foreign.ptr(foreign.i64());
+        m.func_mut(f).params_mut()[0].ty = alien;
+        let errs = verify_module(&m);
+        assert!(errs.iter().any(|e| e.message.contains("signature type id")), "{errs:?}");
+    }
+
+    #[test]
+    fn phi_removed_incoming_block_detected() {
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![i32t]);
+        let f = m.create_function("f", fn_ty);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        let dead = b.block("dead");
+        let join = b.block("join");
+        b.switch_to(entry);
+        b.br(join);
+        b.switch_to(dead);
+        b.br(join);
+        b.switch_to(join);
+        let phi = b.phi(i32t, vec![(Value::Param(0), entry), (Value::Param(0), dead)]);
+        b.ret(Some(phi));
+        m.func_mut(f).remove_block(dead);
+        // The phi still names `dead` as an incoming block.
+        let errs = verify_module(&m);
+        assert!(errs.iter().any(|e| e.message.contains("incoming block")), "{errs:?}");
     }
 
     #[test]

@@ -88,6 +88,51 @@ fn stress_shared_candidates_exercise_conflict_revalidation() {
     assert!(fmsa::ir::verify_module(&m_par).is_empty());
 }
 
+/// With speculative codegen enabled (the default), every thread count
+/// must produce the identical merge list and module text — and on the
+/// swarm workload the majority of speculative bodies must be committed
+/// unmodified (the transplant path is the common case, not the fallback).
+#[test]
+fn stress_speculative_codegen_across_thread_counts() {
+    let cfg = SwarmConfig {
+        functions: 120,
+        family_size: 6,
+        clone_fraction: 0.7,
+        target_size: 18,
+        seed: 0x5bec_c0de,
+    };
+    let base = clone_swarm_module(&cfg);
+    let opts =
+        FmsaOptions { threshold: 5, search: SearchStrategy::lsh(), ..FmsaOptions::default() };
+    let mut m_seq = base.clone();
+    let seq = run_fmsa(&mut m_seq, &opts);
+    let seq_text = print_module(&m_seq);
+    assert!(seq.merges > 5, "stress module must merge: {}", seq.merges);
+    for threads in [1usize, 2, 4, 8] {
+        let mut m_par = base.clone();
+        let par = run_fmsa_pipeline(&mut m_par, &opts, &PipelineOptions::with_threads(threads));
+        assert_eq!(seq.merges, par.merges, "merge count at {threads} threads");
+        assert_eq!(
+            seq.rank_positions, par.rank_positions,
+            "merge list (rank order) at {threads} threads"
+        );
+        assert_eq!(seq_text, print_module(&m_par), "module text at {threads} threads");
+        let p = par.pipeline.expect("pipeline stats");
+        if threads == 1 {
+            assert_eq!(p.spec_built, 0, "one thread runs without speculation: {p:?}");
+        } else {
+            assert!(p.spec_built > 0, "speculative bodies must be built: {p:?}");
+            assert!(p.spec_committed > 0, "transplants must land: {p:?}");
+            let rate = p.spec_hit_rate().expect("bodies reached commit");
+            assert!(
+                rate >= 0.5,
+                "≥50% of speculative bodies must commit unmodified, got {rate:.2}: {p:?}"
+            );
+        }
+        assert!(fmsa::ir::verify_module(&m_par).is_empty());
+    }
+}
+
 /// The pipeline also replays the sequential pass on the calibrated suite
 /// modules (exact search, the paper's configuration).
 #[test]

@@ -1,0 +1,136 @@
+//! Cross-crate tests of scratch-module speculative codegen and the
+//! transplant that commits it: for any pair the pass would merge, building
+//! the merged function detached (scratch module + transplant) must be
+//! indistinguishable — printer output, ids, type-store evolution — from
+//! building it directly in the main module.
+
+use fmsa::core::fingerprint::Fingerprint;
+use fmsa::core::linearize::linearize;
+use fmsa::core::merge::{
+    align_with, commit_speculative, merge_pair_aligned, speculate_merge, MergeConfig,
+};
+use fmsa::core::ranking::rank_candidates;
+use fmsa::ir::printer::print_module;
+use fmsa::ir::{FuncId, Module};
+use fmsa::workloads::{clone_swarm_module, spec_suite, SwarmConfig};
+use proptest::prelude::*;
+
+/// Merges `(f1, f2)` both ways — direct codegen vs speculative build +
+/// transplant — and asserts the results are byte-identical. Returns
+/// whether the pair merged at all.
+fn assert_round_trip(base: &Module, f1: FuncId, f2: FuncId) -> bool {
+    let config = MergeConfig::default();
+    let seq1 = linearize(base.func(f1));
+    let seq2 = linearize(base.func(f2));
+    if seq1.is_empty() || seq2.is_empty() {
+        return false;
+    }
+    let al = align_with(base, f1, f2, &seq1, &seq2, &config.scoring, config.algorithm);
+
+    let mut direct = base.clone();
+    let direct_info =
+        merge_pair_aligned(&mut direct, f1, f2, seq1.clone(), seq2.clone(), al.clone(), &config);
+
+    let mut spec_m = base.clone();
+    let spec = speculate_merge(&spec_m, f1, f2, &seq1, &seq2, al, &config);
+
+    match (direct_info, spec) {
+        (Ok(di), Ok(sp)) => {
+            let si = commit_speculative(&mut spec_m, sp, &config).expect("transplant commits");
+            assert_eq!(
+                print_module(&direct),
+                print_module(&spec_m),
+                "transplanted module must print identically to the directly built one"
+            );
+            assert_eq!(di.merged, si.merged, "same FuncId allocation");
+            assert_eq!(di.params, si.params);
+            assert_eq!(di.ret, si.ret);
+            assert_eq!(di.has_func_id, si.has_func_id);
+            assert_eq!(
+                spec_m.types.len(),
+                direct.types.len(),
+                "type-store evolution must match (MinHash depends on type-id values)"
+            );
+            assert!(
+                fmsa::ir::verify_module(&spec_m).is_empty(),
+                "{:?}",
+                fmsa::ir::verify_module(&spec_m)
+            );
+            true
+        }
+        (direct_err, spec_err) => {
+            // Failures must agree too: a pair direct codegen rejects must
+            // be rejected by the speculative build, and vice versa.
+            assert_eq!(
+                direct_err.is_ok(),
+                spec_err.is_ok(),
+                "direct={direct_err:?} speculative-path-ok={}",
+                spec_err.is_ok()
+            );
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Transplanting a scratch-built merged function round-trips: for a
+    /// random swarm module and each subject's top-ranked candidate, the
+    /// printer output of the transplanted module equals the sequentially
+    /// built one.
+    #[test]
+    fn transplant_round_trips_on_swarm_pairs(
+        functions in 6usize..24,
+        family_size in 2usize..5,
+        clone_percent in 30usize..95,
+        target_size in 8usize..28,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = SwarmConfig {
+            functions,
+            family_size,
+            clone_fraction: clone_percent as f64 / 100.0,
+            target_size,
+            seed,
+        };
+        let base = clone_swarm_module(&cfg);
+        let ids = base.func_ids();
+        let fps: Vec<(FuncId, Fingerprint)> =
+            ids.iter().map(|&f| (f, Fingerprint::of(&base, f))).collect();
+        let mut merged_any = false;
+        for (k, &(f1, ref fp1)) in fps.iter().enumerate() {
+            let others =
+                fps.iter().enumerate().filter(|&(j, _)| j != k).map(|(_, (f, fp))| (*f, fp));
+            let Some(best) = rank_candidates(f1, fp1, others, 1, 0.0).into_iter().next() else {
+                continue;
+            };
+            merged_any |= assert_round_trip(&base, f1, best.func);
+        }
+        prop_assert!(merged_any, "swarm module produced no mergeable pair");
+    }
+}
+
+/// The round trip also holds on the calibrated suite modules (realistic
+/// CFGs: branches, loops, calls, exception handling).
+#[test]
+fn transplant_round_trips_on_suite_pairs() {
+    let mut checked = 0;
+    for d in spec_suite().into_iter().filter(|d| d.paper_fns <= 300) {
+        let base = d.build();
+        let ids = base.func_ids();
+        let fps: Vec<(FuncId, Fingerprint)> =
+            ids.iter().map(|&f| (f, Fingerprint::of(&base, f))).collect();
+        for (k, &(f1, ref fp1)) in fps.iter().enumerate().take(12) {
+            let others =
+                fps.iter().enumerate().filter(|&(j, _)| j != k).map(|(_, (f, fp))| (*f, fp));
+            let Some(best) = rank_candidates(f1, fp1, others, 1, 0.0).into_iter().next() else {
+                continue;
+            };
+            if assert_round_trip(&base, f1, best.func) {
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 5, "suite sample too small: {checked}");
+}
