@@ -1,0 +1,72 @@
+//! Criterion benchmarks for speculative scratch-module setup: the cost of
+//! seeding a `ScratchModule`'s type store from a donor, comparing the
+//! historical deep clone (never-frozen donor) against the copy-on-write
+//! share (donor frozen at schedule time, as the pipeline does once per
+//! generation).
+//!
+//! The pipeline builds one scratch module per speculative merge — tens of
+//! thousands per pass at the 5 000-function scale — so setup cost must
+//! not scale with the interned-type count. The `cow-` rows should stay
+//! flat at 100/1 000/5 000 types while the `cloned-` rows grow linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmsa_ir::{Module, ScratchModule, TypeStore};
+
+/// A store with `n` distinct composite types beyond the primitives (a
+/// pointer chain, so every entry is structurally unique).
+fn store_with_types(n: usize) -> TypeStore {
+    let mut ts = TypeStore::new();
+    let mut ty = ts.i64();
+    for _ in 0..n {
+        ty = ts.ptr(ty);
+    }
+    ts
+}
+
+fn bench_store_clone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scratch-setup-store-clone");
+    for &n in &[100usize, 1000, 5000] {
+        let cold = store_with_types(n);
+        assert_eq!(cold.frozen_len(), 0, "unfrozen donor clones everything");
+        group.bench_with_input(BenchmarkId::new("cloned", n), &n, |b, _| {
+            b.iter(|| cold.clone().len());
+        });
+        let mut frozen = store_with_types(n);
+        frozen.freeze();
+        assert!(frozen.is_fully_frozen());
+        group.bench_with_input(BenchmarkId::new("cow", n), &n, |b, _| {
+            b.iter(|| frozen.clone().len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_scratch_module_new(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scratch-setup-module-new");
+    for &n in &[100usize, 1000, 5000] {
+        let mut donor = Module::new("donor");
+        let mut ty = donor.types.i64();
+        for _ in 0..n {
+            ty = donor.types.ptr(ty);
+        }
+        group.bench_with_input(BenchmarkId::new("cloned", n), &n, |b, _| {
+            b.iter(|| {
+                let s = ScratchModule::new(&donor);
+                assert!(!s.setup().is_fully_shared());
+                s.setup().cloned_types
+            });
+        });
+        donor.types.freeze();
+        group.bench_with_input(BenchmarkId::new("cow", n), &n, |b, _| {
+            b.iter(|| {
+                let s = ScratchModule::new(&donor);
+                assert!(s.setup().is_fully_shared());
+                s.setup().shared_types
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_clone, bench_scratch_module_new);
+criterion_main!(benches);

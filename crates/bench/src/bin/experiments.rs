@@ -20,7 +20,11 @@
 //! `--json <path>` appends one self-describing JSON line per measured
 //! configuration (the `BENCH_ci.json` artifact), and `--check` turns
 //! parity-budget violations (LSH vs exact, pipeline vs sequential) into
-//! a non-zero exit for the CI gate.
+//! a non-zero exit for the CI gate. `merge-parallel` additionally honours
+//! `--spec-depth N` (speculative codegen depth per subject; default:
+//! every promising pair) and `--spec-batch N` (subjects scheduled per
+//! generation; default: auto) — the knobs of
+//! `fmsa_core::pipeline::PipelineOptions`.
 
 use fmsa_bench::harness::{
     mean, rank_cdf, run_benchmark, run_runtime_experiment, BenchResult, Json, Report, RunPlan,
@@ -42,12 +46,33 @@ fn main() {
     let fast = args.iter().any(|a| a == "--fast");
     let check = args.iter().any(|a| a == "--check");
     let json_path = args.iter().position(|a| a == "--json").and_then(|k| args.get(k + 1)).cloned();
+    let flag_value = |name: &str| -> Option<usize> {
+        let k = args.iter().position(|a| a == name)?;
+        match args.get(k + 1).map(|v| (v, v.parse())) {
+            Some((_, Ok(n))) => Some(n),
+            other => {
+                let got = other.map(|(v, _)| format!("got {v:?}")).unwrap_or("missing".into());
+                eprintln!("experiments: {name} needs a number, {got}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let mut pipe_overrides = PipelineOptions::default();
+    if let Some(depth) = flag_value("--spec-depth") {
+        pipe_overrides.spec_depth = depth;
+    }
+    if let Some(batch) = flag_value("--spec-batch") {
+        pipe_overrides.batch = batch;
+    }
+    let value_flags = ["--json", "--spec-depth", "--spec-batch"];
     let cmd = args
         .iter()
         .enumerate()
         .find(|(k, a)| {
             !a.starts_with("--")
-                && args.get(k.wrapping_sub(1)).map(String::as_str) != Some("--json")
+                && !args
+                    .get(k.wrapping_sub(1))
+                    .is_some_and(|prev| value_flags.contains(&prev.as_str()))
         })
         .map(|(_, a)| a.clone())
         .unwrap_or_else(|| "all".to_owned());
@@ -75,7 +100,7 @@ fn main() {
         "fig14" => fig14(&spec),
         "ablation-params" => ablation_params(&spec),
         "search" => search_scalability(fast, &mut report),
-        "merge-parallel" => merge_parallel(fast, &mut report),
+        "merge-parallel" => merge_parallel(fast, &pipe_overrides, &mut report),
         "all" => {
             table(&spec, "Table I (SPEC CPU2006)");
             table(&mibench, "Table II (MiBench)");
@@ -87,7 +112,7 @@ fn main() {
             fig14(&spec);
             ablation_params(&spec);
             search_scalability(fast, &mut report);
-            merge_parallel(fast, &mut report);
+            merge_parallel(fast, &pipe_overrides, &mut report);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
@@ -425,12 +450,25 @@ fn search_scalability(fast: bool, report: &mut Report) {
 
 // ---------------------------------------------------------------- pipeline
 
-fn merge_parallel(fast: bool, report: &mut Report) {
+fn merge_parallel(fast: bool, pipe_overrides: &PipelineOptions, report: &mut Report) {
     use fmsa_core::SearchStrategy;
     use fmsa_ir::printer::print_module;
     use fmsa_workloads::{clone_swarm_module, SwarmConfig};
     let auto = PipelineOptions::default().resolved_threads();
-    println!("\n== Parallel merge pipeline vs sequential driver (t=5, lsh search) ==");
+    let spec_depth_label = if pipe_overrides.spec_depth == usize::MAX {
+        "all".to_owned()
+    } else {
+        pipe_overrides.spec_depth.to_string()
+    };
+    println!(
+        "\n== Parallel merge pipeline vs sequential driver (t=5, lsh search, \
+         spec-depth={spec_depth_label}, spec-batch={}) ==",
+        if pipe_overrides.batch == 0 {
+            "auto".to_owned()
+        } else {
+            pipe_overrides.batch.to_string()
+        }
+    );
     println!(
         "{:>6} {:<11} {:>7} {:>10} {:>8} {:>11} {:>10} {:>8}",
         "#fns", "driver", "threads", "wall", "merges", "reduction%", "identical", "speedup"
@@ -469,15 +507,16 @@ fn merge_parallel(fast: bool, report: &mut Report) {
         ]);
         // threads=1 is the PR 2-style no-speculation baseline; threads=2
         // exercises speculative codegen + transplant even on a single
-        // core (CI runs `--check` over both); `auto` adds the machine's
-        // real parallelism when it offers more.
-        let mut thread_counts = vec![1usize, 2];
-        if auto > 2 {
+        // core; threads=4 adds multi-partition parallel call-site
+        // rewriting (CI runs `--check` over all three); `auto` adds the
+        // machine's real parallelism when it offers more.
+        let mut thread_counts = vec![1usize, 2, 4];
+        if auto > 4 {
             thread_counts.push(auto);
         }
         for threads in thread_counts {
             let mut m_par = base.clone();
-            let pipe = PipelineOptions::with_threads(threads);
+            let pipe = PipelineOptions { threads, ..*pipe_overrides };
             let t0 = std::time::Instant::now();
             let par = run_fmsa_pipeline(&mut m_par, &opts, &pipe);
             let t_par = t0.elapsed();
@@ -497,7 +536,7 @@ fn merge_parallel(fast: bool, report: &mut Report) {
             let p = par.pipeline.unwrap_or_default();
             println!(
                 "       stages: schedule {:.2?}, prepare {:.2?} (spec codegen {:.2?}), \
-                 commit {:.2?} (codegen {:.2?}, transplant {:.2?}); \
+                 commit {:.2?} (codegen {:.2?}, transplant {:.2?}, rewrite {:.2?}); \
                  spec bodies built {} / used {} (committed {}) / fallback {}",
                 p.schedule,
                 p.prepare,
@@ -505,11 +544,22 @@ fn merge_parallel(fast: bool, report: &mut Report) {
                 p.commit,
                 p.commit_codegen,
                 p.transplant,
+                p.rewrite,
                 p.spec_built,
                 p.spec_used,
                 p.spec_committed,
                 p.spec_fallback,
             );
+            if p.spec_built > 0 {
+                println!(
+                    "       scratch setup: {} COW-shared / {} cloned stores, \
+                     {} suffix types interned, ~{:.1} MiB of store copies avoided",
+                    p.scratch_cow_shared,
+                    p.scratch_cloned,
+                    p.scratch_suffix_types,
+                    p.scratch_bytes_avoided as f64 / (1024.0 * 1024.0),
+                );
+            }
             report.record(&[
                 ("experiment", Json::S("merge-parallel".into())),
                 ("functions", Json::I(n as i64)),
@@ -517,6 +567,8 @@ fn merge_parallel(fast: bool, report: &mut Report) {
                 ("search", Json::S("lsh".into())),
                 ("alignment", Json::S("needleman-wunsch".into())),
                 ("threads", Json::I(threads as i64)),
+                ("spec_depth", Json::S(spec_depth_label.clone())),
+                ("spec_batch", Json::I(pipe.batch as i64)),
                 ("merges", Json::I(par.merges as i64)),
                 ("reduction_percent", Json::F(par.reduction_percent())),
                 ("wall_s", Json::F(t_par.as_secs_f64())),
@@ -536,6 +588,13 @@ fn merge_parallel(fast: bool, report: &mut Report) {
                 ("commit_s", Json::F(p.commit.as_secs_f64())),
                 ("commit_codegen_s", Json::F(p.commit_codegen.as_secs_f64())),
                 ("transplant_s", Json::F(p.transplant.as_secs_f64())),
+                // Commit-stage call-graph update (partitioned rewrite plan).
+                ("rewrite_s", Json::F(p.rewrite.as_secs_f64())),
+                // Scratch-setup telemetry of the COW type store.
+                ("scratch_cow_shared", Json::I(p.scratch_cow_shared as i64)),
+                ("scratch_cloned", Json::I(p.scratch_cloned as i64)),
+                ("scratch_suffix_types", Json::I(p.scratch_suffix_types as i64)),
+                ("scratch_bytes_avoided", Json::I(p.scratch_bytes_avoided as i64)),
                 ("spec_built", Json::I(p.spec_built as i64)),
                 ("spec_used", Json::I(p.spec_used as i64)),
                 ("spec_committed", Json::I(p.spec_committed as i64)),

@@ -3,14 +3,19 @@
 //! ```text
 //! fmsa_opt <input.fir> [--technique identical|soa|fmsa] [--threshold N]
 //!          [--oracle] [--arch x86-64|arm-thumb] [--canonicalize]
-//!          [--search exact|lsh|auto] [--threads N] [--exclude name,name]
-//!          [--stats] [-o <output.fir>]
+//!          [--search exact|lsh|auto] [--threads N] [--spec-depth N]
+//!          [--spec-batch N] [--exclude name,name] [--stats]
+//!          [-o <output.fir>]
 //! ```
 //!
 //! `--threads N` selects the parallel merge pipeline with `N` workers
 //! (`0` = available parallelism); without it the paper's sequential
 //! driver runs. Both produce bit-identical output (see
-//! `fmsa_core::pipeline`).
+//! `fmsa_core::pipeline`). `--spec-depth N` bounds how many of each
+//! subject's promising candidates get speculative merge codegen per
+//! generation (`0` disables speculation, default: all) and
+//! `--spec-batch N` fixes the subjects scheduled per generation
+//! (default: auto); both only apply together with `--threads`.
 //!
 //! The input format is the printer/parser syntax of `fmsa-ir` (see
 //! `fmsa_ir::printer`); `cargo run --example quickstart` prints modules in
@@ -33,7 +38,8 @@ fn main() -> ExitCode {
             "usage: fmsa_opt <input.fir> [--technique identical|soa|fmsa] \
              [--threshold N] [--oracle] [--arch x86-64|arm-thumb] \
              [--canonicalize] [--search exact|lsh|auto] [--threads N] \
-             [--exclude a,b] [--stats] [-o out.fir]"
+             [--spec-depth N] [--spec-batch N] [--exclude a,b] [--stats] \
+             [-o out.fir]"
         );
         return ExitCode::from(2);
     }
@@ -46,6 +52,8 @@ fn main() -> ExitCode {
     let mut canonicalize = false;
     let mut search = SearchStrategy::Auto;
     let mut threads: Option<usize> = None;
+    let mut spec_depth: Option<usize> = None;
+    let mut spec_batch: Option<usize> = None;
     let mut exclude: HashSet<String> = HashSet::new();
     let mut stats = false;
     let mut it = args.into_iter();
@@ -72,6 +80,20 @@ fn main() -> ExitCode {
                 Some(Ok(n)) => threads = Some(n),
                 _ => {
                     eprintln!("fmsa_opt: --threads needs a number (0 = available parallelism)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--spec-depth" => match it.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => spec_depth = Some(n),
+                _ => {
+                    eprintln!("fmsa_opt: --spec-depth needs a number (0 disables speculation)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--spec-batch" => match it.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => spec_batch = Some(n),
+                _ => {
+                    eprintln!("fmsa_opt: --spec-batch needs a number (0 = auto)");
                     return ExitCode::from(2);
                 }
             },
@@ -132,7 +154,13 @@ fn main() -> ExitCode {
             opts.exclude = exclude;
             match threads {
                 Some(t) => {
-                    run_fmsa_pipeline(&mut module, &opts, &PipelineOptions::with_threads(t)).merges
+                    let defaults = PipelineOptions::default();
+                    let pipe = PipelineOptions {
+                        threads: t,
+                        spec_depth: spec_depth.unwrap_or(defaults.spec_depth),
+                        batch: spec_batch.unwrap_or(defaults.batch),
+                    };
+                    run_fmsa_pipeline(&mut module, &opts, &pipe).merges
                 }
                 None => run_fmsa(&mut module, &opts).merges,
             }

@@ -27,6 +27,11 @@ pub struct CallSiteIndex {
     /// caller → its per-callee site counts (the contribution currently
     /// folded into `counts`, so refreshes can diff).
     outgoing: HashMap<FuncId, HashMap<FuncId, usize>>,
+    /// callee → the callers currently contributing sites — the reverse
+    /// edge set the partitioned call-site rewrite partitions over
+    /// ([`crate::thunks::RewritePlan`]). Kept in lockstep with
+    /// `outgoing`; the value is the same per-caller count.
+    incoming: HashMap<FuncId, HashMap<FuncId, usize>>,
 }
 
 /// Scans one function body for direct call/invoke sites, per callee —
@@ -60,6 +65,16 @@ impl CallSiteIndex {
         self.counts.get(&callee).copied().unwrap_or(0)
     }
 
+    /// The live functions with at least one direct call/invoke of
+    /// `callee`, in ascending [`FuncId`] order (module insertion order —
+    /// the order a full-module scan would visit them). `O(callers)`.
+    pub fn callers_of(&self, callee: FuncId) -> Vec<FuncId> {
+        let mut out: Vec<FuncId> =
+            self.incoming.get(&callee).map(|m| m.keys().copied().collect()).unwrap_or_default();
+        out.sort_unstable();
+        out
+    }
+
     /// Re-scans `caller`'s body and folds the difference into the counts.
     /// Call after a function body changed (thunked original, rewritten
     /// call sites) or was added (committed merged function).
@@ -68,6 +83,7 @@ impl CallSiteIndex {
         let fresh = outgoing_calls(module.func(caller));
         for (&callee, &n) in &fresh {
             *self.counts.entry(callee).or_insert(0) += n;
+            self.incoming.entry(callee).or_default().insert(caller, n);
         }
         if !fresh.is_empty() {
             self.outgoing.insert(caller, fresh);
@@ -79,6 +95,7 @@ impl CallSiteIndex {
     pub fn remove(&mut self, caller: FuncId) {
         self.retract(caller);
         self.counts.remove(&caller);
+        self.incoming.remove(&caller);
     }
 
     fn retract(&mut self, caller: FuncId) {
@@ -86,6 +103,12 @@ impl CallSiteIndex {
             for (callee, n) in old {
                 if let Some(c) = self.counts.get_mut(&callee) {
                     *c = c.saturating_sub(n);
+                }
+                if let Some(inc) = self.incoming.get_mut(&callee) {
+                    inc.remove(&caller);
+                    if inc.is_empty() {
+                        self.incoming.remove(&callee);
+                    }
                 }
             }
         }
@@ -162,6 +185,26 @@ mod tests {
         assert_eq!(idx.count(callee), count_call_sites(&m, callee));
         assert_eq!(idx.count(callee), 3);
         assert_eq!(idx.count(callers[1]), 0);
+    }
+
+    #[test]
+    fn callers_of_tracks_reverse_edges_in_module_order() {
+        let (mut m, callee, callers) = call_module();
+        let mut idx = CallSiteIndex::build(&m);
+        // caller0 makes no calls; the callee calls itself.
+        assert_eq!(idx.callers_of(callee), vec![callee, callers[1], callers[2]]);
+        assert!(idx.callers_of(callers[0]).is_empty());
+        m.remove_function(callers[1]);
+        idx.remove(callers[1]);
+        assert_eq!(idx.callers_of(callee), vec![callee, callers[2]]);
+        // Dropping caller2's calls removes its reverse edge on refresh.
+        m.func_mut(callers[2]).clear_body();
+        let e = m.func_mut(callers[2]).add_block("entry");
+        let void = m.types.void();
+        m.func_mut(callers[2])
+            .append_inst(e, fmsa_ir::Inst::new(Opcode::Ret, void, vec![Value::Param(0)]));
+        idx.refresh(&m, callers[2]);
+        assert_eq!(idx.callers_of(callee), vec![callee]);
     }
 
     #[test]

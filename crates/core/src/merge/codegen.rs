@@ -660,46 +660,108 @@ fn cast_chain(
     Ok(cur)
 }
 
-/// The reverse conversion, used at call sites and thunks: `base -> want`
-/// via truncation through integer containers. Inserts before `user`.
-pub(crate) fn cast_back(
-    module: &mut Module,
-    func: FuncId,
-    user: InstId,
-    v: Value,
+/// How a `base -> want` call-site/thunk result conversion is built. One
+/// classification shared by planning ([`prepare_cast_tys`]) and
+/// execution ([`cast_back_in`]), so the set of container types the plan
+/// interns can never drift from what the cast later looks up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CastShape {
+    /// `base == want`: no instruction at all.
+    Identity,
+    /// Lossless bitcast: a single `bitcast`, no container types.
+    Bitcast,
+    /// Truncation through the integer containers `int(sb)` → `int(sw)`.
+    Chain {
+        /// Bit width of `base`.
+        sb: u64,
+        /// Bit width of `want`.
+        sw: u64,
+    },
+}
+
+/// Classifies the `base -> want` conversion [`cast_back_in`] would build.
+///
+/// # Errors
+///
+/// The unsized/widening rejections the cast itself raises.
+pub(crate) fn classify_cast_back(
+    types: &fmsa_ir::TypeStore,
     base: TyId,
     want: TyId,
-) -> Result<Value, MergeError> {
+) -> Result<CastShape, MergeError> {
     if base == want {
-        return Ok(v);
+        return Ok(CastShape::Identity);
     }
-    if module.types.can_lossless_bitcast(base, want) {
-        let c =
-            module.func_mut(func).insert_before(user, Inst::new(Opcode::BitCast, want, vec![v]));
-        return Ok(Value::Inst(c));
+    if types.can_lossless_bitcast(base, want) {
+        return Ok(CastShape::Bitcast);
     }
-    let (Some(sb), Some(sw)) = (module.types.bit_size(base), module.types.bit_size(want)) else {
+    let (Some(sb), Some(sw)) = (types.bit_size(base), types.bit_size(want)) else {
         return Err(MergeError::InvalidCodegen("unsized return cast".into()));
     };
     if sb < sw {
         return Err(MergeError::InvalidCodegen("call-site cast must narrow, not widen".into()));
     }
-    let int_b = module.types.int(sb as u32);
-    let int_w = module.types.int(sw as u32);
+    Ok(CastShape::Chain { sb, sw })
+}
+
+/// Interns the integer container types [`cast_back_in`] needs for a
+/// `base -> want` conversion: `int(bits(base))` first, `int(bits(want))`
+/// second — the exact order the historical lazy cast interned them, so a
+/// planning step running this up front evolves the store identically. A
+/// no-op (nothing interned) when the conversion is an identity or a
+/// lossless bitcast.
+///
+/// # Errors
+///
+/// The same unsized/widening rejections the cast itself would raise.
+pub(crate) fn prepare_cast_tys(
+    types: &mut fmsa_ir::TypeStore,
+    base: TyId,
+    want: TyId,
+) -> Result<(), MergeError> {
+    if let CastShape::Chain { sb, sw } = classify_cast_back(types, base, want)? {
+        types.int(sb as u32);
+        types.int(sw as u32);
+    }
+    Ok(())
+}
+
+/// The reverse conversion of [`cast_chain`], used at call sites and
+/// thunks: `base -> want` via truncation through integer containers.
+/// Inserts before `user`, directly into a (possibly detached) function:
+/// it only *reads* the type store, so the partitioned call-site rewrite
+/// can run it on worker threads after [`prepare_cast_tys`] interned the
+/// container types sequentially.
+pub(crate) fn cast_back_in(
+    f: &mut Function,
+    types: &fmsa_ir::TypeStore,
+    user: InstId,
+    v: Value,
+    base: TyId,
+    want: TyId,
+) -> Result<Value, MergeError> {
+    let (sb, sw) = match classify_cast_back(types, base, want)? {
+        CastShape::Identity => return Ok(v),
+        CastShape::Bitcast => {
+            let c = f.insert_before(user, Inst::new(Opcode::BitCast, want, vec![v]));
+            return Ok(Value::Inst(c));
+        }
+        CastShape::Chain { sb, sw } => (sb, sw),
+    };
+    let not_prepared = || MergeError::InvalidCodegen("cast container type not pre-interned".into());
+    let int_b = types.lookup(&Type::Int(sb as u32)).ok_or_else(not_prepared)?;
+    let int_w = types.lookup(&Type::Int(sw as u32)).ok_or_else(not_prepared)?;
     let mut cur = v;
     if base != int_b {
-        let c =
-            module.func_mut(func).insert_before(user, Inst::new(Opcode::BitCast, int_b, vec![cur]));
+        let c = f.insert_before(user, Inst::new(Opcode::BitCast, int_b, vec![cur]));
         cur = Value::Inst(c);
     }
     if sb != sw {
-        let c =
-            module.func_mut(func).insert_before(user, Inst::new(Opcode::Trunc, int_w, vec![cur]));
+        let c = f.insert_before(user, Inst::new(Opcode::Trunc, int_w, vec![cur]));
         cur = Value::Inst(c);
     }
     if want != int_w {
-        let c =
-            module.func_mut(func).insert_before(user, Inst::new(Opcode::BitCast, want, vec![cur]));
+        let c = f.insert_before(user, Inst::new(Opcode::BitCast, want, vec![cur]));
         cur = Value::Inst(c);
     }
     Ok(cur)

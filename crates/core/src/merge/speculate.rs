@@ -120,6 +120,19 @@ pub fn speculate_merge(
 }
 
 impl SpeculativeMerge {
+    /// How the scratch module's type store was seeded from the main
+    /// module: shared by reference (copy-on-write frozen prefix) vs
+    /// copied eagerly. The pipeline aggregates these into its
+    /// scratch-setup counters.
+    pub fn scratch_setup(&self) -> fmsa_ir::ScratchSetup {
+        self.scratch.setup()
+    }
+
+    /// Types this speculative build interned beyond the donor snapshot.
+    pub fn suffix_types(&self) -> usize {
+        self.scratch.suffix_types()
+    }
+
     /// Consumes a speculative build whose merge will *not* be committed,
     /// replaying the one side effect an in-place build-and-discard leaves
     /// behind: the types codegen interned. (The sequential driver

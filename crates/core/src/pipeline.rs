@@ -59,7 +59,7 @@ use crate::merge::{
 use crate::pass::{run_fmsa, seed_pass, FmsaOptions, FmsaStats, SeededPass};
 use crate::profitability::{evaluate_indexed, optimistic_delta, ProfitReport};
 use crate::ranking::Candidate;
-use crate::thunks::{commit_merge, Disposition};
+use crate::thunks::{commit_merge_partitioned, Disposition};
 use fmsa_align::{align_with_plan, Alignment};
 use fmsa_ir::{FuncId, Module};
 use fmsa_target::CostModel;
@@ -161,6 +161,22 @@ pub struct PipelineStats {
     pub commit_codegen: Duration,
     /// Of [`PipelineStats::commit_codegen`], the transplant splices alone.
     pub transplant: Duration,
+    /// Of [`PipelineStats::commit`], the call-graph update (call-site
+    /// rewriting + thunking) — executed as a partitioned rewrite plan on
+    /// the worker pool ([`crate::thunks::RewritePlan`]).
+    pub rewrite: Duration,
+    /// Scratch modules whose type store was shared entirely by reference
+    /// (copy-on-write frozen prefix): setup copied zero types.
+    pub scratch_cow_shared: usize,
+    /// Scratch modules that had to copy at least one type eagerly (donor
+    /// store interned types after its last freeze).
+    pub scratch_cloned: usize,
+    /// Types interned into scratch suffixes by speculative builds (the
+    /// suffix re-interned into the main store on transplant/discard).
+    pub scratch_suffix_types: usize,
+    /// Estimated heap bytes the shared frozen prefixes avoided copying
+    /// (see [`fmsa_ir::ScratchSetup::bytes_avoided`]).
+    pub scratch_bytes_avoided: u64,
 }
 
 impl PipelineStats {
@@ -279,6 +295,14 @@ pub fn run_fmsa_pipeline(
         if subjects.is_empty() {
             continue;
         }
+        // Freeze the type store while the module is quiescent: every
+        // scratch module the speculative wave builds then shares the
+        // store's frozen prefix by reference (copy-on-write) instead of
+        // deep-copying it per speculation. Invisible to interning
+        // semantics (ids, dedupe, order), so bit-identity is unaffected.
+        if threads > 1 && pipe.spec_depth > 0 {
+            module.types.freeze();
+        }
         let t0 = Instant::now();
         let scheduled: Vec<(FuncId, Vec<Candidate>)> = subjects
             .iter()
@@ -378,7 +402,17 @@ pub fn run_fmsa_pipeline(
                 pstats.prepare += t0.elapsed();
                 pstats.spec_codegen += t0.elapsed();
                 for (key, body) in spec_jobs.into_iter().zip(bodies) {
-                    pstats.spec_built += body.is_some() as usize;
+                    if let Some(b) = &body {
+                        pstats.spec_built += 1;
+                        let setup = b.scratch_setup();
+                        if setup.is_fully_shared() {
+                            pstats.scratch_cow_shared += 1;
+                        } else {
+                            pstats.scratch_cloned += 1;
+                        }
+                        pstats.scratch_suffix_types += b.suffix_types();
+                        pstats.scratch_bytes_avoided += setup.bytes_avoided();
+                    }
                     // A build error is left as `None`: commit will replay
                     // the identical failure through direct codegen.
                     prepared.get_mut(&key).expect("prepared above").spec = body;
@@ -521,25 +555,35 @@ pub fn run_fmsa_pipeline(
                 match outcome {
                     Some((info, report)) if report.is_profitable() => {
                         let t0 = Instant::now();
-                        let commit = match commit_merge(module, &info) {
-                            Ok(c) => c,
-                            Err(_) => {
-                                // Should not happen (guarded by tests). Mirror
-                                // the sequential driver: drop the merge and
-                                // abandon this subject. The failed commit may
-                                // have partially rewritten call sites, a state
-                                // the per-function generations cannot describe,
-                                // so resynchronize the caches with the module
-                                // and invalidate all speculative work.
-                                module.remove_function(info.merged);
-                                call_sites = CallSiteIndex::build(module);
-                                lin_cache = LinearizationCache::new();
-                                epoch += 1;
-                                dirty = true;
-                                break;
-                            }
-                        };
+                        // Call-graph update through the partitioned plan:
+                        // callers come from the incremental call-site
+                        // index, disjoint caller partitions rewrite on the
+                        // worker pool. Single-threaded runs execute the
+                        // partitions inline (no pool handoff).
+                        let pool_ref = (threads > 1).then_some(&pool);
+                        let commit =
+                            match commit_merge_partitioned(module, &info, &call_sites, pool_ref) {
+                                Ok(c) => c,
+                                Err(_) => {
+                                    // Should not happen (guarded by tests).
+                                    // Mirror the sequential driver: drop the
+                                    // merge and abandon this subject. The
+                                    // failed commit may have partially
+                                    // rewritten call sites, a state the
+                                    // per-function generations cannot
+                                    // describe, so resynchronize the caches
+                                    // with the module and invalidate all
+                                    // speculative work.
+                                    module.remove_function(info.merged);
+                                    call_sites = CallSiteIndex::build(module);
+                                    lin_cache = LinearizationCache::new();
+                                    epoch += 1;
+                                    dirty = true;
+                                    break;
+                                }
+                            };
                         stats.timers.update_calls += t0.elapsed();
+                        pstats.rewrite += t0.elapsed();
                         stats.merges += 1;
                         stats.rank_positions.push(pos + 1);
                         for d in [commit.first, commit.second] {
@@ -750,6 +794,30 @@ mod tests {
             "accounting sanity: {p:?}"
         );
         assert!(fmsa_ir::verify_module(&m).is_empty());
+    }
+
+    #[test]
+    fn scratch_stores_are_cow_shared_and_rewrite_timer_reported() {
+        let mut m = Module::new("m");
+        clone_family(&mut m, 6, 12);
+        let stats = run_fmsa_pipeline(
+            &mut m,
+            &FmsaOptions::with_threshold(5),
+            &PipelineOptions::with_threads(4),
+        );
+        let p = stats.pipeline.expect("pipeline stats");
+        assert!(p.spec_built > 0, "speculation must run: {p:?}");
+        assert_eq!(
+            p.scratch_cow_shared + p.scratch_cloned,
+            p.spec_built,
+            "every built body accounts its scratch setup: {p:?}"
+        );
+        // The store is frozen at schedule time, so at least the first
+        // generation's scratches share it entirely by reference.
+        assert!(p.scratch_cow_shared > 0, "frozen donor must be COW-shared: {p:?}");
+        assert!(p.scratch_bytes_avoided > 0, "{p:?}");
+        assert!(p.rewrite > Duration::ZERO, "commits must book rewrite time: {p:?}");
+        assert!(p.rewrite <= p.commit, "{p:?}");
     }
 
     #[test]

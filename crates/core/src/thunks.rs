@@ -9,8 +9,16 @@
 //! that prohibit the complete removal of the original functions are the
 //! existence of indirect calls or the possibility of external linkage."
 
-use crate::merge::{codegen::cast_back, MergeError, MergeInfo};
-use fmsa_ir::{FuncId, Inst, InstId, Linkage, Module, Opcode, TyId, Type, Value};
+use crate::callsites::{outgoing_calls, CallSiteIndex};
+use crate::merge::{
+    codegen::{cast_back_in, prepare_cast_tys},
+    MergeError, MergeInfo,
+};
+use fmsa_ir::{
+    FuncId, Function, Inst, InstId, Linkage, Module, Opcode, TyId, Type, TypeStore, Value,
+};
+use rayon::ThreadPool;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// How one original function was retired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,8 +63,8 @@ impl CallRewrite {
         }
     }
 
-    fn build_args(&self, module: &Module, orig_args: &[Value]) -> Vec<Value> {
-        let i1 = module.types.i1();
+    fn build_args(&self, types: &TypeStore, orig_args: &[Value]) -> Vec<Value> {
+        let i1 = types.i1();
         let mut out: Vec<Value> =
             self.merged_param_tys.iter().map(|&ty| Value::Undef(ty)).collect();
         if let Some((slot, v)) = self.func_id {
@@ -93,6 +101,20 @@ pub fn count_call_sites(module: &Module, func: FuncId) -> usize {
     n
 }
 
+/// Direct call/invoke sites of `from` inside one function body, in
+/// layout order — the per-caller scan shared by the serial rewrite loop
+/// and the partitioned rewrite tasks.
+fn call_sites_of(f: &Function, from: FuncId) -> Vec<InstId> {
+    f.inst_ids()
+        .into_iter()
+        .filter(|&i| {
+            let inst = f.inst(i);
+            matches!(inst.opcode, Opcode::Call | Opcode::Invoke)
+                && inst.operands.first() == Some(&Value::Func(from))
+        })
+        .collect()
+}
+
 /// Rewrites every direct call/invoke of `from` in the module into a call of
 /// the merged function per `rw`. Returns the functions whose bodies were
 /// modified (their fingerprints need refreshing).
@@ -111,17 +133,7 @@ pub fn rewrite_call_sites(
         if g == from {
             continue; // the original body is about to be replaced anyway
         }
-        let call_sites: Vec<InstId> = {
-            let gf = module.func(g);
-            gf.inst_ids()
-                .into_iter()
-                .filter(|&i| {
-                    let inst = gf.inst(i);
-                    matches!(inst.opcode, Opcode::Call | Opcode::Invoke)
-                        && inst.operands.first() == Some(&Value::Func(from))
-                })
-                .collect()
-        };
+        let call_sites = call_sites_of(module.func(g), from);
         if call_sites.is_empty() {
             continue;
         }
@@ -133,45 +145,57 @@ pub fn rewrite_call_sites(
     Ok(touched)
 }
 
-fn rewrite_one_call(
-    module: &mut Module,
-    g: FuncId,
+/// Interns the cast container types a side's rewrites/thunk will need —
+/// exactly when a result conversion will actually be built (non-void
+/// original return that differs from the merged base), so the store
+/// evolves identically to the historical rewrite-time interning.
+fn prepare_side_casts(types: &mut TypeStore, rw: &CallRewrite) -> Result<(), MergeError> {
+    let orig_is_void = matches!(types.get(rw.ret_orig), Type::Void);
+    if !orig_is_void && rw.ret_orig != rw.ret_base {
+        prepare_cast_tys(types, rw.ret_base, rw.ret_orig)?;
+    }
+    Ok(())
+}
+
+/// [`rewrite_one_call`] against a (possibly detached) function: mutates
+/// only `f` and reads only pre-interned types, so disjoint callers can be
+/// rewritten from different worker threads (see [`RewritePlan`]).
+fn rewrite_one_call_in(
+    f: &mut Function,
+    types: &TypeStore,
     c: InstId,
     rw: &CallRewrite,
 ) -> Result<(), MergeError> {
     let (is_invoke, orig_args, labels) = {
-        let inst = module.func(g).inst(c);
+        let inst = f.inst(c);
         let is_invoke = inst.opcode == Opcode::Invoke;
         let arg_end = if is_invoke { inst.operands.len() - 2 } else { inst.operands.len() };
         (is_invoke, inst.operands[1..arg_end].to_vec(), inst.operands[arg_end..].to_vec())
     };
     let mut ops = vec![Value::Func(rw.target)];
-    ops.extend(rw.build_args(module, &orig_args));
+    ops.extend(rw.build_args(types, &orig_args));
     ops.extend(labels);
     {
-        let inst = module.func_mut(g).inst_mut(c);
+        let inst = f.inst_mut(c);
         inst.operands = ops;
         inst.ty = rw.ret_base;
     }
     // Convert the result back to the original type for existing users.
-    let orig_is_void = matches!(module.types.get(rw.ret_orig), Type::Void);
+    let orig_is_void = matches!(types.get(rw.ret_orig), Type::Void);
     if !orig_is_void && rw.ret_orig != rw.ret_base {
         // Snapshot the users of the call result *before* building the cast
         // chain, so the chain's own reference to the call is not rewritten.
-        let users: Vec<InstId> = {
-            let gf = module.func(g);
-            gf.inst_ids()
-                .into_iter()
-                .filter(|&u| u != c && gf.inst(u).operands.contains(&Value::Inst(c)))
-                .collect()
-        };
+        let users: Vec<InstId> = f
+            .inst_ids()
+            .into_iter()
+            .filter(|&u| u != c && f.inst(u).operands.contains(&Value::Inst(c)))
+            .collect();
         let insert_point = if is_invoke {
             // Result conversion must happen on the normal path.
-            let inst = module.func(g).inst(c);
+            let inst = f.inst(c);
             let n = inst.operands.len();
             let normal = inst.operands[n - 2].as_block().expect("invoke normal dest");
-            let first = module.func(g).block(normal).insts.first().copied();
-            match first {
+            match f.block(normal).insts.first().copied() {
                 Some(i) => i,
                 None => c, // degenerate; keep before terminator
             }
@@ -179,21 +203,16 @@ fn rewrite_one_call(
             // Insert right after the call: use the next instruction in the
             // block as the anchor (a call is never a terminator, so one
             // exists).
-            let parent = module.func(g).inst(c).parent;
-            let pos = module
-                .func(g)
-                .block(parent)
-                .insts
-                .iter()
-                .position(|&i| i == c)
-                .expect("call in its block");
-            module.func(g).block(parent).insts[pos + 1]
+            let parent = f.inst(c).parent;
+            let pos =
+                f.block(parent).insts.iter().position(|&i| i == c).expect("call in its block");
+            f.block(parent).insts[pos + 1]
         };
-        let casted = cast_back(module, g, insert_point, Value::Inst(c), rw.ret_base, rw.ret_orig)?;
+        let casted =
+            cast_back_in(f, types, insert_point, Value::Inst(c), rw.ret_base, rw.ret_orig)?;
         // Point the pre-existing users at the converted value.
-        let gf = module.func_mut(g);
         for u in users {
-            let inst = gf.inst_mut(u);
+            let inst = f.inst_mut(u);
             for op in &mut inst.operands {
                 if *op == Value::Inst(c) {
                     *op = casted;
@@ -204,35 +223,52 @@ fn rewrite_one_call(
     Ok(())
 }
 
+fn rewrite_one_call(
+    module: &mut Module,
+    g: FuncId,
+    c: InstId,
+    rw: &CallRewrite,
+) -> Result<(), MergeError> {
+    prepare_side_casts(&mut module.types, rw)?;
+    let (f, types) = module.func_mut_with_types(g);
+    rewrite_one_call_in(f, types, c, rw)
+}
+
+/// [`make_thunk`] against a (possibly detached) function; see
+/// [`rewrite_one_call_in`] for why this only reads the type store.
+fn make_thunk_in(f: &mut Function, types: &TypeStore, rw: &CallRewrite) -> Result<(), MergeError> {
+    let n_params = f.params().len();
+    let ret_orig = rw.ret_orig;
+    f.clear_body();
+    let entry = f.add_block("entry");
+    let param_vals: Vec<Value> = (0..n_params).map(|k| Value::Param(k as u32)).collect();
+    let mut ops = vec![Value::Func(rw.target)];
+    ops.extend(rw.build_args(types, &param_vals));
+    let call = f.append_inst(entry, Inst::new(Opcode::Call, rw.ret_base, ops));
+    let void = types.void();
+    let orig_is_void = matches!(types.get(ret_orig), Type::Void);
+    let ret = if orig_is_void {
+        f.append_inst(entry, Inst::new(Opcode::Ret, void, vec![]));
+        return Ok(());
+    } else {
+        f.append_inst(entry, Inst::new(Opcode::Ret, void, vec![Value::Inst(call)]))
+    };
+    if ret_orig != rw.ret_base {
+        let casted = cast_back_in(f, types, ret, Value::Inst(call), rw.ret_base, ret_orig)?;
+        f.inst_mut(ret).operands = vec![casted];
+    }
+    Ok(())
+}
+
 /// Replaces the body of `orig` with a thunk calling the merged function.
 ///
 /// # Errors
 ///
 /// Propagates cast construction failures.
 pub fn make_thunk(module: &mut Module, orig: FuncId, rw: &CallRewrite) -> Result<(), MergeError> {
-    let n_params = module.func(orig).params().len();
-    let ret_orig = rw.ret_orig;
-    module.func_mut(orig).clear_body();
-    let entry = module.func_mut(orig).add_block("entry");
-    let param_vals: Vec<Value> = (0..n_params).map(|k| Value::Param(k as u32)).collect();
-    let mut ops = vec![Value::Func(rw.target)];
-    ops.extend(rw.build_args(module, &param_vals));
-    let call = module.func_mut(orig).append_inst(entry, Inst::new(Opcode::Call, rw.ret_base, ops));
-    let void = module.types.void();
-    let orig_is_void = matches!(module.types.get(ret_orig), Type::Void);
-    let ret = if orig_is_void {
-        module.func_mut(orig).append_inst(entry, Inst::new(Opcode::Ret, void, vec![]));
-        return Ok(());
-    } else {
-        module
-            .func_mut(orig)
-            .append_inst(entry, Inst::new(Opcode::Ret, void, vec![Value::Inst(call)]))
-    };
-    if ret_orig != rw.ret_base {
-        let casted = cast_back(module, orig, ret, Value::Inst(call), rw.ret_base, ret_orig)?;
-        module.func_mut(orig).inst_mut(ret).operands = vec![casted];
-    }
-    Ok(())
+    prepare_side_casts(&mut module.types, rw)?;
+    let (f, types) = module.func_mut_with_types(orig);
+    make_thunk_in(f, types, rw)
 }
 
 /// Result of committing one merge.
@@ -279,6 +315,276 @@ pub fn commit_merge(module: &mut Module, info: &MergeInfo) -> Result<CommitResul
     touched.sort();
     touched.dedup();
     Ok(CommitResult { first: dispositions[0], second: dispositions[1], touched })
+}
+
+/// One caller-exclusive action inside a [`RewritePlan`] partition.
+#[derive(Debug, Clone)]
+enum RewriteTask {
+    /// Rewrite every direct call/invoke of `from` in this caller into a
+    /// call of the merged function per `rw`.
+    Calls { from: FuncId, rw: CallRewrite },
+    /// Replace this function's body with a thunk calling the merged
+    /// function.
+    Thunk { rw: CallRewrite },
+}
+
+/// How one original function will be retired when its plan executes.
+#[derive(Debug)]
+struct PlannedSide {
+    func: FuncId,
+    rw: CallRewrite,
+    disposition: Disposition,
+    /// Callers from the call-site index (committed module state), in
+    /// module order, minus sides retired earlier in the batch. The
+    /// batch's merged functions are scanned at execute time, when all of
+    /// them are known.
+    index_callers: Vec<FuncId>,
+}
+
+/// A partitioned call-graph-update plan for a batch of validated merges —
+/// the parallel replacement for serial [`commit_merge`] loops.
+///
+/// [`RewritePlan::add_merge`] records, per merge, the rewrite description
+/// of both sides and the callers of each deletable side (via the
+/// incremental [`CallSiteIndex`]). [`RewritePlan::execute`] then scans
+/// the batch's merged functions (absent from the index, but their bodies
+/// can carry rewritable call sites — recursion, or a later merge built
+/// from a caller of an earlier side), groups every rewrite **by
+/// caller** — each caller is one partition, mutated exclusively by one
+/// task list — detaches the partitions from the module, and runs them on
+/// the worker pool: disjoint callers in parallel, a caller touched by
+/// multiple merges (or by both sides of one merge) serially within its
+/// partition, in the order the merges were added. Every cross-caller
+/// effect of the serial loop is hoisted into the sequential plan/assemble
+/// steps — cast container types are pre-interned in the serial order
+/// (`prepare_cast_tys`), deletions are deferred past every rewrite — so
+/// the result is bit-identical, at any thread count, to building every
+/// merged function first and then running serial [`commit_merge`] once
+/// per merge in add order (property-tested in `tests/rewrite_plan.rs`).
+///
+/// Batch contract: the originals of the added merges must be pairwise
+/// distinct functions that existed before the batch — a merged function
+/// produced by this batch cannot itself be a side of a later merge in
+/// the same batch (the paper's feedback loop commits such merges one
+/// plan at a time, as the pipeline does; `add_merge` asserts this).
+/// `sites` must describe the module state before any merge of the batch
+/// (the batch's own merged functions are scanned directly, so they may
+/// be present in the module but need not be indexed).
+#[derive(Debug, Default)]
+pub struct RewritePlan {
+    /// Both sides of every added merge, in add order.
+    sides: Vec<PlannedSide>,
+    /// Sides already planned by this batch: their bodies are replaced or
+    /// removed before any later rewrite would reach them serially, so
+    /// later merges must not schedule rewrites inside them.
+    retired: HashSet<FuncId>,
+    /// Merged functions of the batch — live in the module but absent
+    /// from the call-site index; scanned at execute time.
+    merged: Vec<FuncId>,
+}
+
+impl RewritePlan {
+    /// An empty plan.
+    pub fn new() -> RewritePlan {
+        RewritePlan::default()
+    }
+
+    /// Records the call-graph update of one merge (both sides) in the
+    /// batch. Pure bookkeeping — the module is only read.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a batch-contract violation: a side that is a merged
+    /// function of this batch, or a side (or merged function) planned
+    /// twice. Rewrites targeting a batch-produced function only exist
+    /// after earlier partitions ran, so they cannot be planned
+    /// statically; committing such a merge silently wrong would be far
+    /// worse than refusing it — use one plan per merge (the pipeline's
+    /// configuration) for feedback-loop merges.
+    pub fn add_merge(&mut self, module: &Module, info: &MergeInfo, sites: &CallSiteIndex) {
+        for side in [info.f1, info.f2] {
+            assert!(
+                !self.merged.contains(&side),
+                "batch contract: side {side} is a merged function produced by this batch"
+            );
+            assert!(
+                !self.retired.contains(&side),
+                "batch contract: side {side} already planned by this batch"
+            );
+        }
+        assert!(
+            !self.merged.contains(&info.merged),
+            "batch contract: merged function {} planned twice",
+            info.merged
+        );
+        self.merged.push(info.merged);
+        for (func, first) in [(info.f1, true), (info.f2, false)] {
+            let rw = CallRewrite::for_side(module, info, first);
+            let (disposition, index_callers) = if can_delete(module, func) {
+                // Callers in module order: the index's committed view,
+                // minus the function itself (a serial scan skips it) and
+                // anything this batch already retired.
+                let callers: Vec<FuncId> = sites
+                    .callers_of(func)
+                    .into_iter()
+                    .filter(|&g| g != func && !self.retired.contains(&g) && module.is_live(g))
+                    .collect();
+                (Disposition::Deleted, callers)
+            } else {
+                // Keep the symbol; external callers keep its signature.
+                (Disposition::Thunk, Vec::new())
+            };
+            self.sides.push(PlannedSide { func, rw, disposition, index_callers });
+            self.retired.insert(func);
+        }
+    }
+
+    /// Number of merges added to the batch so far.
+    pub fn merges(&self) -> usize {
+        self.sides.len() / 2
+    }
+
+    /// Executes the batch: assembles the caller partitions (including the
+    /// batch's merged functions, scanned once each), pre-interns the cast
+    /// container types in serial commit order, runs every partition on
+    /// `pool` (or inline, without a pool / on a single-thread pool), and
+    /// finally removes the deletable originals. Returns one
+    /// [`CommitResult`] per added merge, in add order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cast construction failures (programming errors guarded
+    /// by tests); like a failed serial commit, the module may be left
+    /// partially rewritten.
+    pub fn execute(
+        self,
+        module: &mut Module,
+        pool: Option<&ThreadPool>,
+    ) -> Result<Vec<CommitResult>, MergeError> {
+        // One body scan per batch merged function, shared by every side.
+        let merged_outs: Vec<(FuncId, HashMap<FuncId, usize>)> =
+            self.merged.iter().map(|&m| (m, outgoing_calls(module.func(m)))).collect();
+        let mut tasks: HashMap<FuncId, Vec<RewriteTask>> = HashMap::new();
+        let mut side_touched: Vec<Vec<FuncId>> = Vec::with_capacity(self.sides.len());
+        for side in &self.sides {
+            match side.disposition {
+                Disposition::Deleted => {
+                    let mut callers: BTreeSet<FuncId> =
+                        side.index_callers.iter().copied().collect();
+                    callers.extend(
+                        merged_outs
+                            .iter()
+                            .filter(|(_, outs)| outs.contains_key(&side.func))
+                            .map(|&(m, _)| m),
+                    );
+                    if !callers.is_empty() {
+                        prepare_side_casts(&mut module.types, &side.rw)?;
+                    }
+                    for &g in &callers {
+                        tasks
+                            .entry(g)
+                            .or_default()
+                            .push(RewriteTask::Calls { from: side.func, rw: side.rw.clone() });
+                    }
+                    side_touched.push(callers.into_iter().collect());
+                }
+                Disposition::Thunk => {
+                    prepare_side_casts(&mut module.types, &side.rw)?;
+                    tasks
+                        .entry(side.func)
+                        .or_default()
+                        .push(RewriteTask::Thunk { rw: side.rw.clone() });
+                    side_touched.push(Vec::new());
+                }
+            }
+        }
+        let mut order: Vec<FuncId> = tasks.keys().copied().collect();
+        order.sort_unstable();
+        let task_lists: Vec<Vec<RewriteTask>> =
+            order.iter().map(|g| tasks.remove(g).expect("planned partition")).collect();
+        let results: Vec<Result<(), MergeError>> =
+            module.with_detached_functions(&order, |types, funcs| match pool {
+                Some(pool) if pool.current_num_threads() > 1 && funcs.len() > 1 => {
+                    let mut results: Vec<Result<(), MergeError>> = Vec::new();
+                    results.resize_with(funcs.len(), || Ok(()));
+                    pool.scope(|s| {
+                        for ((f, tasks), slot) in
+                            funcs.iter_mut().zip(&task_lists).zip(results.iter_mut())
+                        {
+                            s.spawn(move |_| *slot = run_partition(f, types, tasks));
+                        }
+                    });
+                    results
+                }
+                _ => funcs
+                    .iter_mut()
+                    .zip(&task_lists)
+                    .map(|(f, tasks)| run_partition(f, types, tasks))
+                    .collect(),
+            });
+        for r in results {
+            r?;
+        }
+        let mut out = Vec::with_capacity(self.sides.len() / 2);
+        for (pair, pair_touched) in self.sides.chunks(2).zip(side_touched.chunks(2)) {
+            let mut touched: Vec<FuncId> = Vec::new();
+            let mut disp = [Disposition::Thunk; 2];
+            for (k, side) in pair.iter().enumerate() {
+                disp[k] = side.disposition;
+                touched.extend(&pair_touched[k]);
+                if side.disposition == Disposition::Deleted {
+                    module.remove_function(side.func);
+                }
+            }
+            touched.sort();
+            touched.dedup();
+            out.push(CommitResult { first: disp[0], second: disp[1], touched });
+        }
+        Ok(out)
+    }
+}
+
+/// Runs one caller partition: its rewrite tasks, in batch order, against
+/// the detached function. Only `f` is mutated; `types` is read-only.
+fn run_partition(
+    f: &mut Function,
+    types: &TypeStore,
+    tasks: &[RewriteTask],
+) -> Result<(), MergeError> {
+    for task in tasks {
+        match task {
+            RewriteTask::Calls { from, rw } => {
+                let call_sites = call_sites_of(f, *from);
+                debug_assert!(!call_sites.is_empty(), "planned caller without call sites");
+                for c in call_sites {
+                    rewrite_one_call_in(f, types, c, rw)?;
+                }
+            }
+            RewriteTask::Thunk { rw } => make_thunk_in(f, types, rw)?,
+        }
+    }
+    Ok(())
+}
+
+/// [`commit_merge`] through a single-merge [`RewritePlan`]: identical
+/// output, but the per-caller rewrite partitions execute on `pool` (pass
+/// `None` to run them inline). The pipeline's commit stage uses this so
+/// the last serial per-merge loop — call-site rewriting and thunking —
+/// scales with the worker pool.
+///
+/// # Errors
+///
+/// See [`commit_merge`].
+pub fn commit_merge_partitioned(
+    module: &mut Module,
+    info: &MergeInfo,
+    sites: &CallSiteIndex,
+    pool: Option<&ThreadPool>,
+) -> Result<CommitResult, MergeError> {
+    let mut plan = RewritePlan::new();
+    plan.add_merge(module, info, sites);
+    let mut results = plan.execute(module, pool)?;
+    Ok(results.pop().expect("exactly one merge planned"))
 }
 
 #[cfg(test)]
@@ -351,6 +657,48 @@ mod tests {
         // The caller was touched (its call to ta was rewritten).
         assert!(!result.touched.is_empty());
         assert!(fmsa_ir::verify_module(&m).is_empty(), "{:?}", fmsa_ir::verify_module(&m));
+    }
+
+    #[test]
+    fn partitioned_commit_matches_serial_at_any_thread_count() {
+        use fmsa_ir::printer::print_module;
+        for threads in [1usize, 2, 4, 8] {
+            let (mut serial_m, ta, tb, _) = pair_with_caller();
+            serial_m.func_mut(tb).linkage = Linkage::External;
+            let info = merge_pair(&mut serial_m, ta, tb, &MergeConfig::default()).expect("merges");
+            let serial = commit_merge(&mut serial_m, &info).expect("commit");
+
+            let (mut part_m, ta, tb, _) = pair_with_caller();
+            part_m.func_mut(tb).linkage = Linkage::External;
+            let sites = crate::callsites::CallSiteIndex::build(&part_m);
+            let info = merge_pair(&mut part_m, ta, tb, &MergeConfig::default()).expect("merges");
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+            let partitioned =
+                commit_merge_partitioned(&mut part_m, &info, &sites, Some(&pool)).expect("commit");
+            assert_eq!(serial, partitioned, "at {threads} threads");
+            assert_eq!(
+                print_module(&serial_m),
+                print_module(&part_m),
+                "module text at {threads} threads"
+            );
+            assert!(fmsa_ir::verify_module(&part_m).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "merged function produced by this batch")]
+    fn batch_rejects_feedback_loop_merges() {
+        // A merged function of the batch cannot be a side of a later
+        // merge in the same batch: its incoming calls only exist after
+        // earlier partitions ran, so they cannot be planned statically.
+        let (mut m, ta, tb, _) = pair_with_caller();
+        let sites = crate::callsites::CallSiteIndex::build(&m);
+        let info1 = merge_pair(&mut m, ta, tb, &MergeConfig::default()).expect("merges");
+        let mut info2 = info1.clone();
+        info2.f1 = info1.merged; // feedback-loop shape
+        let mut plan = RewritePlan::new();
+        plan.add_merge(&m, &info1, &sites);
+        plan.add_merge(&m, &info2, &sites);
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub use builder::FuncBuilder;
 pub use function::{Block, Function, Linkage, Param};
 pub use inst::{ExtraData, FloatPredicate, Inst, IntPredicate, LandingPadClause, Opcode};
 pub use module::Module;
-pub use transplant::{transplant_function, ScratchModule, TransplantError, Transplanted, TypeMap};
+pub use transplant::{
+    transplant_function, ScratchModule, ScratchSetup, TransplantError, Transplanted, TypeMap,
+};
 pub use types::{TyId, Type, TypeStore};
 pub use value::{BlockId, FuncId, InstId, Value};
 pub use verifier::{ensure_valid, verify_function, verify_module, VerifyError};

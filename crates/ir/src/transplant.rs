@@ -148,12 +148,46 @@ pub fn migrate_types_suffix(src: &TypeStore, dst: &mut TypeStore, shared_prefix:
     TypeMap { prefix: shared_prefix, suffix }
 }
 
+/// How a [`ScratchModule`]'s type store was set up: how much of the donor
+/// store was shared by reference (the copy-on-write frozen prefix) versus
+/// copied eagerly. The pipeline aggregates these into its
+/// scratch-setup telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchSetup {
+    /// Donor types shared via the frozen `Arc` prefix — no copy at all.
+    pub shared_types: usize,
+    /// Donor types copied eagerly (interned after the donor's last
+    /// [`TypeStore::freeze`], or all of them for a never-frozen donor).
+    pub cloned_types: usize,
+}
+
+impl ScratchSetup {
+    /// Whether the donor store was shared entirely by reference (the
+    /// scratch setup copied zero types).
+    pub fn is_fully_shared(&self) -> bool {
+        self.cloned_types == 0
+    }
+
+    /// Rough lower bound on the heap bytes the shared prefix avoided
+    /// copying: one `Type` in the table plus one `(Type, TyId)` interner
+    /// entry per shared type. Ignores the heap payloads of struct/func
+    /// field vectors and hash-table overhead, so the real saving is
+    /// larger.
+    pub fn bytes_avoided(&self) -> u64 {
+        let per_type = 2 * std::mem::size_of::<Type>() + std::mem::size_of::<TyId>();
+        (self.shared_types * per_type) as u64
+    }
+}
+
 /// A private module for building one function detached from a donor
 /// [`Module`].
 ///
 /// The type store starts as a clone of the donor's, so every donor
 /// [`TyId`] is valid here with the same value and new types append after
-/// the shared prefix. Donor functions enter through
+/// the shared prefix — a copy-on-write share when the donor was
+/// [frozen](TypeStore::freeze) (the pipeline freezes the main store once
+/// per generation so the ~one-scratch-per-speculation setup cost stops
+/// scaling with store size). Donor functions enter through
 /// [`ScratchModule::import_function`] (full body clones for the functions
 /// the build reads) or as signature-only declarations (for callees, so the
 /// verifier can type-check call sites); both keep their donor name and are
@@ -167,6 +201,8 @@ pub struct ScratchModule {
     /// Donor store size at clone time: the shared type prefix maps by
     /// identity on transplant, only later types are re-interned.
     snapshot_types: usize,
+    /// How the type store was seeded (COW share vs eager copy).
+    setup: ScratchSetup,
     /// scratch id → donor id, for every imported function.
     to_donor: HashMap<FuncId, FuncId>,
     /// donor id → scratch id (import memo).
@@ -174,16 +210,31 @@ pub struct ScratchModule {
 }
 
 impl ScratchModule {
-    /// A scratch module seeded with a clone of the donor's type store.
+    /// A scratch module seeded with a clone of the donor's type store —
+    /// a copy-on-write share of the frozen prefix plus an eager copy of
+    /// whatever the donor interned since its last freeze.
     pub fn new(donor: &Module) -> ScratchModule {
         let mut module = Module::new(format!("{}.scratch", donor.name));
         module.types = donor.types.clone();
+        let shared = donor.types.frozen_len();
         ScratchModule {
             snapshot_types: module.types.len(),
+            setup: ScratchSetup { shared_types: shared, cloned_types: donor.types.len() - shared },
             module,
             to_donor: HashMap::new(),
             from_donor: HashMap::new(),
         }
+    }
+
+    /// How this scratch's type store was seeded from the donor.
+    pub fn setup(&self) -> ScratchSetup {
+        self.setup
+    }
+
+    /// Types this scratch build interned beyond the donor snapshot (the
+    /// suffix a transplant or discard re-interns into the main store).
+    pub fn suffix_types(&self) -> usize {
+        self.module.types.len() - self.snapshot_types
     }
 
     /// Transplants `func` back into a module descended from the donor
@@ -498,6 +549,32 @@ mod tests {
         let mut dst = m.clone();
         let err = transplant_function(&mut dst, &scratch.module, sf, "f", scratch.func_map());
         assert!(matches!(err, Err(TransplantError::DuplicateName(_))), "{err:?}");
+    }
+
+    #[test]
+    fn frozen_donor_shares_the_store_and_transplants_identically() {
+        let (mut m, f, _) = donor_with_callee();
+        // Unfrozen donor: the scratch copies every type.
+        let cold = ScratchModule::new(&m);
+        assert!(!cold.setup().is_fully_shared());
+        assert_eq!(cold.setup().cloned_types, m.types.len());
+        // Frozen donor: the scratch shares the whole store by reference.
+        m.types.freeze();
+        let mut scratch = ScratchModule::new(&m);
+        assert!(scratch.setup().is_fully_shared(), "{:?}", scratch.setup());
+        assert_eq!(scratch.setup().shared_types, m.types.len());
+        assert!(scratch.setup().bytes_avoided() > 0);
+        assert!(scratch.module.types.shares_frozen_with(&m.types));
+        let sf = scratch.import_function(&m, f);
+        let p = scratch.module.types.ptr(scratch.module.types.i64());
+        assert_eq!(scratch.suffix_types(), 1);
+        let mut dst = m.clone();
+        let t = scratch.transplant_into(&mut dst, sf, "f.copy").expect("transplants");
+        assert_eq!(t.types.get(p), p, "suffix ids land where an in-place build would put them");
+        let orig = crate::printer::print_function(&m, m.func(f));
+        let copy = crate::printer::print_function(&dst, dst.func(t.func));
+        assert_eq!(orig.replace("@f(", "@f.copy("), copy);
+        assert!(verify_module(&dst).is_empty(), "{:?}", verify_module(&dst));
     }
 
     #[test]

@@ -636,6 +636,22 @@ mod tests {
         assert!(errs.iter().any(|e| e.message.contains("was removed")), "{errs:?}");
     }
 
+    /// A [`TyId`] that only a bigger, foreign store knows: fork the
+    /// module's store the way a scratch module does (a copy-on-write
+    /// clone of the frozen donor), intern `depth` pointer wrappers after
+    /// the shared prefix, and return the last id — out of range for `m`.
+    fn alien_ptr_ty(m: &Module, depth: usize) -> crate::types::TyId {
+        let mut foreign = m.types.clone();
+        foreign.freeze(); // exercise the COW path: new types append after the frozen prefix
+        let mut alien = foreign.i64();
+        for _ in 0..depth {
+            alien = foreign.ptr(alien);
+        }
+        assert!(foreign.contains(alien));
+        assert!(!m.types.contains(alien), "an id past the donor store must be foreign to it");
+        alien
+    }
+
     #[test]
     fn foreign_type_id_reported_not_panicking() {
         // A TyId from a bigger (scratch) store is out of range here; the
@@ -645,10 +661,7 @@ mod tests {
         let fn_ty = m.types.func(void, vec![]);
         let f = m.create_function("f", fn_ty);
         let b = m.func_mut(f).add_block("entry");
-        let mut foreign = m.types.clone();
-        let inner = foreign.ptr(foreign.i64());
-        let alien = foreign.ptr(inner);
-        assert!(!m.types.contains(alien));
+        let alien = alien_ptr_ty(&m, 2);
         m.func_mut(f).append_inst(b, Inst::new(Opcode::Ret, void, vec![Value::Undef(alien)]));
         let errs = verify_module(&m);
         assert!(errs.iter().any(|e| e.message.contains("not in this module's store")), "{errs:?}");
@@ -664,9 +677,7 @@ mod tests {
         let void = m.types.void();
         m.func_mut(f).append_inst(b, Inst::new(Opcode::Ret, void, vec![Value::Param(0)]));
         // Point a parameter type at an id only a bigger store knows.
-        let mut foreign = m.types.clone();
-        let alien = foreign.ptr(foreign.i64());
-        m.func_mut(f).params_mut()[0].ty = alien;
+        m.func_mut(f).params_mut()[0].ty = alien_ptr_ty(&m, 1);
         let errs = verify_module(&m);
         assert!(errs.iter().any(|e| e.message.contains("signature type id")), "{errs:?}");
     }

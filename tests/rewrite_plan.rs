@@ -1,0 +1,256 @@
+//! Cross-crate tests of the partitioned call-site rewrite
+//! (`fmsa_core::thunks::RewritePlan`): for caller-heavy modules with
+//! thunked sides, mixed return types (call-site cast chains), shared
+//! callers, and merged bodies that are themselves callers, the
+//! partitioned execution must produce output identical to the serial
+//! `commit_merge` loop at 1/2/4/8 worker threads — both one merge at a
+//! time (the pipeline's configuration) and as a multi-merge batch.
+
+use fmsa::core::callsites::CallSiteIndex;
+use fmsa::core::merge::{merge_pair, MergeConfig};
+use fmsa::core::thunks::{commit_merge, commit_merge_partitioned, CommitResult, RewritePlan};
+use fmsa::ir::printer::print_module;
+use fmsa::ir::{FuncBuilder, FuncId, Linkage, Module, Opcode, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a module of `families` mergeable pairs plus `callers` functions
+/// calling family members 0–3 times each. Members randomly get external
+/// linkage (thunk path), a taken address, or an `i64` return reached by a
+/// final `zext` (so rewritten call sites need a trunc-back cast chain).
+/// With `cross_calls`, the first member of a family may call its merge
+/// partner (the merged body then carries rewritable call sites of the
+/// second side) or a neighbouring family's first member (merge sides that
+/// are themselves touched callers).
+fn caller_heavy_module(
+    seed: u64,
+    families: usize,
+    callers: usize,
+    cross_calls: bool,
+) -> (Module, Vec<(FuncId, FuncId)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Module::new("rewrite-plan");
+    let i32t = m.types.i32();
+    let i64t = m.types.i64();
+    let fn_ty32 = m.types.func(i32t, vec![i32t]);
+    let fn_ty64 = m.types.func(i64t, vec![i32t]);
+    // Pass 1: declare every family member (bodies need forward targets).
+    let mut members: Vec<[(FuncId, bool); 2]> = Vec::new();
+    for k in 0..families {
+        let mut fam = [(FuncId::from_index(0), false); 2];
+        for (side, slot) in fam.iter_mut().enumerate() {
+            let wide = side == 1 && rng.gen_bool(0.3);
+            let f =
+                m.create_function(format!("fam{k}_{side}"), if wide { fn_ty64 } else { fn_ty32 });
+            if rng.gen_bool(0.25) {
+                m.func_mut(f).linkage = Linkage::External;
+            }
+            if rng.gen_bool(0.15) {
+                m.func_mut(f).address_taken = true;
+            }
+            *slot = (f, wide);
+        }
+        members.push(fam);
+    }
+    // Pass 2: fill the bodies.
+    for k in 0..families {
+        for side in 0..2 {
+            let (f, wide) = members[k][side];
+            let xor_const = if side == 0 { 3 } else { 5 };
+            let mut b = FuncBuilder::new(&mut m, f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let mut v = Value::Param(0);
+            for j in 0..8i32 {
+                v = b.mul(v, b.const_i32(j + 2));
+                v = b.xor(v, b.const_i32(xor_const + k as i32));
+            }
+            if cross_calls && side == 0 {
+                if rng.gen_bool(0.4) {
+                    // Call the merge partner: the merged body keeps this
+                    // call, making it a caller of the second side.
+                    let (partner, pwide) = members[k][1];
+                    let r = b.call(partner, vec![v]);
+                    let r = if pwide { b.cast(Opcode::Trunc, r, i32t) } else { r };
+                    v = b.xor(v, r);
+                }
+                if rng.gen_bool(0.4) {
+                    // Call a neighbouring family: merge sides double as
+                    // callers rewritten by earlier commits.
+                    let (other, _) = members[(k + 1) % families][0];
+                    if other != f {
+                        let r = b.call(other, vec![v]);
+                        v = b.xor(v, r);
+                    }
+                }
+            }
+            if wide {
+                v = b.cast(Opcode::ZExt, v, i64t);
+            }
+            b.ret(Some(v));
+        }
+    }
+    // Pass 3: callers (never merge subjects themselves).
+    for c in 0..callers {
+        let f = m.create_function(format!("caller{c}"), fn_ty32);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.block("entry");
+        b.switch_to(e);
+        let mut v = Value::Param(0);
+        for _ in 0..rng.gen_range(0..4usize) {
+            let fam = rng.gen_range(0..families);
+            let (g, wide) = members[fam][rng.gen_range(0..2usize)];
+            let r = b.call(g, vec![v]);
+            v = if wide { b.cast(Opcode::Trunc, r, i32t) } else { r };
+        }
+        b.ret(Some(v));
+    }
+    let pairs = members.iter().map(|fam| (fam[0].0, fam[1].0)).collect();
+    (m, pairs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// One merge at a time (the pipeline's configuration): committing
+    /// through a single-merge partitioned plan must be bit-identical to
+    /// the serial `commit_merge`, for any module shape and thread count.
+    #[test]
+    fn partitioned_rewrite_matches_serial_commit(
+        seed in 0u64..10_000,
+        threads in 1usize..9,
+    ) {
+        let (base, pairs) = caller_heavy_module(seed, 4, 6, true);
+        let config = MergeConfig::default();
+        let mut serial = base.clone();
+        let mut serial_results: Vec<CommitResult> = Vec::new();
+        for &(a, b) in &pairs {
+            let Ok(info) = merge_pair(&mut serial, a, b, &config) else { continue };
+            serial_results.push(commit_merge(&mut serial, &info).expect("serial commit"));
+        }
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+        let mut part = base.clone();
+        let mut part_results: Vec<CommitResult> = Vec::new();
+        for &(a, b) in &pairs {
+            // Index over committed state only, as the pipeline maintains
+            // it (built before the merged function exists).
+            let sites = CallSiteIndex::build(&part);
+            let Ok(info) = merge_pair(&mut part, a, b, &config) else { continue };
+            part_results.push(
+                commit_merge_partitioned(&mut part, &info, &sites, Some(&pool))
+                    .expect("partitioned commit"),
+            );
+        }
+        prop_assert_eq!(&serial_results, &part_results);
+        prop_assert_eq!(print_module(&serial), print_module(&part));
+        prop_assert!(fmsa::ir::verify_module(&part).is_empty());
+    }
+}
+
+/// A multi-merge batch: merges planned into one [`RewritePlan`] and
+/// executed in a single partitioned wave must match the batch's serial
+/// reference — build every merged function first, then `commit_merge`
+/// each in add order. Cross-calling families are included, so batches
+/// cover callers shared by several merges (partitions serialize their
+/// rewrites), merge sides rewritten by earlier commits, and merged
+/// bodies calling another merge's deletable side.
+#[test]
+fn batched_plan_matches_serial_commit_order() {
+    for (seed, threads) in [(11u64, 1usize), (12, 2), (13, 4), (14, 8)] {
+        let (base, pairs) = caller_heavy_module(seed, 3, 8, true);
+        let config = MergeConfig::default();
+        // Serial reference: merge all pairs, then commit in add order.
+        let mut serial = base.clone();
+        let serial_infos: Vec<_> = pairs
+            .iter()
+            .filter_map(|&(a, b)| merge_pair(&mut serial, a, b, &config).ok())
+            .collect();
+        let serial_results: Vec<CommitResult> = serial_infos
+            .iter()
+            .map(|info| commit_merge(&mut serial, info).expect("serial commit"))
+            .collect();
+        let mut part = base.clone();
+        let sites = CallSiteIndex::build(&part);
+        let infos: Vec<_> =
+            pairs.iter().filter_map(|&(a, b)| merge_pair(&mut part, a, b, &config).ok()).collect();
+        let mut plan = RewritePlan::new();
+        for info in &infos {
+            plan.add_merge(&part, info, &sites);
+        }
+        assert_eq!(plan.merges(), infos.len());
+        assert!(plan.merges() > 0, "seed {seed} produced no merges");
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+        let results = plan.execute(&mut part, Some(&pool)).expect("execute");
+        assert_eq!(serial_results, results, "commit results at {threads} threads");
+        assert!(results.iter().any(|r| !r.touched.is_empty()), "seed {seed} produced no rewrites");
+        assert_eq!(
+            print_module(&serial),
+            print_module(&part),
+            "module text at {threads} threads (seed {seed})"
+        );
+        assert!(fmsa::ir::verify_module(&part).is_empty());
+    }
+}
+
+/// The reviewer-surfaced interaction shape, pinned deterministically: a
+/// later-added merge's merged body calls an earlier-added merge's
+/// deletable side (its own side called it before merging). The batch
+/// must rewrite inside that merged body before the side is deleted.
+#[test]
+fn batch_rewrites_later_merged_bodies_calling_earlier_sides() {
+    let mut m = Module::new("interacting");
+    let i32t = m.types.i32();
+    let fn_ty = m.types.func(i32t, vec![i32t]);
+    // Merge 1: (f1, f2), both internal — f1 will be deleted.
+    // Merge 2: (g, h) where g calls f1, so merged2's body calls f1.
+    let mut build = |name: &str, c: i32, callee: Option<FuncId>| {
+        let f = m.create_function(name, fn_ty);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.block("entry");
+        b.switch_to(e);
+        let mut v = Value::Param(0);
+        for j in 0..8i32 {
+            v = b.mul(v, b.const_i32(j + 2));
+            v = b.xor(v, b.const_i32(c));
+        }
+        if let Some(t) = callee {
+            let r = b.call(t, vec![v]);
+            v = b.xor(v, r);
+        }
+        b.ret(Some(v));
+        f
+    };
+    let f1 = build("f1", 3, None);
+    let f2 = build("f2", 5, None);
+    let g = build("g", 7, Some(f1));
+    let h = build("h", 9, Some(f1));
+    let config = MergeConfig::default();
+    let mut serial = m.clone();
+    let infos_s = [
+        merge_pair(&mut serial, f1, f2, &config).expect("merge1"),
+        merge_pair(&mut serial, g, h, &config).expect("merge2"),
+    ];
+    let serial_results: Vec<CommitResult> =
+        infos_s.iter().map(|i| commit_merge(&mut serial, i).expect("commit")).collect();
+    let mut part = m.clone();
+    let sites = CallSiteIndex::build(&part);
+    let infos = [
+        merge_pair(&mut part, f1, f2, &config).expect("merge1"),
+        merge_pair(&mut part, g, h, &config).expect("merge2"),
+    ];
+    let merged2 = infos[1].merged;
+    let mut plan = RewritePlan::new();
+    for info in &infos {
+        plan.add_merge(&part, info, &sites);
+    }
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().expect("pool");
+    let results = plan.execute(&mut part, Some(&pool)).expect("execute");
+    assert_eq!(serial_results, results);
+    assert!(
+        results[0].touched.contains(&merged2),
+        "merge2's body calls f1 and must be rewritten by merge1's side: {results:?}"
+    );
+    assert_eq!(print_module(&serial), print_module(&part));
+    assert!(fmsa::ir::verify_module(&part).is_empty(), "{:?}", fmsa::ir::verify_module(&part));
+}
