@@ -12,6 +12,7 @@
 //! experiments ablation-params   §III-E parameter-reuse ablation
 //! experiments search            Exact vs LSH candidate search at scale
 //! experiments merge-parallel    Pipeline vs sequential driver at scale
+//! experiments wasm              Decode/lower/merge a wasm binary corpus
 //! experiments all               everything above
 //! ```
 //!
@@ -101,6 +102,7 @@ fn main() {
         "ablation-params" => ablation_params(&spec),
         "search" => search_scalability(fast, &mut report),
         "merge-parallel" => merge_parallel(fast, &pipe_overrides, &mut report),
+        "wasm" => wasm_frontend(fast, &pipe_overrides, &mut report),
         "all" => {
             table(&spec, "Table I (SPEC CPU2006)");
             table(&mibench, "Table II (MiBench)");
@@ -113,6 +115,7 @@ fn main() {
             ablation_params(&spec);
             search_scalability(fast, &mut report);
             merge_parallel(fast, &pipe_overrides, &mut report);
+            wasm_frontend(fast, &pipe_overrides, &mut report);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
@@ -621,6 +624,126 @@ fn merge_parallel(fast: bool, pipe_overrides: &PipelineOptions, report: &mut Rep
         "(pipeline threads=1 disables speculation; its win over the sequential driver is \
          the linearization cache, the call-site index, and the pre-codegen Δ gate)"
     );
+}
+
+// ---------------------------------------------------------------- wasm
+
+/// Decode a generated wasm corpus, lower it, and push it through the full
+/// search→pipeline→merge stack — the "real binary" path. Reports frontend
+/// timers (decode/lower/verify) and per-stage pipeline timers, and gates
+/// both merge-output parity across 1/2/4 threads and a non-trivial size
+/// reduction.
+fn wasm_frontend(fast: bool, pipe_overrides: &PipelineOptions, report: &mut Report) {
+    use fmsa_core::SearchStrategy;
+    use fmsa_ir::printer::print_module;
+    use fmsa_workloads::{wasm_fixture_bytes, WasmFixtureConfig};
+    println!("\n== WebAssembly frontend: decode -> lower -> merge (t=5, auto search) ==");
+    println!(
+        "{:>6} {:>10} {:>9} {:>9} {:>7} {:>10} {:>8} {:>11} {:>10}",
+        "#fns",
+        "wasm KiB",
+        "decode",
+        "lower",
+        "threads",
+        "wall",
+        "merges",
+        "reduction%",
+        "identical"
+    );
+    let sizes: &[usize] = if fast { &[96] } else { &[96, 384] };
+    for &n in sizes {
+        let cfg = WasmFixtureConfig::with_functions(n);
+        let bytes = wasm_fixture_bytes(&cfg);
+        let t0 = std::time::Instant::now();
+        let wasm = match fmsa_wasm::parse_wasm(&bytes) {
+            Ok(w) => w,
+            Err(e) => {
+                report.fail(format!("wasm n={n}: corpus does not decode: {e}"));
+                continue;
+            }
+        };
+        let t_decode = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        let base = match fmsa_wasm::lower_module(&wasm, "wasm-corpus") {
+            Ok(m) => m,
+            Err(e) => {
+                report.fail(format!("wasm n={n}: corpus does not lower: {e}"));
+                continue;
+            }
+        };
+        let t_lower = t0.elapsed();
+        let errs = fmsa_ir::verify_module(&base);
+        if !errs.is_empty() {
+            report.fail(format!("wasm n={n}: lowered module invalid: {}", errs[0]));
+            continue;
+        }
+        let opts =
+            FmsaOptions { threshold: 5, search: SearchStrategy::Auto, ..FmsaOptions::default() };
+        let mut first: Option<(String, f64)> = None;
+        for threads in [1usize, 2, 4] {
+            let mut m = base.clone();
+            let pipe = PipelineOptions { threads, ..*pipe_overrides };
+            let t0 = std::time::Instant::now();
+            let stats = run_fmsa_pipeline(&mut m, &opts, &pipe);
+            let wall = t0.elapsed();
+            let text = print_module(&m);
+            let identical = match &first {
+                None => {
+                    first = Some((text, stats.reduction_percent()));
+                    true
+                }
+                Some((reference, _)) => *reference == text,
+            };
+            println!(
+                "{:>6} {:>10.1} {:>9.2?} {:>9.2?} {:>7} {:>9.2?} {:>8} {:>11.2} {:>10}",
+                n,
+                bytes.len() as f64 / 1024.0,
+                t_decode,
+                t_lower,
+                threads,
+                wall,
+                stats.merges,
+                stats.reduction_percent(),
+                if identical { "yes" } else { "NO" }
+            );
+            let p = stats.pipeline.unwrap_or_default();
+            report.record(&[
+                ("experiment", Json::S("wasm".into())),
+                ("functions", Json::I(n as i64)),
+                ("wasm_bytes", Json::I(bytes.len() as i64)),
+                ("driver", Json::S("pipeline".into())),
+                ("search", Json::S("auto".into())),
+                ("alignment", Json::S("needleman-wunsch".into())),
+                ("threads", Json::I(threads as i64)),
+                ("decode_s", Json::F(t_decode.as_secs_f64())),
+                ("lower_s", Json::F(t_lower.as_secs_f64())),
+                ("merges", Json::I(stats.merges as i64)),
+                ("reduction_percent", Json::F(stats.reduction_percent())),
+                ("wall_s", Json::F(wall.as_secs_f64())),
+                ("identical_to_threads1", Json::B(identical)),
+                ("schedule_s", Json::F(p.schedule.as_secs_f64())),
+                ("prepare_s", Json::F(p.prepare.as_secs_f64())),
+                ("spec_codegen_s", Json::F(p.spec_codegen.as_secs_f64())),
+                ("commit_s", Json::F(p.commit.as_secs_f64())),
+                ("commit_codegen_s", Json::F(p.commit_codegen.as_secs_f64())),
+                ("transplant_s", Json::F(p.transplant.as_secs_f64())),
+                ("rewrite_s", Json::F(p.rewrite.as_secs_f64())),
+            ]);
+            if !identical {
+                report.fail(format!(
+                    "wasm n={n} threads={threads}: merge output diverges from threads=1"
+                ));
+            }
+            if stats.merges == 0 || stats.reduction_percent() <= 0.0 {
+                report.fail(format!(
+                    "wasm n={n} threads={threads}: no measurable reduction ({} merges, {:.3}%)",
+                    stats.merges,
+                    stats.reduction_percent()
+                ));
+            }
+        }
+    }
+    println!("(corpus: fmsa_workloads::wasm_fixtures — clone families serialized to wasm bytes)");
 }
 
 // ---------------------------------------------------------------- ablation

@@ -1,12 +1,19 @@
-//! `fmsa-opt` — run function-merging techniques on a textual IR module.
+//! `fmsa-opt` — run function-merging techniques on a textual IR module or
+//! a WebAssembly binary.
 //!
 //! ```text
-//! fmsa_opt <input.fir> [--technique identical|soa|fmsa] [--threshold N]
-//!          [--oracle] [--arch x86-64|arm-thumb] [--canonicalize]
-//!          [--search exact|lsh|auto] [--threads N] [--spec-depth N]
-//!          [--spec-batch N] [--exclude name,name] [--stats]
-//!          [-o <output.fir>]
+//! fmsa_opt <input.fir|input.wasm> [--technique identical|soa|fmsa]
+//!          [--threshold N] [--oracle] [--arch x86-64|arm-thumb]
+//!          [--canonicalize] [--search exact|lsh|auto] [--threads N]
+//!          [--spec-depth N] [--spec-batch N] [--exclude name,name]
+//!          [--stats] [-o <output.fir>]
 //! ```
+//!
+//! The input format is auto-detected: files starting with the wasm magic
+//! (`\0asm`) are decoded and lowered by `fmsa-wasm` (unsupported wasm
+//! features abort with an error naming the section/opcode and byte
+//! offset); anything else parses as the textual IR. Output is always
+//! textual IR.
 //!
 //! `--threads N` selects the parallel merge pipeline with `N` workers
 //! (`0` = available parallelism); without it the paper's sequential
@@ -35,7 +42,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: fmsa_opt <input.fir> [--technique identical|soa|fmsa] \
+            "usage: fmsa_opt <input.fir|input.wasm> [--technique identical|soa|fmsa] \
              [--threshold N] [--oracle] [--arch x86-64|arm-thumb] \
              [--canonicalize] [--search exact|lsh|auto] [--threads N] \
              [--spec-depth N] [--spec-batch N] [--exclude a,b] [--stats] \
@@ -117,18 +124,43 @@ fn main() -> ExitCode {
         eprintln!("fmsa_opt: no input file");
         return ExitCode::from(2);
     };
-    let text = match std::fs::read_to_string(&input) {
-        Ok(t) => t,
+    let bytes = match std::fs::read(&input) {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("fmsa_opt: cannot read {input}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let mut module = match parser::parse_module(&text) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("fmsa_opt: {input}: {e}");
-            return ExitCode::FAILURE;
+    // Format auto-detection: wasm magic vs textual IR.
+    let mut module = if fmsa_wasm::is_wasm(&bytes) {
+        let stem = std::path::Path::new(&input)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "wasm".to_owned());
+        match fmsa_wasm::load_wasm(&bytes, &stem) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("fmsa_opt: {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let text = match String::from_utf8(bytes) {
+            Ok(t) => t,
+            Err(_) => {
+                eprintln!(
+                    "fmsa_opt: {input}: not a wasm binary (no \\0asm magic) and not UTF-8 \
+                     textual IR"
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        match parser::parse_module(&text) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("fmsa_opt: {input}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     let errs = fmsa_ir::verify_module(&module);

@@ -14,18 +14,28 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-/// A parse failure with a line number (1-based) and message.
+/// A parse failure with a source span (1-based line, 1-based column) and
+/// message; `column` is `0` only for errors constructed without position
+/// information (no current producer does, but consumers should not rely
+/// on that).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based source line.
     pub line: usize,
+    /// 1-based column within that line (`0` = unknown), counted on the
+    /// original line including indentation.
+    pub column: usize,
     /// Description of the problem.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        if self.column > 0 {
+            write!(f, "parse error at line {}:{}: {}", self.line, self.column, self.message)
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.message)
+        }
     }
 }
 
@@ -48,7 +58,8 @@ pub fn parse_module(text: &str) -> Result<Module> {
             module.name = rest.trim().to_owned();
         }
         if line.starts_with("define ") || line.starts_with("declare ") {
-            let header = parse_header(&mut module, line, lineno + 1)?;
+            let indent = raw.len() - raw.trim_start().len();
+            let header = parse_header(&mut module, line, lineno + 1, indent)?;
             let mut f = Function::new(header.name.clone(), header.fn_ty, &module.types);
             f.linkage = header.linkage;
             for (i, n) in header.param_names.iter().enumerate() {
@@ -66,17 +77,20 @@ pub fn parse_module(text: &str) -> Result<Module> {
         if !line.starts_with("define ") {
             continue;
         }
-        let header = parse_header(&mut module, line, lineno + 1)?;
+        let indent = raw.len() - raw.trim_start().len();
+        let header = parse_header(&mut module, line, lineno + 1, indent)?;
         let fid = module.func_by_name(&header.name).expect("created in pre-pass");
-        // Collect this function's body lines.
-        let mut body: Vec<(usize, String)> = Vec::new();
+        // Collect this function's body lines, remembering each line's
+        // indentation so columns refer to the original source.
+        let mut body: Vec<(usize, usize, String)> = Vec::new();
         for (ln, braw) in lines.by_ref() {
             let b = braw.trim();
             if b == "}" {
                 break;
             }
             if !b.is_empty() && !b.starts_with(';') {
-                body.push((ln + 1, b.to_owned()));
+                let ind = braw.len() - braw.trim_start().len();
+                body.push((ln + 1, ind, b.to_owned()));
             }
         }
         parse_body(&mut module, fid, &header, &body)?;
@@ -91,37 +105,43 @@ struct Header {
     param_names: Vec<String>,
 }
 
-fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+fn err_at(line: usize, column: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, column, message: message.into() }
 }
 
-fn parse_header(module: &mut Module, line: &str, lineno: usize) -> Result<Header> {
+fn parse_header(module: &mut Module, line: &str, lineno: usize, col0: usize) -> Result<Header> {
     let rest = line
         .strip_prefix("define ")
         .or_else(|| line.strip_prefix("declare "))
-        .ok_or_else(|| err(lineno, "expected define/declare"))?;
+        .ok_or_else(|| err_at(lineno, col0 + 1, "expected define/declare"))?;
     let (rest, linkage) = match rest.strip_prefix("internal ") {
         Some(r) => (r, Linkage::Internal),
         None => (rest, Linkage::External),
     };
-    let at = rest.find('@').ok_or_else(|| err(lineno, "missing @name"))?;
+    // 0-based column of `rest[0]` in the original line.
+    let rest_col = col0 + (line.len() - rest.len());
+    let at = rest.find('@').ok_or_else(|| err_at(lineno, rest_col + 1, "missing @name"))?;
     let ret_str = rest[..at].trim();
-    let mut cur = Cursor::new(ret_str, lineno);
+    let mut cur = Cursor::new_at(ret_str, lineno, trimmed_start(rest_col, &rest[..at]));
     let ret_ty = parse_type(module, &mut cur)?;
     let after = &rest[at + 1..];
-    let paren = after.find('(').ok_or_else(|| err(lineno, "missing ("))?;
+    let after_col = rest_col + at + 1;
+    let paren = after.find('(').ok_or_else(|| err_at(lineno, after_col + 1, "missing ("))?;
     let name = after[..paren].trim().to_owned();
-    let close = after.rfind(')').ok_or_else(|| err(lineno, "missing )"))?;
+    let close = after.rfind(')').ok_or_else(|| err_at(lineno, after_col + 1, "missing )"))?;
     let params_str = &after[paren + 1..close];
+    let params_col = after_col + paren + 1;
     let mut param_tys = Vec::new();
     let mut param_names = Vec::new();
-    for part in split_top_level(params_str) {
+    for (off, part) in split_top_level(params_str) {
+        let part_col = trimmed_start(params_col + off, &part);
         let part = part.trim();
         if part.is_empty() {
             continue;
         }
-        let pct = part.rfind('%').ok_or_else(|| err(lineno, "param missing %name"))?;
-        let mut tcur = Cursor::new(part[..pct].trim(), lineno);
+        let pct =
+            part.rfind('%').ok_or_else(|| err_at(lineno, part_col + 1, "param missing %name"))?;
+        let mut tcur = Cursor::new_at(part[..pct].trim(), lineno, part_col);
         param_tys.push(parse_type(module, &mut tcur)?);
         param_names.push(part[pct + 1..].trim().to_owned());
     }
@@ -133,18 +153,18 @@ fn parse_body(
     module: &mut Module,
     fid: crate::value::FuncId,
     header: &Header,
-    body: &[(usize, String)],
+    body: &[(usize, usize, String)],
 ) -> Result<()> {
     // First sub-pass: create blocks and pre-assign instruction ids so that
     // forward references (branches, loop-carried φs) resolve.
     let mut block_by_name: HashMap<String, BlockId> = HashMap::new();
     let mut inst_by_name: HashMap<String, InstId> = HashMap::new();
     let mut next_inst = 0u32;
-    for (ln, line) in body {
+    for (ln, indent, line) in body {
         if let Some(label) = line.strip_suffix(':') {
             let b = module.func_mut(fid).add_block(strip_block_index(label));
             if block_by_name.insert(label.to_owned(), b).is_some() {
-                return Err(err(*ln, format!("duplicate label {label}")));
+                return Err(err_at(*ln, indent + 1, format!("duplicate label {label}")));
             }
         } else {
             if let Some(eq) = defining_name(line) {
@@ -160,13 +180,14 @@ fn parse_body(
     let ctx = NameCtx { block_by_name, inst_by_name, param_by_name };
     // Second sub-pass: parse instructions in order.
     let mut cur_block: Option<BlockId> = None;
-    for (ln, line) in body {
+    for (ln, indent, line) in body {
         if let Some(label) = line.strip_suffix(':') {
             cur_block = Some(ctx.block_by_name[label]);
             continue;
         }
-        let block = cur_block.ok_or_else(|| err(*ln, "instruction before first label"))?;
-        let inst = parse_inst(module, fid, &ctx, line, *ln)?;
+        let block =
+            cur_block.ok_or_else(|| err_at(*ln, indent + 1, "instruction before first label"))?;
+        let inst = parse_inst(module, fid, &ctx, line, *ln, *indent)?;
         module.func_mut(fid).append_inst(block, inst);
     }
     Ok(())
@@ -191,17 +212,21 @@ struct NameCtx {
     param_by_name: HashMap<String, u32>,
 }
 
-/// Splits on top-level commas (ignoring commas inside `[]`, `{}`, `()`).
-fn split_top_level(s: &str) -> Vec<String> {
+/// Splits on top-level commas (ignoring commas inside `[]`, `{}`, `()`),
+/// returning each part with the byte offset of its first character in
+/// `s`, so callers can report real columns inside the parts.
+fn split_top_level(s: &str) -> Vec<(usize, String)> {
     let mut out = Vec::new();
     let mut depth = 0i32;
     let mut cur = String::new();
-    for c in s.chars() {
+    let mut start = 0usize;
+    for (k, c) in s.char_indices() {
         match c {
             '[' | '{' | '(' | '<' => depth += 1,
             ']' | '}' | ')' | '>' => depth -= 1,
             ',' if depth == 0 => {
-                out.push(std::mem::take(&mut cur));
+                out.push((start, std::mem::take(&mut cur)));
+                start = k + 1;
                 continue;
             }
             _ => {}
@@ -209,20 +234,44 @@ fn split_top_level(s: &str) -> Vec<String> {
         cur.push(c);
     }
     if !cur.trim().is_empty() {
-        out.push(cur);
+        out.push((start, cur));
     }
     out
+}
+
+/// Byte offset of the first non-space character of `part` relative to the
+/// split offset (parts keep their leading whitespace).
+fn trimmed_start(off: usize, part: &str) -> usize {
+    off + (part.len() - part.trim_start().len())
 }
 
 struct Cursor<'a> {
     s: &'a str,
     pos: usize,
     line: usize,
+    /// 0-based column of `s[0]` within the original source line, so
+    /// errors report real columns even when parsing a sub-slice.
+    col0: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(s: &'a str, line: usize) -> Cursor<'a> {
-        Cursor { s, pos: 0, line }
+    /// A cursor over a sub-slice that starts at column `col0` (0-based)
+    /// of the original line.
+    fn new_at(s: &'a str, line: usize, col0: usize) -> Cursor<'a> {
+        Cursor { s, pos: 0, line, col0 }
+    }
+    /// 1-based column of the next unparsed character.
+    fn column(&self) -> usize {
+        self.col0 + self.pos + 1
+    }
+    /// 0-based column of [`Cursor::rest`]'s first character — the base to
+    /// hand to sub-cursors parsing a slice of the remainder.
+    fn rest_base(&self) -> usize {
+        self.col0 + self.pos
+    }
+    /// An error pointing at the current position.
+    fn fail(&self, message: impl Into<String>) -> ParseError {
+        err_at(self.line, self.column(), message)
     }
     fn rest(&self) -> &'a str {
         &self.s[self.pos..]
@@ -245,7 +294,7 @@ impl<'a> Cursor<'a> {
         if self.eat(tok) {
             Ok(())
         } else {
-            Err(err(self.line, format!("expected {tok:?} at {:?}", self.rest())))
+            Err(self.fail(format!("expected {tok:?} at {:?}", self.rest())))
         }
     }
     fn word(&mut self) -> &'a str {
@@ -291,12 +340,16 @@ fn parse_type(module: &mut Module, cur: &mut Cursor<'_>) -> Result<TyId> {
         cur.expect("}")?;
         module.types.struct_(fields)
     } else if cur.eat("[") {
-        let n: u64 = cur.word().parse().map_err(|_| err(cur.line, "array length"))?;
+        cur.skip_ws();
+        let len_col = cur.column();
+        let n: u64 = cur.word().parse().map_err(|_| err_at(cur.line, len_col, "array length"))?;
         cur.expect("x")?;
         let elem = parse_type(module, cur)?;
         cur.expect("]")?;
         module.types.array(elem, n)
     } else {
+        cur.skip_ws();
+        let ty_col = cur.column();
         let w = cur.word();
         match w {
             "void" => module.types.void(),
@@ -305,11 +358,12 @@ fn parse_type(module: &mut Module, cur: &mut Cursor<'_>) -> Result<TyId> {
             "float" => module.types.f32(),
             "double" => module.types.f64(),
             _ if w.starts_with('i') => {
-                let bits: u32 =
-                    w[1..].parse().map_err(|_| err(cur.line, format!("bad type {w:?}")))?;
+                let bits: u32 = w[1..]
+                    .parse()
+                    .map_err(|_| err_at(cur.line, ty_col, format!("bad type {w:?}")))?;
                 module.types.int(bits)
             }
-            _ => return Err(err(cur.line, format!("unknown type {w:?}"))),
+            _ => return Err(err_at(cur.line, ty_col, format!("unknown type {w:?}"))),
         }
     };
     loop {
@@ -328,24 +382,27 @@ fn parse_value(module: &mut Module, ctx: &NameCtx, cur: &mut Cursor<'_>) -> Resu
     cur.skip_ws();
     if cur.eat("label") {
         cur.expect("%")?;
+        let name_col = cur.column() - 1; // include the consumed '%'
         let name = cur.word();
         let b = ctx
             .block_by_name
             .get(name)
-            .ok_or_else(|| err(cur.line, format!("unknown label %{name}")))?;
+            .ok_or_else(|| err_at(cur.line, name_col, format!("unknown label %{name}")))?;
         return Ok(Value::Block(*b));
     }
     if cur.rest().starts_with('@') {
+        let name_col = cur.column();
         cur.pos += 1;
         let name = cur.word();
         let f = module
             .func_by_name(name)
-            .ok_or_else(|| err(cur.line, format!("unknown function @{name}")))?;
+            .ok_or_else(|| err_at(cur.line, name_col, format!("unknown function @{name}")))?;
         return Ok(Value::Func(f));
     }
     let ty = parse_type(module, cur)?;
     cur.skip_ws();
     if cur.eat("%") {
+        let name_col = cur.column() - 1;
         let name = cur.word();
         if let Some(&i) = ctx.inst_by_name.get(name) {
             return Ok(Value::Inst(i));
@@ -353,7 +410,7 @@ fn parse_value(module: &mut Module, ctx: &NameCtx, cur: &mut Cursor<'_>) -> Resu
         if let Some(&p) = ctx.param_by_name.get(name) {
             return Ok(Value::Param(p));
         }
-        return Err(err(cur.line, format!("unknown value %{name}")));
+        return Err(err_at(cur.line, name_col, format!("unknown value %{name}")));
     }
     if cur.eat("null") {
         return Ok(Value::ConstNull(ty));
@@ -361,9 +418,12 @@ fn parse_value(module: &mut Module, ctx: &NameCtx, cur: &mut Cursor<'_>) -> Resu
     if cur.eat("undef") {
         return Ok(Value::Undef(ty));
     }
+    cur.skip_ws();
+    let const_col = cur.column();
     let w = cur.word();
     if module.types.is_float(ty) {
-        let x: f64 = w.parse().map_err(|_| err(cur.line, format!("bad float {w:?}")))?;
+        let x: f64 =
+            w.parse().map_err(|_| err_at(cur.line, const_col, format!("bad float {w:?}")))?;
         let bits = if module.types.display(ty) == "float" {
             (x as f32).to_bits() as u64
         } else {
@@ -371,7 +431,7 @@ fn parse_value(module: &mut Module, ctx: &NameCtx, cur: &mut Cursor<'_>) -> Resu
         };
         return Ok(Value::ConstFloat { ty, bits });
     }
-    let v: i64 = w.parse().map_err(|_| err(cur.line, format!("bad int {w:?}")))?;
+    let v: i64 = w.parse().map_err(|_| err_at(cur.line, const_col, format!("bad int {w:?}")))?;
     let width = module.types.int_width(ty).unwrap_or(64);
     let bits = if width >= 64 { v as u64 } else { (v as u64) & ((1u64 << width) - 1) };
     Ok(Value::ConstInt { ty, bits })
@@ -382,14 +442,16 @@ fn parse_values_csv(
     ctx: &NameCtx,
     s: &str,
     line: usize,
+    col0: usize,
 ) -> Result<Vec<Value>> {
     let mut out = Vec::new();
-    for part in split_top_level(s) {
+    for (off, part) in split_top_level(s) {
+        let part_col = trimmed_start(col0 + off, &part);
         let part = part.trim();
         if part.is_empty() {
             continue;
         }
-        let mut cur = Cursor::new(part, line);
+        let mut cur = Cursor::new_at(part, line, part_col);
         out.push(parse_value(module, ctx, &mut cur)?);
     }
     Ok(out)
@@ -402,16 +464,19 @@ fn parse_inst(
     ctx: &NameCtx,
     line: &str,
     ln: usize,
+    col0: usize,
 ) -> Result<Inst> {
-    let body = match line.find(" = ") {
-        Some(eq) if line.starts_with('%') => &line[eq + 3..],
-        _ => line,
+    let (body, body_col) = match line.find(" = ") {
+        Some(eq) if line.starts_with('%') => (&line[eq + 3..], col0 + eq + 3),
+        _ => (line, col0),
     };
-    let mut cur = Cursor::new(body, ln);
+    let mut cur = Cursor::new_at(body, ln, body_col);
+    cur.skip_ws();
+    let mnemonic_col = cur.column();
     let mnemonic = cur.word().to_owned();
     let void = module.types.void();
     let op = Opcode::from_mnemonic(&mnemonic)
-        .ok_or_else(|| err(ln, format!("unknown opcode {mnemonic:?}")))?;
+        .ok_or_else(|| err_at(ln, mnemonic_col, format!("unknown opcode {mnemonic:?}")))?;
     let inst = match op {
         Opcode::Ret => {
             if cur.eat("void") && cur.at_end() {
@@ -427,7 +492,7 @@ fn parse_inst(
         | Opcode::Store
         | Opcode::Select
         | Opcode::Resume => {
-            let vals = parse_values_csv(module, ctx, cur.rest(), ln)?;
+            let vals = parse_values_csv(module, ctx, cur.rest(), ln, cur.rest_base())?;
             let ty = match op {
                 Opcode::Select => value_ty_in(module, fid, vals[1]),
                 _ => void,
@@ -436,15 +501,19 @@ fn parse_inst(
         }
         Opcode::Unreachable => Inst::new(op, void, vec![]),
         Opcode::ICmp => {
+            cur.skip_ws();
+            let pred_col = cur.column();
             let p = IntPredicate::from_mnemonic(cur.word())
-                .ok_or_else(|| err(ln, "bad icmp predicate"))?;
-            let vals = parse_values_csv(module, ctx, cur.rest(), ln)?;
+                .ok_or_else(|| err_at(ln, pred_col, "bad icmp predicate"))?;
+            let vals = parse_values_csv(module, ctx, cur.rest(), ln, cur.rest_base())?;
             Inst::with_extra(op, module.types.i1(), vals, ExtraData::ICmp(p))
         }
         Opcode::FCmp => {
+            cur.skip_ws();
+            let pred_col = cur.column();
             let p = FloatPredicate::from_mnemonic(cur.word())
-                .ok_or_else(|| err(ln, "bad fcmp predicate"))?;
-            let vals = parse_values_csv(module, ctx, cur.rest(), ln)?;
+                .ok_or_else(|| err_at(ln, pred_col, "bad fcmp predicate"))?;
+            let vals = parse_values_csv(module, ctx, cur.rest(), ln, cur.rest_base())?;
             Inst::with_extra(op, module.types.i1(), vals, ExtraData::FCmp(p))
         }
         Opcode::Alloca => {
@@ -453,9 +522,11 @@ fn parse_inst(
             Inst::with_extra(op, ptr, vec![], ExtraData::Alloca { allocated: ty })
         }
         Opcode::Load => {
+            let v_col = cur.column();
             let v = parse_value(module, ctx, &mut cur)?;
             let pt = value_ty_in(module, fid, v);
-            let pointee = module.types.pointee(pt).ok_or_else(|| err(ln, "load from non-ptr"))?;
+            let pointee =
+                module.types.pointee(pt).ok_or_else(|| err_at(ln, v_col, "load from non-ptr"))?;
             Inst::new(op, pointee, vec![v])
         }
         Opcode::Gep => {
@@ -463,27 +534,34 @@ fn parse_inst(
             cur.expect("->")?;
             let res = parse_type(module, &mut cur)?;
             cur.expect(",")?;
-            let vals = parse_values_csv(module, ctx, cur.rest(), ln)?;
+            let vals = parse_values_csv(module, ctx, cur.rest(), ln, cur.rest_base())?;
             Inst::with_extra(op, res, vals, ExtraData::Gep { source_elem: src })
         }
         Opcode::Phi => {
             let ty = parse_type(module, &mut cur)?;
             let mut vals = Vec::new();
             let mut blocks = Vec::new();
-            for part in split_top_level(cur.rest()) {
+            let parts_base = cur.rest_base();
+            for (off, part) in split_top_level(cur.rest()) {
+                let part_col = trimmed_start(parts_base + off, &part);
                 let part = part.trim();
                 let inner = part
                     .strip_prefix('[')
                     .and_then(|s| s.strip_suffix(']'))
-                    .ok_or_else(|| err(ln, "phi pair"))?;
-                let (vs, bs) = inner.rsplit_once(',').ok_or_else(|| err(ln, "phi pair"))?;
-                let mut vc = Cursor::new(vs.trim(), ln);
+                    .ok_or_else(|| err_at(ln, part_col + 1, "phi pair"))?;
+                let (vs, bs) =
+                    inner.rsplit_once(',').ok_or_else(|| err_at(ln, part_col + 1, "phi pair"))?;
+                let mut vc = Cursor::new_at(vs.trim(), ln, trimmed_start(part_col + 1, vs));
                 vals.push(parse_value(module, ctx, &mut vc)?);
-                let bname = bs.trim().strip_prefix('%').ok_or_else(|| err(ln, "phi label"))?;
+                let label_col = trimmed_start(part_col + 1 + vs.len() + 1, bs) + 1;
+                let bname = bs
+                    .trim()
+                    .strip_prefix('%')
+                    .ok_or_else(|| err_at(ln, label_col, "phi label"))?;
                 blocks.push(
                     *ctx.block_by_name
                         .get(bname)
-                        .ok_or_else(|| err(ln, format!("unknown label {bname}")))?,
+                        .ok_or_else(|| err_at(ln, label_col, format!("unknown label {bname}")))?,
                 );
             }
             Inst::with_extra(op, ty, vals, ExtraData::Phi { incoming: blocks })
@@ -500,7 +578,7 @@ fn parse_inst(
                     clauses.push(LandingPadClause::Catch(cur.word().to_owned()));
                 } else if cur.eat("filter") {
                     cur.expect("[")?;
-                    let close = cur.rest().find(']').ok_or_else(|| err(ln, "filter missing ]"))?;
+                    let close = cur.rest().find(']').ok_or_else(|| cur.fail("filter missing ]"))?;
                     let syms = cur.rest()[..close]
                         .split(',')
                         .map(|s| s.trim().to_owned())
@@ -516,13 +594,21 @@ fn parse_inst(
         }
         Opcode::ExtractValue | Opcode::InsertValue => {
             let rest = cur.rest();
-            let bracket = rest.rfind('[').ok_or_else(|| err(ln, "missing indices"))?;
+            let rest_base = cur.rest_base();
+            let bracket = rest.rfind('[').ok_or_else(|| cur.fail("missing indices"))?;
+            let idx_col = rest_base + bracket + 2;
             let idxs: Vec<u32> = rest[bracket + 1..]
                 .trim_end_matches(']')
                 .split(',')
-                .map(|s| s.trim().parse().map_err(|_| err(ln, "bad index")))
+                .map(|s| s.trim().parse().map_err(|_| err_at(ln, idx_col, "bad index")))
                 .collect::<Result<_>>()?;
-            let vals = parse_values_csv(module, ctx, rest[..bracket].trim_end_matches(", "), ln)?;
+            let vals = parse_values_csv(
+                module,
+                ctx,
+                rest[..bracket].trim_end_matches(", "),
+                ln,
+                rest_base,
+            )?;
             // Result type: for extractvalue we can't know without walking
             // the aggregate; printer includes it implicitly via load-like
             // usage. We recompute from the aggregate type.
@@ -530,7 +616,7 @@ fn parse_inst(
                 Opcode::InsertValue => value_ty_in(module, fid, vals[0]),
                 Opcode::ExtractValue => {
                     extract_result_ty(module, value_ty_in(module, fid, vals[0]), &idxs)
-                        .ok_or_else(|| err(ln, "bad extractvalue indices"))?
+                        .ok_or_else(|| err_at(ln, idx_col, "bad extractvalue indices"))?
                 }
                 _ => unreachable!(),
             };
@@ -540,38 +626,57 @@ fn parse_inst(
             let ret = parse_type(module, &mut cur)?;
             cur.skip_ws();
             let rest = cur.rest();
-            let paren = rest.find('(').ok_or_else(|| err(ln, "call missing ("))?;
-            let mut callee_cur = Cursor::new(rest[..paren].trim(), ln);
+            let rest_base = cur.rest_base();
+            let paren = rest.find('(').ok_or_else(|| cur.fail("call missing ("))?;
+            let mut callee_cur =
+                Cursor::new_at(rest[..paren].trim(), ln, trimmed_start(rest_base, &rest[..paren]));
             let callee = parse_value(module, ctx, &mut callee_cur)?;
-            let close = rest.rfind(')').ok_or_else(|| err(ln, "call missing )"))?;
+            let close = rest.rfind(')').ok_or_else(|| cur.fail("call missing )"))?;
             let mut operands = vec![callee];
-            operands.extend(parse_values_csv(module, ctx, &rest[paren + 1..close], ln)?);
+            operands.extend(parse_values_csv(
+                module,
+                ctx,
+                &rest[paren + 1..close],
+                ln,
+                rest_base + paren + 1,
+            )?);
             if op == Opcode::Invoke {
                 let tail = &rest[close + 1..];
-                let to = tail.find("to").ok_or_else(|| err(ln, "invoke missing to"))?;
-                let unwind = tail.find("unwind").ok_or_else(|| err(ln, "invoke missing unwind"))?;
-                let mut nc = Cursor::new(tail[to + 2..unwind].trim(), ln);
+                let tail_base = rest_base + close + 1;
+                let to = tail
+                    .find("to")
+                    .ok_or_else(|| err_at(ln, tail_base + 1, "invoke missing to"))?;
+                let unwind = tail
+                    .find("unwind")
+                    .ok_or_else(|| err_at(ln, tail_base + 1, "invoke missing unwind"))?;
+                let ns = &tail[to + 2..unwind];
+                let mut nc = Cursor::new_at(ns.trim(), ln, trimmed_start(tail_base + to + 2, ns));
                 operands.push(parse_value(module, ctx, &mut nc)?);
-                let mut uc = Cursor::new(tail[unwind + 6..].trim(), ln);
+                let us = &tail[unwind + 6..];
+                let mut uc =
+                    Cursor::new_at(us.trim(), ln, trimmed_start(tail_base + unwind + 6, us));
                 operands.push(parse_value(module, ctx, &mut uc)?);
             }
             Inst::new(op, ret, operands)
         }
         cast if cast.is_cast() => {
             let rest = cur.rest();
-            let to = rest.rfind(" to ").ok_or_else(|| err(ln, "cast missing to"))?;
-            let mut vc = Cursor::new(rest[..to].trim(), ln);
+            let rest_base = cur.rest_base();
+            let to = rest.rfind(" to ").ok_or_else(|| cur.fail("cast missing to"))?;
+            let mut vc =
+                Cursor::new_at(rest[..to].trim(), ln, trimmed_start(rest_base, &rest[..to]));
             let v = parse_value(module, ctx, &mut vc)?;
-            let mut tc = Cursor::new(rest[to + 4..].trim(), ln);
+            let ts = &rest[to + 4..];
+            let mut tc = Cursor::new_at(ts.trim(), ln, trimmed_start(rest_base + to + 4, ts));
             let ty = parse_type(module, &mut tc)?;
             Inst::new(cast, ty, vec![v])
         }
         binop => {
-            let vals = parse_values_csv(module, ctx, cur.rest(), ln)?;
+            let vals = parse_values_csv(module, ctx, cur.rest(), ln, cur.rest_base())?;
             let ty = vals
                 .first()
                 .map(|&v| value_ty_in(module, fid, v))
-                .ok_or_else(|| err(ln, "binary op without operands"))?;
+                .ok_or_else(|| cur.fail("binary op without operands"))?;
             Inst::new(binop, ty, vals)
         }
     };
@@ -694,7 +799,7 @@ join.3:
     }
 
     #[test]
-    fn error_has_line_number() {
+    fn error_has_line_and_column() {
         let text = "\
 define internal i32 @broken() {
 entry.0:
@@ -703,7 +808,35 @@ entry.0:
 ";
         let e = parse_module(text).expect_err("should fail");
         assert_eq!(e.line, 3);
+        // Column points at the mnemonic, counting the 2-space indent.
+        assert_eq!(e.column, 9, "{e}");
         assert!(e.message.contains("frobnicate"));
+        assert!(e.to_string().contains("line 3:9"), "{e}");
+    }
+
+    #[test]
+    fn column_spans_point_into_operands() {
+        // The bad operand is the unknown value %nope.
+        let text = "\
+define internal i32 @f(i32 %a) {
+entry.0:
+  %v0 = add i32 %a, i32 %nope
+  ret i32 %v0
+}
+";
+        let e = parse_module(text).expect_err("should fail");
+        assert_eq!(e.line, 3);
+        let col = text.lines().nth(2).expect("line 3").find("%nope").expect("present") + 1;
+        assert_eq!(e.column, col, "{e}");
+        assert!(e.message.contains("%nope"), "{e}");
+    }
+
+    #[test]
+    fn header_type_errors_have_columns() {
+        let text = "define internal wat @f() {\n}\n";
+        let e = parse_module(text).expect_err("bad ret type");
+        assert_eq!(e.line, 1);
+        assert_eq!(e.column, 17, "{e}");
     }
 
     #[test]

@@ -1,0 +1,821 @@
+//! Decoder for the core-MVP wasm binary format.
+//!
+//! [`parse_wasm`] handles the section framing (type, function, memory,
+//! export, code; custom sections are skipped) and [`OpReader`] streams the
+//! operator sequence of one function body. Anything outside the supported
+//! subset — imports, tables, globals, element/data segments, `start`,
+//! multi-value results, the post-MVP opcode space — is rejected with a
+//! [`WasmError`] naming the construct and its byte offset.
+//!
+//! Operators are decoded straight into the [`fmsa_ir`] vocabulary where a
+//! 1:1 mapping exists ([`Op::Binary`] carries an [`Opcode`], the compare
+//! ops carry [`IntPredicate`]/[`FloatPredicate`]), so the lowering pass
+//! ([`crate::lower`]) stays a small structural translation.
+
+use crate::leb128::Reader;
+use crate::{ValType, WasmError, WASM_MAGIC, WASM_VERSION};
+use fmsa_ir::{FloatPredicate, IntPredicate, Opcode};
+use std::ops::Range;
+
+/// A function signature from the type section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncType {
+    /// Parameter types, in order.
+    pub params: Vec<ValType>,
+    /// Result types; the MVP subset allows at most one.
+    pub results: Vec<ValType>,
+}
+
+/// Memory limits, in 64 KiB pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Initial size.
+    pub min: u32,
+    /// Optional maximum size.
+    pub max: Option<u32>,
+}
+
+/// A function export (the only export kind the frontend models).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Export {
+    /// Export name.
+    pub name: String,
+    /// Index into the function index space.
+    pub func: u32,
+}
+
+/// One function body from the code section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncBody {
+    /// Declared locals: `(count, type)` runs, as encoded.
+    pub locals: Vec<(u32, ValType)>,
+    /// Byte range of the body expression (including the final `end`)
+    /// within the original input.
+    pub code: Range<usize>,
+}
+
+/// A decoded (but not yet lowered) wasm module.
+#[derive(Debug, Clone)]
+pub struct WasmModule {
+    bytes: Vec<u8>,
+    /// Type section entries.
+    pub types: Vec<FuncType>,
+    /// Function section: per defined function, its type index.
+    pub funcs: Vec<u32>,
+    /// Memory section entry, if present.
+    pub memory: Option<Limits>,
+    /// Function exports, in section order.
+    pub exports: Vec<Export>,
+    /// Code section entries, parallel to [`WasmModule::funcs`].
+    pub bodies: Vec<FuncBody>,
+}
+
+impl WasmModule {
+    /// The signature of function `i` of the index space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range ([`parse_wasm`] validates indices).
+    pub fn func_type(&self, i: u32) -> &FuncType {
+        &self.types[self.funcs[i as usize] as usize]
+    }
+
+    /// An operator stream over the body expression of function `i`,
+    /// reporting absolute byte offsets.
+    pub fn body_ops(&self, i: usize) -> OpReader<'_> {
+        let range = self.bodies[i].code.clone();
+        OpReader { r: Reader::new(&self.bytes[range.clone()], range.start) }
+    }
+
+    /// Total size of the input binary in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// Block type of a `block`/`loop`/`if`: no result or one value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockType {
+    /// `[] -> []`.
+    Empty,
+    /// `[] -> [ty]`.
+    Val(ValType),
+}
+
+/// A memory access: which stack type moves, through which access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemArg {
+    /// The wasm value type on the operand stack.
+    pub ty: ValType,
+    /// Access width in bits (8, 16, 32, or 64). Narrower than the value
+    /// type for the `load8_s`-style sub-width forms.
+    pub width: u8,
+    /// For sub-width loads: sign-extend (`true`) or zero-extend.
+    pub signed: bool,
+    /// Constant byte offset added to the dynamic address.
+    pub offset: u32,
+}
+
+/// One decoded operator, in [`fmsa_ir`] vocabulary where possible.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `unreachable`.
+    Unreachable,
+    /// `nop`.
+    Nop,
+    /// `block bt`.
+    Block(BlockType),
+    /// `loop bt`.
+    Loop(BlockType),
+    /// `if bt`.
+    If(BlockType),
+    /// `else`.
+    Else,
+    /// `end` of a block, loop, if, or the function body.
+    End,
+    /// `br l`.
+    Br(u32),
+    /// `br_if l`.
+    BrIf(u32),
+    /// `br_table l* l`.
+    BrTable {
+        /// Case targets, indexed by the operand.
+        targets: Vec<u32>,
+        /// Default target.
+        default: u32,
+    },
+    /// `return`.
+    Return,
+    /// `call f`.
+    Call(u32),
+    /// `drop`.
+    Drop,
+    /// `select`.
+    Select,
+    /// `local.get x`.
+    LocalGet(u32),
+    /// `local.set x`.
+    LocalSet(u32),
+    /// `local.tee x`.
+    LocalTee(u32),
+    /// A `*.load*` instruction.
+    Load(MemArg),
+    /// A `*.store*` instruction.
+    Store(MemArg),
+    /// `i32.const`.
+    I32Const(i32),
+    /// `i64.const`.
+    I64Const(i64),
+    /// `f32.const`.
+    F32Const(f32),
+    /// `f64.const`.
+    F64Const(f64),
+    /// `i32.eqz` / `i64.eqz`.
+    Eqz(ValType),
+    /// An integer comparison; produces an `i32` (0/1) in wasm.
+    ICmp {
+        /// Operand type (`i32` or `i64`).
+        ty: ValType,
+        /// The equivalent IR predicate.
+        pred: IntPredicate,
+    },
+    /// A float comparison; produces an `i32` (0/1) in wasm.
+    FCmp {
+        /// Operand type (`f32` or `f64`).
+        ty: ValType,
+        /// The equivalent IR predicate (wasm `ne` is unordered-or-unequal).
+        pred: FloatPredicate,
+    },
+    /// A two-operand numeric op with a direct IR equivalent.
+    Binary {
+        /// Operand/result type.
+        ty: ValType,
+        /// The equivalent IR opcode.
+        op: Opcode,
+    },
+    /// A conversion with a direct IR cast equivalent.
+    Convert {
+        /// The IR cast opcode.
+        op: Opcode,
+        /// Destination wasm type.
+        to: ValType,
+    },
+}
+
+/// Streams [`Op`]s out of one function body.
+#[derive(Debug, Clone)]
+pub struct OpReader<'a> {
+    r: Reader<'a>,
+}
+
+impl OpReader<'_> {
+    /// Absolute byte offset of the next operator.
+    pub fn offset(&self) -> usize {
+        self.r.offset()
+    }
+
+    /// Decodes the next operator; `(offset, op)` where `offset` points at
+    /// the opcode byte.
+    ///
+    /// # Errors
+    ///
+    /// Truncated/malformed immediates, or an opcode outside the supported
+    /// subset (named, with its offset).
+    #[allow(clippy::too_many_lines)]
+    pub fn next_op(&mut self) -> Result<(usize, Op), WasmError> {
+        use Opcode::*;
+        use ValType::{F32, F64, I32, I64};
+        let at = self.r.offset();
+        let b = self.r.byte("opcode")?;
+        let op = match b {
+            0x00 => Op::Unreachable,
+            0x01 => Op::Nop,
+            0x02 => Op::Block(self.block_type()?),
+            0x03 => Op::Loop(self.block_type()?),
+            0x04 => Op::If(self.block_type()?),
+            0x05 => Op::Else,
+            0x0b => Op::End,
+            0x0c => Op::Br(self.r.u32("br label")?),
+            0x0d => Op::BrIf(self.r.u32("br_if label")?),
+            0x0e => {
+                let n = self.r.u32("br_table target count")? as usize;
+                let mut targets = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    targets.push(self.r.u32("br_table target")?);
+                }
+                let default = self.r.u32("br_table default")?;
+                Op::BrTable { targets, default }
+            }
+            0x0f => Op::Return,
+            0x10 => Op::Call(self.r.u32("call callee")?),
+            0x1a => Op::Drop,
+            0x1b => Op::Select,
+            0x20 => Op::LocalGet(self.r.u32("local.get index")?),
+            0x21 => Op::LocalSet(self.r.u32("local.set index")?),
+            0x22 => Op::LocalTee(self.r.u32("local.tee index")?),
+            0x28..=0x35 => {
+                let (ty, width, signed) = match b {
+                    0x28 => (I32, 32, false),
+                    0x29 => (I64, 64, false),
+                    0x2a => (F32, 32, false),
+                    0x2b => (F64, 64, false),
+                    0x2c => (I32, 8, true),
+                    0x2d => (I32, 8, false),
+                    0x2e => (I32, 16, true),
+                    0x2f => (I32, 16, false),
+                    0x30 => (I64, 8, true),
+                    0x31 => (I64, 8, false),
+                    0x32 => (I64, 16, true),
+                    0x33 => (I64, 16, false),
+                    0x34 => (I64, 32, true),
+                    _ => (I64, 32, false),
+                };
+                let offset = self.memarg()?;
+                Op::Load(MemArg { ty, width, signed, offset })
+            }
+            0x36..=0x3e => {
+                let (ty, width) = match b {
+                    0x36 => (I32, 32),
+                    0x37 => (I64, 64),
+                    0x38 => (F32, 32),
+                    0x39 => (F64, 64),
+                    0x3a => (I32, 8),
+                    0x3b => (I32, 16),
+                    0x3c => (I64, 8),
+                    0x3d => (I64, 16),
+                    _ => (I64, 32),
+                };
+                let offset = self.memarg()?;
+                Op::Store(MemArg { ty, width, signed: false, offset })
+            }
+            0x41 => Op::I32Const(self.r.i32("i32.const")?),
+            0x42 => Op::I64Const(self.r.i64("i64.const")?),
+            0x43 => Op::F32Const(self.r.f32("f32.const")?),
+            0x44 => Op::F64Const(self.r.f64("f64.const")?),
+            0x45 => Op::Eqz(I32),
+            0x46..=0x4f => Op::ICmp { ty: I32, pred: int_pred(b - 0x46) },
+            0x50 => Op::Eqz(I64),
+            0x51..=0x5a => Op::ICmp { ty: I64, pred: int_pred(b - 0x51) },
+            0x5b..=0x60 => Op::FCmp { ty: F32, pred: float_pred(b - 0x5b) },
+            0x61..=0x66 => Op::FCmp { ty: F64, pred: float_pred(b - 0x61) },
+            0x6a..=0x78 if int_binary(b - 0x6a).is_some() => {
+                Op::Binary { ty: I32, op: int_binary(b - 0x6a).expect("guarded") }
+            }
+            0x7c..=0x8a if int_binary(b - 0x7c).is_some() => {
+                Op::Binary { ty: I64, op: int_binary(b - 0x7c).expect("guarded") }
+            }
+            0x92..=0x95 => Op::Binary { ty: F32, op: float_binary(b - 0x92) },
+            0xa0..=0xa3 => Op::Binary { ty: F64, op: float_binary(b - 0xa0) },
+            0xa7 => Op::Convert { op: Trunc, to: I32 },
+            0xa8 | 0xaa => Op::Convert { op: FPToSI, to: I32 },
+            0xa9 | 0xab => Op::Convert { op: FPToUI, to: I32 },
+            0xac => Op::Convert { op: SExt, to: I64 },
+            0xad => Op::Convert { op: ZExt, to: I64 },
+            0xae | 0xb0 => Op::Convert { op: FPToSI, to: I64 },
+            0xaf | 0xb1 => Op::Convert { op: FPToUI, to: I64 },
+            0xb2 | 0xb4 => Op::Convert { op: SIToFP, to: F32 },
+            0xb3 | 0xb5 => Op::Convert { op: UIToFP, to: F32 },
+            0xb6 => Op::Convert { op: FPTrunc, to: F32 },
+            0xb7 | 0xb9 => Op::Convert { op: SIToFP, to: F64 },
+            0xb8 | 0xba => Op::Convert { op: UIToFP, to: F64 },
+            0xbb => Op::Convert { op: FPExt, to: F64 },
+            0xbc => Op::Convert { op: BitCast, to: I32 },
+            0xbd => Op::Convert { op: BitCast, to: I64 },
+            0xbe => Op::Convert { op: BitCast, to: F32 },
+            0xbf => Op::Convert { op: BitCast, to: F64 },
+            other => {
+                return Err(WasmError::unsupported(
+                    at,
+                    format!("opcode {:#04x} ({})", other, opcode_name(other)),
+                ));
+            }
+        };
+        Ok((at, op))
+    }
+
+    fn block_type(&mut self) -> Result<BlockType, WasmError> {
+        let at = self.r.offset();
+        let b = self.r.byte("block type")?;
+        if b == 0x40 {
+            return Ok(BlockType::Empty);
+        }
+        match ValType::from_byte(b) {
+            Some(vt) => Ok(BlockType::Val(vt)),
+            None => Err(WasmError::unsupported(
+                at,
+                format!("block type {b:#04x} (type-index / multi-value block types)"),
+            )),
+        }
+    }
+
+    fn memarg(&mut self) -> Result<u32, WasmError> {
+        let _align = self.r.u32("memarg align")?; // a hint; ignored
+        self.r.u32("memarg offset")
+    }
+}
+
+fn int_pred(k: u8) -> IntPredicate {
+    // eq ne lt_s lt_u gt_s gt_u le_s le_u ge_s ge_u
+    [
+        IntPredicate::Eq,
+        IntPredicate::Ne,
+        IntPredicate::Slt,
+        IntPredicate::Ult,
+        IntPredicate::Sgt,
+        IntPredicate::Ugt,
+        IntPredicate::Sle,
+        IntPredicate::Ule,
+        IntPredicate::Sge,
+        IntPredicate::Uge,
+    ][k as usize]
+}
+
+fn float_pred(k: u8) -> FloatPredicate {
+    // eq ne lt gt le ge — wasm `ne` is true on unordered operands.
+    [
+        FloatPredicate::Oeq,
+        FloatPredicate::Une,
+        FloatPredicate::Olt,
+        FloatPredicate::Ogt,
+        FloatPredicate::Ole,
+        FloatPredicate::Oge,
+    ][k as usize]
+}
+
+/// IR opcode for the integer binary op at offset `k` from `i32.clz`;
+/// `None` for the forms without a direct IR equivalent (clz/ctz/popcnt/
+/// rotl/rotr), which the caller reports as unsupported.
+fn int_binary(k: u8) -> Option<Opcode> {
+    match k {
+        0x00 => Some(Opcode::Add),
+        0x01 => Some(Opcode::Sub),
+        0x02 => Some(Opcode::Mul),
+        0x03 => Some(Opcode::SDiv),
+        0x04 => Some(Opcode::UDiv),
+        0x05 => Some(Opcode::SRem),
+        0x06 => Some(Opcode::URem),
+        0x07 => Some(Opcode::And),
+        0x08 => Some(Opcode::Or),
+        0x09 => Some(Opcode::Xor),
+        0x0a => Some(Opcode::Shl),
+        0x0b => Some(Opcode::AShr),
+        0x0c => Some(Opcode::LShr),
+        _ => None, // rotl (0x0d) / rotr (0x0e)
+    }
+}
+
+fn float_binary(k: u8) -> Opcode {
+    [Opcode::FAdd, Opcode::FSub, Opcode::FMul, Opcode::FDiv][k as usize]
+}
+
+/// Names for the opcodes the frontend knows about but does not support,
+/// so rejection errors read well; unknown bytes fall back to a generic
+/// label.
+fn opcode_name(b: u8) -> &'static str {
+    match b {
+        0x11 => "call_indirect",
+        0x23 => "global.get",
+        0x24 => "global.set",
+        0x3f => "memory.size",
+        0x40 => "memory.grow",
+        0x67 | 0x79 => "clz",
+        0x68 | 0x7a => "ctz",
+        0x69 | 0x7b => "popcnt",
+        0x77 | 0x89 => "rotl",
+        0x78 | 0x8a => "rotr",
+        0x8b | 0x99 => "abs",
+        0x8c | 0x9a => "neg",
+        0x8d | 0x9b => "ceil",
+        0x8e | 0x9c => "floor",
+        0x8f | 0x9d => "trunc",
+        0x90 | 0x9e => "nearest",
+        0x91 | 0x9f => "sqrt",
+        0x96 | 0xa4 => "min",
+        0x97 | 0xa5 => "max",
+        0x98 | 0xa6 => "copysign",
+        0xc0..=0xc4 => "sign-extension op",
+        0xd0..=0xd2 => "reference op",
+        0xfc => "0xFC-prefixed op",
+        0xfd => "SIMD op",
+        _ => "outside the core-MVP subset",
+    }
+}
+
+/// Section names for error messages, by section id.
+fn section_name(id: u8) -> &'static str {
+    match id {
+        0 => "custom",
+        1 => "type",
+        2 => "import",
+        3 => "function",
+        4 => "table",
+        5 => "memory",
+        6 => "global",
+        7 => "export",
+        8 => "start",
+        9 => "element",
+        10 => "code",
+        11 => "data",
+        12 => "data count",
+        _ => "unknown",
+    }
+}
+
+/// Decodes the section structure of a wasm binary.
+///
+/// # Errors
+///
+/// Returns a [`WasmError`] for malformed/truncated input or any feature
+/// outside the supported subset (imports, tables, globals, element/data
+/// segments, `start`, multiple memories, multi-value results). Custom
+/// sections are skipped.
+pub fn parse_wasm(bytes: &[u8]) -> Result<WasmModule, WasmError> {
+    let mut r = Reader::new(bytes, 0);
+    let magic = r.take(4, "magic")?;
+    if magic != WASM_MAGIC {
+        return Err(WasmError::malformed(0, "bad magic (expected \\0asm)"));
+    }
+    let version = r.take(4, "version")?;
+    let version = u32::from_le_bytes([version[0], version[1], version[2], version[3]]);
+    if version != WASM_VERSION {
+        return Err(WasmError::unsupported(4, format!("binary format version {version}")));
+    }
+    let mut module = WasmModule {
+        bytes: bytes.to_vec(),
+        types: Vec::new(),
+        funcs: Vec::new(),
+        memory: None,
+        exports: Vec::new(),
+        bodies: Vec::new(),
+    };
+    let mut last_id = 0u8;
+    while !r.at_end() {
+        let id_at = r.offset();
+        let id = r.byte("section id")?;
+        let size = r.u32("section size")? as usize;
+        let body_at = r.offset();
+        let body = r.take(size, "section body")?;
+        let mut s = Reader::new(body, body_at);
+        // Non-custom sections must appear at most once, in ascending id
+        // order (spec §5.5.2); otherwise duplicate sections would
+        // silently concatenate their entries.
+        if id != 0 {
+            if id <= last_id {
+                return Err(WasmError::malformed(
+                    id_at,
+                    format!(
+                        "{} section (id {id}) out of order or duplicated (after id {last_id})",
+                        section_name(id)
+                    ),
+                ));
+            }
+            last_id = id;
+        }
+        match id {
+            0 => {} // custom sections carry no semantics; skip
+            1 => parse_type_section(&mut s, &mut module)?,
+            3 => parse_function_section(&mut s, &mut module)?,
+            5 => parse_memory_section(&mut s, &mut module)?,
+            7 => parse_export_section(&mut s, &mut module)?,
+            10 => parse_code_section(&mut s, &mut module)?,
+            2 | 4 | 6 | 8 | 9 | 11 | 12 => {
+                return Err(WasmError::unsupported(
+                    id_at,
+                    format!("{} section (id {id})", section_name(id)),
+                ));
+            }
+            _ => {
+                return Err(WasmError::malformed(id_at, format!("unknown section id {id}")));
+            }
+        }
+        if id != 0 && !s.at_end() {
+            return Err(WasmError::malformed(
+                s.offset(),
+                format!("{} section has {} trailing bytes", section_name(id), s.remaining()),
+            ));
+        }
+    }
+    if module.funcs.len() != module.bodies.len() {
+        return Err(WasmError::malformed(
+            bytes.len(),
+            format!(
+                "function section declares {} functions but code section has {} bodies",
+                module.funcs.len(),
+                module.bodies.len()
+            ),
+        ));
+    }
+    for (k, &ty) in module.funcs.iter().enumerate() {
+        if ty as usize >= module.types.len() {
+            return Err(WasmError::malformed(
+                bytes.len(),
+                format!(
+                    "function {k} names type index {ty}, but only {} exist",
+                    module.types.len()
+                ),
+            ));
+        }
+    }
+    for e in &module.exports {
+        if e.func as usize >= module.funcs.len() {
+            return Err(WasmError::malformed(
+                bytes.len(),
+                format!("export {:?} names function index {}, out of range", e.name, e.func),
+            ));
+        }
+    }
+    Ok(module)
+}
+
+fn parse_type_section(s: &mut Reader<'_>, m: &mut WasmModule) -> Result<(), WasmError> {
+    let count = s.u32("type count")?;
+    for _ in 0..count {
+        let at = s.offset();
+        let form = s.byte("functype tag")?;
+        if form != 0x60 {
+            return Err(WasmError::malformed(
+                at,
+                format!("expected functype (0x60), got {form:#04x}"),
+            ));
+        }
+        let params = parse_valtypes(s, "param")?;
+        let results = parse_valtypes(s, "result")?;
+        if results.len() > 1 {
+            return Err(WasmError::unsupported(
+                at,
+                format!("multi-value function type ({} results)", results.len()),
+            ));
+        }
+        m.types.push(FuncType { params, results });
+    }
+    Ok(())
+}
+
+fn parse_valtypes(s: &mut Reader<'_>, what: &str) -> Result<Vec<ValType>, WasmError> {
+    let n = s.u32("valtype count")? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let at = s.offset();
+        let b = s.byte("valtype")?;
+        let vt = ValType::from_byte(b).ok_or_else(|| {
+            WasmError::unsupported(at, format!("{what} type {b:#04x} (only i32/i64/f32/f64)"))
+        })?;
+        out.push(vt);
+    }
+    Ok(out)
+}
+
+fn parse_function_section(s: &mut Reader<'_>, m: &mut WasmModule) -> Result<(), WasmError> {
+    let count = s.u32("function count")?;
+    for _ in 0..count {
+        m.funcs.push(s.u32("type index")?);
+    }
+    Ok(())
+}
+
+fn parse_memory_section(s: &mut Reader<'_>, m: &mut WasmModule) -> Result<(), WasmError> {
+    let at = s.offset();
+    let count = s.u32("memory count")?;
+    if count > 1 {
+        return Err(WasmError::unsupported(at, format!("{count} memories (at most one)")));
+    }
+    for _ in 0..count {
+        let flag_at = s.offset();
+        let flags = s.byte("limits flag")?;
+        let min = s.u32("memory min")?;
+        let max = match flags {
+            0x00 => None,
+            0x01 => Some(s.u32("memory max")?),
+            other => {
+                return Err(WasmError::malformed(flag_at, format!("bad limits flag {other:#04x}")))
+            }
+        };
+        m.memory = Some(Limits { min, max });
+    }
+    Ok(())
+}
+
+fn parse_export_section(s: &mut Reader<'_>, m: &mut WasmModule) -> Result<(), WasmError> {
+    let count = s.u32("export count")?;
+    for _ in 0..count {
+        let name = s.name()?;
+        let kind = s.byte("export kind")?;
+        let idx = s.u32("export index")?;
+        // Function exports drive naming/linkage in the lowering; a memory
+        // export is meaningful but changes nothing for merging. Table and
+        // global exports cannot refer to anything (those sections are
+        // rejected), so an index here is dangling — report it.
+        match kind {
+            0x00 => m.exports.push(Export { name, func: idx }),
+            0x02 => {}
+            other => {
+                return Err(WasmError::unsupported(
+                    s.offset(),
+                    format!("export kind {other:#04x} for {name:?} (func/memory only)"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-function declared-locals limit, matching what production wasm
+/// engines enforce (V8/SpiderMonkey/wasmtime all cap at 50 000).
+pub const MAX_LOCALS: u64 = 50_000;
+
+fn parse_code_section(s: &mut Reader<'_>, m: &mut WasmModule) -> Result<(), WasmError> {
+    let count = s.u32("code count")?;
+    for _ in 0..count {
+        let size = s.u32("body size")? as usize;
+        let body_at = s.offset();
+        let body = s.take(size, "function body")?;
+        let mut b = Reader::new(body, body_at);
+        let n_locals = b.u32("local group count")?;
+        let mut locals = Vec::new();
+        let mut total_locals = 0u64;
+        for _ in 0..n_locals {
+            let count_at = b.offset();
+            let n = b.u32("local count")?;
+            let at = b.offset();
+            let tyb = b.byte("local type")?;
+            let vt = ValType::from_byte(tyb).ok_or_else(|| {
+                WasmError::unsupported(at, format!("local type {tyb:#04x} (only i32/i64/f32/f64)"))
+            })?;
+            // A 6-byte group can declare 2^32-1 locals, each of which
+            // lowering would materialize as an alloca+store; cap at the
+            // limit real engines enforce so a tiny crafted binary cannot
+            // balloon into gigabytes of IR.
+            total_locals += n as u64;
+            if total_locals > MAX_LOCALS {
+                return Err(WasmError::malformed(
+                    count_at,
+                    format!("function declares {total_locals} locals (limit {MAX_LOCALS})"),
+                ));
+            }
+            locals.push((n, vt));
+        }
+        let code = b.offset()..body_at + size;
+        if code.is_empty() {
+            return Err(WasmError::malformed(b.offset(), "empty function body expression"));
+        }
+        m.bodies.push(FuncBody { locals, code });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{CodeWriter, WasmBuilder};
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let e = parse_wasm(b"nope").expect_err("magic");
+        assert!(e.to_string().contains("truncated") || e.to_string().contains("magic"));
+        let e = parse_wasm(b"\0asm\x02\0\0\0").expect_err("version");
+        assert!(e.to_string().contains("version 2"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unsupported_section_with_name_and_offset() {
+        // magic + version, then an import section (id 2) of size 1.
+        let bytes = b"\0asm\x01\0\0\0\x02\x01\x00";
+        let e = parse_wasm(bytes).expect_err("imports unsupported");
+        assert_eq!(e.kind, crate::WasmErrorKind::Unsupported);
+        assert_eq!(e.offset, 8, "points at the section id byte");
+        assert!(e.to_string().contains("import section"), "{e}");
+    }
+
+    #[test]
+    fn decodes_a_built_module() {
+        let mut b = WasmBuilder::new();
+        let ty = b.add_type(&[ValType::I32, ValType::I64], &[ValType::I32]);
+        let mut code = CodeWriter::new();
+        code.local_get(0);
+        let f = b.add_function(ty, &[ValType::F64], code);
+        b.export_func("first", f);
+        b.add_memory(2);
+        let m = parse_wasm(&b.finish()).expect("decodes");
+        assert_eq!(m.types.len(), 1);
+        assert_eq!(m.funcs, vec![0]);
+        assert_eq!(m.memory, Some(Limits { min: 2, max: None }));
+        assert_eq!(m.exports.len(), 1);
+        assert_eq!(m.exports[0].name, "first");
+        assert_eq!(m.bodies[0].locals, vec![(1, ValType::F64)]);
+        assert_eq!(m.func_type(0).params.len(), 2);
+    }
+
+    #[test]
+    fn op_stream_decodes_and_reports_unsupported_opcodes() {
+        let mut b = WasmBuilder::new();
+        let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+        let mut code = CodeWriter::new();
+        code.local_get(0);
+        code.i32_const(3);
+        code.i32_add();
+        code.raw_op(0x77); // i32.rotl — decodes but is unsupported
+        b.add_function(ty, &[], code);
+        let m = parse_wasm(&b.finish()).expect("decodes");
+        let mut ops = m.body_ops(0);
+        assert_eq!(ops.next_op().unwrap().1, Op::LocalGet(0));
+        assert_eq!(ops.next_op().unwrap().1, Op::I32Const(3));
+        assert_eq!(ops.next_op().unwrap().1, Op::Binary { ty: ValType::I32, op: Opcode::Add });
+        let e = ops.next_op().expect_err("rotl unsupported");
+        assert!(e.to_string().contains("rotl"), "{e}");
+        assert!(e.to_string().contains("0x77"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_and_out_of_order_sections_rejected() {
+        // Two type sections, each declaring zero types.
+        let mut bytes = b"\0asm\x01\0\0\0".to_vec();
+        bytes.extend_from_slice(&[0x01, 0x01, 0x00]);
+        bytes.extend_from_slice(&[0x01, 0x01, 0x00]);
+        let e = parse_wasm(&bytes).expect_err("duplicate section");
+        assert!(e.to_string().contains("out of order or duplicated"), "{e}");
+        // An export section (7) before a memory section (5).
+        let mut bytes = b"\0asm\x01\0\0\0".to_vec();
+        bytes.extend_from_slice(&[0x07, 0x01, 0x00]);
+        bytes.extend_from_slice(&[0x05, 0x01, 0x00]);
+        let e = parse_wasm(&bytes).expect_err("out of order");
+        assert!(e.to_string().contains("out of order"), "{e}");
+    }
+
+    #[test]
+    fn runaway_local_counts_rejected() {
+        let mut b = WasmBuilder::new();
+        let ty = b.add_type(&[], &[]);
+        b.add_function(ty, &[], CodeWriter::new());
+        let mut bytes = b.finish();
+        // Rewrite the code section by hand: one body declaring one local
+        // group of 2^32-1 i64s (6 bytes of input, gigabytes if lowered).
+        let code_at = bytes.iter().position(|&x| x == 0x0a).expect("code section present");
+        bytes.truncate(code_at);
+        let body = [
+            0x01, // one local group
+            0xff, 0xff, 0xff, 0xff, 0x0f, // count = 0xFFFFFFFF
+            0x7e, // i64
+            0x0b, // end
+        ];
+        bytes.push(0x0a); // code section id
+        bytes.push(body.len() as u8 + 2); // section size
+        bytes.push(0x01); // one body
+        bytes.push(body.len() as u8); // body size
+        bytes.extend_from_slice(&body);
+        let e = parse_wasm(&bytes).expect_err("locals capped");
+        assert!(e.to_string().contains("locals"), "{e}");
+        assert!(e.to_string().contains("50000"), "{e}");
+    }
+
+    #[test]
+    fn body_count_mismatch_detected() {
+        // A function section with one entry and no code section.
+        let mut b = WasmBuilder::new();
+        b.add_type(&[], &[]);
+        let mut bytes = b.finish();
+        // Append a function section claiming one function of type 0.
+        bytes.extend_from_slice(&[0x03, 0x02, 0x01, 0x00]);
+        let e = parse_wasm(&bytes).expect_err("mismatch");
+        assert!(e.to_string().contains("bodies"), "{e}");
+    }
+}

@@ -1,0 +1,332 @@
+//! LEB128 variable-length integers — the number encoding of the wasm
+//! binary format. Readers work over a byte slice with an explicit cursor
+//! so every error carries the absolute byte offset; writers append to a
+//! `Vec<u8>` and are shared with the [`crate::encode`] emitter.
+
+use crate::WasmError;
+
+/// A bounds-checked reader over a byte slice, tracking an absolute offset
+/// for error reporting. The decoder threads one reader through the whole
+/// binary; section bodies get sub-readers with the proper base offset.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    /// Offset of `bytes[0]` within the original input.
+    base: usize,
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Reader over `bytes`, reporting offsets relative to `base`.
+    pub fn new(bytes: &'a [u8], base: usize) -> Reader<'a> {
+        Reader { bytes, base, pos: 0 }
+    }
+
+    /// Absolute offset of the next unread byte.
+    pub fn offset(&self) -> usize {
+        self.base + self.pos
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WasmError::truncated`] when no byte is left.
+    pub fn byte(&mut self, what: &str) -> Result<u8, WasmError> {
+        match self.bytes.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => Err(WasmError::truncated(self.offset(), what.to_owned())),
+        }
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WasmError::truncated`] when fewer than `n` bytes are left.
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WasmError> {
+        if self.remaining() < n {
+            return Err(WasmError::truncated(self.offset(), format!("{what} ({n} bytes)")));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads an unsigned LEB128 `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Truncated input or an encoding longer than 5 bytes.
+    pub fn u32(&mut self, what: &str) -> Result<u32, WasmError> {
+        let v = self.unsigned(5, what)?;
+        u32::try_from(v)
+            .map_err(|_| WasmError::malformed(self.offset(), format!("{what}: u32 out of range")))
+    }
+
+    /// Reads an unsigned LEB128 `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Truncated input or an encoding longer than 10 bytes.
+    pub fn u64(&mut self, what: &str) -> Result<u64, WasmError> {
+        self.unsigned(10, what)
+    }
+
+    fn unsigned(&mut self, max_bytes: usize, what: &str) -> Result<u64, WasmError> {
+        let start = self.offset();
+        let mut result = 0u64;
+        let mut shift = 0u32;
+        for k in 0..max_bytes {
+            let b = self.byte(what)?;
+            let payload = (b & 0x7f) as u64;
+            // The final byte must fit in the remaining bits.
+            if shift >= 64 || (shift == 63 && payload > 1) {
+                return Err(WasmError::malformed(start, format!("{what}: LEB128 overflows u64")));
+            }
+            result |= payload << shift;
+            if b & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+            if k + 1 == max_bytes {
+                return Err(WasmError::malformed(start, format!("{what}: LEB128 too long")));
+            }
+        }
+        unreachable!("loop returns or errors")
+    }
+
+    /// Reads a signed LEB128 `s32`, rejecting encodings whose value (or
+    /// unused final-byte bits) fall outside the 32-bit signed range, as
+    /// the wasm spec requires.
+    ///
+    /// # Errors
+    ///
+    /// Truncated input, an over-long encoding, or an out-of-range value.
+    pub fn i32(&mut self, what: &str) -> Result<i32, WasmError> {
+        let start = self.offset();
+        let v = self.signed(32, what)?;
+        // ≤ 5 bytes build the mathematical value faithfully in i64, so
+        // the spec's "unused bits must be sign extension" rule is exactly
+        // a range check.
+        i32::try_from(v).map_err(|_| {
+            WasmError::malformed(start, format!("{what}: s32 LEB128 out of range ({v})"))
+        })
+    }
+
+    /// Reads a signed LEB128 `s64`, rejecting encodings whose unused
+    /// final-byte bits are not proper sign extension.
+    ///
+    /// # Errors
+    ///
+    /// Truncated input, an over-long encoding, or malformed sign bits.
+    pub fn i64(&mut self, what: &str) -> Result<i64, WasmError> {
+        self.signed(64, what)
+    }
+
+    fn signed(&mut self, bits: u32, what: &str) -> Result<i64, WasmError> {
+        let start = self.offset();
+        let max_bytes = bits.div_ceil(7) as usize;
+        let mut result = 0i64;
+        let mut shift = 0u32;
+        for k in 0..max_bytes {
+            let b = self.byte(what)?;
+            if shift < 64 {
+                result |= ((b & 0x7f) as i64) << shift;
+            }
+            if b & 0x80 == 0 {
+                if shift + 7 < 64 && b & 0x40 != 0 {
+                    result |= -1i64 << (shift + 7); // sign-extend
+                }
+                // A 10th s64 byte carries one value bit (bit 63); its
+                // remaining payload bits sit beyond the width and must be
+                // proper sign extension of it (spec: `0x00` or `0x7f`).
+                if bits == 64 && shift == 63 && b != 0x00 && b != 0x7f {
+                    return Err(WasmError::malformed(
+                        start,
+                        format!("{what}: s64 LEB128 final-byte bits exceed the value range"),
+                    ));
+                }
+                return Ok(result);
+            }
+            shift += 7;
+            if k + 1 == max_bytes {
+                return Err(WasmError::malformed(start, format!("{what}: LEB128 too long")));
+            }
+        }
+        unreachable!("loop returns or errors")
+    }
+
+    /// Reads a little-endian `f32` (4 raw bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`WasmError::truncated`] when fewer than 4 bytes are left.
+    pub fn f32(&mut self, what: &str) -> Result<f32, WasmError> {
+        let b = self.take(4, what)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `f64` (8 raw bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`WasmError::truncated`] when fewer than 8 bytes are left.
+    pub fn f64(&mut self, what: &str) -> Result<f64, WasmError> {
+        let b = self.take(8, what)?;
+        Ok(f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a name (LEB128 length + UTF-8 bytes).
+    ///
+    /// # Errors
+    ///
+    /// Truncated input or invalid UTF-8.
+    pub fn name(&mut self) -> Result<String, WasmError> {
+        let start = self.offset();
+        let len = self.u32("name length")? as usize;
+        let bytes = self.take(len, "name bytes")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WasmError::malformed(start, "name is not valid UTF-8"))
+    }
+}
+
+/// Appends an unsigned LEB128 encoding of `v`.
+pub fn write_u32(out: &mut Vec<u8>, v: u32) {
+    write_u64(out, v as u64);
+}
+
+/// Appends an unsigned LEB128 encoding of `v`.
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Appends a signed LEB128 encoding of `v`.
+pub fn write_i32(out: &mut Vec<u8>, v: i32) {
+    write_i64(out, v as i64);
+}
+
+/// Appends a signed LEB128 encoding of `v`.
+pub fn write_i64(out: &mut Vec<u8>, mut v: i64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7; // arithmetic shift keeps the sign
+        let done = (v == 0 && b & 0x40 == 0) || (v == -1 && b & 0x40 != 0);
+        if done {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u64(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        Reader::new(&buf, 0).u64("t").expect("decodes")
+    }
+
+    fn roundtrip_i64(v: i64) -> i64 {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, v);
+        Reader::new(&buf, 0).i64("t").expect("decodes")
+    }
+
+    #[test]
+    fn unsigned_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 624485, u32::MAX as u64, u64::MAX] {
+            assert_eq!(roundtrip_u64(v), v);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for v in [0i64, 1, -1, 63, 64, -64, -65, 127, -123456, i32::MIN as i64, i64::MAX, i64::MIN]
+        {
+            assert_eq!(roundtrip_i64(v), v);
+        }
+    }
+
+    #[test]
+    fn truncated_reports_absolute_offset() {
+        let e = Reader::new(&[0x80], 100).u32("count").expect_err("truncated");
+        assert_eq!(e.offset, 101);
+        assert!(e.to_string().contains("count"));
+    }
+
+    #[test]
+    fn overlong_rejected() {
+        let e = Reader::new(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01], 0).u32("n").expect_err("long");
+        assert!(e.to_string().contains("LEB128"));
+    }
+
+    #[test]
+    fn s32_out_of_range_bits_rejected() {
+        // 5-byte encoding whose final byte sets bit 32: mathematically
+        // 2^32, not representable as s32 — must error, not wrap to 0.
+        let e = Reader::new(&[0x80, 0x80, 0x80, 0x80, 0x10], 0).i32("c").expect_err("range");
+        assert!(e.to_string().contains("out of range"), "{e}");
+        // Bound values still decode (non-shortest encodings are legal).
+        let min = Reader::new(&[0x80, 0x80, 0x80, 0x80, 0x78], 0).i32("c").unwrap();
+        assert_eq!(min, i32::MIN);
+        let max = Reader::new(&[0xff, 0xff, 0xff, 0xff, 0x07], 0).i32("c").unwrap();
+        assert_eq!(max, i32::MAX);
+    }
+
+    #[test]
+    fn s64_final_byte_sign_bits_checked() {
+        let mut ten = vec![0x80u8; 9];
+        ten.push(0x01); // bit 63 set but unused bits not sign-extended
+        let e = Reader::new(&ten, 0).i64("c").expect_err("bad sign bits");
+        assert!(e.to_string().contains("value range"), "{e}");
+        let mut min = vec![0x80u8; 9];
+        min.push(0x7f);
+        assert_eq!(Reader::new(&min, 0).i64("c").unwrap(), i64::MIN);
+        let mut zero = vec![0x80u8; 9];
+        zero.push(0x00);
+        assert_eq!(Reader::new(&zero, 0).i64("c").unwrap(), 0);
+    }
+
+    #[test]
+    fn floats_roundtrip() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2.5f32.to_le_bytes());
+        buf.extend_from_slice(&(-1.25f64).to_le_bytes());
+        let mut r = Reader::new(&buf, 0);
+        assert_eq!(r.f32("a").unwrap(), 2.5);
+        assert_eq!(r.f64("b").unwrap(), -1.25);
+    }
+
+    #[test]
+    fn names_decode() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 3);
+        buf.extend_from_slice(b"abc");
+        assert_eq!(Reader::new(&buf, 0).name().unwrap(), "abc");
+    }
+}

@@ -1,0 +1,217 @@
+//! # fmsa-wasm — a WebAssembly frontend for the FMSA reproduction
+//!
+//! Everything measured by the reproduction so far ran on synthetic IR; the
+//! paper's pitch is code-size reduction on *real* programs. WebAssembly is
+//! the ideal real-binary input: a small, stable, self-contained format
+//! whose `i32`/`i64`/`f32`/`f64` types and structured control flow lower
+//! cleanly onto the LLVM-flavoured `fmsa_ir`. This crate provides, with no
+//! external dependencies:
+//!
+//! * a **decoder** for the core-MVP binary format ([`parse_wasm`]):
+//!   section framing, LEB128, type/function/memory/export/code sections,
+//!   and the full MVP numeric/control operator set ([`decode::Op`]);
+//! * a **lowering pass** ([`lower_module`]): operand-stack symbolic
+//!   execution to SSA values, `block`/`loop`/`if` structured control flow
+//!   to CFG blocks with `br`/`condbr` (`br_table` becomes `switch`),
+//!   locals to `alloca`/`load`/`store` (unwritten parameters stay direct
+//!   SSA), and linear-memory accesses to `gep` + `load`/`store` against a
+//!   threaded module-memory base pointer;
+//! * an **emitter** ([`encode::WasmBuilder`]) used by
+//!   `fmsa_workloads::wasm_fixtures` to serialize generated modules to
+//!   valid wasm bytes, giving the repo an offline corpus and an
+//!   emit→decode→verify round-trip property.
+//!
+//! Unsupported-feature policy: anything outside the supported subset is
+//! rejected loudly with a [`WasmError`] naming the section or opcode and
+//! the byte offset — never silently skipped (see `docs/frontend.md`).
+//!
+//! # Examples
+//!
+//! ```
+//! use fmsa_wasm::encode::{CodeWriter, WasmBuilder};
+//! use fmsa_wasm::{is_wasm, load_wasm, ValType};
+//!
+//! // Emit a one-function module: (func (export "add1") (param i32) (result i32) ...)
+//! let mut b = WasmBuilder::new();
+//! let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+//! let mut code = CodeWriter::new();
+//! code.local_get(0);
+//! code.i32_const(1);
+//! code.i32_add();
+//! let f = b.add_function(ty, &[], code);
+//! b.export_func("add1", f);
+//! let bytes = b.finish();
+//!
+//! assert!(is_wasm(&bytes));
+//! let module = load_wasm(&bytes, "demo").unwrap();
+//! assert!(fmsa_ir::verify_module(&module).is_empty());
+//! assert!(module.func_by_name("add1").is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod decode;
+pub mod encode;
+pub mod leb128;
+pub mod lower;
+
+pub use decode::{parse_wasm, FuncType, Limits, WasmModule};
+pub use lower::lower_module;
+
+use std::error::Error;
+use std::fmt;
+
+/// The 4-byte magic at the start of every wasm binary (`\0asm`).
+pub const WASM_MAGIC: [u8; 4] = *b"\0asm";
+
+/// The only binary-format version this decoder accepts.
+pub const WASM_VERSION: u32 = 1;
+
+/// Whether `bytes` starts with the wasm magic (`\0asm`) — the format
+/// auto-detection used by `fmsa_opt` and the experiment harness.
+pub fn is_wasm(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == WASM_MAGIC
+}
+
+/// Convenience: decode `bytes` and lower the result to an
+/// [`fmsa_ir::Module`] named `name`.
+///
+/// # Errors
+///
+/// Returns a [`WasmError`] if the binary is malformed, truncated, or uses
+/// a feature outside the supported core-MVP subset.
+pub fn load_wasm(bytes: &[u8], name: &str) -> Result<fmsa_ir::Module, WasmError> {
+    let wasm = parse_wasm(bytes)?;
+    lower_module(&wasm, name)
+}
+
+/// A wasm value type (the MVP numeric types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValType {
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+}
+
+impl ValType {
+    /// The binary encoding of this value type.
+    pub fn byte(self) -> u8 {
+        match self {
+            ValType::I32 => 0x7f,
+            ValType::I64 => 0x7e,
+            ValType::F32 => 0x7d,
+            ValType::F64 => 0x7c,
+        }
+    }
+
+    /// Decodes a value-type byte.
+    pub fn from_byte(b: u8) -> Option<ValType> {
+        match b {
+            0x7f => Some(ValType::I32),
+            0x7e => Some(ValType::I64),
+            0x7d => Some(ValType::F32),
+            0x7c => Some(ValType::F64),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name (`i32`, `f64`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            ValType::I32 => "i32",
+            ValType::I64 => "i64",
+            ValType::F32 => "f32",
+            ValType::F64 => "f64",
+        }
+    }
+}
+
+/// Why a wasm binary was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WasmErrorKind {
+    /// The input ended before the announced structure did.
+    Truncated,
+    /// Structurally invalid bytes (bad magic, malformed LEB128, wrong
+    /// section framing, type errors the decoder can detect).
+    Malformed,
+    /// A well-formed construct outside the supported core-MVP subset
+    /// (named section, opcode, or form). The policy is to reject loudly,
+    /// never to skip silently.
+    Unsupported,
+}
+
+/// A decoding/lowering failure: what went wrong and the byte offset in the
+/// input where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WasmError {
+    /// Failure class.
+    pub kind: WasmErrorKind,
+    /// Byte offset into the wasm input where the problem sits.
+    pub offset: usize,
+    /// Description naming the section/opcode/construct involved.
+    pub message: String,
+}
+
+impl WasmError {
+    /// A [`WasmErrorKind::Truncated`] error at `offset`.
+    pub fn truncated(offset: usize, what: impl Into<String>) -> WasmError {
+        WasmError { kind: WasmErrorKind::Truncated, offset, message: what.into() }
+    }
+
+    /// A [`WasmErrorKind::Malformed`] error at `offset`.
+    pub fn malformed(offset: usize, what: impl Into<String>) -> WasmError {
+        WasmError { kind: WasmErrorKind::Malformed, offset, message: what.into() }
+    }
+
+    /// A [`WasmErrorKind::Unsupported`] error at `offset`.
+    pub fn unsupported(offset: usize, what: impl Into<String>) -> WasmError {
+        WasmError { kind: WasmErrorKind::Unsupported, offset, message: what.into() }
+    }
+}
+
+impl fmt::Display for WasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            WasmErrorKind::Truncated => "truncated wasm input",
+            WasmErrorKind::Malformed => "malformed wasm",
+            WasmErrorKind::Unsupported => "unsupported wasm feature",
+        };
+        write!(f, "{kind} at byte offset {:#06x}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for WasmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magic_detection() {
+        assert!(is_wasm(b"\0asm\x01\0\0\0"));
+        assert!(!is_wasm(b"; module textual"));
+        assert!(!is_wasm(b"\0as"));
+    }
+
+    #[test]
+    fn valtype_bytes_roundtrip() {
+        for vt in [ValType::I32, ValType::I64, ValType::F32, ValType::F64] {
+            assert_eq!(ValType::from_byte(vt.byte()), Some(vt));
+        }
+        assert_eq!(ValType::from_byte(0x70), None);
+    }
+
+    #[test]
+    fn error_display_names_offset_and_feature() {
+        let e = WasmError::unsupported(0x2a, "import section (id 2)");
+        let s = e.to_string();
+        assert!(s.contains("0x002a"), "{s}");
+        assert!(s.contains("import section"), "{s}");
+        assert!(s.contains("unsupported"), "{s}");
+    }
+}

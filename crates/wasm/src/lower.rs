@@ -1,0 +1,799 @@
+//! Lowering from decoded wasm to [`fmsa_ir`].
+//!
+//! The translation is the classic structured-stack-machine-to-CFG scheme:
+//!
+//! * **Operand stack → SSA.** The body is executed symbolically with a
+//!   stack of [`Value`]s; every wasm operator that produces a value pushes
+//!   the IR instruction result that computes it.
+//! * **Structured control flow → CFG.** Each `block`/`loop`/`if` pushes a
+//!   control frame carrying its branch target (the *end* block for
+//!   `block`/`if`, the *header* block for `loop`) and, when the construct
+//!   has a result type, an `alloca`ted *result slot*: every branch or
+//!   fallthrough that leaves a value stores to the slot, and the join
+//!   block reloads it. This sidesteps φ placement entirely — the φ-demotion
+//!   pass the paper applies before merging would erase φs anyway.
+//!   `br` becomes `br`, `br_if` a `condbr` to a fresh continuation block,
+//!   `br_table` a `switch`, and `return` a direct `ret`.
+//! * **Locals → `alloca`/`load`/`store`, or direct SSA.** A parameter that
+//!   is never written by `local.set`/`local.tee` stays a direct
+//!   [`Value::Param`]; every other local gets an entry-block `alloca`
+//!   (parameters store their initial value, declared locals their wasm
+//!   zero-init).
+//! * **Linear memory → `gep` + `load`/`store`.** When the module declares
+//!   a memory, every function takes a leading `i8* %mem` parameter — the
+//!   module-level memory object, threaded through direct calls the way
+//!   wasm-targeting compilers thread an instance pointer. An access at
+//!   dynamic address `a` with constant offset `k` lowers to
+//!   `zext a to i64`, `add`, `gep i8 -> T` and a typed `load`/`store`;
+//!   sub-width accesses truncate/extend around an `i8`/`i16`/`i32` access
+//!   type. The `zext`+64-bit add matches wasm's 33-bit effective-address
+//!   arithmetic.
+//!
+//! Dead code after `br`/`return`/`unreachable` is skipped (tracking block
+//! nesting) until the enclosing `else`/`end` — no IR is emitted for it, so
+//! the lowered module never contains trivially-unreachable instructions.
+//!
+//! Exported functions keep their (sanitized) export names and get
+//! [`Linkage::External`], so merging keeps them callable by name —
+//! exactly wasm's visibility semantics. Everything else is `f{index}`
+//! with internal linkage.
+
+use crate::decode::{BlockType, MemArg, Op, WasmModule};
+use crate::{ValType, WasmError};
+use fmsa_ir::{
+    ExtraData, FuncBuilder, FuncId, Inst, IntPredicate, Linkage, Module, Opcode, TyId, Value,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Lowers a decoded module to an [`fmsa_ir::Module`] named `name`.
+///
+/// # Errors
+///
+/// Returns a [`WasmError`] (with byte offsets) for malformed bodies —
+/// operand-stack underflow, out-of-range local/function indices, memory
+/// access without a declared memory — and for unsupported operators.
+pub fn lower_module(wasm: &WasmModule, name: &str) -> Result<Module, WasmError> {
+    let mut module = Module::new(name);
+    let has_memory = wasm.memory.is_some();
+    let n = wasm.funcs.len();
+
+    // Assign names: a function's first export names it; further exports
+    // of the same function (legal wasm) become forwarding thunks below,
+    // so every exported name stays callable.
+    let mut names: Vec<Option<String>> = vec![None; n];
+    let mut used: HashSet<String> = HashSet::new();
+    let mut aliases: Vec<(String, usize)> = Vec::new();
+    for e in &wasm.exports {
+        let s = sanitize(&e.name);
+        if !used.insert(s.clone()) {
+            return Err(WasmError::malformed(
+                wasm.byte_len(),
+                format!("duplicate export name {:?} after sanitization", e.name),
+            ));
+        }
+        let slot = &mut names[e.func as usize];
+        if slot.is_some() {
+            aliases.push((s, e.func as usize));
+        } else {
+            *slot = Some(s);
+        }
+    }
+    let exported: Vec<bool> = names.iter().map(Option::is_some).collect();
+    for (i, slot) in names.iter_mut().enumerate() {
+        if slot.is_none() {
+            let mut s = format!("f{i}");
+            while !used.insert(s.clone()) {
+                s.push('_');
+            }
+            *slot = Some(s);
+        }
+    }
+
+    // Create every function up front so call operands resolve regardless
+    // of definition order.
+    let i8p = {
+        let i8t = module.types.i8();
+        module.types.ptr(i8t)
+    };
+    let mut fids: Vec<FuncId> = Vec::with_capacity(n);
+    for i in 0..n {
+        let sig = wasm.func_type(i as u32);
+        let mut params: Vec<TyId> = Vec::with_capacity(sig.params.len() + 1);
+        if has_memory {
+            params.push(i8p);
+        }
+        params.extend(sig.params.iter().map(|&vt| vt_ty(&module, vt)));
+        let ret = match sig.results.first() {
+            Some(&vt) => vt_ty(&module, vt),
+            None => module.types.void(),
+        };
+        let fn_ty = module.types.func(ret, params);
+        let fid = module.create_function(names[i].clone().expect("assigned above"), fn_ty);
+        module.func_mut(fid).linkage =
+            if exported[i] { Linkage::External } else { Linkage::Internal };
+        if has_memory {
+            module.func_mut(fid).params_mut()[0].name = "mem".to_owned();
+        }
+        fids.push(fid);
+    }
+
+    for i in 0..n {
+        let mut lo = Lowerer {
+            b: FuncBuilder::new(&mut module, fids[i]),
+            wasm,
+            fids: &fids,
+            has_memory,
+            entry: fmsa_ir::BlockId::from_index(0), // set in lower_body
+            entry_allocas: 0,
+            locals: Vec::new(),
+            stack: Vec::new(),
+            ctrl: Vec::new(),
+            skip_depth: 0,
+            bools: HashMap::new(),
+        };
+        lo.lower_body(i)?;
+    }
+
+    // Alias exports: a second export name for an already-named function
+    // becomes an external forwarding thunk, so the public symbol exists
+    // and behaves identically instead of silently vanishing.
+    for (name, func) in aliases {
+        let target = fids[func];
+        let fn_ty = module.func(target).fn_ty();
+        let alias = module.create_function(name, fn_ty);
+        module.func_mut(alias).linkage = Linkage::External;
+        if has_memory {
+            module.func_mut(alias).params_mut()[0].name = "mem".to_owned();
+        }
+        let n_params = module.types.fn_params(fn_ty).expect("function type").len();
+        let is_void = module.types.fn_ret(fn_ty) == Some(module.types.void());
+        let mut b = FuncBuilder::new(&mut module, alias);
+        let entry = b.block("entry");
+        b.switch_to(entry);
+        let args = (0..n_params).map(|k| Value::Param(k as u32)).collect();
+        let r = b.call(target, args);
+        b.ret(if is_void { None } else { Some(r) });
+    }
+    Ok(module)
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-') { c } else { '_' })
+        .collect();
+    if s.is_empty() {
+        s.push_str("export");
+    }
+    s
+}
+
+fn vt_ty(m: &Module, vt: ValType) -> TyId {
+    match vt {
+        ValType::I32 => m.types.i32(),
+        ValType::I64 => m.types.i64(),
+        ValType::F32 => m.types.f32(),
+        ValType::F64 => m.types.f64(),
+    }
+}
+
+/// Where a wasm local lives after lowering.
+enum Slot {
+    /// A parameter never written to: used directly as SSA.
+    Direct(Value),
+    /// An entry-block `alloca`; reads `load`, writes `store`.
+    Stack { ptr: Value },
+}
+
+/// One entry of the structured control stack.
+struct Frame {
+    /// `loop` frames branch to their header; others to their end block.
+    is_loop: bool,
+    br_target: fmsa_ir::BlockId,
+    end_block: fmsa_ir::BlockId,
+    /// For `if` frames: the else block, until `else` (or `end`) claims it.
+    pending_else: Option<fmsa_ir::BlockId>,
+    /// Result slot when the block type carries a value.
+    result: Option<(TyId, Value)>,
+    /// Operand-stack height at frame entry.
+    stack_height: usize,
+    /// Whether the current code path inside this frame already terminated.
+    dead: bool,
+}
+
+struct Lowerer<'m, 'w> {
+    b: FuncBuilder<'m>,
+    wasm: &'w WasmModule,
+    fids: &'w [FuncId],
+    has_memory: bool,
+    entry: fmsa_ir::BlockId,
+    /// How many allocas sit at the top of the entry block (new result
+    /// slots are inserted at this position so they dominate everything).
+    entry_allocas: usize,
+    locals: Vec<Slot>,
+    stack: Vec<Value>,
+    ctrl: Vec<Frame>,
+    /// Nesting depth of skipped (dead) constructs.
+    skip_depth: u32,
+    /// `zext i1 -> i32` results, so wasm's compare→branch idiom lowers
+    /// back to a direct `i1` condition instead of `icmp ne (zext ...), 0`.
+    bools: HashMap<Value, Value>,
+}
+
+impl Lowerer<'_, '_> {
+    #[allow(clippy::too_many_lines)]
+    fn lower_body(&mut self, index: usize) -> Result<(), WasmError> {
+        let sig = self.wasm.func_type(index as u32);
+        let shift = u32::from(self.has_memory);
+        let written = self.prescan(index)?;
+
+        self.entry = self.b.block("entry");
+        self.b.switch_to(self.entry);
+
+        // Local index space: parameters first, then declared locals.
+        for (k, &vt) in sig.params.iter().enumerate() {
+            let pv = Value::Param(k as u32 + shift);
+            if written.contains(&(k as u32)) {
+                let ty = vt_ty(self.b.module(), vt);
+                let ptr = self.b.alloca(ty);
+                self.entry_allocas += 1;
+                self.b.store(pv, ptr);
+                self.locals.push(Slot::Stack { ptr });
+            } else {
+                self.locals.push(Slot::Direct(pv));
+            }
+        }
+        for &(count, vt) in &self.wasm.bodies[index].locals {
+            for _ in 0..count {
+                let ty = vt_ty(self.b.module(), vt);
+                let ptr = self.b.alloca(ty);
+                self.entry_allocas += 1;
+                self.b.store(self.zero_of(vt), ptr); // wasm locals are zero-initialized
+                self.locals.push(Slot::Stack { ptr });
+            }
+        }
+
+        // The function body behaves like a `block` of the result type.
+        let exit = self.b.block("exit");
+        let ret_vt = sig.results.first().copied();
+        let body_result = match ret_vt {
+            Some(vt) => {
+                let ty = vt_ty(self.b.module(), vt);
+                Some((ty, self.slot_alloca(ty)))
+            }
+            None => None,
+        };
+        self.ctrl.push(Frame {
+            is_loop: false,
+            br_target: exit,
+            end_block: exit,
+            pending_else: None,
+            result: body_result,
+            stack_height: 0,
+            dead: false,
+        });
+
+        let mut ops = self.wasm.body_ops(index);
+        while !self.ctrl.is_empty() {
+            let (at, op) = ops.next_op()?;
+            if self.ctrl.last().expect("non-empty").dead {
+                self.step_dead(at, &op)?;
+            } else {
+                self.step(at, &op)?;
+            }
+        }
+        // Cursor now sits in the exit block with the loaded result (if
+        // any) on the operand stack.
+        match ret_vt {
+            Some(_) => {
+                let v = self.pop(ops.offset(), "function result")?;
+                self.b.ret(Some(v));
+            }
+            None => self.b.ret(None),
+        }
+        let fid = self.b.func_id();
+        self.b.module_mut().func_mut(fid).move_block_to_end(exit);
+        Ok(())
+    }
+
+    /// First pass over the body: which locals are ever written (those need
+    /// stack slots), and structural sanity of the op stream.
+    fn prescan(&mut self, index: usize) -> Result<HashSet<u32>, WasmError> {
+        let mut written = HashSet::new();
+        let mut depth = 1u32;
+        let mut ops = self.wasm.body_ops(index);
+        while depth > 0 {
+            let (_, op) = ops.next_op()?;
+            match op {
+                Op::Block(_) | Op::Loop(_) | Op::If(_) => depth += 1,
+                Op::End => depth -= 1,
+                Op::LocalSet(x) | Op::LocalTee(x) => {
+                    written.insert(x);
+                }
+                _ => {}
+            }
+        }
+        if ops.offset() != self.wasm.bodies[index].code.end {
+            return Err(WasmError::malformed(
+                ops.offset(),
+                "trailing bytes after the function body's final `end`",
+            ));
+        }
+        Ok(written)
+    }
+
+    // ----- op dispatch ------------------------------------------------------
+
+    /// Handles one op while the current path is dead: skip everything but
+    /// the structure (nested constructs, `else`, `end`).
+    fn step_dead(&mut self, at: usize, op: &Op) -> Result<(), WasmError> {
+        match op {
+            Op::Block(_) | Op::Loop(_) | Op::If(_) => self.skip_depth += 1,
+            Op::End if self.skip_depth > 0 => self.skip_depth -= 1,
+            Op::Else if self.skip_depth == 0 => self.handle_else(at)?,
+            Op::End => self.handle_end(at)?,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self, at: usize, op: &Op) -> Result<(), WasmError> {
+        match op {
+            Op::Nop => {}
+            Op::Unreachable => {
+                self.b.unreachable();
+                self.mark_dead();
+            }
+            Op::Block(bt) => {
+                let end_block = self.b.block("end");
+                let result = self.frame_result(*bt);
+                self.ctrl.push(Frame {
+                    is_loop: false,
+                    br_target: end_block,
+                    end_block,
+                    pending_else: None,
+                    result,
+                    stack_height: self.stack.len(),
+                    dead: false,
+                });
+            }
+            Op::Loop(bt) => {
+                let header = self.b.block("loop");
+                let end_block = self.b.block("end");
+                let result = self.frame_result(*bt);
+                self.b.br(header);
+                self.b.switch_to(header);
+                self.ctrl.push(Frame {
+                    is_loop: true,
+                    br_target: header,
+                    end_block,
+                    pending_else: None,
+                    result,
+                    stack_height: self.stack.len(),
+                    dead: false,
+                });
+            }
+            Op::If(bt) => {
+                let cond = self.pop_condition(at)?;
+                let then_b = self.b.block("then");
+                let else_b = self.b.block("else");
+                let end_block = self.b.block("end");
+                let result = self.frame_result(*bt);
+                self.b.condbr(cond, then_b, else_b);
+                self.b.switch_to(then_b);
+                self.ctrl.push(Frame {
+                    is_loop: false,
+                    br_target: end_block,
+                    end_block,
+                    pending_else: Some(else_b),
+                    result,
+                    stack_height: self.stack.len(),
+                    dead: false,
+                });
+            }
+            Op::Else => self.handle_else(at)?,
+            Op::End => self.handle_end(at)?,
+            Op::Br(l) => {
+                self.branch_to(at, *l)?;
+                self.mark_dead();
+            }
+            Op::BrIf(l) => {
+                let cond = self.pop_condition(at)?;
+                let frame = self.frame_at(at, *l)?;
+                let (target, store) = (frame.br_target, frame.result.filter(|_| !frame.is_loop));
+                if let Some((_, slot)) = store {
+                    // The value stays on the stack for the fallthrough;
+                    // the store is dead unless the branch is taken (any
+                    // later path to the target's end re-stores).
+                    let v = self.peek(at, "br_if value")?;
+                    self.b.store(v, slot);
+                }
+                let cont = self.b.block("cont");
+                self.b.condbr(cond, target, cont);
+                self.b.switch_to(cont);
+            }
+            Op::BrTable { targets, default } => {
+                let idx = self.pop(at, "br_table index")?;
+                // All targets share one result arity (wasm validation);
+                // store the value into every distinct value-carrying
+                // target's slot — only the taken target's end reloads it.
+                let mut labels: Vec<u32> = targets.clone();
+                labels.push(*default);
+                let mut resolved = Vec::with_capacity(labels.len());
+                for &l in &labels {
+                    let f = self.frame_at(at, l)?;
+                    resolved.push((f.br_target, f.end_block, f.result.filter(|_| !f.is_loop)));
+                }
+                if resolved.iter().any(|(_, _, r)| r.is_some()) {
+                    let v = self.pop(at, "br_table value")?;
+                    let mut stored = HashSet::new();
+                    for &(_, end, result) in &resolved {
+                        if let Some((_, slot)) = result {
+                            if stored.insert(end) {
+                                self.b.store(v, slot);
+                            }
+                        }
+                    }
+                }
+                let default_block = resolved.pop().expect("default label resolved").0;
+                let i32t = self.b.module().types.i32();
+                let cases: Vec<(Value, fmsa_ir::BlockId)> = resolved
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &(target, _, _))| {
+                        (Value::ConstInt { ty: i32t, bits: k as u64 }, target)
+                    })
+                    .collect();
+                self.b.switch(idx, default_block, cases);
+                self.mark_dead();
+            }
+            Op::Return => {
+                let f = self.b.func_id();
+                let ret = self.b.module().func(f).ret_ty(&self.b.module().types);
+                if self.b.module().types.get(ret) == &fmsa_ir::Type::Void {
+                    self.b.ret(None);
+                } else {
+                    let v = self.pop(at, "return value")?;
+                    self.b.ret(Some(v));
+                }
+                self.mark_dead();
+            }
+            Op::Call(f) => {
+                let callee_idx = *f as usize;
+                if callee_idx >= self.fids.len() {
+                    return Err(WasmError::malformed(
+                        at,
+                        format!("call to function index {f}, only {} exist", self.fids.len()),
+                    ));
+                }
+                let sig = self.wasm.func_type(*f);
+                let mut args = Vec::with_capacity(sig.params.len() + 1);
+                for _ in 0..sig.params.len() {
+                    args.push(self.pop(at, "call argument")?);
+                }
+                if self.has_memory {
+                    args.push(Value::Param(0));
+                }
+                args.reverse();
+                let r = self.b.call(self.fids[callee_idx], args);
+                if !sig.results.is_empty() {
+                    self.stack.push(r);
+                }
+            }
+            Op::Drop => {
+                self.pop(at, "drop")?;
+            }
+            Op::Select => {
+                let cond = self.pop_condition(at)?;
+                let v2 = self.pop(at, "select false value")?;
+                let v1 = self.pop(at, "select true value")?;
+                let r = self.b.select(cond, v1, v2);
+                self.stack.push(r);
+            }
+            Op::LocalGet(x) => {
+                let v = match self.local(at, *x)? {
+                    Slot::Direct(v) => *v,
+                    Slot::Stack { ptr } => {
+                        let p = *ptr;
+                        self.b.load(p)
+                    }
+                };
+                self.stack.push(v);
+            }
+            Op::LocalSet(x) => {
+                let v = self.pop(at, "local.set value")?;
+                self.store_local(at, *x, v)?;
+            }
+            Op::LocalTee(x) => {
+                let v = self.peek(at, "local.tee value")?;
+                self.store_local(at, *x, v)?;
+            }
+            Op::Load(arg) => {
+                let v = self.lower_load(at, *arg)?;
+                self.stack.push(v);
+            }
+            Op::Store(arg) => self.lower_store(at, *arg)?,
+            Op::I32Const(v) => {
+                let ty = self.b.module().types.i32();
+                self.stack.push(Value::ConstInt { ty, bits: *v as u32 as u64 });
+            }
+            Op::I64Const(v) => {
+                let ty = self.b.module().types.i64();
+                self.stack.push(Value::ConstInt { ty, bits: *v as u64 });
+            }
+            Op::F32Const(v) => {
+                let ty = self.b.module().types.f32();
+                self.stack.push(Value::ConstFloat { ty, bits: v.to_bits() as u64 });
+            }
+            Op::F64Const(v) => {
+                let ty = self.b.module().types.f64();
+                self.stack.push(Value::ConstFloat { ty, bits: v.to_bits() });
+            }
+            Op::Eqz(vt) => {
+                let v = self.pop(at, "eqz operand")?;
+                let zero = Value::ConstInt { ty: vt_ty(self.b.module(), *vt), bits: 0 };
+                let c = self.b.icmp(IntPredicate::Eq, v, zero);
+                self.push_bool(c);
+            }
+            Op::ICmp { pred, .. } => {
+                let r = self.pop(at, "icmp rhs")?;
+                let l = self.pop(at, "icmp lhs")?;
+                let c = self.b.icmp(*pred, l, r);
+                self.push_bool(c);
+            }
+            Op::FCmp { pred, .. } => {
+                let r = self.pop(at, "fcmp rhs")?;
+                let l = self.pop(at, "fcmp lhs")?;
+                let c = self.b.fcmp(*pred, l, r);
+                self.push_bool(c);
+            }
+            Op::Binary { op, .. } => {
+                let r = self.pop(at, "binary rhs")?;
+                let l = self.pop(at, "binary lhs")?;
+                let v = self.b.binary(*op, l, r);
+                self.stack.push(v);
+            }
+            Op::Convert { op, to } => {
+                let v = self.pop(at, "conversion operand")?;
+                let ty = vt_ty(self.b.module(), *to);
+                let r = self.b.cast(*op, v, ty);
+                self.stack.push(r);
+            }
+        }
+        Ok(())
+    }
+
+    // ----- structured control helpers ---------------------------------------
+
+    fn handle_else(&mut self, at: usize) -> Result<(), WasmError> {
+        let fr = self.ctrl.last_mut().expect("frame for else");
+        let Some(else_b) = fr.pending_else.take() else {
+            return Err(WasmError::malformed(at, "`else` outside an `if`"));
+        };
+        let (dead, result, end_block, height) = (fr.dead, fr.result, fr.end_block, fr.stack_height);
+        if !dead {
+            if let Some((_, slot)) = result {
+                let v = self.pop(at, "if result")?;
+                self.b.store(v, slot);
+            }
+            self.b.br(end_block);
+        }
+        self.ctrl.last_mut().expect("frame for else").dead = false;
+        self.stack.truncate(height);
+        self.b.switch_to(else_b);
+        Ok(())
+    }
+
+    fn handle_end(&mut self, at: usize) -> Result<(), WasmError> {
+        let fr = self.ctrl.pop().expect("frame for end");
+        if !fr.dead {
+            if let Some((_, slot)) = fr.result {
+                let v = self.pop(at, "block result")?;
+                self.b.store(v, slot);
+            }
+            self.b.br(fr.end_block);
+        }
+        if let Some(else_b) = fr.pending_else {
+            // `if` without `else`: the false edge falls through — which
+            // can produce no value, so a result type makes it invalid
+            // wasm (the join would read an uninitialized slot).
+            if fr.result.is_some() {
+                return Err(WasmError::malformed(
+                    at,
+                    "`if` with a result type requires an `else` arm",
+                ));
+            }
+            self.b.switch_to(else_b);
+            self.b.br(fr.end_block);
+        }
+        self.stack.truncate(fr.stack_height);
+        self.b.switch_to(fr.end_block);
+        if let Some((_, slot)) = fr.result {
+            let v = self.b.load(slot);
+            self.stack.push(v);
+        }
+        Ok(())
+    }
+
+    /// Emits the branch for `br l` (stores the value for value-carrying
+    /// targets; loops take no values in the MVP).
+    fn branch_to(&mut self, at: usize, l: u32) -> Result<(), WasmError> {
+        let fr = self.frame_at(at, l)?;
+        let (is_loop, target, result) = (fr.is_loop, fr.br_target, fr.result);
+        if !is_loop {
+            if let Some((_, slot)) = result {
+                let v = self.pop(at, "br value")?;
+                self.b.store(v, slot);
+            }
+        }
+        self.b.br(target);
+        Ok(())
+    }
+
+    fn frame_at(&self, at: usize, l: u32) -> Result<&Frame, WasmError> {
+        let depth = self.ctrl.len();
+        if (l as usize) >= depth {
+            return Err(WasmError::malformed(
+                at,
+                format!("branch label {l} exceeds the control-stack depth {depth}"),
+            ));
+        }
+        Ok(&self.ctrl[depth - 1 - l as usize])
+    }
+
+    fn frame_result(&mut self, bt: BlockType) -> Option<(TyId, Value)> {
+        match bt {
+            BlockType::Empty => None,
+            BlockType::Val(vt) => {
+                let ty = vt_ty(self.b.module(), vt);
+                Some((ty, self.slot_alloca(ty)))
+            }
+        }
+    }
+
+    fn mark_dead(&mut self) {
+        self.ctrl.last_mut().expect("active frame").dead = true;
+    }
+
+    /// Allocates a result slot in the entry block, before any other code,
+    /// so the slot dominates every store/load regardless of where its
+    /// construct sits — and so a slot inside a loop is allocated once, not
+    /// per iteration.
+    fn slot_alloca(&mut self, ty: TyId) -> Value {
+        let fid = self.b.func_id();
+        let ptr_ty = self.b.module_mut().types.ptr(ty);
+        let inst =
+            Inst::with_extra(Opcode::Alloca, ptr_ty, vec![], ExtraData::Alloca { allocated: ty });
+        let pos = self.entry_allocas;
+        let id = self.b.module_mut().func_mut(fid).insert_inst(self.entry, pos, inst);
+        self.entry_allocas += 1;
+        Value::Inst(id)
+    }
+
+    // ----- locals -----------------------------------------------------------
+
+    fn local(&self, at: usize, x: u32) -> Result<&Slot, WasmError> {
+        self.locals.get(x as usize).ok_or_else(|| {
+            WasmError::malformed(
+                at,
+                format!("local index {x} out of range ({} locals)", self.locals.len()),
+            )
+        })
+    }
+
+    fn store_local(&mut self, at: usize, x: u32, v: Value) -> Result<(), WasmError> {
+        match self.local(at, x)? {
+            Slot::Stack { ptr } => {
+                let p = *ptr;
+                self.b.store(v, p);
+                Ok(())
+            }
+            Slot::Direct(_) => Err(WasmError::malformed(
+                at,
+                format!("local.set to local {x}, which the pre-scan saw no writes to"),
+            )),
+        }
+    }
+
+    // ----- stack & conditions -----------------------------------------------
+
+    fn pop(&mut self, at: usize, what: &str) -> Result<Value, WasmError> {
+        let height = self.ctrl.last().map_or(0, |f| f.stack_height);
+        if self.stack.len() <= height {
+            return Err(WasmError::malformed(at, format!("operand stack underflow for {what}")));
+        }
+        Ok(self.stack.pop().expect("checked above"))
+    }
+
+    fn peek(&mut self, at: usize, what: &str) -> Result<Value, WasmError> {
+        let v = self.pop(at, what)?;
+        self.stack.push(v);
+        Ok(v)
+    }
+
+    /// Pushes a comparison result: wasm's booleans are `i32` 0/1, so the
+    /// `i1` is widened — and remembered, so a later consumer that only
+    /// needs the condition gets the original `i1` back.
+    fn push_bool(&mut self, i1: Value) {
+        let i32t = self.b.module().types.i32();
+        let widened = self.b.zext(i1, i32t);
+        self.bools.insert(widened, i1);
+        self.stack.push(widened);
+    }
+
+    /// Pops an `i32` condition and converts it to `i1` (`!= 0`), folding
+    /// the widening away when the value came straight from a comparison.
+    fn pop_condition(&mut self, at: usize) -> Result<Value, WasmError> {
+        let v = self.pop(at, "condition")?;
+        if let Some(&i1) = self.bools.get(&v) {
+            return Ok(i1);
+        }
+        let i32t = self.b.module().types.i32();
+        Ok(self.b.icmp(IntPredicate::Ne, v, Value::ConstInt { ty: i32t, bits: 0 }))
+    }
+
+    fn zero_of(&self, vt: ValType) -> Value {
+        let ty = vt_ty(self.b.module(), vt);
+        match vt {
+            ValType::I32 | ValType::I64 => Value::ConstInt { ty, bits: 0 },
+            ValType::F32 | ValType::F64 => Value::ConstFloat { ty, bits: 0 },
+        }
+    }
+
+    // ----- memory -----------------------------------------------------------
+
+    /// `zext` the dynamic `i32` address to `i64`, add the constant offset
+    /// (wasm's effective address is a 33-bit sum), and `gep` from the
+    /// memory base through `i8` to a pointer to the access type.
+    fn effective_ptr(&mut self, at: usize, offset: u32, access: TyId) -> Result<Value, WasmError> {
+        if !self.has_memory {
+            return Err(WasmError::malformed(
+                at,
+                "memory access in a module with no memory section",
+            ));
+        }
+        let addr32 = self.pop(at, "memory address")?;
+        let i64t = self.b.module().types.i64();
+        let mut addr = self.b.zext(addr32, i64t);
+        if offset != 0 {
+            addr = self.b.add(addr, Value::ConstInt { ty: i64t, bits: offset as u64 });
+        }
+        let i8t = self.b.module().types.i8();
+        Ok(self.b.gep(i8t, Value::Param(0), vec![addr], access))
+    }
+
+    fn lower_load(&mut self, at: usize, arg: MemArg) -> Result<Value, WasmError> {
+        let value_ty = vt_ty(self.b.module(), arg.ty);
+        let access_ty = self.access_ty(arg);
+        let ptr = self.effective_ptr(at, arg.offset, access_ty)?;
+        let raw = self.b.load(ptr);
+        if access_ty == value_ty {
+            return Ok(raw);
+        }
+        Ok(if arg.signed { self.b.sext(raw, value_ty) } else { self.b.zext(raw, value_ty) })
+    }
+
+    fn lower_store(&mut self, at: usize, arg: MemArg) -> Result<(), WasmError> {
+        let value_ty = vt_ty(self.b.module(), arg.ty);
+        let access_ty = self.access_ty(arg);
+        let mut v = self.pop(at, "store value")?;
+        if access_ty != value_ty {
+            v = self.b.trunc(v, access_ty);
+        }
+        let ptr = self.effective_ptr(at, arg.offset, access_ty)?;
+        self.b.store(v, ptr);
+        Ok(())
+    }
+
+    fn access_ty(&self, arg: MemArg) -> TyId {
+        match (arg.ty, arg.width) {
+            (ValType::F32, _) => self.b.module().types.f32(),
+            (ValType::F64, _) => self.b.module().types.f64(),
+            (_, 8) => self.b.module().types.i8(),
+            (_, 16) => self.b.module().types.i16(),
+            (_, 32) => self.b.module().types.i32(),
+            _ => self.b.module().types.i64(),
+        }
+    }
+}

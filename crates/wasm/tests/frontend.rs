@@ -1,0 +1,429 @@
+//! End-to-end frontend tests: build wasm bytes with the emitter, decode,
+//! lower to `fmsa_ir`, verify, and execute the lowered code in
+//! `fmsa-interp`, checking wasm semantics (zero-filled locals, masked
+//! shifts via the interpreter, structured branches, memory accesses).
+
+use fmsa_interp::{Interpreter, Val};
+use fmsa_ir::{verify_module, FuncBuilder, Linkage, Value};
+use fmsa_wasm::encode::{CodeWriter, WasmBuilder};
+use fmsa_wasm::{load_wasm, parse_wasm, ValType, WasmError, WasmErrorKind};
+
+fn lowered(b: &WasmBuilder) -> fmsa_ir::Module {
+    let bytes = b.finish();
+    let m = load_wasm(&bytes, "test").expect("decode + lower");
+    let errs = verify_module(&m);
+    assert!(errs.is_empty(), "lowered module must verify: {errs:?}");
+    m
+}
+
+fn run_i32(m: &fmsa_ir::Module, name: &str, args: Vec<Val>) -> i32 {
+    let out = Interpreter::new(m).run(name, args).expect("no trap");
+    out.value.expect("has result").as_i64().expect("integer") as i32
+}
+
+#[test]
+fn straight_line_arithmetic() {
+    let mut b = WasmBuilder::new();
+    let ty = b.add_type(&[ValType::I32, ValType::I32], &[ValType::I32]);
+    let mut c = CodeWriter::new();
+    c.local_get(0);
+    c.local_get(1);
+    c.ibinary(ValType::I32, 0); // add
+    c.i32_const(7);
+    c.ibinary(ValType::I32, 2); // mul
+    let f = b.add_function(ty, &[], c);
+    b.export_func("mac7", f);
+    let m = lowered(&b);
+    assert_eq!(run_i32(&m, "mac7", vec![Val::i32(3), Val::i32(4)]), 49);
+}
+
+#[test]
+fn if_else_selects_the_max() {
+    let mut b = WasmBuilder::new();
+    let ty = b.add_type(&[ValType::I32, ValType::I32], &[ValType::I32]);
+    let mut c = CodeWriter::new();
+    c.local_get(0);
+    c.local_get(1);
+    c.icmp(ValType::I32, 4); // gt_s
+    c.if_(Some(ValType::I32));
+    c.local_get(0);
+    c.else_();
+    c.local_get(1);
+    c.end();
+    let f = b.add_function(ty, &[], c);
+    b.export_func("max", f);
+    let m = lowered(&b);
+    assert_eq!(run_i32(&m, "max", vec![Val::i32(3), Val::i32(9)]), 9);
+    assert_eq!(run_i32(&m, "max", vec![Val::i32(-3), Val::i32(-9)]), -3);
+}
+
+#[test]
+fn loop_sums_with_backedge() {
+    // sum = 0; i = n; loop { sum += i; i -= 1; br_if i != 0 } -> sum
+    let mut b = WasmBuilder::new();
+    let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+    let mut c = CodeWriter::new();
+    // local 1 = sum, local 2 = i (declared locals, zero-init)
+    c.local_get(0);
+    c.local_set(2);
+    c.loop_(None);
+    c.local_get(1);
+    c.local_get(2);
+    c.ibinary(ValType::I32, 0); // add
+    c.local_set(1);
+    c.local_get(2);
+    c.i32_const(1);
+    c.ibinary(ValType::I32, 1); // sub
+    c.local_tee(2);
+    c.eqz(ValType::I32);
+    c.eqz(ValType::I32); // i != 0
+    c.br_if(0);
+    c.end();
+    c.local_get(1);
+    let f = b.add_function(ty, &[ValType::I32, ValType::I32], c);
+    b.export_func("sum_to", f);
+    let m = lowered(&b);
+    assert_eq!(run_i32(&m, "sum_to", vec![Val::i32(5)]), 15);
+    assert_eq!(run_i32(&m, "sum_to", vec![Val::i32(1)]), 1);
+}
+
+#[test]
+fn br_table_becomes_a_switch() {
+    // block block block br_table [0, 1] default=2 ... returns 10/20/30.
+    let mut b = WasmBuilder::new();
+    let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+    let mut c = CodeWriter::new();
+    c.block(None); // label 2 (outermost of the three)
+    c.block(None); // label 1
+    c.block(None); // label 0
+    c.local_get(0);
+    c.br_table(&[0, 1], 2);
+    c.end();
+    c.i32_const(10);
+    c.return_();
+    c.end();
+    c.i32_const(20);
+    c.return_();
+    c.end();
+    c.i32_const(30);
+    let f = b.add_function(ty, &[], c);
+    b.export_func("pick", f);
+    let m = lowered(&b);
+    // The lowered body must contain an IR switch.
+    let fid = m.func_by_name("pick").expect("exists");
+    let has_switch = m
+        .func(fid)
+        .inst_ids()
+        .iter()
+        .any(|&i| m.func(fid).inst(i).opcode == fmsa_ir::Opcode::Switch);
+    assert!(has_switch, "br_table should lower to switch:\n{}", fmsa_ir::printer::print_module(&m));
+    assert_eq!(run_i32(&m, "pick", vec![Val::i32(0)]), 10);
+    assert_eq!(run_i32(&m, "pick", vec![Val::i32(1)]), 20);
+    assert_eq!(run_i32(&m, "pick", vec![Val::i32(2)]), 30);
+    assert_eq!(run_i32(&m, "pick", vec![Val::i32(77)]), 30);
+}
+
+#[test]
+fn block_results_flow_through_slots() {
+    // block (result i32) { 5; br_if 0 on p0; drop; 9 } + 1
+    let mut b = WasmBuilder::new();
+    let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+    let mut c = CodeWriter::new();
+    c.block(Some(ValType::I32));
+    c.i32_const(5);
+    c.local_get(0);
+    c.br_if(0);
+    c.drop_();
+    c.i32_const(9);
+    c.end();
+    c.i32_const(1);
+    c.ibinary(ValType::I32, 0); // add
+    let f = b.add_function(ty, &[], c);
+    b.export_func("blockval", f);
+    let m = lowered(&b);
+    assert_eq!(run_i32(&m, "blockval", vec![Val::i32(1)]), 6);
+    assert_eq!(run_i32(&m, "blockval", vec![Val::i32(0)]), 10);
+}
+
+#[test]
+fn recursion_and_internal_helpers() {
+    // f0 (internal): n <= 1 ? 1 : n * f0(n - 1); f1 (exported) calls f0.
+    let mut b = WasmBuilder::new();
+    let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+    let mut c = CodeWriter::new();
+    c.local_get(0);
+    c.i32_const(1);
+    c.icmp(ValType::I32, 6); // le_s
+    c.if_(Some(ValType::I32));
+    c.i32_const(1);
+    c.else_();
+    c.local_get(0);
+    c.local_get(0);
+    c.i32_const(1);
+    c.ibinary(ValType::I32, 1); // sub
+    c.call(0);
+    c.ibinary(ValType::I32, 2); // mul
+    c.end();
+    let f0 = b.add_function(ty, &[], c);
+    let mut c = CodeWriter::new();
+    c.local_get(0);
+    c.call(f0);
+    let f1 = b.add_function(ty, &[], c);
+    b.export_func("fact", f1);
+    let m = lowered(&b);
+    let fact = m.func_by_name("fact").expect("exported name");
+    assert_eq!(m.func(fact).linkage, Linkage::External);
+    let helper = m.func_by_name("f0").expect("internal name");
+    assert_eq!(m.func(helper).linkage, Linkage::Internal);
+    assert_eq!(run_i32(&m, "fact", vec![Val::i32(5)]), 120);
+}
+
+#[test]
+fn floats_and_conversions() {
+    // (param f64 i32) -> f64: p0 * f64(p1) demoted/promoted through f32.
+    let mut b = WasmBuilder::new();
+    let ty = b.add_type(&[ValType::F64, ValType::I32], &[ValType::F64]);
+    let mut c = CodeWriter::new();
+    c.local_get(0);
+    c.local_get(1);
+    c.f64_convert_i32_s();
+    c.fbinary(ValType::F64, 2); // mul
+    c.f32_demote_f64();
+    c.f64_promote_f32();
+    let f = b.add_function(ty, &[], c);
+    b.export_func("scale", f);
+    let m = lowered(&b);
+    let out = Interpreter::new(&m).run("scale", vec![Val::F64(1.5), Val::i32(4)]).expect("runs");
+    assert_eq!(out.value, Some(Val::F64(6.0)));
+}
+
+/// Builds a driver that allocas a 64 KiB buffer and calls `callee`
+/// (whose first parameter is the lowered `i8* %mem`) with it. Mirrors
+/// what a host environment does when instantiating a wasm memory.
+fn add_memory_driver(m: &mut fmsa_ir::Module, callee: &str, n_args: usize) -> String {
+    let callee_id = m.func_by_name(callee).expect("callee exists");
+    let callee_ty = m.func(callee_id).fn_ty();
+    let ret = m.types.fn_ret(callee_ty).expect("fn ty");
+    let params: Vec<_> = m.types.fn_params(callee_ty).expect("fn ty")[1..].to_vec();
+    let driver_ty = m.types.func(ret, params);
+    let name = format!("__drive_{callee}");
+    let f = m.create_function(name.clone(), driver_ty);
+    let mut b = FuncBuilder::new(m, f);
+    let entry = b.block("entry");
+    b.switch_to(entry);
+    let i8t = b.module().types.i8();
+    let buf_ty = b.module_mut().types.array(i8t, 65536);
+    let buf = b.alloca(buf_ty);
+    let zero = b.const_i64(0);
+    let mem = b.gep(buf_ty, buf, vec![zero, zero], i8t);
+    let mut args = vec![mem];
+    args.extend((0..n_args).map(|k| Value::Param(k as u32)));
+    let r = b.call(callee_id, args);
+    let is_void = b.module().types.fn_ret(callee_ty) == Some(b.module().types.void());
+    if is_void {
+        b.ret(None);
+    } else {
+        b.ret(Some(r));
+    }
+    name
+}
+
+#[test]
+fn memory_loads_and_stores() {
+    // store p0 at address 8, load16_u-style roundtrip at byte granularity.
+    let mut b = WasmBuilder::new();
+    b.add_memory(1);
+    let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+    let mut c = CodeWriter::new();
+    c.i32_const(8);
+    c.local_get(0);
+    c.store(ValType::I32, 4); // effective address 12
+    c.i32_const(12);
+    c.load(ValType::I32, 0);
+    c.i32_const(8);
+    c.local_get(0);
+    c.i32_store8(0); // low byte at address 8
+    c.i32_const(8);
+    c.i32_load8_u(0);
+    c.ibinary(ValType::I32, 0); // add
+    let f = b.add_function(ty, &[], c);
+    b.export_func("memrt", f);
+    let mut m = lowered(&b);
+    // Lowered signature carries the threaded memory base.
+    let fid = m.func_by_name("memrt").expect("exists");
+    let fn_ty = m.func(fid).fn_ty();
+    let p0 = m.types.fn_params(fn_ty).expect("fn ty")[0];
+    assert!(m.types.is_ptr(p0), "first param is the memory base");
+    let driver = add_memory_driver(&mut m, "memrt", 1);
+    assert!(verify_module(&m).is_empty(), "{:?}", verify_module(&m));
+    assert_eq!(run_i32(&m, &driver, vec![Val::i32(0x1_0203)]), 0x1_0203 + 0x03);
+}
+
+#[test]
+fn dead_code_after_return_is_skipped() {
+    let mut b = WasmBuilder::new();
+    let ty = b.add_type(&[], &[ValType::I32]);
+    let mut c = CodeWriter::new();
+    c.i32_const(11);
+    c.return_();
+    // Dead: a whole nested construct plus stack-polymorphic junk.
+    c.block(Some(ValType::I32));
+    c.i32_const(1);
+    c.end();
+    c.drop_();
+    c.i32_const(42);
+    let f = b.add_function(ty, &[], c);
+    b.export_func("ret11", f);
+    let m = lowered(&b);
+    assert_eq!(run_i32(&m, "ret11", vec![]), 11);
+}
+
+#[test]
+fn unreachable_lowers_to_unreachable() {
+    let mut b = WasmBuilder::new();
+    let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+    let mut c = CodeWriter::new();
+    c.local_get(0);
+    c.if_(None);
+    c.unreachable();
+    c.end();
+    c.i32_const(1);
+    let f = b.add_function(ty, &[], c);
+    b.export_func("guard", f);
+    let m = lowered(&b);
+    assert_eq!(run_i32(&m, "guard", vec![Val::i32(0)]), 1);
+    let trap = Interpreter::new(&m).run("guard", vec![Val::i32(1)]).expect_err("traps");
+    assert_eq!(trap, fmsa_interp::Trap::UnreachableExecuted);
+}
+
+#[test]
+fn select_and_comparison_fold_to_i1() {
+    let mut b = WasmBuilder::new();
+    let ty = b.add_type(&[ValType::I32, ValType::I32], &[ValType::I32]);
+    let mut c = CodeWriter::new();
+    c.local_get(0);
+    c.local_get(1);
+    c.local_get(0);
+    c.local_get(1);
+    c.icmp(ValType::I32, 2); // lt_s
+    c.select();
+    let f = b.add_function(ty, &[], c);
+    b.export_func("min", f);
+    let m = lowered(&b);
+    assert_eq!(run_i32(&m, "min", vec![Val::i32(2), Val::i32(5)]), 2);
+    assert_eq!(run_i32(&m, "min", vec![Val::i32(5), Val::i32(2)]), 2);
+    // The folded condition means no `icmp ne (zext ...), 0` round-trip.
+    let fid = m.func_by_name("min").expect("exists");
+    let f = m.func(fid);
+    let icmps = f.inst_ids().iter().filter(|&&i| f.inst(i).opcode == fmsa_ir::Opcode::ICmp).count();
+    assert_eq!(icmps, 1, "{}", fmsa_ir::printer::print_module(&m));
+}
+
+#[test]
+fn shifts_follow_wasm_masking() {
+    // wasm masks shift counts by width-1; the IR interpreter does too.
+    let mut b = WasmBuilder::new();
+    let ty = b.add_type(&[ValType::I32, ValType::I32], &[ValType::I32]);
+    let mut c = CodeWriter::new();
+    c.local_get(0);
+    c.local_get(1);
+    c.ibinary(ValType::I32, 10); // shl
+    let f = b.add_function(ty, &[], c);
+    b.export_func("shl", f);
+    let m = lowered(&b);
+    assert_eq!(run_i32(&m, "shl", vec![Val::i32(1), Val::i32(3)]), 8);
+    assert_eq!(run_i32(&m, "shl", vec![Val::i32(1), Val::i32(35)]), 8, "count masked mod 32");
+}
+
+#[test]
+fn lowering_errors_carry_offsets() {
+    // local index out of range
+    let mut b = WasmBuilder::new();
+    let ty = b.add_type(&[], &[ValType::I32]);
+    let mut c = CodeWriter::new();
+    c.local_get(3);
+    let f = b.add_function(ty, &[], c);
+    b.export_func("bad", f);
+    let bytes = b.finish();
+    let e = load_wasm(&bytes, "t").expect_err("bad local");
+    assert_eq!(e.kind, WasmErrorKind::Malformed);
+    assert!(e.to_string().contains("local index 3"), "{e}");
+    assert!(e.offset > 8, "offset points into the code section: {e}");
+
+    // memory access without a memory section
+    let mut b = WasmBuilder::new();
+    let ty = b.add_type(&[], &[ValType::I32]);
+    let mut c = CodeWriter::new();
+    c.i32_const(0);
+    c.load(ValType::I32, 0);
+    let f = b.add_function(ty, &[], c);
+    b.export_func("nomem", f);
+    let e = load_wasm(&b.finish(), "t").expect_err("no memory");
+    assert!(e.to_string().contains("no memory section"), "{e}");
+
+    // operand stack underflow
+    let mut b = WasmBuilder::new();
+    let ty = b.add_type(&[], &[ValType::I32]);
+    let mut c = CodeWriter::new();
+    c.i32_add();
+    let f = b.add_function(ty, &[], c);
+    b.export_func("under", f);
+    let e = load_wasm(&b.finish(), "t").expect_err("underflow");
+    assert!(e.to_string().contains("underflow"), "{e}");
+
+    // unsupported opcode names itself
+    let mut b = WasmBuilder::new();
+    let ty = b.add_type(&[ValType::F64], &[ValType::F64]);
+    let mut c = CodeWriter::new();
+    c.local_get(0);
+    c.raw_op(0x9f); // f64.sqrt
+    let f = b.add_function(ty, &[], c);
+    b.export_func("s", f);
+    let e = load_wasm(&b.finish(), "t").expect_err("sqrt unsupported");
+    assert_eq!(e.kind, WasmErrorKind::Unsupported);
+    assert!(e.to_string().contains("sqrt"), "{e}");
+}
+
+#[test]
+fn alias_exports_become_forwarding_thunks() {
+    let mut b = WasmBuilder::new();
+    let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+    let mut c = CodeWriter::new();
+    c.local_get(0);
+    c.i32_const(2);
+    c.ibinary(ValType::I32, 2); // mul
+    let f = b.add_function(ty, &[], c);
+    b.export_func("twice", f);
+    b.export_func("double", f); // legal alias of the same function
+    let m = lowered(&b);
+    for name in ["twice", "double"] {
+        let fid = m.func_by_name(name).unwrap_or_else(|| panic!("{name} present"));
+        assert_eq!(m.func(fid).linkage, Linkage::External);
+        assert_eq!(run_i32(&m, name, vec![Val::i32(21)]), 42);
+    }
+}
+
+#[test]
+fn if_with_result_but_no_else_rejected() {
+    let mut b = WasmBuilder::new();
+    let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+    let mut c = CodeWriter::new();
+    c.local_get(0);
+    c.if_(Some(ValType::I32));
+    c.i32_const(1);
+    c.end();
+    let f = b.add_function(ty, &[], c);
+    b.export_func("bad", f);
+    let e = load_wasm(&b.finish(), "t").expect_err("invalid wasm");
+    assert!(e.to_string().contains("requires an `else`"), "{e}");
+}
+
+#[test]
+fn decode_rejects_non_wasm() {
+    let e = parse_wasm(b"; module not-wasm\n").expect_err("not wasm");
+    assert!(matches!(
+        e,
+        WasmError { kind: WasmErrorKind::Malformed, .. }
+            | WasmError { kind: WasmErrorKind::Truncated, .. }
+    ));
+}

@@ -26,8 +26,10 @@ pub mod gen;
 pub mod motivating;
 pub mod suite;
 pub mod swarm;
+pub mod wasm_fixtures;
 
 pub use driver::{add_driver, DriverConfig};
 pub use gen::{generate_function, GenConfig, TypeTheme, Variant};
 pub use suite::{build_module, mibench_suite, spec_suite, BenchDesc, FamilyMix, Suite, SCALE};
 pub use swarm::{clone_swarm_module, SwarmConfig};
+pub use wasm_fixtures::{wasm_fixture_bytes, WasmFixtureConfig};

@@ -1,0 +1,490 @@
+//! Seeded WebAssembly fixture corpus.
+//!
+//! Serializes generated clone-family modules to **valid wasm bytes** via
+//! [`fmsa_wasm::encode`], giving the repo an offline corpus of real
+//! binaries: the `experiments wasm` harness and the `frontend-smoke` CI
+//! job decode these with `fmsa-wasm`, lower them, and run the full
+//! search→pipeline→merge stack; property tests round-trip
+//! emit → decode → lower → verify.
+//!
+//! The shape mirrors [`crate::swarm`]: *clone families* whose members
+//! share one structural seed and differ by deterministic variants
+//! (constant deltas, opcode swaps, and type-theme widening — the paper's
+//! Fig. 1 situation, `i32` vs `i64` / `f32` vs `f64` specializations of
+//! one template), buried in noise functions with unique seeds. All
+//! family members are exported (their names survive merging as external
+//! thunks, which is what lets differential tests compare pre/post-merge
+//! behaviour by name); noise functions are exported with probability ½,
+//! so internal-linkage deletion is exercised too.
+//!
+//! Generated bodies stay within the frontend's supported subset and are
+//! safe to interpret on arbitrary inputs: no integer division (trap on
+//! zero), shift counts masked by construction, loops bounded by constant
+//! trip counts, and calls restricted to *leaf* functions so dynamic call
+//! depth is at most two.
+
+use fmsa_wasm::encode::{CodeWriter, WasmBuilder};
+use fmsa_wasm::ValType;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a generated wasm fixture module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WasmFixtureConfig {
+    /// Total number of functions.
+    pub functions: usize,
+    /// Members per clone family.
+    pub family_size: usize,
+    /// Fraction of `functions` in clone families, in `[0, 1]`.
+    pub clone_fraction: f64,
+    /// Approximate arithmetic steps per function body.
+    pub target_steps: usize,
+    /// Declare a linear memory and emit load/store scratch traffic.
+    pub with_memory: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for WasmFixtureConfig {
+    fn default() -> Self {
+        WasmFixtureConfig {
+            functions: 60,
+            family_size: 2,
+            clone_fraction: 0.6,
+            target_steps: 16,
+            with_memory: true,
+            seed: 0x3a5e_0007,
+        }
+    }
+}
+
+impl WasmFixtureConfig {
+    /// Convenience: a corpus of `functions` functions with the default mix.
+    pub fn with_functions(functions: usize) -> WasmFixtureConfig {
+        WasmFixtureConfig { functions, ..WasmFixtureConfig::default() }
+    }
+
+    /// Number of complete clone families this configuration yields.
+    pub fn families(&self) -> usize {
+        let clones = (self.functions as f64 * self.clone_fraction) as usize;
+        clones / self.family_size.max(2)
+    }
+}
+
+/// Signature bookkeeping for call-site generation.
+struct FnInfo {
+    index: u32,
+    params: Vec<ValType>,
+    result: ValType,
+    /// Leaf functions make no calls themselves; only leaves are callable,
+    /// bounding dynamic call depth.
+    leaf: bool,
+}
+
+/// Serializes the module described by `cfg` to wasm bytes.
+pub fn wasm_fixture_bytes(cfg: &WasmFixtureConfig) -> Vec<u8> {
+    let mut b = WasmBuilder::new();
+    if cfg.with_memory {
+        b.add_memory(1);
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let family_size = cfg.family_size.max(2);
+    let families = cfg.families();
+    let noise = cfg.functions.saturating_sub(families * family_size);
+    let mut emitted: Vec<FnInfo> = Vec::new();
+    for fam in 0..families {
+        let fam_seed: u64 = rng.gen();
+        for member in 0..family_size {
+            emit_function(
+                &mut b,
+                &mut emitted,
+                cfg,
+                fam_seed,
+                member as u64,
+                Some(format!("fam{fam}_m{member}")),
+            );
+        }
+    }
+    for k in 0..noise {
+        let seed: u64 = rng.gen();
+        let export = rng.gen_bool(0.5).then(|| format!("noise{k}"));
+        emit_function(&mut b, &mut emitted, cfg, seed, 0, export);
+    }
+    b.finish()
+}
+
+/// The type theme of one function: which concrete type its "flexible"
+/// slots use. Odd family members widen the theme, producing the paper's
+/// Fig. 1 cross-type clones.
+#[derive(Clone, Copy, PartialEq)]
+enum Theme {
+    Int(ValType),   // I32 or I64
+    Float(ValType), // F32 or F64
+}
+
+impl Theme {
+    fn vt(self) -> ValType {
+        match self {
+            Theme::Int(v) | Theme::Float(v) => v,
+        }
+    }
+}
+
+/// Emits one function. All structural decisions come from a fresh RNG
+/// seeded with `seed` (identical across family members); `member` only
+/// perturbs emitted constants/opcodes/types, so members stay alignable.
+fn emit_function(
+    b: &mut WasmBuilder,
+    emitted: &mut Vec<FnInfo>,
+    cfg: &WasmFixtureConfig,
+    seed: u64,
+    member: u64,
+    export: Option<String>,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Member 1 varies only by constants/opcode swaps (the paper's plain
+    // body mutations); members ≥ 2 alternate the type theme as well, so
+    // families of 3+ contain Fig. 1 cross-type clones.
+    let widen = member >= 2 && member.is_multiple_of(2);
+    let theme = match rng.gen_range(0..7u32) {
+        0..=2 => Theme::Int(if widen { ValType::I64 } else { ValType::I32 }),
+        3 | 4 => Theme::Int(if widen { ValType::I32 } else { ValType::I64 }),
+        5 => Theme::Float(if widen { ValType::F64 } else { ValType::F32 }),
+        _ => Theme::Float(if widen { ValType::F32 } else { ValType::F64 }),
+    };
+    let n_params = rng.gen_range(1..4usize);
+    let params: Vec<ValType> =
+        (0..n_params).map(|_| if rng.gen_bool(0.7) { theme.vt() } else { ValType::I32 }).collect();
+    let result = theme.vt();
+
+    let mut g = BodyGen {
+        code: CodeWriter::new(),
+        theme,
+        member,
+        site: 0,
+        acc: n_params as u32,         // local index of the accumulator
+        counter: n_params as u32 + 1, // loop counter local
+        made_calls: false,
+    };
+    // Seed the accumulator from the parameters.
+    for (k, &p) in params.iter().enumerate() {
+        g.code.local_get(k as u32);
+        g.convert(p, theme.vt());
+        if k == 0 {
+            g.code.local_set(g.acc);
+        } else {
+            g.fold_into_acc(&mut rng);
+        }
+    }
+    let steps = cfg.target_steps / 2 + rng.gen_range(0..cfg.target_steps.max(1));
+    for _ in 0..steps {
+        match rng.gen_range(0..10u32) {
+            0..=4 => g.const_step(&mut rng),
+            5 => g.if_else_step(&mut rng),
+            6 => g.loop_step(&mut rng),
+            7 => {
+                if matches!(theme, Theme::Int(_)) {
+                    g.br_table_step(&mut rng);
+                } else {
+                    g.const_step(&mut rng);
+                }
+            }
+            8 => {
+                if cfg.with_memory {
+                    g.memory_step(&mut rng);
+                } else {
+                    g.const_step(&mut rng);
+                }
+            }
+            _ => {
+                if !g.call_step(&mut rng, emitted) {
+                    g.const_step(&mut rng);
+                }
+            }
+        }
+    }
+    g.code.local_get(g.acc);
+
+    let made_calls = g.made_calls;
+    let ty = b.add_type(&params, &[result]);
+    // Declared locals: accumulator + loop counter.
+    let idx = b.add_function(ty, &[theme.vt(), ValType::I32], g.code);
+    if let Some(name) = export {
+        b.export_func(&name, idx);
+    }
+    emitted.push(FnInfo { index: idx, params, result, leaf: !made_calls });
+}
+
+struct BodyGen {
+    code: CodeWriter,
+    theme: Theme,
+    member: u64,
+    /// Emission-site counter driving the member variant masks.
+    site: u64,
+    acc: u32,
+    counter: u32,
+    made_calls: bool,
+}
+
+impl BodyGen {
+    /// Whether the member variant perturbs this site.
+    fn variant_hit(&mut self) -> bool {
+        self.site += 1;
+        self.member != 0 && (self.site + self.member).is_multiple_of(5)
+    }
+
+    fn push_const(&mut self, rng: &mut StdRng) {
+        let base = rng.gen_range(1..1_000_000i64);
+        let delta = if self.variant_hit() { self.member as i64 } else { 0 };
+        match self.theme.vt() {
+            ValType::I32 => self.code.i32_const((base + delta) as i32),
+            ValType::I64 => self.code.i64_const(base + delta),
+            ValType::F32 => self.code.f32_const((base + delta) as f32 / 8.0),
+            ValType::F64 => self.code.f64_const((base + delta) as f64 / 8.0),
+        }
+    }
+
+    /// Emits a binary op folding the stack top into the accumulator
+    /// (stack: [v] → acc = acc ⊕ v, leaving nothing).
+    fn fold_into_acc(&mut self, rng: &mut StdRng) {
+        self.code.local_get(self.acc);
+        // Operands are [v, acc]; all chosen ops are symmetric enough for
+        // fixture purposes (sub included deliberately: order matters, so
+        // merged code must preserve it).
+        self.binop(rng);
+        self.code.local_set(self.acc);
+    }
+
+    /// Emits one theme binary operator consuming two stack values.
+    fn binop(&mut self, rng: &mut StdRng) {
+        match self.theme {
+            Theme::Int(vt) => {
+                // add sub mul and or xor (wasm `ibinary` indices).
+                let mut k = *[0u8, 1, 2, 7, 8, 9].get(rng.gen_range(0..6usize)).expect("in range");
+                if self.variant_hit() {
+                    // Swap add<->sub / and<->or: same shape, different op.
+                    k = match k {
+                        0 => 1,
+                        1 => 0,
+                        7 => 8,
+                        8 => 7,
+                        other => other,
+                    };
+                }
+                self.code.ibinary(vt, k);
+            }
+            Theme::Float(vt) => {
+                let k = rng.gen_range(0..4u8); // add sub mul div
+                self.code.fbinary(vt, k);
+            }
+        }
+    }
+
+    /// acc = acc ⊕ const.
+    fn const_step(&mut self, rng: &mut StdRng) {
+        self.push_const(rng);
+        self.fold_into_acc(rng);
+    }
+
+    /// `if (result T) { acc ⊕ c1 } else { acc ⊕ c2 }` stored back to acc.
+    fn if_else_step(&mut self, rng: &mut StdRng) {
+        self.code.local_get(self.acc);
+        self.push_const(rng);
+        match self.theme {
+            Theme::Int(vt) => {
+                self.code.icmp(vt, *[0u8, 2, 4, 6].get(rng.gen_range(0..4usize)).expect("in range"))
+            }
+            Theme::Float(vt) => self.code.fcmp(vt, rng.gen_range(0..6u8)),
+        }
+        self.code.if_(Some(self.theme.vt()));
+        self.code.local_get(self.acc);
+        self.push_const(rng);
+        self.binop(rng);
+        self.code.else_();
+        self.code.local_get(self.acc);
+        self.push_const(rng);
+        self.binop(rng);
+        self.code.end();
+        self.code.local_set(self.acc);
+    }
+
+    /// A constant-trip-count loop mutating the accumulator.
+    fn loop_step(&mut self, rng: &mut StdRng) {
+        let trips = rng.gen_range(1..7i32);
+        self.code.i32_const(trips);
+        self.code.local_set(self.counter);
+        self.code.loop_(None);
+        self.const_step(rng);
+        self.code.local_get(self.counter);
+        self.code.i32_const(1);
+        self.code.ibinary(ValType::I32, 1); // sub
+        self.code.local_tee(self.counter);
+        self.code.eqz(ValType::I32);
+        self.code.eqz(ValType::I32); // counter != 0
+        self.code.br_if(0);
+        self.code.end();
+    }
+
+    /// A three-way `br_table` on the low accumulator bits; two arms
+    /// mutate the accumulator, the default skips both.
+    fn br_table_step(&mut self, rng: &mut StdRng) {
+        self.code.block(None);
+        self.code.block(None);
+        self.code.block(None);
+        self.code.local_get(self.acc);
+        if self.theme.vt() == ValType::I64 {
+            self.code.i32_wrap_i64();
+        }
+        self.code.i32_const(3);
+        self.code.ibinary(ValType::I32, 7); // and
+        self.code.br_table(&[0, 1], 2);
+        self.code.end();
+        self.const_step(rng); // arm 0
+        self.code.br(1);
+        self.code.end();
+        self.const_step(rng); // arm 1
+        self.code.br(0);
+        self.code.end();
+    }
+
+    /// Scratch-memory traffic: store the accumulator, reload it (plus a
+    /// sub-width byte round-trip for the i32 theme).
+    fn memory_step(&mut self, rng: &mut StdRng) {
+        let addr = rng.gen_range(0..1024u32) * 8;
+        let vt = self.theme.vt();
+        self.code.i32_const(addr as i32);
+        self.code.local_get(self.acc);
+        self.code.store(vt, 0);
+        self.code.i32_const(addr as i32);
+        self.code.load(vt, 0);
+        self.code.local_set(self.acc);
+        if vt == ValType::I32 && rng.gen_bool(0.5) {
+            self.code.i32_const(addr as i32 + 4);
+            self.code.local_get(self.acc);
+            self.code.i32_store8(0);
+            self.code.i32_const(addr as i32 + 4);
+            self.code.i32_load8_u(0);
+            self.fold_into_acc(rng);
+        }
+    }
+
+    /// Calls a previously emitted leaf function, folding its result into
+    /// the accumulator when a safe conversion exists. Returns `false`
+    /// when no leaf candidate exists (caller emits a plain step so the
+    /// RNG stream stays aligned across members).
+    fn call_step(&mut self, rng: &mut StdRng, emitted: &[FnInfo]) -> bool {
+        let leaves: Vec<&FnInfo> = emitted.iter().filter(|f| f.leaf).collect();
+        if leaves.is_empty() {
+            return false;
+        }
+        let callee = leaves[rng.gen_range(0..leaves.len())];
+        for &p in &callee.params {
+            if rng.gen_bool(0.5) && convertible(self.theme.vt(), p) {
+                self.code.local_get(self.acc);
+                self.convert(self.theme.vt(), p);
+            } else {
+                let v = rng.gen_range(1..10_000i64);
+                match p {
+                    ValType::I32 => self.code.i32_const(v as i32),
+                    ValType::I64 => self.code.i64_const(v),
+                    ValType::F32 => self.code.f32_const(v as f32),
+                    ValType::F64 => self.code.f64_const(v as f64),
+                }
+            }
+        }
+        self.code.call(callee.index);
+        if convertible(callee.result, self.theme.vt()) {
+            self.convert(callee.result, self.theme.vt());
+            self.fold_into_acc(rng);
+        } else {
+            self.code.drop_();
+        }
+        self.made_calls = true;
+        true
+    }
+
+    /// Emits the conversion `from → to` on the stack top. Only total,
+    /// never-trapping conversions are used (see [`convertible`]).
+    fn convert(&mut self, from: ValType, to: ValType) {
+        use ValType::{F32, F64, I32, I64};
+        match (from, to) {
+            (a, b) if a == b => {}
+            (I32, I64) => self.code.i64_extend_i32(true),
+            (I64, I32) => self.code.i32_wrap_i64(),
+            (F32, F64) => self.code.f64_promote_f32(),
+            (F64, F32) => self.code.f32_demote_f64(),
+            (I32, F32) => self.code.f32_convert_i32_s(),
+            (I32, F64) => self.code.f64_convert_i32_s(),
+            (I64, F32) => {
+                self.code.i32_wrap_i64();
+                self.code.f32_convert_i32_s();
+            }
+            (I64, F64) => {
+                self.code.i32_wrap_i64();
+                self.code.f64_convert_i32_s();
+            }
+            // float → int via reinterpret (total, unlike trunc).
+            (F32, I32) => self.code.i32_reinterpret_f32(),
+            (F32, I64) => {
+                self.code.i32_reinterpret_f32();
+                self.code.i64_extend_i32(false);
+            }
+            (F64, _) => unreachable!("guarded by convertible()"),
+            _ => unreachable!("all cases covered"),
+        }
+    }
+}
+
+/// Whether [`BodyGen::convert`] can produce `to` from `from` without a
+/// trapping conversion.
+fn convertible(from: ValType, to: ValType) -> bool {
+    !(from == ValType::F64 && matches!(to, ValType::I32 | ValType::I64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_deterministic() {
+        let cfg = WasmFixtureConfig::with_functions(20);
+        assert_eq!(wasm_fixture_bytes(&cfg), wasm_fixture_bytes(&cfg));
+    }
+
+    #[test]
+    fn fixture_decodes_lowers_and_verifies() {
+        let cfg = WasmFixtureConfig::with_functions(30);
+        let bytes = wasm_fixture_bytes(&cfg);
+        assert!(fmsa_wasm::is_wasm(&bytes));
+        let m = fmsa_wasm::load_wasm(&bytes, "fixture").expect("decodes + lowers");
+        assert_eq!(m.func_count(), 30);
+        let errs = fmsa_ir::verify_module(&m);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn memoryless_fixture_supported() {
+        let cfg = WasmFixtureConfig { with_memory: false, ..WasmFixtureConfig::with_functions(12) };
+        let m = fmsa_wasm::load_wasm(&wasm_fixture_bytes(&cfg), "nomem").expect("decodes");
+        assert!(fmsa_ir::verify_module(&m).is_empty());
+        // Without a memory no function takes the threaded base pointer.
+        for f in m.func_ids() {
+            for p in m.func(f).params() {
+                assert!(!m.types.is_ptr(p.ty));
+            }
+        }
+    }
+
+    #[test]
+    fn family_members_are_exported() {
+        let cfg = WasmFixtureConfig::with_functions(24);
+        let m = fmsa_wasm::load_wasm(&wasm_fixture_bytes(&cfg), "f").expect("decodes");
+        for fam in 0..cfg.families() {
+            for member in 0..cfg.family_size {
+                let name = format!("fam{fam}_m{member}");
+                let f = m.func_by_name(&name).unwrap_or_else(|| panic!("{name} exported"));
+                assert_eq!(m.func(f).linkage, fmsa_ir::Linkage::External);
+            }
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! * [`target`] — TTI-style code-size cost models (x86-64, ARM Thumb)
 //! * [`interp`] — IR interpreter (correctness oracle + Fig. 14 runtime)
 //! * [`core`] — the FMSA merger, exploration framework, and baselines
+//! * [`wasm`] — WebAssembly frontend (binary decoder + lowering to [`ir`])
 //! * [`workloads`] — SPEC/MiBench-calibrated synthetic benchmarks
 //!
 //! # Examples
@@ -40,4 +41,5 @@ pub use fmsa_core as core;
 pub use fmsa_interp as interp;
 pub use fmsa_ir as ir;
 pub use fmsa_target as target;
+pub use fmsa_wasm as wasm;
 pub use fmsa_workloads as workloads;
