@@ -13,6 +13,8 @@
 //! experiments search            Exact vs LSH candidate search at scale
 //! experiments merge-parallel    Pipeline vs sequential driver at scale
 //! experiments wasm              Decode/lower/merge a wasm binary corpus
+//! experiments fuzz              Differential fuzz farm over merged wasm
+//! experiments faults            Fault-injection matrix (quarantine gates)
 //! experiments all               everything above
 //! ```
 //!
@@ -65,7 +67,8 @@ fn main() {
     if let Some(batch) = flag_value("--spec-batch") {
         pipe_overrides.batch = batch;
     }
-    let value_flags = ["--json", "--spec-depth", "--spec-batch"];
+    let budget_secs = flag_value("--budget").unwrap_or(30);
+    let value_flags = ["--json", "--spec-depth", "--spec-batch", "--budget"];
     let cmd = args
         .iter()
         .enumerate()
@@ -103,6 +106,8 @@ fn main() {
         "search" => search_scalability(fast, &mut report),
         "merge-parallel" => merge_parallel(fast, &pipe_overrides, &mut report),
         "wasm" => wasm_frontend(fast, &pipe_overrides, &mut report),
+        "fuzz" => fuzz_farm(fast, budget_secs, &mut report),
+        "faults" => fault_matrix(fast, &mut report),
         "all" => {
             table(&spec, "Table I (SPEC CPU2006)");
             table(&mibench, "Table II (MiBench)");
@@ -116,6 +121,8 @@ fn main() {
             search_scalability(fast, &mut report);
             merge_parallel(fast, &pipe_overrides, &mut report);
             wasm_frontend(fast, &pipe_overrides, &mut report);
+            fuzz_farm(fast, budget_secs, &mut report);
+            fault_matrix(fast, &mut report);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
@@ -603,6 +610,13 @@ fn merge_parallel(fast: bool, pipe_overrides: &PipelineOptions, report: &mut Rep
                 ("spec_committed", Json::I(p.spec_committed as i64)),
                 ("spec_fallback", Json::I(p.spec_fallback as i64)),
                 ("spec_hit_rate", Json::F(p.spec_hit_rate().unwrap_or(f64::NAN))),
+                // Fault-isolation telemetry: all zero on a healthy run.
+                ("quarantined", Json::I(p.quarantined() as i64)),
+                ("quarantined_align", Json::I(p.quarantined_align as i64)),
+                ("quarantined_codegen", Json::I(p.quarantined_codegen as i64)),
+                ("quarantined_verify", Json::I(p.quarantined_verify as i64)),
+                ("panics_caught", Json::I(p.panics_caught as i64)),
+                ("poisoned_scratch", Json::I(p.poisoned_scratch as i64)),
             ]);
             if !identical {
                 report.fail(format!(
@@ -744,6 +758,297 @@ fn wasm_frontend(fast: bool, pipe_overrides: &PipelineOptions, report: &mut Repo
         }
     }
     println!("(corpus: fmsa_workloads::wasm_fixtures — clone families serialized to wasm bytes)");
+}
+
+// ---------------------------------------------------------------- fuzz
+
+/// The batched differential fuzz farm: lower a wasm corpus, merge it with
+/// the pipeline, then hammer original-vs-merged with coverage-seeded
+/// random inputs on a worker pool until both the pair target (≥1000) and
+/// the time budget are spent. Any behavioural mismatch or interpreter
+/// panic is a CI failure; throughput and coverage land in the bench JSON.
+fn fuzz_farm(fast: bool, budget_secs: usize, report: &mut Report) {
+    use fmsa_core::SearchStrategy;
+    use fmsa_interp::batch::wire_targets;
+    use fmsa_interp::{run_differential_batch, BatchConfig};
+    use fmsa_workloads::{wasm_fixture_bytes, WasmFixtureConfig};
+    let threads = PipelineOptions::default().resolved_threads();
+    let n = if fast { 48 } else { 96 };
+    println!("\n== Differential fuzz farm: original vs merged wasm corpus ==");
+    println!(
+        "{:>6} {:>7} {:>8} {:>8} {:>10} {:>7} {:>11} {:>8} {:>7}",
+        "#fns", "memory", "targets", "pairs", "pairs/sec", "paths", "mismatches", "panics", "quar"
+    );
+    let budget = std::time::Duration::from_secs(budget_secs as u64);
+    // Half the budget per corpus flavour: pure-compute and linear-memory
+    // modules stress different interpreter and merge paths.
+    let per_corpus = budget / 2;
+    for with_memory in [false, true] {
+        let cfg = WasmFixtureConfig {
+            functions: n,
+            with_memory,
+            seed: 0xF22A + with_memory as u64,
+            ..WasmFixtureConfig::default()
+        };
+        let bytes = wasm_fixture_bytes(&cfg);
+        let mut pre = match fmsa_wasm::load_wasm(&bytes, "fuzz-corpus") {
+            Ok(m) => m,
+            Err(e) => {
+                report.fail(format!("fuzz memory={with_memory}: corpus does not load: {e}"));
+                continue;
+            }
+        };
+        let mut post = pre.clone();
+        let opts =
+            FmsaOptions { threshold: 5, search: SearchStrategy::Auto, ..FmsaOptions::default() };
+        let stats = run_fmsa_pipeline(&mut post, &opts, &PipelineOptions::with_threads(threads));
+        if stats.merges == 0 {
+            report.fail(format!("fuzz memory={with_memory}: corpus did not merge"));
+            continue;
+        }
+        let quarantined = stats.quarantine.len();
+        if quarantined > 0 {
+            report.fail(format!(
+                "fuzz memory={with_memory}: clean merge quarantined {quarantined} pair(s)"
+            ));
+        }
+        let targets = wire_targets(&mut pre, &mut post, with_memory);
+        let (mut pairs, mut panics, mut paths, mut rounds) = (0usize, 0usize, 0usize, 0u64);
+        let mut mismatches = Vec::new();
+        let t0 = std::time::Instant::now();
+        while pairs < 1000 || t0.elapsed() < per_corpus {
+            let bcfg = BatchConfig {
+                threads,
+                seed: 0xF22A_0000 ^ rounds,
+                per_target: 8,
+                ..BatchConfig::default()
+            };
+            let out = run_differential_batch(&pre, &post, &targets, &bcfg);
+            pairs += out.pairs_run;
+            panics += out.panics_caught;
+            // Coverage within one round is a unique (function, block) set
+            // over the same module, so the union across rounds is tracked
+            // as the best single round.
+            paths = paths.max(out.paths_covered);
+            mismatches.extend(out.mismatches);
+            rounds += 1;
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let pairs_per_sec = pairs as f64 / wall.max(1e-9);
+        println!(
+            "{:>6} {:>7} {:>8} {:>8} {:>10.0} {:>7} {:>11} {:>8} {:>7}",
+            n,
+            with_memory,
+            targets.len(),
+            pairs,
+            pairs_per_sec,
+            paths,
+            mismatches.len(),
+            panics,
+            quarantined
+        );
+        for m in mismatches.iter().take(5) {
+            println!(
+                "       MISMATCH {} seed={:#x}: pre={} post={} (replay: seeded_args from this seed)",
+                m.function, m.seed, m.pre, m.post
+            );
+        }
+        report.record(&[
+            ("experiment", Json::S("fuzz".into())),
+            ("functions", Json::I(n as i64)),
+            ("with_memory", Json::B(with_memory)),
+            ("threads", Json::I(threads as i64)),
+            ("budget_s", Json::F(per_corpus.as_secs_f64())),
+            ("targets", Json::I(targets.len() as i64)),
+            ("pairs_run", Json::I(pairs as i64)),
+            ("pairs_per_sec", Json::F(pairs_per_sec)),
+            ("paths_covered", Json::I(paths as i64)),
+            ("mismatches", Json::I(mismatches.len() as i64)),
+            ("panics_caught", Json::I(panics as i64)),
+            ("quarantined", Json::I(quarantined as i64)),
+            ("merges", Json::I(stats.merges as i64)),
+        ]);
+        if !mismatches.is_empty() {
+            report.fail(format!(
+                "fuzz memory={with_memory}: {} differential mismatch(es), first in {} seed={:#x}",
+                mismatches.len(),
+                mismatches[0].function,
+                mismatches[0].seed
+            ));
+        }
+        if panics > 0 {
+            report.fail(format!("fuzz memory={with_memory}: {panics} interpreter panic(s)"));
+        }
+        if pairs < 1000 {
+            report.fail(format!(
+                "fuzz memory={with_memory}: only {pairs} input pairs inside the budget (<1000)"
+            ));
+        }
+    }
+    println!("(pairs = one input vector run on both original and merged module under equal fuel)");
+}
+
+// ---------------------------------------------------------------- faults
+
+/// The fault-injection matrix: run the pipeline over a clone swarm with a
+/// deterministic `FaultPlan` forcing panics and verifier failures, and
+/// gate the graceful-degradation contract — the run completes, only
+/// planned pairs are quarantined, and output plus quarantine summary are
+/// bit-identical at 1, 2, and 4 threads. A scratch-poison-only plan must
+/// degrade to the inline path with no quarantine and unchanged output.
+fn fault_matrix(fast: bool, report: &mut Report) {
+    use fmsa_core::quarantine::QuarantineStage;
+    use fmsa_core::SearchStrategy;
+    use fmsa_core::{silence_injected_panics, FaultPlan, FaultSite};
+    use fmsa_ir::printer::print_module;
+    use fmsa_workloads::{clone_swarm_module, SwarmConfig};
+    silence_injected_panics();
+    let n = if fast { 600 } else { 5000 };
+    println!("\n== Fault-injection matrix: quarantine and graceful degradation (n={n}) ==");
+    println!(
+        "{:>9} {:>7} {:>10} {:>8} {:>6} {:>8} {:>7} {:>7} {:>10} {:>9}",
+        "plan",
+        "threads",
+        "wall",
+        "merges",
+        "quar",
+        "panics",
+        "poison",
+        "verify",
+        "identical",
+        "summary="
+    );
+    let base = clone_swarm_module(&SwarmConfig::with_functions(n));
+    let opts =
+        FmsaOptions { threshold: 5, search: SearchStrategy::lsh(), ..FmsaOptions::default() };
+    let plan = FaultPlan::new(0xFA17, 20_000, &FaultSite::ALL);
+    let poison_only = FaultPlan::new(0xFA17, 1_000_000, &[FaultSite::ScratchPoison]);
+    // The clean 4-thread output is the reference the poison-only run must
+    // reproduce exactly (spec-wave faults degrade, they never quarantine).
+    let mut clean = base.clone();
+    run_fmsa_pipeline(&mut clean, &opts, &PipelineOptions::with_threads(4));
+    let clean_text = print_module(&clean);
+    for (label, faults) in [("injected", plan), ("poison", poison_only)] {
+        let mut reference: Option<(String, String)> = None;
+        for threads in [1usize, 2, 4] {
+            let mut m = base.clone();
+            let pipe = PipelineOptions { threads, faults, ..PipelineOptions::default() };
+            let t0 = std::time::Instant::now();
+            let stats = run_fmsa_pipeline(&mut m, &opts, &pipe);
+            let wall = t0.elapsed();
+            let errs = fmsa_ir::verify_module(&m);
+            if !errs.is_empty() {
+                report.fail(format!(
+                    "faults {label} threads={threads}: output module invalid: {}",
+                    errs[0]
+                ));
+            }
+            let text = print_module(&m);
+            let summary = stats.quarantine.summary();
+            let (identical, summary_same) = match &reference {
+                None => {
+                    reference = Some((text.clone(), summary.clone()));
+                    (true, true)
+                }
+                Some((rt, rs)) => (*rt == text, *rs == summary),
+            };
+            let p = stats.pipeline.unwrap_or_default();
+            println!(
+                "{:>9} {:>7} {:>9.2?} {:>8} {:>6} {:>8} {:>7} {:>7} {:>10} {:>9}",
+                label,
+                threads,
+                wall,
+                stats.merges,
+                p.quarantined(),
+                p.panics_caught,
+                p.poisoned_scratch,
+                p.quarantined_verify,
+                if identical { "yes" } else { "NO" },
+                if summary_same { "same" } else { "DIFFERS" }
+            );
+            report.record(&[
+                ("experiment", Json::S("faults".into())),
+                ("plan", Json::S(label.into())),
+                ("functions", Json::I(n as i64)),
+                ("threads", Json::I(threads as i64)),
+                ("rate_ppm", Json::I(faults.rate_ppm as i64)),
+                ("merges", Json::I(stats.merges as i64)),
+                ("quarantined", Json::I(p.quarantined() as i64)),
+                ("quarantined_align", Json::I(p.quarantined_align as i64)),
+                ("quarantined_codegen", Json::I(p.quarantined_codegen as i64)),
+                ("quarantined_verify", Json::I(p.quarantined_verify as i64)),
+                ("panics_caught", Json::I(p.panics_caught as i64)),
+                ("poisoned_scratch", Json::I(p.poisoned_scratch as i64)),
+                ("wall_s", Json::F(wall.as_secs_f64())),
+                ("identical_to_threads1", Json::B(identical)),
+                ("quarantine_summary_identical", Json::B(summary_same)),
+            ]);
+            if !identical || !summary_same {
+                report.fail(format!(
+                    "faults {label} threads={threads}: output or quarantine set diverges \
+                     from threads=1"
+                ));
+            }
+            // Every quarantined pair must trace back to the plan: the
+            // corpus itself is healthy, so an unplanned entry means the
+            // fault boundary leaked.
+            for e in stats.quarantine.entries() {
+                let site = match e.stage {
+                    QuarantineStage::Align => FaultSite::Align,
+                    QuarantineStage::Codegen => FaultSite::Codegen,
+                    QuarantineStage::Verify => FaultSite::Verify,
+                    QuarantineStage::Mismatch => {
+                        report.fail(format!(
+                            "faults {label}: unexpected mismatch quarantine for {},{}",
+                            e.f1, e.f2
+                        ));
+                        continue;
+                    }
+                };
+                if !faults.fires(site, &e.f1, &e.f2) {
+                    report.fail(format!(
+                        "faults {label}: pair {},{} quarantined at {} without a planned fault",
+                        e.f1, e.f2, e.stage
+                    ));
+                }
+            }
+            match label {
+                "injected" => {
+                    if p.quarantined() == 0 {
+                        report.fail(format!(
+                            "faults {label} threads={threads}: plan fired no quarantines — \
+                             the matrix is not exercising the boundaries"
+                        ));
+                    }
+                }
+                _ => {
+                    if p.quarantined() > 0 {
+                        report.fail(format!(
+                            "faults {label} threads={threads}: scratch poison must degrade, \
+                             not quarantine ({} quarantined)",
+                            p.quarantined()
+                        ));
+                    }
+                    if threads > 1 && p.poisoned_scratch == 0 {
+                        report.fail(format!(
+                            "faults {label} threads={threads}: poison plan never poisoned \
+                             a scratch body"
+                        ));
+                    }
+                    if text != clean_text {
+                        report.fail(format!(
+                            "faults {label} threads={threads}: degraded output differs from \
+                             the fault-free run"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "(injected faults quarantine deterministically on the commit path; spec-wave \
+         faults degrade to inline codegen with no quarantine)"
+    );
 }
 
 // ---------------------------------------------------------------- ablation

@@ -32,11 +32,24 @@
 use fmsa_core::baselines::{run_identical, run_soa};
 use fmsa_core::pass::{run_fmsa, FmsaOptions};
 use fmsa_core::pipeline::{run_fmsa_pipeline, PipelineOptions};
-use fmsa_core::SearchStrategy;
+use fmsa_core::quarantine::panic_message;
+use fmsa_core::{FaultPlan, SearchStrategy};
 use fmsa_ir::{parser, printer};
 use fmsa_target::{reduction_percent, CostModel, TargetArch};
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
+
+/// Prints the one-line structured failure contract — `stage=` plus, where
+/// known, `function=` — and returns the nonzero exit code. Scripts can
+/// parse this line without guessing at free-form prose.
+fn fail(stage: &str, function: Option<&str>, detail: &str) -> ExitCode {
+    match function {
+        Some(f) => eprintln!("fmsa_opt: error stage={stage} function={f}: {detail}"),
+        None => eprintln!("fmsa_opt: error stage={stage}: {detail}"),
+    }
+    ExitCode::FAILURE
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -126,10 +139,7 @@ fn main() -> ExitCode {
     };
     let bytes = match std::fs::read(&input) {
         Ok(b) => b,
-        Err(e) => {
-            eprintln!("fmsa_opt: cannot read {input}: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail("read", None, &format!("cannot read {input}: {e}")),
     };
     // Format auto-detection: wasm magic vs textual IR.
     let mut module = if fmsa_wasm::is_wasm(&bytes) {
@@ -139,44 +149,47 @@ fn main() -> ExitCode {
             .unwrap_or_else(|| "wasm".to_owned());
         match fmsa_wasm::load_wasm(&bytes, &stem) {
             Ok(m) => m,
-            Err(e) => {
-                eprintln!("fmsa_opt: {input}: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return fail("decode", None, &format!("{input}: {e}")),
         }
     } else {
         let text = match String::from_utf8(bytes) {
             Ok(t) => t,
             Err(_) => {
-                eprintln!(
-                    "fmsa_opt: {input}: not a wasm binary (no \\0asm magic) and not UTF-8 \
-                     textual IR"
-                );
-                return ExitCode::FAILURE;
+                return fail(
+                    "decode",
+                    None,
+                    &format!(
+                        "{input}: not a wasm binary (no \\0asm magic) and not UTF-8 textual IR"
+                    ),
+                )
             }
         };
         match parser::parse_module(&text) {
             Ok(m) => m,
-            Err(e) => {
-                eprintln!("fmsa_opt: {input}: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return fail("parse", None, &format!("{input}: {e}")),
         }
     };
     let errs = fmsa_ir::verify_module(&module);
     if !errs.is_empty() {
-        eprintln!("fmsa_opt: input module invalid: {}", errs[0]);
-        return ExitCode::FAILURE;
+        return fail("verify-input", Some(&errs[0].func), &errs[0].to_string());
+    }
+    if !matches!(technique.as_str(), "identical" | "soa" | "fmsa") {
+        eprintln!("fmsa_opt: unknown technique {technique:?}");
+        return ExitCode::from(2);
     }
     let cm = CostModel::new(arch);
     let before = cm.module_size(&module);
-    let merges = match technique.as_str() {
+    // The merge itself runs behind a panic boundary: a codegen bug (or an
+    // `FMSA_FAULTS` injection) must surface as the structured one-line
+    // error contract, not a raw backtrace with exit code 101.
+    let mut fmsa_stats: Option<fmsa_core::pass::FmsaStats> = None;
+    let ran = catch_unwind(AssertUnwindSafe(|| match technique.as_str() {
         "identical" => run_identical(&mut module, arch).merges,
         "soa" => {
             run_identical(&mut module, arch);
             run_soa(&mut module, arch).merges
         }
-        "fmsa" => {
+        _ => {
             run_identical(&mut module, arch);
             let mut opts = FmsaOptions::with_threshold(threshold);
             opts.oracle = oracle;
@@ -184,28 +197,35 @@ fn main() -> ExitCode {
             opts.canonicalize = canonicalize;
             opts.search = search;
             opts.exclude = exclude;
-            match threads {
+            let st = match threads {
                 Some(t) => {
                     let defaults = PipelineOptions::default();
                     let pipe = PipelineOptions {
                         threads: t,
                         spec_depth: spec_depth.unwrap_or(defaults.spec_depth),
                         batch: spec_batch.unwrap_or(defaults.batch),
+                        faults: FaultPlan::from_env().unwrap_or_default(),
                     };
-                    run_fmsa_pipeline(&mut module, &opts, &pipe).merges
+                    run_fmsa_pipeline(&mut module, &opts, &pipe)
                 }
-                None => run_fmsa(&mut module, &opts).merges,
-            }
+                None => run_fmsa(&mut module, &opts),
+            };
+            let merges = st.merges;
+            fmsa_stats = Some(st);
+            merges
         }
-        other => {
-            eprintln!("fmsa_opt: unknown technique {other:?}");
-            return ExitCode::from(2);
-        }
+    }));
+    let merges = match ran {
+        Ok(m) => m,
+        Err(payload) => return fail("merge", None, &panic_message(payload.as_ref())),
     };
     let errs = fmsa_ir::verify_module(&module);
     if !errs.is_empty() {
-        eprintln!("fmsa_opt: internal error — output module invalid: {}", errs[0]);
-        return ExitCode::FAILURE;
+        return fail(
+            "verify-output",
+            Some(&errs[0].func),
+            &format!("internal error — output module invalid: {}", errs[0]),
+        );
     }
     let after = cm.module_size(&module);
     if stats {
@@ -237,6 +257,30 @@ fn main() -> ExitCode {
             reduction_percent(before, after),
             arch.name()
         );
+        if let Some(st) = &fmsa_stats {
+            if let Some(p) = st
+                .pipeline
+                .as_ref()
+                .filter(|p| p.quarantined() > 0 || p.panics_caught > 0 || p.poisoned_scratch > 0)
+            {
+                eprintln!(
+                    "fmsa_opt: {technique}: quarantined={} (align={} codegen={} verify={}) \
+                     panics_caught={} poisoned_scratch={}",
+                    p.quarantined(),
+                    p.quarantined_align,
+                    p.quarantined_codegen,
+                    p.quarantined_verify,
+                    p.panics_caught,
+                    p.poisoned_scratch
+                );
+            }
+            for e in st.quarantine.entries() {
+                eprintln!(
+                    "fmsa_opt: quarantined stage={} pair={},{} seed={:#x}: {}",
+                    e.stage, e.f1, e.f2, e.seed, e.reason
+                );
+            }
+        }
     }
     let rendered = printer::print_module(&module);
     match output {

@@ -53,19 +53,23 @@
 pub mod baselines;
 pub mod callsites;
 pub mod equivalence;
+pub mod faults;
 pub mod fingerprint;
 pub mod linearize;
 pub mod merge;
 pub mod pass;
 pub mod pipeline;
 pub mod profitability;
+pub mod quarantine;
 pub mod ranking;
 pub mod search;
 pub mod thunks;
 
 pub use callsites::CallSiteIndex;
 pub use equivalence::EquivCtx;
+pub use faults::{silence_injected_panics, FaultPlan, FaultSite};
 pub use linearize::{linearize, Entry, LinearizationCache};
 pub use merge::{merge_pair, MergeConfig, MergeError, MergeInfo};
 pub use pipeline::{run_fmsa_pipeline, PipelineOptions};
+pub use quarantine::{QuarantineEntry, QuarantineLog, QuarantineStage};
 pub use search::{CandidateSearch, ExactSearch, LshConfig, LshSearch, SearchStrategy};

@@ -142,6 +142,26 @@ impl SpeculativeMerge {
     pub fn discard_into(self, module: &mut Module) {
         self.scratch.migrate_types_into(module);
     }
+
+    /// Whether the speculatively built body still verifies in its scratch
+    /// module. The commit stage checks this before trusting a body built
+    /// on another thread — a corrupted scratch build must degrade to
+    /// inline codegen, never reach the main module.
+    pub fn body_valid(&self) -> bool {
+        fmsa_ir::verify_function(&self.scratch.module, self.merged).is_empty()
+    }
+
+    /// Test-only sabotage: corrupts the scratch body (drops the entry
+    /// block's terminator) so [`SpeculativeMerge::body_valid`] fails.
+    /// Exercised by the fault-injection harness; not part of the API.
+    #[doc(hidden)]
+    pub fn poison_scratch(&mut self) {
+        let f = self.scratch.module.func_mut(self.merged);
+        let entry = f.entry();
+        if let Some(t) = f.terminator(entry) {
+            f.remove_inst(t);
+        }
+    }
 }
 
 /// Evaluates the Δ profitability of a speculative merge *before*

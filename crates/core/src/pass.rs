@@ -158,6 +158,10 @@ pub struct FmsaStats {
     pub thunks: usize,
     /// Pipeline-only telemetry; `None` for the sequential driver.
     pub pipeline: Option<crate::pipeline::PipelineStats>,
+    /// Pairs the pipeline quarantined instead of merging (caught panics,
+    /// verifier rejections). Always empty for the sequential driver,
+    /// which has no fault boundaries.
+    pub quarantine: crate::quarantine::QuarantineLog,
 }
 
 impl FmsaStats {

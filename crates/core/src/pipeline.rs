@@ -50,6 +50,7 @@
 
 use crate::callsites::CallSiteIndex;
 use crate::equivalence::EquivCtx;
+use crate::faults::{FaultPlan, FaultSite};
 use crate::fingerprint::Fingerprint;
 use crate::linearize::{Entry, LinearizationCache};
 use crate::merge::{
@@ -58,12 +59,14 @@ use crate::merge::{
 };
 use crate::pass::{run_fmsa, seed_pass, FmsaOptions, FmsaStats, SeededPass};
 use crate::profitability::{evaluate_indexed, optimistic_delta, ProfitReport};
+use crate::quarantine::{panic_message, QuarantineStage};
 use crate::ranking::Candidate;
 use crate::thunks::{commit_merge_partitioned, Disposition};
 use fmsa_align::{align_with_plan, Alignment};
 use fmsa_ir::{FuncId, Module};
 use fmsa_target::CostModel;
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Options of the pipeline driver, on top of [`FmsaOptions`].
@@ -88,11 +91,22 @@ pub struct PipelineOptions {
     /// first profitable one, so on merge-sparse workloads most prepared
     /// pairs really do reach codegen. No effect with one thread.
     pub spec_depth: usize,
+    /// Deterministic fault injection (testing and the `experiments
+    /// faults` harness). Disabled by default; when active, the plan
+    /// forces panics / verifier rejections / scratch corruption at its
+    /// enabled sites and the pipeline must quarantine or degrade — see
+    /// [`crate::faults`] and `docs/robustness.md`.
+    pub faults: FaultPlan,
 }
 
 impl Default for PipelineOptions {
     fn default() -> Self {
-        PipelineOptions { threads: 0, batch: 0, spec_depth: usize::MAX }
+        PipelineOptions {
+            threads: 0,
+            batch: 0,
+            spec_depth: usize::MAX,
+            faults: FaultPlan::disabled(),
+        }
     }
 }
 
@@ -177,6 +191,25 @@ pub struct PipelineStats {
     /// Estimated heap bytes the shared frozen prefixes avoided copying
     /// (see [`fmsa_ir::ScratchSetup::bytes_avoided`]).
     pub scratch_bytes_avoided: u64,
+    /// Pairs quarantined because sequence alignment panicked.
+    pub quarantined_align: usize,
+    /// Pairs quarantined because merge codegen panicked.
+    pub quarantined_codegen: usize,
+    /// Pairs quarantined because the verifier rejected the merged body.
+    pub quarantined_verify: usize,
+    /// Panics caught at any fault boundary (worker waves and the commit
+    /// stage). Unlike the quarantine counters this is thread-dependent:
+    /// a pair whose fault fires both in a prepare worker and in the
+    /// commit stage's inline retry is caught twice at `threads > 1` and
+    /// once at `threads == 1`.
+    pub panics_caught: usize,
+    /// Speculative bodies rejected by re-verification at commit (the
+    /// scratch build was corrupted or the transplant produced an invalid
+    /// body); the pipeline degraded to inline codegen, no quarantine.
+    pub poisoned_scratch: usize,
+    /// Differential mismatches attributed to this run by an external
+    /// driver (the fuzz farm); the pipeline itself never sets it.
+    pub mismatches: usize,
 }
 
 impl PipelineStats {
@@ -186,6 +219,11 @@ impl PipelineStats {
     pub fn spec_hit_rate(&self) -> Option<f64> {
         let total = self.spec_used + self.spec_fallback;
         (total > 0).then(|| self.spec_used as f64 / total as f64)
+    }
+
+    /// Total pairs quarantined, across all stages.
+    pub fn quarantined(&self) -> usize {
+        self.quarantined_align + self.quarantined_codegen + self.quarantined_verify
     }
 }
 
@@ -248,6 +286,7 @@ pub fn run_fmsa_pipeline(
         return run_fmsa(module, opts);
     }
     let threads = pipe.resolved_threads();
+    let faults = pipe.faults;
     let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool");
     let cm = CostModel::new(opts.arch);
     let mut stats = FmsaStats { size_before: cm.module_size(module), ..FmsaStats::default() };
@@ -342,19 +381,36 @@ pub fn run_fmsa_pipeline(
             let t0 = Instant::now();
             let frozen: &Module = module;
             let cache: &LinearizationCache = &lin_cache;
+            // Fault boundary: a panicking align worker must not take the
+            // scope down (the stand-in pool rethrows at join). A panicked
+            // pair simply stays out of `prepared`; the commit stage's
+            // inline retry is the authoritative attempt, so the
+            // quarantine decision is made there, identically at every
+            // thread count.
             let results = pool.par_map(&jobs, |_, &(f1, f2)| {
-                let seq1 = cache.cached(f1).expect("pre-filled");
-                let seq2 = cache.cached(f2).expect("pre-filled");
-                let alignment = align_budgeted(frozen, f1, f2, &seq1, &seq2, opts);
-                let promising = alignment
-                    .as_ref()
-                    .is_some_and(|al| optimistic_delta(frozen, &cm, f1, f2, &seq1, &seq2, al) > 0);
-                (alignment, promising)
+                catch_unwind(AssertUnwindSafe(|| {
+                    let seq1 = cache.cached(f1).expect("pre-filled");
+                    let seq2 = cache.cached(f2).expect("pre-filled");
+                    let (n1, n2) = (&frozen.func(f1).name, &frozen.func(f2).name);
+                    if faults.fires(FaultSite::Align, n1, n2) {
+                        panic!("injected fault: align {n1} {n2}");
+                    }
+                    let alignment = align_budgeted(frozen, f1, f2, &seq1, &seq2, opts);
+                    let promising = alignment.as_ref().is_some_and(|al| {
+                        optimistic_delta(frozen, &cm, f1, f2, &seq1, &seq2, al) > 0
+                    });
+                    (alignment, promising)
+                }))
+                .ok()
             });
             stats.timers.alignment += t0.elapsed();
             pstats.prepare += t0.elapsed();
-            pstats.prepared += jobs.len();
-            for ((f1, f2), (alignment, promising)) in jobs.into_iter().zip(results) {
+            for ((f1, f2), result) in jobs.into_iter().zip(results) {
+                let Some((alignment, promising)) = result else {
+                    pstats.panics_caught += 1;
+                    continue;
+                };
+                pstats.prepared += 1;
                 let gens_pair = (gen_of(&gens, f1), gen_of(&gens, f2));
                 prepared.insert(
                     (f1, f2),
@@ -389,19 +445,45 @@ pub fn run_fmsa_pipeline(
                 let frozen: &Module = module;
                 let cache: &LinearizationCache = &lin_cache;
                 let snapshot: &HashMap<(FuncId, FuncId), Prepared> = &prepared;
+                // Fault boundary: speculative work is redundant by
+                // construction (commit can always regenerate inline), so
+                // a panicked or poisoned build degrades to `None` — the
+                // fallback path — and never decides a quarantine.
                 let bodies = pool.par_map(&spec_jobs, |_, &(f1, f2)| {
-                    let seq1 = cache.cached(f1).expect("pre-filled");
-                    let seq2 = cache.cached(f2).expect("pre-filled");
-                    let alignment = snapshot[&(f1, f2)]
-                        .alignment
-                        .clone()
-                        .expect("speculation only targets aligned pairs");
-                    speculate_merge(frozen, f1, f2, &seq1, &seq2, alignment, &opts.merge).ok()
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let seq1 = cache.cached(f1).expect("pre-filled");
+                        let seq2 = cache.cached(f2).expect("pre-filled");
+                        let (n1, n2) = (&frozen.func(f1).name, &frozen.func(f2).name);
+                        if faults.fires(FaultSite::Codegen, n1, n2) {
+                            panic!("injected fault: codegen {n1} {n2}");
+                        }
+                        let alignment = snapshot[&(f1, f2)]
+                            .alignment
+                            .clone()
+                            .expect("speculation only targets aligned pairs");
+                        let mut body =
+                            speculate_merge(frozen, f1, f2, &seq1, &seq2, alignment, &opts.merge)
+                                .ok();
+                        if let Some(b) = body.as_mut() {
+                            if faults.fires(FaultSite::ScratchPoison, n1, n2) {
+                                b.poison_scratch();
+                            }
+                        }
+                        body
+                    }))
+                    .ok()
                 });
                 stats.timers.codegen += t0.elapsed();
                 pstats.prepare += t0.elapsed();
                 pstats.spec_codegen += t0.elapsed();
                 for (key, body) in spec_jobs.into_iter().zip(bodies) {
+                    let body = match body {
+                        Some(b) => b,
+                        None => {
+                            pstats.panics_caught += 1;
+                            None
+                        }
+                    };
                     if let Some(b) = &body {
                         pstats.spec_built += 1;
                         let setup = b.scratch_setup();
@@ -453,6 +535,10 @@ pub fn run_fmsa_pipeline(
                 let seq2 = lin_cache.get(module, cand.func);
                 stats.timers.linearization += t0.elapsed();
                 let gens_now = (gen_of(&gens, f1), gen_of(&gens, cand.func));
+                // Names key the fault plan and the quarantine log: they
+                // are stable across thread counts, unlike ids-at-commit.
+                let n1 = module.func(f1).name.clone();
+                let n2 = module.func(cand.func).name.clone();
                 let mut spec_body: Option<SpeculativeMerge> = None;
                 let (alignment, promising) = match prepared.get_mut(&(f1, cand.func)) {
                     Some(p) if p.gens == gens_now && p.epoch == epoch => {
@@ -474,12 +560,38 @@ pub fn run_fmsa_pipeline(
                             pstats.spec_fallback += p.spec.take().is_some() as usize;
                         }
                         let t0 = Instant::now();
-                        let al = align_budgeted(module, f1, cand.func, &seq1, &seq2, opts);
+                        // Fault boundary: this inline recompute is the
+                        // authoritative alignment (it also runs for pairs
+                        // whose prepare worker panicked), so a panic here
+                        // quarantines the pair — deterministically, since
+                        // nothing on this path depends on thread count.
+                        let recomputed = catch_unwind(AssertUnwindSafe(|| {
+                            if faults.fires(FaultSite::Align, &n1, &n2) {
+                                panic!("injected fault: align {n1} {n2}");
+                            }
+                            let al = align_budgeted(module, f1, cand.func, &seq1, &seq2, opts);
+                            let promising = al.as_ref().is_some_and(|al| {
+                                optimistic_delta(module, &cm, f1, cand.func, &seq1, &seq2, al) > 0
+                            });
+                            (al, promising)
+                        }));
                         stats.timers.alignment += t0.elapsed();
-                        let promising = al.as_ref().is_some_and(|al| {
-                            optimistic_delta(module, &cm, f1, cand.func, &seq1, &seq2, al) > 0
-                        });
-                        (al, promising)
+                        match recomputed {
+                            Ok(r) => r,
+                            Err(payload) => {
+                                pstats.panics_caught += 1;
+                                if stats.quarantine.push(
+                                    QuarantineStage::Align,
+                                    &n1,
+                                    &n2,
+                                    panic_message(payload.as_ref()),
+                                    faults.seed,
+                                ) {
+                                    pstats.quarantined_align += 1;
+                                }
+                                continue;
+                            }
+                        }
                     }
                 };
                 let Some(alignment) = alignment else {
@@ -494,10 +606,33 @@ pub fn run_fmsa_pipeline(
                     continue;
                 }
                 let t0 = Instant::now();
+                // An injected verifier fault must produce the same
+                // quarantine at every thread count, so it is decided on
+                // the inline path below (the only path all thread counts
+                // share); a pending speculative body is discarded first.
+                let verify_inject = faults.fires(FaultSite::Verify, &n1, &n2);
+                if verify_inject {
+                    if let Some(spec) = spec_body.take() {
+                        spec.discard_into(module);
+                        pstats.spec_fallback += 1;
+                    }
+                }
+                // A speculative body built on another thread is only
+                // trusted after re-verifying it in its scratch module —
+                // a corrupted build must degrade to inline codegen (the
+                // sequential result), never reach the main module.
+                if spec_body.as_ref().is_some_and(|spec| !spec.body_valid()) {
+                    if let Some(spec) = spec_body.take() {
+                        spec.discard_into(module);
+                    }
+                    pstats.poisoned_scratch += 1;
+                    pstats.spec_fallback += 1;
+                }
                 // `outcome`: a merged function present in the module plus
                 // its profitability, or `None` when the attempt is over
-                // (codegen failure, or a speculative body that evaluated
-                // unprofitable and was discarded without a transplant).
+                // (codegen failure, a quarantined pair, or a speculative
+                // body that evaluated unprofitable and was discarded
+                // without a transplant).
                 let outcome: Option<(MergeInfo, ProfitReport)> = 'attempt: {
                     if let Some(spec) = spec_body {
                         // Profitability is decided on the scratch body;
@@ -515,17 +650,19 @@ pub fn run_fmsa_pipeline(
                         match commit_speculative(module, spec, &opts.merge) {
                             Ok(info) => {
                                 pstats.transplant += t_tr.elapsed();
-                                pstats.spec_used += 1;
-                                pstats.spec_committed += 1;
-                                if cfg!(debug_assertions) {
-                                    let errs = fmsa_ir::verify_function(module, info.merged);
-                                    assert!(
-                                        errs.is_empty(),
-                                        "transplanted merge invalid: {}",
-                                        errs[0]
-                                    );
+                                let errs = fmsa_ir::verify_function(module, info.merged);
+                                if errs.is_empty() {
+                                    pstats.spec_used += 1;
+                                    pstats.spec_committed += 1;
+                                    break 'attempt Some((info, report));
                                 }
-                                break 'attempt Some((info, report));
+                                // Invalid transplant: the sequential
+                                // driver would have built this body inline
+                                // successfully, so degrade (no quarantine)
+                                // and regenerate below.
+                                module.remove_function(info.merged);
+                                pstats.poisoned_scratch += 1;
+                                pstats.spec_fallback += 1;
                             }
                             Err(_) => {
                                 // Unresolvable cross-module reference:
@@ -534,21 +671,75 @@ pub fn run_fmsa_pipeline(
                             }
                         }
                     }
-                    match merge_pair_aligned(
-                        module,
-                        f1,
-                        cand.func,
-                        seq1.to_vec(),
-                        seq2.to_vec(),
-                        alignment,
-                        &opts.merge,
-                    ) {
-                        Ok(info) => {
-                            let report = evaluate_indexed(module, &cm, &info, &call_sites);
-                            Some((info, report))
+                    // Authoritative inline codegen, behind a fault
+                    // boundary: this path runs identically at every
+                    // thread count, so its panics (and verifier
+                    // rejections of its output) decide quarantine.
+                    let arena_mark = module.func_arena_len();
+                    let built = catch_unwind(AssertUnwindSafe(|| {
+                        if faults.fires(FaultSite::Codegen, &n1, &n2) {
+                            panic!("injected fault: codegen {n1} {n2}");
                         }
-                        Err(_) => None,
+                        merge_pair_aligned(
+                            module,
+                            f1,
+                            cand.func,
+                            seq1.to_vec(),
+                            seq2.to_vec(),
+                            alignment,
+                            &opts.merge,
+                        )
+                    }));
+                    let info = match built {
+                        Ok(Ok(info)) => info,
+                        Ok(Err(_)) => break 'attempt None,
+                        Err(payload) => {
+                            // A panic mid-codegen can leave partially
+                            // built functions behind; sweep everything
+                            // created since the snapshot.
+                            for idx in arena_mark..module.func_arena_len() {
+                                let id = FuncId::from_index(idx);
+                                if module.is_live(id) {
+                                    module.remove_function(id);
+                                }
+                            }
+                            pstats.panics_caught += 1;
+                            if stats.quarantine.push(
+                                QuarantineStage::Codegen,
+                                &n1,
+                                &n2,
+                                panic_message(payload.as_ref()),
+                                faults.seed,
+                            ) {
+                                pstats.quarantined_codegen += 1;
+                            }
+                            break 'attempt None;
+                        }
+                    };
+                    // Never commit an unverified merged body: a rejection
+                    // here is a real bug in codegen (or an injected
+                    // verifier fault), so the pair is quarantined.
+                    let errs = fmsa_ir::verify_function(module, info.merged);
+                    if verify_inject || !errs.is_empty() {
+                        let reason = if verify_inject {
+                            format!("injected fault: verify {n1} {n2}")
+                        } else {
+                            errs[0].to_string()
+                        };
+                        module.remove_function(info.merged);
+                        if stats.quarantine.push(
+                            QuarantineStage::Verify,
+                            &n1,
+                            &n2,
+                            reason,
+                            faults.seed,
+                        ) {
+                            pstats.quarantined_verify += 1;
+                        }
+                        break 'attempt None;
                     }
+                    let report = evaluate_indexed(module, &cm, &info, &call_sites);
+                    Some((info, report))
                 };
                 stats.timers.codegen += t0.elapsed();
                 pstats.commit_codegen += t0.elapsed();
@@ -825,6 +1016,66 @@ mod tests {
         let p = PipelineStats { spec_used: 3, spec_fallback: 1, ..PipelineStats::default() };
         assert_eq!(p.spec_hit_rate(), Some(0.75));
         assert_eq!(PipelineStats::default().spec_hit_rate(), None);
+    }
+
+    #[test]
+    fn injected_faults_quarantine_deterministically() {
+        use crate::faults::{FaultPlan, FaultSite};
+        crate::faults::silence_injected_panics();
+        // High rate so the small family reliably faults somewhere.
+        let plan = FaultPlan::new(0xFA17, 400_000, &FaultSite::ALL);
+        let mut baseline = None;
+        for threads in [1usize, 2, 4] {
+            let mut m = Module::new("m");
+            clone_family(&mut m, 6, 12);
+            let stats = run_fmsa_pipeline(
+                &mut m,
+                &FmsaOptions::with_threshold(5),
+                &PipelineOptions { threads, faults: plan, ..PipelineOptions::default() },
+            );
+            assert!(fmsa_ir::verify_module(&m).is_empty(), "faulted run stays valid");
+            let p = stats.pipeline.expect("pipeline stats");
+            assert_eq!(
+                p.quarantined_align + p.quarantined_codegen + p.quarantined_verify,
+                p.quarantined()
+            );
+            assert_eq!(stats.quarantine.len(), p.quarantined(), "log and counters agree");
+            let snapshot = (print_module(&m), stats.quarantine.summary(), stats.merges);
+            match &baseline {
+                None => baseline = Some(snapshot),
+                Some(b) => assert_eq!(b, &snapshot, "thread count {threads} diverged"),
+            }
+        }
+        let (_, summary, _) = baseline.expect("ran");
+        assert!(!summary.is_empty(), "this plan must quarantine something");
+    }
+
+    #[test]
+    fn scratch_poison_degrades_without_quarantine() {
+        use crate::faults::{FaultPlan, FaultSite};
+        // Poison every scratch body: the pipeline must fall back to
+        // inline codegen everywhere and still produce the clean output.
+        let plan = FaultPlan::new(3, 1_000_000, &[FaultSite::ScratchPoison]);
+        let mut clean = Module::new("m");
+        clone_family(&mut clean, 6, 12);
+        run_fmsa_pipeline(
+            &mut clean,
+            &FmsaOptions::with_threshold(5),
+            &PipelineOptions::with_threads(4),
+        );
+        let mut m = Module::new("m");
+        clone_family(&mut m, 6, 12);
+        let stats = run_fmsa_pipeline(
+            &mut m,
+            &FmsaOptions::with_threshold(5),
+            &PipelineOptions { threads: 4, faults: plan, ..PipelineOptions::default() },
+        );
+        let p = stats.pipeline.expect("pipeline stats");
+        assert!(p.poisoned_scratch > 0, "poison must be detected: {p:?}");
+        assert_eq!(p.quarantined(), 0, "degradation, not quarantine: {p:?}");
+        assert!(stats.quarantine.is_empty());
+        assert!(stats.merges > 0, "merges still happen via the inline path");
+        assert_eq!(print_module(&clean), print_module(&m), "output unchanged by poison");
     }
 
     #[test]

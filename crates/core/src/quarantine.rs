@@ -1,0 +1,212 @@
+//! Quarantine bookkeeping for the fault-isolated merge pipeline.
+//!
+//! When the authoritative merge path for a candidate pair fails — a
+//! caught panic during alignment or codegen, or a verifier rejection of
+//! the merged body — the pipeline does not abort the run. It records the
+//! pair here with the failing stage and the active fault seed, skips
+//! that merge, and continues the generation. The log is part of
+//! [`FmsaStats`](crate::pass::FmsaStats), so callers (and `--json`
+//! reports) can see exactly which pairs were sacrificed and replay each
+//! one from its recorded seed (see `docs/robustness.md`).
+//!
+//! Entries are keyed by the *names* of the two functions, not their ids:
+//! names are stable across thread counts and runs, which is what makes
+//! `summary()` comparable between a 1-thread and an 8-thread run.
+
+use std::fmt::Write as _;
+
+/// The pipeline stage at which a pair was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QuarantineStage {
+    /// Sequence alignment panicked.
+    Align,
+    /// Merged-body code generation panicked.
+    Codegen,
+    /// The verifier rejected the merged body.
+    Verify,
+    /// A differential check found the merged body semantically diverging
+    /// from the originals (reported by external drivers, e.g. the fuzz
+    /// farm — the pipeline itself does not run the interpreter).
+    Mismatch,
+}
+
+impl QuarantineStage {
+    /// Stable lower-case name used in summaries and JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            QuarantineStage::Align => "align",
+            QuarantineStage::Codegen => "codegen",
+            QuarantineStage::Verify => "verify",
+            QuarantineStage::Mismatch => "mismatch",
+        }
+    }
+}
+
+impl std::fmt::Display for QuarantineStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One quarantined pair: which stage failed, for which functions, and
+/// enough context to reproduce it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// The stage that failed.
+    pub stage: QuarantineStage,
+    /// Name of the first function of the pair.
+    pub f1: String,
+    /// Name of the second function of the pair.
+    pub f2: String,
+    /// Human-readable failure description (panic message, first verifier
+    /// error, or mismatch detail).
+    pub reason: String,
+    /// Reproducer seed: the fault-plan seed active when the failure was
+    /// recorded (0 when no plan was active — a genuine bug, reproducible
+    /// from the input module alone).
+    pub seed: u64,
+}
+
+/// An append-only record of quarantined pairs.
+///
+/// `push` deduplicates on `(stage, pair)` — the greedy driver may retry
+/// a candidate pair across generations, and one quarantined pair is one
+/// incident regardless of how many times it resurfaces.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineLog {
+    entries: Vec<QuarantineEntry>,
+}
+
+impl QuarantineLog {
+    /// An empty log.
+    pub fn new() -> QuarantineLog {
+        QuarantineLog::default()
+    }
+
+    /// Records a quarantined pair unless the same `(stage, pair)` is
+    /// already present, returning whether a new entry was added. The
+    /// pair is order-normalized, so `(a, b)` and `(b, a)` are the same
+    /// incident — the greedy driver revisits candidate pairs across
+    /// generations, and per-stage counters must count incidents, not
+    /// revisits.
+    pub fn push(
+        &mut self,
+        stage: QuarantineStage,
+        f1: &str,
+        f2: &str,
+        reason: String,
+        seed: u64,
+    ) -> bool {
+        let (a, b) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        if self.entries.iter().any(|e| e.stage == stage && e.f1 == a && e.f2 == b) {
+            return false;
+        }
+        self.entries.push(QuarantineEntry {
+            stage,
+            f1: a.to_owned(),
+            f2: b.to_owned(),
+            reason,
+            seed,
+        });
+        true
+    }
+
+    /// Number of quarantined pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded entries, in insertion order.
+    pub fn entries(&self) -> &[QuarantineEntry] {
+        &self.entries
+    }
+
+    /// Absorbs another log (e.g. from a later pipeline invocation on the
+    /// same module), keeping the dedup invariant.
+    pub fn merge(&mut self, other: &QuarantineLog) {
+        for e in &other.entries {
+            self.push(e.stage, &e.f1, &e.f2, e.reason.clone(), e.seed);
+        }
+    }
+
+    /// A stable, sorted, one-line-per-entry rendering (`stage f1 f2`
+    /// per line). Two runs quarantined the same pairs at the same stages
+    /// iff their summaries are string-equal — the cross-thread-count
+    /// determinism check used by tests and `experiments faults`.
+    pub fn summary(&self) -> String {
+        let mut lines: Vec<String> =
+            self.entries.iter().map(|e| format!("{} {} {}", e.stage, e.f1, e.f2)).collect();
+        lines.sort();
+        let mut out = String::new();
+        for line in lines {
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+}
+
+/// Best-effort text of a caught panic payload (`&str` and `String`
+/// payloads; anything else becomes a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_dedups_and_normalizes_pair_order() {
+        let mut log = QuarantineLog::new();
+        log.push(QuarantineStage::Align, "b", "a", "boom".into(), 7);
+        log.push(QuarantineStage::Align, "a", "b", "boom again".into(), 7);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.entries()[0].f1, "a");
+        assert_eq!(log.entries()[0].f2, "b");
+        // A different stage for the same pair is a distinct incident.
+        log.push(QuarantineStage::Verify, "a", "b", "invalid".into(), 7);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn summary_is_order_independent() {
+        let mut x = QuarantineLog::new();
+        x.push(QuarantineStage::Align, "f1", "f2", "p".into(), 1);
+        x.push(QuarantineStage::Verify, "g1", "g2", "q".into(), 1);
+        let mut y = QuarantineLog::new();
+        y.push(QuarantineStage::Verify, "g2", "g1", "other text".into(), 2);
+        y.push(QuarantineStage::Align, "f1", "f2", "p".into(), 1);
+        assert_eq!(x.summary(), y.summary());
+        assert!(x.summary().contains("align f1 f2"));
+    }
+
+    #[test]
+    fn merge_keeps_dedup() {
+        let mut x = QuarantineLog::new();
+        x.push(QuarantineStage::Codegen, "a", "b", "p".into(), 1);
+        let mut y = QuarantineLog::new();
+        y.push(QuarantineStage::Codegen, "b", "a", "p".into(), 1);
+        y.push(QuarantineStage::Mismatch, "c", "d", "m".into(), 1);
+        x.merge(&y);
+        assert_eq!(x.len(), 2);
+    }
+
+    #[test]
+    fn panic_message_extracts_strings() {
+        let caught = std::panic::catch_unwind(|| panic!("literal {}", 42)).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "literal 42");
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(17usize)).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "panic with non-string payload");
+    }
+}

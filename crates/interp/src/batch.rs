@@ -1,0 +1,335 @@
+//! Batched differential execution — the fuzz farm's engine.
+//!
+//! Runs thousands of pre/post-merge input pairs across the worker pool:
+//! each job draws a coverage-seeded argument vector (see
+//! [`crate::corpus`]), executes the same exported function in the
+//! original and the merged module under a fuel limit, and compares the
+//! canonicalized outcomes — return value bits, `print_*` output, and
+//! trap kind alike. Any divergence is a [`Mismatch`] carrying the input
+//! seed that reproduces it; any interpreter panic is caught at the job
+//! boundary and counted instead of killing the batch.
+//!
+//! Modules whose functions thread a linear-memory base pointer (lowered
+//! wasm) are driven through [`add_memory_driver`] wrappers appended to
+//! *both* modules: the driver allocates the 64 KiB buffer before
+//! anything else, so even out-of-bounds trap addresses match between the
+//! pre- and post-merge runs.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use fmsa_ir::{FuncBuilder, Linkage, Module, TyId, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::corpus::{harvest_seeds, seeded_args};
+use crate::{Interpreter, RunResult, Trap, Val};
+
+/// One function compared by the batch: what to call and how to
+/// synthesize its inputs.
+#[derive(Debug, Clone)]
+pub struct BatchTarget {
+    /// Function name invoked in both modules (the original export, or
+    /// its memory driver).
+    pub call: String,
+    /// Type of the original exported function — drives argument
+    /// synthesis.
+    pub fn_ty: TyId,
+    /// Whether the first parameter is the threaded memory base, supplied
+    /// by the driver rather than synthesized.
+    pub skip_mem: bool,
+}
+
+/// Configuration of one differential batch.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Worker threads (`1` runs inline).
+    pub threads: usize,
+    /// Master seed; every job's input seed derives from it, so a batch
+    /// is reproducible end to end.
+    pub seed: u64,
+    /// Input vectors per target.
+    pub per_target: usize,
+    /// Fuel limit per interpreter run (both sides get the same limit, so
+    /// an out-of-fuel trap can never diverge).
+    pub fuel: u64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig { threads: 1, seed: 0, per_target: 16, fuel: 2_000_000 }
+    }
+}
+
+/// A semantic divergence between the pre- and post-merge module.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// The diverging target (driver name when memory is threaded).
+    pub function: String,
+    /// Input seed that reproduces the divergence: re-synthesize the
+    /// arguments with `StdRng::seed_from_u64(seed)` via
+    /// [`crate::corpus::seeded_args`].
+    pub seed: u64,
+    /// Canonicalized pre-merge outcome.
+    pub pre: String,
+    /// Canonicalized post-merge outcome.
+    pub post: String,
+}
+
+/// Aggregate result of one batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// Input pairs executed (each ran once on both modules).
+    pub pairs_run: usize,
+    /// Semantic divergences found.
+    pub mismatches: Vec<Mismatch>,
+    /// Jobs whose execution panicked (caught at the job boundary).
+    pub panics_caught: usize,
+    /// Distinct `(function, block)` pairs executed in the post-merge
+    /// module — the batch's path-coverage measure.
+    pub paths_covered: usize,
+}
+
+/// Comparable form of an interpreter outcome: traps by rendered kind and
+/// payload, integers by bit pattern, floats by `to_bits` (so `NaN ==
+/// NaN` holds where the bits match).
+pub fn canon_outcome(r: &Result<RunResult, Trap>) -> String {
+    match r {
+        Err(t) => format!("trap: {t}"),
+        Ok(out) => {
+            let v = match &out.value {
+                None => "void".to_owned(),
+                Some(Val::Int { bits, width }) => format!("i{width}:{bits:#x}"),
+                Some(Val::F32(x)) => format!("f32:{:#x}", x.to_bits()),
+                Some(Val::F64(x)) => format!("f64:{:#x}", x.to_bits()),
+                Some(other) => format!("{other:?}"),
+            };
+            format!("{v} out={:?}", out.output)
+        }
+    }
+}
+
+/// Appends a driver that materializes the 64 KiB linear memory on the
+/// interpreter stack and forwards to `callee` — the host-instantiation
+/// step for lowered modules whose functions take the threaded `i8* %mem`.
+/// The buffer is the driver's *first* allocation, so its base address is
+/// identical in the pre- and post-merge modules and out-of-bounds trap
+/// addresses stay comparable.
+pub fn add_memory_driver(m: &mut Module, callee: &str) -> String {
+    let callee_id = m.func_by_name(callee).expect("callee exists");
+    let callee_ty = m.func(callee_id).fn_ty();
+    let ret = m.types.fn_ret(callee_ty).expect("fn ty");
+    let params: Vec<_> = m.types.fn_params(callee_ty).expect("fn ty")[1..].to_vec();
+    let n_args = params.len();
+    let driver_ty = m.types.func(ret, params);
+    let name = format!("__drive_{callee}");
+    let f = m.create_function(name.clone(), driver_ty);
+    let mut b = FuncBuilder::new(m, f);
+    let entry = b.block("entry");
+    b.switch_to(entry);
+    let i8t = b.module().types.i8();
+    let buf_ty = b.module_mut().types.array(i8t, 65536);
+    let buf = b.alloca(buf_ty);
+    let zero = b.const_i64(0);
+    let mem = b.gep(buf_ty, buf, vec![zero, zero], i8t);
+    let mut args = vec![mem];
+    args.extend((0..n_args).map(|k| Value::Param(k as u32)));
+    let r = b.call(callee_id, args);
+    if b.module().types.fn_ret(callee_ty) == Some(b.module().types.void()) {
+        b.ret(None);
+    } else {
+        b.ret(Some(r));
+    }
+    name
+}
+
+/// Builds the target list for a pre/post module pair: every exported
+/// (external, defined) function of `pre` that survives in `post` under
+/// its name, wrapped in memory drivers on both sides when `with_memory`.
+pub fn wire_targets(pre: &mut Module, post: &mut Module, with_memory: bool) -> Vec<BatchTarget> {
+    let exported: Vec<String> = pre
+        .func_ids()
+        .into_iter()
+        .filter(|&f| pre.func(f).linkage == Linkage::External && !pre.func(f).is_declaration())
+        .map(|f| pre.func(f).name.clone())
+        .collect();
+    let mut targets = Vec::new();
+    for name in exported {
+        let Some(post_id) = post.func_by_name(&name) else { continue };
+        let fn_ty = post.func(post_id).fn_ty();
+        let call = if with_memory {
+            let a = add_memory_driver(pre, &name);
+            let b = add_memory_driver(post, &name);
+            debug_assert_eq!(a, b);
+            a
+        } else {
+            name
+        };
+        targets.push(BatchTarget { call, fn_ty, skip_mem: with_memory });
+    }
+    targets
+}
+
+/// SplitMix64 step — derives per-job input seeds from the master seed.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs `cfg.per_target` differential input pairs for every target
+/// across the worker pool. Inputs are seeded from the post-merge
+/// module's harvested branch constants; outcomes are compared via
+/// [`canon_outcome`]; panics are caught per job.
+pub fn run_differential_batch(
+    pre: &Module,
+    post: &Module,
+    targets: &[BatchTarget],
+    cfg: &BatchConfig,
+) -> BatchOutcome {
+    let seeds = harvest_seeds(post);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(cfg.threads.max(1))
+        .build()
+        .expect("thread pool");
+    let mut jobs: Vec<(usize, u64)> = Vec::with_capacity(targets.len() * cfg.per_target);
+    for (ti, _) in targets.iter().enumerate() {
+        for k in 0..cfg.per_target {
+            jobs.push((ti, splitmix(cfg.seed ^ ((ti as u64) << 32) ^ k as u64)));
+        }
+    }
+    // One job = one input vector run on both modules; the panic boundary
+    // keeps a crashing run from taking down the batch (the pool rethrows
+    // worker panics at join).
+    let results = pool.par_map(&jobs, |_, &(ti, input_seed)| {
+        catch_unwind(AssertUnwindSafe(|| {
+            let target = &targets[ti];
+            let mut rng = StdRng::seed_from_u64(input_seed);
+            let args = seeded_args(&mut rng, post, target.fn_ty, &seeds, target.skip_mem);
+            let mut pre_interp = Interpreter::new(pre);
+            pre_interp.set_fuel(cfg.fuel);
+            let r_pre = canon_outcome(&pre_interp.run(&target.call, args.clone()));
+            let mut post_interp = Interpreter::new(post);
+            post_interp.set_fuel(cfg.fuel);
+            let r_post = canon_outcome(&post_interp.run(&target.call, args));
+            let covered: Vec<(String, usize)> =
+                post_interp.profile().covered_blocks().map(|(f, b)| (f.to_owned(), b)).collect();
+            (r_pre, r_post, covered)
+        }))
+        .ok()
+    });
+    let mut outcome = BatchOutcome::default();
+    let mut paths: HashSet<(String, usize)> = HashSet::new();
+    for ((ti, input_seed), result) in jobs.into_iter().zip(results) {
+        let Some((pre_out, post_out, covered)) = result else {
+            outcome.panics_caught += 1;
+            continue;
+        };
+        outcome.pairs_run += 1;
+        paths.extend(covered);
+        if pre_out != post_out {
+            outcome.mismatches.push(Mismatch {
+                function: targets[ti].call.clone(),
+                seed: input_seed,
+                pre: pre_out,
+                post: post_out,
+            });
+        }
+    }
+    outcome.paths_covered = paths.len();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two modules that agree everywhere except `diverge(3)`.
+    fn pair_with_planted_bug() -> (Module, Module) {
+        let build = |bug: bool| {
+            let mut m = Module::new("m");
+            let i32t = m.types.i32();
+            let fn_ty = m.types.func(i32t, vec![i32t]);
+            let f = m.create_function("diverge", fn_ty);
+            m.func_mut(f).linkage = Linkage::External;
+            let mut b = FuncBuilder::new(&mut m, f);
+            let entry = b.block("entry");
+            let hit = b.block("hit");
+            let miss = b.block("miss");
+            b.switch_to(entry);
+            let three = b.const_i32(3);
+            let cmp = b.icmp(fmsa_ir::IntPredicate::Eq, Value::Param(0), three);
+            b.condbr(cmp, hit, miss);
+            b.switch_to(hit);
+            let r = b.const_i32(if bug { 999 } else { 100 });
+            b.ret(Some(r));
+            b.switch_to(miss);
+            b.ret(Some(Value::Param(0)));
+            m
+        };
+        (build(false), build(true))
+    }
+
+    #[test]
+    fn corpus_seeding_finds_the_planted_divergence() {
+        let (mut pre, mut post) = pair_with_planted_bug();
+        let targets = wire_targets(&mut pre, &mut post, false);
+        assert_eq!(targets.len(), 1);
+        // Uniform random i32 inputs would hit x == 3 once per 4 billion
+        // draws; the harvested corpus finds it in a small batch.
+        let cfg = BatchConfig { threads: 2, seed: 9, per_target: 256, ..BatchConfig::default() };
+        let out = run_differential_batch(&pre, &post, &targets, &cfg);
+        assert_eq!(out.pairs_run, 256);
+        assert_eq!(out.panics_caught, 0);
+        assert!(!out.mismatches.is_empty(), "seeded corpus must hit x == 3");
+        let m = &out.mismatches[0];
+        assert_eq!(m.function, "diverge");
+        assert_ne!(m.pre, m.post);
+        assert!(out.paths_covered >= 2, "both arms covered: {}", out.paths_covered);
+    }
+
+    #[test]
+    fn mismatch_seed_replays() {
+        let (mut pre, mut post) = pair_with_planted_bug();
+        let targets = wire_targets(&mut pre, &mut post, false);
+        let cfg = BatchConfig { threads: 1, seed: 9, per_target: 256, ..BatchConfig::default() };
+        let out = run_differential_batch(&pre, &post, &targets, &cfg);
+        let m = out.mismatches.first().expect("planted bug found");
+        // Replay: the recorded seed re-synthesizes the diverging input.
+        let seeds = harvest_seeds(&post);
+        let mut rng = StdRng::seed_from_u64(m.seed);
+        let args = seeded_args(&mut rng, &post, targets[0].fn_ty, &seeds, false);
+        let r_pre = canon_outcome(&Interpreter::new(&pre).run(&m.function, args.clone()));
+        let r_post = canon_outcome(&Interpreter::new(&post).run(&m.function, args));
+        assert_eq!(r_pre, m.pre);
+        assert_eq!(r_post, m.post);
+        assert_ne!(r_pre, r_post);
+    }
+
+    #[test]
+    fn batch_is_deterministic_across_thread_counts() {
+        let (mut pre, mut post) = pair_with_planted_bug();
+        let targets = wire_targets(&mut pre, &mut post, false);
+        let run = |threads| {
+            let cfg = BatchConfig { threads, seed: 5, per_target: 48, ..BatchConfig::default() };
+            let out = run_differential_batch(&pre, &post, &targets, &cfg);
+            let mut seeds: Vec<u64> = out.mismatches.iter().map(|m| m.seed).collect();
+            seeds.sort_unstable();
+            (out.pairs_run, out.paths_covered, seeds)
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn identical_modules_never_mismatch() {
+        let (mut pre, _) = pair_with_planted_bug();
+        let mut post = pre.clone();
+        let targets = wire_targets(&mut pre, &mut post, false);
+        let cfg = BatchConfig { threads: 2, seed: 1, per_target: 32, ..BatchConfig::default() };
+        let out = run_differential_batch(&pre, &post, &targets, &cfg);
+        assert_eq!(out.pairs_run, 32);
+        assert!(out.mismatches.is_empty());
+        assert_eq!(out.panics_caught, 0);
+    }
+}

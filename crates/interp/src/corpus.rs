@@ -1,0 +1,212 @@
+//! Coverage-seeded input corpus for the differential fuzz farm.
+//!
+//! Uniform random inputs exercise merged bodies poorly: the interesting
+//! control decisions a merge introduces — the `func_id` selector, the
+//! `select`s over merged operands, the `switch` arms and `phi` joins the
+//! codegen stitched together — branch on *specific constants* from the
+//! original bodies. This module harvests those constants from the
+//! post-merge module's branchy instructions (`select`, `switch`, `icmp`,
+//! `fcmp`, `phi`, `condbr`) and mixes them (plus their off-by-one
+//! neighbours and classic boundary values) into argument synthesis, so
+//! both sides of every merged body get driven through their comparisons
+//! rather than only the statistically likely one.
+
+use fmsa_ir::{Module, Opcode, TyId, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Val;
+
+/// Constants harvested from a module's branch-feeding instructions.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusSeeds {
+    /// Integer seed values (sign-agnostic bit patterns, widened to 64
+    /// bits), deduplicated and sorted for determinism.
+    pub ints: Vec<i64>,
+    /// Float seed values.
+    pub floats: Vec<f64>,
+}
+
+impl CorpusSeeds {
+    /// Whether the harvest found nothing (argument synthesis then falls
+    /// back to pure random).
+    pub fn is_empty(&self) -> bool {
+        self.ints.is_empty() && self.floats.is_empty()
+    }
+}
+
+/// Opcodes whose constant operands steer control flow in merged bodies.
+fn is_branchy(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::Select
+            | Opcode::Switch
+            | Opcode::ICmp
+            | Opcode::FCmp
+            | Opcode::Phi
+            | Opcode::CondBr
+    )
+}
+
+/// Harvests branch-steering constants from every live function of
+/// `module`, adding ±1 neighbours (comparison boundaries are where
+/// behaviour flips) and the classic integer boundary values.
+pub fn harvest_seeds(module: &Module) -> CorpusSeeds {
+    let mut ints: Vec<i64> = vec![0, 1, -1, i32::MIN as i64, i32::MAX as i64, i64::MIN, i64::MAX];
+    let mut floats: Vec<f64> = vec![0.0, 1.0, -1.0];
+    for f in module.func_ids() {
+        let func = module.func(f);
+        if func.is_declaration() {
+            continue;
+        }
+        for b in func.block_ids() {
+            for &i in &func.block(b).insts {
+                let inst = func.inst(i);
+                if !is_branchy(inst.opcode) {
+                    continue;
+                }
+                for operand in &inst.operands {
+                    match *operand {
+                        Value::ConstInt { bits, .. } => {
+                            let v = bits as i64;
+                            ints.push(v);
+                            ints.push(v.wrapping_add(1));
+                            ints.push(v.wrapping_sub(1));
+                        }
+                        Value::ConstFloat { ty, bits } => {
+                            let x = if module.types.display(ty) == "float" {
+                                f32::from_bits(bits as u32) as f64
+                            } else {
+                                f64::from_bits(bits)
+                            };
+                            if x.is_finite() {
+                                floats.push(x);
+                                floats.push(x + 1.0);
+                                floats.push(x - 1.0);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    ints.sort_unstable();
+    ints.dedup();
+    floats.sort_by(f64::total_cmp);
+    floats.dedup_by(|a, b| a.to_bits() == b.to_bits());
+    CorpusSeeds { ints, floats }
+}
+
+/// Synthesizes one argument vector for a function of type `fn_ty`:
+/// roughly half the scalars are drawn from the seed pool, the rest are
+/// uniform random. `skip_mem` drops the first parameter (the threaded
+/// linear-memory base a driver supplies).
+pub fn seeded_args(
+    rng: &mut StdRng,
+    module: &Module,
+    fn_ty: TyId,
+    seeds: &CorpusSeeds,
+    skip_mem: bool,
+) -> Vec<Val> {
+    let params = module.types.fn_params(fn_ty).expect("function type");
+    let params = if skip_mem { &params[1..] } else { params };
+    params
+        .iter()
+        .map(|&p| {
+            let from_pool = !seeds.is_empty() && rng.gen_bool(0.5);
+            if module.types.is_float(p) {
+                let x = if from_pool && !seeds.floats.is_empty() {
+                    seeds.floats[rng.gen_range(0..seeds.floats.len())]
+                } else {
+                    rng.gen_range(-8000i64..8000) as f64 / 8.0
+                };
+                if module.types.display(p) == "float" {
+                    Val::F32(x as f32)
+                } else {
+                    Val::F64(x)
+                }
+            } else {
+                let v = if from_pool && !seeds.ints.is_empty() {
+                    seeds.ints[rng.gen_range(0..seeds.ints.len())]
+                } else {
+                    rng.gen::<i64>()
+                };
+                if module.types.int_width(p) == Some(64) {
+                    Val::i64(v)
+                } else {
+                    Val::i32(v as i32)
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmsa_ir::FuncBuilder;
+    use rand::SeedableRng;
+
+    fn switchy_module() -> Module {
+        let mut m = Module::new("c");
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![i32t]);
+        let f = m.create_function("sw", fn_ty);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        let a0 = b.block("a0");
+        let a1 = b.block("a1");
+        b.switch_to(entry);
+        let c7 = b.const_i32(7);
+        let cmp = b.icmp(fmsa_ir::IntPredicate::Eq, Value::Param(0), c7);
+        b.condbr(cmp, a0, a1);
+        b.switch_to(a0);
+        b.ret(Some(b.const_i32(1)));
+        b.switch_to(a1);
+        b.ret(Some(b.const_i32(0)));
+        m
+    }
+
+    #[test]
+    fn harvest_finds_comparison_constants() {
+        let m = switchy_module();
+        let seeds = harvest_seeds(&m);
+        assert!(seeds.ints.contains(&7), "icmp operand harvested: {:?}", seeds.ints);
+        assert!(seeds.ints.contains(&8) && seeds.ints.contains(&6), "neighbours included");
+        assert!(seeds.ints.contains(&i64::MAX), "boundary values included");
+    }
+
+    #[test]
+    fn seeded_args_hit_harvested_values() {
+        let m = switchy_module();
+        let seeds = harvest_seeds(&m);
+        let fn_ty = m.func(m.func_by_name("sw").expect("sw")).fn_ty();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hit = false;
+        for _ in 0..200 {
+            let args = seeded_args(&mut rng, &m, fn_ty, &seeds, false);
+            assert_eq!(args.len(), 1);
+            if args[0] == Val::i32(7) {
+                hit = true;
+            }
+        }
+        assert!(hit, "the pool must surface the branch constant within 200 draws");
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let m = switchy_module();
+        let seeds = harvest_seeds(&m);
+        let fn_ty = m.func(m.func_by_name("sw").expect("sw")).fn_ty();
+        let a: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..32).map(|_| seeded_args(&mut rng, &m, fn_ty, &seeds, false)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..32).map(|_| seeded_args(&mut rng, &m, fn_ty, &seeds, false)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

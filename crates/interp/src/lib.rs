@@ -19,12 +19,16 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
+pub mod corpus;
 mod host;
 mod machine;
 mod memory;
 mod profile;
 mod value;
 
+pub use batch::{run_differential_batch, BatchConfig, BatchOutcome, BatchTarget, Mismatch};
+pub use corpus::{harvest_seeds, seeded_args, CorpusSeeds};
 pub use host::{HostCtx, HostRegistry, HostResult};
 pub use machine::{Interpreter, RunResult};
 pub use memory::Memory;

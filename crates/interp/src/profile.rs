@@ -78,6 +78,13 @@ impl Profile {
         v
     }
 
+    /// Iterates over the `(function, block)` pairs that executed at
+    /// least once — the path-coverage surface the differential fuzz farm
+    /// aggregates across a batch.
+    pub fn covered_blocks(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.block_counts.keys().map(|(f, b)| (f.as_str(), *b))
+    }
+
     /// Merges another profile into this one (for aggregating runs).
     pub fn merge(&mut self, other: &Profile) {
         self.total_steps += other.total_steps;

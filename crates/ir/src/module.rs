@@ -126,6 +126,15 @@ impl Module {
         self.functions.iter().filter(|f| f.is_some()).count()
     }
 
+    /// Length of the function arena, counting removed slots. Every
+    /// function created from now on gets an index `>= func_arena_len()` —
+    /// an O(1) high-water mark that lets a caller snapshot the module
+    /// before a fallible mutation and sweep partially-built functions
+    /// afterwards.
+    pub fn func_arena_len(&self) -> usize {
+        self.functions.len()
+    }
+
     /// Looks up a live function by name.
     pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
         self.by_name.get(name).copied().filter(|&id| self.is_live(id))

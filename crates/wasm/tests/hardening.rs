@@ -1,0 +1,123 @@
+//! Decoder hardening: the frontend must never panic on hostile input.
+//!
+//! Starting from a valid binary produced by [`fmsa_wasm::encode`], random
+//! byte mutations, truncations, and raw garbage are fed through
+//! `parse_wasm` + `load_wasm` under `catch_unwind`. Every outcome must be
+//! either a clean decode or a structured [`fmsa_wasm::WasmError`] whose
+//! byte offset points inside the input — never a panic, never an offset
+//! past the end of the bytes.
+
+use fmsa_wasm::encode::{CodeWriter, WasmBuilder};
+use fmsa_wasm::ValType;
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A small but representative binary: two types, linear memory, three
+/// function bodies exercising control flow, memory ops, and conversions.
+fn base_bytes() -> Vec<u8> {
+    let mut b = WasmBuilder::new();
+    let binop = b.add_type(&[ValType::I32, ValType::I32], &[ValType::I32]);
+    let unop = b.add_type(&[ValType::I32], &[ValType::I32]);
+    b.add_memory(1);
+
+    let mut w = CodeWriter::new();
+    w.local_get(0);
+    w.local_get(1);
+    w.i32_add();
+    let add = b.add_function(binop, &[], w);
+
+    let mut w = CodeWriter::new();
+    w.local_get(0);
+    w.if_(Some(ValType::I32));
+    w.local_get(0);
+    w.i32_const(3);
+    w.ibinary(ValType::I32, 2); // i32.mul
+    w.else_();
+    w.i32_const(7);
+    w.end();
+    let scale = b.add_function(unop, &[ValType::I32], w);
+
+    let mut w = CodeWriter::new();
+    w.local_get(0);
+    w.i32_const(0);
+    w.store(ValType::I32, 16);
+    w.i32_const(0);
+    w.load(ValType::I32, 16);
+    let roundtrip = b.add_function(unop, &[], w);
+
+    b.export_func("add", add);
+    b.export_func("scale", scale);
+    b.export_func("roundtrip", roundtrip);
+    b.finish()
+}
+
+/// Decodes and lowers under `catch_unwind`, asserting the hardening
+/// contract: no panic, and any error carries an in-range byte offset.
+fn assert_harmless(bytes: &[u8]) -> Result<(), TestCaseError> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        fmsa_wasm::parse_wasm(bytes).map(|_| ())?;
+        fmsa_wasm::load_wasm(bytes, "fuzzed").map(|_| ())
+    }));
+    match result {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(e)) => {
+            prop_assert!(
+                e.offset <= bytes.len(),
+                "error offset {} exceeds input length {}: {e}",
+                e.offset,
+                bytes.len()
+            );
+            Ok(())
+        }
+        Err(_) => {
+            prop_assert!(false, "decoder panicked on {} bytes", bytes.len());
+            Ok(())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn mutated_binaries_never_panic(
+        positions in prop::collection::vec(0usize..1_000_000, 1..8),
+        values in prop::collection::vec(0u16..256, 1..8),
+    ) {
+        let mut bytes = base_bytes();
+        for (pos, val) in positions.iter().zip(values.iter()) {
+            let i = pos % bytes.len();
+            bytes[i] = *val as u8;
+        }
+        assert_harmless(&bytes)?;
+    }
+
+    #[test]
+    fn truncated_binaries_never_panic(cut in 0usize..1_000_000) {
+        let mut bytes = base_bytes();
+        let keep = cut % (bytes.len() + 1);
+        bytes.truncate(keep);
+        assert_harmless(&bytes)?;
+    }
+
+    #[test]
+    fn garbage_after_magic_never_panics(tail in prop::collection::vec(0u16..256, 0..64)) {
+        let mut bytes = vec![0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00];
+        bytes.extend(tail.iter().map(|&v| v as u8));
+        assert_harmless(&bytes)?;
+    }
+
+    #[test]
+    fn raw_garbage_never_panics(raw in prop::collection::vec(0u16..256, 0..64)) {
+        let bytes: Vec<u8> = raw.iter().map(|&v| v as u8).collect();
+        assert_harmless(&bytes)?;
+    }
+}
+
+#[test]
+fn base_binary_is_valid() {
+    let bytes = base_bytes();
+    let m = fmsa_wasm::load_wasm(&bytes, "base").expect("base binary decodes");
+    assert!(fmsa_ir::verify_module(&m).is_empty());
+    assert_eq!(m.func_count(), 3);
+}

@@ -5,19 +5,19 @@
 //! 2. **Pipeline bit-identity** — merging a lowered wasm corpus through
 //!    `run_fmsa_pipeline` produces byte-identical output at 1/2/4
 //!    threads, with a measurable size reduction.
-//! 3. **Interpreter differential** — for every exported function, N
-//!    random input vectors produce bit-equal results (and equal traps)
-//!    before and after merging.
+//! 3. **Interpreter differential** — the `fmsa_interp::batch` driver runs
+//!    coverage-seeded input pairs over every exported function and finds
+//!    zero mismatches (and zero panics) between the original and merged
+//!    module.
 
 use fmsa_core::pass::FmsaOptions;
 use fmsa_core::pipeline::{run_fmsa_pipeline, PipelineOptions};
-use fmsa_interp::{Interpreter, Trap, Val};
+use fmsa_interp::batch::wire_targets;
+use fmsa_interp::{run_differential_batch, BatchConfig};
 use fmsa_ir::printer::print_module;
-use fmsa_ir::{verify_module, FuncBuilder, Linkage, Module, Value};
+use fmsa_ir::{verify_module, Module};
 use fmsa_workloads::{wasm_fixture_bytes, WasmFixtureConfig};
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn lowered_fixture(cfg: &WasmFixtureConfig) -> Module {
     let bytes = wasm_fixture_bytes(cfg);
@@ -75,83 +75,10 @@ fn pipeline_output_identical_across_threads_on_wasm_input() {
     assert_eq!(outputs[0], outputs[2], "1 vs 4 threads");
 }
 
-/// Comparable form of an interpreter outcome: traps by variant, values by
-/// bit pattern (so NaN == NaN holds where wasm semantics say the bits
-/// match).
-fn canon(r: &Result<fmsa_interp::RunResult, Trap>) -> String {
-    match r {
-        Err(t) => format!("trap: {t}"),
-        Ok(out) => {
-            let v = match &out.value {
-                None => "void".to_owned(),
-                Some(Val::Int { bits, width }) => format!("i{width}:{bits:#x}"),
-                Some(Val::F32(x)) => format!("f32:{:#x}", x.to_bits()),
-                Some(Val::F64(x)) => format!("f64:{:#x}", x.to_bits()),
-                Some(other) => format!("{other:?}"),
-            };
-            format!("{v} out={:?}", out.output)
-        }
-    }
-}
-
-/// Appends a driver that materializes the 64 KiB linear memory on the
-/// interpreter stack and forwards to `callee` — the host-instantiation
-/// step for lowered modules whose functions take the threaded `i8* %mem`.
-fn add_memory_driver(m: &mut Module, callee: &str) -> String {
-    let callee_id = m.func_by_name(callee).expect("callee exists");
-    let callee_ty = m.func(callee_id).fn_ty();
-    let ret = m.types.fn_ret(callee_ty).expect("fn ty");
-    let params: Vec<_> = m.types.fn_params(callee_ty).expect("fn ty")[1..].to_vec();
-    let n_args = params.len();
-    let driver_ty = m.types.func(ret, params);
-    let name = format!("__drive_{callee}");
-    let f = m.create_function(name.clone(), driver_ty);
-    let mut b = FuncBuilder::new(m, f);
-    let entry = b.block("entry");
-    b.switch_to(entry);
-    let i8t = b.module().types.i8();
-    let buf_ty = b.module_mut().types.array(i8t, 65536);
-    let buf = b.alloca(buf_ty);
-    let zero = b.const_i64(0);
-    let mem = b.gep(buf_ty, buf, vec![zero, zero], i8t);
-    let mut args = vec![mem];
-    args.extend((0..n_args).map(|k| Value::Param(k as u32)));
-    let r = b.call(callee_id, args);
-    if b.module().types.fn_ret(callee_ty) == Some(b.module().types.void()) {
-        b.ret(None);
-    } else {
-        b.ret(Some(r));
-    }
-    name
-}
-
-fn random_args(rng: &mut StdRng, m: &Module, fn_ty: fmsa_ir::TyId, skip_mem: bool) -> Vec<Val> {
-    let params = m.types.fn_params(fn_ty).expect("fn ty");
-    let params = if skip_mem { &params[1..] } else { params };
-    params
-        .iter()
-        .map(|&p| {
-            if m.types.is_float(p) {
-                let x = rng.gen_range(-8000i64..8000) as f64 / 8.0;
-                if m.types.display(p) == "float" {
-                    Val::F32(x as f32)
-                } else {
-                    Val::F64(x)
-                }
-            } else if m.types.int_width(p) == Some(64) {
-                Val::i64(rng.gen::<i64>())
-            } else {
-                Val::i32(rng.gen::<i32>())
-            }
-        })
-        .collect()
-}
-
 #[test]
 fn merged_wasm_is_differentially_equal_under_the_interpreter() {
     let cfg = WasmFixtureConfig::with_functions(48);
-    let pre = lowered_fixture(&cfg);
-    let has_memory = cfg.with_memory;
+    let mut pre = lowered_fixture(&cfg);
 
     let mut post = pre.clone();
     let stats = run_fmsa_pipeline(
@@ -160,43 +87,20 @@ fn merged_wasm_is_differentially_equal_under_the_interpreter() {
         &PipelineOptions::with_threads(2),
     );
     assert!(stats.merges > 0, "corpus must merge");
+    assert!(stats.quarantine.is_empty(), "a clean run quarantines nothing");
 
-    // Exported (external) functions survive merging under their names.
-    let exported: Vec<String> = pre
-        .func_ids()
-        .into_iter()
-        .filter(|&f| pre.func(f).linkage == Linkage::External && !pre.func(f).is_declaration())
-        .map(|f| pre.func(f).name.clone())
-        .collect();
-    assert!(!exported.is_empty());
-
-    let mut pre = pre;
-    let mut checked = 0usize;
-    let mut rng = StdRng::seed_from_u64(0xd1ff_e2e2);
-    for name in exported {
-        let post_id = post.func_by_name(&name).expect("external name survives merging");
-        let fn_ty = post.func(post_id).fn_ty();
-        let target = if has_memory {
-            let a = add_memory_driver(&mut pre, &name);
-            let b = add_memory_driver(&mut post, &name);
-            assert_eq!(a, b);
-            a
-        } else {
-            name.clone()
-        };
-        for _ in 0..4 {
-            let args = random_args(&mut rng, &post, fn_ty, has_memory);
-            let r_pre = Interpreter::new(&pre).run(&target, args.clone());
-            let r_post = Interpreter::new(&post).run(&target, args.clone());
-            assert_eq!(
-                canon(&r_pre),
-                canon(&r_post),
-                "differential mismatch for {name} on {args:?}"
-            );
-            checked += 1;
-        }
-    }
-    assert!(checked >= 40, "enough differential samples ran: {checked}");
+    // Exported (external) functions survive merging under their names;
+    // the batch driver wires them up (adding memory drivers to both
+    // modules when the corpus threads a linear-memory base).
+    let targets = wire_targets(&mut pre, &mut post, cfg.with_memory);
+    assert!(!targets.is_empty());
+    let bcfg =
+        BatchConfig { threads: 2, seed: 0xd1ff_e2e2, per_target: 6, ..BatchConfig::default() };
+    let out = run_differential_batch(&pre, &post, &targets, &bcfg);
+    assert!(out.pairs_run >= 40, "enough differential samples ran: {}", out.pairs_run);
+    assert_eq!(out.panics_caught, 0, "no interpreter panics");
+    assert!(out.mismatches.is_empty(), "differential mismatches: {:?}", out.mismatches);
+    assert!(out.paths_covered > 0, "coverage is aggregated");
     // The drivers were appended after merging; both modules still verify.
     assert!(verify_module(&pre).is_empty());
     assert!(verify_module(&post).is_empty());
