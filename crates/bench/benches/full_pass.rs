@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fmsa_core::baselines::{run_identical, run_soa};
-use fmsa_core::pass::{run_fmsa, FmsaOptions};
+use fmsa_core::pass::run_fmsa;
+use fmsa_core::Config;
 use fmsa_target::TargetArch;
 use fmsa_workloads::spec_suite;
 
@@ -41,7 +42,7 @@ fn bench_techniques(c: &mut Criterion) {
         group.bench_function(format!("fmsa-t{t}"), |b| {
             b.iter_batched(
                 milc_module,
-                |mut m| run_fmsa(&mut m, &FmsaOptions::with_threshold(t)),
+                |mut m| run_fmsa(&mut m, &Config::new().threshold(t).fmsa_options()),
                 criterion::BatchSize::SmallInput,
             );
         });
@@ -49,7 +50,7 @@ fn bench_techniques(c: &mut Criterion) {
     group.bench_function("fmsa-oracle", |b| {
         b.iter_batched(
             libquantum_module, // oracle is quadratic; use the small module
-            |mut m| run_fmsa(&mut m, &FmsaOptions::oracle()),
+            |mut m| run_fmsa(&mut m, &Config::new().oracle(true).fmsa_options()),
             criterion::BatchSize::SmallInput,
         );
     });

@@ -15,6 +15,7 @@
 //! experiments wasm              Decode/lower/merge a wasm binary corpus
 //! experiments fuzz              Differential fuzz farm over merged wasm
 //! experiments faults            Fault-injection matrix (quarantine gates)
+//! experiments serve-bench       Merge-daemon load generator (fmsa-serve)
 //! experiments all               everything above
 //! ```
 //!
@@ -22,20 +23,21 @@
 //! `--fast` to restrict to the smaller half of each suite (used by CI).
 //! `--json <path>` appends one self-describing JSON line per measured
 //! configuration (the `BENCH_ci.json` artifact), and `--check` turns
-//! parity-budget violations (LSH vs exact, pipeline vs sequential) into
-//! a non-zero exit for the CI gate. `merge-parallel` additionally honours
-//! `--spec-depth N` (speculative codegen depth per subject; default:
-//! every promising pair) and `--spec-batch N` (subjects scheduled per
-//! generation; default: auto) — the knobs of
-//! `fmsa_core::pipeline::PipelineOptions`.
+//! parity-budget violations (LSH vs exact, pipeline vs sequential,
+//! daemon vs batch) into a non-zero exit for the CI gate.
+//! `merge-parallel` additionally honours `--spec-depth N` (speculative
+//! codegen depth per subject; default: every promising pair) and
+//! `--spec-batch N` (subjects scheduled per generation; default: auto) —
+//! the corresponding knobs of `fmsa::Config`.
 
+use fmsa::Config;
 use fmsa_bench::harness::{
     mean, rank_cdf, run_benchmark, run_runtime_experiment, BenchResult, Json, Report, RunPlan,
 };
 use fmsa_core::baselines::run_identical;
 use fmsa_core::merge::MergeConfig;
-use fmsa_core::pass::{run_fmsa, FmsaOptions};
-use fmsa_core::pipeline::{run_fmsa_pipeline, PipelineOptions};
+use fmsa_core::pass::run_fmsa;
+use fmsa_core::pipeline::run_fmsa_pipeline;
 use fmsa_target::{reduction_percent, CostModel, TargetArch};
 use fmsa_workloads::{mibench_suite, spec_suite, BenchDesc};
 
@@ -54,18 +56,18 @@ fn main() {
         match args.get(k + 1).map(|v| (v, v.parse())) {
             Some((_, Ok(n))) => Some(n),
             other => {
-                let got = other.map(|(v, _)| format!("got {v:?}")).unwrap_or("missing".into());
+                let got = other.map(|(v, _)| format!("got {v:?}")).unwrap_or("missing".to_owned());
                 eprintln!("experiments: {name} needs a number, {got}");
                 std::process::exit(2);
             }
         }
     };
-    let mut pipe_overrides = PipelineOptions::default();
+    let mut overrides = Config::new();
     if let Some(depth) = flag_value("--spec-depth") {
-        pipe_overrides.spec_depth = depth;
+        overrides = overrides.spec_depth(depth);
     }
     if let Some(batch) = flag_value("--spec-batch") {
-        pipe_overrides.batch = batch;
+        overrides = overrides.batch(batch);
     }
     let budget_secs = flag_value("--budget").unwrap_or(30);
     let value_flags = ["--json", "--spec-depth", "--spec-batch", "--budget"];
@@ -86,7 +88,7 @@ fn main() {
     println!(
         "experiments {cmd}: threads={} available, alignment=needleman-wunsch, \
          search per section header / JSON record{}{}",
-        PipelineOptions::default().resolved_threads(),
+        Config::new().pipeline_options().resolved_threads(),
         if fast { ", --fast" } else { "" },
         if oracle { ", --oracle" } else { "" },
     );
@@ -104,10 +106,11 @@ fn main() {
         "fig14" => fig14(&spec),
         "ablation-params" => ablation_params(&spec),
         "search" => search_scalability(fast, &mut report),
-        "merge-parallel" => merge_parallel(fast, &pipe_overrides, &mut report),
-        "wasm" => wasm_frontend(fast, &pipe_overrides, &mut report),
+        "merge-parallel" => merge_parallel(fast, &overrides, &mut report),
+        "wasm" => wasm_frontend(fast, &overrides, &mut report),
         "fuzz" => fuzz_farm(fast, budget_secs, &mut report),
         "faults" => fault_matrix(fast, &mut report),
+        "serve-bench" => serve_bench(fast, &mut report),
         "all" => {
             table(&spec, "Table I (SPEC CPU2006)");
             table(&mibench, "Table II (MiBench)");
@@ -119,10 +122,11 @@ fn main() {
             fig14(&spec);
             ablation_params(&spec);
             search_scalability(fast, &mut report);
-            merge_parallel(fast, &pipe_overrides, &mut report);
-            wasm_frontend(fast, &pipe_overrides, &mut report);
+            merge_parallel(fast, &overrides, &mut report);
+            wasm_frontend(fast, &overrides, &mut report);
             fuzz_farm(fast, budget_secs, &mut report);
             fault_matrix(fast, &mut report);
+            serve_bench(fast, &mut report);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
@@ -412,9 +416,9 @@ fn search_scalability(fast: bool, report: &mut Report) {
         for (label, strategy) in [("exact", SearchStrategy::Exact), ("lsh", SearchStrategy::lsh())]
         {
             let mut m = base.clone();
-            let opts = FmsaOptions { threshold: 5, search: strategy, ..FmsaOptions::default() };
+            let cfg = Config::new().threshold(5).search(strategy);
             let t0 = std::time::Instant::now();
-            let stats = run_fmsa(&mut m, &opts);
+            let stats = run_fmsa(&mut m, &cfg.fmsa_options());
             let total = t0.elapsed();
             rank_times.push(stats.timers.ranking.as_secs_f64());
             reductions.push(stats.reduction_percent());
@@ -460,24 +464,20 @@ fn search_scalability(fast: bool, report: &mut Report) {
 
 // ---------------------------------------------------------------- pipeline
 
-fn merge_parallel(fast: bool, pipe_overrides: &PipelineOptions, report: &mut Report) {
+fn merge_parallel(fast: bool, overrides: &Config, report: &mut Report) {
     use fmsa_core::SearchStrategy;
     use fmsa_ir::printer::print_module;
     use fmsa_workloads::{clone_swarm_module, SwarmConfig};
-    let auto = PipelineOptions::default().resolved_threads();
-    let spec_depth_label = if pipe_overrides.spec_depth == usize::MAX {
+    let auto = Config::new().pipeline_options().resolved_threads();
+    let spec_depth_label = if overrides.spec_depth == usize::MAX {
         "all".to_owned()
     } else {
-        pipe_overrides.spec_depth.to_string()
+        overrides.spec_depth.to_string()
     };
     println!(
         "\n== Parallel merge pipeline vs sequential driver (t=5, lsh search, \
          spec-depth={spec_depth_label}, spec-batch={}) ==",
-        if pipe_overrides.batch == 0 {
-            "auto".to_owned()
-        } else {
-            pipe_overrides.batch.to_string()
-        }
+        if overrides.batch == 0 { "auto".to_owned() } else { overrides.batch.to_string() }
     );
     println!(
         "{:>6} {:<11} {:>7} {:>10} {:>8} {:>11} {:>10} {:>8}",
@@ -486,11 +486,10 @@ fn merge_parallel(fast: bool, pipe_overrides: &PipelineOptions, report: &mut Rep
     let sizes: &[usize] = if fast { &[100, 1000] } else { &[100, 1000, 5000] };
     for &n in sizes {
         let base = clone_swarm_module(&SwarmConfig::with_functions(n));
-        let opts =
-            FmsaOptions { threshold: 5, search: SearchStrategy::lsh(), ..FmsaOptions::default() };
+        let cfg = overrides.clone().threshold(5).search(SearchStrategy::lsh());
         let mut m_seq = base.clone();
         let t0 = std::time::Instant::now();
-        let seq = run_fmsa(&mut m_seq, &opts);
+        let seq = run_fmsa(&mut m_seq, &cfg.fmsa_options());
         let t_seq = t0.elapsed();
         let seq_text = print_module(&m_seq);
         println!(
@@ -526,9 +525,9 @@ fn merge_parallel(fast: bool, pipe_overrides: &PipelineOptions, report: &mut Rep
         }
         for threads in thread_counts {
             let mut m_par = base.clone();
-            let pipe = PipelineOptions { threads, ..*pipe_overrides };
+            let pcfg = cfg.clone().parallel(threads);
             let t0 = std::time::Instant::now();
-            let par = run_fmsa_pipeline(&mut m_par, &opts, &pipe);
+            let par = run_fmsa_pipeline(&mut m_par, &pcfg.fmsa_options(), &pcfg.pipeline_options());
             let t_par = t0.elapsed();
             let identical = print_module(&m_par) == seq_text;
             let speedup = t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9);
@@ -578,7 +577,7 @@ fn merge_parallel(fast: bool, pipe_overrides: &PipelineOptions, report: &mut Rep
                 ("alignment", Json::S("needleman-wunsch".into())),
                 ("threads", Json::I(threads as i64)),
                 ("spec_depth", Json::S(spec_depth_label.clone())),
-                ("spec_batch", Json::I(pipe.batch as i64)),
+                ("spec_batch", Json::I(pcfg.batch as i64)),
                 ("merges", Json::I(par.merges as i64)),
                 ("reduction_percent", Json::F(par.reduction_percent())),
                 ("wall_s", Json::F(t_par.as_secs_f64())),
@@ -647,7 +646,7 @@ fn merge_parallel(fast: bool, pipe_overrides: &PipelineOptions, report: &mut Rep
 /// timers (decode/lower/verify) and per-stage pipeline timers, and gates
 /// both merge-output parity across 1/2/4 threads and a non-trivial size
 /// reduction.
-fn wasm_frontend(fast: bool, pipe_overrides: &PipelineOptions, report: &mut Report) {
+fn wasm_frontend(fast: bool, overrides: &Config, report: &mut Report) {
     use fmsa_core::SearchStrategy;
     use fmsa_ir::printer::print_module;
     use fmsa_workloads::{wasm_fixture_bytes, WasmFixtureConfig};
@@ -691,14 +690,13 @@ fn wasm_frontend(fast: bool, pipe_overrides: &PipelineOptions, report: &mut Repo
             report.fail(format!("wasm n={n}: lowered module invalid: {}", errs[0]));
             continue;
         }
-        let opts =
-            FmsaOptions { threshold: 5, search: SearchStrategy::Auto, ..FmsaOptions::default() };
+        let cfg = overrides.clone().threshold(5).search(SearchStrategy::Auto);
         let mut first: Option<(String, f64)> = None;
         for threads in [1usize, 2, 4] {
             let mut m = base.clone();
-            let pipe = PipelineOptions { threads, ..*pipe_overrides };
+            let pcfg = cfg.clone().parallel(threads);
             let t0 = std::time::Instant::now();
-            let stats = run_fmsa_pipeline(&mut m, &opts, &pipe);
+            let stats = run_fmsa_pipeline(&mut m, &pcfg.fmsa_options(), &pcfg.pipeline_options());
             let wall = t0.elapsed();
             let text = print_module(&m);
             let identical = match &first {
@@ -772,7 +770,7 @@ fn fuzz_farm(fast: bool, budget_secs: usize, report: &mut Report) {
     use fmsa_interp::batch::wire_targets;
     use fmsa_interp::{run_differential_batch, BatchConfig};
     use fmsa_workloads::{wasm_fixture_bytes, WasmFixtureConfig};
-    let threads = PipelineOptions::default().resolved_threads();
+    let threads = Config::new().pipeline_options().resolved_threads();
     let n = if fast { 48 } else { 96 };
     println!("\n== Differential fuzz farm: original vs merged wasm corpus ==");
     println!(
@@ -799,9 +797,8 @@ fn fuzz_farm(fast: bool, budget_secs: usize, report: &mut Report) {
             }
         };
         let mut post = pre.clone();
-        let opts =
-            FmsaOptions { threshold: 5, search: SearchStrategy::Auto, ..FmsaOptions::default() };
-        let stats = run_fmsa_pipeline(&mut post, &opts, &PipelineOptions::with_threads(threads));
+        let cfg = Config::new().threshold(5).search(SearchStrategy::Auto).parallel(threads);
+        let stats = run_fmsa_pipeline(&mut post, &cfg.fmsa_options(), &cfg.pipeline_options());
         if stats.merges == 0 {
             report.fail(format!("fuzz memory={with_memory}: corpus did not merge"));
             continue;
@@ -919,22 +916,24 @@ fn fault_matrix(fast: bool, report: &mut Report) {
         "summary="
     );
     let base = clone_swarm_module(&SwarmConfig::with_functions(n));
-    let opts =
-        FmsaOptions { threshold: 5, search: SearchStrategy::lsh(), ..FmsaOptions::default() };
+    let cfg = Config::new().threshold(5).search(SearchStrategy::lsh());
     let plan = FaultPlan::new(0xFA17, 20_000, &FaultSite::ALL);
     let poison_only = FaultPlan::new(0xFA17, 1_000_000, &[FaultSite::ScratchPoison]);
     // The clean 4-thread output is the reference the poison-only run must
     // reproduce exactly (spec-wave faults degrade, they never quarantine).
     let mut clean = base.clone();
-    run_fmsa_pipeline(&mut clean, &opts, &PipelineOptions::with_threads(4));
+    {
+        let clean_cfg = cfg.clone().parallel(4);
+        run_fmsa_pipeline(&mut clean, &clean_cfg.fmsa_options(), &clean_cfg.pipeline_options());
+    }
     let clean_text = print_module(&clean);
     for (label, faults) in [("injected", plan), ("poison", poison_only)] {
         let mut reference: Option<(String, String)> = None;
         for threads in [1usize, 2, 4] {
             let mut m = base.clone();
-            let pipe = PipelineOptions { threads, faults, ..PipelineOptions::default() };
+            let pcfg = cfg.clone().parallel(threads).faults(faults);
             let t0 = std::time::Instant::now();
-            let stats = run_fmsa_pipeline(&mut m, &opts, &pipe);
+            let stats = run_fmsa_pipeline(&mut m, &pcfg.fmsa_options(), &pcfg.pipeline_options());
             let wall = t0.elapsed();
             let errs = fmsa_ir::verify_module(&m);
             if !errs.is_empty() {
@@ -1064,9 +1063,10 @@ fn ablation_params(suite: &[BenchDesc]) {
         let run = |reuse: bool| -> f64 {
             let mut m = base.clone();
             run_identical(&mut m, TargetArch::X86_64);
-            let mut opts = FmsaOptions::with_threshold(1);
-            opts.merge = MergeConfig { reuse_params: reuse, ..MergeConfig::default() };
-            run_fmsa(&mut m, &opts);
+            let cfg = Config::new()
+                .threshold(1)
+                .merge(MergeConfig { reuse_params: reuse, ..MergeConfig::default() });
+            run_fmsa(&mut m, &cfg.fmsa_options());
             reduction_percent(size_before, cm.module_size(&m))
         };
         let on = run(true);
@@ -1075,4 +1075,165 @@ fn ablation_params(suite: &[BenchDesc]) {
         println!("{:<16} {:>10.2} {:>10.2} {:>8.2}", desc.name, on, off, on - off);
     }
     println!("(largest per-benchmark improvement from parameter reuse: {best:.2}%)");
+}
+
+// ---------------------------------------------------------------- serve
+
+/// The merge-daemon load generator: boots an in-process `fmsa-serve` over
+/// a persistent store, then measures (and under `--check` gates) the
+/// service contract — daemon output byte-identical to batch
+/// `fmsa::optimize`, a byte-identical re-upload served from the response
+/// cache with a nonzero store hit rate and measurably faster than the
+/// cold merge, sustained merges/sec over distinct corpora, and index
+/// survival across a daemon restart.
+fn serve_bench(fast: bool, report: &mut Report) {
+    use fmsa_serve::{client, Server, ServerConfig};
+    use fmsa_workloads::{wasm_fixture_bytes, WasmFixtureConfig};
+    let n = if fast { 96 } else { 192 };
+    println!("\n== fmsa-serve: merge daemon under load (n={n} functions per corpus) ==");
+
+    let corpus = |seed: u64| -> Vec<u8> {
+        let mut cfg = WasmFixtureConfig::with_functions(n);
+        cfg.seed = seed;
+        wasm_fixture_bytes(&cfg)
+    };
+    let store_dir = std::env::temp_dir().join(format!("fmsa-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let server_cfg = ServerConfig { store_dir: Some(store_dir.clone()), ..ServerConfig::default() };
+    let mut server = match Server::bind(server_cfg.clone()).and_then(Server::spawn) {
+        Ok(s) => s,
+        Err(e) => {
+            report.fail(format!("serve-bench: cannot boot daemon: {e}"));
+            return;
+        }
+    };
+
+    // Parity reference: the exact bytes batch fmsa_opt would print.
+    let primary = corpus(1);
+    let reference = {
+        let mut m = fmsa::load_module_bytes(&primary, "upload").expect("corpus loads");
+        fmsa::optimize(&mut m, &Config::new()).expect("corpus merges");
+        fmsa::ir::printer::print_module(&m)
+    };
+
+    let upload = |server: &fmsa_serve::RunningServer, body: &[u8]| {
+        let t0 = std::time::Instant::now();
+        let resp = client::post(server.addr(), "/v1/modules", body);
+        (resp, t0.elapsed())
+    };
+    let header_u64 = |resp: &client::Response, name: &str| -> u64 {
+        resp.header(name).and_then(|v| v.parse().ok()).unwrap_or(0)
+    };
+
+    // Cold upload: the merge runs, every function is a store miss.
+    let (cold, t_cold) = upload(&server, &primary);
+    let Ok(cold) = cold else {
+        report.fail("serve-bench: cold upload failed".to_owned());
+        return;
+    };
+    if cold.status != 200 {
+        report.fail(format!("serve-bench: cold upload returned {}", cold.status));
+        return;
+    }
+    if cold.text() != reference {
+        report
+            .fail("serve-bench: daemon output is not byte-identical to batch fmsa_opt".to_owned());
+    }
+    let merges = header_u64(&cold, "x-fmsa-merges");
+
+    // Warm re-upload: byte-identical output, nonzero hit rate, faster.
+    let (warm, t_warm) = upload(&server, &primary);
+    let Ok(warm) = warm else {
+        report.fail("serve-bench: warm upload failed".to_owned());
+        return;
+    };
+    let warm_hits = header_u64(&warm, "x-fmsa-store-hits");
+    let warm_total = warm_hits + header_u64(&warm, "x-fmsa-store-misses");
+    let hit_rate = warm_hits as f64 / (warm_total as f64).max(1.0);
+    if warm.body != cold.body {
+        report
+            .fail("serve-bench: warm re-upload is not byte-identical to the cold merge".to_owned());
+    }
+    if warm_hits == 0 {
+        report.fail("serve-bench: warm re-upload saw zero store hits".to_owned());
+    }
+    if t_warm >= t_cold {
+        report.fail(format!(
+            "serve-bench: warm re-upload ({t_warm:.2?}) not faster than cold merge ({t_cold:.2?})"
+        ));
+    }
+
+    // Sustained load: distinct corpora, so every request is a real merge.
+    let seeds: &[u64] = if fast { &[2, 3, 4, 5] } else { &[2, 3, 4, 5, 6, 7, 8, 9] };
+    let mut sustained_merges = 0u64;
+    let t0 = std::time::Instant::now();
+    for &seed in seeds {
+        let (resp, _) = upload(&server, &corpus(seed));
+        match resp {
+            Ok(r) if r.status == 200 => sustained_merges += header_u64(&r, "x-fmsa-merges"),
+            Ok(r) => report.fail(format!("serve-bench: seed {seed} upload returned {}", r.status)),
+            Err(e) => report.fail(format!("serve-bench: seed {seed} upload failed: {e}")),
+        }
+    }
+    let sustained_wall = t0.elapsed();
+    let merges_per_sec = sustained_merges as f64 / sustained_wall.as_secs_f64().max(1e-9);
+    let requests_per_sec = seeds.len() as f64 / sustained_wall.as_secs_f64().max(1e-9);
+
+    // Restart: a new daemon over the same directory reloads the index, so
+    // the primary corpus is all store hits without the response cache.
+    server.stop();
+    let mut restart_hit_rate = 0.0;
+    match Server::bind(server_cfg).and_then(Server::spawn) {
+        Ok(mut restarted) => {
+            let (resp, _) = upload(&restarted, &primary);
+            match resp {
+                Ok(r) if r.status == 200 => {
+                    let hits = header_u64(&r, "x-fmsa-store-hits");
+                    let total = hits + header_u64(&r, "x-fmsa-store-misses");
+                    restart_hit_rate = hits as f64 / (total as f64).max(1.0);
+                    if r.body != cold.body {
+                        report.fail("serve-bench: output changed across a restart".to_owned());
+                    }
+                    if hits != total || total == 0 {
+                        report.fail(format!(
+                            "serve-bench: reloaded index recognized {hits}/{total} functions"
+                        ));
+                    }
+                }
+                Ok(r) => report.fail(format!("serve-bench: post-restart upload got {}", r.status)),
+                Err(e) => report.fail(format!("serve-bench: post-restart upload failed: {e}")),
+            }
+            restarted.stop();
+        }
+        Err(e) => report.fail(format!("serve-bench: cannot restart daemon: {e}")),
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    println!(
+        "{:>10} {:>10} {:>9} {:>12} {:>12} {:>13} {:>13}",
+        "cold", "warm", "speedup", "hit rate", "merges/sec", "requests/sec", "restart hits"
+    );
+    let speedup = t_cold.as_secs_f64() / t_warm.as_secs_f64().max(1e-9);
+    println!(
+        "{:>9.2?} {:>9.2?} {:>8.1}x {:>12.3} {:>12.1} {:>13.1} {:>13.3}",
+        t_cold, t_warm, speedup, hit_rate, merges_per_sec, requests_per_sec, restart_hit_rate
+    );
+    report.record(&[
+        ("experiment", Json::S("serve-bench".into())),
+        ("functions", Json::I(n as i64)),
+        ("corpora", Json::I(seeds.len() as i64 + 1)),
+        ("cold_wall_s", Json::F(t_cold.as_secs_f64())),
+        ("warm_wall_s", Json::F(t_warm.as_secs_f64())),
+        ("warm_speedup", Json::F(speedup)),
+        ("warm_hit_rate", Json::F(hit_rate)),
+        ("merges", Json::I(merges as i64)),
+        ("sustained_merges", Json::I(sustained_merges as i64)),
+        ("merges_per_sec", Json::F(merges_per_sec)),
+        ("requests_per_sec", Json::F(requests_per_sec)),
+        ("restart_hit_rate", Json::F(restart_hit_rate)),
+    ]);
+    println!(
+        "(cold = first upload, warm = byte-identical re-upload served from the response \
+         cache; restart hits = store recognition after an index reload from disk)"
+    );
 }

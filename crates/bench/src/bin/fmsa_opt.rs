@@ -9,11 +9,11 @@
 //!          [--stats] [-o <output.fir>]
 //! ```
 //!
-//! The input format is auto-detected: files starting with the wasm magic
-//! (`\0asm`) are decoded and lowered by `fmsa-wasm` (unsupported wasm
-//! features abort with an error naming the section/opcode and byte
-//! offset); anything else parses as the textual IR. Output is always
-//! textual IR.
+//! The input format is auto-detected (via [`fmsa::load_module_bytes`]):
+//! files starting with the wasm magic (`\0asm`) are decoded and lowered by
+//! `fmsa-wasm` (unsupported wasm features abort with an error naming the
+//! section/opcode and byte offset); anything else parses as the textual
+//! IR. Output is always textual IR.
 //!
 //! `--threads N` selects the parallel merge pipeline with `N` workers
 //! (`0` = available parallelism); without it the paper's sequential
@@ -24,17 +24,20 @@
 //! `--spec-batch N` fixes the subjects scheduled per generation
 //! (default: auto); both only apply together with `--threads`.
 //!
+//! The `fmsa` technique is one [`fmsa::Config`] fed to [`fmsa::optimize`]
+//! — the same call the `fmsa-serve` daemon makes per upload, which is why
+//! daemon responses are byte-identical to this tool's output.
+//!
 //! The input format is the printer/parser syntax of `fmsa-ir` (see
 //! `fmsa_ir::printer`); `cargo run --example quickstart` prints modules in
 //! this form. Without `-o` the optimized module goes to stdout; `--stats`
 //! sends a summary to stderr.
 
+use fmsa::{Config, Error};
 use fmsa_core::baselines::{run_identical, run_soa};
-use fmsa_core::pass::{run_fmsa, FmsaOptions};
-use fmsa_core::pipeline::{run_fmsa_pipeline, PipelineOptions};
 use fmsa_core::quarantine::panic_message;
 use fmsa_core::{FaultPlan, SearchStrategy};
-use fmsa_ir::{parser, printer};
+use fmsa_ir::printer;
 use fmsa_target::{reduction_percent, CostModel, TargetArch};
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -49,6 +52,12 @@ fn fail(stage: &str, function: Option<&str>, detail: &str) -> ExitCode {
         None => eprintln!("fmsa_opt: error stage={stage}: {detail}"),
     }
     ExitCode::FAILURE
+}
+
+/// [`fail`] from a library [`Error`]: the enum carries the stage and
+/// function, so the contract line falls straight out.
+fn fail_error(e: &Error, context: &str) -> ExitCode {
+    fail(e.stage(), e.function(), &format!("{context}: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -137,87 +146,76 @@ fn main() -> ExitCode {
         eprintln!("fmsa_opt: no input file");
         return ExitCode::from(2);
     };
+    if !matches!(technique.as_str(), "identical" | "soa" | "fmsa") {
+        eprintln!("fmsa_opt: unknown technique {technique:?}");
+        return ExitCode::from(2);
+    }
     let bytes = match std::fs::read(&input) {
         Ok(b) => b,
         Err(e) => return fail("read", None, &format!("cannot read {input}: {e}")),
     };
     // Format auto-detection: wasm magic vs textual IR.
-    let mut module = if fmsa_wasm::is_wasm(&bytes) {
-        let stem = std::path::Path::new(&input)
-            .file_stem()
-            .map(|s| s.to_string_lossy().into_owned())
-            .unwrap_or_else(|| "wasm".to_owned());
-        match fmsa_wasm::load_wasm(&bytes, &stem) {
-            Ok(m) => m,
-            Err(e) => return fail("decode", None, &format!("{input}: {e}")),
-        }
-    } else {
-        let text = match String::from_utf8(bytes) {
-            Ok(t) => t,
-            Err(_) => {
-                return fail(
-                    "decode",
-                    None,
-                    &format!(
-                        "{input}: not a wasm binary (no \\0asm magic) and not UTF-8 textual IR"
-                    ),
-                )
-            }
-        };
-        match parser::parse_module(&text) {
-            Ok(m) => m,
-            Err(e) => return fail("parse", None, &format!("{input}: {e}")),
-        }
+    let stem = std::path::Path::new(&input)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "wasm".to_owned());
+    let mut module = match fmsa::load_module_bytes(&bytes, &stem) {
+        Ok(m) => m,
+        Err(e) => return fail_error(&e, &input),
     };
-    let errs = fmsa_ir::verify_module(&module);
-    if !errs.is_empty() {
-        return fail("verify-input", Some(&errs[0].func), &errs[0].to_string());
-    }
-    if !matches!(technique.as_str(), "identical" | "soa" | "fmsa") {
-        eprintln!("fmsa_opt: unknown technique {technique:?}");
-        return ExitCode::from(2);
-    }
     let cm = CostModel::new(arch);
     let before = cm.module_size(&module);
-    // The merge itself runs behind a panic boundary: a codegen bug (or an
-    // `FMSA_FAULTS` injection) must surface as the structured one-line
-    // error contract, not a raw backtrace with exit code 101.
+
+    let mut cfg = Config::new()
+        .threshold(threshold)
+        .oracle(oracle)
+        .arch(arch)
+        .canonicalize(canonicalize)
+        .search(search)
+        .threads(threads)
+        .exclude(exclude)
+        .faults(FaultPlan::from_env().unwrap_or_default());
+    if let Some(d) = spec_depth {
+        cfg = cfg.spec_depth(d);
+    }
+    if let Some(b) = spec_batch {
+        cfg = cfg.batch(b);
+    }
+
     let mut fmsa_stats: Option<fmsa_core::pass::FmsaStats> = None;
-    let ran = catch_unwind(AssertUnwindSafe(|| match technique.as_str() {
-        "identical" => run_identical(&mut module, arch).merges,
-        "soa" => {
-            run_identical(&mut module, arch);
-            run_soa(&mut module, arch).merges
+    let merges = if technique == "fmsa" {
+        // One Config into fmsa::optimize — verification at both ends, the
+        // identical-merging prepass, the panic boundary, and the
+        // structured error all live in the library now.
+        match fmsa::optimize(&mut module, &cfg) {
+            Ok(st) => {
+                let merges = st.merges;
+                fmsa_stats = Some(st);
+                merges
+            }
+            Err(e) => return fail_error(&e, &input),
         }
-        _ => {
-            run_identical(&mut module, arch);
-            let mut opts = FmsaOptions::with_threshold(threshold);
-            opts.oracle = oracle;
-            opts.arch = arch;
-            opts.canonicalize = canonicalize;
-            opts.search = search;
-            opts.exclude = exclude;
-            let st = match threads {
-                Some(t) => {
-                    let defaults = PipelineOptions::default();
-                    let pipe = PipelineOptions {
-                        threads: t,
-                        spec_depth: spec_depth.unwrap_or(defaults.spec_depth),
-                        batch: spec_batch.unwrap_or(defaults.batch),
-                        faults: FaultPlan::from_env().unwrap_or_default(),
-                    };
-                    run_fmsa_pipeline(&mut module, &opts, &pipe)
-                }
-                None => run_fmsa(&mut module, &opts),
-            };
-            let merges = st.merges;
-            fmsa_stats = Some(st);
-            merges
+    } else {
+        // The baselines keep their direct driver calls, with the same
+        // verify/panic posture the library applies to fmsa runs.
+        if let Err(e) = fmsa_ir::verify_module(&module)
+            .into_iter()
+            .next()
+            .map_or(Ok(()), |v| Err(Error::verify(false, v.func.clone(), v.to_string())))
+        {
+            return fail_error(&e, &input);
         }
-    }));
-    let merges = match ran {
-        Ok(m) => m,
-        Err(payload) => return fail("merge", None, &panic_message(payload.as_ref())),
+        let ran = catch_unwind(AssertUnwindSafe(|| match technique.as_str() {
+            "identical" => run_identical(&mut module, arch).merges,
+            _ => {
+                run_identical(&mut module, arch);
+                run_soa(&mut module, arch).merges
+            }
+        }));
+        match ran {
+            Ok(m) => m,
+            Err(payload) => return fail("merge", None, &panic_message(payload.as_ref())),
+        }
     };
     let errs = fmsa_ir::verify_module(&module);
     if !errs.is_empty() {
@@ -234,7 +232,7 @@ fn main() -> ExitCode {
         // uses the pipeline or a search strategy; the baselines always
         // run sequentially.
         let (driver, nthreads, search_name) = if technique == "fmsa" {
-            let resolved = threads.map(|t| PipelineOptions::with_threads(t).resolved_threads());
+            let resolved = threads.map(|_| cfg.pipeline_options().resolved_threads());
             (
                 if resolved.is_some() { "pipeline" } else { "sequential" },
                 resolved.unwrap_or(1),

@@ -4,7 +4,8 @@
 //! this module.
 
 use fmsa_core::baselines::{run_identical, run_soa};
-use fmsa_core::pass::{run_fmsa, FmsaOptions, StepTimers};
+use fmsa_core::pass::{run_fmsa, StepTimers};
+use fmsa_core::Config;
 use fmsa_ir::Module;
 use fmsa_target::{reduction_percent, CostModel, TargetArch};
 use fmsa_workloads::{add_driver, BenchDesc, DriverConfig};
@@ -144,10 +145,8 @@ pub fn run_benchmark(desc: &BenchDesc, plan: &RunPlan) -> BenchResult {
         let mut m = base.clone();
         let t0 = Instant::now();
         run_identical(&mut m, plan.arch);
-        let mut opts = FmsaOptions::with_threshold(t);
-        opts.arch = plan.arch;
-        opts.exclude = plan.exclude.clone();
-        let stats = run_fmsa(&mut m, &opts);
+        let cfg = Config::new().threshold(t).arch(plan.arch).exclude(plan.exclude.iter().cloned());
+        let stats = run_fmsa(&mut m, &cfg.fmsa_options());
         fmsa.push((
             t,
             TechniqueResult {
@@ -164,10 +163,8 @@ pub fn run_benchmark(desc: &BenchDesc, plan: &RunPlan) -> BenchResult {
         let mut m = base.clone();
         let t0 = Instant::now();
         run_identical(&mut m, plan.arch);
-        let mut opts = FmsaOptions::oracle();
-        opts.arch = plan.arch;
-        opts.exclude = plan.exclude.clone();
-        let stats = run_fmsa(&mut m, &opts);
+        let cfg = Config::new().oracle(true).arch(plan.arch).exclude(plan.exclude.iter().cloned());
+        let stats = run_fmsa(&mut m, &cfg.fmsa_options());
         TechniqueResult {
             merges: stats.merges,
             reduction: reduction_percent(size_before, cm.module_size(&m)),
@@ -246,11 +243,10 @@ pub fn run_runtime_experiment(desc: &BenchDesc, threshold: usize) -> RuntimeResu
     let merge_with_exclusions = |exclude: &[String]| -> (u64, f64) {
         let mut m = base.clone();
         run_identical(&mut m, TargetArch::X86_64);
-        let mut opts = FmsaOptions::with_threshold(threshold);
-        let mut ex: HashSet<String> = exclude.iter().cloned().collect();
-        ex.insert("__driver".to_owned());
-        opts.exclude = ex;
-        run_fmsa(&mut m, &opts);
+        let cfg = Config::new()
+            .threshold(threshold)
+            .exclude(exclude.iter().cloned().chain(["__driver".to_owned()]));
+        run_fmsa(&mut m, &cfg.fmsa_options());
         let (steps, _) = run_driver(&m);
         (steps, reduction_percent(size_before, cm.module_size(&m)))
     };

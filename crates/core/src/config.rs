@@ -1,0 +1,469 @@
+//! The unified run configuration and the `optimize` entry point.
+//!
+//! Historically a run was configured by two structs: [`FmsaOptions`]
+//! (what to merge and how) and [`PipelineOptions`] (how to parallelize
+//! it), with every caller — `fmsa_opt`, `experiments`, all tests —
+//! constructing both and choosing between [`run_fmsa`] and
+//! [`run_fmsa_pipeline`] by hand. PR 7 folds both into one
+//! `#[non_exhaustive]` builder-style [`Config`] and one fallible entry
+//! point [`optimize`], which is what the merge daemon (`fmsa-serve`)
+//! and the CLI sit on. The old structs survive as deprecated shims with
+//! `From`/`Into` conversions in both directions, so downstream code
+//! migrates mechanically.
+//!
+//! Driver selection lives in [`Config::threads`]: `None` runs the
+//! paper's sequential driver, `Some(n)` the parallel pipeline with `n`
+//! workers (`Some(0)` = available parallelism). Both produce
+//! bit-identical output (see [`crate::pipeline`]), so the choice is pure
+//! performance policy.
+
+use crate::error::Error;
+use crate::faults::FaultPlan;
+use crate::merge::MergeConfig;
+#[allow(deprecated)]
+use crate::pass::{run_fmsa, FmsaOptions, FmsaStats};
+#[allow(deprecated)]
+use crate::pipeline::{run_fmsa_pipeline, PipelineOptions};
+use crate::quarantine::panic_message;
+use crate::search::SearchStrategy;
+use fmsa_ir::Module;
+use fmsa_target::TargetArch;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One unified configuration for a merge run, covering everything the
+/// old [`FmsaOptions`] + [`PipelineOptions`] pair expressed, plus the
+/// policy knobs the daemon needs ([`Config::identical_prepass`],
+/// [`Config::fail_on_quarantine`]).
+///
+/// `#[non_exhaustive]` so fields can be added without a breaking change;
+/// construct it with [`Config::new`] (or `Config::default()`) and the
+/// chainable builder methods:
+///
+/// ```
+/// use fmsa_core::Config;
+/// let cfg = Config::new().threshold(5).parallel(4);
+/// assert_eq!(cfg.threshold, 5);
+/// assert_eq!(cfg.threads, Some(4));
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct Config {
+    /// Exploration threshold `t`: top-ranked candidates tried per
+    /// function (paper evaluates t = 1, 5, 10).
+    pub threshold: usize,
+    /// Oracle mode: evaluate every candidate, commit the best — the
+    /// paper's quadratic upper bound. Forces exact search and the
+    /// sequential driver.
+    pub oracle: bool,
+    /// Target whose cost model drives profitability.
+    pub arch: TargetArch,
+    /// Per-pair merge configuration.
+    pub merge: MergeConfig,
+    /// Function names excluded from merging (§V-D hot-function
+    /// exclusion).
+    pub exclude: HashSet<String>,
+    /// Candidates below this similarity are never attempted.
+    pub min_similarity: f64,
+    /// Canonicalize intra-block instruction order before merging.
+    pub canonicalize: bool,
+    /// Candidate search strategy (exact, LSH, or auto by module size).
+    pub search: SearchStrategy,
+    /// Per-pair alignment cost bounds (honoured by the pipeline driver).
+    pub budget: fmsa_align::AlignmentBudget,
+    /// Driver selection: `None` = the paper's sequential driver,
+    /// `Some(n)` = the parallel pipeline with `n` workers (`0` =
+    /// available parallelism). Output is bit-identical either way.
+    pub threads: Option<usize>,
+    /// Pipeline: subjects scheduled per generation (`0` = whole
+    /// frontier). Ignored by the sequential driver.
+    pub batch: usize,
+    /// Pipeline: speculative codegen depth per subject (`0` disables
+    /// speculation). Ignored by the sequential driver.
+    pub spec_depth: usize,
+    /// Deterministic fault injection (tests, `experiments faults`).
+    pub faults: FaultPlan,
+    /// Run LLVM-style identical-function merging before FMSA — what
+    /// `fmsa_opt --technique fmsa` has always done, and what the paper's
+    /// evaluation assumes. Disable to measure FMSA in isolation.
+    pub identical_prepass: bool,
+    /// Treat a run that quarantined any pair as an error
+    /// ([`Error::Quarantined`]) instead of a successful degraded run.
+    pub fail_on_quarantine: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            threshold: 1,
+            oracle: false,
+            arch: TargetArch::X86_64,
+            merge: MergeConfig::default(),
+            exclude: HashSet::new(),
+            min_similarity: 0.0,
+            canonicalize: false,
+            search: SearchStrategy::Auto,
+            budget: fmsa_align::AlignmentBudget::default(),
+            threads: None,
+            batch: 0,
+            spec_depth: usize::MAX,
+            faults: FaultPlan::disabled(),
+            identical_prepass: true,
+            fail_on_quarantine: false,
+        }
+    }
+}
+
+impl Config {
+    /// The default configuration: sequential driver, threshold 1, auto
+    /// search, identical-merging prepass on.
+    pub fn new() -> Config {
+        Config::default()
+    }
+
+    /// Sets the exploration threshold `t`.
+    pub fn threshold(mut self, t: usize) -> Config {
+        self.threshold = t;
+        self
+    }
+
+    /// Enables or disables oracle (exhaustive) exploration.
+    pub fn oracle(mut self, on: bool) -> Config {
+        self.oracle = on;
+        self
+    }
+
+    /// Sets the target architecture.
+    pub fn arch(mut self, arch: TargetArch) -> Config {
+        self.arch = arch;
+        self
+    }
+
+    /// Sets the per-pair merge configuration.
+    pub fn merge(mut self, merge: MergeConfig) -> Config {
+        self.merge = merge;
+        self
+    }
+
+    /// Excludes the given function names from merging.
+    pub fn exclude<I, S>(mut self, names: I) -> Config
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.exclude.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Sets the minimum candidate similarity.
+    pub fn min_similarity(mut self, s: f64) -> Config {
+        self.min_similarity = s;
+        self
+    }
+
+    /// Enables or disables intra-block canonicalization.
+    pub fn canonicalize(mut self, on: bool) -> Config {
+        self.canonicalize = on;
+        self
+    }
+
+    /// Sets the candidate search strategy.
+    pub fn search(mut self, search: SearchStrategy) -> Config {
+        self.search = search;
+        self
+    }
+
+    /// Sets the alignment budget.
+    pub fn budget(mut self, budget: fmsa_align::AlignmentBudget) -> Config {
+        self.budget = budget;
+        self
+    }
+
+    /// Selects the parallel pipeline with `n` worker threads (`0` =
+    /// available parallelism).
+    pub fn parallel(mut self, n: usize) -> Config {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Selects the driver explicitly: `None` = sequential, `Some(n)` =
+    /// pipeline.
+    pub fn threads(mut self, threads: Option<usize>) -> Config {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the pipeline generation batch size.
+    pub fn batch(mut self, batch: usize) -> Config {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the pipeline speculation depth.
+    pub fn spec_depth(mut self, depth: usize) -> Config {
+        self.spec_depth = depth;
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Config {
+        self.faults = faults;
+        self
+    }
+
+    /// Enables or disables the identical-merging prepass.
+    pub fn identical_prepass(mut self, on: bool) -> Config {
+        self.identical_prepass = on;
+        self
+    }
+
+    /// Treat quarantined pairs as a hard error.
+    pub fn fail_on_quarantine(mut self, on: bool) -> Config {
+        self.fail_on_quarantine = on;
+        self
+    }
+
+    /// The merge-policy half of this configuration as the deprecated
+    /// [`FmsaOptions`] — interop with the low-level reference drivers
+    /// ([`run_fmsa`], [`run_fmsa_pipeline`]), which keep their paper-era
+    /// signatures.
+    #[allow(deprecated)]
+    pub fn fmsa_options(&self) -> FmsaOptions {
+        FmsaOptions {
+            threshold: self.threshold,
+            oracle: self.oracle,
+            arch: self.arch,
+            merge: self.merge.clone(),
+            exclude: self.exclude.clone(),
+            min_similarity: self.min_similarity,
+            canonicalize: self.canonicalize,
+            search: self.search,
+            budget: self.budget,
+        }
+    }
+
+    /// The parallelism half of this configuration as the deprecated
+    /// [`PipelineOptions`]. `threads == None` maps to the pipeline
+    /// default (auto), because the caller choosing [`run_fmsa_pipeline`]
+    /// directly has already decided to run the pipeline.
+    #[allow(deprecated)]
+    pub fn pipeline_options(&self) -> PipelineOptions {
+        PipelineOptions {
+            threads: self.threads.unwrap_or(0),
+            batch: self.batch,
+            spec_depth: self.spec_depth,
+            faults: self.faults,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<FmsaOptions> for Config {
+    fn from(o: FmsaOptions) -> Config {
+        Config {
+            threshold: o.threshold,
+            oracle: o.oracle,
+            arch: o.arch,
+            merge: o.merge,
+            exclude: o.exclude,
+            min_similarity: o.min_similarity,
+            canonicalize: o.canonicalize,
+            search: o.search,
+            budget: o.budget,
+            ..Config::default()
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<(FmsaOptions, PipelineOptions)> for Config {
+    fn from((o, p): (FmsaOptions, PipelineOptions)) -> Config {
+        let mut cfg = Config::from(o);
+        cfg.threads = Some(p.threads);
+        cfg.batch = p.batch;
+        cfg.spec_depth = p.spec_depth;
+        cfg.faults = p.faults;
+        cfg
+    }
+}
+
+#[allow(deprecated)]
+impl From<Config> for FmsaOptions {
+    fn from(c: Config) -> FmsaOptions {
+        c.fmsa_options()
+    }
+}
+
+#[allow(deprecated)]
+impl From<Config> for PipelineOptions {
+    fn from(c: Config) -> PipelineOptions {
+        c.pipeline_options()
+    }
+}
+
+/// Runs the full merge stack over `module` under `cfg`: input
+/// verification, the optional identical-merging prepass, the selected
+/// driver behind a panic boundary, and output re-verification.
+///
+/// This is the library entry point the daemon and `fmsa_opt` share —
+/// byte-identical output between them falls out of calling the same
+/// function. Panics from merge codegen (or `FMSA_FAULTS` injection)
+/// surface as [`Error::Merge`], never as an unwinding stack.
+pub fn optimize(module: &mut Module, cfg: &Config) -> Result<FmsaStats, Error> {
+    let errs = fmsa_ir::verify_module(module);
+    if let Some(e) = errs.first() {
+        return Err(Error::verify(false, &e.func, e.to_string()));
+    }
+    if cfg.oracle && cfg.threads.is_some() {
+        // The pipeline delegates oracle runs to the sequential driver
+        // anyway; make the policy explicit at the API boundary.
+        return Err(Error::config("oracle mode runs sequentially; leave `threads` unset"));
+    }
+    let opts = cfg.fmsa_options();
+    let ran = catch_unwind(AssertUnwindSafe(|| {
+        if cfg.identical_prepass {
+            crate::baselines::run_identical(module, cfg.arch);
+        }
+        match cfg.threads {
+            Some(_) => run_fmsa_pipeline(module, &opts, &cfg.pipeline_options()),
+            None => run_fmsa(module, &opts),
+        }
+    }));
+    let stats = match ran {
+        Ok(stats) => stats,
+        Err(payload) => {
+            return Err(Error::Merge { function: None, message: panic_message(payload.as_ref()) })
+        }
+    };
+    let errs = fmsa_ir::verify_module(module);
+    if let Some(e) = errs.first() {
+        return Err(Error::verify(true, &e.func, e.to_string()));
+    }
+    if cfg.fail_on_quarantine && !stats.quarantine.is_empty() {
+        return Err(Error::Quarantined {
+            pairs: stats.quarantine.len(),
+            summary: stats.quarantine.summary(),
+        });
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmsa_ir::{FuncBuilder, Value};
+
+    fn clone_family(m: &mut Module, count: usize) {
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![i32t, i32t]);
+        for k in 0..count {
+            let f = m.create_function(format!("fam{k}"), fn_ty);
+            let mut b = FuncBuilder::new(m, f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let mut v = Value::Param(0);
+            for j in 0..12 {
+                v = b.add(v, b.const_i32(j));
+                v = b.mul(v, Value::Param(1));
+            }
+            v = b.xor(v, b.const_i32(k as i32 + 100));
+            b.ret(Some(v));
+        }
+    }
+
+    #[test]
+    fn optimize_merges_and_verifies() {
+        let mut m = Module::new("m");
+        clone_family(&mut m, 4);
+        let stats = optimize(&mut m, &Config::new().threshold(10)).unwrap();
+        assert!(stats.merges >= 2, "{stats:?}");
+        assert!(fmsa_ir::verify_module(&m).is_empty());
+    }
+
+    #[test]
+    fn sequential_and_pipeline_configs_agree_bitwise() {
+        let mut m1 = Module::new("m");
+        clone_family(&mut m1, 6);
+        let mut m2 = Module::new("m");
+        clone_family(&mut m2, 6);
+        optimize(&mut m1, &Config::new().threshold(5)).unwrap();
+        optimize(&mut m2, &Config::new().threshold(5).parallel(2)).unwrap();
+        assert_eq!(fmsa_ir::printer::print_module(&m1), fmsa_ir::printer::print_module(&m2));
+    }
+
+    #[test]
+    fn invalid_input_is_verify_input_error() {
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![]);
+        // A defined function whose block lacks a terminator fails
+        // verification.
+        let f = m.create_function("broken", fn_ty);
+        let b = m.func_mut(f).add_block("entry");
+        m.func_mut(f).append_inst(
+            b,
+            fmsa_ir::Inst::new(
+                fmsa_ir::Opcode::Add,
+                i32t,
+                vec![Value::ConstInt { ty: i32t, bits: 1 }, Value::ConstInt { ty: i32t, bits: 2 }],
+            ),
+        );
+        let err = optimize(&mut m, &Config::new()).unwrap_err();
+        assert_eq!(err.stage(), "verify-input");
+        assert_eq!(err.function(), Some("broken"));
+    }
+
+    #[test]
+    fn oracle_plus_threads_is_a_config_error() {
+        let mut m = Module::new("m");
+        let err = optimize(&mut m, &Config::new().oracle(true).parallel(2)).unwrap_err();
+        assert_eq!(err.stage(), "config");
+    }
+
+    #[allow(deprecated)]
+    #[test]
+    fn shims_round_trip() {
+        let cfg = Config::new().threshold(7).parallel(3).batch(64).canonicalize(true);
+        let opts: FmsaOptions = cfg.clone().into();
+        let pipe: PipelineOptions = cfg.clone().into();
+        assert_eq!(opts.threshold, 7);
+        assert!(opts.canonicalize);
+        assert_eq!(pipe.threads, 3);
+        assert_eq!(pipe.batch, 64);
+        let back = Config::from((opts, pipe));
+        assert_eq!(back.threshold, 7);
+        assert_eq!(back.threads, Some(3));
+        assert_eq!(back.batch, 64);
+        assert!(back.canonicalize);
+    }
+
+    #[test]
+    fn identical_prepass_is_part_of_the_contract() {
+        // Two byte-identical functions: the prepass merges them even at
+        // threshold 0 exploration budget for FMSA proper.
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![i32t]);
+        for name in ["a", "b"] {
+            let f = m.create_function(name, fn_ty);
+            let mut b = FuncBuilder::new(&mut m, f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let r = b.add(Value::Param(0), b.const_i32(1));
+            b.ret(Some(r));
+        }
+        let with = {
+            let mut mm = m.clone();
+            optimize(&mut mm, &Config::new()).unwrap();
+            fmsa_ir::printer::print_module(&mm)
+        };
+        let without = {
+            let mut mm = m.clone();
+            optimize(&mut mm, &Config::new().identical_prepass(false)).unwrap();
+            fmsa_ir::printer::print_module(&mm)
+        };
+        // The prepass thunks one of the twins; without it FMSA may still
+        // merge them, but through its own (different) codegen path.
+        assert_ne!(with, without);
+    }
+}

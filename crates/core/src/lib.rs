@@ -25,26 +25,36 @@
 //! * [`pass`] — the optimization driver with per-step timers (§IV, Fig. 7)
 //! * [`baselines`] — LLVM-style identical merging and the SOA structural
 //!   merging of von Koch et al. (§V-A)
+//! * [`config`] / [`error`] — the unified public API: one builder-style
+//!   [`Config`], one [`enum@Error`], one [`optimize`] entry point
+//! * [`store`] / [`session`] — the content-addressed function store with
+//!   its durable LSH index, and the request lifecycle the merge daemon
+//!   (`fmsa-serve`) sits on
 //!
 //! # Examples
 //!
 //! ```
 //! use fmsa_ir::{Module, FuncBuilder, Value};
-//! use fmsa_core::pass::{run_fmsa, FmsaOptions};
+//! use fmsa_core::{optimize, Config};
 //!
 //! let mut m = Module::new("demo");
 //! let i32t = m.types.i32();
 //! let fn_ty = m.types.func(i32t, vec![i32t]);
-//! for name in ["inc_a", "inc_b"] {
+//! for (i, name) in ["add_tag_a", "add_tag_b"].into_iter().enumerate() {
 //!     let f = m.create_function(name, fn_ty);
 //!     let mut b = FuncBuilder::new(&mut m, f);
 //!     let entry = b.block("entry");
 //!     b.switch_to(entry);
-//!     let one = b.const_i32(1);
-//!     let r = b.add(Value::Param(0), one);
-//!     b.ret(Some(r));
+//!     // The bodies differ in one constant: past the identical-merging
+//!     // prepass, squarely in FMSA territory.
+//!     let mut v = Value::Param(0);
+//!     for k in 0..10 {
+//!         let c = if k == 0 { 41 + i as i32 } else { k };
+//!         v = b.add(v, b.const_i32(c));
+//!     }
+//!     b.ret(Some(v));
 //! }
-//! let stats = run_fmsa(&mut m, &FmsaOptions::default());
+//! let stats = optimize(&mut m, &Config::new()).unwrap();
 //! assert_eq!(stats.merges, 1);
 //! ```
 
@@ -52,7 +62,9 @@
 
 pub mod baselines;
 pub mod callsites;
+pub mod config;
 pub mod equivalence;
+pub mod error;
 pub mod faults;
 pub mod fingerprint;
 pub mod linearize;
@@ -63,13 +75,20 @@ pub mod profitability;
 pub mod quarantine;
 pub mod ranking;
 pub mod search;
+pub mod session;
+pub mod store;
 pub mod thunks;
 
 pub use callsites::CallSiteIndex;
+pub use config::{optimize, Config};
 pub use equivalence::EquivCtx;
+pub use error::Error;
 pub use faults::{silence_injected_panics, FaultPlan, FaultSite};
 pub use linearize::{linearize, Entry, LinearizationCache};
 pub use merge::{merge_pair, MergeConfig, MergeError, MergeInfo};
+#[allow(deprecated)]
 pub use pipeline::{run_fmsa_pipeline, PipelineOptions};
 pub use quarantine::{QuarantineEntry, QuarantineLog, QuarantineStage};
 pub use search::{CandidateSearch, ExactSearch, LshConfig, LshSearch, SearchStrategy};
+pub use session::{MergeOutcome, MergeSession, RequestStats, SessionTotals};
+pub use store::{ContentHash, FunctionStore, IngestStats, SimilarEntry, StoreEntry};

@@ -12,6 +12,10 @@
 //! The driver instruments each step with a timer so the harness can
 //! regenerate the paper's compile-time breakdown (Fig. 13).
 
+// This module *implements* the deprecated `FmsaOptions` surface; the
+// replacement ([`crate::Config`]) converts into it.
+#![allow(deprecated)]
+
 use crate::fingerprint::Fingerprint;
 use crate::linearize::linearize;
 use crate::merge::{align_with, merge_pair_aligned, MergeConfig, MergeInfo};
@@ -24,6 +28,11 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
 /// Options controlling one run of the FMSA pass.
+#[deprecated(
+    since = "0.7.0",
+    note = "use `fmsa_core::Config` (and `fmsa_core::optimize`); `Config::fmsa_options()` \
+            converts for the low-level drivers"
+)]
 #[derive(Debug, Clone)]
 pub struct FmsaOptions {
     /// Exploration threshold `t`: how many top-ranked candidates to try per

@@ -48,6 +48,10 @@
 //! evaluating against the exact module state, so [`run_fmsa_pipeline`]
 //! delegates oracle runs to the sequential driver.
 
+// This module *implements* the deprecated `PipelineOptions` surface; the
+// replacement ([`crate::Config`]) converts into it.
+#![allow(deprecated)]
+
 use crate::callsites::CallSiteIndex;
 use crate::equivalence::EquivCtx;
 use crate::faults::{FaultPlan, FaultSite};
@@ -70,6 +74,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Options of the pipeline driver, on top of [`FmsaOptions`].
+#[deprecated(
+    since = "0.7.0",
+    note = "use `fmsa_core::Config` with `threads`/`batch`/`spec_depth` set (and \
+            `fmsa_core::optimize`); `Config::pipeline_options()` converts for this driver"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineOptions {
     /// Worker threads for the prepare stage; `0` selects the machine's

@@ -99,6 +99,35 @@ impl LshSearch {
         })
     }
 
+    /// Inserts `func` under a precomputed MinHash signature, skipping the
+    /// fingerprint hashing. This is how the persistent store
+    /// ([`crate::store`]) rebuilds the index from disk on restart:
+    /// signatures are durable, fingerprints are not. The signature length
+    /// must match the configured `hashes`.
+    pub fn insert_signature(&mut self, func: FuncId, sig: Vec<u64>) {
+        assert_eq!(sig.len(), self.cfg.hashes, "signature length must match LshConfig::hashes");
+        if self.signatures.contains_key(&func) {
+            self.remove(func);
+        }
+        let keys: Vec<u64> = self.band_keys(&sig).collect();
+        for key in keys {
+            self.buckets.entry(key).or_default().push(func);
+        }
+        self.signatures.insert(func, sig);
+    }
+
+    /// The stored signature of `func`, if indexed — what the persistent
+    /// store writes to disk.
+    pub fn signature_of(&self, func: FuncId) -> Option<&[u64]> {
+        self.signatures.get(&func).map(Vec::as_slice)
+    }
+
+    /// Computes the MinHash signature `insert` would store for `fp`,
+    /// without touching the index.
+    pub fn signature_for(&self, fp: &Fingerprint) -> Vec<u64> {
+        self.hasher.signature(fp)
+    }
+
     /// The bucket co-members of `subject`, sorted and deduplicated —
     /// exposed for tests and diagnostics.
     pub fn shortlist(&self, subject: FuncId) -> Vec<FuncId> {

@@ -1,0 +1,558 @@
+//! Content-addressed function store with a durable LSH index.
+//!
+//! The daemon's memory between requests (and restarts): every function
+//! that ever passed through a [`crate::session::MergeSession`] is keyed
+//! by a [`ContentHash`] of its *canonicalized* body — the printer's
+//! textual form with the function's own name replaced by a placeholder,
+//! so a renamed copy of the same body hashes identically. Repeat
+//! uploads hit the store instead of being treated as new work, and the
+//! hit/miss counters are the daemon's index-reuse metric.
+//!
+//! Alongside the canonical text, each entry stores its MinHash signature
+//! (see [`crate::search::minhash`]). Signatures are position-stable and
+//! context-free once computed, which makes the LSH index *durable*: on
+//! restart the index is rebuilt from persisted signatures with
+//! [`LshSearch::insert_signature`] — no module is re-parsed, no
+//! fingerprint recomputed. Cross-module candidate search
+//! ([`FunctionStore::similar`]) runs over this whole-store index, not
+//! over any single upload.
+//!
+//! # Persistence format
+//!
+//! `<dir>/functions.store` is an append-only text log:
+//!
+//! ```text
+//! fmsa-store v1
+//! fn <hash-hex32> seen=<n> len=<bytes> sig=<u64hex,...> name=<name>
+//! <len bytes of canonical text>
+//! ```
+//!
+//! New entries are appended (and flushed) at ingest time, so the store
+//! survives an unclean shutdown; a torn tail record — the worst a crash
+//! mid-append can leave — is detected and ignored on load. `seen` counts
+//! are best-effort (the value at first ingest): they are diagnostics,
+//! not inputs to any merge decision.
+
+use crate::error::Error;
+use crate::fingerprint::Fingerprint;
+use crate::search::minhash::estimated_jaccard;
+use crate::search::{LshConfig, LshSearch};
+use fmsa_ir::{printer, FuncId, Module};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The store file within a store directory.
+pub const STORE_FILE: &str = "functions.store";
+/// First line of a v1 store file.
+const STORE_HEADER: &str = "fmsa-store v1";
+
+/// 128-bit content hash of a canonicalized function body (two
+/// differently-seeded FNV-1a-64 lanes — not cryptographic, but
+/// collision-safe at any realistic store size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(pub u128);
+
+impl ContentHash {
+    /// Hashes a byte string.
+    pub fn of_bytes(bytes: &[u8]) -> ContentHash {
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut lo = 0xcbf2_9ce4_8422_2325u64;
+        let mut hi = 0x6c62_272e_07bb_0142u64 ^ (bytes.len() as u64);
+        for &b in bytes {
+            lo = (lo ^ b as u64).wrapping_mul(PRIME);
+            hi = (hi ^ (b as u64).rotate_left(17)).wrapping_mul(PRIME);
+        }
+        ContentHash(((hi as u128) << 64) | lo as u128)
+    }
+
+    /// Parses the 32-digit hex form produced by `Display`.
+    pub fn from_hex(s: &str) -> Option<ContentHash> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(ContentHash)
+    }
+}
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Printer-identifier characters: used to find the end of an `@name`
+/// token when normalizing a function's references to itself.
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '$' | '-')
+}
+
+/// The canonical text of a function: its printed form with every
+/// reference to its *own* name (the `define @name` header, recursive
+/// calls) replaced by `@<self>`, so a byte-identical body under a
+/// different name produces the same [`ContentHash`]. `<` never occurs in
+/// printed identifiers, so the placeholder cannot collide.
+pub fn canonical_function_text(module: &Module, func: FuncId) -> String {
+    let f = module.func(func);
+    let text = printer::print_function(module, f);
+    let needle = format!("@{}", f.name);
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text.as_str();
+    while let Some(pos) = rest.find(&needle) {
+        let after = &rest[pos + needle.len()..];
+        out.push_str(&rest[..pos]);
+        if after.chars().next().is_none_or(|c| !is_ident_char(c)) {
+            out.push_str("@<self>");
+        } else {
+            // A longer name that merely starts with ours — keep it.
+            out.push_str(&needle);
+        }
+        rest = after;
+    }
+    out.push_str(rest);
+    out
+}
+
+/// One stored function.
+#[derive(Debug, Clone)]
+pub struct StoreEntry {
+    /// Content hash of the canonical text.
+    pub hash: ContentHash,
+    /// The name the function had when first ingested (later uploads may
+    /// use different names for the same body).
+    pub name: String,
+    /// How many times this body has been ingested (first ingest = 1).
+    pub seen: u64,
+    /// The canonical text itself.
+    pub text: String,
+    /// MinHash signature, the durable half of the LSH index.
+    signature: Vec<u64>,
+}
+
+/// What one [`FunctionStore::ingest_module`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Defined (non-declaration) functions examined.
+    pub functions: usize,
+    /// Functions whose body was already stored.
+    pub hits: usize,
+    /// Functions stored for the first time.
+    pub misses: usize,
+}
+
+/// A similar-function search result from [`FunctionStore::similar`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarEntry {
+    /// Content hash of the similar stored function.
+    pub hash: ContentHash,
+    /// Its first-seen name.
+    pub name: String,
+    /// MinHash-estimated Jaccard similarity to the query, in `[0, 1]`.
+    pub score: f64,
+}
+
+/// Content-addressed store of canonicalized function bodies with an
+/// incrementally-maintained, disk-durable LSH index over all of them.
+#[derive(Debug)]
+pub struct FunctionStore {
+    dir: Option<PathBuf>,
+    entries: Vec<StoreEntry>,
+    by_hash: HashMap<u128, usize>,
+    index: LshSearch,
+    hits: u64,
+    misses: u64,
+}
+
+impl FunctionStore {
+    /// An empty, purely in-memory store (nothing persists).
+    pub fn in_memory() -> FunctionStore {
+        FunctionStore {
+            dir: None,
+            entries: Vec::new(),
+            by_hash: HashMap::new(),
+            index: LshSearch::new(LshConfig::default()),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Opens (or creates) a persistent store rooted at `dir`, reloading
+    /// any previously-persisted entries and rebuilding the LSH index
+    /// from their stored signatures.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<FunctionStore, Error> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut store = FunctionStore::in_memory();
+        store.dir = Some(dir.clone());
+        let path = dir.join(STORE_FILE);
+        if path.exists() {
+            let raw = std::fs::read(&path)?;
+            store.load(&raw);
+        }
+        Ok(store)
+    }
+
+    /// The store directory, if persistent.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Number of distinct function bodies stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no functions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ingests that hit an existing entry, over the store's lifetime in
+    /// this process (resets on restart; the *entries* persist, the
+    /// counters are per-run telemetry).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Ingests that created a new entry.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// `hits / (hits + misses)`, the index-reuse rate; 0 when nothing
+    /// was ingested yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Iterates stored entries in insertion order.
+    pub fn entries(&self) -> impl Iterator<Item = &StoreEntry> {
+        self.entries.iter()
+    }
+
+    /// Looks up a stored entry by content hash.
+    pub fn get(&self, hash: ContentHash) -> Option<&StoreEntry> {
+        self.by_hash.get(&hash.0).map(|&i| &self.entries[i])
+    }
+
+    /// Hashes every defined function of `module` into the store:
+    /// already-known bodies bump `seen` and count as hits, new bodies
+    /// are fingerprinted, indexed, appended to disk (when persistent),
+    /// and count as misses.
+    pub fn ingest_module(&mut self, module: &Module) -> Result<IngestStats, Error> {
+        let mut stats = IngestStats::default();
+        for f in module.func_ids() {
+            if module.func(f).is_declaration() {
+                continue;
+            }
+            stats.functions += 1;
+            let text = canonical_function_text(module, f);
+            let hash = ContentHash::of_bytes(text.as_bytes());
+            if let Some(&i) = self.by_hash.get(&hash.0) {
+                self.entries[i].seen += 1;
+                stats.hits += 1;
+                self.hits += 1;
+            } else {
+                let fp = Fingerprint::of(module, f);
+                let signature = self.index.signature_for(&fp);
+                let entry = StoreEntry {
+                    hash,
+                    name: module.func(f).name.clone(),
+                    seen: 1,
+                    text,
+                    signature,
+                };
+                self.append_to_disk(&entry)?;
+                self.insert_entry(entry);
+                stats.misses += 1;
+                self.misses += 1;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Records `n` hits without re-hashing anything — used by the
+    /// session's whole-response cache, where a byte-identical re-upload
+    /// is known to consist entirely of stored functions.
+    pub fn note_replayed_hits(&mut self, n: u64) {
+        self.hits += n;
+    }
+
+    /// The `k` most similar stored functions to the entry at `hash`
+    /// (excluding itself), by MinHash signature agreement over the
+    /// whole-store LSH index. This is the cross-module candidate search:
+    /// the index spans every module ever ingested, not one upload.
+    pub fn similar(&self, hash: ContentHash, k: usize) -> Vec<SimilarEntry> {
+        let Some(&i) = self.by_hash.get(&hash.0) else {
+            return Vec::new();
+        };
+        let subject = &self.entries[i];
+        let mut scored: Vec<SimilarEntry> = self
+            .index
+            .shortlist(FuncId::from_index(i))
+            .into_iter()
+            .map(|f| {
+                let e = &self.entries[f.index()];
+                SimilarEntry {
+                    hash: e.hash,
+                    name: e.name.clone(),
+                    score: estimated_jaccard(&subject.signature, &e.signature),
+                }
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.hash.cmp(&b.hash))
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    fn insert_entry(&mut self, entry: StoreEntry) {
+        let id = FuncId::from_index(self.entries.len());
+        self.index.insert_signature(id, entry.signature.clone());
+        self.by_hash.insert(entry.hash.0, self.entries.len());
+        self.entries.push(entry);
+    }
+
+    fn append_to_disk(&mut self, entry: &StoreEntry) -> Result<(), Error> {
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
+        let path = dir.join(STORE_FILE);
+        let fresh = !path.exists();
+        let mut file = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut rec = String::new();
+        if fresh {
+            rec.push_str(STORE_HEADER);
+            rec.push('\n');
+        }
+        let sig: Vec<String> = entry.signature.iter().map(|x| format!("{x:x}")).collect();
+        rec.push_str(&format!(
+            "fn {} seen={} len={} sig={} name={}\n",
+            entry.hash,
+            entry.seen,
+            entry.text.len(),
+            sig.join(","),
+            entry.name
+        ));
+        rec.push_str(&entry.text);
+        rec.push('\n');
+        file.write_all(rec.as_bytes())?;
+        file.flush()?;
+        Ok(())
+    }
+
+    /// Loads entries from a raw store file, stopping (without error) at
+    /// the first malformed record — the possible torn tail of a crash
+    /// mid-append.
+    fn load(&mut self, raw: &[u8]) {
+        let Ok(text) = std::str::from_utf8(raw) else {
+            return;
+        };
+        let Some(rest) = text.strip_prefix(STORE_HEADER).and_then(|r| r.strip_prefix('\n')) else {
+            return;
+        };
+        let mut cursor = rest;
+        while !cursor.is_empty() {
+            let Some(entry_and_rest) = parse_record(cursor) else {
+                break;
+            };
+            let (entry, rest) = entry_and_rest;
+            cursor = rest;
+            if !self.by_hash.contains_key(&entry.hash.0) {
+                self.insert_entry(entry);
+            }
+        }
+    }
+}
+
+/// Parses one persisted record off the front of `cursor`; `None` on a
+/// malformed or truncated record.
+fn parse_record(cursor: &str) -> Option<(StoreEntry, &str)> {
+    let (header, body) = cursor.split_once('\n')?;
+    let fields = header.strip_prefix("fn ")?;
+    let (hash_s, fields) = fields.split_once(' ')?;
+    let hash = ContentHash::from_hex(hash_s)?;
+    let (seen_s, fields) = fields.split_once(' ')?;
+    let seen: u64 = seen_s.strip_prefix("seen=")?.parse().ok()?;
+    let (len_s, fields) = fields.split_once(' ')?;
+    let len: usize = len_s.strip_prefix("len=")?.parse().ok()?;
+    let (sig_s, name_s) = fields.split_once(' ')?;
+    let sig_s = sig_s.strip_prefix("sig=")?;
+    let name = name_s.strip_prefix("name=")?.to_owned();
+    let mut signature = Vec::new();
+    for part in sig_s.split(',') {
+        signature.push(u64::from_str_radix(part, 16).ok()?);
+    }
+    if body.len() < len + 1 || !body.is_char_boundary(len) {
+        return None; // torn tail
+    }
+    let text = body[..len].to_owned();
+    let rest = body[len..].strip_prefix('\n')?;
+    // The stored hash must match the stored text — a mismatch means the
+    // record (not just the tail) is corrupt, so stop here too.
+    if ContentHash::of_bytes(text.as_bytes()) != hash {
+        return None;
+    }
+    Some((StoreEntry { hash, name, seen, text, signature }, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmsa_ir::{FuncBuilder, Value};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("fmsa-store-test-{}-{tag}-{n}", std::process::id()))
+    }
+
+    fn module_with(names: &[(&str, i32)]) -> Module {
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![i32t]);
+        for &(name, c) in names {
+            let f = m.create_function(name, fn_ty);
+            let mut b = FuncBuilder::new(&mut m, f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let mut v = Value::Param(0);
+            for j in 0..6 {
+                v = b.add(v, b.const_i32(c + j));
+            }
+            b.ret(Some(v));
+        }
+        m
+    }
+
+    #[test]
+    fn canonical_text_is_name_independent() {
+        let m = module_with(&[("alpha", 1), ("beta_longer_name", 1)]);
+        let ids = m.func_ids();
+        let ta = canonical_function_text(&m, ids[0]);
+        let tb = canonical_function_text(&m, ids[1]);
+        assert_eq!(ta, tb);
+        assert!(ta.contains("@<self>"), "{ta}");
+        assert!(!ta.contains("alpha"));
+    }
+
+    #[test]
+    fn prefix_names_do_not_over_normalize() {
+        // A function `f` calling `ff` must not rewrite `@ff` to
+        // `@<self>f`.
+        let mut m = module_with(&[("ff", 1)]);
+        let i32t = m.types.i32();
+        let fn_ty = m.types.func(i32t, vec![i32t]);
+        let callee = m.func_ids()[0];
+        let f = m.create_function("f", fn_ty);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.block("entry");
+        b.switch_to(e);
+        let r = b.call(callee, vec![Value::Param(0)]);
+        b.ret(Some(r));
+        let text = canonical_function_text(&m, f);
+        assert!(text.contains("@ff"), "{text}");
+        assert!(text.contains("@<self>"), "{text}");
+    }
+
+    #[test]
+    fn ingest_dedupes_and_counts() {
+        let mut store = FunctionStore::in_memory();
+        let m = module_with(&[("a", 1), ("b", 1), ("c", 9)]);
+        let s1 = store.ingest_module(&m).unwrap();
+        // a and b share a body (name-normalized), c differs.
+        assert_eq!(s1.functions, 3);
+        assert_eq!(s1.misses, 2);
+        assert_eq!(s1.hits, 1);
+        assert_eq!(store.len(), 2);
+        let s2 = store.ingest_module(&m).unwrap();
+        assert_eq!(s2.hits, 3);
+        assert_eq!(s2.misses, 0);
+        assert!(store.hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn persistence_survives_reopen() {
+        let dir = temp_dir("reopen");
+        let m = module_with(&[("a", 1), ("c", 9)]);
+        {
+            let mut store = FunctionStore::open(&dir).unwrap();
+            let s = store.ingest_module(&m).unwrap();
+            assert_eq!(s.misses, 2);
+        }
+        let mut store = FunctionStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.hits(), 0, "counters are per-run");
+        let s = store.ingest_module(&m).unwrap();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 0);
+        assert!(store.hit_rate() > 0.99);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let dir = temp_dir("torn");
+        let m = module_with(&[("a", 1), ("c", 9)]);
+        {
+            let mut store = FunctionStore::open(&dir).unwrap();
+            store.ingest_module(&m).unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the tail.
+        let path = dir.join(STORE_FILE);
+        let mut raw = std::fs::read(&path).unwrap();
+        let cut = raw.len() - 17;
+        raw.truncate(cut);
+        std::fs::write(&path, &raw).unwrap();
+        let store = FunctionStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1, "intact prefix loads, torn tail dropped");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn similar_finds_near_clones_across_uploads() {
+        let mut store = FunctionStore::in_memory();
+        // Two separate "modules" (uploads) with similar bodies and one
+        // very different body.
+        store.ingest_module(&module_with(&[("a", 1)])).unwrap();
+        store.ingest_module(&module_with(&[("b", 2)])).unwrap();
+        let mut far = Module::new("far");
+        let i32t = far.types.i32();
+        let fn_ty = far.types.func(i32t, vec![i32t]);
+        let f = far.create_function("far", fn_ty);
+        let mut b = FuncBuilder::new(&mut far, f);
+        let e = b.block("entry");
+        b.switch_to(e);
+        let mut v = Value::Param(0);
+        for _ in 0..9 {
+            v = b.mul(v, b.const_i32(3));
+            v = b.xor(v, b.const_i32(5));
+        }
+        b.ret(Some(v));
+        store.ingest_module(&far).unwrap();
+        let subject = store.entries().next().unwrap().hash;
+        let similar = store.similar(subject, 5);
+        // The near-clone from the *other upload* must rank first.
+        assert!(!similar.is_empty(), "cross-upload clone should collide in LSH");
+        assert_eq!(similar[0].name, "b");
+        assert!(similar[0].score > 0.8, "{:?}", similar[0]);
+    }
+
+    #[test]
+    fn hash_hex_round_trips() {
+        let h = ContentHash::of_bytes(b"some function body");
+        assert_eq!(ContentHash::from_hex(&h.to_string()), Some(h));
+        assert_eq!(ContentHash::from_hex("zz"), None);
+    }
+}

@@ -454,7 +454,8 @@ fn recursive_functions_merge() {
 fn fmsa_options_end_to_end_equivalence() {
     // Whole-pass check: run the FMSA driver over a module of callers and
     // callees, then compare observable behaviour of the entry point.
-    use fmsa_core::pass::{run_fmsa, FmsaOptions};
+    use fmsa_core::pass::run_fmsa;
+    use fmsa_core::Config;
     let mut m = Module::new("m");
     let i32t = m.types.i32();
     let fn_ty = m.types.func(i32t, vec![i32t, i32t]);
@@ -490,9 +491,8 @@ fn fmsa_options_end_to_end_equivalence() {
     let inputs = i32_inputs();
     let before: Vec<_> =
         inputs.iter().map(|a| execute(&m, "main", a.clone()).expect("runs").value).collect();
-    let mut opts = FmsaOptions::with_threshold(10);
-    opts.exclude.insert("main".to_owned());
-    let stats = run_fmsa(&mut m, &opts);
+    let cfg = Config::new().threshold(10).exclude(["main"]);
+    let stats = run_fmsa(&mut m, &cfg.fmsa_options());
     assert!(stats.merges >= 1, "{stats:?}");
     assert!(fmsa_ir::verify_module(&m).is_empty(), "{:?}", fmsa_ir::verify_module(&m));
     for (args, exp) in inputs.iter().zip(before) {

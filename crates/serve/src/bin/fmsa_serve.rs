@@ -1,0 +1,125 @@
+//! `fmsa_serve` — the FMSA merge daemon.
+//!
+//! ```text
+//! fmsa_serve --addr 127.0.0.1:7070 --store .fmsa-store --threads 4
+//! ```
+//!
+//! Uploads (`POST /v1/modules`, body = wasm binary or textual IR) come
+//! back merged, byte-identical to batch `fmsa_opt` output for the same
+//! configuration. With `--store`, the content-addressed function store
+//! and its LSH index persist across restarts. See `docs/service.md`.
+
+use fmsa::Config;
+use fmsa_serve::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage: fmsa_serve [options]
+
+options:
+  --addr HOST:PORT     listen address (default 127.0.0.1:7070; port 0 = ephemeral)
+  --store DIR          persist the function store + LSH index under DIR
+                       (default: in-memory, nothing survives a restart)
+  --threads N          parallel merge pipeline with N workers (default: sequential)
+  --threshold N        alignment profitability threshold (default 1)
+  --search MODE        candidate search: exact | lsh | auto (default auto)
+  --min-similarity F   skip candidate pairs below estimated similarity F
+  --max-body BYTES     largest accepted upload (default 33554432)
+  --read-timeout SECS  per-connection socket read timeout (default 10)
+  -h, --help           this help
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("fmsa_serve: error: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServerConfig { addr: "127.0.0.1:7070".to_owned(), ..ServerConfig::default() };
+    let mut merge = Config::new();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let result: Result<(), String> = (|| {
+            match arg {
+                "-h" | "--help" => {
+                    print!("{USAGE}");
+                    std::process::exit(0);
+                }
+                "--addr" => cfg.addr = value("--addr")?,
+                "--store" => cfg.store_dir = Some(value("--store")?.into()),
+                "--threads" => {
+                    let n: usize = value("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads needs a number".to_owned())?;
+                    merge = merge.clone().threads(if n == 0 { None } else { Some(n) });
+                }
+                "--threshold" => {
+                    let n = value("--threshold")?
+                        .parse()
+                        .map_err(|_| "--threshold needs a number".to_owned())?;
+                    merge = merge.clone().threshold(n);
+                }
+                "--search" => {
+                    let mode = value("--search")?;
+                    let strategy = match mode.as_str() {
+                        "exact" => fmsa::core::SearchStrategy::Exact,
+                        "lsh" => fmsa::core::SearchStrategy::Lsh(Default::default()),
+                        "auto" => fmsa::core::SearchStrategy::Auto,
+                        other => return Err(format!("unknown search mode {other:?}")),
+                    };
+                    merge = merge.clone().search(strategy);
+                }
+                "--min-similarity" => {
+                    let f: f64 = value("--min-similarity")?
+                        .parse()
+                        .map_err(|_| "--min-similarity needs a number".to_owned())?;
+                    merge = merge.clone().min_similarity(f);
+                }
+                "--max-body" => {
+                    cfg.max_body = value("--max-body")?
+                        .parse()
+                        .map_err(|_| "--max-body needs a byte count".to_owned())?;
+                }
+                "--read-timeout" => {
+                    let secs: u64 = value("--read-timeout")?
+                        .parse()
+                        .map_err(|_| "--read-timeout needs seconds".to_owned())?;
+                    cfg.read_timeout = Duration::from_secs(secs.max(1));
+                }
+                other => return Err(format!("unknown option {other:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = result {
+            return fail(&msg);
+        }
+        i += 1;
+    }
+    cfg.merge = merge;
+
+    let server = match Server::bind(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("binding {}: {e}", cfg.addr)),
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let store = cfg
+        .store_dir
+        .as_ref()
+        .map_or("in-memory".to_owned(), |d| format!("persistent at {}", d.display()));
+    eprintln!("fmsa_serve: listening on http://{addr} (store: {store})");
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e.to_string()),
+    }
+}

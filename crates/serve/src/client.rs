@@ -1,0 +1,130 @@
+//! A minimal HTTP/1.1 client — enough to exercise the daemon from tests
+//! and the `serve-bench` load generator without pulling a dependency in.
+//! One request per connection (`Connection: close`); understands
+//! `Content-Length` and `chunked` response bodies.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One parsed response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Lowercased header names with their values, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The decoded body (chunked framing removed).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends one request and reads the full response.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: fmsa\r\nConnection: close\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    if !body.is_empty() || method == "POST" {
+        head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    read_response(&mut BufReader::new(stream))
+}
+
+/// `GET path`.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<Response> {
+    request(addr, "GET", path, &[], &[])
+}
+
+/// `POST path` with a body.
+pub fn post(addr: SocketAddr, path: &str, body: &[u8]) -> std::io::Result<Response> {
+    request(addr, "POST", path, &[], body)
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+fn read_line<R: BufRead>(reader: &mut R) -> std::io::Result<String> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(bad("connection closed mid-response"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Parses a status line, headers, and body off `reader`.
+pub fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<Response> {
+    let status_line = read_line(reader)?;
+    let mut parts = status_line.splitn(3, ' ');
+    let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+        return Err(bad("bad status line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("bad status line"));
+    }
+    let status: u16 = code.parse().map_err(|_| bad("bad status code"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad("bad response header"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let find = |name: &str| headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone());
+    let mut body = Vec::new();
+    if find("transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked")) {
+        loop {
+            let size_line = read_line(reader)?;
+            let size =
+                usize::from_str_radix(size_line.trim(), 16).map_err(|_| bad("bad chunk size"))?;
+            if size == 0 {
+                // Trailer section ends with an empty line.
+                while !read_line(reader)?.is_empty() {}
+                break;
+            }
+            let start = body.len();
+            body.resize(start + size, 0);
+            reader.read_exact(&mut body[start..])?;
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+        }
+    } else if let Some(cl) = find("content-length") {
+        let len: usize = cl.parse().map_err(|_| bad("bad content-length"))?;
+        body.resize(len, 0);
+        reader.read_exact(&mut body)?;
+    } else {
+        reader.read_to_end(&mut body)?;
+    }
+    Ok(Response { status, headers, body })
+}

@@ -1,0 +1,427 @@
+//! # fmsa-serve — the FMSA merge daemon
+//!
+//! A long-running merge service over the [`fmsa`] session API
+//! ([`fmsa::MergeSession`]): a content-addressed function store with a
+//! durable LSH index (persisted under `--store`, reloaded on restart)
+//! behind a dependency-free std-TCP HTTP/JSON layer. Uploads are wasm
+//! binaries or textual IR (`fmsa_opt`'s auto-detection, via
+//! [`fmsa::load_module_bytes`]); responses stream the merged module back
+//! with per-request statistics in `X-Fmsa-*` headers. Because requests
+//! run through the same [`fmsa::optimize`] entry point as the batch CLI,
+//! a daemon response is byte-identical to `fmsa_opt` output for the same
+//! input and configuration.
+//!
+//! ## Endpoints
+//!
+//! | Method | Path                | Purpose                                    |
+//! |--------|---------------------|--------------------------------------------|
+//! | GET    | `/healthz`          | liveness probe (`ok`)                      |
+//! | GET    | `/v1/stats`         | session totals + store counters (JSON)     |
+//! | POST   | `/v1/modules`       | merge an uploaded module (body = wasm/IR)  |
+//! | GET    | `/v1/store`         | store summary (JSON)                       |
+//! | GET    | `/v1/store/:hash`   | canonical text of one stored function      |
+//! | GET    | `/v1/similar/:hash` | cross-module similar functions (`?k=N`)    |
+//!
+//! See `docs/service.md` for the protocol details, the store format, and
+//! the replay workflow.
+
+use fmsa::core::store::SimilarEntry;
+use fmsa::{Config, ContentHash, Error, MergeOutcome, MergeSession};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+pub mod client;
+pub mod http;
+pub mod json;
+
+use http::{Request, RequestError};
+use json::Json;
+
+/// How the daemon is set up — address, limits, store location, and the
+/// merge [`Config`] every request runs under.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7070` (`:0` for an ephemeral
+    /// port).
+    pub addr: String,
+    /// Store directory; `None` keeps the store in memory only (nothing
+    /// survives a restart).
+    pub store_dir: Option<PathBuf>,
+    /// Maximum accepted request body, in bytes.
+    pub max_body: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Maximum concurrent connections; excess connections get a 503.
+    pub max_connections: usize,
+    /// The merge configuration applied to every upload.
+    pub merge: Config,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            store_dir: None,
+            max_body: 32 * 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+            max_connections: 32,
+            merge: Config::new(),
+        }
+    }
+}
+
+/// A bound (but not yet running) daemon.
+pub struct Server {
+    listener: TcpListener,
+    session: Arc<Mutex<MergeSession>>,
+    cfg: Arc<ServerConfig>,
+    stop: Arc<AtomicBool>,
+    started: Instant,
+}
+
+/// Handle to a daemon running on a background thread (see
+/// [`Server::spawn`]); stopping joins the accept loop.
+pub struct RunningServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<std::io::Result<()>>>,
+}
+
+impl RunningServer {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop to exit and joins it.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl Server {
+    /// Binds the listener and opens (or creates) the session store.
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let session = match &cfg.store_dir {
+            Some(dir) => MergeSession::open(cfg.merge.clone(), dir)
+                .map_err(|e| std::io::Error::other(format!("opening store: {e}")))?,
+            None => MergeSession::new(cfg.merge.clone()),
+        };
+        Ok(Server {
+            listener,
+            session: Arc::new(Mutex::new(session)),
+            cfg: Arc::new(cfg),
+            stop: Arc::new(AtomicBool::new(false)),
+            started: Instant::now(),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on the current thread until stopped.
+    pub fn run(self) -> std::io::Result<()> {
+        let active = Arc::new(AtomicUsize::new(0));
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            if active.load(Ordering::SeqCst) >= self.cfg.max_connections {
+                let mut stream = stream;
+                let _ = http::write_response(
+                    &mut stream,
+                    503,
+                    &[],
+                    "application/json",
+                    Json::obj([("error", Json::s("too many connections"))]).0.as_bytes(),
+                );
+                continue;
+            }
+            active.fetch_add(1, Ordering::SeqCst);
+            let session = Arc::clone(&self.session);
+            let cfg = Arc::clone(&self.cfg);
+            let active = Arc::clone(&active);
+            let started = self.started;
+            std::thread::spawn(move || {
+                let _ = handle_connection(stream, &session, &cfg, started);
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the accept loop on a background thread, returning a stop
+    /// handle — how tests and the in-process load generator boot the
+    /// daemon.
+    pub fn spawn(self) -> std::io::Result<RunningServer> {
+        let addr = self.local_addr()?;
+        let stop = Arc::clone(&self.stop);
+        let join = std::thread::spawn(move || self.run());
+        Ok(RunningServer { addr, stop, join: Some(join) })
+    }
+}
+
+fn lock_session(session: &Mutex<MergeSession>) -> std::sync::MutexGuard<'_, MergeSession> {
+    // optimize() catches merge panics, so poisoning is unreachable in
+    // practice; recover rather than wedge the daemon if it ever happens.
+    session.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    session: &Mutex<MergeSession>,
+    cfg: &ServerConfig,
+    started: Instant,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(cfg.read_timeout))?;
+    loop {
+        let request = {
+            let mut reader = BufReader::new(&stream);
+            http::read_request(&mut reader, cfg.max_body)
+        };
+        let request = match request {
+            Ok(r) => r,
+            Err(RequestError::Closed) | Err(RequestError::Io(_)) => return Ok(()),
+            Err(RequestError::Malformed(msg)) => {
+                let body = Json::obj([("error", Json::s(&msg))]).0;
+                return http::write_response(
+                    &mut stream,
+                    400,
+                    &[],
+                    "application/json",
+                    body.as_bytes(),
+                );
+            }
+            Err(RequestError::TooLarge { declared, limit }) => {
+                let body = Json::obj([
+                    ("error", Json::s("request body too large")),
+                    ("declared", Json::i(declared as i128)),
+                    ("limit", Json::i(limit as i128)),
+                ])
+                .0;
+                return http::write_response(
+                    &mut stream,
+                    413,
+                    &[],
+                    "application/json",
+                    body.as_bytes(),
+                );
+            }
+        };
+        let keep_alive = request.keep_alive();
+        respond(&mut stream, &request, session, started)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+/// Routes one request and writes its response.
+fn respond(
+    stream: &mut TcpStream,
+    request: &Request,
+    session: &Mutex<MergeSession>,
+    started: Instant,
+) -> std::io::Result<()> {
+    let (path, query) = request.path_query();
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => http::write_response(stream, 200, &[], "text/plain", b"ok\n"),
+        ("GET", "/v1/stats") => {
+            let session = lock_session(session);
+            let totals = *session.totals();
+            let store = session.store();
+            let body = Json::obj([
+                ("uptime_ms", Json::i(started.elapsed().as_millis() as i128)),
+                ("requests", Json::i(totals.requests as i128)),
+                ("merges", Json::i(totals.merges as i128)),
+                ("functions", Json::i(totals.functions as i128)),
+                ("cache_hits", Json::i(totals.cache_hits as i128)),
+                ("wall_ms", Json::i(totals.wall.as_millis() as i128)),
+                (
+                    "store",
+                    Json::obj([
+                        ("functions", Json::i(store.len() as i128)),
+                        ("hits", Json::i(store.hits() as i128)),
+                        ("misses", Json::i(store.misses() as i128)),
+                        ("hit_rate", Json::f(store.hit_rate())),
+                        ("persistent", Json::b(store.dir().is_some())),
+                    ]),
+                ),
+            ])
+            .0;
+            http::write_response(stream, 200, &[], "application/json", body.as_bytes())
+        }
+        ("POST", "/v1/modules") => {
+            let name = request.header("x-fmsa-name").unwrap_or("upload");
+            let outcome = merge_upload(session, &request.body, name);
+            match outcome {
+                Ok(out) => {
+                    let headers = stats_headers(&out);
+                    http::write_chunked_response(
+                        stream,
+                        200,
+                        &headers,
+                        "text/plain; charset=utf-8",
+                        out.output.as_bytes(),
+                    )
+                }
+                Err(e) => {
+                    let status = error_status(&e);
+                    let mut pairs =
+                        vec![("error", Json::s(&e.to_string())), ("stage", Json::s(e.stage()))];
+                    if let Some(f) = e.function() {
+                        pairs.push(("function", Json::s(f)));
+                    }
+                    let body = Json::obj(pairs).0;
+                    http::write_response(stream, status, &[], "application/json", body.as_bytes())
+                }
+            }
+        }
+        ("GET", "/v1/store") => {
+            let session = lock_session(session);
+            let store = session.store();
+            let entries = store.entries().take(100).map(|e| {
+                Json::obj([
+                    ("hash", Json::s(&e.hash.to_string())),
+                    ("name", Json::s(&e.name)),
+                    ("seen", Json::i(e.seen as i128)),
+                    ("bytes", Json::i(e.text.len() as i128)),
+                ])
+            });
+            let body = Json::obj([
+                ("functions", Json::i(store.len() as i128)),
+                ("hits", Json::i(store.hits() as i128)),
+                ("misses", Json::i(store.misses() as i128)),
+                ("hit_rate", Json::f(store.hit_rate())),
+                ("entries", Json::arr(entries)),
+            ])
+            .0;
+            http::write_response(stream, 200, &[], "application/json", body.as_bytes())
+        }
+        ("GET", p) if p.starts_with("/v1/store/") => {
+            let hash = p.trim_start_matches("/v1/store/");
+            let Some(hash) = ContentHash::from_hex(hash) else {
+                let body = Json::obj([("error", Json::s("bad hash"))]).0;
+                return http::write_response(stream, 400, &[], "application/json", body.as_bytes());
+            };
+            let session = lock_session(session);
+            match session.store().get(hash) {
+                Some(entry) => {
+                    let headers = vec![
+                        ("X-Fmsa-Name", entry.name.clone()),
+                        ("X-Fmsa-Seen", entry.seen.to_string()),
+                    ];
+                    http::write_response(
+                        stream,
+                        200,
+                        &headers,
+                        "text/plain; charset=utf-8",
+                        entry.text.as_bytes(),
+                    )
+                }
+                None => {
+                    let body = Json::obj([("error", Json::s("unknown hash"))]).0;
+                    http::write_response(stream, 404, &[], "application/json", body.as_bytes())
+                }
+            }
+        }
+        ("GET", p) if p.starts_with("/v1/similar/") => {
+            let hash = p.trim_start_matches("/v1/similar/");
+            let Some(hash) = ContentHash::from_hex(hash) else {
+                let body = Json::obj([("error", Json::s("bad hash"))]).0;
+                return http::write_response(stream, 400, &[], "application/json", body.as_bytes());
+            };
+            let k = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("k="))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(5usize)
+                .min(100);
+            let session = lock_session(session);
+            let similar: Vec<SimilarEntry> = session.store().similar(hash, k);
+            let body = Json::arr(similar.iter().map(|s| {
+                Json::obj([
+                    ("hash", Json::s(&s.hash.to_string())),
+                    ("name", Json::s(&s.name)),
+                    ("score", Json::f(s.score)),
+                ])
+            }))
+            .0;
+            http::write_response(stream, 200, &[], "application/json", body.as_bytes())
+        }
+        (_, "/healthz" | "/v1/stats" | "/v1/modules" | "/v1/store") => {
+            let body = Json::obj([("error", Json::s("method not allowed"))]).0;
+            http::write_response(stream, 405, &[], "application/json", body.as_bytes())
+        }
+        _ => {
+            let body = Json::obj([("error", Json::s("not found"))]).0;
+            http::write_response(stream, 404, &[], "application/json", body.as_bytes())
+        }
+    }
+}
+
+/// The full merge path for one upload: response-cache probe on the raw
+/// bytes, format auto-detection, session merge.
+fn merge_upload(
+    session: &Mutex<MergeSession>,
+    body: &[u8],
+    name: &str,
+) -> Result<MergeOutcome, Error> {
+    if body.is_empty() {
+        return Err(Error::config("empty request body (expected wasm or textual IR)"));
+    }
+    let key = ContentHash::of_bytes(body);
+    let mut session = lock_session(session);
+    if let Some(out) = session.merge_cached(key) {
+        return Ok(out);
+    }
+    let module = fmsa::load_module_bytes(body, name)?;
+    session.merge_module(module, Some(key))
+}
+
+fn stats_headers(out: &MergeOutcome) -> Vec<(&'static str, String)> {
+    let s = &out.stats;
+    vec![
+        ("X-Fmsa-Functions", s.functions.to_string()),
+        ("X-Fmsa-Merges", s.merges.to_string()),
+        ("X-Fmsa-Size-Before", s.size_before.to_string()),
+        ("X-Fmsa-Size-After", s.size_after.to_string()),
+        ("X-Fmsa-Reduction-Percent", format!("{:.4}", s.reduction_percent)),
+        ("X-Fmsa-Store-Hits", s.store_hits.to_string()),
+        ("X-Fmsa-Store-Misses", s.store_misses.to_string()),
+        ("X-Fmsa-Store-Size", s.store_size.to_string()),
+        ("X-Fmsa-Quarantined", s.quarantined.to_string()),
+        ("X-Fmsa-Wall-Micros", s.wall.as_micros().to_string()),
+        ("X-Fmsa-Cache", if s.from_cache { "hit" } else { "miss" }.to_string()),
+    ]
+}
+
+/// Maps a library [`Error`] onto an HTTP status: caller faults are 4xx
+/// (bad uploads stay the client's problem), internal failures are 5xx.
+fn error_status(e: &Error) -> u16 {
+    match e.stage() {
+        "parse" | "decode" | "config" => 400,
+        "verify-input" => 422,
+        _ => 500,
+    }
+}

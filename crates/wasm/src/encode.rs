@@ -341,8 +341,18 @@ impl WasmBuilder {
     /// Serializes the module to wasm bytes.
     pub fn finish(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        out.extend_from_slice(&crate::WASM_MAGIC);
-        out.extend_from_slice(&crate::WASM_VERSION.to_le_bytes());
+        self.write_to(&mut out).expect("writing to a Vec cannot fail");
+        out
+    }
+
+    /// Serializes the module section-by-section into `out` — the
+    /// streaming re-encode used by the merge daemon's response path.
+    /// Peak buffering is one section body (a section's LEB128 length
+    /// prefix must precede its bytes), never the whole module, and each
+    /// section reaches the writer as soon as it is complete.
+    pub fn write_to<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
+        out.write_all(&crate::WASM_MAGIC)?;
+        out.write_all(&crate::WASM_VERSION.to_le_bytes())?;
 
         if !self.types.is_empty() {
             let mut body = Vec::new();
@@ -354,7 +364,7 @@ impl WasmBuilder {
                 write_u32(&mut body, results.len() as u32);
                 body.extend(results.iter().map(|v| v.byte()));
             }
-            section(&mut out, 1, &body);
+            section(out, 1, &body)?;
         }
 
         if !self.funcs.is_empty() {
@@ -363,7 +373,7 @@ impl WasmBuilder {
             for f in &self.funcs {
                 write_u32(&mut body, f.type_idx);
             }
-            section(&mut out, 3, &body);
+            section(out, 3, &body)?;
         }
 
         if let Some(min) = self.memory_pages {
@@ -371,7 +381,7 @@ impl WasmBuilder {
             write_u32(&mut body, 1);
             body.push(0x00); // limits: min only
             write_u32(&mut body, min);
-            section(&mut out, 5, &body);
+            section(out, 5, &body)?;
         }
 
         if !self.exports.is_empty() {
@@ -383,7 +393,7 @@ impl WasmBuilder {
                 body.push(0x00); // export kind: func
                 write_u32(&mut body, *func);
             }
-            section(&mut out, 7, &body);
+            section(out, 7, &body)?;
         }
 
         if !self.funcs.is_empty() {
@@ -401,17 +411,19 @@ impl WasmBuilder {
                 write_u32(&mut body, entry.len() as u32);
                 body.extend_from_slice(&entry);
             }
-            section(&mut out, 10, &body);
+            section(out, 10, &body)?;
         }
 
-        out
+        Ok(())
     }
 }
 
-fn section(out: &mut Vec<u8>, id: u8, body: &[u8]) {
-    out.push(id);
-    write_u32(out, body.len() as u32);
-    out.extend_from_slice(body);
+fn section<W: std::io::Write>(out: &mut W, id: u8, body: &[u8]) -> std::io::Result<()> {
+    out.write_all(&[id])?;
+    let mut len = Vec::new();
+    write_u32(&mut len, body.len() as u32);
+    out.write_all(&len)?;
+    out.write_all(body)
 }
 
 #[cfg(test)]
@@ -423,6 +435,37 @@ mod tests {
         let bytes = WasmBuilder::new().finish();
         assert_eq!(bytes, b"\0asm\x01\0\0\0");
         assert!(crate::parse_wasm(&bytes).is_ok());
+    }
+
+    #[test]
+    fn write_to_matches_finish_exactly() {
+        let mut b = WasmBuilder::new();
+        let ty = b.add_type(&[ValType::I32, ValType::I32], &[ValType::I32]);
+        let mut code = CodeWriter::new();
+        code.local_get(0);
+        code.local_get(1);
+        code.i32_add();
+        let f = b.add_function(ty, &[ValType::I32], code);
+        b.add_memory(1);
+        b.export_func("sum", f);
+        let mut streamed = Vec::new();
+        b.write_to(&mut streamed).unwrap();
+        assert_eq!(streamed, b.finish());
+        assert!(crate::parse_wasm(&streamed).is_ok());
+    }
+
+    #[test]
+    fn write_to_propagates_io_errors() {
+        struct Failing;
+        impl std::io::Write for Failing {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("closed"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        assert!(WasmBuilder::new().write_to(&mut Failing).is_err());
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! cargo run --example quickstart
 //! ```
 
-use fmsa::core::pass::{run_fmsa, FmsaOptions};
+use fmsa::core::pass::run_fmsa;
 use fmsa::interp::{execute, Val};
 use fmsa::ir::{printer, FuncBuilder, Module, Value};
+use fmsa::Config;
 
 fn main() {
     // 1. Build a module with two near-identical functions: polynomial
@@ -34,7 +35,7 @@ fn main() {
     let before_b = execute(&module, "poly_b", vec![Val::i32(2), Val::i32(3)]).unwrap();
 
     // 2. Run the FMSA optimization.
-    let stats = run_fmsa(&mut module, &FmsaOptions::default());
+    let stats = run_fmsa(&mut module, &Config::new().fmsa_options());
     println!("\n--- after merging ---");
     print!("{}", printer::print_module(&module));
     println!("\nmerges committed : {}", stats.merges);

@@ -9,8 +9,9 @@
 //! ```
 
 use fmsa::core::baselines::{run_identical, run_soa};
-use fmsa::core::pass::{run_fmsa, FmsaOptions};
+use fmsa::core::pass::run_fmsa;
 use fmsa::target::{reduction_percent, CostModel, TargetArch};
+use fmsa::Config;
 
 fn main() {
     let desc = fmsa::workloads::mibench_suite()
@@ -33,7 +34,7 @@ fn main() {
     println!("SOA      : {} merges, {:.2}% reduction", soa.merges, soa.reduction_percent());
 
     let mut m = module.clone();
-    let stats = run_fmsa(&mut m, &FmsaOptions::default());
+    let stats = run_fmsa(&mut m, &Config::new().fmsa_options());
     let after = cm.module_size(&m);
     println!(
         "FMSA     : {} merges, {:.2}% reduction (paper: 20.6%)",

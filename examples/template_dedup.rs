@@ -9,10 +9,11 @@
 //! ```
 
 use fmsa::core::baselines::run_identical;
-use fmsa::core::pass::{run_fmsa, FmsaOptions};
+use fmsa::core::pass::run_fmsa;
 use fmsa::ir::Module;
 use fmsa::target::{reduction_percent, CostModel, TargetArch};
 use fmsa::workloads::{generate_function, GenConfig, Variant};
+use fmsa::Config;
 
 fn build_instantiations() -> Module {
     let mut m = Module::new("templates");
@@ -56,7 +57,7 @@ fn main() {
     // FMSA with the feedback loop.
     let mut m = module.clone();
     run_identical(&mut m, TargetArch::X86_64);
-    let stats = run_fmsa(&mut m, &FmsaOptions::with_threshold(5));
+    let stats = run_fmsa(&mut m, &Config::new().threshold(5).fmsa_options());
     let after = cm.module_size(&m);
     println!(
         "FMSA merges across types too: {} more merges, {:.1}% total reduction",

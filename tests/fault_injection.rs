@@ -8,16 +8,16 @@
 //! 5000-function swarm runs under `--ignored` (and in release mode via
 //! `experiments faults`).
 
-use fmsa_core::pass::FmsaOptions;
-use fmsa_core::pipeline::{run_fmsa_pipeline, PipelineOptions};
+use fmsa_core::pipeline::run_fmsa_pipeline;
 use fmsa_core::quarantine::QuarantineStage;
+use fmsa_core::Config;
 use fmsa_core::{silence_injected_panics, FaultPlan, FaultSite, SearchStrategy};
 use fmsa_ir::printer::print_module;
 use fmsa_ir::verify_module;
 use fmsa_workloads::{clone_swarm_module, SwarmConfig};
 
-fn swarm_opts() -> FmsaOptions {
-    FmsaOptions { threshold: 5, search: SearchStrategy::lsh(), ..FmsaOptions::default() }
+fn swarm_cfg() -> Config {
+    Config::new().threshold(5).search(SearchStrategy::lsh())
 }
 
 /// The full matrix for one swarm size: run the injected plan at 1/2/4
@@ -26,13 +26,12 @@ fn swarm_opts() -> FmsaOptions {
 fn check_injected_plan(functions: usize) {
     silence_injected_panics();
     let base = clone_swarm_module(&SwarmConfig::with_functions(functions));
-    let opts = swarm_opts();
     let plan = FaultPlan::new(0xFA17, 20_000, &FaultSite::ALL);
     let mut reference: Option<(String, String, usize)> = None;
     for threads in [1usize, 2, 4] {
         let mut m = base.clone();
-        let pipe = PipelineOptions { threads, faults: plan, ..PipelineOptions::default() };
-        let stats = run_fmsa_pipeline(&mut m, &opts, &pipe);
+        let cfg = swarm_cfg().parallel(threads).faults(plan);
+        let stats = run_fmsa_pipeline(&mut m, &cfg.fmsa_options(), &cfg.pipeline_options());
         let errs = verify_module(&m);
         assert!(errs.is_empty(), "faulted run verifies at {threads} threads: {errs:?}");
         assert!(stats.merges > 0, "the swarm still merges around the faults");
@@ -92,10 +91,10 @@ fn injected_faults_on_the_5000_function_swarm() {
 fn scratch_poison_degrades_without_changing_output() {
     silence_injected_panics();
     let base = clone_swarm_module(&SwarmConfig::with_functions(600));
-    let opts = swarm_opts();
+    let cfg = swarm_cfg().parallel(4);
 
     let mut clean = base.clone();
-    run_fmsa_pipeline(&mut clean, &opts, &PipelineOptions::with_threads(4));
+    run_fmsa_pipeline(&mut clean, &cfg.fmsa_options(), &cfg.pipeline_options());
     let clean_text = print_module(&clean);
 
     // Poison every speculative scratch body: the commit stage must catch
@@ -103,8 +102,8 @@ fn scratch_poison_degrades_without_changing_output() {
     // of the fault-free run with nothing quarantined.
     let poison = FaultPlan::new(0xFA17, 1_000_000, &[FaultSite::ScratchPoison]);
     let mut m = base.clone();
-    let pipe = PipelineOptions { threads: 4, faults: poison, ..PipelineOptions::default() };
-    let stats = run_fmsa_pipeline(&mut m, &opts, &pipe);
+    let pcfg = cfg.faults(poison);
+    let stats = run_fmsa_pipeline(&mut m, &pcfg.fmsa_options(), &pcfg.pipeline_options());
     let p = stats.pipeline.expect("pipeline stats");
     assert!(p.poisoned_scratch > 0, "the poison plan fired");
     assert_eq!(p.quarantined(), 0, "spec-wave faults degrade, they never quarantine");

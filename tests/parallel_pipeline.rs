@@ -4,19 +4,20 @@
 //! budget's behaviour on paper-scale and adversarial inputs.
 
 use fmsa::align::{AlignmentBudget, BudgetFallback};
-use fmsa::core::pass::{run_fmsa, FmsaOptions};
-use fmsa::core::pipeline::{run_fmsa_pipeline, PipelineOptions};
+use fmsa::core::pass::run_fmsa;
+use fmsa::core::pipeline::run_fmsa_pipeline;
 use fmsa::core::SearchStrategy;
 use fmsa::ir::printer::print_module;
 use fmsa::ir::Module;
 use fmsa::workloads::{clone_swarm_module, spec_suite, SwarmConfig};
+use fmsa::Config;
 use proptest::prelude::*;
 
-fn run_both(base: &Module, opts: &FmsaOptions, pipe: &PipelineOptions) -> (String, String) {
+fn run_both(base: &Module, cfg: &Config) -> (String, String) {
     let mut m_seq = base.clone();
-    run_fmsa(&mut m_seq, opts);
+    run_fmsa(&mut m_seq, &cfg.fmsa_options());
     let mut m_par = base.clone();
-    run_fmsa_pipeline(&mut m_par, opts, pipe);
+    run_fmsa_pipeline(&mut m_par, &cfg.fmsa_options(), &cfg.pipeline_options());
     (print_module(&m_seq), print_module(&m_par))
 }
 
@@ -38,8 +39,8 @@ proptest! {
         let clone_fraction = clone_percent as f64 / 100.0;
         let cfg = SwarmConfig { functions, family_size, clone_fraction, target_size, seed };
         let base = clone_swarm_module(&cfg);
-        let opts = FmsaOptions { threshold: 5, search: SearchStrategy::lsh(), ..FmsaOptions::default() };
-        let (seq, par) = run_both(&base, &opts, &PipelineOptions::with_threads(threads));
+        let cfg = Config::new().threshold(5).search(SearchStrategy::lsh()).parallel(threads);
+        let (seq, par) = run_both(&base, &cfg);
         prop_assert_eq!(seq, par);
     }
 
@@ -49,12 +50,11 @@ proptest! {
     fn pipeline_is_deterministic_for_fixed_seed(seed in 0u64..1_000) {
         let cfg = SwarmConfig { functions: 40, seed, ..SwarmConfig::default() };
         let base = clone_swarm_module(&cfg);
-        let opts = FmsaOptions { threshold: 5, search: SearchStrategy::lsh(), ..FmsaOptions::default() };
-        let pipe = PipelineOptions::with_threads(4);
+        let cfg = Config::new().threshold(5).search(SearchStrategy::lsh()).parallel(4);
         let mut runs = Vec::new();
         for _ in 0..2 {
             let mut m = base.clone();
-            run_fmsa_pipeline(&mut m, &opts, &pipe);
+            run_fmsa_pipeline(&mut m, &cfg.fmsa_options(), &cfg.pipeline_options());
             runs.push(print_module(&m));
         }
         prop_assert_eq!(&runs[0], &runs[1]);
@@ -74,13 +74,12 @@ fn stress_shared_candidates_exercise_conflict_revalidation() {
         seed: 0xfeed_beef,
     };
     let base = clone_swarm_module(&cfg);
-    let opts =
-        FmsaOptions { threshold: 8, search: SearchStrategy::lsh(), ..FmsaOptions::default() };
+    let cfg = Config::new().threshold(8).search(SearchStrategy::lsh()).parallel(4);
     let mut m_seq = base.clone();
-    let seq = run_fmsa(&mut m_seq, &opts);
+    let seq = run_fmsa(&mut m_seq, &cfg.fmsa_options());
     assert!(seq.merges > 10, "stress module must merge heavily: {}", seq.merges);
     let mut m_par = base.clone();
-    let par = run_fmsa_pipeline(&mut m_par, &opts, &PipelineOptions::with_threads(4));
+    let par = run_fmsa_pipeline(&mut m_par, &cfg.fmsa_options(), &cfg.pipeline_options());
     assert_eq!(print_module(&m_seq), print_module(&m_par));
     let p = par.pipeline.expect("pipeline stats");
     assert!(p.recomputed > 0, "shared candidates must invalidate speculative attempts: {p:?}");
@@ -102,15 +101,15 @@ fn stress_speculative_codegen_across_thread_counts() {
         seed: 0x5bec_c0de,
     };
     let base = clone_swarm_module(&cfg);
-    let opts =
-        FmsaOptions { threshold: 5, search: SearchStrategy::lsh(), ..FmsaOptions::default() };
+    let cfg = Config::new().threshold(5).search(SearchStrategy::lsh());
     let mut m_seq = base.clone();
-    let seq = run_fmsa(&mut m_seq, &opts);
+    let seq = run_fmsa(&mut m_seq, &cfg.fmsa_options());
     let seq_text = print_module(&m_seq);
     assert!(seq.merges > 5, "stress module must merge: {}", seq.merges);
     for threads in [1usize, 2, 4, 8] {
         let mut m_par = base.clone();
-        let par = run_fmsa_pipeline(&mut m_par, &opts, &PipelineOptions::with_threads(threads));
+        let pcfg = cfg.clone().parallel(threads);
+        let par = run_fmsa_pipeline(&mut m_par, &pcfg.fmsa_options(), &pcfg.pipeline_options());
         assert_eq!(seq.merges, par.merges, "merge count at {threads} threads");
         assert_eq!(
             seq.rank_positions, par.rank_positions,
@@ -139,8 +138,8 @@ fn stress_speculative_codegen_across_thread_counts() {
 fn pipeline_matches_sequential_on_suite_modules() {
     for d in spec_suite().into_iter().filter(|d| d.paper_fns <= 400) {
         let base = d.build();
-        let opts = FmsaOptions::with_threshold(5);
-        let (seq, par) = run_both(&base, &opts, &PipelineOptions::with_threads(3));
+        let cfg = Config::new().threshold(5).parallel(3);
+        let (seq, par) = run_both(&base, &cfg);
         assert_eq!(seq, par, "{} diverged", d.name);
     }
 }
@@ -185,22 +184,22 @@ fn length_cap_triggers_on_adversarially_long_functions() {
         }
         b.ret(Some(v));
     }
-    let opts = FmsaOptions {
-        budget: AlignmentBudget {
+    let cfg = Config::new()
+        .threshold(5)
+        .budget(AlignmentBudget {
             full_matrix_cells: usize::MAX,
             fallback: BudgetFallback::Banded(16),
             max_len: 1_000, // both functions exceed this
-        },
-        ..FmsaOptions::with_threshold(5)
-    };
+        })
+        .parallel(2);
     let mut merged = m.clone();
-    let stats = run_fmsa_pipeline(&mut merged, &opts, &PipelineOptions::with_threads(2));
+    let stats = run_fmsa_pipeline(&mut merged, &cfg.fmsa_options(), &cfg.pipeline_options());
     assert_eq!(stats.merges, 0, "capped pairs must not merge");
     assert!(stats.pipeline.expect("stats").budget_skipped > 0);
     // Without the cap the same pair merges fine.
-    let opts = FmsaOptions::with_threshold(5);
+    let cfg = Config::new().threshold(5).parallel(2);
     let mut merged = m.clone();
-    let stats = run_fmsa_pipeline(&mut merged, &opts, &PipelineOptions::with_threads(2));
+    let stats = run_fmsa_pipeline(&mut merged, &cfg.fmsa_options(), &cfg.pipeline_options());
     assert_eq!(stats.merges, 1);
 }
 
@@ -216,19 +215,18 @@ fn banded_fallback_still_merges_clone_families() {
         seed: 0x0dd_ba11,
     };
     let base = clone_swarm_module(&cfg);
-    let opts = FmsaOptions {
-        budget: AlignmentBudget {
+    let cfg = Config::new()
+        .threshold(5)
+        .budget(AlignmentBudget {
             full_matrix_cells: 2_000, // far below the ~100²+ matrices here
             fallback: BudgetFallback::Banded(32),
             max_len: usize::MAX,
-        },
-        threshold: 5,
-        ..FmsaOptions::default()
-    };
+        })
+        .parallel(2);
     let mut m_banded = base.clone();
-    let banded = run_fmsa_pipeline(&mut m_banded, &opts, &PipelineOptions::with_threads(2));
+    let banded = run_fmsa_pipeline(&mut m_banded, &cfg.fmsa_options(), &cfg.pipeline_options());
     let mut m_full = base.clone();
-    let full = run_fmsa(&mut m_full, &FmsaOptions::with_threshold(5));
+    let full = run_fmsa(&mut m_full, &Config::new().threshold(5).fmsa_options());
     assert!(banded.merges > 0);
     assert_eq!(banded.merges, full.merges, "banded must not lose clone-family merges");
     assert!(fmsa::ir::verify_module(&m_banded).is_empty());

@@ -2,10 +2,11 @@
 //! full technique stack, with the paper's qualitative claims asserted.
 
 use fmsa::core::baselines::{run_identical, run_soa};
-use fmsa::core::pass::{run_fmsa, FmsaOptions};
+use fmsa::core::pass::run_fmsa;
 use fmsa::interp::Interpreter;
 use fmsa::target::{CostModel, TargetArch};
 use fmsa::workloads::{add_driver, mibench_suite, spec_suite, DriverConfig};
+use fmsa::Config;
 use std::collections::HashSet;
 
 fn desc(name: &str) -> fmsa::workloads::BenchDesc {
@@ -34,7 +35,7 @@ fn technique_ordering_on_small_spec_benchmarks() {
         let soa = before - cm.module_size(&ms);
         let mut mf = base.clone();
         run_identical(&mut mf, TargetArch::X86_64);
-        run_fmsa(&mut mf, &FmsaOptions::with_threshold(10));
+        run_fmsa(&mut mf, &Config::new().threshold(10).fmsa_options());
         let fmsa = before - cm.module_size(&mf);
         assert!(fmsa >= soa, "{name}: FMSA {fmsa} < SOA {soa}");
         assert!(soa >= ident, "{name}: SOA {soa} < Identical {ident}");
@@ -50,7 +51,7 @@ fn modules_stay_valid_through_all_techniques() {
         let mut m = base.clone();
         run_identical(&mut m, TargetArch::X86_64);
         run_soa(&mut m, TargetArch::X86_64);
-        run_fmsa(&mut m, &FmsaOptions::with_threshold(5));
+        run_fmsa(&mut m, &Config::new().threshold(5).fmsa_options());
         let errs = fmsa_ir::verify_module(&m);
         assert!(errs.is_empty(), "{}: {errs:?}", d.name);
     }
@@ -72,9 +73,8 @@ fn driver_behaviour_preserved_through_full_pipeline() {
     let (out_before, steps_before) = run(&base);
     let mut merged = base.clone();
     run_identical(&mut merged, TargetArch::X86_64);
-    let mut opts = FmsaOptions::with_threshold(10);
-    opts.exclude = HashSet::from(["__driver".to_owned()]);
-    let stats = run_fmsa(&mut merged, &opts);
+    let cfg = Config::new().threshold(10).exclude(["__driver"]);
+    let stats = run_fmsa(&mut merged, &cfg.fmsa_options());
     assert!(stats.merges > 0, "milc-like module should merge something");
     let (out_after, steps_after) = run(&merged);
     assert_eq!(out_before, out_after, "observable behaviour changed");
@@ -111,11 +111,10 @@ fn fmsa_bench_harness_runtime(d: &fmsa::workloads::BenchDesc) -> (f64, f64) {
     let merge = |exclude: Vec<String>| {
         let mut m = base.clone();
         run_identical(&mut m, TargetArch::X86_64);
-        let mut opts = FmsaOptions::with_threshold(1);
         let mut ex: HashSet<String> = exclude.into_iter().collect();
         ex.insert("__driver".to_owned());
-        opts.exclude = ex;
-        run_fmsa(&mut m, &opts);
+        let cfg = Config::new().threshold(1).exclude(ex);
+        run_fmsa(&mut m, &cfg.fmsa_options());
         run(&m).0 as f64 / steps_before as f64
     };
     (merge(hot), merge(Vec::new()))
@@ -129,7 +128,7 @@ fn mibench_tiny_benchmarks_find_nothing() {
         let mut m = d.build();
         let i = run_identical(&mut m, TargetArch::X86_64);
         let s = run_soa(&mut m, TargetArch::X86_64);
-        let f = run_fmsa(&mut m, &FmsaOptions::with_threshold(10));
+        let f = run_fmsa(&mut m, &Config::new().threshold(10).fmsa_options());
         assert_eq!((i.merges, s.merges, f.merges), (0, 0, 0), "{name} should have no merges");
     }
 }
@@ -144,7 +143,7 @@ fn rijndael_giant_pair_dominates() {
     let mut m = base.clone();
     assert_eq!(run_identical(&mut m, TargetArch::X86_64).merges, 0);
     assert_eq!(run_soa(&mut m, TargetArch::X86_64).merges, 0);
-    let stats = run_fmsa(&mut m, &FmsaOptions::default());
+    let stats = run_fmsa(&mut m, &Config::new().fmsa_options());
     assert_eq!(stats.merges, 1);
     let red = fmsa::target::reduction_percent(before, cm.module_size(&m));
     assert!((15.0..30.0).contains(&red), "rijndael reduction should be paper-sized (20.6%): {red}");
@@ -157,9 +156,9 @@ fn oracle_never_loses_to_greedy() {
         let base = d.build();
         let cm = CostModel::new(TargetArch::X86_64);
         let mut g = base.clone();
-        run_fmsa(&mut g, &FmsaOptions::with_threshold(1));
+        run_fmsa(&mut g, &Config::new().threshold(1).fmsa_options());
         let mut o = base.clone();
-        run_fmsa(&mut o, &FmsaOptions::oracle());
+        run_fmsa(&mut o, &Config::new().oracle(true).fmsa_options());
         assert!(
             cm.module_size(&o) <= cm.module_size(&g),
             "{name}: oracle should be at least as good"
@@ -179,9 +178,8 @@ fn both_targets_agree_qualitatively() {
         let before = cm.module_size(&base);
         let mut m = base.clone();
         run_identical(&mut m, arch);
-        let mut opts = FmsaOptions::with_threshold(1);
-        opts.arch = arch;
-        run_fmsa(&mut m, &opts);
+        let cfg = Config::new().threshold(1).arch(arch);
+        run_fmsa(&mut m, &cfg.fmsa_options());
         reductions.push(fmsa::target::reduction_percent(before, cm.module_size(&m)));
     }
     assert!(reductions.iter().all(|&r| r > 0.0), "{reductions:?}");

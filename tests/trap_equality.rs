@@ -6,7 +6,8 @@
 //! the exact trap, including its payload (the faulting address and
 //! access length for out-of-bounds).
 
-use fmsa_core::pass::{run_fmsa, FmsaOptions};
+use fmsa_core::pass::run_fmsa;
+use fmsa_core::Config;
 use fmsa_interp::batch::add_memory_driver;
 use fmsa_interp::{Interpreter, Trap, Val};
 use fmsa_ir::{verify_module, FuncBuilder, Linkage, Module, Value};
@@ -96,7 +97,7 @@ fn merged_pair() -> (Module, Module) {
     assert!(verify_module(&pre).is_empty());
 
     let mut post = pre.clone();
-    let stats = run_fmsa(&mut post, &FmsaOptions::with_threshold(5));
+    let stats = run_fmsa(&mut post, &Config::new().threshold(5).fmsa_options());
     assert!(stats.merges > 0, "the trap families must merge: {stats:?}");
     assert!(verify_module(&post).is_empty());
 

@@ -10,8 +10,8 @@
 //!    zero mismatches (and zero panics) between the original and merged
 //!    module.
 
-use fmsa_core::pass::FmsaOptions;
-use fmsa_core::pipeline::{run_fmsa_pipeline, PipelineOptions};
+use fmsa_core::pipeline::run_fmsa_pipeline;
+use fmsa_core::Config;
 use fmsa_interp::batch::wire_targets;
 use fmsa_interp::{run_differential_batch, BatchConfig};
 use fmsa_ir::printer::print_module;
@@ -53,12 +53,13 @@ proptest! {
 fn pipeline_output_identical_across_threads_on_wasm_input() {
     let cfg = WasmFixtureConfig::with_functions(80);
     let base = lowered_fixture(&cfg);
-    let opts = FmsaOptions::with_threshold(5);
+    let cfg = Config::new().threshold(5);
     let mut outputs = Vec::new();
     let mut merges = Vec::new();
     for threads in [1usize, 2, 4] {
         let mut m = base.clone();
-        let stats = run_fmsa_pipeline(&mut m, &opts, &PipelineOptions::with_threads(threads));
+        let pcfg = cfg.clone().parallel(threads);
+        let stats = run_fmsa_pipeline(&mut m, &pcfg.fmsa_options(), &pcfg.pipeline_options());
         let errs = verify_module(&m);
         assert!(errs.is_empty(), "merged wasm module verifies at {threads} threads: {errs:?}");
         outputs.push(print_module(&m));
@@ -81,11 +82,8 @@ fn merged_wasm_is_differentially_equal_under_the_interpreter() {
     let mut pre = lowered_fixture(&cfg);
 
     let mut post = pre.clone();
-    let stats = run_fmsa_pipeline(
-        &mut post,
-        &FmsaOptions::with_threshold(5),
-        &PipelineOptions::with_threads(2),
-    );
+    let mcfg = Config::new().threshold(5).parallel(2);
+    let stats = run_fmsa_pipeline(&mut post, &mcfg.fmsa_options(), &mcfg.pipeline_options());
     assert!(stats.merges > 0, "corpus must merge");
     assert!(stats.quarantine.is_empty(), "a clean run quarantines nothing");
 
