@@ -16,7 +16,8 @@
 //! experiments fuzz              Differential fuzz farm over merged wasm
 //! experiments faults            Fault-injection matrix (quarantine gates)
 //! experiments serve-bench       Merge-daemon load generator (fmsa-serve)
-//! experiments all               everything above
+//! experiments scale             Streamed million-function corpus + scaling curve
+//! experiments all               everything above except `scale`
 //! ```
 //!
 //! Add `--oracle` to include the quadratic oracle where feasible, and
@@ -28,7 +29,12 @@
 //! `merge-parallel` additionally honours `--spec-depth N` (speculative
 //! codegen depth per subject; default: every promising pair) and
 //! `--spec-batch N` (subjects scheduled per generation; default: auto) —
-//! the corresponding knobs of `fmsa::Config`.
+//! the corresponding knobs of `fmsa::Config`. `scale` honours
+//! `--functions N` (corpus size; default 1 000 000, or 20 000 with
+//! `--fast`) and `--chunk N` (streamed chunk size): it processes the
+//! corpus one materialized chunk at a time so peak memory stays bounded
+//! by the chunk, then measures a threads-vs-wall scaling curve on a
+//! sampled prefix. `scale` is deliberately not part of `all`.
 
 use fmsa::Config;
 use fmsa_bench::harness::{
@@ -70,7 +76,10 @@ fn main() {
         overrides = overrides.batch(batch);
     }
     let budget_secs = flag_value("--budget").unwrap_or(30);
-    let value_flags = ["--json", "--spec-depth", "--spec-batch", "--budget"];
+    let scale_functions = flag_value("--functions");
+    let scale_chunk = flag_value("--chunk");
+    let value_flags =
+        ["--json", "--spec-depth", "--spec-batch", "--budget", "--functions", "--chunk"];
     let cmd = args
         .iter()
         .enumerate()
@@ -111,6 +120,7 @@ fn main() {
         "fuzz" => fuzz_farm(fast, budget_secs, &mut report),
         "faults" => fault_matrix(fast, &mut report),
         "serve-bench" => serve_bench(fast, &mut report),
+        "scale" => scale(fast, scale_functions, scale_chunk, &mut report),
         "all" => {
             table(&spec, "Table I (SPEC CPU2006)");
             table(&mibench, "Table II (MiBench)");
@@ -544,11 +554,17 @@ fn merge_parallel(fast: bool, overrides: &Config, report: &mut Report) {
             );
             let p = par.pipeline.unwrap_or_default();
             println!(
-                "       stages: schedule {:.2?}, prepare {:.2?} (spec codegen {:.2?}), \
+                "       stages: schedule {:.2?} (query {:.2?} + prefill {:.2?}; cpu {:.2?}), \
+                 prepare {:.2?} (cpu {:.2?}, spec codegen {:.2?}), \
                  commit {:.2?} (codegen {:.2?}, transplant {:.2?}, rewrite {:.2?}); \
-                 spec bodies built {} / used {} (committed {}) / fallback {}",
+                 spec bodies built {} / used {} (committed {}) / fallback {}; \
+                 commit barriers {} (batched {} merges, {} fallback)",
                 p.schedule,
+                p.schedule_query,
+                p.schedule_prefill,
+                p.schedule_cpu,
                 p.prepare,
+                p.prepare_cpu,
                 p.spec_codegen,
                 p.commit,
                 p.commit_codegen,
@@ -558,6 +574,9 @@ fn merge_parallel(fast: bool, overrides: &Config, report: &mut Report) {
                 p.spec_used,
                 p.spec_committed,
                 p.spec_fallback,
+                p.commit_barriers,
+                p.batched_merges,
+                p.batch_fallback,
             );
             if p.spec_built > 0 {
                 println!(
@@ -590,15 +609,26 @@ fn merge_parallel(fast: bool, overrides: &Config, report: &mut Report) {
                 ("gate_skipped", Json::I(p.gate_skipped as i64)),
                 ("budget_skipped", Json::I(p.budget_skipped as i64)),
                 // Per-stage wall-clock (schedule/prepare/codegen/commit)
-                // plus the speculative-codegen telemetry behind it.
+                // plus the speculative-codegen telemetry behind it. The
+                // `_cpu_s` fields are summed worker time, so
+                // cpu/wall > 1 is real stage-level parallelism.
                 ("schedule_s", Json::F(p.schedule.as_secs_f64())),
+                ("schedule_query_s", Json::F(p.schedule_query.as_secs_f64())),
+                ("schedule_prefill_s", Json::F(p.schedule_prefill.as_secs_f64())),
+                ("schedule_cpu_s", Json::F(p.schedule_cpu.as_secs_f64())),
                 ("prepare_s", Json::F(p.prepare.as_secs_f64())),
+                ("prepare_cpu_s", Json::F(p.prepare_cpu.as_secs_f64())),
                 ("spec_codegen_s", Json::F(p.spec_codegen.as_secs_f64())),
                 ("commit_s", Json::F(p.commit.as_secs_f64())),
                 ("commit_codegen_s", Json::F(p.commit_codegen.as_secs_f64())),
                 ("transplant_s", Json::F(p.transplant.as_secs_f64())),
-                // Commit-stage call-graph update (partitioned rewrite plan).
+                // Commit-stage call-graph update (partitioned rewrite plan)
+                // and the batched-commit split: barriers per run vs merges
+                // committed through a batch vs immediate fallbacks.
                 ("rewrite_s", Json::F(p.rewrite.as_secs_f64())),
+                ("commit_barriers", Json::I(p.commit_barriers as i64)),
+                ("batched_merges", Json::I(p.batched_merges as i64)),
+                ("batch_fallback", Json::I(p.batch_fallback as i64)),
                 // Scratch-setup telemetry of the COW type store.
                 ("scratch_cow_shared", Json::I(p.scratch_cow_shared as i64)),
                 ("scratch_cloned", Json::I(p.scratch_cloned as i64)),
@@ -637,6 +667,207 @@ fn merge_parallel(fast: bool, overrides: &Config, report: &mut Report) {
         "(pipeline threads=1 disables speculation; its win over the sequential driver is \
          the linearization cache, the call-site index, and the pre-codegen Δ gate)"
     );
+}
+
+// ---------------------------------------------------------------- scale
+
+/// Peak resident-set size of this process so far, from `VmHWM` in
+/// `/proc/self/status`. `None` off Linux — the measurement is a
+/// diagnostic, not an input to any gate.
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+/// Million-function scale: streams a corpus of chunk descriptors
+/// ([`fmsa_workloads::stream_chunks`] — clone swarms mixed with decoded
+/// wasm binaries), materializing, optimizing, and dropping one chunk at a
+/// time so peak memory is bounded by the chunk size, then measures a
+/// threads-vs-wall scaling curve on a sampled prefix. Gates (`--check`):
+/// pipeline output on the sample must be bit-identical to the sequential
+/// driver at every measured thread count, and — when the runner has ≥ 2
+/// (resp. ≥ 4) cores — threads=2 (resp. threads=4) must beat threads=1
+/// wall-clock.
+fn scale(fast: bool, functions: Option<usize>, chunk: Option<usize>, report: &mut Report) {
+    use fmsa_core::pipeline::PipelineStats;
+    use fmsa_core::SearchStrategy;
+    use fmsa_ir::printer::print_module;
+    use fmsa_workloads::stream_chunks;
+    let total = functions.unwrap_or(if fast { 20_000 } else { 1_000_000 });
+    let chunk = chunk.unwrap_or(if fast { 2_000 } else { 10_000 });
+    let seed = 0x5ca1_e001u64;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let auto = Config::new().pipeline_options().resolved_threads();
+    let cfg = Config::new().threshold(5).search(SearchStrategy::lsh());
+    println!(
+        "\n== Million-function scale: streamed corpus of {total} functions in \
+         chunks of {chunk} (t=5, lsh search, {cores} cores) =="
+    );
+
+    // Phase 1: stream the whole corpus at the machine's parallelism.
+    // One chunk lives at a time; the rolling counters are the corpus
+    // totals.
+    let mut agg = PipelineStats::default();
+    let mut merges = 0usize;
+    let mut funcs_in = 0usize;
+    let mut funcs_out = 0usize;
+    let mut chunks_done = 0usize;
+    let pcfg = cfg.clone().parallel(auto);
+    let t_stream = std::time::Instant::now();
+    for spec in stream_chunks(total, chunk, seed) {
+        let mut m = spec.materialize();
+        funcs_in += m.func_count();
+        let stats = run_fmsa_pipeline(&mut m, &pcfg.fmsa_options(), &pcfg.pipeline_options());
+        funcs_out += m.func_count();
+        merges += stats.merges;
+        if let Some(p) = stats.pipeline {
+            agg.accumulate(&p);
+        }
+        chunks_done += 1;
+        if chunks_done.is_multiple_of(10) {
+            eprintln!(
+                "  {chunks_done} chunks / {funcs_in} functions in {:.1?}, peak rss {:.0} MiB",
+                t_stream.elapsed(),
+                peak_rss_mib().unwrap_or(f64::NAN)
+            );
+        }
+        drop(m); // chunk lifetime ends here — memory stays bounded
+    }
+    let stream_wall = t_stream.elapsed();
+    let rss = peak_rss_mib();
+    println!(
+        "  streamed {funcs_in} functions ({chunks_done} chunks) in {stream_wall:.1?} at \
+         threads={auto}: {merges} merges, {funcs_out} functions out, peak rss {:.0} MiB",
+        rss.unwrap_or(f64::NAN)
+    );
+    println!(
+        "  stages: schedule {:.2?} (query {:.2?} + prefill {:.2?}; cpu {:.2?}), \
+         prepare {:.2?} (cpu {:.2?}), commit {:.2?}; \
+         commit barriers {} (batched {} merges, {} fallback)",
+        agg.schedule,
+        agg.schedule_query,
+        agg.schedule_prefill,
+        agg.schedule_cpu,
+        agg.prepare,
+        agg.prepare_cpu,
+        agg.commit,
+        agg.commit_barriers,
+        agg.batched_merges,
+        agg.batch_fallback,
+    );
+    report.record(&[
+        ("experiment", Json::S("scale".into())),
+        ("phase", Json::S("stream".into())),
+        ("functions", Json::I(funcs_in as i64)),
+        ("chunk", Json::I(chunk as i64)),
+        ("chunks", Json::I(chunks_done as i64)),
+        ("search", Json::S("lsh".into())),
+        ("alignment", Json::S("needleman-wunsch".into())),
+        ("threads", Json::I(auto as i64)),
+        ("cores", Json::I(cores as i64)),
+        ("merges", Json::I(merges as i64)),
+        ("functions_out", Json::I(funcs_out as i64)),
+        ("wall_s", Json::F(stream_wall.as_secs_f64())),
+        ("peak_rss_mib", Json::F(rss.unwrap_or(f64::NAN))),
+        ("schedule_s", Json::F(agg.schedule.as_secs_f64())),
+        ("schedule_query_s", Json::F(agg.schedule_query.as_secs_f64())),
+        ("schedule_prefill_s", Json::F(agg.schedule_prefill.as_secs_f64())),
+        ("schedule_cpu_s", Json::F(agg.schedule_cpu.as_secs_f64())),
+        ("prepare_s", Json::F(agg.prepare.as_secs_f64())),
+        ("prepare_cpu_s", Json::F(agg.prepare_cpu.as_secs_f64())),
+        ("commit_s", Json::F(agg.commit.as_secs_f64())),
+        ("rewrite_s", Json::F(agg.rewrite.as_secs_f64())),
+        ("generations", Json::I(agg.generations as i64)),
+        ("commit_barriers", Json::I(agg.commit_barriers as i64)),
+        ("batched_merges", Json::I(agg.batched_merges as i64)),
+        ("batch_fallback", Json::I(agg.batch_fallback as i64)),
+    ]);
+    if funcs_in != total {
+        report.fail(format!("scale: stream produced {funcs_in} functions, expected {total}"));
+    }
+
+    // Phase 2: scaling curve on a sampled prefix — small enough to rerun
+    // at every thread count, big enough to keep all workers busy.
+    let sample_total = total.min(if fast { 4_000 } else { 20_000 });
+    let sample: Vec<_> = stream_chunks(sample_total, chunk.min(sample_total), seed)
+        .map(|s| s.materialize())
+        .collect();
+    println!("  scaling curve over a {sample_total}-function sample ({} chunks):", sample.len());
+    println!("    {:>7} {:>10} {:>9} {:>8}", "threads", "wall", "speedup", "identical");
+    // Sequential reference for the bit-identity gate.
+    let seq_texts: Vec<String> = sample
+        .iter()
+        .map(|base| {
+            let mut m = base.clone();
+            run_fmsa(&mut m, &cfg.fmsa_options());
+            print_module(&m)
+        })
+        .collect();
+    let mut walls: Vec<(usize, f64)> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let pcfg = cfg.clone().parallel(threads);
+        let t0 = std::time::Instant::now();
+        let mut identical = true;
+        for (base, seq_text) in sample.iter().zip(&seq_texts) {
+            let mut m = base.clone();
+            run_fmsa_pipeline(&mut m, &pcfg.fmsa_options(), &pcfg.pipeline_options());
+            identical &= print_module(&m) == *seq_text;
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let speedup = walls.first().map(|&(_, w1)| w1 / wall.max(1e-9)).unwrap_or(1.0);
+        walls.push((threads, wall));
+        println!(
+            "    {:>7} {:>9.2}s {:>8.2}x {:>9}",
+            threads,
+            wall,
+            speedup,
+            if identical { "yes" } else { "NO" }
+        );
+        report.record(&[
+            ("experiment", Json::S("scale".into())),
+            ("phase", Json::S("curve".into())),
+            ("functions", Json::I(sample_total as i64)),
+            ("search", Json::S("lsh".into())),
+            ("alignment", Json::S("needleman-wunsch".into())),
+            ("threads", Json::I(threads as i64)),
+            ("cores", Json::I(cores as i64)),
+            ("wall_s", Json::F(wall)),
+            ("speedup_vs_threads1", Json::F(speedup)),
+            ("identical_to_sequential", Json::B(identical)),
+        ]);
+        if !identical {
+            report.fail(format!(
+                "scale: pipeline output diverges from the sequential pass at \
+                 threads={threads}"
+            ));
+        }
+    }
+    // Speedup gates only bind when the runner actually has the cores:
+    // with one core, every thread count shares it and the curve is flat
+    // (plus scheduling noise).
+    let wall_at = |t: usize| walls.iter().find(|&&(w, _)| w == t).map(|&(_, w)| w);
+    if cores >= 2 {
+        if let (Some(w1), Some(w2)) = (wall_at(1), wall_at(2)) {
+            if w2 >= w1 {
+                report.fail(format!(
+                    "scale: no speedup at threads=2 on a {cores}-core runner \
+                     ({w2:.2}s vs {w1:.2}s at threads=1)"
+                ));
+            }
+        }
+    }
+    if cores >= 4 {
+        if let (Some(w1), Some(w4)) = (wall_at(1), wall_at(4)) {
+            if w4 >= w1 {
+                report.fail(format!(
+                    "scale: no speedup at threads=4 on a {cores}-core runner \
+                     ({w4:.2}s vs {w1:.2}s at threads=1)"
+                ));
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------- wasm

@@ -256,6 +256,24 @@ fn main() -> ExitCode {
             arch.name()
         );
         if let Some(st) = &fmsa_stats {
+            if let Some(p) = st.pipeline.as_ref() {
+                eprintln!(
+                    "fmsa_opt: {technique}: stages: schedule {:.2?} (query {:.2?} + \
+                     prefill {:.2?}; cpu {:.2?}), prepare {:.2?} (cpu {:.2?}), commit {:.2?}",
+                    p.schedule,
+                    p.schedule_query,
+                    p.schedule_prefill,
+                    p.schedule_cpu,
+                    p.prepare,
+                    p.prepare_cpu,
+                    p.commit,
+                );
+                eprintln!(
+                    "fmsa_opt: {technique}: commit barriers={} batched_merges={} \
+                     batch_fallback={}",
+                    p.commit_barriers, p.batched_merges, p.batch_fallback,
+                );
+            }
             if let Some(p) = st
                 .pipeline
                 .as_ref()

@@ -88,6 +88,39 @@ impl LinearizationCache {
         self.map.get(&f).map(Arc::clone)
     }
 
+    /// Fills the cache for every function of `funcs` not already present,
+    /// computing the missing linearizations on `pool` (inline on a
+    /// single-thread pool). Returns the summed per-function compute time
+    /// — the stage's CPU time, reported against its wall-clock by the
+    /// pipeline. [`linearize`] is deterministic and the insertions are
+    /// keyed by function id, so a pre-filled cache is indistinguishable
+    /// from one filled by sequential [`LinearizationCache::get`] calls.
+    pub fn prefill(
+        &mut self,
+        module: &Module,
+        funcs: &[FuncId],
+        pool: &rayon::ThreadPool,
+    ) -> std::time::Duration {
+        let mut misses: Vec<FuncId> = Vec::new();
+        let mut seen: std::collections::HashSet<FuncId> = std::collections::HashSet::new();
+        for &f in funcs {
+            if !self.map.contains_key(&f) && seen.insert(f) {
+                misses.push(f);
+            }
+        }
+        let cpu = std::sync::atomic::AtomicU64::new(0);
+        let computed = pool.par_map(&misses, |_, &f| {
+            let t = std::time::Instant::now();
+            let seq: Arc<[Entry]> = Arc::from(linearize(module.func(f)).into_boxed_slice());
+            cpu.fetch_add(t.elapsed().as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
+            (f, seq)
+        });
+        for (f, seq) in computed {
+            self.map.insert(f, seq);
+        }
+        std::time::Duration::from_nanos(cpu.into_inner())
+    }
+
     /// Drops the entry for `f` (call when the function body changed or the
     /// function was removed).
     pub fn invalidate(&mut self, f: FuncId) {
@@ -176,6 +209,20 @@ mod tests {
         let fn_ty = m.types.func(m.types.void(), vec![]);
         let f = m.create_function("decl", fn_ty);
         assert!(linearize(m.func(f)).is_empty());
+    }
+
+    #[test]
+    fn prefill_matches_sequential_gets() {
+        let (m, f) = diamond_module();
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().expect("pool");
+        let mut cache = LinearizationCache::new();
+        cache.prefill(&m, &[f, f], &pool);
+        assert_eq!(cache.len(), 1, "duplicates collapse to one entry");
+        let mut seq_cache = LinearizationCache::new();
+        assert_eq!(&cache.cached(f).expect("pre-filled")[..], &seq_cache.get(&m, f)[..]);
+        // Pre-filling again is a no-op on hits.
+        cache.prefill(&m, &[f], &pool);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

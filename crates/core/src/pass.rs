@@ -186,7 +186,7 @@ pub fn run_fmsa(module: &mut Module, opts: &FmsaOptions) -> FmsaStats {
     let mut stats = FmsaStats { size_before: cm.module_size(module), ..FmsaStats::default() };
 
     let SeededPass { mut fingerprints, mut index, mut worklist, mut live } =
-        seed_pass(module, opts, &mut stats.timers);
+        seed_pass(module, opts, &mut stats.timers, None);
 
     while let Some(f1) = worklist.pop_front() {
         if !live.contains(&f1) || !module.is_live(f1) {
@@ -319,10 +319,17 @@ pub(crate) struct SeededPass {
 /// Shared setup of the sequential and pipeline drivers. Keeping this in
 /// one place is part of the pipeline's bit-identity guarantee: both
 /// drivers must start from exactly the same seeded state.
+///
+/// With a `pool`, fingerprinting and index seeding run on the workers —
+/// `Fingerprint::of` and `MinHasher::signature` are pure functions of the
+/// (quiescent) module, and the sharded batch insert preserves serial
+/// bucket order, so the seeded state is bit-identical either way. At the
+/// million-function scale these two loops are the entire startup cost.
 pub(crate) fn seed_pass(
     module: &mut Module,
     opts: &FmsaOptions,
     timers: &mut StepTimers,
+    pool: Option<&rayon::ThreadPool>,
 ) -> SeededPass {
     // Optional future-work extension: canonical intra-block instruction
     // order, so reordered clones linearize identically.
@@ -339,14 +346,15 @@ pub(crate) fn seed_pass(
     // candidate-search index. The index is maintained incrementally through
     // the feedback loop — no per-iteration pool is ever rebuilt.
     let t0 = Instant::now();
-    let mut fingerprints: HashMap<FuncId, Fingerprint> = HashMap::new();
-    let mut available: Vec<FuncId> = Vec::new();
-    for f in module.func_ids() {
-        if eligible(module, f, opts) {
-            fingerprints.insert(f, Fingerprint::of(module, f));
-            available.push(f);
+    let available: Vec<FuncId> =
+        module.func_ids().into_iter().filter(|&f| eligible(module, f, opts)).collect();
+    let fingerprints: HashMap<FuncId, Fingerprint> = match pool {
+        Some(pool) if pool.current_num_threads() > 1 && available.len() > 1 => {
+            let module = &*module;
+            pool.par_map(&available, |_, &f| (f, Fingerprint::of(module, f))).into_iter().collect()
         }
-    }
+        _ => available.iter().map(|&f| (f, Fingerprint::of(module, f))).collect(),
+    };
     timers.fingerprinting += t0.elapsed();
     let t0 = Instant::now();
     // The oracle's "best possible candidate" claim requires an exhaustive
@@ -357,9 +365,9 @@ pub(crate) fn seed_pass(
     let strategy =
         if opts.oracle { SearchStrategy::Exact } else { opts.search.resolve(available.len()) };
     let mut index = strategy.build();
-    for &f in &available {
-        index.insert(f, &fingerprints[&f]);
-    }
+    let items: Vec<(FuncId, &Fingerprint)> =
+        available.iter().map(|&f| (f, &fingerprints[&f])).collect();
+    index.insert_batch(&items, pool);
     timers.ranking += t0.elapsed();
     let worklist: VecDeque<FuncId> = available.iter().copied().collect();
     let live: HashSet<FuncId> = available.into_iter().collect();

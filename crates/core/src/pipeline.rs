@@ -7,10 +7,12 @@
 //! worklist *generation* into three stages (see `docs/pipeline.md` for
 //! the architecture sketch):
 //!
-//! 1. **Schedule** (sequential): pop a batch of live subjects, query the
+//! 1. **Schedule** (parallel): pop a batch of live subjects, query the
 //!    [`crate::search::CandidateSearch`] index for each one's top
-//!    candidates, snapshot the per-function mutation generation of every
-//!    pair, and pre-fill the [`LinearizationCache`].
+//!    candidates — concurrently over the generation's subjects, against
+//!    a shared read-only index — snapshot the per-function mutation
+//!    generation of every pair, and pre-fill the [`LinearizationCache`]
+//!    (misses linearized on the worker pool, inserted sequentially).
 //! 2. **Prepare** (parallel): for every distinct `(subject, candidate)`
 //!    pair, a worker computes the alignment (under the
 //!    [`fmsa_align::AlignmentBudget`] of [`FmsaOptions::budget`]) and the
@@ -34,6 +36,21 @@
 //!    search index, the linearization cache, the call-site index, and
 //!    the next generation's worklist.
 //!
+//! Accepted merges whose call-graph update provably interacts with
+//! nothing else in the generation — every deletable side has zero
+//! callers, the merged body calls neither its own originals nor anything
+//! an earlier pending merge retired — are not committed one rewrite plan
+//! (and one worker-pool barrier) at a time. Their bookkeeping runs
+//! eagerly (so every later decision reads exactly the state the serial
+//! driver would see) and the residual body work — thunking non-deletable
+//! originals — is accumulated into one [`RewritePlan`] that flushes at
+//! the end of the generation, or just before a merge that fails the
+//! eligibility rules commits immediately. See `docs/pipeline.md`
+//! ("Sharded schedule & batched commit") and the
+//! [`PipelineStats::commit_barriers`] / [`PipelineStats::batched_merges`]
+//! counters; bit-identity under batching is property-tested in
+//! `tests/parallel_pipeline.rs`.
+//!
 //! Because the commit stage replays the sequential driver's decision
 //! procedure exactly — same candidate order, same greedy
 //! first-profitable rule, same profitability values — the optimized
@@ -52,7 +69,7 @@
 // replacement ([`crate::Config`]) converts into it.
 #![allow(deprecated)]
 
-use crate::callsites::CallSiteIndex;
+use crate::callsites::{outgoing_calls, CallSiteIndex};
 use crate::equivalence::EquivCtx;
 use crate::faults::{FaultPlan, FaultSite};
 use crate::fingerprint::Fingerprint;
@@ -65,12 +82,15 @@ use crate::pass::{run_fmsa, seed_pass, FmsaOptions, FmsaStats, SeededPass};
 use crate::profitability::{evaluate_indexed, optimistic_delta, ProfitReport};
 use crate::quarantine::{panic_message, QuarantineStage};
 use crate::ranking::Candidate;
-use crate::thunks::{commit_merge_partitioned, Disposition};
+use crate::thunks::{
+    can_delete, commit_merge_partitioned, prepare_commit_casts, Disposition, RewritePlan,
+};
 use fmsa_align::{align_with_plan, Alignment};
 use fmsa_ir::{FuncId, Module};
 use fmsa_target::CostModel;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Options of the pipeline driver, on top of [`FmsaOptions`].
@@ -168,12 +188,27 @@ pub struct PipelineStats {
     /// scheduling, or the transplant could not resolve a reference); the
     /// commit stage fell back to direct sequential codegen.
     pub spec_fallback: usize,
-    /// Wall-clock of the sequential schedule stage (candidate queries and
-    /// linearization-cache pre-fill).
+    /// Wall-clock of the schedule stage — the sum of
+    /// [`PipelineStats::schedule_query`] and
+    /// [`PipelineStats::schedule_prefill`], kept as the stage total.
     pub schedule: Duration,
+    /// Of [`PipelineStats::schedule`], the candidate-query phase: one
+    /// index query per subject, run concurrently over the generation's
+    /// subjects against the shared read-only index.
+    pub schedule_query: Duration,
+    /// Of [`PipelineStats::schedule`], the linearization-cache pre-fill
+    /// (misses computed on the worker pool, inserted sequentially).
+    pub schedule_prefill: Duration,
+    /// Summed per-task compute time inside the schedule stage's parallel
+    /// phases. `schedule_cpu / schedule` is the stage's effective
+    /// parallelism; at one thread the two are equal minus loop overhead.
+    pub schedule_cpu: Duration,
     /// Wall-clock of the parallel prepare stage (alignment + speculative
     /// codegen waves).
     pub prepare: Duration,
+    /// Summed per-task compute time inside the prepare stage's waves
+    /// (the CPU time behind the [`PipelineStats::prepare`] wall).
+    pub prepare_cpu: Duration,
     /// Of [`PipelineStats::prepare`], the speculative-codegen wave.
     pub spec_codegen: Duration,
     /// Wall-clock of the sequential commit stage.
@@ -219,6 +254,20 @@ pub struct PipelineStats {
     /// Differential mismatches attributed to this run by an external
     /// driver (the fuzz farm); the pipeline itself never sets it.
     pub mismatches: usize,
+    /// Commit-stage barriers: rewrite-plan executions, each one a
+    /// detach/pool-scope handoff. One per batch flush plus one per
+    /// immediate (batch-ineligible) commit — the quantity batching
+    /// shrinks from one-per-merge to one-(or a few)-per-generation.
+    pub commit_barriers: usize,
+    /// Merges committed through a deferred batch (bookkeeping eager,
+    /// body work folded into the generation's flush; no private barrier).
+    pub batched_merges: usize,
+    /// Profitable merges that failed the batch-eligibility rules (a
+    /// deletable side with live callers, a merged body calling its own
+    /// originals or a pending side, or a feedback merge onto a pending
+    /// merged function) and fell back to an immediate single-merge plan,
+    /// flushing any pending batch first.
+    pub batch_fallback: usize,
 }
 
 impl PipelineStats {
@@ -233,6 +282,48 @@ impl PipelineStats {
     /// Total pairs quarantined, across all stages.
     pub fn quarantined(&self) -> usize {
         self.quarantined_align + self.quarantined_codegen + self.quarantined_verify
+    }
+
+    /// Folds another run's stats into this one — how streamed-corpus
+    /// drivers (`experiments scale`) aggregate per-chunk pipeline runs
+    /// into corpus totals. Counters and timers add; `threads` keeps the
+    /// maximum seen.
+    pub fn accumulate(&mut self, other: &PipelineStats) {
+        self.threads = self.threads.max(other.threads);
+        self.generations += other.generations;
+        self.prepared += other.prepared;
+        self.reused += other.reused;
+        self.recomputed += other.recomputed;
+        self.gate_skipped += other.gate_skipped;
+        self.budget_skipped += other.budget_skipped;
+        self.spec_built += other.spec_built;
+        self.spec_used += other.spec_used;
+        self.spec_committed += other.spec_committed;
+        self.spec_fallback += other.spec_fallback;
+        self.schedule += other.schedule;
+        self.schedule_query += other.schedule_query;
+        self.schedule_prefill += other.schedule_prefill;
+        self.schedule_cpu += other.schedule_cpu;
+        self.prepare += other.prepare;
+        self.prepare_cpu += other.prepare_cpu;
+        self.spec_codegen += other.spec_codegen;
+        self.commit += other.commit;
+        self.commit_codegen += other.commit_codegen;
+        self.transplant += other.transplant;
+        self.rewrite += other.rewrite;
+        self.scratch_cow_shared += other.scratch_cow_shared;
+        self.scratch_cloned += other.scratch_cloned;
+        self.scratch_suffix_types += other.scratch_suffix_types;
+        self.scratch_bytes_avoided += other.scratch_bytes_avoided;
+        self.quarantined_align += other.quarantined_align;
+        self.quarantined_codegen += other.quarantined_codegen;
+        self.quarantined_verify += other.quarantined_verify;
+        self.panics_caught += other.panics_caught;
+        self.poisoned_scratch += other.poisoned_scratch;
+        self.mismatches += other.mismatches;
+        self.commit_barriers += other.commit_barriers;
+        self.batched_merges += other.batched_merges;
+        self.batch_fallback += other.batch_fallback;
     }
 }
 
@@ -276,6 +367,62 @@ fn align_budgeted(
     )
 }
 
+/// Executes the pending batch of deferred merges (no-op when empty):
+/// thunks the non-deletable originals and re-confirms the removals, all
+/// through one [`RewritePlan::execute`] barrier. The eligibility rules
+/// guarantee the plan rewrites no caller, so the flush commutes with
+/// everything that ran since the merges were accepted; `expected` holds
+/// the dispositions predicted at decision time, re-checked here.
+#[allow(clippy::too_many_arguments)]
+fn flush_batch(
+    module: &mut Module,
+    plan: &mut RewritePlan,
+    expected: &mut Vec<(Disposition, Disposition)>,
+    pool: Option<&rayon::ThreadPool>,
+    stats: &mut FmsaStats,
+    pstats: &mut PipelineStats,
+    call_sites: &mut CallSiteIndex,
+    lin_cache: &mut LinearizationCache,
+    epoch: &mut u64,
+    dirty: &mut bool,
+) {
+    if plan.merges() == 0 {
+        return;
+    }
+    let t0 = Instant::now();
+    let taken = std::mem::take(plan);
+    let expect = std::mem::take(expected);
+    match taken.execute(module, pool) {
+        Ok(results) => {
+            debug_assert_eq!(
+                results.iter().map(|r| (r.first, r.second)).collect::<Vec<_>>(),
+                expect,
+                "deferred dispositions must match the decision-time prediction"
+            );
+            debug_assert!(
+                results.iter().all(|r| r.touched.is_empty()),
+                "batch-eligible merges must not touch any caller"
+            );
+        }
+        Err(_) => {
+            // Should not happen: eligible merges schedule no caller
+            // rewrites and their thunk cast types were pre-interned at
+            // decision time. The merges stay accepted (their bookkeeping
+            // already fed the feedback loop); resynchronize the caches
+            // with whatever state the module is in and invalidate all
+            // speculative work.
+            *call_sites = CallSiteIndex::build(module);
+            *lin_cache = LinearizationCache::new();
+            *epoch += 1;
+            *dirty = true;
+        }
+    }
+    let dt = t0.elapsed();
+    stats.timers.update_calls += dt;
+    pstats.rewrite += dt;
+    pstats.commit_barriers += 1;
+}
+
 /// Runs the FMSA optimization over `module` with the parallel merge
 /// pipeline. Produces a module bit-identical to [`run_fmsa`] for any
 /// `pipe.threads` (see the module docs for why), in substantially less
@@ -305,7 +452,7 @@ pub fn run_fmsa_pipeline(
     // same helper as the sequential driver (part of the bit-identity
     // guarantee).
     let SeededPass { mut fingerprints, mut index, mut worklist, mut live } =
-        seed_pass(module, opts, &mut stats.timers);
+        seed_pass(module, opts, &mut stats.timers, (threads > 1).then_some(&pool));
 
     // Pipeline-only state: the linearization cache, the incremental
     // call-site index, and per-function mutation generations used to
@@ -352,21 +499,29 @@ pub fn run_fmsa_pipeline(
             module.types.freeze();
         }
         let t0 = Instant::now();
-        let scheduled: Vec<(FuncId, Vec<Candidate>)> = subjects
-            .iter()
-            .map(|&f| {
-                let cands = index.candidates(
-                    f,
-                    &fingerprints[&f],
-                    &fingerprints,
-                    opts.threshold,
-                    opts.min_similarity,
-                );
+        let scheduled: Vec<(FuncId, Vec<Candidate>)> = {
+            // Queries only read the index and the fingerprint map
+            // (`CandidateSearch` is `Send + Sync` for exactly this), and
+            // `par_map` returns results in input order, so parallel
+            // scheduling is candidate-for-candidate identical to the
+            // serial loop. At one thread `par_map` runs inline.
+            let shared_index: &dyn crate::search::CandidateSearch = index.as_ref();
+            let fps = &fingerprints;
+            let query_cpu = AtomicU64::new(0);
+            let out = pool.par_map(&subjects, |_, &f| {
+                let t = Instant::now();
+                let cands =
+                    shared_index.candidates(f, &fps[&f], fps, opts.threshold, opts.min_similarity);
+                query_cpu.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 (f, cands)
-            })
-            .collect();
-        stats.timers.ranking += t0.elapsed();
-        pstats.schedule += t0.elapsed();
+            });
+            pstats.schedule_cpu += Duration::from_nanos(query_cpu.into_inner());
+            out
+        };
+        let dt = t0.elapsed();
+        stats.timers.ranking += dt;
+        pstats.schedule += dt;
+        pstats.schedule_query += dt;
 
         // ----------------------------------------------------- prepare
         let mut prepared: HashMap<(FuncId, FuncId), Prepared> = HashMap::new();
@@ -381,12 +536,16 @@ pub fn run_fmsa_pipeline(
                 }
             }
             let t0 = Instant::now();
+            let mut lin_funcs: Vec<FuncId> = Vec::with_capacity(jobs.len() * 2);
             for &(f1, f2) in &jobs {
-                lin_cache.get(module, f1);
-                lin_cache.get(module, f2);
+                lin_funcs.push(f1);
+                lin_funcs.push(f2);
             }
-            stats.timers.linearization += t0.elapsed();
-            pstats.schedule += t0.elapsed();
+            pstats.schedule_cpu += lin_cache.prefill(module, &lin_funcs, &pool);
+            let dt = t0.elapsed();
+            stats.timers.linearization += dt;
+            pstats.schedule += dt;
+            pstats.schedule_prefill += dt;
             let t0 = Instant::now();
             let frozen: &Module = module;
             let cache: &LinearizationCache = &lin_cache;
@@ -396,8 +555,10 @@ pub fn run_fmsa_pipeline(
             // inline retry is the authoritative attempt, so the
             // quarantine decision is made there, identically at every
             // thread count.
+            let align_cpu = AtomicU64::new(0);
             let results = pool.par_map(&jobs, |_, &(f1, f2)| {
-                catch_unwind(AssertUnwindSafe(|| {
+                let t = Instant::now();
+                let r = catch_unwind(AssertUnwindSafe(|| {
                     let seq1 = cache.cached(f1).expect("pre-filled");
                     let seq2 = cache.cached(f2).expect("pre-filled");
                     let (n1, n2) = (&frozen.func(f1).name, &frozen.func(f2).name);
@@ -410,10 +571,13 @@ pub fn run_fmsa_pipeline(
                     });
                     (alignment, promising)
                 }))
-                .ok()
+                .ok();
+                align_cpu.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                r
             });
             stats.timers.alignment += t0.elapsed();
             pstats.prepare += t0.elapsed();
+            pstats.prepare_cpu += Duration::from_nanos(align_cpu.into_inner());
             for ((f1, f2), result) in jobs.into_iter().zip(results) {
                 let Some((alignment, promising)) = result else {
                     pstats.panics_caught += 1;
@@ -458,8 +622,10 @@ pub fn run_fmsa_pipeline(
                 // construction (commit can always regenerate inline), so
                 // a panicked or poisoned build degrades to `None` — the
                 // fallback path — and never decides a quarantine.
+                let spec_cpu = AtomicU64::new(0);
                 let bodies = pool.par_map(&spec_jobs, |_, &(f1, f2)| {
-                    catch_unwind(AssertUnwindSafe(|| {
+                    let t = Instant::now();
+                    let r = catch_unwind(AssertUnwindSafe(|| {
                         let seq1 = cache.cached(f1).expect("pre-filled");
                         let seq2 = cache.cached(f2).expect("pre-filled");
                         let (n1, n2) = (&frozen.func(f1).name, &frozen.func(f2).name);
@@ -480,11 +646,14 @@ pub fn run_fmsa_pipeline(
                         }
                         body
                     }))
-                    .ok()
+                    .ok();
+                    spec_cpu.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    r
                 });
                 stats.timers.codegen += t0.elapsed();
                 pstats.prepare += t0.elapsed();
                 pstats.spec_codegen += t0.elapsed();
+                pstats.prepare_cpu += Duration::from_nanos(spec_cpu.into_inner());
                 for (key, body) in spec_jobs.into_iter().zip(bodies) {
                     let body = match body {
                         Some(b) => b,
@@ -518,6 +687,12 @@ pub fn run_fmsa_pipeline(
         // sequential driver would see at this point of the worklist).
         let t_commit = Instant::now();
         let mut dirty = false;
+        // Deferred call-graph work of the generation's batch-eligible
+        // merges (thunk bodies, removal confirmation), executed through
+        // one barrier by `flush_batch` — at generation end, or earlier
+        // when an ineligible merge must commit immediately.
+        let mut plan = RewritePlan::new();
+        let mut pending_expect: Vec<(Disposition, Disposition)> = Vec::new();
         for (f1, scheduled_cands) in scheduled {
             if !live.contains(&f1) || !module.is_live(f1) {
                 continue;
@@ -754,13 +929,148 @@ pub fn run_fmsa_pipeline(
                 pstats.commit_codegen += t0.elapsed();
                 match outcome {
                     Some((info, report)) if report.is_profitable() => {
+                        let pool_ref = (threads > 1).then_some(&pool);
+                        // Batch eligibility — the merge's call-graph
+                        // update must provably interact with nothing else
+                        // in the generation: every deletable side has
+                        // zero callers to rewrite (after the serial
+                        // loop's own filters), neither side is a merged
+                        // function still pending in the batch, and the
+                        // merged body is already final (it calls neither
+                        // its own originals nor anything the batch
+                        // retired). Such a commit touches no third
+                        // function, so its bookkeeping can run eagerly
+                        // and its body work can wait for the flush.
+                        let deletable = [can_delete(module, f1), can_delete(module, info.f2)];
+                        let callers_clear = [(f1, deletable[0]), (info.f2, deletable[1])]
+                            .into_iter()
+                            .all(|(func, del)| {
+                                !del || call_sites.callers_of(func).into_iter().all(|g| {
+                                    g == func || plan.retired().contains(&g) || !module.is_live(g)
+                                })
+                            });
+                        let defer = callers_clear
+                            && !plan.merged_funcs().contains(&f1)
+                            && !plan.merged_funcs().contains(&info.f2)
+                            && {
+                                let merged_out = outgoing_calls(module.func(info.merged));
+                                !merged_out.contains_key(&f1)
+                                    && !merged_out.contains_key(&info.f2)
+                                    && merged_out.keys().all(|c| !plan.retired().contains(c))
+                            };
+                        if defer {
+                            let t0 = Instant::now();
+                            let dispositions = deletable.map(|d| {
+                                if d {
+                                    Disposition::Deleted
+                                } else {
+                                    Disposition::Thunk
+                                }
+                            });
+                            // Serial commit would intern the thunk-side
+                            // cast container types right now; replay that
+                            // eagerly so the deferred execution leaves
+                            // the type store bit-identical.
+                            if prepare_commit_casts(module, &info).is_err() {
+                                // Mirror the immediate path's failed
+                                // commit: drop the merge, resynchronize,
+                                // abandon the subject.
+                                flush_batch(
+                                    module,
+                                    &mut plan,
+                                    &mut pending_expect,
+                                    pool_ref,
+                                    &mut stats,
+                                    &mut pstats,
+                                    &mut call_sites,
+                                    &mut lin_cache,
+                                    &mut epoch,
+                                    &mut dirty,
+                                );
+                                module.remove_function(info.merged);
+                                call_sites = CallSiteIndex::build(module);
+                                lin_cache = LinearizationCache::new();
+                                epoch += 1;
+                                dirty = true;
+                                break;
+                            }
+                            plan.add_merge(module, &info, &call_sites);
+                            pending_expect.push((dispositions[0], dispositions[1]));
+                            stats.timers.update_calls += t0.elapsed();
+                            pstats.rewrite += t0.elapsed();
+                            pstats.batched_merges += 1;
+                            stats.merges += 1;
+                            stats.rank_positions.push(pos + 1);
+                            for d in dispositions {
+                                match d {
+                                    Disposition::Deleted => stats.deleted += 1,
+                                    Disposition::Thunk => stats.thunks += 1,
+                                }
+                            }
+                            live.remove(&f1);
+                            live.remove(&info.f2);
+                            fingerprints.remove(&f1);
+                            fingerprints.remove(&info.f2);
+                            index.remove(f1);
+                            index.remove(info.f2);
+                            for (func, disposition) in
+                                [(f1, dispositions[0]), (info.f2, dispositions[1])]
+                            {
+                                lin_cache.invalidate(func);
+                                match disposition {
+                                    Disposition::Deleted => {
+                                        call_sites.remove(func);
+                                        gens.remove(&func);
+                                        // Eager removal keeps liveness
+                                        // and `func_by_name` (merged-name
+                                        // deduplication) identical to the
+                                        // serial driver; the flush's
+                                        // re-removal is a no-op.
+                                        module.remove_function(func);
+                                    }
+                                    Disposition::Thunk => {
+                                        call_sites.set_thunk(func, info.merged);
+                                        *gens.entry(func).or_insert(0) += 1;
+                                    }
+                                }
+                            }
+                            // No caller is touched (that is what the
+                            // eligibility rules guarantee), and the
+                            // merged body is final: its index entry and
+                            // fingerprint are exact now.
+                            call_sites.refresh(module, info.merged);
+                            let t0 = Instant::now();
+                            let merged_fp = Fingerprint::of(module, info.merged);
+                            index.insert(info.merged, &merged_fp);
+                            fingerprints.insert(info.merged, merged_fp);
+                            stats.timers.fingerprinting += t0.elapsed();
+                            live.insert(info.merged);
+                            worklist.push_back(info.merged);
+                            dirty = true;
+                            break; // greedy: first profitable candidate wins
+                        }
+                        // Ineligible: the pending batch precedes this
+                        // merge in serial order, so flush it first, then
+                        // commit through an immediate single-merge plan.
+                        flush_batch(
+                            module,
+                            &mut plan,
+                            &mut pending_expect,
+                            pool_ref,
+                            &mut stats,
+                            &mut pstats,
+                            &mut call_sites,
+                            &mut lin_cache,
+                            &mut epoch,
+                            &mut dirty,
+                        );
+                        pstats.batch_fallback += 1;
                         let t0 = Instant::now();
                         // Call-graph update through the partitioned plan:
                         // callers come from the incremental call-site
                         // index, disjoint caller partitions rewrite on the
                         // worker pool. Single-threaded runs execute the
                         // partitions inline (no pool handoff).
-                        let pool_ref = (threads > 1).then_some(&pool);
                         let commit =
                             match commit_merge_partitioned(module, &info, &call_sites, pool_ref) {
                                 Ok(c) => c,
@@ -784,6 +1094,7 @@ pub fn run_fmsa_pipeline(
                             };
                         stats.timers.update_calls += t0.elapsed();
                         pstats.rewrite += t0.elapsed();
+                        pstats.commit_barriers += 1;
                         stats.merges += 1;
                         stats.rank_positions.push(pos + 1);
                         for d in [commit.first, commit.second] {
@@ -850,6 +1161,22 @@ pub fn run_fmsa_pipeline(
                 }
             }
         }
+        // End-of-generation flush: nothing pends across generations —
+        // the next schedule must see final bodies before freezing the
+        // type store and handing shared references to the workers.
+        flush_batch(
+            module,
+            &mut plan,
+            &mut pending_expect,
+            (threads > 1).then_some(&pool),
+            &mut stats,
+            &mut pstats,
+            &mut call_sites,
+            &mut lin_cache,
+            &mut epoch,
+            &mut dirty,
+        );
+        let _ = dirty;
         pstats.commit += t_commit.elapsed();
     }
 
@@ -1018,6 +1345,51 @@ mod tests {
         assert!(p.scratch_bytes_avoided > 0, "{p:?}");
         assert!(p.rewrite > Duration::ZERO, "commits must book rewrite time: {p:?}");
         assert!(p.rewrite <= p.commit, "{p:?}");
+    }
+
+    #[test]
+    fn generation_commits_are_batched() {
+        // Clone families are internal with no callers, so merges are
+        // batch-eligible unless a subject picks a merged function still
+        // pending in the batch (a fallback, flushed and committed
+        // immediately). Either way, every merge is accounted once and
+        // the barrier count stays below one-per-merge.
+        let mut m = Module::new("m");
+        clone_family(&mut m, 8, 12);
+        let stats = run_fmsa_pipeline(
+            &mut m,
+            &FmsaOptions::with_threshold(5),
+            &PipelineOptions::with_threads(4),
+        );
+        let p = stats.pipeline.expect("pipeline stats");
+        assert_eq!(p.batched_merges + p.batch_fallback, stats.merges, "{p:?}");
+        assert!(p.batched_merges > 0, "eligible merges must defer: {p:?}");
+        assert!(
+            p.commit_barriers <= 2 * p.batch_fallback + p.generations,
+            "per fallback: one flush plus one immediate barrier; plus at most one \
+             flush per generation: {p:?}"
+        );
+        assert!(p.commit_barriers < stats.merges || stats.merges <= 1, "{p:?}");
+        assert!(fmsa_ir::verify_module(&m).is_empty());
+    }
+
+    #[test]
+    fn schedule_timers_split_query_and_prefill() {
+        let mut m = Module::new("m");
+        clone_family(&mut m, 8, 12);
+        let stats = run_fmsa_pipeline(
+            &mut m,
+            &FmsaOptions::with_threshold(5),
+            &PipelineOptions::with_threads(4),
+        );
+        let p = stats.pipeline.expect("pipeline stats");
+        assert_eq!(p.schedule, p.schedule_query + p.schedule_prefill, "{p:?}");
+        assert!(p.schedule_query > Duration::ZERO, "{p:?}");
+        // Multi-thread runs pre-fill the cache and book CPU time for
+        // the parallel phases.
+        assert!(p.schedule_prefill > Duration::ZERO, "{p:?}");
+        assert!(p.schedule_cpu > Duration::ZERO, "{p:?}");
+        assert!(p.prepare_cpu > Duration::ZERO, "{p:?}");
     }
 
     #[test]

@@ -10,6 +10,19 @@
 //! The index is incremental: `insert`/`remove` touch only the function's
 //! own `bands` buckets, so the merge feedback loop maintains it in O(1)
 //! per update instead of rebuilding a candidate pool per iteration.
+//!
+//! # Band sharding
+//!
+//! The bucket table is **sharded by band**: one `HashMap` per band
+//! instead of a single map keyed by `(band, rows)` hashes. Queries are
+//! unchanged (a shortlist reads the subject's bucket in every shard and
+//! sorts the union, so shard layout is invisible to ranking), but bulk
+//! maintenance parallelizes: [`LshSearch::insert_batch`] hashes
+//! signatures on the worker pool and then fills all `bands` shards
+//! concurrently, one worker per shard, with no locks — each band's
+//! bucket membership order is the batch order, exactly what serial
+//! insertion would have produced. That turns the million-function index
+//! seed from the pass's largest serial cost into a parallel one.
 
 use super::minhash::MinHasher;
 use super::CandidateSearch;
@@ -56,6 +69,19 @@ impl LshConfig {
     }
 }
 
+/// FNV-style key of one band's signature rows. The band index is folded
+/// into the seed so equal row values in different bands cannot alias —
+/// historically this let all bands share one bucket map; with per-band
+/// shards it is redundant but kept so keys stay stable across layouts.
+fn band_key(band: usize, chunk: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (band as u64).wrapping_mul(0x100_0000_01b3);
+    for &x in chunk {
+        h ^= x;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// Near-constant-time candidate shortlisting via banded MinHash LSH.
 #[derive(Debug, Clone)]
 pub struct LshSearch {
@@ -64,10 +90,11 @@ pub struct LshSearch {
     /// Stored signature per indexed function (needed to find its buckets
     /// again on removal).
     signatures: HashMap<FuncId, Vec<u64>>,
-    /// `hash(band index, band rows) → members`. Vectors stay tiny for
-    /// healthy parameters; membership order is irrelevant because queries
-    /// sort the shortlist.
-    buckets: HashMap<u64, Vec<FuncId>>,
+    /// One bucket map per band: `shards[band][band_key] → members`.
+    /// Vectors stay tiny for healthy parameters; membership order is
+    /// irrelevant because queries sort the shortlist. Disjoint by
+    /// construction, so batch maintenance runs one worker per shard.
+    shards: Vec<HashMap<u64, Vec<FuncId>>>,
 }
 
 impl LshSearch {
@@ -78,7 +105,7 @@ impl LshSearch {
             cfg,
             hasher: MinHasher::new(cfg.hashes, cfg.occurrence_cap),
             signatures: HashMap::new(),
-            buckets: HashMap::new(),
+            shards: vec![HashMap::new(); cfg.bands],
         }
     }
 
@@ -87,16 +114,10 @@ impl LshSearch {
         &self.cfg
     }
 
-    fn band_keys<'a>(&'a self, sig: &'a [u64]) -> impl Iterator<Item = u64> + 'a {
+    /// `(band, key)` pairs of a signature, one per shard.
+    fn band_keys<'a>(&'a self, sig: &'a [u64]) -> impl Iterator<Item = (usize, u64)> + 'a {
         let rows = self.cfg.rows();
-        sig.chunks_exact(rows).enumerate().map(|(band, chunk)| {
-            let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (band as u64).wrapping_mul(0x100_0000_01b3);
-            for &x in chunk {
-                h ^= x;
-                h = h.wrapping_mul(0x100_0000_01b3);
-            }
-            h
-        })
+        sig.chunks_exact(rows).enumerate().map(|(band, chunk)| (band, band_key(band, chunk)))
     }
 
     /// Inserts `func` under a precomputed MinHash signature, skipping the
@@ -109,9 +130,9 @@ impl LshSearch {
         if self.signatures.contains_key(&func) {
             self.remove(func);
         }
-        let keys: Vec<u64> = self.band_keys(&sig).collect();
-        for key in keys {
-            self.buckets.entry(key).or_default().push(func);
+        let keys: Vec<(usize, u64)> = self.band_keys(&sig).collect();
+        for (band, key) in keys {
+            self.shards[band].entry(key).or_default().push(func);
         }
         self.signatures.insert(func, sig);
     }
@@ -135,8 +156,8 @@ impl LshSearch {
             return Vec::new();
         };
         let mut out: Vec<FuncId> = Vec::new();
-        for key in self.band_keys(sig) {
-            if let Some(members) = self.buckets.get(&key) {
+        for (band, key) in self.band_keys(sig) {
+            if let Some(members) = self.shards[band].get(&key) {
                 out.extend(members.iter().copied().filter(|&f| f != subject));
             }
         }
@@ -148,28 +169,68 @@ impl LshSearch {
 
 impl CandidateSearch for LshSearch {
     fn insert(&mut self, func: FuncId, fp: &Fingerprint) {
-        if self.signatures.contains_key(&func) {
-            // Refresh: evict the stale bucket entries first.
-            self.remove(func);
+        self.insert_signature(func, self.hasher.signature(fp));
+    }
+
+    /// Parallel bulk insert: signatures are hashed on the pool
+    /// (`MinHasher` is pure, so contents match the serial path), then
+    /// every band shard is filled by its own worker — shards are
+    /// disjoint maps, so no synchronization is needed, and each band's
+    /// bucket membership order is the batch order, identical to what
+    /// one-at-a-time insertion would produce.
+    fn insert_batch(&mut self, items: &[(FuncId, &Fingerprint)], pool: Option<&rayon::ThreadPool>) {
+        // Refresh semantics first (rare in batch callers; the seed and
+        // store-rebuild paths only ever batch fresh functions).
+        for &(func, _) in items {
+            if self.signatures.contains_key(&func) {
+                self.remove(func);
+            }
         }
-        let sig = self.hasher.signature(fp);
-        let keys: Vec<u64> = self.band_keys(&sig).collect();
-        for key in keys {
-            self.buckets.entry(key).or_default().push(func);
+        let hasher = &self.hasher;
+        let sigs: Vec<(FuncId, Vec<u64>)> = match pool {
+            Some(pool) if pool.current_num_threads() > 1 && items.len() > 1 => {
+                pool.par_map(items, |_, &(func, fp)| (func, hasher.signature(fp)))
+            }
+            _ => items.iter().map(|&(func, fp)| (func, hasher.signature(fp))).collect(),
+        };
+        let rows = self.cfg.rows();
+        match pool {
+            Some(pool) if pool.current_num_threads() > 1 && self.shards.len() > 1 => {
+                pool.scope(|s| {
+                    for (band, shard) in self.shards.iter_mut().enumerate() {
+                        let sigs = &sigs;
+                        s.spawn(move |_| {
+                            for (func, sig) in sigs {
+                                let key = band_key(band, &sig[band * rows..(band + 1) * rows]);
+                                shard.entry(key).or_default().push(*func);
+                            }
+                        });
+                    }
+                });
+            }
+            _ => {
+                for (band, shard) in self.shards.iter_mut().enumerate() {
+                    for (func, sig) in &sigs {
+                        let key = band_key(band, &sig[band * rows..(band + 1) * rows]);
+                        shard.entry(key).or_default().push(*func);
+                    }
+                }
+            }
         }
-        self.signatures.insert(func, sig);
+        self.signatures.extend(sigs);
     }
 
     fn remove(&mut self, func: FuncId) {
         let Some(sig) = self.signatures.remove(&func) else {
             return;
         };
-        let keys: Vec<u64> = self.band_keys(&sig).collect();
-        for key in keys {
-            if let Some(members) = self.buckets.get_mut(&key) {
+        let rows = self.cfg.rows();
+        for (band, chunk) in sig.chunks_exact(rows).enumerate() {
+            let key = band_key(band, chunk);
+            if let Some(members) = self.shards[band].get_mut(&key) {
                 members.retain(|&f| f != func);
                 if members.is_empty() {
-                    self.buckets.remove(&key);
+                    self.shards[band].remove(&key);
                 }
             }
         }

@@ -60,12 +60,29 @@ use std::collections::{BTreeSet, HashMap};
 
 /// A maintained index over the live merge-eligible functions, queried for
 /// the top merge candidates of one subject function.
-pub trait CandidateSearch {
+///
+/// `Send + Sync` is part of the contract: the pipeline's schedule stage
+/// runs candidate queries for a whole generation concurrently against a
+/// shared `&dyn CandidateSearch`, so `candidates` must be safe under
+/// concurrent shared-reference calls (it takes `&self`, so this is the
+/// usual no-interior-mutability requirement, not a locking one).
+pub trait CandidateSearch: Send + Sync {
     /// Adds (or refreshes) `func` with fingerprint `fp`.
     ///
     /// Implementations must tolerate re-insertion of an already-indexed
     /// function (callers refresh fingerprints after call-site rewrites).
     fn insert(&mut self, func: FuncId, fp: &Fingerprint);
+
+    /// Bulk-adds `items`, optionally using `pool` for parallel index
+    /// construction. Must be observably identical to inserting the items
+    /// one by one in slice order; the default does exactly that.
+    /// [`LshSearch`] overrides it with sharded parallel seeding.
+    fn insert_batch(&mut self, items: &[(FuncId, &Fingerprint)], pool: Option<&rayon::ThreadPool>) {
+        let _ = pool;
+        for &(func, fp) in items {
+            self.insert(func, fp);
+        }
+    }
 
     /// Removes `func` from the index; no-op when absent.
     fn remove(&mut self, func: FuncId);

@@ -444,6 +444,19 @@ impl RewritePlan {
         self.sides.len() / 2
     }
 
+    /// Sides retired by the batch so far (both originals of every added
+    /// merge). The pipeline's batch-eligibility rules consult this: a
+    /// merge whose callers or merged-body callees intersect the retired
+    /// set would interact with a pending rewrite and must flush first.
+    pub fn retired(&self) -> &HashSet<FuncId> {
+        &self.retired
+    }
+
+    /// Merged functions of the batch, in add order.
+    pub fn merged_funcs(&self) -> &[FuncId] {
+        &self.merged
+    }
+
     /// Executes the batch: assembles the caller partitions (including the
     /// batch's merged functions, scanned once each), pre-interns the cast
     /// container types in serial commit order, runs every partition on
@@ -561,6 +574,32 @@ fn run_partition(
                 }
             }
             RewriteTask::Thunk { rw } => make_thunk_in(f, types, rw)?,
+        }
+    }
+    Ok(())
+}
+
+/// Pre-interns, at merge-decision time, the cast container types the
+/// serial commit of `info` would intern right now — so a *deferred*
+/// (batched) commit leaves the type store evolving bit-identically to
+/// committing immediately. Only thunk sides intern here: the pipeline's
+/// batch-eligibility rules guarantee every deletable side has zero
+/// callers, and a caller-less deleted side interns nothing serially
+/// either. When the batch flushes, [`RewritePlan::execute`] re-runs the
+/// same preparation, which the type store's interning dedupe turns into
+/// a no-op.
+///
+/// # Errors
+///
+/// Propagates cast construction failures.
+pub(crate) fn prepare_commit_casts(
+    module: &mut Module,
+    info: &MergeInfo,
+) -> Result<(), MergeError> {
+    for (func, first) in [(info.f1, true), (info.f2, false)] {
+        if !can_delete(module, func) {
+            let rw = CallRewrite::for_side(module, info, first);
+            prepare_side_casts(&mut module.types, &rw)?;
         }
     }
     Ok(())

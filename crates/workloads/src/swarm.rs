@@ -97,6 +97,81 @@ pub fn clone_swarm_module(cfg: &SwarmConfig) -> Module {
     module
 }
 
+/// One chunk of a streamed corpus: a generation *recipe*, not a module.
+///
+/// Million-function experiments cannot hold the whole corpus in memory;
+/// [`stream_chunks`] yields descriptors and the caller materializes one
+/// chunk at a time ([`ChunkSpec::materialize`]), processes it, and drops
+/// it — peak memory is bounded by one chunk regardless of corpus size.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChunkSpec {
+    /// A clone-swarm chunk generated directly as IR.
+    Swarm(SwarmConfig),
+    /// A wasm-fixture chunk: serialized to real wasm bytes, then decoded
+    /// and lowered through the frontend — the corpus mixes in binaries
+    /// the full parse→lower path has to chew through.
+    Wasm(crate::wasm_fixtures::WasmFixtureConfig),
+}
+
+impl ChunkSpec {
+    /// Number of functions this chunk will contain.
+    pub fn functions(&self) -> usize {
+        match self {
+            ChunkSpec::Swarm(c) => c.functions,
+            ChunkSpec::Wasm(c) => c.functions,
+        }
+    }
+
+    /// Builds the chunk's module. Wasm chunks round-trip through real
+    /// bytes: encode → parse → lower.
+    pub fn materialize(&self) -> Module {
+        match self {
+            ChunkSpec::Swarm(c) => clone_swarm_module(c),
+            ChunkSpec::Wasm(c) => {
+                let bytes = crate::wasm_fixtures::wasm_fixture_bytes(c);
+                fmsa_wasm::load_wasm(&bytes, &format!("wasm-chunk-{:x}", c.seed))
+                    .expect("generated fixtures stay within the supported subset")
+            }
+        }
+    }
+}
+
+/// Splitmix64-style seed derivation so chunks are decorrelated but the
+/// whole stream is a pure function of the master seed.
+fn derive_seed(seed: u64, k: u64) -> u64 {
+    let mut z = seed.wrapping_add(k.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Streams a `total`-function corpus as chunk descriptors of at most
+/// `chunk` functions each. Every eighth chunk is a wasm-fixture binary
+/// (repeated with per-chunk seed variation); the rest are clone swarms.
+/// The stream is deterministic in `(total, chunk, seed)` and covers
+/// exactly `total` functions.
+pub fn stream_chunks(total: usize, chunk: usize, seed: u64) -> impl Iterator<Item = ChunkSpec> {
+    let chunk = chunk.max(2);
+    let chunks = total.div_ceil(chunk);
+    (0..chunks).map(move |k| {
+        let n = chunk.min(total - k * chunk);
+        let chunk_seed = derive_seed(seed, k as u64);
+        if k % 8 == 7 {
+            ChunkSpec::Wasm(crate::wasm_fixtures::WasmFixtureConfig {
+                functions: n,
+                seed: chunk_seed,
+                ..Default::default()
+            })
+        } else {
+            ChunkSpec::Swarm(SwarmConfig {
+                functions: n,
+                seed: chunk_seed,
+                ..SwarmConfig::default()
+            })
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +206,40 @@ mod tests {
         let fam_members =
             m.func_ids().iter().filter(|&&f| m.func(f).name.starts_with("fam")).count();
         assert_eq!(fam_members, 50);
+    }
+
+    #[test]
+    fn stream_covers_total_exactly_and_mixes_kinds() {
+        let specs: Vec<ChunkSpec> = stream_chunks(2_500, 200, 42).collect();
+        assert_eq!(specs.len(), 13, "ceil(2500/200)");
+        assert_eq!(specs.iter().map(ChunkSpec::functions).sum::<usize>(), 2_500);
+        assert_eq!(specs.last().map(ChunkSpec::functions), Some(100), "remainder chunk");
+        assert!(specs.iter().any(|s| matches!(s, ChunkSpec::Swarm(_))));
+        assert!(specs.iter().any(|s| matches!(s, ChunkSpec::Wasm(_))));
+        // Chunks are decorrelated: no two share a seed.
+        let mut seeds: Vec<u64> = specs
+            .iter()
+            .map(|s| match s {
+                ChunkSpec::Swarm(c) => c.seed,
+                ChunkSpec::Wasm(c) => c.seed,
+            })
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 13);
+        // Determinism: the stream is a pure function of its inputs.
+        let again: Vec<ChunkSpec> = stream_chunks(2_500, 200, 42).collect();
+        assert_eq!(specs, again);
+    }
+
+    #[test]
+    fn stream_chunks_materialize_and_verify() {
+        for spec in stream_chunks(130, 16, 7) {
+            let m = spec.materialize();
+            assert_eq!(m.func_count(), spec.functions());
+            let errs = fmsa_ir::verify_module(&m);
+            assert!(errs.is_empty(), "{spec:?}: {errs:?}");
+        }
     }
 
     #[test]

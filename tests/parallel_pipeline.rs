@@ -61,6 +61,114 @@ proptest! {
     }
 }
 
+/// Families of near-clones with cross-calls and mixed linkage: deletable
+/// sides with live callers and thunked (external) sides force the
+/// batched commit's conflict fallback, while caller-less families
+/// exercise the deferred path — both in one module.
+fn calling_swarm(seed: u64, families: usize, members: usize) -> Module {
+    use fmsa::ir::{FuncBuilder, Linkage, Value};
+    let mut m = Module::new("calling_swarm");
+    let i32t = m.types.i32();
+    let fn_ty = m.types.func(i32t, vec![i32t]);
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut ids = Vec::new();
+    for fam in 0..families {
+        for mem in 0..members {
+            let f = m.create_function(format!("fam{fam}_m{mem}"), fn_ty);
+            if next() % 100 < 20 {
+                m.func_mut(f).linkage = Linkage::External;
+            }
+            ids.push(f);
+        }
+    }
+    for (k, &f) in ids.iter().enumerate().collect::<Vec<_>>() {
+        let fam = k / members;
+        let callee = ids[(next() as usize) % ids.len()];
+        let cross_call = next() % 100 < 40 && callee != f;
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.block("entry");
+        b.switch_to(e);
+        let mut v = Value::Param(0);
+        for j in 0..10 {
+            v = b.add(v, b.const_i32((fam * 3 + j) as i32));
+            v = b.mul(v, Value::Param(0));
+        }
+        if cross_call {
+            v = b.call(callee, vec![v]);
+        }
+        v = b.xor(v, b.const_i32((k % members) as i32));
+        b.ret(Some(v));
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Batched generation commits are decision-invisible: with
+    /// cross-calls and mixed linkage driving both the deferred path and
+    /// the conflict fallback, any thread count produces the sequential
+    /// driver's exact module text, and every merge is accounted to
+    /// exactly one of the two commit paths.
+    #[test]
+    fn batched_commits_are_bit_identical_to_sequential(
+        seed in 0u64..10_000,
+        families in 3usize..8,
+        members in 2usize..4,
+        threads in 1usize..9,
+    ) {
+        let base = calling_swarm(seed, families, members);
+        let cfg = Config::new().threshold(5).parallel(threads);
+        let mut m_seq = base.clone();
+        let seq = run_fmsa(&mut m_seq, &cfg.fmsa_options());
+        let mut m_par = base.clone();
+        let par = run_fmsa_pipeline(&mut m_par, &cfg.fmsa_options(), &cfg.pipeline_options());
+        prop_assert_eq!(print_module(&m_seq), print_module(&m_par));
+        prop_assert_eq!(seq.merges, par.merges);
+        let p = par.pipeline.expect("pipeline stats");
+        prop_assert_eq!(p.batched_merges + p.batch_fallback, par.merges);
+    }
+}
+
+/// Pinned: overlapping caller partitions must take the fallback path
+/// (flush + immediate single-merge plan), caller-less merges must defer,
+/// and both must reproduce the serial text at 1/2/4/8 threads. The two
+/// counters are also thread-invariant — the commit decision procedure
+/// never depends on the worker count.
+#[test]
+fn caller_overlap_falls_back_and_matches_serial() {
+    let base = calling_swarm(0x0ba7_c4ed, 6, 3);
+    let mut m_seq = base.clone();
+    let seq = run_fmsa(&mut m_seq, &Config::new().threshold(5).fmsa_options());
+    assert!(seq.merges > 3, "workload must merge: {}", seq.merges);
+    let seq_text = print_module(&m_seq);
+    let mut counters: Option<(usize, usize)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = Config::new().threshold(5).parallel(threads);
+        let mut m_par = base.clone();
+        let par = run_fmsa_pipeline(&mut m_par, &cfg.fmsa_options(), &cfg.pipeline_options());
+        assert_eq!(seq_text, print_module(&m_par), "module text at {threads} threads");
+        let p = par.pipeline.expect("pipeline stats");
+        assert_eq!(p.batched_merges + p.batch_fallback, par.merges, "{p:?}");
+        match counters {
+            None => counters = Some((p.batched_merges, p.batch_fallback)),
+            Some(c) => assert_eq!(
+                c,
+                (p.batched_merges, p.batch_fallback),
+                "commit-path split diverged at {threads} threads"
+            ),
+        }
+        assert!(fmsa::ir::verify_module(&m_par).is_empty());
+    }
+    let (batched, fallback) = counters.expect("ran");
+    assert!(fallback > 0, "cross-calls must force the conflict fallback");
+    assert!(batched > 0, "caller-less merges must defer");
+}
+
 /// Large clone families make many scheduled attempts share functions:
 /// when one member merges, every other scheduled attempt touching it is
 /// stale and must be re-validated by the commit stage.

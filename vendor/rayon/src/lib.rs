@@ -6,23 +6,36 @@
 //! may spawn further tasks, and a [`ThreadPool::par_map`] convenience
 //! (the stand-in's replacement for `par_iter().map().collect()`).
 //!
-//! Tasks are queued behind a mutex and drained by `num_threads` OS
-//! threads created per scope via [`std::thread::scope`] (the calling
-//! thread participates as one of the workers, so a pool of one thread
-//! runs everything inline without spawning). That favours simplicity
-//! over work-stealing throughput, which is the right trade for this
-//! workspace: tasks are coarse (one sequence alignment each), so queue
-//! contention is negligible. No `unsafe` is used; borrow soundness comes
-//! entirely from `std::thread::scope`.
+//! # Scheduler
 //!
-//! A panicking task poisons the scope and the panic is propagated to the
-//! caller when the scope joins, like rayon.
+//! The pool keeps `num_threads - 1` **persistent worker threads** (the
+//! calling thread participates as the last worker whenever it waits on a
+//! scope, so a pool of one thread runs everything inline without
+//! spawning). Workers **park** on a condvar while the queue is empty and
+//! are woken per spawned job, so an idle pool costs nothing between
+//! generations. Jobs live in one shared deque; to keep lock traffic off
+//! the hot path each worker drains a **chunk** of jobs proportional to
+//! `queue_len / threads` (capped) per lock acquisition instead of one
+//! job at a time.
+//!
+//! Scope soundness: a spawned closure may borrow from the spawning stack
+//! frame (`'scope`), but worker threads are `'static`, so the queued job
+//! is lifetime-erased with one `transmute`. This is sound for the same
+//! reason rayon's registry is: [`ThreadPool::scope`] does not return —
+//! and therefore the borrowed frame cannot be popped — until the scope's
+//! completion latch reports every spawned job (including transitively
+//! spawned ones) finished. A panicking job is caught on the worker,
+//! stored in the latch, and re-thrown from `scope` at join, like rayon.
+//!
+//! Dropping the last clone of a [`ThreadPool`] shuts the workers down
+//! and joins them.
 
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Number of threads the machine can usefully run, rayon's default pool
 /// size (`available_parallelism`, or 1 when unknown).
@@ -53,7 +66,7 @@ impl ThreadPoolBuilder {
     /// rayon's signature.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let threads = if self.num_threads == 0 { current_num_threads() } else { self.num_threads };
-        Ok(ThreadPool { threads })
+        Ok(ThreadPool::with_threads(threads))
     }
 }
 
@@ -70,52 +83,203 @@ impl std::fmt::Display for ThreadPoolBuildError {
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// A fixed-size task pool.
-///
-/// Unlike real rayon the stand-in keeps no persistent worker threads:
-/// each [`ThreadPool::scope`] call spawns its workers scoped to that
-/// call. Spawn cost is tens of microseconds per thread, irrelevant next
-/// to the coarse task batches this workspace schedules.
-#[derive(Debug, Clone, Copy)]
-pub struct ThreadPool {
+/// A queued, lifetime-erased job. The erasure is sound because the
+/// enqueuing scope blocks until its latch counts the job complete.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared pool state: the job deque plus the shutdown flag, all under
+/// one mutex/condvar pair (jobs are coarse — an alignment, a codegen, a
+/// chunk of hash queries — so a single lock is not the bottleneck; the
+/// chunked drain below keeps acquisitions per job amortized well under
+/// one).
+struct PoolState {
+    shared: Mutex<PoolShared>,
+    cv: Condvar,
     threads: usize,
 }
 
+struct PoolShared {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl PoolState {
+    fn push(&self, job: Job) {
+        let mut sh = self.shared.lock().expect("pool state");
+        sh.queue.push_back(job);
+        drop(sh);
+        self.cv.notify_one();
+    }
+
+    /// Persistent worker loop: drain chunks, park when empty.
+    fn worker(self: &Arc<PoolState>) {
+        const MAX_CHUNK: usize = 8;
+        let mut sh = self.shared.lock().expect("pool state");
+        loop {
+            if !sh.queue.is_empty() {
+                // Proportional chunking: leave work for the other
+                // workers, but amortize the lock over several jobs when
+                // the queue is deep.
+                let n = (sh.queue.len() / self.threads.max(1)).clamp(1, MAX_CHUNK);
+                let jobs: Vec<Job> = sh.queue.drain(..n).collect();
+                drop(sh);
+                for job in jobs {
+                    job();
+                }
+                sh = self.shared.lock().expect("pool state");
+            } else if sh.shutdown {
+                return;
+            } else {
+                sh = self.cv.wait(sh).expect("pool state");
+            }
+        }
+    }
+
+    /// Caller-side drain: run queued jobs until `latch` reports the
+    /// caller's scope complete. Unlike a worker, takes one job at a time
+    /// (to re-check the latch promptly) and exits on completion rather
+    /// than shutdown.
+    fn drain_until(&self, latch: &Latch) {
+        let mut sh = self.shared.lock().expect("pool state");
+        loop {
+            if let Some(job) = sh.queue.pop_front() {
+                drop(sh);
+                job();
+                sh = self.shared.lock().expect("pool state");
+                continue;
+            }
+            if latch.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            // Queue empty but jobs of this scope still running on
+            // workers (or about to spawn successors): park alongside the
+            // workers. Latch completion notifies this condvar.
+            sh = self.cv.wait(sh).expect("pool state");
+        }
+    }
+}
+
+/// Per-scope completion latch: counts outstanding jobs and stores the
+/// first panic. Completion notifies the pool condvar (under the pool
+/// lock, so the caller's empty-queue check cannot miss the wakeup).
+struct Latch {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch { pending: AtomicUsize::new(0), panic: Mutex::new(None) }
+    }
+
+    fn complete(&self, state: &PoolState) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Take the pool lock so the notification is ordered after
+            // any caller currently deciding to wait.
+            drop(state.shared.lock().expect("pool state"));
+            state.cv.notify_all();
+        }
+    }
+
+    fn store_panic(&self, p: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().expect("latch panic");
+        if slot.is_none() {
+            *slot = Some(p);
+        }
+    }
+}
+
+/// Joins the persistent workers when the last [`ThreadPool`] clone is
+/// dropped. Kept separate from [`PoolState`] (which the workers
+/// themselves hold) so the shutdown edge is the registry drop, not a
+/// reference-count race.
+struct Registry {
+    state: Arc<PoolState>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        self.state.shared.lock().expect("pool state").shutdown = true;
+        self.state.cv.notify_all();
+        for h in self.handles.drain(..) {
+            // Workers never unwind (every job is caught into its scope
+            // latch), so a join error here is a stand-in bug.
+            h.join().expect("pool worker exited cleanly");
+        }
+    }
+}
+
+/// A fixed-size task pool with persistent, parked worker threads.
+///
+/// Cloning is cheap (an `Arc` bump) and clones share the same workers;
+/// the workers shut down when the last clone is dropped.
+#[derive(Clone)]
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("threads", &self.registry.state.threads).finish()
+    }
+}
+
 impl ThreadPool {
+    fn with_threads(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let state = Arc::new(PoolState {
+            shared: Mutex::new(PoolShared { queue: VecDeque::new(), shutdown: false }),
+            cv: Condvar::new(),
+            threads,
+        });
+        // The calling thread is one of the `threads` workers (it drains
+        // the queue whenever it waits on a scope), so only threads - 1
+        // OS threads are spawned.
+        let handles = (1..threads)
+            .map(|k| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("fmsa-pool-{k}"))
+                    .spawn(move || state.worker())
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { registry: Arc::new(Registry { state, handles }) }
+    }
+
     /// Number of worker threads (including the calling thread).
     pub fn current_num_threads(&self) -> usize {
-        self.threads
+        self.registry.state.threads
     }
 
     /// Runs `op` with a [`Scope`] on which tasks can be spawned; returns
     /// when every spawned task (including transitively spawned ones) has
-    /// completed.
+    /// completed. A panic in any task (or in `op` itself) is re-thrown
+    /// here, after all tasks have completed.
     pub fn scope<'scope, OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce(&Scope<'scope>) -> R,
         R: Send,
     {
+        let state = &self.registry.state;
         let sc = Scope {
-            state: Mutex::new(ScopeState { queue: VecDeque::new(), running: 0, closed: false }),
-            cv: Condvar::new(),
+            latch: Arc::new(Latch::new()),
+            state: Arc::clone(state),
+            _marker: std::marker::PhantomData,
         };
-        std::thread::scope(|ts| {
-            let mut workers = Vec::new();
-            for _ in 1..self.threads {
-                workers.push(ts.spawn(|| sc.work()));
-            }
-            let result = op(&sc);
-            sc.close();
-            // The calling thread drains the queue alongside the workers.
-            sc.work();
-            for w in workers {
-                // Propagate worker panics like rayon does at join.
-                if let Err(p) = w.join() {
-                    std::panic::resume_unwind(p);
-                }
-            }
-            result
-        })
+        // `op` may panic after spawning; the drain below must still run
+        // before this frame unwinds, or queued jobs would read a popped
+        // stack frame.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| op(&sc)));
+        state.drain_until(&sc.latch);
+        if let Some(p) = sc.latch.panic.lock().expect("latch panic").take() {
+            std::panic::resume_unwind(p);
+        }
+        match result {
+            Ok(r) => r,
+            Err(p) => std::panic::resume_unwind(p),
+        }
     }
 
     /// Applies `f` to every element of `items` on the pool and collects
@@ -127,13 +291,14 @@ impl ThreadPool {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
-        if self.threads <= 1 || items.len() <= 1 {
+        let threads = self.registry.state.threads;
+        if threads <= 1 || items.len() <= 1 {
             return items.iter().enumerate().map(|(k, it)| f(k, it)).collect();
         }
         let next = AtomicUsize::new(0);
         let buckets: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
         self.scope(|s| {
-            for _ in 0..self.threads.min(items.len()) {
+            for _ in 0..threads.min(items.len()) {
                 s.spawn(|_| {
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
@@ -154,80 +319,82 @@ impl ThreadPool {
     }
 }
 
-/// Runs `op` with a scope on a default-size pool ([`current_num_threads`]
+/// The process-global pool backing the free [`scope`] function,
+/// mirroring rayon's implicit global pool (sized by
+/// [`current_num_threads`], created on first use, lives for the
+/// process).
+fn global_pool() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| ThreadPool::with_threads(current_num_threads()))
+}
+
+/// Runs `op` with a scope on the global pool ([`current_num_threads`]
 /// workers), mirroring `rayon::scope`.
 pub fn scope<'scope, OP, R>(op: OP) -> R
 where
     OP: FnOnce(&Scope<'scope>) -> R,
     R: Send,
 {
-    ThreadPool { threads: current_num_threads() }.scope(op)
-}
-
-type Task<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
-
-struct ScopeState<'scope> {
-    queue: VecDeque<Task<'scope>>,
-    /// Tasks currently executing on some worker.
-    running: usize,
-    /// Whether the scope closure has returned (no more external spawns).
-    closed: bool,
+    global_pool().scope(op)
 }
 
 /// A scope handle on which tasks borrowing `'scope` data can be spawned.
 pub struct Scope<'scope> {
-    state: Mutex<ScopeState<'scope>>,
-    cv: Condvar,
+    latch: Arc<Latch>,
+    state: Arc<PoolState>,
+    /// Invariant over `'scope`, as in rayon: the scope must not be
+    /// usable with a shorter borrow than the tasks capture.
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
 }
+
+/// Raw pointer to the caller's stack-pinned [`Scope`], shipped to the
+/// worker inside the job closure. Valid for the job's whole run: `scope`
+/// does not return (the frame is not popped) until the latch counts this
+/// job complete.
+struct ScopePtr(*const ());
+
+impl ScopePtr {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// whole `Send` wrapper, not the raw pointer field.
+    fn get(&self) -> *const () {
+        self.0
+    }
+}
+
+// SAFETY: the pointer crosses threads only inside a job whose lifetime
+// is bounded by the scope's latch (see above); `Scope` itself is
+// `Sync` (latch + Arc'd pool state).
+unsafe impl Send for ScopePtr {}
 
 impl<'scope> Scope<'scope> {
     /// Enqueues `body` to run on the pool. The task receives the scope
-    /// and may spawn further tasks.
+    /// and may spawn further tasks onto it.
     pub fn spawn<F>(&self, body: F)
     where
         F: FnOnce(&Scope<'scope>) + Send + 'scope,
     {
-        let mut st = self.state.lock().expect("scope state");
-        st.queue.push_back(Box::new(body));
-        drop(st);
-        self.cv.notify_one();
-    }
-
-    fn close(&self) {
-        self.state.lock().expect("scope state").closed = true;
-        self.cv.notify_all();
-    }
-
-    /// Worker loop: pop and run tasks until the scope is closed and idle.
-    fn work(&self) {
-        loop {
-            let task = {
-                let mut st = self.state.lock().expect("scope state");
-                loop {
-                    if let Some(t) = st.queue.pop_front() {
-                        st.running += 1;
-                        break Some(t);
-                    }
-                    if st.closed && st.running == 0 {
-                        break None;
-                    }
-                    st = self.cv.wait(st).expect("scope state");
-                }
-            };
-            let Some(task) = task else {
-                // Wake any sibling still waiting so it can observe idle.
-                self.cv.notify_all();
-                return;
-            };
-            task(self);
-            let mut st = self.state.lock().expect("scope state");
-            st.running -= 1;
-            let idle = st.running == 0 && st.queue.is_empty();
-            drop(st);
-            if idle {
-                self.cv.notify_all();
+        // Count before queueing so the latch can never read 0 while this
+        // job (or a successor it spawns) is outstanding.
+        self.latch.pending.fetch_add(1, Ordering::AcqRel);
+        let latch = Arc::clone(&self.latch);
+        let state = Arc::clone(&self.state);
+        let scope_ptr = ScopePtr(self as *const Scope<'scope> as *const ());
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // SAFETY: see ScopePtr — the scope outlives every job it
+            // counts.
+            let scope: &Scope<'scope> = unsafe { &*(scope_ptr.get() as *const Scope<'scope>) };
+            if let Err(p) = std::panic::catch_unwind(AssertUnwindSafe(|| body(scope))) {
+                latch.store_panic(p);
             }
-        }
+            latch.complete(&state);
+        });
+        // SAFETY: lifetime erasure of the queued job; sound because the
+        // scope blocks until the latch counts it complete, so every
+        // `'scope` borrow it carries stays live while it can run.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.state.push(job);
     }
 }
 
@@ -335,5 +502,67 @@ mod tests {
             }
         });
         assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn workers_persist_across_scopes() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().expect("pool");
+        let seen: Mutex<std::collections::HashSet<std::thread::ThreadId>> =
+            Mutex::new(std::collections::HashSet::new());
+        for _ in 0..20 {
+            pool.scope(|s| {
+                for _ in 0..16 {
+                    s.spawn(|_| {
+                        seen.lock().unwrap().insert(std::thread::current().id());
+                        // Hold the worker briefly so siblings get a turn.
+                        std::thread::yield_now();
+                    });
+                }
+            });
+        }
+        // 3 persistent workers + the caller; across 20 scopes no more
+        // distinct thread ids than that may ever appear.
+        assert!(seen.lock().unwrap().len() <= 4);
+    }
+
+    #[test]
+    fn task_panic_propagates_at_join() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().expect("pool");
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+        }));
+        assert!(r.is_err(), "task panic must re-throw at scope join");
+        // The pool must remain usable after a panicked scope.
+        let hits = AtomicU64::new(0);
+        pool.scope(|s| {
+            s.spawn(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn clones_share_workers_and_drop_cleanly() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().expect("pool");
+        let clone = pool.clone();
+        let hits = AtomicU64::new(0);
+        clone.scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        drop(pool);
+        // Workers stay alive while any clone exists.
+        clone.scope(|s| {
+            s.spawn(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 11);
     }
 }
