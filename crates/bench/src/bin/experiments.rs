@@ -17,7 +17,8 @@
 //! experiments faults            Fault-injection matrix (quarantine gates)
 //! experiments serve-bench       Merge-daemon load generator (fmsa-serve)
 //! experiments scale             Streamed million-function corpus + scaling curve
-//! experiments all               everything above except `scale`
+//! experiments chaos             Kill/restart cycles under injected store faults
+//! experiments all               everything above except `scale` and `chaos`
 //! ```
 //!
 //! Add `--oracle` to include the quadratic oracle where feasible, and
@@ -34,7 +35,13 @@
 //! `--fast`) and `--chunk N` (streamed chunk size): it processes the
 //! corpus one materialized chunk at a time so peak memory stays bounded
 //! by the chunk, then measures a threads-vs-wall scaling curve on a
-//! sampled prefix. `scale` is deliberately not part of `all`.
+//! sampled prefix. `chaos` boots the daemon over a persistent store,
+//! runs concurrent uploads under injected store I/O faults, kills it
+//! without drain, truncates/bit-flips the log to simulate dying
+//! mid-write, and gates the recovery invariant (zero checksum-valid
+//! durable entries lost, zero panics, byte-identical re-serve after
+//! recovery, atomic compaction). `scale` and `chaos` are deliberately
+//! not part of `all`.
 
 use fmsa::Config;
 use fmsa_bench::harness::{
@@ -121,6 +128,7 @@ fn main() {
         "faults" => fault_matrix(fast, &mut report),
         "serve-bench" => serve_bench(fast, &mut report),
         "scale" => scale(fast, scale_functions, scale_chunk, &mut report),
+        "chaos" => chaos(fast, &mut report),
         "all" => {
             table(&spec, "Table I (SPEC CPU2006)");
             table(&mibench, "Table II (MiBench)");
@@ -1347,9 +1355,14 @@ fn serve_bench(fast: bool, report: &mut Report) {
         fmsa::ir::printer::print_module(&m)
     };
 
+    // Uploads go through the retrying client: a shed (429/503) response
+    // is backed off and retried per its Retry-After instead of failing
+    // the run — the same path a well-behaved production client takes.
+    let retry = client::RetryPolicy { seed: 11, ..client::RetryPolicy::default() };
     let upload = |server: &fmsa_serve::RunningServer, body: &[u8]| {
         let t0 = std::time::Instant::now();
-        let resp = client::post(server.addr(), "/v1/modules", body);
+        let resp =
+            client::request_with_retry(server.addr(), "POST", "/v1/modules", &[], body, &retry);
         (resp, t0.elapsed())
     };
     let header_u64 = |resp: &client::Response, name: &str| -> u64 {
@@ -1466,5 +1479,326 @@ fn serve_bench(fast: bool, report: &mut Report) {
     println!(
         "(cold = first upload, warm = byte-identical re-upload served from the response \
          cache; restart hits = store recognition after an index reload from disk)"
+    );
+}
+
+// ---------------------------------------------------------------- chaos
+
+/// Deterministic pseudo-random stream for the chaos harness (splitmix64
+/// over `(cycle, salt)`): every cut point, bit flip, and upload seed is
+/// a pure function of the cycle index, so a failing cycle replays
+/// exactly by number.
+fn chaos_mix(cycle: u64, salt: u64) -> u64 {
+    let mut z = cycle
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The crash/recovery chaos harness: kill/restart cycles over one
+/// persistent store, concurrent uploads under injected store I/O
+/// faults, and a simulated kill-at-byte-N (log truncation, sometimes a
+/// bit flip) after every kill. Gates, per the robustness contract:
+/// zero panics anywhere, the reopened store always equals an
+/// independent [`fmsa_core::scan_store`] of the mutated log (no
+/// checksum-valid durable entry lost), the recovered daemon re-serves
+/// the warm corpus byte-identically, and a compaction killed at the
+/// rename leaves the old log authoritative (never a hybrid).
+fn chaos(fast: bool, report: &mut Report) {
+    use fmsa::ContentHash;
+    use fmsa_core::store::{scan_store, FunctionStore, StoreOptions, STORE_FILE};
+    use fmsa_core::{FaultPlan, FaultSite};
+    use fmsa_serve::{client, Server, ServerConfig};
+    use fmsa_workloads::{wasm_fixture_bytes, WasmFixtureConfig};
+    use std::time::{Duration, Instant};
+
+    let cycles: u64 = if fast { 20 } else { 50 };
+    let n = if fast { 16 } else { 32 };
+    println!("\n== chaos: {cycles} kill/restart cycles under store faults (n={n} fns/corpus) ==");
+
+    let corpus = |seed: u64| -> Vec<u8> {
+        let mut cfg = WasmFixtureConfig::with_functions(n);
+        cfg.seed = seed;
+        wasm_fixture_bytes(&cfg)
+    };
+    let store_dir = std::env::temp_dir().join(format!("fmsa-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mk_cfg = |faults: FaultPlan| ServerConfig {
+        store_dir: Some(store_dir.clone()),
+        store: StoreOptions { faults, ..StoreOptions::default() },
+        // Deadline bounds every request's tail latency by construction.
+        request_timeout: Some(Duration::from_secs(30)),
+        ..ServerConfig::default()
+    };
+    // Low-rate write/fsync faults during the cycles; the store keys
+    // faults by a monotonic op counter, so a retried request is a new
+    // draw rather than a permanently poisoned input.
+    let cycle_faults =
+        |cycle: u64| FaultPlan::new(cycle, 5_000, &[FaultSite::StoreWrite, FaultSite::StoreFsync]);
+    let entry_set = |entries: &[(ContentHash, u64)]| -> Vec<(ContentHash, u64)> {
+        let mut v = entries.to_vec();
+        v.sort();
+        v
+    };
+
+    // Warm phase (no faults): reference bytes + a durable warm store.
+    let primary = corpus(1);
+    let reference = {
+        let mut m = fmsa::load_module_bytes(&primary, "upload").expect("corpus loads");
+        fmsa::optimize(&mut m, &Config::new()).expect("corpus merges");
+        fmsa::ir::printer::print_module(&m).into_bytes()
+    };
+    match Server::bind(mk_cfg(FaultPlan::disabled())).and_then(Server::spawn) {
+        Ok(mut server) => {
+            match client::post(server.addr(), "/v1/modules", &primary) {
+                Ok(r) if r.status == 200 && r.body == reference => {}
+                Ok(r) => report.fail(format!("chaos: warm upload got {} or wrong bytes", r.status)),
+                Err(e) => report.fail(format!("chaos: warm upload failed: {e}")),
+            }
+            server.stop(); // graceful: flush + compact
+        }
+        Err(e) => {
+            report.fail(format!("chaos: cannot boot daemon: {e}"));
+            return;
+        }
+    }
+
+    let retry = client::RetryPolicy {
+        max_attempts: 4,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(100),
+        seed: 7,
+    };
+    let mut kills = 0u64;
+    let mut panics = 0u64;
+    let mut lost_cycles = 0u64;
+    let mut reserve_mismatches = 0u64;
+    let mut uploads_ok = 0u64;
+    let mut uploads_faulted = 0u64;
+    let mut skipped_total = 0u64;
+    let mut latencies: Vec<Duration> = Vec::new();
+
+    for cycle in 0..cycles {
+        let mut server = match Server::bind(mk_cfg(cycle_faults(cycle))).and_then(Server::spawn) {
+            Ok(s) => s,
+            Err(e) => {
+                report.fail(format!("chaos: cycle {cycle}: cannot restart daemon: {e}"));
+                break;
+            }
+        };
+        // Gate: byte-identical re-serve of the warm corpus after the
+        // previous cycle's crash + recovery. (Merge decisions never read
+        // the store, so recovery must not change responses.)
+        let t0 = Instant::now();
+        match client::request_with_retry(
+            server.addr(),
+            "POST",
+            "/v1/modules",
+            &[],
+            &primary,
+            &retry,
+        ) {
+            Ok(r) if r.status == 200 => {
+                latencies.push(t0.elapsed());
+                uploads_ok += 1;
+                if r.body != reference {
+                    reserve_mismatches += 1;
+                    report.fail(format!("chaos: cycle {cycle}: re-serve not byte-identical"));
+                }
+            }
+            // An injected ingest fault surfaces as a 5xx: acceptable
+            // chaos, the gate is on what 200s contain.
+            Ok(_) => uploads_faulted += 1,
+            Err(e) => report.fail(format!("chaos: cycle {cycle}: re-serve transport error: {e}")),
+        }
+        // Concurrent uploads of distinct corpora under store faults.
+        let workers: Vec<_> = (0..3u64)
+            .map(|w| {
+                let addr = server.addr();
+                let body = corpus(100 + cycle * 3 + w);
+                let retry = retry.clone();
+                std::thread::spawn(move || {
+                    let t0 = Instant::now();
+                    let r =
+                        client::request_with_retry(addr, "POST", "/v1/modules", &[], &body, &retry);
+                    (r, t0.elapsed())
+                })
+            })
+            .collect();
+        for w in workers {
+            match w.join() {
+                Ok((Ok(r), lat)) if r.status == 200 => {
+                    latencies.push(lat);
+                    uploads_ok += 1;
+                }
+                Ok((Ok(_), _)) => uploads_faulted += 1,
+                Ok((Err(_), _)) => uploads_faulted += 1,
+                Err(_) => {
+                    panics += 1;
+                    report.fail(format!("chaos: cycle {cycle}: upload worker panicked"));
+                }
+            }
+        }
+
+        // The crash: no drain, no flush, no compaction...
+        server.kill();
+        kills += 1;
+        // ...then kill-at-byte-N: truncate the log to a random cut and,
+        // every third cycle, flip one bit inside what remains.
+        let path = store_dir.join(STORE_FILE);
+        let raw = std::fs::read(&path).unwrap_or_default();
+        if raw.is_empty() {
+            continue;
+        }
+        let cut = (chaos_mix(cycle, 1) as usize) % (raw.len() + 1);
+        let mut mutated = raw[..cut].to_vec();
+        if cycle % 3 == 0 && !mutated.is_empty() {
+            let off = (chaos_mix(cycle, 2) as usize) % mutated.len();
+            mutated[off] ^= 1 << (chaos_mix(cycle, 3) % 8);
+        }
+        if let Err(e) = std::fs::write(&path, &mutated) {
+            report.fail(format!("chaos: cycle {cycle}: cannot mutate log: {e}"));
+            break;
+        }
+
+        // Gate: recovery == independent scan; open never panics.
+        let expected = scan_store(&mutated);
+        skipped_total += expected.skipped_records as u64;
+        match std::panic::catch_unwind(|| FunctionStore::open(&store_dir)) {
+            Ok(Ok(store)) => {
+                let got: Vec<(ContentHash, u64)> =
+                    store.entries().map(|e| (e.hash, e.seen)).collect();
+                if entry_set(&got) != entry_set(&expected.entries) {
+                    lost_cycles += 1;
+                    report.fail(format!(
+                        "chaos: cycle {cycle}: recovered {} entries, independent scan \
+                         of the mutated log says {} (cut {cut}/{})",
+                        got.len(),
+                        expected.entries.len(),
+                        raw.len()
+                    ));
+                }
+            }
+            Ok(Err(e)) => report.fail(format!("chaos: cycle {cycle}: recovery errored: {e}")),
+            Err(_) => {
+                panics += 1;
+                report.fail(format!("chaos: cycle {cycle}: recovery panicked"));
+            }
+        }
+    }
+
+    // Gate: a compaction killed at the rename is atomic — the old log
+    // stays authoritative, no hybrid, and the scratch tmp is cleaned up.
+    {
+        let rename_fault = StoreOptions {
+            faults: FaultPlan::new(999, 1_000_000, &[FaultSite::StoreRename]),
+            ..StoreOptions::default()
+        };
+        match FunctionStore::open_with(&store_dir, rename_fault) {
+            Ok(mut store) => {
+                let before: Vec<(ContentHash, u64)> =
+                    store.entries().map(|e| (e.hash, e.seen)).collect();
+                if store.compact().is_ok() {
+                    report.fail("chaos: rename fault did not fire on compact".to_owned());
+                }
+                drop(store);
+                match FunctionStore::open(&store_dir) {
+                    Ok(store) => {
+                        let after: Vec<(ContentHash, u64)> =
+                            store.entries().map(|e| (e.hash, e.seen)).collect();
+                        if entry_set(&after) != entry_set(&before) {
+                            report.fail(
+                                "chaos: failed compaction changed the log (hybrid state)"
+                                    .to_owned(),
+                            );
+                        }
+                    }
+                    Err(e) => report.fail(format!("chaos: reopen after failed compact: {e}")),
+                }
+            }
+            Err(e) => report.fail(format!("chaos: cannot open store for compact gate: {e}")),
+        }
+        // And an unfaulted compaction folds cleanly and round-trips.
+        match FunctionStore::open(&store_dir) {
+            Ok(mut store) => {
+                let before: Vec<(ContentHash, u64)> =
+                    store.entries().map(|e| (e.hash, e.seen)).collect();
+                match store.compact() {
+                    Ok(_) => {
+                        drop(store);
+                        match FunctionStore::open(&store_dir) {
+                            Ok(store) => {
+                                let after: Vec<(ContentHash, u64)> =
+                                    store.entries().map(|e| (e.hash, e.seen)).collect();
+                                if entry_set(&after) != entry_set(&before) {
+                                    report.fail(
+                                        "chaos: compaction changed the live entry set".to_owned(),
+                                    );
+                                }
+                                if store.dead_bytes() != 0 {
+                                    report.fail(
+                                        "chaos: compacted log still has dead bytes".to_owned(),
+                                    );
+                                }
+                            }
+                            Err(e) => report.fail(format!("chaos: reopen after compact: {e}")),
+                        }
+                    }
+                    Err(e) => report.fail(format!("chaos: final compact failed: {e}")),
+                }
+            }
+            Err(e) => report.fail(format!("chaos: cannot open store for final compact: {e}")),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    if kills < cycles {
+        report.fail(format!("chaos: only {kills}/{cycles} kill cycles ran"));
+    }
+    if panics > 0 {
+        report.fail(format!("chaos: {panics} panic(s) observed"));
+    }
+    latencies.sort();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let i = ((latencies.len() - 1) as f64 * p).round() as usize;
+        latencies[i].as_secs_f64() * 1000.0
+    };
+    let (p50, p95, max) = (pct(0.50), pct(0.95), pct(1.0));
+    // Tail bound: the request deadline caps every successful upload.
+    if max > 60_000.0 {
+        report.fail(format!("chaos: tail latency unbounded ({max:.0} ms)"));
+    }
+
+    println!(
+        "{:>7} {:>8} {:>7} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "cycles", "kills", "panics", "lost", "ok", "faulted", "p50 ms", "p95 ms"
+    );
+    println!(
+        "{:>7} {:>8} {:>7} {:>10} {:>9} {:>9} {:>9.1} {:>9.1}",
+        cycles, kills, panics, lost_cycles, uploads_ok, uploads_faulted, p50, p95
+    );
+    report.record(&[
+        ("experiment", Json::S("chaos".into())),
+        ("cycles", Json::I(cycles as i64)),
+        ("kills", Json::I(kills as i64)),
+        ("panics", Json::I(panics as i64)),
+        ("entries_lost_cycles", Json::I(lost_cycles as i64)),
+        ("reserve_mismatches", Json::I(reserve_mismatches as i64)),
+        ("uploads_ok", Json::I(uploads_ok as i64)),
+        ("uploads_faulted", Json::I(uploads_faulted as i64)),
+        ("corrupt_records_skipped", Json::I(skipped_total as i64)),
+        ("p50_ms", Json::F(p50)),
+        ("p95_ms", Json::F(p95)),
+        ("max_ms", Json::F(max)),
+    ]);
+    println!(
+        "(every cut/flip/upload seed is a pure function of the cycle index; a failing \
+         cycle replays exactly from its number — see docs/robustness.md)"
     );
 }

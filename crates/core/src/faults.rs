@@ -16,7 +16,15 @@
 //!
 //! ```text
 //! FMSA_FAULTS="seed=7,rate_ppm=20000,sites=align|codegen|verify|scratch"
+//! FMSA_FAULTS="seed=3,rate_ppm=50000,sites=store-write|store-fsync|store-rename"
 //! ```
+//!
+//! The `store-*` sites target the persistence path instead of the merge
+//! pipeline: they are consulted by [`crate::store::FunctionStore`] on
+//! every log append, fsync, and compaction rename, keyed by a
+//! monotonically increasing operation number — so a faulted operation
+//! is deterministic for a given seed, yet a *retry* (a later operation)
+//! can succeed, which is how real transient I/O errors behave.
 //!
 //! See `docs/robustness.md` for what each site forces and how the
 //! pipeline degrades under it.
@@ -40,12 +48,29 @@ pub enum FaultSite {
     /// build — the commit stage must catch it by re-verification and
     /// degrade to inline codegen.
     ScratchPoison,
+    /// A store log append fails with an I/O error before any byte is
+    /// written (the record is atomically absent, standing in for ENOSPC
+    /// or a pulled disk).
+    StoreWrite,
+    /// A store fsync fails after the bytes were handed to the kernel —
+    /// the durability acknowledgement is withheld, not the data.
+    StoreFsync,
+    /// The atomic rename that publishes a compacted store fails; the old
+    /// log must remain the authoritative one.
+    StoreRename,
 }
 
 impl FaultSite {
     /// Every site, in declaration order.
-    pub const ALL: [FaultSite; 4] =
-        [FaultSite::Align, FaultSite::Codegen, FaultSite::Verify, FaultSite::ScratchPoison];
+    pub const ALL: [FaultSite; 7] = [
+        FaultSite::Align,
+        FaultSite::Codegen,
+        FaultSite::Verify,
+        FaultSite::ScratchPoison,
+        FaultSite::StoreWrite,
+        FaultSite::StoreFsync,
+        FaultSite::StoreRename,
+    ];
 
     /// Stable lower-case name, used by the spec grammar and reports.
     pub fn name(self) -> &'static str {
@@ -54,6 +79,9 @@ impl FaultSite {
             FaultSite::Codegen => "codegen",
             FaultSite::Verify => "verify",
             FaultSite::ScratchPoison => "scratch",
+            FaultSite::StoreWrite => "store-write",
+            FaultSite::StoreFsync => "store-fsync",
+            FaultSite::StoreRename => "store-rename",
         }
     }
 
@@ -68,6 +96,9 @@ impl FaultSite {
             FaultSite::Codegen => 2,
             FaultSite::Verify => 4,
             FaultSite::ScratchPoison => 8,
+            FaultSite::StoreWrite => 16,
+            FaultSite::StoreFsync => 32,
+            FaultSite::StoreRename => 64,
         }
     }
 }
@@ -275,6 +306,18 @@ mod tests {
             a.fires(FaultSite::Align, &name, "g") != b.fires(FaultSite::Align, &name, "g")
         });
         assert!(diverges, "different seeds must fault different pairs");
+    }
+
+    #[test]
+    fn store_sites_parse_and_stay_independent() {
+        let plan = FaultPlan::parse("seed=1,rate_ppm=1000000,sites=store-write|store-rename")
+            .expect("parses");
+        assert!(plan.enables(FaultSite::StoreWrite));
+        assert!(plan.enables(FaultSite::StoreRename));
+        assert!(!plan.enables(FaultSite::StoreFsync));
+        assert!(!plan.enables(FaultSite::Align));
+        assert!(plan.fires(FaultSite::StoreWrite, "op", "1"));
+        assert!(!plan.fires(FaultSite::StoreFsync, "op", "1"));
     }
 
     #[test]

@@ -91,4 +91,7 @@ pub use pipeline::{run_fmsa_pipeline, PipelineOptions};
 pub use quarantine::{QuarantineEntry, QuarantineLog, QuarantineStage};
 pub use search::{CandidateSearch, ExactSearch, LshConfig, LshSearch, SearchStrategy};
 pub use session::{MergeOutcome, MergeSession, RequestStats, SessionTotals};
-pub use store::{ContentHash, FunctionStore, IngestStats, SimilarEntry, StoreEntry};
+pub use store::{
+    module_hashes, scan_store, CompactStats, ContentHash, FsyncPolicy, FunctionStore, IngestStats,
+    RecoveryStats, SimilarEntry, StoreEntry, StoreOptions, StoreScan,
+};

@@ -63,7 +63,7 @@ impl MinHasher {
     /// feature bases (`mix(feature | occ << 40)`) are materialized once
     /// up front — hoisting the base `mix` out of the seed loop — and the
     /// seed dimension is then processed in fixed-width chunks of
-    /// [`Self::LANES`] slots, each chunk streaming over all bases with a
+    /// `Self::LANES` slots, each chunk streaming over all bases with a
     /// register-resident block of running minima and a branch-free
     /// `min`. The multiset of `(base, seed)` pairs hashed is exactly the
     /// naive double loop's, and `min` is order-independent, so the

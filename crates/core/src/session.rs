@@ -19,7 +19,7 @@
 
 use crate::config::{optimize, Config};
 use crate::error::Error;
-use crate::store::{ContentHash, FunctionStore};
+use crate::store::{CompactStats, ContentHash, FunctionStore, StoreOptions};
 use fmsa_ir::{printer, Module};
 use std::collections::VecDeque;
 use std::path::PathBuf;
@@ -85,6 +85,9 @@ struct CachedResponse {
     key: u128,
     output: String,
     stats: RequestStats,
+    /// Content hashes of the upload's functions, so a replay can
+    /// durably bump their `seen` counts without re-parsing anything.
+    hashes: Vec<ContentHash>,
 }
 
 /// A long-lived merging session over a [`FunctionStore`].
@@ -109,9 +112,20 @@ impl MergeSession {
     /// A session over the persistent store at `dir` (created if absent,
     /// reloaded — entries and LSH index — if present).
     pub fn open(config: Config, dir: impl Into<PathBuf>) -> Result<MergeSession, Error> {
+        MergeSession::open_with(config, dir, StoreOptions::default())
+    }
+
+    /// [`MergeSession::open`] with explicit store durability, compaction,
+    /// and fault-injection options — how the daemon wires `--fsync` and
+    /// `FMSA_FAULTS` store sites through to the log.
+    pub fn open_with(
+        config: Config,
+        dir: impl Into<PathBuf>,
+        opts: StoreOptions,
+    ) -> Result<MergeSession, Error> {
         Ok(MergeSession {
             config,
-            store: FunctionStore::open(dir)?,
+            store: FunctionStore::open_with(dir, opts)?,
             cache: VecDeque::new(),
             totals: SessionTotals::default(),
         })
@@ -125,6 +139,20 @@ impl MergeSession {
     /// The underlying function store.
     pub fn store(&self) -> &FunctionStore {
         &self.store
+    }
+
+    /// Compacts the store log (folding durable `seen` bumps, migrating a
+    /// v1 log to v2) — the daemon's `POST /v1/admin/compact` and its
+    /// graceful-shutdown path both land here. Merge state (cache,
+    /// totals) is untouched: compaction only rewrites the log.
+    pub fn compact(&mut self) -> Result<CompactStats, Error> {
+        self.store.compact()
+    }
+
+    /// Fsyncs any unsynced store appends — the final durability point of
+    /// a graceful shutdown.
+    pub fn flush(&mut self) -> Result<(), Error> {
+        self.store.flush()
     }
 
     /// Session-lifetime totals.
@@ -141,12 +169,16 @@ impl MergeSession {
         let hit = self.cache.iter().find(|c| c.key == key.0)?;
         let mut stats = hit.stats.clone();
         let output = hit.output.clone();
+        let hashes = hit.hashes.clone();
         stats.from_cache = true;
         stats.store_hits = stats.functions;
         stats.store_misses = 0;
         stats.store_size = self.store.len();
         stats.wall = t0.elapsed();
-        self.store.note_replayed_hits(stats.functions as u64);
+        // Durable seen bumps (and hit accounting) for the replayed
+        // functions; a failed append degrades to under-counting rather
+        // than failing a cache hit.
+        let _ = self.store.bump_seen(&hashes);
         self.totals.requests += 1;
         self.totals.merges += stats.merges as u64;
         self.totals.functions += stats.functions as u64;
@@ -172,6 +204,9 @@ impl MergeSession {
             return Err(Error::verify(false, &e.func, e.to_string()));
         }
         let ingest = self.store.ingest_module(&module)?;
+        // Hash before optimize mutates the module: the cache must record
+        // the *uploaded* functions, which is what a replay re-serves.
+        let hashes = if key.is_some() { crate::store::module_hashes(&module) } else { Vec::new() };
         let stats = optimize(&mut module, &self.config)?;
         let output = printer::print_module(&module);
         let request = RequestStats {
@@ -199,6 +234,7 @@ impl MergeSession {
                 key: key.0,
                 output: output.clone(),
                 stats: request.clone(),
+                hashes,
             });
         }
         Ok(MergeOutcome { output, stats: request })
@@ -265,6 +301,33 @@ mod tests {
         assert_eq!(replay.stats.store_hits, replay.stats.functions);
         assert_eq!(session.totals().cache_hits, 1);
         assert!(session.store().hits() >= 4);
+    }
+
+    #[test]
+    fn cached_replay_bumps_seen_durably() {
+        let dir = std::env::temp_dir().join(format!(
+            "fmsa-session-seen-{}-{:p}",
+            std::process::id(),
+            &CACHE_CAP
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let key = ContentHash::of_bytes(b"upload-1");
+        {
+            let mut session = MergeSession::open(Config::new().threshold(5), &dir).unwrap();
+            session.merge_module(clone_module(3), Some(key)).unwrap();
+            // Two cache replays: without durable bumps these would leave
+            // every seen count at its first-ingest value of 1.
+            session.merge_cached(key).expect("cached");
+            session.merge_cached(key).expect("cached");
+            assert!(session.store().entries().all(|e| e.seen == 3));
+        }
+        let session = MergeSession::open(Config::new().threshold(5), &dir).unwrap();
+        assert_eq!(session.store().len(), 3);
+        assert!(
+            session.store().entries().all(|e| e.seen == 3),
+            "replayed seen bumps must survive a restart"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 /// One parsed response.
 #[derive(Debug)]
@@ -60,6 +61,89 @@ pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<Response> {
 /// `POST path` with a body.
 pub fn post(addr: SocketAddr, path: &str, body: &[u8]) -> std::io::Result<Response> {
     request(addr, "POST", path, &[], body)
+}
+
+/// Retry behavior for [`request_with_retry`]: capped jittered
+/// exponential backoff over transport errors and 429/503 shed
+/// responses, honoring the server's `Retry-After` when present.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included); 1 disables retrying.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub base_delay: Duration,
+    /// Ceiling for any single backoff, including server `Retry-After`.
+    pub max_delay: Duration,
+    /// Jitter seed, so concurrent clients don't retry in lockstep and a
+    /// given client's schedule still replays deterministically.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `retry` (0-based): exponential from
+    /// `base_delay` with ±50% deterministic jitter, capped at
+    /// `max_delay`. `retry_after` (seconds, from the server) overrides
+    /// the exponential schedule but not the cap.
+    fn delay(&self, retry: u32, retry_after: Option<u64>) -> Duration {
+        if let Some(secs) = retry_after {
+            return Duration::from_secs(secs).min(self.max_delay);
+        }
+        let exp = self.base_delay.saturating_mul(1u32 << retry.min(16));
+        // splitmix64 over (seed, retry): cheap, stateless, deterministic.
+        let mut z = self.seed.wrapping_add(retry as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let jitter = ((z ^ (z >> 31)) % 1000) as f64 / 1000.0; // [0, 1)
+        exp.mul_f64(0.5 + jitter).min(self.max_delay)
+    }
+}
+
+/// [`request`] with retries: transport errors and 429/503 responses are
+/// retried per `policy`; any other response (including 4xx/5xx) returns
+/// immediately. If every attempt sheds, the last shed response is
+/// returned so the caller can see the status it died with.
+pub fn request_with_retry(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    policy: &RetryPolicy,
+) -> std::io::Result<Response> {
+    let mut last_err: Option<std::io::Error> = None;
+    let mut last_shed: Option<Response> = None;
+    for attempt in 0..policy.max_attempts.max(1) {
+        if attempt > 0 {
+            let retry_after = last_shed
+                .as_ref()
+                .and_then(|r| r.header("retry-after"))
+                .and_then(|v| v.parse().ok());
+            std::thread::sleep(policy.delay(attempt - 1, retry_after));
+        }
+        match request(addr, method, path, headers, body) {
+            Ok(r) if r.status == 429 || r.status == 503 => last_shed = Some(r),
+            Ok(r) => return Ok(r),
+            Err(e) => {
+                last_shed = None;
+                last_err = Some(e);
+            }
+        }
+    }
+    match last_shed {
+        Some(r) => Ok(r),
+        None => Err(last_err.unwrap_or_else(|| bad("no attempts made"))),
+    }
 }
 
 fn bad(msg: &str) -> std::io::Error {

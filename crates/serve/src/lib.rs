@@ -16,22 +16,42 @@
 //! | Method | Path                | Purpose                                    |
 //! |--------|---------------------|--------------------------------------------|
 //! | GET    | `/healthz`          | liveness probe (`ok`)                      |
-//! | GET    | `/v1/stats`         | session totals + store counters (JSON)     |
+//! | GET    | `/v1/stats`         | session totals + store/queue gauges (JSON) |
 //! | POST   | `/v1/modules`       | merge an uploaded module (body = wasm/IR)  |
+//! | POST   | `/v1/admin/compact` | compact the store log now                  |
 //! | GET    | `/v1/store`         | store summary (JSON)                       |
 //! | GET    | `/v1/store/:hash`   | canonical text of one stored function      |
 //! | GET    | `/v1/similar/:hash` | cross-module similar functions (`?k=N`)    |
 //!
+//! ## Resilience
+//!
+//! The daemon is built to degrade loudly rather than fall over:
+//!
+//! * **Graceful shutdown** — [`RunningServer::stop`] (and SIGTERM/ctrl-c
+//!   in the binary) stops accepting, drains in-flight connections up to
+//!   [`ServerConfig::shutdown_deadline`], then flushes and compacts the
+//!   store. [`RunningServer::kill`] skips all of that — the crash path
+//!   the chaos harness exercises.
+//! * **Backpressure** — connections beyond
+//!   [`ServerConfig::max_connections`] get `503`, merges beyond
+//!   [`ServerConfig::max_pending_merges`] get `429`; both carry a
+//!   `Retry-After` header and a structured JSON body, and both are
+//!   counted in `/v1/stats` under `queue`.
+//! * **Deadlines** — [`ServerConfig::request_timeout`] bounds each merge;
+//!   a timed-out request gets `503` + `Retry-After` while the merge
+//!   finishes into the response cache in the background, so the client's
+//!   retry is served from cache rather than recomputed.
+//!
 //! See `docs/service.md` for the protocol details, the store format, and
-//! the replay workflow.
+//! the replay workflow; `docs/robustness.md` for the durability story.
 
 use fmsa::core::store::SimilarEntry;
-use fmsa::{Config, ContentHash, Error, MergeOutcome, MergeSession};
+use fmsa::{Config, ContentHash, Error, MergeOutcome, MergeSession, StoreOptions};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -52,12 +72,28 @@ pub struct ServerConfig {
     /// Store directory; `None` keeps the store in memory only (nothing
     /// survives a restart).
     pub store_dir: Option<PathBuf>,
+    /// Store durability/compaction/fault options (only meaningful with a
+    /// persistent `store_dir`).
+    pub store: StoreOptions,
     /// Maximum accepted request body, in bytes.
     pub max_body: usize,
     /// Per-connection socket read timeout.
     pub read_timeout: Duration,
-    /// Maximum concurrent connections; excess connections get a 503.
+    /// Maximum concurrent connections; excess connections get a 503
+    /// with `Retry-After`.
     pub max_connections: usize,
+    /// Maximum merges in flight (including backgrounded timed-out
+    /// ones); excess merge requests get a 429 with `Retry-After`.
+    pub max_pending_merges: usize,
+    /// Wall-clock budget for one merge request; a request past it gets
+    /// a 503 while the merge completes into the response cache in the
+    /// background. `None` = unbounded.
+    pub request_timeout: Option<Duration>,
+    /// How long a graceful shutdown waits for in-flight connections to
+    /// drain before flushing and compacting the store anyway.
+    pub shutdown_deadline: Duration,
+    /// Value of the `Retry-After` header on 429/503 shed responses.
+    pub retry_after_secs: u64,
     /// The merge configuration applied to every upload.
     pub merge: Config,
 }
@@ -67,12 +103,37 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             store_dir: None,
+            store: StoreOptions::default(),
             max_body: 32 * 1024 * 1024,
             read_timeout: Duration::from_secs(10),
             max_connections: 32,
+            max_pending_merges: 8,
+            request_timeout: None,
+            shutdown_deadline: Duration::from_secs(5),
+            retry_after_secs: 1,
             merge: Config::new(),
         }
     }
+}
+
+/// Load/shed counters surfaced under `queue` in `/v1/stats`.
+#[derive(Debug, Default)]
+struct Gauges {
+    active: AtomicUsize,
+    pending_merges: AtomicUsize,
+    shed_connections: AtomicU64,
+    shed_requests: AtomicU64,
+    timed_out: AtomicU64,
+}
+
+/// Everything a connection handler needs, cheaply cloneable.
+#[derive(Clone)]
+struct Ctx {
+    session: Arc<Mutex<MergeSession>>,
+    cfg: Arc<ServerConfig>,
+    gauges: Arc<Gauges>,
+    stop: Arc<AtomicBool>,
+    started: Instant,
 }
 
 /// A bound (but not yet running) daemon.
@@ -81,6 +142,7 @@ pub struct Server {
     session: Arc<Mutex<MergeSession>>,
     cfg: Arc<ServerConfig>,
     stop: Arc<AtomicBool>,
+    hard: Arc<AtomicBool>,
     started: Instant,
 }
 
@@ -89,6 +151,7 @@ pub struct Server {
 pub struct RunningServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    hard: Arc<AtomicBool>,
     join: Option<JoinHandle<std::io::Result<()>>>,
 }
 
@@ -98,11 +161,23 @@ impl RunningServer {
         self.addr
     }
 
-    /// Signals the accept loop to exit and joins it.
+    /// Graceful shutdown: stop accepting, drain in-flight connections
+    /// up to the configured deadline, flush and compact the store, then
+    /// join the accept loop.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+
+    /// Hard stop: no drain, no flush, no compaction — the closest an
+    /// in-process harness gets to `kill -9`. What survives is whatever
+    /// the store's write-ahead log already holds; the chaos experiment
+    /// additionally truncates the log tail to simulate dying mid-write.
+    pub fn kill(&mut self) {
+        self.hard.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
         if let Some(join) = self.join.take() {
             let _ = join.join();
         }
@@ -120,7 +195,7 @@ impl Server {
     pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let session = match &cfg.store_dir {
-            Some(dir) => MergeSession::open(cfg.merge.clone(), dir)
+            Some(dir) => MergeSession::open_with(cfg.merge.clone(), dir, cfg.store.clone())
                 .map_err(|e| std::io::Error::other(format!("opening store: {e}")))?,
             None => MergeSession::new(cfg.merge.clone()),
         };
@@ -129,6 +204,7 @@ impl Server {
             session: Arc::new(Mutex::new(session)),
             cfg: Arc::new(cfg),
             stop: Arc::new(AtomicBool::new(false)),
+            hard: Arc::new(AtomicBool::new(false)),
             started: Instant::now(),
         })
     }
@@ -138,35 +214,66 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Runs the accept loop on the current thread until stopped.
+    /// Runs the accept loop on the current thread until stopped, then —
+    /// unless hard-killed — drains in-flight connections and flushes +
+    /// compacts the store.
     pub fn run(self) -> std::io::Result<()> {
-        let active = Arc::new(AtomicUsize::new(0));
-        for conn in self.listener.incoming() {
-            if self.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = conn else { continue };
-            if active.load(Ordering::SeqCst) >= self.cfg.max_connections {
-                let mut stream = stream;
+        self.listener.set_nonblocking(true)?;
+        let ctx = Ctx {
+            session: Arc::clone(&self.session),
+            cfg: Arc::clone(&self.cfg),
+            gauges: Arc::new(Gauges::default()),
+            stop: Arc::clone(&self.stop),
+            started: self.started,
+        };
+        while !self.stop.load(Ordering::SeqCst) {
+            let mut stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                    continue;
+                }
+                Err(_) => continue,
+            };
+            if ctx.gauges.active.load(Ordering::SeqCst) >= self.cfg.max_connections {
+                ctx.gauges.shed_connections.fetch_add(1, Ordering::SeqCst);
+                let _ = stream.set_nonblocking(false);
+                let body = Json::obj([
+                    ("error", Json::s("too many connections")),
+                    ("limit", Json::i(self.cfg.max_connections as i128)),
+                    ("retry_after_secs", Json::i(self.cfg.retry_after_secs as i128)),
+                ])
+                .0;
                 let _ = http::write_response(
                     &mut stream,
                     503,
-                    &[],
+                    &retry_after(&self.cfg),
                     "application/json",
-                    Json::obj([("error", Json::s("too many connections"))]).0.as_bytes(),
+                    body.as_bytes(),
                 );
                 continue;
             }
-            active.fetch_add(1, Ordering::SeqCst);
-            let session = Arc::clone(&self.session);
-            let cfg = Arc::clone(&self.cfg);
-            let active = Arc::clone(&active);
-            let started = self.started;
+            ctx.gauges.active.fetch_add(1, Ordering::SeqCst);
+            let ctx = ctx.clone();
             std::thread::spawn(move || {
-                let _ = handle_connection(stream, &session, &cfg, started);
-                active.fetch_sub(1, Ordering::SeqCst);
+                let _ = stream.set_nonblocking(false);
+                let _ = handle_connection(stream, &ctx);
+                ctx.gauges.active.fetch_sub(1, Ordering::SeqCst);
             });
         }
+        if self.hard.load(Ordering::SeqCst) {
+            return Ok(()); // simulated crash: leave the log exactly as-is
+        }
+        // Drain: connection handlers see the stop flag and close after
+        // their in-flight response, so active falls to zero unless a
+        // client stalls past the deadline.
+        let deadline = Instant::now() + self.cfg.shutdown_deadline;
+        while ctx.gauges.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let mut session = lock_session(&self.session);
+        let _ = session.flush();
+        let _ = session.compact();
         Ok(())
     }
 
@@ -176,8 +283,9 @@ impl Server {
     pub fn spawn(self) -> std::io::Result<RunningServer> {
         let addr = self.local_addr()?;
         let stop = Arc::clone(&self.stop);
+        let hard = Arc::clone(&self.hard);
         let join = std::thread::spawn(move || self.run());
-        Ok(RunningServer { addr, stop, join: Some(join) })
+        Ok(RunningServer { addr, stop, hard, join: Some(join) })
     }
 }
 
@@ -187,17 +295,16 @@ fn lock_session(session: &Mutex<MergeSession>) -> std::sync::MutexGuard<'_, Merg
     session.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-fn handle_connection(
-    mut stream: TcpStream,
-    session: &Mutex<MergeSession>,
-    cfg: &ServerConfig,
-    started: Instant,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(cfg.read_timeout))?;
+fn retry_after(cfg: &ServerConfig) -> Vec<(&'static str, String)> {
+    vec![("Retry-After", cfg.retry_after_secs.to_string())]
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(ctx.cfg.read_timeout))?;
     loop {
         let request = {
             let mut reader = BufReader::new(&stream);
-            http::read_request(&mut reader, cfg.max_body)
+            http::read_request(&mut reader, ctx.cfg.max_body)
         };
         let request = match request {
             Ok(r) => r,
@@ -229,76 +336,49 @@ fn handle_connection(
             }
         };
         let keep_alive = request.keep_alive();
-        respond(&mut stream, &request, session, started)?;
-        if !keep_alive {
+        respond(&mut stream, &request, ctx)?;
+        // A stopping daemon finishes the in-flight response, then closes
+        // even a keep-alive connection so the drain can complete.
+        if !keep_alive || ctx.stop.load(Ordering::SeqCst) {
             return Ok(());
         }
     }
 }
 
 /// Routes one request and writes its response.
-fn respond(
-    stream: &mut TcpStream,
-    request: &Request,
-    session: &Mutex<MergeSession>,
-    started: Instant,
-) -> std::io::Result<()> {
+fn respond(stream: &mut TcpStream, request: &Request, ctx: &Ctx) -> std::io::Result<()> {
     let (path, query) = request.path_query();
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => http::write_response(stream, 200, &[], "text/plain", b"ok\n"),
         ("GET", "/v1/stats") => {
-            let session = lock_session(session);
-            let totals = *session.totals();
-            let store = session.store();
-            let body = Json::obj([
-                ("uptime_ms", Json::i(started.elapsed().as_millis() as i128)),
-                ("requests", Json::i(totals.requests as i128)),
-                ("merges", Json::i(totals.merges as i128)),
-                ("functions", Json::i(totals.functions as i128)),
-                ("cache_hits", Json::i(totals.cache_hits as i128)),
-                ("wall_ms", Json::i(totals.wall.as_millis() as i128)),
-                (
-                    "store",
-                    Json::obj([
-                        ("functions", Json::i(store.len() as i128)),
-                        ("hits", Json::i(store.hits() as i128)),
-                        ("misses", Json::i(store.misses() as i128)),
-                        ("hit_rate", Json::f(store.hit_rate())),
-                        ("persistent", Json::b(store.dir().is_some())),
-                    ]),
-                ),
-            ])
-            .0;
+            let body = stats_json(ctx);
             http::write_response(stream, 200, &[], "application/json", body.as_bytes())
         }
-        ("POST", "/v1/modules") => {
-            let name = request.header("x-fmsa-name").unwrap_or("upload");
-            let outcome = merge_upload(session, &request.body, name);
-            match outcome {
-                Ok(out) => {
-                    let headers = stats_headers(&out);
-                    http::write_chunked_response(
-                        stream,
-                        200,
-                        &headers,
-                        "text/plain; charset=utf-8",
-                        out.output.as_bytes(),
-                    )
+        ("POST", "/v1/modules") => serve_merge(stream, request, ctx),
+        ("POST", "/v1/admin/compact") => {
+            let mut session = lock_session(&ctx.session);
+            match session.compact() {
+                Ok(c) => {
+                    let body = Json::obj([
+                        ("entries", Json::i(c.entries as i128)),
+                        ("bytes_before", Json::i(c.bytes_before as i128)),
+                        ("bytes_after", Json::i(c.bytes_after as i128)),
+                    ])
+                    .0;
+                    http::write_response(stream, 200, &[], "application/json", body.as_bytes())
                 }
                 Err(e) => {
-                    let status = error_status(&e);
-                    let mut pairs =
-                        vec![("error", Json::s(&e.to_string())), ("stage", Json::s(e.stage()))];
-                    if let Some(f) = e.function() {
-                        pairs.push(("function", Json::s(f)));
-                    }
-                    let body = Json::obj(pairs).0;
-                    http::write_response(stream, status, &[], "application/json", body.as_bytes())
+                    let body = Json::obj([
+                        ("error", Json::s(&e.to_string())),
+                        ("stage", Json::s(e.stage())),
+                    ])
+                    .0;
+                    http::write_response(stream, 500, &[], "application/json", body.as_bytes())
                 }
             }
         }
         ("GET", "/v1/store") => {
-            let session = lock_session(session);
+            let session = lock_session(&ctx.session);
             let store = session.store();
             let entries = store.entries().take(100).map(|e| {
                 Json::obj([
@@ -324,7 +404,7 @@ fn respond(
                 let body = Json::obj([("error", Json::s("bad hash"))]).0;
                 return http::write_response(stream, 400, &[], "application/json", body.as_bytes());
             };
-            let session = lock_session(session);
+            let session = lock_session(&ctx.session);
             match session.store().get(hash) {
                 Some(entry) => {
                     let headers = vec![
@@ -357,7 +437,7 @@ fn respond(
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(5usize)
                 .min(100);
-            let session = lock_session(session);
+            let session = lock_session(&ctx.session);
             let similar: Vec<SimilarEntry> = session.store().similar(hash, k);
             let body = Json::arr(similar.iter().map(|s| {
                 Json::obj([
@@ -369,7 +449,7 @@ fn respond(
             .0;
             http::write_response(stream, 200, &[], "application/json", body.as_bytes())
         }
-        (_, "/healthz" | "/v1/stats" | "/v1/modules" | "/v1/store") => {
+        (_, "/healthz" | "/v1/stats" | "/v1/modules" | "/v1/store" | "/v1/admin/compact") => {
             let body = Json::obj([("error", Json::s("method not allowed"))]).0;
             http::write_response(stream, 405, &[], "application/json", body.as_bytes())
         }
@@ -378,6 +458,156 @@ fn respond(
             http::write_response(stream, 404, &[], "application/json", body.as_bytes())
         }
     }
+}
+
+/// `POST /v1/modules`: merge-queue admission, the optional request
+/// deadline, and the success/error responses.
+fn serve_merge(stream: &mut TcpStream, request: &Request, ctx: &Ctx) -> std::io::Result<()> {
+    // Admission control first: shedding is the one thing the daemon must
+    // still do quickly when it is saturated.
+    let pending = ctx.gauges.pending_merges.fetch_add(1, Ordering::SeqCst);
+    if pending >= ctx.cfg.max_pending_merges {
+        ctx.gauges.pending_merges.fetch_sub(1, Ordering::SeqCst);
+        ctx.gauges.shed_requests.fetch_add(1, Ordering::SeqCst);
+        let body = Json::obj([
+            ("error", Json::s("merge queue full")),
+            ("pending", Json::i(pending as i128)),
+            ("limit", Json::i(ctx.cfg.max_pending_merges as i128)),
+            ("retry_after_secs", Json::i(ctx.cfg.retry_after_secs as i128)),
+        ])
+        .0;
+        return http::write_response(
+            stream,
+            429,
+            &retry_after(&ctx.cfg),
+            "application/json",
+            body.as_bytes(),
+        );
+    }
+    let name = request.header("x-fmsa-name").unwrap_or("upload").to_owned();
+    let outcome = match ctx.cfg.request_timeout {
+        None => {
+            let out = merge_upload(&ctx.session, &request.body, &name);
+            ctx.gauges.pending_merges.fetch_sub(1, Ordering::SeqCst);
+            out
+        }
+        Some(limit) => {
+            // Run the merge on a worker so this handler can give up at
+            // the deadline. The worker owns the gauge decrement: a
+            // timed-out merge is still pending work until it finishes
+            // (into the response cache, making the client's retry a
+            // cache hit).
+            let (tx, rx) = mpsc::channel();
+            let worker_ctx = ctx.clone();
+            let body = request.body.clone();
+            std::thread::spawn(move || {
+                let out = merge_upload(&worker_ctx.session, &body, &name);
+                worker_ctx.gauges.pending_merges.fetch_sub(1, Ordering::SeqCst);
+                let _ = tx.send(out);
+            });
+            match rx.recv_timeout(limit) {
+                Ok(out) => out,
+                Err(_) => {
+                    ctx.gauges.timed_out.fetch_add(1, Ordering::SeqCst);
+                    let body = Json::obj([
+                        ("error", Json::s("request deadline exceeded")),
+                        ("timeout_ms", Json::i(limit.as_millis() as i128)),
+                        ("retry_after_secs", Json::i(ctx.cfg.retry_after_secs as i128)),
+                    ])
+                    .0;
+                    return http::write_response(
+                        stream,
+                        503,
+                        &retry_after(&ctx.cfg),
+                        "application/json",
+                        body.as_bytes(),
+                    );
+                }
+            }
+        }
+    };
+    match outcome {
+        Ok(out) => {
+            let headers = stats_headers(&out);
+            http::write_chunked_response(
+                stream,
+                200,
+                &headers,
+                "text/plain; charset=utf-8",
+                out.output.as_bytes(),
+            )
+        }
+        Err(e) => {
+            let status = error_status(&e);
+            let mut pairs = vec![("error", Json::s(&e.to_string())), ("stage", Json::s(e.stage()))];
+            if let Some(f) = e.function() {
+                pairs.push(("function", Json::s(f)));
+            }
+            let body = Json::obj(pairs).0;
+            http::write_response(stream, status, &[], "application/json", body.as_bytes())
+        }
+    }
+}
+
+/// The `/v1/stats` document: session totals, store counters (including
+/// durability/recovery state), and the load-shedding gauges.
+fn stats_json(ctx: &Ctx) -> String {
+    let session = lock_session(&ctx.session);
+    let totals = *session.totals();
+    let store = session.store();
+    let recovery = *store.recovery();
+    Json::obj([
+        ("uptime_ms", Json::i(ctx.started.elapsed().as_millis() as i128)),
+        ("requests", Json::i(totals.requests as i128)),
+        ("merges", Json::i(totals.merges as i128)),
+        ("functions", Json::i(totals.functions as i128)),
+        ("cache_hits", Json::i(totals.cache_hits as i128)),
+        ("wall_ms", Json::i(totals.wall.as_millis() as i128)),
+        (
+            "store",
+            Json::obj([
+                ("functions", Json::i(store.len() as i128)),
+                ("hits", Json::i(store.hits() as i128)),
+                ("misses", Json::i(store.misses() as i128)),
+                ("hit_rate", Json::f(store.hit_rate())),
+                ("persistent", Json::b(store.dir().is_some())),
+                ("format_version", Json::i(store.format_version() as i128)),
+                ("fsync", Json::s(&store.fsync_policy().to_string())),
+                ("total_bytes", Json::i(store.total_bytes() as i128)),
+                ("dead_bytes", Json::i(store.dead_bytes() as i128)),
+                ("dead_ratio", Json::f(store.dead_ratio())),
+                ("compactions", Json::i(store.compactions() as i128)),
+                ("compact_failures", Json::i(store.compact_failures() as i128)),
+                (
+                    "recovery",
+                    Json::obj([
+                        ("entries", Json::i(recovery.entries as i128)),
+                        ("seen_records", Json::i(recovery.seen_records as i128)),
+                        ("skipped_records", Json::i(recovery.skipped_records as i128)),
+                        ("bytes_dropped", Json::i(recovery.bytes_dropped as i128)),
+                        ("from_v1", Json::b(recovery.from_v1)),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "queue",
+            Json::obj([
+                ("active_connections", Json::i(ctx.gauges.active.load(Ordering::SeqCst) as i128)),
+                (
+                    "pending_merges",
+                    Json::i(ctx.gauges.pending_merges.load(Ordering::SeqCst) as i128),
+                ),
+                (
+                    "shed_connections",
+                    Json::i(ctx.gauges.shed_connections.load(Ordering::SeqCst) as i128),
+                ),
+                ("shed_requests", Json::i(ctx.gauges.shed_requests.load(Ordering::SeqCst) as i128)),
+                ("timed_out", Json::i(ctx.gauges.timed_out.load(Ordering::SeqCst) as i128)),
+            ]),
+        ),
+    ])
+    .0
 }
 
 /// The full merge path for one upload: response-cache probe on the raw

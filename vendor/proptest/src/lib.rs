@@ -176,6 +176,23 @@ macro_rules! impl_range_strategy {
 }
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+// Tuples of strategies are strategies over tuples, generated
+// element-wise left to right — so a property can draw correlated groups
+// like `(offset, bitmask, kill_point)` in one binding.
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
 pub mod collection {
     //! Collection strategies (`vec` only).
 
@@ -268,7 +285,7 @@ macro_rules! proptest {
     (@cfg ($config:expr)
         $(
             $(#[$meta:meta])*
-            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+            fn $name:ident($($arg:tt in $strat:expr),+ $(,)?) $body:block
         )*
     ) => {
         $(
@@ -328,6 +345,15 @@ mod tests {
         #[test]
         fn oneof_and_map_compose(k in prop_oneof![Just(1i32), (5i32..8).prop_map(|v| v * 10)]) {
             prop_assert!(k == 1 || (50..80).contains(&k));
+        }
+
+        #[test]
+        fn tuple_strategies_generate_element_wise(
+            (a, b, c) in (0u8..4, 10usize..20, Just("x")),
+        ) {
+            prop_assert!(a < 4);
+            prop_assert!((10..20).contains(&b));
+            prop_assert_eq!(c, "x");
         }
     }
 
