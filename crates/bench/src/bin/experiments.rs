@@ -18,7 +18,9 @@
 //! experiments serve-bench       Merge-daemon load generator (fmsa-serve)
 //! experiments scale             Streamed million-function corpus + scaling curve
 //! experiments chaos             Kill/restart cycles under injected store faults
-//! experiments all               everything above except `scale` and `chaos`
+//! experiments obs               Flight-recorder smoke: overhead gate, trace
+//!                               validity, decision-log reconciliation, /metrics
+//! experiments all               everything above except `scale`, `chaos`, `obs`
 //! ```
 //!
 //! Add `--oracle` to include the quadratic oracle where feasible, and
@@ -40,12 +42,19 @@
 //! without drain, truncates/bit-flips the log to simulate dying
 //! mid-write, and gates the recovery invariant (zero checksum-valid
 //! durable entries lost, zero panics, byte-identical re-serve after
-//! recovery, atomic compaction). `scale` and `chaos` are deliberately
-//! not part of `all`.
+//! recovery, atomic compaction). Any subcommand honours `--trace-out
+//! PATH`: the run records flight-recorder spans and writes Chrome
+//! trace-event JSON (Perfetto-viewable) on exit. `obs` measures the
+//! telemetry-disabled vs tracing-enabled overhead (gated ≤ 3% under
+//! `--check`), revalidates output bit-identity with tracing on, checks
+//! span nesting, reconciles the merge decision log against
+//! `PipelineStats`, and scrapes a booted daemon's `/metrics`. `scale`,
+//! `chaos`, and `obs` are deliberately not part of `all`.
 
 use fmsa::Config;
 use fmsa_bench::harness::{
-    mean, rank_cdf, run_benchmark, run_runtime_experiment, BenchResult, Json, Report, RunPlan,
+    mean, pipeline_json_fields, rank_cdf, run_benchmark, run_runtime_experiment, BenchResult, Json,
+    Report, RunPlan,
 };
 use fmsa_core::baselines::run_identical;
 use fmsa_core::merge::MergeConfig;
@@ -85,8 +94,17 @@ fn main() {
     let budget_secs = flag_value("--budget").unwrap_or(30);
     let scale_functions = flag_value("--functions");
     let scale_chunk = flag_value("--chunk");
-    let value_flags =
-        ["--json", "--spec-depth", "--spec-batch", "--budget", "--functions", "--chunk"];
+    let trace_out =
+        args.iter().position(|a| a == "--trace-out").and_then(|k| args.get(k + 1)).cloned();
+    let value_flags = [
+        "--json",
+        "--spec-depth",
+        "--spec-batch",
+        "--budget",
+        "--functions",
+        "--chunk",
+        "--trace-out",
+    ];
     let cmd = args
         .iter()
         .enumerate()
@@ -111,6 +129,9 @@ fn main() {
     let mut report = Report::new(json_path);
     let spec = filtered(spec_suite(), fast);
     let mibench = filtered(mibench_suite(), fast);
+    if trace_out.is_some() {
+        fmsa::telemetry::trace::enable();
+    }
     match cmd.as_str() {
         "table1" => table(&spec, "Table I (SPEC CPU2006)"),
         "table2" => table(&mibench, "Table II (MiBench)"),
@@ -129,6 +150,7 @@ fn main() {
         "serve-bench" => serve_bench(fast, &mut report),
         "scale" => scale(fast, scale_functions, scale_chunk, &mut report),
         "chaos" => chaos(fast, &mut report),
+        "obs" => obs(fast, &mut report),
         "all" => {
             table(&spec, "Table I (SPEC CPU2006)");
             table(&mibench, "Table II (MiBench)");
@@ -150,6 +172,19 @@ fn main() {
             eprintln!("unknown experiment {other:?}");
             std::process::exit(2);
         }
+    }
+    if let Some(path) = &trace_out {
+        use fmsa::telemetry::trace;
+        trace::disable();
+        let (events, dropped) = trace::drain();
+        if dropped > 0 {
+            eprintln!("experiments: trace: {dropped} events dropped at the per-thread cap");
+        }
+        if let Err(e) = std::fs::write(path, trace::export_chrome(&events)) {
+            eprintln!("experiments: cannot write trace {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("experiments: wrote {} trace events to {path}", events.len());
     }
     if let Err(e) = report.flush() {
         eprintln!("experiments: cannot write bench JSON: {e}");
@@ -596,7 +631,10 @@ fn merge_parallel(fast: bool, overrides: &Config, report: &mut Report) {
                     p.scratch_bytes_avoided as f64 / (1024.0 * 1024.0),
                 );
             }
-            report.record(&[
+            // Header pairs first, then the canonical PipelineStats field
+            // list (shared with `scale --json` and `fmsa_opt --stats`).
+            // `threads` is already in the header, so drop the duplicate.
+            let mut rec: Vec<(&str, Json)> = vec![
                 ("experiment", Json::S("merge-parallel".into())),
                 ("functions", Json::I(n as i64)),
                 ("driver", Json::S("pipeline".into())),
@@ -610,51 +648,9 @@ fn merge_parallel(fast: bool, overrides: &Config, report: &mut Report) {
                 ("wall_s", Json::F(t_par.as_secs_f64())),
                 ("speedup_vs_sequential", Json::F(speedup)),
                 ("identical_to_sequential", Json::B(identical)),
-                ("generations", Json::I(p.generations as i64)),
-                ("prepared", Json::I(p.prepared as i64)),
-                ("reused", Json::I(p.reused as i64)),
-                ("recomputed", Json::I(p.recomputed as i64)),
-                ("gate_skipped", Json::I(p.gate_skipped as i64)),
-                ("budget_skipped", Json::I(p.budget_skipped as i64)),
-                // Per-stage wall-clock (schedule/prepare/codegen/commit)
-                // plus the speculative-codegen telemetry behind it. The
-                // `_cpu_s` fields are summed worker time, so
-                // cpu/wall > 1 is real stage-level parallelism.
-                ("schedule_s", Json::F(p.schedule.as_secs_f64())),
-                ("schedule_query_s", Json::F(p.schedule_query.as_secs_f64())),
-                ("schedule_prefill_s", Json::F(p.schedule_prefill.as_secs_f64())),
-                ("schedule_cpu_s", Json::F(p.schedule_cpu.as_secs_f64())),
-                ("prepare_s", Json::F(p.prepare.as_secs_f64())),
-                ("prepare_cpu_s", Json::F(p.prepare_cpu.as_secs_f64())),
-                ("spec_codegen_s", Json::F(p.spec_codegen.as_secs_f64())),
-                ("commit_s", Json::F(p.commit.as_secs_f64())),
-                ("commit_codegen_s", Json::F(p.commit_codegen.as_secs_f64())),
-                ("transplant_s", Json::F(p.transplant.as_secs_f64())),
-                // Commit-stage call-graph update (partitioned rewrite plan)
-                // and the batched-commit split: barriers per run vs merges
-                // committed through a batch vs immediate fallbacks.
-                ("rewrite_s", Json::F(p.rewrite.as_secs_f64())),
-                ("commit_barriers", Json::I(p.commit_barriers as i64)),
-                ("batched_merges", Json::I(p.batched_merges as i64)),
-                ("batch_fallback", Json::I(p.batch_fallback as i64)),
-                // Scratch-setup telemetry of the COW type store.
-                ("scratch_cow_shared", Json::I(p.scratch_cow_shared as i64)),
-                ("scratch_cloned", Json::I(p.scratch_cloned as i64)),
-                ("scratch_suffix_types", Json::I(p.scratch_suffix_types as i64)),
-                ("scratch_bytes_avoided", Json::I(p.scratch_bytes_avoided as i64)),
-                ("spec_built", Json::I(p.spec_built as i64)),
-                ("spec_used", Json::I(p.spec_used as i64)),
-                ("spec_committed", Json::I(p.spec_committed as i64)),
-                ("spec_fallback", Json::I(p.spec_fallback as i64)),
-                ("spec_hit_rate", Json::F(p.spec_hit_rate().unwrap_or(f64::NAN))),
-                // Fault-isolation telemetry: all zero on a healthy run.
-                ("quarantined", Json::I(p.quarantined() as i64)),
-                ("quarantined_align", Json::I(p.quarantined_align as i64)),
-                ("quarantined_codegen", Json::I(p.quarantined_codegen as i64)),
-                ("quarantined_verify", Json::I(p.quarantined_verify as i64)),
-                ("panics_caught", Json::I(p.panics_caught as i64)),
-                ("poisoned_scratch", Json::I(p.poisoned_scratch as i64)),
-            ]);
+            ];
+            rec.extend(pipeline_json_fields(&p).into_iter().filter(|(k, _)| *k != "threads"));
+            report.record(&rec);
             if !identical {
                 report.fail(format!(
                     "merge-parallel n={n} threads={threads}: pipeline output diverges \
@@ -765,7 +761,10 @@ fn scale(fast: bool, functions: Option<usize>, chunk: Option<usize>, report: &mu
         agg.batched_merges,
         agg.batch_fallback,
     );
-    report.record(&[
+    // Header pairs, then the canonical PipelineStats field list (same
+    // formatter as merge-parallel and fmsa_opt --stats); `threads` is
+    // already in the header.
+    let mut rec: Vec<(&str, Json)> = vec![
         ("experiment", Json::S("scale".into())),
         ("phase", Json::S("stream".into())),
         ("functions", Json::I(funcs_in as i64)),
@@ -779,19 +778,9 @@ fn scale(fast: bool, functions: Option<usize>, chunk: Option<usize>, report: &mu
         ("functions_out", Json::I(funcs_out as i64)),
         ("wall_s", Json::F(stream_wall.as_secs_f64())),
         ("peak_rss_mib", Json::F(rss.unwrap_or(f64::NAN))),
-        ("schedule_s", Json::F(agg.schedule.as_secs_f64())),
-        ("schedule_query_s", Json::F(agg.schedule_query.as_secs_f64())),
-        ("schedule_prefill_s", Json::F(agg.schedule_prefill.as_secs_f64())),
-        ("schedule_cpu_s", Json::F(agg.schedule_cpu.as_secs_f64())),
-        ("prepare_s", Json::F(agg.prepare.as_secs_f64())),
-        ("prepare_cpu_s", Json::F(agg.prepare_cpu.as_secs_f64())),
-        ("commit_s", Json::F(agg.commit.as_secs_f64())),
-        ("rewrite_s", Json::F(agg.rewrite.as_secs_f64())),
-        ("generations", Json::I(agg.generations as i64)),
-        ("commit_barriers", Json::I(agg.commit_barriers as i64)),
-        ("batched_merges", Json::I(agg.batched_merges as i64)),
-        ("batch_fallback", Json::I(agg.batch_fallback as i64)),
-    ]);
+    ];
+    rec.extend(pipeline_json_fields(&agg).into_iter().filter(|(k, _)| *k != "threads"));
+    report.record(&rec);
     if funcs_in != total {
         report.fail(format!("scale: stream produced {funcs_in} functions, expected {total}"));
     }
@@ -1801,4 +1790,305 @@ fn chaos(fast: bool, report: &mut Report) {
         "(every cut/flip/upload seed is a pure function of the cycle index; a failing \
          cycle replays exactly from its number — see docs/robustness.md)"
     );
+}
+
+// ---------------------------------------------------------------- obs
+
+/// Flight-recorder smoke test: the CI `obs-smoke` job runs this with
+/// `--fast --check`. Gates (a) tracing overhead ≤ 3% over the
+/// telemetry-disabled run, (b) bit-identical output at 1/2/4/8 threads
+/// with tracing on and off, (c) well-nested Chrome-trace spans with the
+/// expected span names, (d) exact reconciliation of the per-attempt
+/// decision log against `FmsaStats`/`PipelineStats`, and (e) a booted
+/// daemon serving valid Prometheus exposition with the required metric
+/// families plus a populated `/v1/merges/recent`.
+fn obs(fast: bool, report: &mut Report) {
+    use fmsa::telemetry::{trace, DecisionOutcome};
+    use fmsa_core::SearchStrategy;
+    use fmsa_ir::printer::print_module;
+    use fmsa_serve::{client, Server, ServerConfig};
+    use fmsa_workloads::{clone_swarm_module, wasm_fixture_bytes, SwarmConfig, WasmFixtureConfig};
+
+    let n = if fast { 1_000 } else { 5_000 };
+    println!("\n== Flight recorder: overhead, identity, trace, decisions, /metrics (n={n}) ==");
+    let cfg = Config::new().threshold(5).search(SearchStrategy::lsh());
+    let base = clone_swarm_module(&SwarmConfig::with_functions(n));
+
+    // Tracing is process-global; remember the caller's state (a global
+    // `--trace-out` enables it before dispatch) and restore it on exit.
+    let was_tracing = trace::enabled();
+    trace::disable();
+    let _ = trace::drain();
+
+    // (a) Overhead: telemetry-disabled vs tracing-enabled wall clock on
+    // the sequential driver. Runs are interleaved off/on (so clock and
+    // cache drift hit both sides equally) after an untimed warm-up, and
+    // each side keeps its minimum — the least-noise estimate of the
+    // true cost.
+    let time_run = || {
+        let mut m = base.clone();
+        let t0 = std::time::Instant::now();
+        let st = run_fmsa(&mut m, &cfg.fmsa_options());
+        (t0.elapsed().as_secs_f64(), st)
+    };
+    let _ = time_run(); // warm-up: page cache, allocator, branch predictors
+    let mut wall_off = f64::INFINITY;
+    let mut wall_on = f64::INFINITY;
+    let mut seq_stats = None;
+    for _ in 0..4 {
+        trace::disable();
+        let (w, st) = time_run();
+        wall_off = wall_off.min(w);
+        seq_stats = Some(st);
+        trace::enable();
+        let (w, _) = time_run();
+        wall_on = wall_on.min(w);
+        let _ = trace::drain(); // keep per-thread buffers from filling up
+    }
+    trace::disable();
+    let overhead_pct = (wall_on / wall_off.max(1e-9) - 1.0) * 100.0;
+    println!(
+        "  overhead: sequential n={n}, tracing off {wall_off:.3}s vs on {wall_on:.3}s \
+         ({overhead_pct:+.2}%)"
+    );
+    report.record(&[
+        ("experiment", Json::S("obs".into())),
+        ("check", Json::S("overhead".into())),
+        ("functions", Json::I(n as i64)),
+        ("wall_off_s", Json::F(wall_off)),
+        ("wall_on_s", Json::F(wall_on)),
+        ("overhead_pct", Json::F(overhead_pct)),
+    ]);
+    if overhead_pct > 3.0 {
+        report.fail(format!(
+            "obs: tracing overhead {overhead_pct:.2}% exceeds the 3% budget \
+             (off {wall_off:.3}s, on {wall_on:.3}s)"
+        ));
+    }
+
+    // (b) Bit-identity: the pipeline must print the sequential bytes at
+    // every thread count, with the flight recorder both off and on —
+    // telemetry observes, it never decides.
+    let seq_text = {
+        let mut m = base.clone();
+        run_fmsa(&mut m, &cfg.fmsa_options());
+        print_module(&m)
+    };
+    let mut identical_all = true;
+    for traced in [false, true] {
+        if traced {
+            trace::enable();
+        } else {
+            trace::disable();
+        }
+        for threads in [1usize, 2, 4, 8] {
+            let pcfg = cfg.clone().parallel(threads);
+            let mut m = base.clone();
+            run_fmsa_pipeline(&mut m, &pcfg.fmsa_options(), &pcfg.pipeline_options());
+            let identical = print_module(&m) == seq_text;
+            identical_all &= identical;
+            if !identical {
+                report.fail(format!(
+                    "obs: pipeline output diverges from sequential at threads={threads} \
+                     tracing={}",
+                    if traced { "on" } else { "off" }
+                ));
+            }
+        }
+    }
+    println!(
+        "  bit-identity at threads 1/2/4/8, tracing off+on: {}",
+        if identical_all { "yes" } else { "NO" }
+    );
+    report.record(&[
+        ("experiment", Json::S("obs".into())),
+        ("check", Json::S("bit-identity".into())),
+        ("functions", Json::I(n as i64)),
+        ("identical_to_sequential", Json::B(identical_all)),
+    ]);
+
+    // (c) Trace validity: the traced half of the identity loop left its
+    // spans in the per-thread buffers; they must be well nested and
+    // cover the whole span hierarchy.
+    trace::disable();
+    let (events, dropped) = trace::drain();
+    let nesting = trace::check_nesting(&events);
+    if events.is_empty() {
+        report.fail("obs: tracing-enabled runs recorded no span events".to_owned());
+    }
+    if let Err(e) = &nesting {
+        report.fail(format!("obs: trace spans are not well nested: {e}"));
+    }
+    for required in ["pass", "generation", "schedule", "prepare", "commit", "merge_attempt"] {
+        if !events.iter().any(|ev| ev.name == required) {
+            report.fail(format!("obs: trace is missing the {required:?} span"));
+        }
+    }
+    let export = trace::export_chrome(&events);
+    if !export.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[") {
+        report.fail("obs: Chrome-trace export has an unexpected envelope".to_owned());
+    }
+    println!(
+        "  trace: {} events across {} threads, nesting {}",
+        events.len(),
+        events.iter().map(|ev| ev.tid).collect::<std::collections::HashSet<_>>().len(),
+        if nesting.is_ok() { "ok" } else { "BROKEN" }
+    );
+    report.record(&[
+        ("experiment", Json::S("obs".into())),
+        ("check", Json::S("trace".into())),
+        ("trace_events", Json::I(events.len() as i64)),
+        ("trace_dropped", Json::I(dropped as i64)),
+        ("nesting_ok", Json::B(nesting.is_ok())),
+    ]);
+
+    // (d) Decision-log reconciliation, pipeline and sequential: every
+    // attempt produces exactly one record, and the outcome counts are
+    // exact even past the retention bound.
+    use DecisionOutcome as O;
+    let reconcile = |label: &str, st: &fmsa_core::pass::FmsaStats, report: &mut Report| {
+        let d = &st.decisions;
+        let mut ok = true;
+        let mut check = |what: &str, got: u64, want: u64| {
+            if got != want {
+                ok = false;
+                report.fail(format!("obs: {label} decisions: {what} = {got}, expected {want}"));
+            }
+        };
+        check("total()", d.total(), st.attempted as u64);
+        check(
+            "Merged+ConflictFallback",
+            d.count(O::Merged) + d.count(O::ConflictFallback),
+            st.merges as u64,
+        );
+        if let Some(p) = st.pipeline.as_ref() {
+            check("GateSkipped", d.count(O::GateSkipped), p.gate_skipped as u64);
+            check("BudgetSkipped", d.count(O::BudgetSkipped), p.budget_skipped as u64);
+            check("Quarantined", d.count(O::Quarantined), p.quarantined() as u64);
+        }
+        ok
+    };
+    let par_stats = {
+        let pcfg = cfg.clone().parallel(4);
+        let mut m = base.clone();
+        run_fmsa_pipeline(&mut m, &pcfg.fmsa_options(), &pcfg.pipeline_options())
+    };
+    let seq_stats = seq_stats.expect("overhead loop ran");
+    let seq_ok = reconcile("sequential", &seq_stats, report);
+    let par_ok = reconcile("pipeline", &par_stats, report);
+    println!(
+        "  decisions: sequential {} records / {} attempts, pipeline {} / {} — {}",
+        seq_stats.decisions.total(),
+        seq_stats.attempted,
+        par_stats.decisions.total(),
+        par_stats.attempted,
+        if seq_ok && par_ok { "reconciled" } else { "MISMATCH" }
+    );
+    report.record(&[
+        ("experiment", Json::S("obs".into())),
+        ("check", Json::S("decisions".into())),
+        ("functions", Json::I(n as i64)),
+        ("attempted", Json::I(par_stats.attempted as i64)),
+        ("decisions_total", Json::I(par_stats.decisions.total() as i64)),
+        ("merged", Json::I(par_stats.decisions.count(O::Merged) as i64)),
+        ("conflict_fallback", Json::I(par_stats.decisions.count(O::ConflictFallback) as i64)),
+        ("unprofitable", Json::I(par_stats.decisions.count(O::Unprofitable) as i64)),
+        ("reconciled", Json::B(seq_ok && par_ok)),
+    ]);
+
+    // (e) Daemon scrape: boot fmsa-serve, push one corpus through it,
+    // then assert the Prometheus exposition carries every family the
+    // dashboards depend on and the decision-log endpoint is populated.
+    let store_dir = std::env::temp_dir().join(format!("fmsa-obs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let server_cfg = ServerConfig { store_dir: Some(store_dir.clone()), ..ServerConfig::default() };
+    match Server::bind(server_cfg).and_then(Server::spawn) {
+        Err(e) => report.fail(format!("obs: cannot boot daemon: {e}")),
+        Ok(mut server) => {
+            let corpus = wasm_fixture_bytes(&WasmFixtureConfig::with_functions(96));
+            match client::post(server.addr(), "/v1/modules", &corpus) {
+                Ok(r) if r.status == 200 => {}
+                Ok(r) => report.fail(format!("obs: daemon upload returned {}", r.status)),
+                Err(e) => report.fail(format!("obs: daemon upload failed: {e}")),
+            }
+            let mut families_ok = true;
+            match client::get(server.addr(), "/metrics") {
+                Err(e) => report.fail(format!("obs: GET /metrics failed: {e}")),
+                Ok(r) => {
+                    if r.status != 200 {
+                        report.fail(format!("obs: GET /metrics returned {}", r.status));
+                    }
+                    if !r.header("content-type").is_some_and(|ct| ct.contains("version=0.0.4")) {
+                        report
+                            .fail("obs: /metrics content-type is not exposition 0.0.4".to_owned());
+                    }
+                    let body = r.text();
+                    for family in [
+                        "fmsa_http_requests_total",
+                        "fmsa_http_request_duration_seconds_bucket",
+                        "fmsa_merge_duration_seconds_bucket",
+                        "fmsa_merge_decisions",
+                        "fmsa_build_info",
+                        "fmsa_store_functions",
+                        "fmsa_queue_active_connections",
+                        "fmsa_uptime_seconds",
+                    ] {
+                        if !body.contains(family) {
+                            families_ok = false;
+                            report.fail(format!("obs: /metrics is missing family {family}"));
+                        }
+                    }
+                    if !body.contains("# TYPE fmsa_http_requests_total counter") {
+                        families_ok = false;
+                        report.fail(
+                            "obs: /metrics lacks the TYPE line for requests_total".to_owned(),
+                        );
+                    }
+                }
+            }
+            let mut recent_ok = false;
+            match client::get(server.addr(), "/v1/merges/recent?n=10") {
+                Err(e) => report.fail(format!("obs: GET /v1/merges/recent failed: {e}")),
+                Ok(r) => {
+                    let body = r.text();
+                    recent_ok = r.status == 200
+                        && body.contains("\"records\":[")
+                        && body.contains("\"total\":");
+                    if !recent_ok {
+                        report.fail(format!(
+                            "obs: /v1/merges/recent malformed (status {})",
+                            r.status
+                        ));
+                    }
+                }
+            }
+            match client::get(server.addr(), "/v1/stats") {
+                Err(e) => report.fail(format!("obs: GET /v1/stats failed: {e}")),
+                Ok(r) => {
+                    let body = r.text();
+                    if !(body.contains("\"version\":") && body.contains("\"started_at\":")) {
+                        report.fail("obs: /v1/stats lacks build metadata".to_owned());
+                    }
+                }
+            }
+            println!(
+                "  daemon: /metrics families {}, /v1/merges/recent {}",
+                if families_ok { "ok" } else { "MISSING" },
+                if recent_ok { "ok" } else { "MALFORMED" }
+            );
+            report.record(&[
+                ("experiment", Json::S("obs".into())),
+                ("check", Json::S("daemon".into())),
+                ("metrics_families_ok", Json::B(families_ok)),
+                ("merges_recent_ok", Json::B(recent_ok)),
+            ]);
+            server.stop();
+        }
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    if was_tracing {
+        trace::enable();
+    }
+    println!("(the CI obs-smoke job gates this via --check; see docs/observability.md)");
 }

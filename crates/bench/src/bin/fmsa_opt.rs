@@ -6,7 +6,8 @@
 //!          [--threshold N] [--oracle] [--arch x86-64|arm-thumb]
 //!          [--canonicalize] [--search exact|lsh|auto] [--threads N]
 //!          [--spec-depth N] [--spec-batch N] [--exclude name,name]
-//!          [--stats] [-o <output.fir>]
+//!          [--stats] [--trace-out trace.json]
+//!          [--explain-merges decisions.jsonl] [-o <output.fir>]
 //! ```
 //!
 //! The input format is auto-detected (via [`fmsa::load_module_bytes`]):
@@ -32,6 +33,13 @@
 //! `fmsa_ir::printer`); `cargo run --example quickstart` prints modules in
 //! this form. Without `-o` the optimized module goes to stdout; `--stats`
 //! sends a summary to stderr.
+//!
+//! Flight recorder (see `docs/observability.md`): `--trace-out PATH`
+//! records hierarchical spans and writes Chrome trace-event JSON
+//! viewable in Perfetto; `--explain-merges PATH` dumps one JSON line
+//! per merge attempt (pair, similarity, alignment score, Δ, outcome).
+//! Both observe without deciding — output bytes are identical with or
+//! without them.
 
 use fmsa::{Config, Error};
 use fmsa_core::baselines::{run_identical, run_soa};
@@ -68,7 +76,7 @@ fn main() -> ExitCode {
              [--threshold N] [--oracle] [--arch x86-64|arm-thumb] \
              [--canonicalize] [--search exact|lsh|auto] [--threads N] \
              [--spec-depth N] [--spec-batch N] [--exclude a,b] [--stats] \
-             [-o out.fir]"
+             [--trace-out trace.json] [--explain-merges out.jsonl] [-o out.fir]"
         );
         return ExitCode::from(2);
     }
@@ -85,6 +93,8 @@ fn main() -> ExitCode {
     let mut spec_batch: Option<usize> = None;
     let mut exclude: HashSet<String> = HashSet::new();
     let mut stats = false;
+    let mut trace_out: Option<String> = None;
+    let mut explain_merges: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -134,6 +144,20 @@ fn main() -> ExitCode {
                 }
             }
             "--stats" => stats = true,
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(p),
+                None => {
+                    eprintln!("fmsa_opt: --trace-out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain-merges" => match it.next() {
+                Some(p) => explain_merges = Some(p),
+                None => {
+                    eprintln!("fmsa_opt: --explain-merges needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             "-o" => output = it.next(),
             other if !other.starts_with('-') && input.is_none() => input = Some(other.to_owned()),
             other => {
@@ -181,6 +205,9 @@ fn main() -> ExitCode {
     if let Some(b) = spec_batch {
         cfg = cfg.batch(b);
     }
+    if trace_out.is_some() {
+        fmsa::telemetry::trace::enable();
+    }
 
     let mut fmsa_stats: Option<fmsa_core::pass::FmsaStats> = None;
     let merges = if technique == "fmsa" {
@@ -226,6 +253,26 @@ fn main() -> ExitCode {
         );
     }
     let after = cm.module_size(&module);
+    if let Some(path) = &trace_out {
+        use fmsa::telemetry::trace;
+        trace::disable();
+        let (events, dropped) = trace::drain();
+        if dropped > 0 {
+            eprintln!("fmsa_opt: trace: {dropped} events dropped at the per-thread cap");
+        }
+        if let Err(e) = std::fs::write(path, trace::export_chrome(&events)) {
+            eprintln!("fmsa_opt: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &explain_merges {
+        // Baselines record no decisions; an empty file is still a valid dump.
+        let body = fmsa_stats.as_ref().map(|st| st.decisions.to_jsonl()).unwrap_or_default();
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("fmsa_opt: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if stats {
         // Self-describing result header: driver, thread count, and the
         // selected search/alignment strategies. Only the fmsa technique
@@ -256,40 +303,28 @@ fn main() -> ExitCode {
             arch.name()
         );
         if let Some(st) = &fmsa_stats {
+            // The canonical PipelineStats vocabulary — the same field
+            // names `experiments --json` emits and /metrics exports.
             if let Some(p) = st.pipeline.as_ref() {
-                eprintln!(
-                    "fmsa_opt: {technique}: stages: schedule {:.2?} (query {:.2?} + \
-                     prefill {:.2?}; cpu {:.2?}), prepare {:.2?} (cpu {:.2?}), commit {:.2?}",
-                    p.schedule,
-                    p.schedule_query,
-                    p.schedule_prefill,
-                    p.schedule_cpu,
-                    p.prepare,
-                    p.prepare_cpu,
-                    p.commit,
-                );
-                eprintln!(
-                    "fmsa_opt: {technique}: commit barriers={} batched_merges={} \
-                     batch_fallback={}",
-                    p.commit_barriers, p.batched_merges, p.batch_fallback,
-                );
+                for line in fmsa_bench::harness::pipeline_stats_text(p, 6) {
+                    eprintln!("fmsa_opt: {technique}: pipeline: {line}");
+                }
             }
-            if let Some(p) = st
-                .pipeline
-                .as_ref()
-                .filter(|p| p.quarantined() > 0 || p.panics_caught > 0 || p.poisoned_scratch > 0)
-            {
-                eprintln!(
-                    "fmsa_opt: {technique}: quarantined={} (align={} codegen={} verify={}) \
-                     panics_caught={} poisoned_scratch={}",
-                    p.quarantined(),
-                    p.quarantined_align,
-                    p.quarantined_codegen,
-                    p.quarantined_verify,
-                    p.panics_caught,
-                    p.poisoned_scratch
-                );
-            }
+            let d = &st.decisions;
+            use fmsa::telemetry::DecisionOutcome as O;
+            eprintln!(
+                "fmsa_opt: {technique}: decisions: attempted={} merged={} \
+                 conflict_fallback={} unprofitable={} gate_skipped={} budget_skipped={} \
+                 quarantined={} failed={}",
+                d.total(),
+                d.count(O::Merged),
+                d.count(O::ConflictFallback),
+                d.count(O::Unprofitable),
+                d.count(O::GateSkipped),
+                d.count(O::BudgetSkipped),
+                d.count(O::Quarantined),
+                d.count(O::Failed),
+            );
             for e in st.quarantine.entries() {
                 eprintln!(
                     "fmsa_opt: quarantined stage={} pair={},{} seed={:#x}: {}",

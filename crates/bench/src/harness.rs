@@ -5,6 +5,7 @@
 
 use fmsa_core::baselines::{run_identical, run_soa};
 use fmsa_core::pass::{run_fmsa, StepTimers};
+use fmsa_core::pipeline::{PipelineStats, StatValue};
 use fmsa_core::Config;
 use fmsa_ir::Module;
 use fmsa_target::{reduction_percent, CostModel, TargetArch};
@@ -354,6 +355,49 @@ impl Report {
         }
         Ok(())
     }
+}
+
+/// The canonical [`PipelineStats`] → JSON field mapping. Every
+/// serializer of pipeline counters (`experiments merge-parallel
+/// --json`, `experiments scale --json`, `fmsa_opt --stats`) goes
+/// through this one function, so a counter added to
+/// [`PipelineStats::fields`] can never drift out of any output.
+pub fn pipeline_json_fields(p: &PipelineStats) -> Vec<(&'static str, Json)> {
+    p.fields()
+        .into_iter()
+        .map(|(name, v)| {
+            let j = match v {
+                StatValue::Count(c) => Json::I(c as i64),
+                StatValue::Secs(s) | StatValue::Ratio(s) => Json::F(s),
+            };
+            (name, j)
+        })
+        .collect()
+}
+
+/// Renders the canonical field list as `key=value` text, `per_line`
+/// fields per line — the `--stats` human form of the same vocabulary.
+pub fn pipeline_stats_text(p: &PipelineStats, per_line: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut line = String::new();
+    for (i, (name, v)) in p.fields().into_iter().enumerate() {
+        if i > 0 && i % per_line.max(1) == 0 {
+            lines.push(std::mem::take(&mut line));
+        }
+        if !line.is_empty() {
+            line.push(' ');
+        }
+        match v {
+            StatValue::Count(c) => line.push_str(&format!("{name}={c}")),
+            StatValue::Secs(s) => line.push_str(&format!("{name}={s:.3}")),
+            StatValue::Ratio(r) if r.is_finite() => line.push_str(&format!("{name}={r:.4}")),
+            StatValue::Ratio(_) => line.push_str(&format!("{name}=n/a")),
+        }
+    }
+    if !line.is_empty() {
+        lines.push(line);
+    }
+    lines
 }
 
 /// Arithmetic mean, used for the summary rows of Figs. 10-12.

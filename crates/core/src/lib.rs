@@ -30,6 +30,9 @@
 //! * [`store`] / [`session`] — the content-addressed function store with
 //!   its durable LSH index, and the request lifecycle the merge daemon
 //!   (`fmsa-serve`) sits on
+//! * [`telemetry`] — the flight recorder: span tracing with Chrome-trace
+//!   export, the metrics registry behind `/metrics`, and the per-attempt
+//!   merge decision log
 //!
 //! # Examples
 //!
@@ -77,6 +80,7 @@ pub mod ranking;
 pub mod search;
 pub mod session;
 pub mod store;
+pub mod telemetry;
 pub mod thunks;
 
 pub use callsites::CallSiteIndex;
@@ -95,3 +99,4 @@ pub use store::{
     module_hashes, scan_store, CompactStats, ContentHash, FsyncPolicy, FunctionStore, IngestStats,
     RecoveryStats, SimilarEntry, StoreEntry, StoreOptions, StoreScan,
 };
+pub use telemetry::{DecisionLog, DecisionOutcome, DecisionRecord, Registry};

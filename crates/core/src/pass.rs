@@ -21,6 +21,7 @@ use crate::linearize::linearize;
 use crate::merge::{align_with, merge_pair_aligned, MergeConfig, MergeInfo};
 use crate::profitability::{evaluate, ProfitReport};
 use crate::search::SearchStrategy;
+use crate::telemetry::{trace, DecisionOutcome, DecisionRecord};
 use crate::thunks::commit_merge;
 use fmsa_ir::{FuncId, Module};
 use fmsa_target::{CostModel, TargetArch};
@@ -171,6 +172,11 @@ pub struct FmsaStats {
     /// verifier rejections). Always empty for the sequential driver,
     /// which has no fault boundaries.
     pub quarantine: crate::quarantine::QuarantineLog,
+    /// One structured record per merge attempt: who paired with whom,
+    /// similarity, alignment score, Δ, and how it resolved. Bounded;
+    /// outcome counts stay exact past the bound (see
+    /// [`crate::telemetry::decisions`]).
+    pub decisions: crate::telemetry::DecisionLog,
 }
 
 impl FmsaStats {
@@ -182,6 +188,7 @@ impl FmsaStats {
 
 /// Runs the FMSA optimization over `module`.
 pub fn run_fmsa(module: &mut Module, opts: &FmsaOptions) -> FmsaStats {
+    let _pass_span = trace::span("fmsa", "pass");
     let cm = CostModel::new(opts.arch);
     let mut stats = FmsaStats { size_before: cm.module_size(module), ..FmsaStats::default() };
 
@@ -201,8 +208,28 @@ pub fn run_fmsa(module: &mut Module, opts: &FmsaOptions) -> FmsaStats {
         stats.timers.ranking += t0.elapsed();
 
         let mut best: Option<(usize, MergeInfo, ProfitReport)> = None;
+        // Decision records for this subject's attempts. The winning
+        // attempt's outcome is fixed up once the commit resolves, then
+        // the whole batch lands in `stats.decisions`.
+        let mut attempt_recs: Vec<DecisionRecord> = Vec::new();
+        let mut best_rec: Option<usize> = None;
         for (pos, cand) in candidates.iter().enumerate() {
             stats.attempted += 1;
+            let _att_span = trace::span_with("fmsa", "merge_attempt", || {
+                vec![
+                    ("subject", module.func(f1).name.clone()),
+                    ("candidate", module.func(cand.func).name.clone()),
+                ]
+            });
+            let rec = DecisionRecord {
+                subject: module.func(f1).name.clone(),
+                candidate: module.func(cand.func).name.clone(),
+                similarity: cand.similarity,
+                rank: (pos + 1) as u32,
+                align_score: None,
+                delta: None,
+                outcome: DecisionOutcome::Failed,
+            };
             let t0 = Instant::now();
             let seq1 = linearize(module.func(f1));
             let seq2 = linearize(module.func(cand.func));
@@ -218,6 +245,7 @@ pub fn run_fmsa(module: &mut Module, opts: &FmsaOptions) -> FmsaStats {
                 opts.merge.algorithm,
             );
             stats.timers.alignment += t0.elapsed();
+            let rec = DecisionRecord { align_score: Some(alignment.score), ..rec };
             let t0 = Instant::now();
             let merged =
                 merge_pair_aligned(module, f1, cand.func, seq1, seq2, alignment, &opts.merge);
@@ -231,6 +259,7 @@ pub fn run_fmsa(module: &mut Module, opts: &FmsaOptions) -> FmsaStats {
             stats.timers.codegen += t0.elapsed();
             match outcome {
                 Some((info, report)) if report.is_profitable() => {
+                    let delta = Some(report.delta);
                     if opts.oracle {
                         // Keep only the best profitable candidate.
                         let better =
@@ -238,22 +267,58 @@ pub fn run_fmsa(module: &mut Module, opts: &FmsaOptions) -> FmsaStats {
                         if better {
                             if let Some((_, old, _)) = best.take() {
                                 module.remove_function(old.merged);
+                                // The previous winner's body was just
+                                // discarded: by final disposition it was
+                                // not merged (its positive Δ survives in
+                                // the record).
+                                if let Some(i) = best_rec {
+                                    attempt_recs[i].outcome = DecisionOutcome::Unprofitable;
+                                }
                             }
                             best = Some((pos + 1, info, report));
+                            best_rec = Some(attempt_recs.len());
+                            attempt_recs.push(DecisionRecord {
+                                delta,
+                                outcome: DecisionOutcome::Merged,
+                                ..rec
+                            });
                         } else {
                             module.remove_function(info.merged);
+                            attempt_recs.push(DecisionRecord {
+                                delta,
+                                outcome: DecisionOutcome::Unprofitable,
+                                ..rec
+                            });
                         }
                     } else {
                         best = Some((pos + 1, info, report));
+                        best_rec = Some(attempt_recs.len());
+                        attempt_recs.push(DecisionRecord {
+                            delta,
+                            outcome: DecisionOutcome::Merged,
+                            ..rec
+                        });
                         break; // greedy: first profitable candidate wins
                     }
                 }
-                Some((info, _)) => module.remove_function(info.merged),
-                None => {}
+                Some((info, report)) => {
+                    module.remove_function(info.merged);
+                    attempt_recs.push(DecisionRecord {
+                        delta: Some(report.delta),
+                        outcome: DecisionOutcome::Unprofitable,
+                        ..rec
+                    });
+                }
+                None => attempt_recs.push(rec),
             }
         }
 
-        let Some((pos, info, _)) = best else { continue };
+        let Some((pos, info, _)) = best else {
+            for r in attempt_recs {
+                stats.decisions.push(r);
+            }
+            continue;
+        };
         // Commit: thunks / call-graph update (§III-A).
         let t0 = Instant::now();
         let commit = match commit_merge(module, &info) {
@@ -261,6 +326,12 @@ pub fn run_fmsa(module: &mut Module, opts: &FmsaOptions) -> FmsaStats {
             Err(_) => {
                 // Should not happen (guarded by tests); drop the merge.
                 module.remove_function(info.merged);
+                if let Some(i) = best_rec {
+                    attempt_recs[i].outcome = DecisionOutcome::Failed;
+                }
+                for r in attempt_recs {
+                    stats.decisions.push(r);
+                }
                 continue;
             }
         };
@@ -272,6 +343,9 @@ pub fn run_fmsa(module: &mut Module, opts: &FmsaOptions) -> FmsaStats {
                 crate::thunks::Disposition::Deleted => stats.deleted += 1,
                 crate::thunks::Disposition::Thunk => stats.thunks += 1,
             }
+        }
+        for r in attempt_recs {
+            stats.decisions.push(r);
         }
         // Maintain the pool and index: originals leave, the merged function
         // joins the working list (feedback loop), rewritten callers get

@@ -82,6 +82,7 @@ use crate::pass::{run_fmsa, seed_pass, FmsaOptions, FmsaStats, SeededPass};
 use crate::profitability::{evaluate_indexed, optimistic_delta, ProfitReport};
 use crate::quarantine::{panic_message, QuarantineStage};
 use crate::ranking::Candidate;
+use crate::telemetry::{trace, DecisionOutcome, DecisionRecord};
 use crate::thunks::{
     can_delete, commit_merge_partitioned, prepare_commit_casts, Disposition, RewritePlan,
 };
@@ -325,6 +326,79 @@ impl PipelineStats {
         self.batched_merges += other.batched_merges;
         self.batch_fallback += other.batch_fallback;
     }
+
+    /// The canonical `(name, value)` serialization of every counter and
+    /// stage timer — the single source behind `fmsa_opt --stats`,
+    /// `experiments ... --json`, and the daemon's registry gauges, so a
+    /// counter added here can never drift out of any of them.
+    pub fn fields(&self) -> Vec<(&'static str, StatValue)> {
+        use StatValue::{Count, Ratio, Secs};
+        vec![
+            ("threads", Count(self.threads as u64)),
+            ("generations", Count(self.generations as u64)),
+            ("prepared", Count(self.prepared as u64)),
+            ("reused", Count(self.reused as u64)),
+            ("recomputed", Count(self.recomputed as u64)),
+            ("gate_skipped", Count(self.gate_skipped as u64)),
+            ("budget_skipped", Count(self.budget_skipped as u64)),
+            ("schedule_s", Secs(self.schedule.as_secs_f64())),
+            ("schedule_query_s", Secs(self.schedule_query.as_secs_f64())),
+            ("schedule_prefill_s", Secs(self.schedule_prefill.as_secs_f64())),
+            ("schedule_cpu_s", Secs(self.schedule_cpu.as_secs_f64())),
+            ("prepare_s", Secs(self.prepare.as_secs_f64())),
+            ("prepare_cpu_s", Secs(self.prepare_cpu.as_secs_f64())),
+            ("spec_codegen_s", Secs(self.spec_codegen.as_secs_f64())),
+            ("commit_s", Secs(self.commit.as_secs_f64())),
+            ("commit_codegen_s", Secs(self.commit_codegen.as_secs_f64())),
+            ("transplant_s", Secs(self.transplant.as_secs_f64())),
+            ("rewrite_s", Secs(self.rewrite.as_secs_f64())),
+            ("commit_barriers", Count(self.commit_barriers as u64)),
+            ("batched_merges", Count(self.batched_merges as u64)),
+            ("batch_fallback", Count(self.batch_fallback as u64)),
+            ("scratch_cow_shared", Count(self.scratch_cow_shared as u64)),
+            ("scratch_cloned", Count(self.scratch_cloned as u64)),
+            ("scratch_suffix_types", Count(self.scratch_suffix_types as u64)),
+            ("scratch_bytes_avoided", Count(self.scratch_bytes_avoided)),
+            ("spec_built", Count(self.spec_built as u64)),
+            ("spec_used", Count(self.spec_used as u64)),
+            ("spec_committed", Count(self.spec_committed as u64)),
+            ("spec_fallback", Count(self.spec_fallback as u64)),
+            ("spec_hit_rate", Ratio(self.spec_hit_rate().unwrap_or(f64::NAN))),
+            ("quarantined", Count(self.quarantined() as u64)),
+            ("quarantined_align", Count(self.quarantined_align as u64)),
+            ("quarantined_codegen", Count(self.quarantined_codegen as u64)),
+            ("quarantined_verify", Count(self.quarantined_verify as u64)),
+            ("panics_caught", Count(self.panics_caught as u64)),
+            ("poisoned_scratch", Count(self.poisoned_scratch as u64)),
+        ]
+    }
+
+    /// Mirrors [`PipelineStats::fields`] into `registry` as gauges named
+    /// `fmsa_pipeline_<field>` (timers in seconds) — how the daemon's
+    /// `/metrics` absorbs pipeline counters.
+    pub fn record_into(&self, registry: &crate::telemetry::Registry) {
+        for (name, value) in self.fields() {
+            let full = format!("fmsa_pipeline_{name}");
+            let g = registry.gauge_with(&full, "pipeline counter (see PipelineStats)", &[]);
+            match value {
+                StatValue::Count(v) => g.set(v as f64),
+                StatValue::Secs(v) | StatValue::Ratio(v) => {
+                    g.set(if v.is_finite() { v } else { 0.0 })
+                }
+            }
+        }
+    }
+}
+
+/// One value of [`PipelineStats::fields`].
+#[derive(Debug, Clone, Copy)]
+pub enum StatValue {
+    /// An event count (serialized as an integer).
+    Count(u64),
+    /// A wall/CPU duration in seconds.
+    Secs(f64),
+    /// A dimensionless ratio (NaN when undefined).
+    Ratio(f64),
 }
 
 /// One speculative attempt out of the prepare stage.
@@ -389,6 +463,7 @@ fn flush_batch(
     if plan.merges() == 0 {
         return;
     }
+    let _span = trace::span("fmsa", "flush_batch");
     let t0 = Instant::now();
     let taken = std::mem::take(plan);
     let expect = std::mem::take(expected);
@@ -441,6 +516,7 @@ pub fn run_fmsa_pipeline(
     if opts.oracle {
         return run_fmsa(module, opts);
     }
+    let _pass_span = trace::span("fmsa", "pass");
     let threads = pipe.resolved_threads();
     let faults = pipe.faults;
     let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool");
@@ -478,6 +554,9 @@ pub fn run_fmsa_pipeline(
 
     while !worklist.is_empty() {
         pstats.generations += 1;
+        let _gen_span = trace::span_with("fmsa", "generation", || {
+            vec![("gen", pstats.generations.to_string())]
+        });
         // ---------------------------------------------------- schedule
         let take = if batch == 0 { worklist.len() } else { batch.min(worklist.len()) };
         let mut subjects = Vec::with_capacity(take);
@@ -498,6 +577,7 @@ pub fn run_fmsa_pipeline(
         if threads > 1 && pipe.spec_depth > 0 {
             module.types.freeze();
         }
+        let sched_span = trace::span("fmsa", "schedule");
         let t0 = Instant::now();
         let scheduled: Vec<(FuncId, Vec<Candidate>)> = {
             // Queries only read the index and the fingerprint map
@@ -509,6 +589,7 @@ pub fn run_fmsa_pipeline(
             let fps = &fingerprints;
             let query_cpu = AtomicU64::new(0);
             let out = pool.par_map(&subjects, |_, &f| {
+                let _s = trace::span("fmsa", "query");
                 let t = Instant::now();
                 let cands =
                     shared_index.candidates(f, &fps[&f], fps, opts.threshold, opts.min_similarity);
@@ -522,10 +603,12 @@ pub fn run_fmsa_pipeline(
         stats.timers.ranking += dt;
         pstats.schedule += dt;
         pstats.schedule_query += dt;
+        drop(sched_span);
 
         // ----------------------------------------------------- prepare
         let mut prepared: HashMap<(FuncId, FuncId), Prepared> = HashMap::new();
         if threads > 1 {
+            let _prep_span = trace::span("fmsa", "prepare");
             let mut jobs: Vec<(FuncId, FuncId)> = Vec::new();
             let mut seen: HashSet<(FuncId, FuncId)> = HashSet::new();
             for (f1, cands) in &scheduled {
@@ -557,6 +640,7 @@ pub fn run_fmsa_pipeline(
             // thread count.
             let align_cpu = AtomicU64::new(0);
             let results = pool.par_map(&jobs, |_, &(f1, f2)| {
+                let _s = trace::span("fmsa", "align");
                 let t = Instant::now();
                 let r = catch_unwind(AssertUnwindSafe(|| {
                     let seq1 = cache.cached(f1).expect("pre-filled");
@@ -598,6 +682,7 @@ pub fn run_fmsa_pipeline(
             // every body built here for a pair the commit actually reaches
             // replaces one sequential codegen with a cheap transplant.
             if pipe.spec_depth > 0 {
+                let _spec_span = trace::span("fmsa", "spec_codegen");
                 let mut spec_jobs: Vec<(FuncId, FuncId)> = Vec::new();
                 let mut seen: HashSet<(FuncId, FuncId)> = HashSet::new();
                 for (f1, cands) in &scheduled {
@@ -624,6 +709,7 @@ pub fn run_fmsa_pipeline(
                 // fallback path — and never decides a quarantine.
                 let spec_cpu = AtomicU64::new(0);
                 let bodies = pool.par_map(&spec_jobs, |_, &(f1, f2)| {
+                    let _s = trace::span("fmsa", "speculate");
                     let t = Instant::now();
                     let r = catch_unwind(AssertUnwindSafe(|| {
                         let seq1 = cache.cached(f1).expect("pre-filled");
@@ -685,6 +771,7 @@ pub fn run_fmsa_pipeline(
         // on the index may answer differently than it did at schedule
         // time, so candidate lists are re-queried (exactly what the
         // sequential driver would see at this point of the worklist).
+        let commit_span = trace::span("fmsa", "commit");
         let t_commit = Instant::now();
         let mut dirty = false;
         // Deferred call-graph work of the generation's batch-eligible
@@ -723,6 +810,26 @@ pub fn run_fmsa_pipeline(
                 // are stable across thread counts, unlike ids-at-commit.
                 let n1 = module.func(f1).name.clone();
                 let n2 = module.func(cand.func).name.clone();
+                let _att_span = trace::span_with("fmsa", "merge_attempt", || {
+                    vec![("subject", n1.clone()), ("candidate", n2.clone())]
+                });
+                // Decision-log state for this attempt: every exit path
+                // below resolves it to exactly one outcome.
+                let rec = |align_score: Option<i64>,
+                           delta: Option<i64>,
+                           outcome: DecisionOutcome| DecisionRecord {
+                    subject: n1.clone(),
+                    candidate: n2.clone(),
+                    similarity: cand.similarity,
+                    rank: (pos + 1) as u32,
+                    align_score,
+                    delta,
+                    outcome,
+                };
+                // Did this attempt discard a speculative body (conflict /
+                // fallback)? A merge that still commits is then reported
+                // as `conflict-fallback` instead of plain `merged`.
+                let mut att_fallback = false;
                 let mut spec_body: Option<SpeculativeMerge> = None;
                 let (alignment, promising) = match prepared.get_mut(&(f1, cand.func)) {
                     Some(p) if p.gens == gens_now && p.epoch == epoch => {
@@ -741,7 +848,10 @@ pub fn run_fmsa_pipeline(
                         // may be budget- or gate-skipped before reaching
                         // the codegen point below.
                         if let Some(p) = stale {
-                            pstats.spec_fallback += p.spec.take().is_some() as usize;
+                            if p.spec.take().is_some() {
+                                pstats.spec_fallback += 1;
+                                att_fallback = true;
+                            }
                         }
                         let t0 = Instant::now();
                         // Fault boundary: this inline recompute is the
@@ -773,13 +883,16 @@ pub fn run_fmsa_pipeline(
                                 ) {
                                     pstats.quarantined_align += 1;
                                 }
+                                stats.decisions.push(rec(None, None, DecisionOutcome::Quarantined));
                                 continue;
                             }
                         }
                     }
                 };
+                let align_score = alignment.as_ref().map(|al| al.score);
                 let Some(alignment) = alignment else {
                     pstats.budget_skipped += 1;
+                    stats.decisions.push(rec(None, None, DecisionOutcome::BudgetSkipped));
                     continue;
                 };
                 if !promising {
@@ -787,6 +900,7 @@ pub fn run_fmsa_pipeline(
                     // would be ≤ 0, so the sequential driver would have
                     // generated and discarded this merge. Skip codegen.
                     pstats.gate_skipped += 1;
+                    stats.decisions.push(rec(align_score, None, DecisionOutcome::GateSkipped));
                     continue;
                 }
                 let t0 = Instant::now();
@@ -799,6 +913,7 @@ pub fn run_fmsa_pipeline(
                     if let Some(spec) = spec_body.take() {
                         spec.discard_into(module);
                         pstats.spec_fallback += 1;
+                        att_fallback = true;
                     }
                 }
                 // A speculative body built on another thread is only
@@ -811,12 +926,14 @@ pub fn run_fmsa_pipeline(
                     }
                     pstats.poisoned_scratch += 1;
                     pstats.spec_fallback += 1;
+                    att_fallback = true;
                 }
                 // `outcome`: a merged function present in the module plus
                 // its profitability, or `None` when the attempt is over
                 // (codegen failure, a quarantined pair, or a speculative
                 // body that evaluated unprofitable and was discarded
                 // without a transplant).
+                let mut att_early: Option<DecisionRecord> = None;
                 let outcome: Option<(MergeInfo, ProfitReport)> = 'attempt: {
                     if let Some(spec) = spec_body {
                         // Profitability is decided on the scratch body;
@@ -828,6 +945,11 @@ pub fn run_fmsa_pipeline(
                             // interning and reject the attempt.
                             spec.discard_into(module);
                             pstats.spec_used += 1;
+                            att_early = Some(rec(
+                                align_score,
+                                Some(report.delta),
+                                DecisionOutcome::Unprofitable,
+                            ));
                             break 'attempt None;
                         }
                         let t_tr = Instant::now();
@@ -847,11 +969,13 @@ pub fn run_fmsa_pipeline(
                                 module.remove_function(info.merged);
                                 pstats.poisoned_scratch += 1;
                                 pstats.spec_fallback += 1;
+                                att_fallback = true;
                             }
                             Err(_) => {
                                 // Unresolvable cross-module reference:
                                 // regenerate inline below.
                                 pstats.spec_fallback += 1;
+                                att_fallback = true;
                             }
                         }
                     }
@@ -876,7 +1000,10 @@ pub fn run_fmsa_pipeline(
                     }));
                     let info = match built {
                         Ok(Ok(info)) => info,
-                        Ok(Err(_)) => break 'attempt None,
+                        Ok(Err(_)) => {
+                            att_early = Some(rec(align_score, None, DecisionOutcome::Failed));
+                            break 'attempt None;
+                        }
                         Err(payload) => {
                             // A panic mid-codegen can leave partially
                             // built functions behind; sweep everything
@@ -897,6 +1024,7 @@ pub fn run_fmsa_pipeline(
                             ) {
                                 pstats.quarantined_codegen += 1;
                             }
+                            att_early = Some(rec(align_score, None, DecisionOutcome::Quarantined));
                             break 'attempt None;
                         }
                     };
@@ -920,6 +1048,7 @@ pub fn run_fmsa_pipeline(
                         ) {
                             pstats.quarantined_verify += 1;
                         }
+                        att_early = Some(rec(align_score, None, DecisionOutcome::Quarantined));
                         break 'attempt None;
                     }
                     let report = evaluate_indexed(module, &cm, &info, &call_sites);
@@ -988,6 +1117,11 @@ pub fn run_fmsa_pipeline(
                                     &mut dirty,
                                 );
                                 module.remove_function(info.merged);
+                                stats.decisions.push(rec(
+                                    align_score,
+                                    Some(report.delta),
+                                    DecisionOutcome::Failed,
+                                ));
                                 call_sites = CallSiteIndex::build(module);
                                 lin_cache = LinearizationCache::new();
                                 epoch += 1;
@@ -1001,6 +1135,15 @@ pub fn run_fmsa_pipeline(
                             pstats.batched_merges += 1;
                             stats.merges += 1;
                             stats.rank_positions.push(pos + 1);
+                            stats.decisions.push(rec(
+                                align_score,
+                                Some(report.delta),
+                                if att_fallback {
+                                    DecisionOutcome::ConflictFallback
+                                } else {
+                                    DecisionOutcome::Merged
+                                },
+                            ));
                             for d in dispositions {
                                 match d {
                                     Disposition::Deleted => stats.deleted += 1,
@@ -1085,6 +1228,11 @@ pub fn run_fmsa_pipeline(
                                     // with the module and invalidate all
                                     // speculative work.
                                     module.remove_function(info.merged);
+                                    stats.decisions.push(rec(
+                                        align_score,
+                                        Some(report.delta),
+                                        DecisionOutcome::Failed,
+                                    ));
                                     call_sites = CallSiteIndex::build(module);
                                     lin_cache = LinearizationCache::new();
                                     epoch += 1;
@@ -1097,6 +1245,15 @@ pub fn run_fmsa_pipeline(
                         pstats.commit_barriers += 1;
                         stats.merges += 1;
                         stats.rank_positions.push(pos + 1);
+                        stats.decisions.push(rec(
+                            align_score,
+                            Some(report.delta),
+                            if att_fallback {
+                                DecisionOutcome::ConflictFallback
+                            } else {
+                                DecisionOutcome::Merged
+                            },
+                        ));
                         for d in [commit.first, commit.second] {
                             match d {
                                 Disposition::Deleted => stats.deleted += 1,
@@ -1156,8 +1313,19 @@ pub fn run_fmsa_pipeline(
                         dirty = true;
                         break; // greedy: first profitable candidate wins
                     }
-                    Some((info, _)) => module.remove_function(info.merged),
-                    None => {}
+                    Some((info, report)) => {
+                        module.remove_function(info.merged);
+                        stats.decisions.push(rec(
+                            align_score,
+                            Some(report.delta),
+                            DecisionOutcome::Unprofitable,
+                        ));
+                    }
+                    None => {
+                        if let Some(r) = att_early.take() {
+                            stats.decisions.push(r);
+                        }
+                    }
                 }
             }
         }
@@ -1178,6 +1346,7 @@ pub fn run_fmsa_pipeline(
         );
         let _ = dirty;
         pstats.commit += t_commit.elapsed();
+        drop(commit_span);
     }
 
     stats.size_after = cm.module_size(module);

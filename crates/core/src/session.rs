@@ -20,6 +20,7 @@
 use crate::config::{optimize, Config};
 use crate::error::Error;
 use crate::store::{CompactStats, ContentHash, FunctionStore, StoreOptions};
+use crate::telemetry::{trace, DecisionLog, DecisionRecord};
 use fmsa_ir::{printer, Module};
 use std::collections::VecDeque;
 use std::path::PathBuf;
@@ -90,12 +91,17 @@ struct CachedResponse {
     hashes: Vec<ContentHash>,
 }
 
+/// Merge decision records retained per session for
+/// `GET /v1/merges/recent` — a diagnostic window, not an archive.
+const SESSION_DECISION_CAP: usize = 4096;
+
 /// A long-lived merging session over a [`FunctionStore`].
 pub struct MergeSession {
     config: Config,
     store: FunctionStore,
     cache: VecDeque<CachedResponse>,
     totals: SessionTotals,
+    decisions: DecisionLog,
 }
 
 impl MergeSession {
@@ -106,6 +112,7 @@ impl MergeSession {
             store: FunctionStore::in_memory(),
             cache: VecDeque::new(),
             totals: SessionTotals::default(),
+            decisions: DecisionLog::new(SESSION_DECISION_CAP),
         }
     }
 
@@ -128,6 +135,7 @@ impl MergeSession {
             store: FunctionStore::open_with(dir, opts)?,
             cache: VecDeque::new(),
             totals: SessionTotals::default(),
+            decisions: DecisionLog::new(SESSION_DECISION_CAP),
         })
     }
 
@@ -158,6 +166,18 @@ impl MergeSession {
     /// Session-lifetime totals.
     pub fn totals(&self) -> &SessionTotals {
         &self.totals
+    }
+
+    /// The session's rolling merge decision log (bounded; counts stay
+    /// exact past the bound). Cached replays add no records — decisions
+    /// are only made when a merge actually runs.
+    pub fn decisions(&self) -> &DecisionLog {
+        &self.decisions
+    }
+
+    /// The `n` most recent merge decision records, oldest first.
+    pub fn recent_decisions(&self, n: usize) -> Vec<&DecisionRecord> {
+        self.decisions.recent(n)
     }
 
     /// Serves a request straight from the response cache, if `key` (a
@@ -196,19 +216,30 @@ impl MergeSession {
         mut module: Module,
         key: Option<ContentHash>,
     ) -> Result<MergeOutcome, Error> {
+        let _req_span = trace::span("session", "merge_request");
         let t0 = Instant::now();
         // Verify before ingest: an invalid upload must be rejected
         // without leaving its functions behind in the store.
-        let errs = fmsa_ir::verify_module(&module);
+        let errs = {
+            let _s = trace::span("session", "verify_input");
+            fmsa_ir::verify_module(&module)
+        };
         if let Some(e) = errs.first() {
             return Err(Error::verify(false, &e.func, e.to_string()));
         }
-        let ingest = self.store.ingest_module(&module)?;
+        let ingest = {
+            let _s = trace::span("session", "ingest");
+            self.store.ingest_module(&module)?
+        };
         // Hash before optimize mutates the module: the cache must record
         // the *uploaded* functions, which is what a replay re-serves.
         let hashes = if key.is_some() { crate::store::module_hashes(&module) } else { Vec::new() };
-        let stats = optimize(&mut module, &self.config)?;
-        let output = printer::print_module(&module);
+        let mut stats = optimize(&mut module, &self.config)?;
+        self.decisions.append(&mut stats.decisions);
+        let output = {
+            let _s = trace::span("session", "print");
+            printer::print_module(&module)
+        };
         let request = RequestStats {
             functions: ingest.functions,
             merges: stats.merges,

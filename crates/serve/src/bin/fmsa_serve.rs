@@ -14,7 +14,7 @@
 
 use fmsa::core::FaultPlan;
 use fmsa::{Config, FsyncPolicy};
-use fmsa_serve::{Server, ServerConfig};
+use fmsa_serve::{LogFormat, LogLevel, Server, ServerConfig};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -37,6 +37,10 @@ options:
                           Retry-After (default: unbounded)
   --max-pending N         merges in flight before shedding with 429 (default 8)
   --shutdown-deadline SECS  drain budget for graceful shutdown (default 5)
+  --log-level LEVEL       access log on stderr: off | info | debug
+                          (default off; FMSA_LOG env sets the default)
+  --log-format FMT        access log lines: text | json
+                          (default text; FMSA_LOG_FORMAT env sets the default)
   -h, --help              this help
 
 Set FMSA_FAULTS (e.g. \"seed=7 rate=0.01 sites=store-write,store-fsync\")
@@ -76,6 +80,20 @@ fn fail(msg: &str) -> ExitCode {
 fn main() -> ExitCode {
     let mut cfg = ServerConfig { addr: "127.0.0.1:7070".to_owned(), ..ServerConfig::default() };
     let mut merge = Config::new();
+
+    // Env defaults first; explicit flags below override them.
+    if let Ok(v) = std::env::var("FMSA_LOG") {
+        match LogLevel::parse(&v) {
+            Ok(level) => cfg.log_level = level,
+            Err(msg) => return fail(&format!("FMSA_LOG: {msg}")),
+        }
+    }
+    if let Ok(v) = std::env::var("FMSA_LOG_FORMAT") {
+        match LogFormat::parse(&v) {
+            Ok(format) => cfg.log_format = format,
+            Err(msg) => return fail(&format!("FMSA_LOG_FORMAT: {msg}")),
+        }
+    }
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -144,6 +162,8 @@ fn main() -> ExitCode {
                         .parse()
                         .map_err(|_| "--max-pending needs a number".to_owned())?;
                 }
+                "--log-level" => cfg.log_level = LogLevel::parse(&value("--log-level")?)?,
+                "--log-format" => cfg.log_format = LogFormat::parse(&value("--log-format")?)?,
                 "--shutdown-deadline" => {
                     let secs: u64 = value("--shutdown-deadline")?
                         .parse()

@@ -22,6 +22,20 @@
 //! | GET    | `/v1/store`         | store summary (JSON)                       |
 //! | GET    | `/v1/store/:hash`   | canonical text of one stored function      |
 //! | GET    | `/v1/similar/:hash` | cross-module similar functions (`?k=N`)    |
+//! | GET    | `/metrics`          | Prometheus text exposition (flight recorder) |
+//! | GET    | `/v1/merges/recent` | most recent merge decision records (`?n=K`)|
+//!
+//! ## Observability
+//!
+//! The daemon carries the [`fmsa::telemetry`] flight recorder: every
+//! request is timed into per-route/status latency histograms, merges
+//! into a merge-duration histogram, and the store/session/queue
+//! counters are mirrored into gauges at scrape time — all rendered as
+//! Prometheus text on `GET /metrics`. The per-attempt merge decision
+//! log is queryable at `GET /v1/merges/recent?n=K`. An optional access
+//! log ([`ServerConfig::log_level`], `FMSA_LOG` on the binary) writes
+//! one line per request to stderr, as text or JSON lines
+//! ([`ServerConfig::log_format`]). See `docs/observability.md`.
 //!
 //! ## Resilience
 //!
@@ -46,6 +60,8 @@
 //! the replay workflow; `docs/robustness.md` for the durability story.
 
 use fmsa::core::store::SimilarEntry;
+use fmsa::telemetry::metrics::latency_buckets;
+use fmsa::telemetry::{json_escape, trace, DecisionOutcome, Registry};
 use fmsa::{Config, ContentHash, Error, MergeOutcome, MergeSession, StoreOptions};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -53,7 +69,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 pub mod client;
 pub mod http;
@@ -61,6 +77,51 @@ pub mod json;
 
 use http::{Request, RequestError};
 use json::Json;
+
+/// Access-log verbosity on stderr. `Off` by default so the daemon
+/// stays quiet under load tests; `Info` writes one line per request;
+/// `Debug` adds connection accept/close events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// No access logging.
+    Off,
+    /// One line per request (method, path, status, duration, bytes, peer).
+    Info,
+    /// Request lines plus connection accept/close events.
+    Debug,
+}
+
+impl LogLevel {
+    /// Parses `off` / `info` / `debug` (the `FMSA_LOG` vocabulary).
+    pub fn parse(s: &str) -> Result<LogLevel, String> {
+        match s {
+            "off" => Ok(LogLevel::Off),
+            "info" => Ok(LogLevel::Info),
+            "debug" => Ok(LogLevel::Debug),
+            other => Err(format!("unknown log level {other:?} (expected off | info | debug)")),
+        }
+    }
+}
+
+/// Access-log line format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFormat {
+    /// Human-readable single line.
+    Text,
+    /// One JSON object per line (machine-ingestible).
+    Json,
+}
+
+impl LogFormat {
+    /// Parses `text` / `json` (the `FMSA_LOG_FORMAT` vocabulary).
+    pub fn parse(s: &str) -> Result<LogFormat, String> {
+        match s {
+            "text" => Ok(LogFormat::Text),
+            "json" => Ok(LogFormat::Json),
+            other => Err(format!("unknown log format {other:?} (expected text | json)")),
+        }
+    }
+}
 
 /// How the daemon is set up — address, limits, store location, and the
 /// merge [`Config`] every request runs under.
@@ -94,6 +155,10 @@ pub struct ServerConfig {
     pub shutdown_deadline: Duration,
     /// Value of the `Retry-After` header on 429/503 shed responses.
     pub retry_after_secs: u64,
+    /// Access-log verbosity on stderr (default [`LogLevel::Off`]).
+    pub log_level: LogLevel,
+    /// Access-log format (default [`LogFormat::Text`]).
+    pub log_format: LogFormat,
     /// The merge configuration applied to every upload.
     pub merge: Config,
 }
@@ -111,6 +176,8 @@ impl Default for ServerConfig {
             request_timeout: None,
             shutdown_deadline: Duration::from_secs(5),
             retry_after_secs: 1,
+            log_level: LogLevel::Off,
+            log_format: LogFormat::Text,
             merge: Config::new(),
         }
     }
@@ -132,8 +199,10 @@ struct Ctx {
     session: Arc<Mutex<MergeSession>>,
     cfg: Arc<ServerConfig>,
     gauges: Arc<Gauges>,
+    metrics: Arc<Registry>,
     stop: Arc<AtomicBool>,
     started: Instant,
+    started_unix: u64,
 }
 
 /// A bound (but not yet running) daemon.
@@ -141,9 +210,11 @@ pub struct Server {
     listener: TcpListener,
     session: Arc<Mutex<MergeSession>>,
     cfg: Arc<ServerConfig>,
+    metrics: Arc<Registry>,
     stop: Arc<AtomicBool>,
     hard: Arc<AtomicBool>,
     started: Instant,
+    started_unix: u64,
 }
 
 /// Handle to a daemon running on a background thread (see
@@ -199,13 +270,19 @@ impl Server {
                 .map_err(|e| std::io::Error::other(format!("opening store: {e}")))?,
             None => MergeSession::new(cfg.merge.clone()),
         };
+        let started_unix = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
         Ok(Server {
             listener,
             session: Arc::new(Mutex::new(session)),
             cfg: Arc::new(cfg),
+            metrics: Arc::new(Registry::new()),
             stop: Arc::new(AtomicBool::new(false)),
             hard: Arc::new(AtomicBool::new(false)),
             started: Instant::now(),
+            started_unix,
         })
     }
 
@@ -223,18 +300,21 @@ impl Server {
             session: Arc::clone(&self.session),
             cfg: Arc::clone(&self.cfg),
             gauges: Arc::new(Gauges::default()),
+            metrics: Arc::clone(&self.metrics),
             stop: Arc::clone(&self.stop),
             started: self.started,
+            started_unix: self.started_unix,
         };
         while !self.stop.load(Ordering::SeqCst) {
-            let mut stream = match self.listener.accept() {
-                Ok((stream, _)) => stream,
+            let (mut stream, peer) = match self.listener.accept() {
+                Ok(accepted) => accepted,
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(2));
                     continue;
                 }
                 Err(_) => continue,
             };
+            let t0 = Instant::now();
             if ctx.gauges.active.load(Ordering::SeqCst) >= self.cfg.max_connections {
                 ctx.gauges.shed_connections.fetch_add(1, Ordering::SeqCst);
                 let _ = stream.set_nonblocking(false);
@@ -251,13 +331,14 @@ impl Server {
                     "application/json",
                     body.as_bytes(),
                 );
+                record_request(&ctx, peer, "-", "-", "shed", 503, body.len() as u64, t0.elapsed());
                 continue;
             }
             ctx.gauges.active.fetch_add(1, Ordering::SeqCst);
             let ctx = ctx.clone();
             std::thread::spawn(move || {
                 let _ = stream.set_nonblocking(false);
-                let _ = handle_connection(stream, &ctx);
+                let _ = handle_connection(stream, peer, &ctx);
                 ctx.gauges.active.fetch_sub(1, Ordering::SeqCst);
             });
         }
@@ -299,11 +380,20 @@ fn retry_after(cfg: &ServerConfig) -> Vec<(&'static str, String)> {
     vec![("Retry-After", cfg.retry_after_secs.to_string())]
 }
 
-fn handle_connection(mut stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
+fn handle_connection(mut stream: TcpStream, peer: SocketAddr, ctx: &Ctx) -> std::io::Result<()> {
+    let _conn_span = trace::span("serve", "connection");
+    debug_log(ctx, peer, "accept");
+    let result = serve_requests(&mut stream, peer, ctx);
+    debug_log(ctx, peer, "close");
+    result
+}
+
+fn serve_requests(stream: &mut TcpStream, peer: SocketAddr, ctx: &Ctx) -> std::io::Result<()> {
     stream.set_read_timeout(Some(ctx.cfg.read_timeout))?;
     loop {
+        let t0 = Instant::now();
         let request = {
-            let mut reader = BufReader::new(&stream);
+            let mut reader = BufReader::new(&*stream);
             http::read_request(&mut reader, ctx.cfg.max_body)
         };
         let request = match request {
@@ -311,13 +401,9 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
             Err(RequestError::Closed) | Err(RequestError::Io(_)) => return Ok(()),
             Err(RequestError::Malformed(msg)) => {
                 let body = Json::obj([("error", Json::s(&msg))]).0;
-                return http::write_response(
-                    &mut stream,
-                    400,
-                    &[],
-                    "application/json",
-                    body.as_bytes(),
-                );
+                let r = http::write_response(stream, 400, &[], "application/json", body.as_bytes());
+                record_request(ctx, peer, "-", "-", "error", 400, body.len() as u64, t0.elapsed());
+                return r;
             }
             Err(RequestError::TooLarge { declared, limit }) => {
                 let body = Json::obj([
@@ -326,17 +412,29 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
                     ("limit", Json::i(limit as i128)),
                 ])
                 .0;
-                return http::write_response(
-                    &mut stream,
-                    413,
-                    &[],
-                    "application/json",
-                    body.as_bytes(),
-                );
+                let r = http::write_response(stream, 413, &[], "application/json", body.as_bytes());
+                record_request(ctx, peer, "-", "-", "error", 413, body.len() as u64, t0.elapsed());
+                return r;
             }
         };
         let keep_alive = request.keep_alive();
-        respond(&mut stream, &request, ctx)?;
+        let route = route_label(request.path_query().0);
+        let (status, bytes) = {
+            let _req_span = trace::span_with("serve", "request", || {
+                vec![("method", request.method.clone()), ("path", request.target.clone())]
+            });
+            respond(stream, &request, ctx)?
+        };
+        record_request(
+            ctx,
+            peer,
+            &request.method,
+            request.path_query().0,
+            route,
+            status,
+            bytes,
+            t0.elapsed(),
+        );
         // A stopping daemon finishes the in-flight response, then closes
         // even a keep-alive connection so the drain can complete.
         if !keep_alive || ctx.stop.load(Ordering::SeqCst) {
@@ -345,14 +443,155 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
     }
 }
 
-/// Routes one request and writes its response.
-fn respond(stream: &mut TcpStream, request: &Request, ctx: &Ctx) -> std::io::Result<()> {
+/// Normalizes a request path onto a bounded route label so hostile
+/// paths can't mint unbounded metric series.
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/v1/stats" => "/v1/stats",
+        "/v1/modules" => "/v1/modules",
+        "/v1/admin/compact" => "/v1/admin/compact",
+        "/v1/store" => "/v1/store",
+        "/v1/merges/recent" => "/v1/merges/recent",
+        "/metrics" => "/metrics",
+        p if p.starts_with("/v1/store/") => "/v1/store/:hash",
+        p if p.starts_with("/v1/similar/") => "/v1/similar/:hash",
+        _ => "other",
+    }
+}
+
+/// Records one finished request: the route/status counter and latency
+/// histogram, the per-route response-byte counter, and the access log.
+#[allow(clippy::too_many_arguments)]
+fn record_request(
+    ctx: &Ctx,
+    peer: SocketAddr,
+    method: &str,
+    path: &str,
+    route: &'static str,
+    status: u16,
+    bytes: u64,
+    dur: Duration,
+) {
+    let status_s = status.to_string();
+    ctx.metrics
+        .counter_with(
+            "fmsa_http_requests_total",
+            "HTTP requests served, by route and status.",
+            &[("route", route), ("status", &status_s)],
+        )
+        .inc();
+    ctx.metrics
+        .histogram_with(
+            "fmsa_http_request_duration_seconds",
+            "HTTP request latency in seconds, by route and status.",
+            &latency_buckets(),
+            &[("route", route), ("status", &status_s)],
+        )
+        .observe(dur.as_secs_f64());
+    ctx.metrics
+        .counter_with(
+            "fmsa_http_response_bytes_total",
+            "HTTP response body bytes written, by route.",
+            &[("route", route)],
+        )
+        .add(bytes);
+    if ctx.cfg.log_level >= LogLevel::Info {
+        let ms = dur.as_secs_f64() * 1e3;
+        match ctx.cfg.log_format {
+            LogFormat::Text => {
+                eprintln!("fmsa_serve: {peer} \"{method} {path}\" {status} {ms:.3}ms {bytes}B");
+            }
+            LogFormat::Json => eprintln!(
+                "{{\"ts\":{},\"peer\":\"{}\",\"method\":\"{}\",\"path\":\"{}\",\
+                 \"status\":{},\"duration_ms\":{:.3},\"bytes\":{}}}",
+                unix_now_secs(),
+                json_escape(&peer.to_string()),
+                json_escape(method),
+                json_escape(path),
+                status,
+                ms,
+                bytes
+            ),
+        }
+    }
+}
+
+/// Connection lifecycle events, logged only at [`LogLevel::Debug`].
+fn debug_log(ctx: &Ctx, peer: SocketAddr, event: &str) {
+    if ctx.cfg.log_level < LogLevel::Debug {
+        return;
+    }
+    match ctx.cfg.log_format {
+        LogFormat::Text => eprintln!("fmsa_serve: {peer} connection {event}"),
+        LogFormat::Json => eprintln!(
+            "{{\"ts\":{},\"peer\":\"{}\",\"event\":\"connection-{}\"}}",
+            unix_now_secs(),
+            json_escape(&peer.to_string()),
+            json_escape(event)
+        ),
+    }
+}
+
+fn unix_now_secs() -> u64 {
+    SystemTime::now().duration_since(SystemTime::UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+
+/// `debug` or `release` — surfaced as build metadata in `/v1/stats`
+/// and the `fmsa_build_info` metric.
+fn build_profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
+}
+
+/// Writes a fixed-length response and reports `(status, body bytes)`
+/// so the caller can record metrics and the access log.
+fn send(
+    stream: &mut TcpStream,
+    status: u16,
+    headers: &[(&str, String)],
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, u64)> {
+    http::write_response(stream, status, headers, content_type, body)?;
+    Ok((status, body.len() as u64))
+}
+
+/// Routes one request, writes its response, and returns the status and
+/// body size for the request record.
+fn respond(stream: &mut TcpStream, request: &Request, ctx: &Ctx) -> std::io::Result<(u16, u64)> {
     let (path, query) = request.path_query();
     match (request.method.as_str(), path) {
-        ("GET", "/healthz") => http::write_response(stream, 200, &[], "text/plain", b"ok\n"),
+        ("GET", "/healthz") => send(stream, 200, &[], "text/plain", b"ok\n"),
         ("GET", "/v1/stats") => {
             let body = stats_json(ctx);
-            http::write_response(stream, 200, &[], "application/json", body.as_bytes())
+            send(stream, 200, &[], "application/json", body.as_bytes())
+        }
+        ("GET", "/metrics") => {
+            let body = render_metrics(ctx);
+            send(stream, 200, &[], "text/plain; version=0.0.4; charset=utf-8", body.as_bytes())
+        }
+        ("GET", "/v1/merges/recent") => {
+            let n = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("n="))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(50usize)
+                .min(1000);
+            let session = lock_session(&ctx.session);
+            let log = session.decisions();
+            let records: Vec<String> = log.recent(n).iter().map(|r| r.to_json()).collect();
+            let body = format!(
+                "{{\"total\":{},\"retained\":{},\"dropped\":{},\"records\":[{}]}}",
+                log.total(),
+                log.len(),
+                log.dropped(),
+                records.join(",")
+            );
+            send(stream, 200, &[], "application/json", body.as_bytes())
         }
         ("POST", "/v1/modules") => serve_merge(stream, request, ctx),
         ("POST", "/v1/admin/compact") => {
@@ -365,7 +604,7 @@ fn respond(stream: &mut TcpStream, request: &Request, ctx: &Ctx) -> std::io::Res
                         ("bytes_after", Json::i(c.bytes_after as i128)),
                     ])
                     .0;
-                    http::write_response(stream, 200, &[], "application/json", body.as_bytes())
+                    send(stream, 200, &[], "application/json", body.as_bytes())
                 }
                 Err(e) => {
                     let body = Json::obj([
@@ -373,7 +612,7 @@ fn respond(stream: &mut TcpStream, request: &Request, ctx: &Ctx) -> std::io::Res
                         ("stage", Json::s(e.stage())),
                     ])
                     .0;
-                    http::write_response(stream, 500, &[], "application/json", body.as_bytes())
+                    send(stream, 500, &[], "application/json", body.as_bytes())
                 }
             }
         }
@@ -396,13 +635,13 @@ fn respond(stream: &mut TcpStream, request: &Request, ctx: &Ctx) -> std::io::Res
                 ("entries", Json::arr(entries)),
             ])
             .0;
-            http::write_response(stream, 200, &[], "application/json", body.as_bytes())
+            send(stream, 200, &[], "application/json", body.as_bytes())
         }
         ("GET", p) if p.starts_with("/v1/store/") => {
             let hash = p.trim_start_matches("/v1/store/");
             let Some(hash) = ContentHash::from_hex(hash) else {
                 let body = Json::obj([("error", Json::s("bad hash"))]).0;
-                return http::write_response(stream, 400, &[], "application/json", body.as_bytes());
+                return send(stream, 400, &[], "application/json", body.as_bytes());
             };
             let session = lock_session(&ctx.session);
             match session.store().get(hash) {
@@ -411,17 +650,11 @@ fn respond(stream: &mut TcpStream, request: &Request, ctx: &Ctx) -> std::io::Res
                         ("X-Fmsa-Name", entry.name.clone()),
                         ("X-Fmsa-Seen", entry.seen.to_string()),
                     ];
-                    http::write_response(
-                        stream,
-                        200,
-                        &headers,
-                        "text/plain; charset=utf-8",
-                        entry.text.as_bytes(),
-                    )
+                    send(stream, 200, &headers, "text/plain; charset=utf-8", entry.text.as_bytes())
                 }
                 None => {
                     let body = Json::obj([("error", Json::s("unknown hash"))]).0;
-                    http::write_response(stream, 404, &[], "application/json", body.as_bytes())
+                    send(stream, 404, &[], "application/json", body.as_bytes())
                 }
             }
         }
@@ -429,7 +662,7 @@ fn respond(stream: &mut TcpStream, request: &Request, ctx: &Ctx) -> std::io::Res
             let hash = p.trim_start_matches("/v1/similar/");
             let Some(hash) = ContentHash::from_hex(hash) else {
                 let body = Json::obj([("error", Json::s("bad hash"))]).0;
-                return http::write_response(stream, 400, &[], "application/json", body.as_bytes());
+                return send(stream, 400, &[], "application/json", body.as_bytes());
             };
             let k = query
                 .split('&')
@@ -447,22 +680,30 @@ fn respond(stream: &mut TcpStream, request: &Request, ctx: &Ctx) -> std::io::Res
                 ])
             }))
             .0;
-            http::write_response(stream, 200, &[], "application/json", body.as_bytes())
+            send(stream, 200, &[], "application/json", body.as_bytes())
         }
-        (_, "/healthz" | "/v1/stats" | "/v1/modules" | "/v1/store" | "/v1/admin/compact") => {
+        (
+            _,
+            "/healthz" | "/v1/stats" | "/v1/modules" | "/v1/store" | "/v1/admin/compact"
+            | "/metrics" | "/v1/merges/recent",
+        ) => {
             let body = Json::obj([("error", Json::s("method not allowed"))]).0;
-            http::write_response(stream, 405, &[], "application/json", body.as_bytes())
+            send(stream, 405, &[], "application/json", body.as_bytes())
         }
         _ => {
             let body = Json::obj([("error", Json::s("not found"))]).0;
-            http::write_response(stream, 404, &[], "application/json", body.as_bytes())
+            send(stream, 404, &[], "application/json", body.as_bytes())
         }
     }
 }
 
 /// `POST /v1/modules`: merge-queue admission, the optional request
 /// deadline, and the success/error responses.
-fn serve_merge(stream: &mut TcpStream, request: &Request, ctx: &Ctx) -> std::io::Result<()> {
+fn serve_merge(
+    stream: &mut TcpStream,
+    request: &Request,
+    ctx: &Ctx,
+) -> std::io::Result<(u16, u64)> {
     // Admission control first: shedding is the one thing the daemon must
     // still do quickly when it is saturated.
     let pending = ctx.gauges.pending_merges.fetch_add(1, Ordering::SeqCst);
@@ -476,18 +717,12 @@ fn serve_merge(stream: &mut TcpStream, request: &Request, ctx: &Ctx) -> std::io:
             ("retry_after_secs", Json::i(ctx.cfg.retry_after_secs as i128)),
         ])
         .0;
-        return http::write_response(
-            stream,
-            429,
-            &retry_after(&ctx.cfg),
-            "application/json",
-            body.as_bytes(),
-        );
+        return send(stream, 429, &retry_after(&ctx.cfg), "application/json", body.as_bytes());
     }
     let name = request.header("x-fmsa-name").unwrap_or("upload").to_owned();
     let outcome = match ctx.cfg.request_timeout {
         None => {
-            let out = merge_upload(&ctx.session, &request.body, &name);
+            let out = merge_upload(ctx, &request.body, &name);
             ctx.gauges.pending_merges.fetch_sub(1, Ordering::SeqCst);
             out
         }
@@ -501,7 +736,7 @@ fn serve_merge(stream: &mut TcpStream, request: &Request, ctx: &Ctx) -> std::io:
             let worker_ctx = ctx.clone();
             let body = request.body.clone();
             std::thread::spawn(move || {
-                let out = merge_upload(&worker_ctx.session, &body, &name);
+                let out = merge_upload(&worker_ctx, &body, &name);
                 worker_ctx.gauges.pending_merges.fetch_sub(1, Ordering::SeqCst);
                 let _ = tx.send(out);
             });
@@ -515,7 +750,7 @@ fn serve_merge(stream: &mut TcpStream, request: &Request, ctx: &Ctx) -> std::io:
                         ("retry_after_secs", Json::i(ctx.cfg.retry_after_secs as i128)),
                     ])
                     .0;
-                    return http::write_response(
+                    return send(
                         stream,
                         503,
                         &retry_after(&ctx.cfg),
@@ -535,7 +770,8 @@ fn serve_merge(stream: &mut TcpStream, request: &Request, ctx: &Ctx) -> std::io:
                 &headers,
                 "text/plain; charset=utf-8",
                 out.output.as_bytes(),
-            )
+            )?;
+            Ok((200, out.output.len() as u64))
         }
         Err(e) => {
             let status = error_status(&e);
@@ -544,7 +780,7 @@ fn serve_merge(stream: &mut TcpStream, request: &Request, ctx: &Ctx) -> std::io:
                 pairs.push(("function", Json::s(f)));
             }
             let body = Json::obj(pairs).0;
-            http::write_response(stream, status, &[], "application/json", body.as_bytes())
+            send(stream, status, &[], "application/json", body.as_bytes())
         }
     }
 }
@@ -557,6 +793,9 @@ fn stats_json(ctx: &Ctx) -> String {
     let store = session.store();
     let recovery = *store.recovery();
     Json::obj([
+        ("version", Json::s(env!("CARGO_PKG_VERSION"))),
+        ("profile", Json::s(build_profile())),
+        ("started_at", Json::i(ctx.started_unix as i128)),
         ("uptime_ms", Json::i(ctx.started.elapsed().as_millis() as i128)),
         ("requests", Json::i(totals.requests as i128)),
         ("merges", Json::i(totals.merges as i128)),
@@ -611,22 +850,136 @@ fn stats_json(ctx: &Ctx) -> String {
 }
 
 /// The full merge path for one upload: response-cache probe on the raw
-/// bytes, format auto-detection, session merge.
-fn merge_upload(
-    session: &Mutex<MergeSession>,
-    body: &[u8],
-    name: &str,
-) -> Result<MergeOutcome, Error> {
+/// bytes, format auto-detection, session merge. Actual merges (cache
+/// misses) are timed into the `fmsa_merge_duration_seconds` histogram.
+fn merge_upload(ctx: &Ctx, body: &[u8], name: &str) -> Result<MergeOutcome, Error> {
     if body.is_empty() {
         return Err(Error::config("empty request body (expected wasm or textual IR)"));
     }
+    let cache_result = |r: &'static str| {
+        ctx.metrics
+            .counter_with(
+                "fmsa_merge_cache_total",
+                "Response-cache probes on merge uploads, by result.",
+                &[("result", r)],
+            )
+            .inc();
+    };
     let key = ContentHash::of_bytes(body);
-    let mut session = lock_session(session);
+    let mut session = lock_session(&ctx.session);
     if let Some(out) = session.merge_cached(key) {
+        cache_result("hit");
         return Ok(out);
     }
+    cache_result("miss");
     let module = fmsa::load_module_bytes(body, name)?;
-    session.merge_module(module, Some(key))
+    let t0 = Instant::now();
+    let out = session.merge_module(module, Some(key));
+    ctx.metrics
+        .histogram(
+            "fmsa_merge_duration_seconds",
+            "Wall-clock duration of one merge request (cache misses only).",
+            &latency_buckets(),
+        )
+        .observe(t0.elapsed().as_secs_f64());
+    out
+}
+
+/// `GET /metrics`: mirrors the store/session/queue/decision counters
+/// into gauges at scrape time (request-path metrics are recorded live),
+/// then renders the registry as Prometheus text exposition.
+fn render_metrics(ctx: &Ctx) -> String {
+    let m = &ctx.metrics;
+    let g = |name: &str, help: &str, v: f64| m.gauge(name, help).set(v);
+    {
+        let session = lock_session(&ctx.session);
+        let totals = *session.totals();
+        let store = session.store();
+        g("fmsa_store_functions", "Functions in the content-addressed store.", store.len() as f64);
+        g(
+            "fmsa_store_total_bytes",
+            "Bytes in the store log, live and dead.",
+            store.total_bytes() as f64,
+        );
+        g("fmsa_store_dead_bytes", "Dead bytes awaiting compaction.", store.dead_bytes() as f64);
+        g("fmsa_store_dead_ratio", "Dead-byte fraction of the store log.", store.dead_ratio());
+        g("fmsa_store_hits", "Store lookups that hit.", store.hits() as f64);
+        g("fmsa_store_misses", "Store lookups that missed.", store.misses() as f64);
+        g("fmsa_store_compactions", "Completed store compactions.", store.compactions() as f64);
+        g(
+            "fmsa_session_requests",
+            "Merge requests the session has processed.",
+            totals.requests as f64,
+        );
+        g("fmsa_session_merges", "Function merges committed by the session.", totals.merges as f64);
+        g(
+            "fmsa_session_functions",
+            "Functions processed across the session.",
+            totals.functions as f64,
+        );
+        g(
+            "fmsa_session_cache_hits",
+            "Response-cache hits across the session.",
+            totals.cache_hits as f64,
+        );
+        g(
+            "fmsa_session_wall_seconds",
+            "Wall-clock seconds the session has spent merging.",
+            totals.wall.as_secs_f64(),
+        );
+        let log = session.decisions();
+        for outcome in DecisionOutcome::ALL {
+            m.gauge_with(
+                "fmsa_merge_decisions",
+                "Merge attempts by outcome (see docs/observability.md).",
+                &[("outcome", outcome.as_str())],
+            )
+            .set(log.count(outcome) as f64);
+        }
+        let store_format = store.format_version().to_string();
+        m.gauge_with(
+            "fmsa_build_info",
+            "Build metadata carried in labels; value is always 1.",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("profile", build_profile()),
+                ("store_format", &store_format),
+            ],
+        )
+        .set(1.0);
+    }
+    g(
+        "fmsa_queue_active_connections",
+        "Open client connections.",
+        ctx.gauges.active.load(Ordering::SeqCst) as f64,
+    );
+    g(
+        "fmsa_queue_pending_merges",
+        "Merges in flight (including backgrounded timed-out ones).",
+        ctx.gauges.pending_merges.load(Ordering::SeqCst) as f64,
+    );
+    g(
+        "fmsa_queue_shed_connections",
+        "Connections shed with 503 at the connection limit.",
+        ctx.gauges.shed_connections.load(Ordering::SeqCst) as f64,
+    );
+    g(
+        "fmsa_queue_shed_requests",
+        "Merge requests shed with 429 at the queue limit.",
+        ctx.gauges.shed_requests.load(Ordering::SeqCst) as f64,
+    );
+    g(
+        "fmsa_queue_timed_out",
+        "Merge requests that hit the request deadline.",
+        ctx.gauges.timed_out.load(Ordering::SeqCst) as f64,
+    );
+    g("fmsa_started_at_seconds", "Unix time the daemon started.", ctx.started_unix as f64);
+    g(
+        "fmsa_uptime_seconds",
+        "Seconds since the daemon started.",
+        ctx.started.elapsed().as_secs_f64(),
+    );
+    m.snapshot().render_prometheus()
 }
 
 fn stats_headers(out: &MergeOutcome) -> Vec<(&'static str, String)> {

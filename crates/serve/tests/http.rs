@@ -256,3 +256,99 @@ fn keep_alive_serves_multiple_requests_on_one_connection() {
         assert_eq!(resp.body, b"ok\n");
     }
 }
+
+#[test]
+fn metrics_endpoint_serves_prometheus_exposition() {
+    let server = boot(ServerConfig::default());
+    // One real merge so request, cache, store, and decision series all
+    // have data behind them.
+    let corpus = wasm_corpus(16, 5);
+    assert_eq!(client::post(server.addr(), "/v1/modules", &corpus).unwrap().status, 200);
+
+    let resp = client::get(server.addr(), "/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.header("content-type").unwrap().contains("version=0.0.4"),
+        "exposition content type, got {:?}",
+        resp.header("content-type")
+    );
+    let body = resp.text();
+    for family in [
+        "fmsa_http_requests_total",
+        "fmsa_http_request_duration_seconds_bucket",
+        "fmsa_http_response_bytes_total",
+        "fmsa_merge_cache_total",
+        "fmsa_merge_duration_seconds_bucket",
+        "fmsa_merge_decisions",
+        "fmsa_build_info",
+        "fmsa_store_functions",
+        "fmsa_session_merges",
+        "fmsa_queue_active_connections",
+        "fmsa_started_at_seconds",
+        "fmsa_uptime_seconds",
+    ] {
+        assert!(body.contains(family), "missing family {family} in:\n{body}");
+    }
+    // The upload itself is visible as a counted, histogrammed request.
+    assert!(
+        body.contains(r#"fmsa_http_requests_total{route="/v1/modules",status="200"} 1"#),
+        "upload not counted:\n{body}"
+    );
+    assert!(body.contains(r#"le="+Inf""#));
+    // Build metadata rides as labels on a constant gauge.
+    let build = body.lines().find(|l| l.starts_with("fmsa_build_info{")).unwrap();
+    assert!(build.contains("version=\"") && build.contains("store_format=\""));
+    assert!(build.ends_with(" 1"));
+    // Every family gets HELP + TYPE exactly once.
+    assert_eq!(body.matches("# TYPE fmsa_http_requests_total ").count(), 1);
+}
+
+#[test]
+fn merges_recent_returns_bounded_decision_records() {
+    let server = boot(ServerConfig::default());
+    let corpus = wasm_corpus(24, 9);
+    assert_eq!(client::post(server.addr(), "/v1/modules", &corpus).unwrap().status, 200);
+
+    let resp = client::get(server.addr(), "/v1/merges/recent?n=3").unwrap();
+    assert_eq!(resp.status, 200);
+    let body = resp.text();
+    assert!(body.contains("\"total\":") && body.contains("\"records\":["), "got: {body}");
+    // n caps the returned records.
+    let records = body.matches("\"subject\":").count();
+    assert!(records <= 3, "asked for 3, got {records}: {body}");
+    assert!(records > 0, "a merged corpus must leave decision records: {body}");
+    // Decision totals reconcile with the merge count the upload reported.
+    let merged = body.matches("\"outcome\":\"merged\"").count()
+        + body.matches("\"outcome\":\"conflict-fallback\"").count();
+    assert!(merged <= records);
+
+    // Default n, no query string.
+    let resp = client::get(server.addr(), "/v1/merges/recent").unwrap();
+    assert_eq!(resp.status, 200);
+}
+
+#[test]
+fn stats_carries_build_metadata() {
+    let server = boot(ServerConfig::default());
+    let resp = client::get(server.addr(), "/v1/stats").unwrap();
+    assert_eq!(resp.status, 200);
+    let body = resp.text();
+    for key in ["\"version\":", "\"profile\":", "\"started_at\":", "\"uptime_ms\":"] {
+        assert!(body.contains(key), "missing {key} in {body}");
+    }
+}
+
+#[test]
+fn access_log_levels_parse_and_default_off() {
+    use fmsa_serve::{LogFormat, LogLevel};
+    assert_eq!(LogLevel::parse("off").unwrap(), LogLevel::Off);
+    assert_eq!(LogLevel::parse("info").unwrap(), LogLevel::Info);
+    assert_eq!(LogLevel::parse("debug").unwrap(), LogLevel::Debug);
+    assert!(LogLevel::parse("verbose").is_err());
+    assert_eq!(LogFormat::parse("text").unwrap(), LogFormat::Text);
+    assert_eq!(LogFormat::parse("json").unwrap(), LogFormat::Json);
+    assert!(LogFormat::parse("yaml").is_err());
+    assert_eq!(ServerConfig::default().log_level, LogLevel::Off);
+    assert_eq!(ServerConfig::default().log_format, LogFormat::Text);
+    assert!(LogLevel::Debug > LogLevel::Info && LogLevel::Info > LogLevel::Off);
+}

@@ -55,8 +55,8 @@ pub use fmsa_wasm as wasm;
 pub use fmsa_workloads as workloads;
 
 pub use fmsa_core::{
-    optimize, Config, ContentHash, Error, FsyncPolicy, FunctionStore, MergeOutcome, MergeSession,
-    RequestStats, SessionTotals, StoreOptions,
+    optimize, telemetry, Config, ContentHash, Error, FsyncPolicy, FunctionStore, MergeOutcome,
+    MergeSession, RequestStats, SessionTotals, StoreOptions,
 };
 
 /// Loads a module from raw bytes with `fmsa_opt`-style format
